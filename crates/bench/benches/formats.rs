@@ -1,0 +1,49 @@
+//! Criterion benchmarks of format construction and the custom-format
+//! pre-processing steps the paper treats as one-time costs (§5.4.5) —
+//! quantifying what "one-time" actually costs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnone_sparse::custom::{MergePath, NeighborGroups, RowSwizzle};
+use gnnone_sparse::formats::{Coo, Csr};
+use gnnone_sparse::gen;
+
+fn fixture() -> Coo {
+    let el = gen::rmat(13, 64_000, gen::GRAPH500_PROBS, 5).symmetrize();
+    Coo::from_edge_list(&el)
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let coo = fixture();
+    let csr = Csr::from_coo(&coo);
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("coo_to_csr", |b| b.iter(|| Csr::from_coo(&coo)));
+    group.bench_function("csr_to_coo", |b| b.iter(|| csr.to_coo()));
+    group.bench_function("transpose", |b| b.iter(|| coo.transpose()));
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let coo = fixture();
+    let csr = Csr::from_coo(&coo);
+    let mut group = c.benchmark_group("custom_format_preprocessing");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("neighbor_groups(32)", |b| {
+        b.iter(|| NeighborGroups::build(&csr, 32))
+    });
+    group.bench_function("row_swizzle", |b| b.iter(|| RowSwizzle::build(&csr)));
+    group.bench_function("merge_path(1024)", |b| {
+        b.iter(|| MergePath::build(&csr, 1024))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_preprocessing);
+criterion_main!(benches);

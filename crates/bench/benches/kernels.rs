@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the kernel implementations (host-side
+//! simulation throughput and relative simulated cost). These complement
+//! the figure binaries: Criterion measures how fast the *simulator*
+//! executes each kernel, which bounds how large a sweep is practical.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnone_bench::figure_gpu_spec;
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::registry;
+use gnnone_sim::{DeviceBuffer, Gpu};
+use gnnone_sparse::formats::Coo;
+use gnnone_sparse::gen;
+
+fn bench_graph() -> Arc<GraphData> {
+    let el = gen::rmat(12, 16_000, gen::GRAPH500_PROBS, 99).symmetrize();
+    Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+}
+
+fn bench_sddmm(c: &mut Criterion) {
+    let g = bench_graph();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut group = c.benchmark_group("sddmm_sim");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for dim in [16usize, 32] {
+        let n = g.num_vertices();
+        let x = DeviceBuffer::from_slice(&vec![0.5f32; n * dim]);
+        let y = DeviceBuffer::from_slice(&vec![0.25f32; n * dim]);
+        let w = DeviceBuffer::<f32>::zeros(g.nnz());
+        for kernel in registry::sddmm_kernels(&g) {
+            // Skip the deliberately pathological baseline at bench sizes.
+            if kernel.name() == "CuSparse" {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), dim),
+                &dim,
+                |b, &dim| {
+                    b.iter(|| kernel.run(&gpu, &x, &y, dim, &w).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let g = bench_graph();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut group = c.benchmark_group("spmm_sim");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for dim in [16usize, 32] {
+        let n = g.num_vertices();
+        let x = DeviceBuffer::from_slice(&vec![0.5f32; n * dim]);
+        let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+        let y = DeviceBuffer::<f32>::zeros(n * dim);
+        for kernel in registry::spmm_kernels(&g) {
+            if kernel.name() == "FeatGraph" {
+                continue; // tuning sweep too slow for micro-benching
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), dim),
+                &dim,
+                |b, &dim| {
+                    b.iter(|| kernel.run(&gpu, &w, &x, dim, &y).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let g = bench_graph();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut group = c.benchmark_group("spmv_sim");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = g.num_vertices();
+    let x = DeviceBuffer::from_slice(&vec![0.5f32; n]);
+    let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+    let y = DeviceBuffer::<f32>::zeros(n);
+    for kernel in registry::spmv_kernels(&g) {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| kernel.run(&gpu, &w, &x, &y).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sddmm, bench_spmm, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark of the simulator itself: host nanoseconds per
+//! simulated NZE for the flagship kernels — the number that determines how
+//! large a dataset sweep is practical on a workstation.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gnnone_bench::figure_gpu_spec;
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
+use gnnone_sim::{DeviceBuffer, Gpu};
+use gnnone_sparse::formats::Coo;
+use gnnone_sparse::gen;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let el = gen::rmat(12, 32_000, gen::GRAPH500_PROBS, 7).symmetrize();
+    let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+    let gpu = Gpu::new(figure_gpu_spec());
+    let dim = 32;
+    let n = g.num_vertices();
+    let nnz = g.nnz();
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(nnz as u64));
+
+    let x = DeviceBuffer::from_slice(&vec![0.5f32; n * dim]);
+    let y = DeviceBuffer::from_slice(&vec![0.25f32; n * dim]);
+    let wv = DeviceBuffer::from_slice(&vec![1.0f32; nnz]);
+    let w_out = DeviceBuffer::<f32>::zeros(nnz);
+    let y_out = DeviceBuffer::<f32>::zeros(n * dim);
+
+    let sddmm = GnnOneSddmm::new(Arc::clone(&g), GnnOneConfig::default());
+    group.bench_function("gnnone_sddmm_nze_per_sec", |b| {
+        b.iter(|| sddmm.run(&gpu, &x, &y, dim, &w_out).unwrap());
+    });
+    let spmm = GnnOneSpmm::new(Arc::clone(&g), GnnOneConfig::default());
+    group.bench_function("gnnone_spmm_nze_per_sec", |b| {
+        b.iter(|| spmm.run(&gpu, &wv, &x, dim, &y_out).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Extension experiment** (paper future work, §5.3.2): fused vs unfused
+//! GAT attention.
+//!
+//! The unfused GNNOne pipeline launches `u_add_v`, `edge_softmax` and SpMM
+//! separately, writing logits and α to device memory between them; the
+//! fused kernel does all three in one launch with no edge-tensor round
+//! trips. The paper conjectured "kernel fusion would provide even better
+//! performance to GNNOne" — this bench measures by how much, per dataset.
+
+use std::sync::Arc;
+
+use gnnone_bench::report::{Cell, Table};
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::gnnone::{FusedGatAttention, GnnOneConfig, GnnOneSpmm};
+use gnnone_kernels::traits::SpmmKernel;
+use gnnone_sim::{DeviceBuffer, Gpu};
+
+fn main() {
+    let opts = cli::from_env();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let f = *opts.dims.first().unwrap_or(&16);
+    let mut table = Table::new(
+        &format!("Extension: fused vs unfused GAT attention, dim={f}"),
+        &["Fused (1 launch)", "Unfused GnnOne (3 launches)"],
+    );
+
+    for spec in runner::selected_specs(&opts) {
+        let ld = runner::load(&spec, opts.scale);
+        let n = ld.graph.num_vertices();
+        let z_host = runner::vertex_features(n, f, 41);
+        let z = DeviceBuffer::from_slice(&z_host);
+        let el = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 43));
+        let er = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 47));
+
+        // Fused: one launch, α never leaves the SM (backward-less
+        // inference shape; training keeps α via `alpha_out`).
+        let y_fused = DeviceBuffer::<f32>::zeros(n * f);
+        let fused = FusedGatAttention::new(Arc::clone(&ld.graph), 0.2);
+        let fused_cell = match fused.run(&gpu, &z, &el, &er, f, &y_fused, None) {
+            Ok(r) => Cell::Ms(r.time_ms),
+            Err(e) => Cell::Err(format!("{e}")),
+        };
+
+        // Unfused: SpMM launch (simulated) + the two edge-parallel passes
+        // (u_add_v + 3-pass softmax) costed as in the training stack:
+        // 4 edge passes of 16 B/NZE each plus 2 extra launch overheads.
+        let alpha_host = unfused_alpha(&ld, &el.to_vec(), &er.to_vec());
+        let alpha = DeviceBuffer::from_slice(&alpha_host);
+        let y_unfused = DeviceBuffer::<f32>::zeros(n * f);
+        let spmm = GnnOneSpmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
+        let unfused_cell = match spmm.run(&gpu, &alpha, &z, f, &y_unfused) {
+            Ok(r) => {
+                let spec_gpu = gpu.spec();
+                let edge_pass_bytes = (ld.graph.nnz() as u64) * 16 * 4;
+                let bw = spec_gpu.bytes_per_cycle_per_sm() * spec_gpu.num_sms as f64;
+                let extra_cycles = 2 * spec_gpu.timing.kernel_launch_overhead_cycles
+                    + (edge_pass_bytes as f64 / bw) as u64;
+                Cell::Ms(r.time_ms + spec_gpu.cycles_to_ms(extra_cycles))
+            }
+            Err(e) => Cell::Err(format!("{e}")),
+        };
+        table.push_row(spec.id, vec![fused_cell, unfused_cell]);
+    }
+    table.print();
+    println!("(extension beyond the paper: quantifies §5.3.2's fusion conjecture)");
+
+    let out = opts.out.unwrap_or_else(|| "results/ext_fused_gat.json".into());
+    report::write_json(&out, &table).expect("write results");
+    println!("wrote {out}");
+}
+
+/// Host-side attention coefficients for the unfused SpMM input (their
+/// device cost is charged analytically above).
+fn unfused_alpha(ld: &runner::LoadedDataset, el: &[f32], er: &[f32]) -> Vec<f32> {
+    let csr = &ld.dataset.csr;
+    let mut alpha = vec![0.0f32; csr.nnz()];
+    for r in 0..csr.num_rows() {
+        let range = csr.row_range(r);
+        if range.is_empty() {
+            continue;
+        }
+        let logits: Vec<f32> = range
+            .clone()
+            .map(|e| {
+                let raw = el[r] + er[csr.cols()[e] as usize];
+                if raw > 0.0 {
+                    raw
+                } else {
+                    raw * 0.2
+                }
+            })
+            .collect();
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum();
+        for (i, e) in range.enumerate() {
+            alpha[e] = (logits[i] - max).exp() / sum;
+        }
+    }
+    alpha
+}

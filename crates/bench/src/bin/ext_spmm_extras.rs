@@ -1,0 +1,49 @@
+//! **Extension experiment** (§6): SpMM systems the paper discusses but does
+//! not plot — Yang et al.'s nonzero-split (the register-materialization
+//! cautionary tale of §3.2), Sputnik's row-swizzled SpMM, and the
+//! row-binning lineage — against GNNOne.
+
+use std::sync::Arc;
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
+use gnnone_kernels::registry;
+use gnnone_kernels::traits::SpmmKernel;
+use gnnone_sim::Gpu;
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.dims == vec![6, 16, 32, 64] {
+        opts.dims = vec![32];
+    }
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut tables = Vec::new();
+    for &dim in &opts.dims {
+        let mut table = Table::new(
+            &format!("Extension: discussed-but-unplotted SpMM systems, dim={dim}"),
+            &["GnnOne", "Yang et al.", "Sputnik", "Row-binning"],
+        );
+        for spec in runner::selected_specs(&opts) {
+            let ld = runner::load(&spec, opts.scale);
+            let gnnone: Box<dyn SpmmKernel> = Box::new(GnnOneSpmm::new(
+                Arc::clone(&ld.graph),
+                GnnOneConfig::default(),
+            ));
+            let cells = std::iter::once(gnnone)
+                .chain(registry::spmm_discussion_kernels(&ld.graph))
+                .map(|k| runner::run_spmm(&gpu, k.as_ref(), &ld, dim))
+                .collect();
+            table.push_row(spec.id, cells);
+        }
+        table.print();
+        tables.push(table);
+    }
+    println!("(Yang et al.: balanced but occupancy-collapsed — §3.2's 'discarded right approach')");
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/ext_spmm_extras.json".into());
+    report::write_json(&out, &tables).expect("write results");
+    println!("wrote {out}");
+}

@@ -1,0 +1,35 @@
+//! **Extension experiment** (§4.4): the two classes of nonzero-split SpMV
+//! the paper proves are special cases of GNNOne's SpMM design —
+//! Dalton et al. (coalesced fetch, shared-memory inter-thread reduction)
+//! and Merrill et al. / Merge-SpMV (uncoalesced fetch, thread-local
+//! reduction) — against GNNOne's COO nonzero-split.
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::registry;
+use gnnone_sim::Gpu;
+
+fn main() {
+    let opts = cli::from_env();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut table = Table::new(
+        "Extension: nonzero-split SpMV classes (§4.4)",
+        &["GnnOne", "Merge-SpMV", "Dalton et al."],
+    );
+    for spec in runner::selected_specs(&opts) {
+        let ld = runner::load(&spec, opts.scale);
+        let cells = registry::spmv_class_kernels(&ld.graph)
+            .iter()
+            .map(|k| runner::run_spmv(&gpu, k.as_ref(), &ld))
+            .collect();
+        table.push_row(spec.id, cells);
+    }
+    table.print();
+    println!("(the trade-off of §4.4: coalescing vs thread-local reduction; GNNOne's design subsumes both)");
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/ext_spmv_classes.json".into());
+    report::write_json(&out, &table).expect("write results");
+    println!("wrote {out}");
+}

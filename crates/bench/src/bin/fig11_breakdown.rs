@@ -1,0 +1,97 @@
+//! Reproduces **Fig. 11**: the data-load vs total breakdown proving the
+//! paper's basic premise — *data load ≫ actual compute* (§3.1 Obs. #2,
+//! §5.4.4).
+//!
+//! The paper measured a load-only partial prototype; the simulator exposes
+//! the same split directly: per-warp cycles divide into memory-stall
+//! cycles, load-issue cycles, and everything else (compute, shuffles,
+//! barriers, stores). The load fraction is (stall + load issue) / total.
+
+use std::sync::Arc;
+
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
+use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
+use gnnone_sim::{DeviceBuffer, Gpu, KernelReport};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BreakdownRow {
+    dataset: String,
+    kernel: &'static str,
+    total_ms: f64,
+    load_ms: f64,
+    load_fraction: f64,
+}
+
+fn load_fraction(report: &KernelReport) -> f64 {
+    let stats = &report.stats;
+    if stats.total_solo_cycles == 0 {
+        return 0.0;
+    }
+    let load_issue = stats.loads; // 1 issue cycle per load instruction
+    (stats.total_mem_stall_cycles + load_issue) as f64 / stats.total_solo_cycles as f64
+}
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.dims == vec![6, 16, 32, 64] {
+        opts.dims = vec![32];
+    }
+    let dim = opts.dims[0];
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut rows = Vec::new();
+
+    println!(
+        "{:<6} {:<7} {:>12} {:>12} {:>8}",
+        "graph", "kernel", "total ms", "load ms", "load %"
+    );
+    for spec in runner::selected_specs(&opts) {
+        let ld = runner::load(&spec, opts.scale);
+        let n = ld.graph.num_vertices();
+        let x = DeviceBuffer::from_slice(&runner::vertex_features(n, dim, 3));
+        let y = DeviceBuffer::from_slice(&runner::vertex_features(n, dim, 5));
+
+        // SpMM breakdown.
+        let w = DeviceBuffer::from_slice(&runner::edge_values(ld.graph.nnz(), 7));
+        let out = DeviceBuffer::<f32>::zeros(n * dim);
+        let spmm = GnnOneSpmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
+        let r = spmm.run(&gpu, &w, &x, dim, &out).expect("spmm");
+        for (kernel, r) in [("SpMM", r)].into_iter().chain({
+            let wout = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
+            let sddmm = GnnOneSddmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
+            let r2 = sddmm.run(&gpu, &x, &y, dim, &wout).expect("sddmm");
+            [("SDDMM", r2)]
+        }) {
+            let frac = load_fraction(&r);
+            let row = BreakdownRow {
+                dataset: spec.id.to_string(),
+                kernel,
+                total_ms: r.time_ms,
+                load_ms: r.time_ms * frac,
+                load_fraction: frac,
+            };
+            println!(
+                "{:<6} {:<7} {:>12.3} {:>12.3} {:>7.1}%",
+                row.dataset,
+                row.kernel,
+                row.total_ms,
+                row.load_ms,
+                100.0 * row.load_fraction
+            );
+            rows.push(row);
+        }
+    }
+    let avg: f64 =
+        rows.iter().map(|r| r.load_fraction).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\naverage load fraction: {:.1}% (paper: data load dominates even after optimization)",
+        100.0 * avg
+    );
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig11_breakdown.json".into());
+    report::write_json(&out, &rows).expect("write results");
+    println!("wrote {out}");
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Fig. 12**: COO nonzero-split SpMV (GNNOne) vs Merge-SpMV
+//! (custom merge-path format) — the §4.4/§5.4.5 trade-off: 4 extra bytes
+//! of coalesced row-ID load per NZE vs narrow metadata + broadcast +
+//! online search.
+//!
+//! Expected shape: comparable or better everywhere, with the largest wins
+//! (~1.7–2.1×) on the dense datasets (Reddit, Ogb-product analogues).
+//! Note: the paper reports Merge-SpMV *crashing* on Kron-21 (G10); our
+//! reimplementation completes it — recorded as a known deviation in
+//! EXPERIMENTS.md.
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::registry;
+use gnnone_sim::Gpu;
+
+fn main() {
+    let opts = cli::from_env();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut table = Table::new("Fig 12: SpMV", &["GnnOne", "Merge-SpMV"]);
+    for spec in runner::selected_specs(&opts) {
+        let ld = runner::load(&spec, opts.scale);
+        let cells = registry::spmv_kernels(&ld.graph)
+            .iter()
+            .map(|k| runner::run_spmv(&gpu, k.as_ref(), &ld))
+            .collect();
+        table.push_row(spec.id, cells);
+    }
+    table.print();
+    println!("(paper: comparable or better on all datasets; 1.74x on Reddit, 2.09x on Ogb-product)");
+
+    let out = opts.out.unwrap_or_else(|| "results/fig12_spmv.json".into());
+    report::write_json(&out, &table).expect("write results");
+    println!("wrote {out}");
+}

@@ -1,0 +1,52 @@
+//! Reproduces **Fig. 4**: SpMM speedup of GNNOne over GE-SpMM, CuSparse,
+//! Huang et al., FeatGraph and GNNAdvisor for feature lengths {6, 16, 32,
+//! 64}.
+//!
+//! Expected shape (paper §5.2): GNNOne wins across the board (6.25× avg);
+//! Huang et al. is the closest baseline (~1.3–1.7×); GE-SpMM degrades
+//! sharply below f = 32 where it drops caching; FeatGraph is the worst.
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::registry;
+use gnnone_sim::Gpu;
+
+fn main() {
+    let opts = cli::from_env();
+    let gpu = Gpu::new(figure_gpu_spec());
+    let specs = runner::selected_specs(&opts);
+    let mut tables = Vec::new();
+
+    for &dim in &opts.dims {
+        let mut table = Table::new(
+            &format!("Fig 4: SpMM, dim={dim}"),
+            &["GnnOne", "GE-SpMM", "CuSparse", "Huang et al.", "FeatGraph", "GNNAdvisor"],
+        );
+        for spec in &specs {
+            let ld = runner::load(spec, opts.scale);
+            let cells = registry::spmm_kernels(&ld.graph)
+                .iter()
+                .map(|k| runner::run_spmm(&gpu, k.as_ref(), &ld, dim))
+                .collect();
+            table.push_row(spec.id, cells);
+        }
+        table.print();
+        tables.push(table);
+    }
+
+    let mut all = Vec::new();
+    for t in &tables {
+        for col in 1..t.systems.len() {
+            all.extend(t.speedups_vs(col).into_iter().map(|(_, s)| s));
+        }
+    }
+    println!(
+        "\nOverall GnnOne SpMM speedup vs all baselines: mean {:.2}x over {} cells (paper: 6.25x avg)",
+        all.iter().sum::<f64>() / all.len().max(1) as f64,
+        all.len()
+    );
+
+    let out = opts.out.clone().unwrap_or_else(|| "results/fig4_spmm.json".into());
+    report::write_json(&out, &tables).expect("write results");
+    println!("wrote {out}");
+}

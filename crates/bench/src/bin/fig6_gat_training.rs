@@ -1,0 +1,82 @@
+//! Reproduces **Fig. 6**: end-to-end GAT training time (200 epochs) —
+//! GNNOne vs DGL vs dgNN on the large datasets.
+//!
+//! Expected shape (paper §5.3.2): GNNOne ~3.7× over DGL and ~2× over dgNN
+//! — beating the fused dgNN with unfused but optimized kernels. Timing is
+//! simulated: two epochs are executed through the kernel simulator and the
+//! per-epoch cost is extrapolated to the requested epoch count (epochs are
+//! deterministic replicas under the timing model).
+
+use std::rc::Rc;
+
+use gnnone_bench::report::{Cell, Table};
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_gnn::memory::{estimate_training_bytes, ModelKind};
+use gnnone_gnn::models::Gat;
+use gnnone_gnn::{train_model, GnnContext, SystemKind, TrainConfig};
+use gnnone_tensor::Tensor;
+
+/// Epochs actually simulated before extrapolation.
+const MEASURED_EPOCHS: usize = 2;
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.datasets.is_empty() {
+        opts.datasets = ["G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let spec_gpu = figure_gpu_spec();
+    let device_bytes = 40u64 * 1024 * 1024 * 1024;
+
+    let mut table = Table::new(
+        &format!("Fig 6: GAT training, {} epochs", opts.epochs),
+        &["GnnOne", "DGL", "dgNN"],
+    );
+    for dspec in runner::selected_specs(&opts) {
+        let ld = runner::load(&dspec, opts.scale);
+        let n = ld.graph.num_vertices();
+        // GNNBench-style generated features/labels (Table 1 dims).
+        let features = Tensor::from_vec(
+            n,
+            dspec.feature_len,
+            runner::vertex_features(n, dspec.feature_len, 31),
+        );
+        let labels: Vec<u32> = (0..n as u32).map(|v| v % dspec.classes as u32).collect();
+
+        let mut cells = Vec::new();
+        for system in [SystemKind::GnnOne, SystemKind::Dgl, SystemKind::DgNn] {
+            // OOM check at paper scale.
+            let est = estimate_training_bytes(system, ModelKind::Gat, &dspec);
+            if !est.fits(device_bytes) {
+                cells.push(Cell::Err("OOM".into()));
+                continue;
+            }
+            let ctx = Rc::new(GnnContext::new(
+                system,
+                ld.dataset.coo.clone(),
+                spec_gpu.clone(),
+            ));
+            let mut model = Gat::new(dspec.feature_len, 16, dspec.classes, 5, 7);
+            let cfg = TrainConfig {
+                epochs: MEASURED_EPOCHS,
+                ..Default::default()
+            };
+            let r = train_model(&mut model, &ctx, &features, &labels, &cfg);
+            // Measured window = MEASURED_EPOCHS train epochs + 1 eval
+            // forward (≈ one more epoch under the ×3 dense charging).
+            let per_epoch_ms = r.simulated_ms / (MEASURED_EPOCHS as f64 + 1.0);
+            cells.push(Cell::Ms(per_epoch_ms * opts.epochs as f64));
+        }
+        table.push_row(dspec.id, cells);
+    }
+    table.print();
+    println!("(paper: GnnOne 3.68x over DGL, 2.01x over dgNN; dgNN errored on G10 in the paper's run — our reimplementation completes it, see EXPERIMENTS.md)");
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig6_gat_training.json".into());
+    report::write_json(&out, &table).expect("write results");
+    println!("wrote {out}");
+}

@@ -1,0 +1,90 @@
+//! Reproduces **Fig. 7**: GCN and GIN end-to-end training speedup of
+//! GNNOne over DGL (200 epochs), including the out-of-memory pattern —
+//! GNNOne trains GCN on G17 (uk-2002) where DGL OOMs; both OOM on G16 and
+//! G18.
+
+use std::rc::Rc;
+
+use gnnone_bench::report::{Cell, Table};
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_gnn::memory::{estimate_training_bytes, ModelKind};
+use gnnone_gnn::models::{Gcn, Gin, GnnModel};
+use gnnone_gnn::{train_model, GnnContext, SystemKind, TrainConfig};
+use gnnone_tensor::Tensor;
+
+const MEASURED_EPOCHS: usize = 2;
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.datasets.is_empty() {
+        opts.datasets = [
+            "G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15", "G16", "G17", "G18",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let spec_gpu = figure_gpu_spec();
+    let device_bytes = 40u64 * 1024 * 1024 * 1024;
+    let mut tables = Vec::new();
+
+    for (model_name, model_kind, hidden, layers) in
+        [("GCN", ModelKind::Gcn, 16usize, 2usize), ("GIN", ModelKind::Gin, 64, 5)]
+    {
+        let mut table = Table::new(
+            &format!("Fig 7: {model_name} training, {} epochs", opts.epochs),
+            &["GnnOne", "DGL"],
+        );
+        for dspec in runner::selected_specs(&opts) {
+            let ld = runner::load(&dspec, opts.scale);
+            let n = ld.graph.num_vertices();
+            let features = Tensor::from_vec(
+                n,
+                dspec.feature_len,
+                runner::vertex_features(n, dspec.feature_len, 37),
+            );
+            let labels: Vec<u32> =
+                (0..n as u32).map(|v| v % dspec.classes as u32).collect();
+
+            let mut cells = Vec::new();
+            for system in [SystemKind::GnnOne, SystemKind::Dgl] {
+                let est = estimate_training_bytes(system, model_kind, &dspec);
+                if !est.fits(device_bytes) {
+                    cells.push(Cell::Err("OOM".into()));
+                    continue;
+                }
+                let ctx = Rc::new(GnnContext::new(
+                    system,
+                    ld.dataset.coo.clone(),
+                    spec_gpu.clone(),
+                ));
+                let mut model: Box<dyn GnnModel> = match model_kind {
+                    ModelKind::Gcn => {
+                        Box::new(Gcn::new(dspec.feature_len, hidden, dspec.classes, 7))
+                    }
+                    ModelKind::Gin => {
+                        Box::new(Gin::new(dspec.feature_len, hidden, dspec.classes, layers, 7))
+                    }
+                    ModelKind::Gat => unreachable!(),
+                };
+                let cfg = TrainConfig {
+                    epochs: MEASURED_EPOCHS,
+                    ..Default::default()
+                };
+                let r = train_model(model.as_mut(), &ctx, &features, &labels, &cfg);
+                let per_epoch_ms = r.simulated_ms / (MEASURED_EPOCHS as f64 + 1.0);
+                cells.push(Cell::Ms(per_epoch_ms * opts.epochs as f64));
+            }
+            table.push_row(dspec.id, cells);
+        }
+        table.print();
+        tables.push(table);
+    }
+    println!("(paper: 1.89x avg for GCN, 1.27x avg for GIN; GnnOne trains GCN on G17 while DGL OOMs; both OOM on G16/G18)");
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig7_gcn_gin_training.json".into());
+    report::write_json(&out, &tables).expect("write results");
+    println!("wrote {out}");
+}

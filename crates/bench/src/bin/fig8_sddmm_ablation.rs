@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 8**: the SDDMM design-choice ladder at feature length
+//! 32 — Baseline (balanced COO, no reuse, no float4, ≈ DGL's design ideas)
+//! → +Data-reuse (Stage-1 NZE caching + row-feature reuse) → +Float4
+//! (vector loads / thread groups).
+//!
+//! Expected shape (paper §5.4.1): +Data-reuse ≈ 2.78× over Baseline;
+//! +Float4 ≈ 1.80× more (≈ 4.59× total).
+
+use std::sync::Arc;
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm};
+use gnnone_sim::Gpu;
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.dims == vec![6, 16, 32, 64] {
+        opts.dims = vec![32]; // the figure's dimension
+    }
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut tables = Vec::new();
+
+    for &dim in &opts.dims {
+        let mut table = Table::new(
+            &format!("Fig 8: SDDMM ablation, dim={dim} (column 0 = full design)"),
+            &["+Float4", "+Data-reuse", "Baseline"],
+        );
+        for spec in runner::selected_specs(&opts) {
+            let ld = runner::load(&spec, opts.scale);
+            let configs = [
+                GnnOneConfig::default(),
+                GnnOneConfig::ablation_data_reuse(),
+                GnnOneConfig::ablation_baseline(),
+            ];
+            let cells = configs
+                .iter()
+                .map(|cfg| {
+                    let k = GnnOneSddmm::new(Arc::clone(&ld.graph), *cfg);
+                    runner::run_sddmm(&gpu, &k, &ld, dim)
+                })
+                .collect();
+            table.push_row(spec.id, cells);
+        }
+        table.print();
+        println!(
+            "(read: col0/col1 gap = float4 contribution, col0/col2 = total; paper: 1.80x and 4.59x)"
+        );
+        tables.push(table);
+    }
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig8_sddmm_ablation.json".into());
+    report::write_json(&out, &tables).expect("write results");
+    println!("wrote {out}");
+}

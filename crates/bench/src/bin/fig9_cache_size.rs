@@ -1,0 +1,54 @@
+//! Reproduces **Fig. 9**: SpMM Stage-1 cache size — 128 NZEs per warp vs
+//! 32 — at feature length 16.
+//!
+//! Expected shape (paper §5.4.2): caching 128 gives ≈1.31× over 32 because
+//! more independent loads issue before each memory barrier.
+
+use std::sync::Arc;
+
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
+use gnnone_sim::Gpu;
+
+fn main() {
+    let mut opts = cli::from_env();
+    if opts.dims == vec![6, 16, 32, 64] {
+        opts.dims = vec![16]; // the figure's dimension
+    }
+    let gpu = Gpu::new(figure_gpu_spec());
+    let mut tables = Vec::new();
+
+    for &dim in &opts.dims {
+        let mut table = Table::new(
+            &format!("Fig 9: SpMM cache size, dim={dim}"),
+            &["cache=128", "cache=32"],
+        );
+        for spec in runner::selected_specs(&opts) {
+            let ld = runner::load(&spec, opts.scale);
+            let cells = [128usize, 32]
+                .iter()
+                .map(|&cache| {
+                    let k = GnnOneSpmm::new(
+                        Arc::clone(&ld.graph),
+                        GnnOneConfig {
+                            cache_size: cache,
+                            ..Default::default()
+                        },
+                    );
+                    runner::run_spmm(&gpu, &k, &ld, dim)
+                })
+                .collect();
+            table.push_row(spec.id, cells);
+        }
+        table.print();
+        println!("(paper: 1.31x average for 128 over 32)");
+        tables.push(table);
+    }
+
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig9_cache_size.json".into());
+    report::write_json(&out, &tables).expect("write results");
+    println!("wrote {out}");
+}

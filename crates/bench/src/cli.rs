@@ -1,0 +1,129 @@
+//! Minimal command-line parsing shared by the figure binaries (kept
+//! dependency-free on purpose — the binaries take four well-known flags).
+
+use gnnone_sparse::datasets::Scale;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Dataset scale (`--scale tiny|small|medium`, default small).
+    pub scale: Scale,
+    /// Feature lengths to sweep (`--dims 6,16,32,64`).
+    pub dims: Vec<usize>,
+    /// Dataset IDs to run (`--datasets G0,G3,G10`), empty = all.
+    pub datasets: Vec<String>,
+    /// Training epochs (`--epochs 200`).
+    pub epochs: usize,
+    /// Output JSON path (`--out results/figN.json`).
+    pub out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            dims: vec![6, 16, 32, 64],
+            datasets: Vec::new(),
+            epochs: 200,
+            out: None,
+        }
+    }
+}
+
+/// Parses `std::env::args`-style flags (everything after the binary name).
+///
+/// # Panics
+/// On malformed flag values — these binaries are developer tools and fail
+/// loudly.
+pub fn parse(args: impl Iterator<Item = String>) -> Options {
+    let mut opts = Options::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {what}"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = match take("--scale").to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => panic!("unknown scale {other} (tiny|small|medium)"),
+                }
+            }
+            "--dims" => {
+                opts.dims = take("--dims")
+                    .split(',')
+                    .map(|d| d.trim().parse().expect("dims must be integers"))
+                    .collect();
+            }
+            "--datasets" => {
+                opts.datasets = take("--datasets")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--epochs" => {
+                opts.epochs = take("--epochs").parse().expect("epochs must be an integer");
+            }
+            "--out" => opts.out = Some(take("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
+                     --datasets G0,G3  --epochs N  --out results/fig.json"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (see --help)"),
+        }
+    }
+    opts
+}
+
+/// Parses the process arguments (skipping the binary name).
+pub fn from_env() -> Options {
+    parse(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(argv(""));
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.dims, vec![6, 16, 32, 64]);
+        assert!(o.datasets.is_empty());
+        assert_eq!(o.epochs, 200);
+    }
+
+    #[test]
+    fn full_flags() {
+        let o = parse(argv(
+            "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json",
+        ));
+        assert_eq!(o.scale, Scale::Tiny);
+        assert_eq!(o.dims, vec![16, 32]);
+        assert_eq!(o.datasets, vec!["G0", "G3"]);
+        assert_eq!(o.epochs, 10);
+        assert_eq!(o.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_panics() {
+        parse(argv("--scale huge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(argv("--frobnicate"));
+    }
+}

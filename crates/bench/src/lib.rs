@@ -1,0 +1,35 @@
+//! # gnnone-bench — the figure/table reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5); each prints
+//! the same rows/series the paper reports and writes a JSON record under
+//! `results/`. Shared plumbing lives here:
+//!
+//! * [`cli`] — tiny flag parser (`--scale`, `--dims`, `--datasets`,
+//!   `--epochs`, `--out`);
+//! * [`runner`] — dataset loading, deterministic feature generation,
+//!   kernel sweeps, speedup aggregation;
+//! * [`report`] — fixed-width table printing and JSON output.
+//!
+//! ## Device scaling
+//!
+//! Figures run on [`gnnone_sim::GpuSpec::a100_scaled`]`(4)` — an A100 with
+//! a quarter of the SMs and bandwidth but identical per-SM behaviour —
+//! because the synthetic datasets are themselves scaled down ~64–1000×
+//! from the paper's. This keeps the device in the saturated regime the
+//! paper's 100M-edge graphs put the real A100 in. See DESIGN.md.
+
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+use gnnone_sim::GpuSpec;
+
+/// Device spec used by all figure binaries.
+pub fn figure_gpu_spec() -> GpuSpec {
+    GpuSpec::a100_scaled(4)
+}
+
+/// Paper-scale vertex threshold past which Sputnik and cuSPARSE SDDMM
+/// error out (§5.1: "encountered errors when |V| exceeds … around 2
+/// Million").
+pub const SDDMM_VERTEX_ERROR_THRESHOLD: u64 = 2_000_000;

@@ -1,0 +1,184 @@
+//! Table printing and JSON result records.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// One measurement cell: simulated milliseconds or a failure tag.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub enum Cell {
+    /// Simulated time in milliseconds.
+    Ms(f64),
+    /// The system failed as the paper reports (OOM, grid overflow, crash).
+    Err(String),
+}
+
+impl Cell {
+    /// Milliseconds if the run succeeded.
+    pub fn ms(&self) -> Option<f64> {
+        match self {
+            Cell::Ms(v) => Some(*v),
+            Cell::Err(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Ms(v) => write!(f, "{v:.3}"),
+            Cell::Err(tag) => write!(f, "{tag}"),
+        }
+    }
+}
+
+/// A figure's result set: rows = datasets, cols = systems.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Figure/table identifier ("fig3-dim32").
+    pub title: String,
+    /// Column headers (system names), first column is the reference.
+    pub systems: Vec<String>,
+    /// Row labels (dataset IDs).
+    pub rows: Vec<String>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, systems: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            systems: systems.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: &str, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.systems.len());
+        self.rows.push(label.to_string());
+        self.cells.push(cells);
+    }
+
+    /// Speedup of column 0 (the reference system) over column `col` for
+    /// each row where both succeeded.
+    pub fn speedups_vs(&self, col: usize) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (r, row) in self.cells.iter().enumerate() {
+            if let (Some(base), Some(other)) = (row[0].ms(), row[col].ms()) {
+                if base > 0.0 {
+                    out.push((self.rows[r].clone(), other / base));
+                }
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of the speedups of column 0 over column `col`.
+    pub fn geomean_speedup_vs(&self, col: usize) -> Option<f64> {
+        let sp = self.speedups_vs(col);
+        if sp.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = sp.iter().map(|(_, s)| s.ln()).sum();
+        Some((log_sum / sp.len() as f64).exp())
+    }
+
+    /// Arithmetic mean of the speedups (what the paper's averages use).
+    pub fn mean_speedup_vs(&self, col: usize) -> Option<f64> {
+        let sp = self.speedups_vs(col);
+        if sp.is_empty() {
+            return None;
+        }
+        Some(sp.iter().map(|(_, s)| s).sum::<f64>() / sp.len() as f64)
+    }
+
+    /// Prints as a fixed-width text table with a speedup summary.
+    pub fn print(&self) {
+        println!("\n=== {} (simulated ms; lower is better) ===", self.title);
+        print!("{:<10}", "dataset");
+        for s in &self.systems {
+            print!("{s:>14}");
+        }
+        println!();
+        for (r, row) in self.cells.iter().enumerate() {
+            print!("{:<10}", self.rows[r]);
+            for c in row {
+                print!("{:>14}", c.to_string());
+            }
+            println!();
+        }
+        for col in 1..self.systems.len() {
+            if let (Some(mean), Some(geo)) =
+                (self.mean_speedup_vs(col), self.geomean_speedup_vs(col))
+            {
+                let sp = self.speedups_vs(col);
+                let min = sp.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+                let max = sp.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+                println!(
+                    "  {} vs {}: mean {:.2}x  geomean {:.2}x  min {:.2}x  max {:.2}x",
+                    self.systems[0], self.systems[col], mean, geo, min, max
+                );
+            }
+        }
+    }
+}
+
+/// Writes any serializable record as pretty JSON, creating parent dirs.
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(value).expect("serialization cannot fail");
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("test", &["GnnOne", "Slowpoke"]);
+        t.push_row("G0", vec![Cell::Ms(1.0), Cell::Ms(4.0)]);
+        t.push_row("G1", vec![Cell::Ms(2.0), Cell::Ms(2.0)]);
+        t.push_row("G2", vec![Cell::Ms(1.0), Cell::Err("OOM".into())]);
+        t
+    }
+
+    #[test]
+    fn speedups_skip_failures() {
+        let t = table();
+        let sp = t.speedups_vs(1);
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp[0].1, 4.0);
+        assert_eq!(sp[1].1, 1.0);
+    }
+
+    #[test]
+    fn means() {
+        let t = table();
+        assert_eq!(t.mean_speedup_vs(1).unwrap(), 2.5);
+        assert!((t.geomean_speedup_vs(1).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Ms(1.5).to_string(), "1.500");
+        assert_eq!(Cell::Err("OOM".into()).to_string(), "OOM");
+        assert_eq!(Cell::Err("OOM".into()).ms(), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = table();
+        let path = std::env::temp_dir().join("gnnone_test_table.json");
+        write_json(path.to_str().unwrap(), &t).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("Slowpoke"));
+        std::fs::remove_file(path).ok();
+    }
+}

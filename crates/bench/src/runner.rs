@@ -1,0 +1,174 @@
+//! Shared sweep machinery for the figure binaries.
+
+use std::sync::Arc;
+
+use gnnone_kernels::graph::GraphData;
+use gnnone_sim::{DeviceBuffer, Gpu};
+use gnnone_sparse::datasets::{table1, Dataset, DatasetSpec, Scale};
+
+use crate::cli::Options;
+use crate::report::Cell;
+
+/// Datasets selected by the options, in Table 1 order.
+pub fn selected_specs(opts: &Options) -> Vec<DatasetSpec> {
+    let all = table1();
+    if opts.datasets.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|s| {
+                opts.datasets
+                    .iter()
+                    .any(|want| s.id.eq_ignore_ascii_case(want))
+            })
+            .collect()
+    }
+}
+
+/// A loaded dataset with device-resident graph tensors.
+pub struct LoadedDataset {
+    /// Table 1 spec.
+    pub spec: DatasetSpec,
+    /// Realized analogue.
+    pub dataset: Dataset,
+    /// Device graph.
+    pub graph: Arc<GraphData>,
+}
+
+/// Generates and uploads one dataset.
+pub fn load(spec: &DatasetSpec, scale: Scale) -> LoadedDataset {
+    let dataset = Dataset::generate(spec, scale);
+    let graph = Arc::new(GraphData::new(dataset.coo.clone()));
+    LoadedDataset {
+        spec: spec.clone(),
+        dataset,
+        graph,
+    }
+}
+
+/// Deterministic pseudo-random vertex features (`|V| × f`), matching the
+/// GNNBench practice of generated features for unlabeled datasets (§5.3).
+pub fn vertex_features(num_vertices: usize, f: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..num_vertices * f)
+        .map(|_| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            ((bits >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random edge values (`|E|`).
+pub fn edge_values(nnz: usize, seed: u64) -> Vec<f32> {
+    vertex_features(nnz, 1, seed ^ 0xeeee)
+}
+
+/// Runs one SDDMM system on a loaded dataset, returning a [`Cell`].
+pub fn run_sddmm(
+    gpu: &Gpu,
+    kernel: &dyn gnnone_kernels::traits::SddmmKernel,
+    ld: &LoadedDataset,
+    f: usize,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = DeviceBuffer::from_slice(&vertex_features(n, f, 11));
+    let y = DeviceBuffer::from_slice(&vertex_features(n, f, 13));
+    let w = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
+    match kernel.run(gpu, &x, &y, f, &w) {
+        Ok(report) => Cell::Ms(report.time_ms),
+        Err(e) => Cell::Err(short_error(&e)),
+    }
+}
+
+/// Runs one SpMM system on a loaded dataset.
+pub fn run_spmm(
+    gpu: &Gpu,
+    kernel: &dyn gnnone_kernels::traits::SpmmKernel,
+    ld: &LoadedDataset,
+    f: usize,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = DeviceBuffer::from_slice(&vertex_features(n, f, 17));
+    let w = DeviceBuffer::from_slice(&edge_values(ld.graph.nnz(), 19));
+    let y = DeviceBuffer::<f32>::zeros(n * f);
+    match kernel.run(gpu, &w, &x, f, &y) {
+        Ok(report) => Cell::Ms(report.time_ms),
+        Err(e) => Cell::Err(short_error(&e)),
+    }
+}
+
+/// Runs one SpMV system on a loaded dataset.
+pub fn run_spmv(
+    gpu: &Gpu,
+    kernel: &dyn gnnone_kernels::traits::SpmvKernel,
+    ld: &LoadedDataset,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = DeviceBuffer::from_slice(&vertex_features(n, 1, 23));
+    let w = DeviceBuffer::from_slice(&edge_values(ld.graph.nnz(), 29));
+    let y = DeviceBuffer::<f32>::zeros(n);
+    match kernel.run(gpu, &w, &x, &y) {
+        Ok(report) => Cell::Ms(report.time_ms),
+        Err(e) => Cell::Err(short_error(&e)),
+    }
+}
+
+fn short_error(e: &gnnone_sim::engine::LaunchError) -> String {
+    use gnnone_sim::engine::LaunchError::*;
+    match e {
+        Unlaunchable { .. } => "CRASH".to_string(),
+        GridTooLarge { .. } => "ERR".to_string(),
+        OutOfMemory { .. } => "OOM".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure_gpu_spec;
+    use gnnone_kernels::registry;
+    use gnnone_sparse::datasets::by_id;
+
+    #[test]
+    fn selected_specs_filters() {
+        let mut opts = Options::default();
+        assert_eq!(selected_specs(&opts).len(), 19);
+        opts.datasets = vec!["g0".into(), "G10".into()];
+        let sel = selected_specs(&opts);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[1].id, "G10");
+    }
+
+    #[test]
+    fn features_are_deterministic_and_centered() {
+        let a = vertex_features(100, 4, 5);
+        let b = vertex_features(100, 4, 5);
+        assert_eq!(a, b);
+        let mean: f32 = a.iter().sum::<f32>() / a.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(a.iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn end_to_end_sweep_cell() {
+        let spec = by_id("G0").unwrap();
+        let ld = load(&spec, Scale::Tiny);
+        let gpu = Gpu::new(figure_gpu_spec());
+        for k in registry::sddmm_kernels(&ld.graph) {
+            let cell = run_sddmm(&gpu, k.as_ref(), &ld, 16);
+            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+        }
+        for k in registry::spmm_kernels(&ld.graph) {
+            let cell = run_spmm(&gpu, k.as_ref(), &ld, 16);
+            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+        }
+        for k in registry::spmv_kernels(&ld.graph) {
+            let cell = run_spmv(&gpu, k.as_ref(), &ld);
+            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+        }
+    }
+}

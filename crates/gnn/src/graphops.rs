@@ -1,0 +1,661 @@
+//! Autograd graph ops backed by the simulated sparse kernels.
+//!
+//! The paper's observation that SDDMM and SpMM are *the* basic building
+//! blocks (§1, §2) is realized here literally:
+//!
+//! * `spmm` forward launches the system's SpMM kernel;
+//! * its backward launches **SpMM over `Aᵀ`** (for `∂X`) and **SDDMM**
+//!   (for `∂W` when edge weights are trainable, e.g. GAT's attention);
+//! * `u_add_v` and `edge_softmax` are the edge-level SDDMM *variants*
+//!   attention GNNs add (§4.3, *Format Selection*); they execute on the
+//!   host with their device cost charged as edge-parallel passes (fused
+//!   into the attention pipeline under dgNN).
+//!
+//! Every simulated launch adds its `KernelReport` cycles to the context's
+//! [`crate::timing::SimClock`], which is what the Fig. 6/7 end-to-end
+//! timings read out.
+
+use std::rc::Rc;
+
+use gnnone_sim::DeviceBuffer;
+use gnnone_tensor::{BackwardOp, Tape, Tensor, VarId};
+
+use crate::systems::GnnContext;
+
+/// Launches the context's SpMM over `A`, charging the clock.
+fn launch_spmm(ctx: &GnnContext, w: &Tensor, x: &Tensor, f: usize) -> Tensor {
+    let dw = DeviceBuffer::from_slice(w.data());
+    let dx = DeviceBuffer::from_slice(x.data());
+    let dy = DeviceBuffer::<f32>::zeros(ctx.num_vertices() * f);
+    let report = ctx
+        .spmm
+        .run(&ctx.gpu, &dw, &dx, f, &dy)
+        .expect("SpMM launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    Tensor::from_vec(ctx.num_vertices(), f, dy.to_vec())
+}
+
+/// Launches SpMM over `Aᵀ` with edge weights given in `A`'s order.
+fn launch_spmm_t(ctx: &GnnContext, w_in_a_order: &Tensor, x: &Tensor, f: usize) -> Tensor {
+    let perm = &ctx.t_perm;
+    let wt: Vec<f32> = perm
+        .iter()
+        .map(|&i| w_in_a_order.data()[i as usize])
+        .collect();
+    let dw = DeviceBuffer::from_slice(&wt);
+    let dx = DeviceBuffer::from_slice(x.data());
+    let dy = DeviceBuffer::<f32>::zeros(ctx.num_vertices() * f);
+    let report = ctx
+        .spmm_t
+        .run(&ctx.gpu, &dw, &dx, f, &dy)
+        .expect("transposed SpMM launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    Tensor::from_vec(ctx.num_vertices(), f, dy.to_vec())
+}
+
+/// Launches the context's SDDMM over `A`, charging the clock.
+fn launch_sddmm(ctx: &GnnContext, x: &Tensor, y: &Tensor, f: usize) -> Tensor {
+    let dx = DeviceBuffer::from_slice(x.data());
+    let dy = DeviceBuffer::from_slice(y.data());
+    let dw = DeviceBuffer::<f32>::zeros(ctx.nnz());
+    let report = ctx
+        .sddmm
+        .run(&ctx.gpu, &dx, &dy, f, &dw)
+        .expect("SDDMM launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    Tensor::from_vec(ctx.nnz(), 1, dw.to_vec())
+}
+
+struct SpmmBackward {
+    ctx: Rc<GnnContext>,
+    f: usize,
+    /// Whether parent 0 (edge weights) needs a gradient.
+    weights_need_grad: bool,
+}
+
+impl BackwardOp for SpmmBackward {
+    fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
+        let w = &inputs[0];
+        let x = &inputs[1];
+        // ∂X = SpMM(Aᵀ, w, grad) — the backward SpMM of §1.
+        let dx = launch_spmm_t(&self.ctx, w, grad, self.f);
+        // ∂W = SDDMM(A, grad, X) — backward calls SDDMM, as the paper says.
+        let dw = if self.weights_need_grad {
+            Some(launch_sddmm(&self.ctx, grad, x, self.f))
+        } else {
+            None
+        };
+        vec![dw, Some(dx)]
+    }
+
+    fn name(&self) -> &'static str {
+        "spmm"
+    }
+}
+
+/// `y = A · x` with trainable edge weights `w` (a `|E| × 1` variable, e.g.
+/// GAT attention coefficients).
+pub fn spmm(ctx: &Rc<GnnContext>, tape: &mut Tape, w: VarId, x: VarId) -> VarId {
+    let f = tape.value(x).cols();
+    assert_eq!(tape.value(w).rows(), ctx.nnz(), "edge weights must be |E|×1");
+    let value = launch_spmm(ctx, tape.value(w), tape.value(x), f);
+    tape.push_op(
+        value,
+        vec![w, x],
+        Box::new(SpmmBackward {
+            ctx: Rc::clone(ctx),
+            f,
+            weights_need_grad: true,
+        }),
+    )
+}
+
+/// `y = A · x` with constant edge weights (GCN's symmetric normalization,
+/// GIN's all-ones adjacency). The weights are registered as a no-grad leaf.
+pub fn spmm_const(ctx: &Rc<GnnContext>, tape: &mut Tape, w: &Tensor, x: VarId) -> VarId {
+    let f = tape.value(x).cols();
+    assert_eq!(w.rows(), ctx.nnz(), "edge weights must be |E|×1");
+    let w_leaf = tape.leaf(w.clone(), false);
+    let value = launch_spmm(ctx, w, tape.value(x), f);
+    tape.push_op(
+        value,
+        vec![w_leaf, x],
+        Box::new(SpmmBackward {
+            ctx: Rc::clone(ctx),
+            f,
+            weights_need_grad: false,
+        }),
+    )
+}
+
+/// Charges one edge-parallel host-modelled pass (`u_add_v`, softmax steps).
+fn charge_edge_pass(ctx: &GnnContext, passes: u64) {
+    let bytes = (ctx.nnz() as u64) * 16 * passes;
+    let flops = (ctx.nnz() as u64) * passes;
+    let mut clock = ctx.clock.borrow_mut();
+    if ctx.fused_edge_ops {
+        clock.charge_fused(flops, bytes / 2);
+    } else {
+        clock.charge_dense(flops, bytes);
+    }
+}
+
+/// Launches a simulated SpMV to reduce an edge tensor to vertex level:
+/// `out[r] = Σ_{e ∈ row r} w[e]` over `graph` (pass `graph_t` + permuted
+/// weights for the column-side reduction).
+fn launch_edge_reduce(
+    ctx: &GnnContext,
+    graph: &std::sync::Arc<gnnone_kernels::graph::GraphData>,
+    w: &[f32],
+) -> Tensor {
+    use gnnone_kernels::traits::SpmvKernel;
+    let kernel = gnnone_kernels::gnnone::GnnOneSpmv::new(std::sync::Arc::clone(graph));
+    let ones = DeviceBuffer::from_slice(&vec![1.0f32; graph.num_vertices()]);
+    let dw = DeviceBuffer::from_slice(w);
+    let dy = DeviceBuffer::<f32>::zeros(graph.num_vertices());
+    let report = kernel
+        .run(&ctx.gpu, &dw, &ones, &dy)
+        .expect("edge-reduce SpMV launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    Tensor::from_vec(graph.num_vertices(), 1, dy.to_vec())
+}
+
+struct UAddVBackward {
+    ctx: Rc<GnnContext>,
+}
+
+impl BackwardOp for UAddVBackward {
+    fn backward(&self, grad: &Tensor, _inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
+        // ∂el[r] = Σ_{row(e)=r} g[e] and ∂er[c] = Σ_{col(e)=c} g[e]: two
+        // edge→vertex reductions = simulated SpMVs over A and Aᵀ with the
+        // incoming gradient as edge values and x ≡ 1.
+        let del = launch_edge_reduce(&self.ctx, &self.ctx.graph, grad.data());
+        let gt: Vec<f32> = self
+            .ctx
+            .t_perm
+            .iter()
+            .map(|&i| grad.data()[i as usize])
+            .collect();
+        let der = launch_edge_reduce(&self.ctx, &self.ctx.graph_t, &gt);
+        vec![Some(del), Some(der)]
+    }
+
+    fn name(&self) -> &'static str {
+        "u_add_v"
+    }
+}
+
+/// GAT attention logits: `e[(u,v)] = el[u] + er[v]` — the `u_add_v` SDDMM
+/// variant (§4.3), executed by its own edge-parallel two-stage kernel.
+/// `el`/`er` are `|V| × 1`.
+pub fn u_add_v(ctx: &Rc<GnnContext>, tape: &mut Tape, el: VarId, er: VarId) -> VarId {
+    let elv = tape.value(el);
+    let erv = tape.value(er);
+    assert_eq!(elv.rows(), ctx.num_vertices());
+    assert_eq!(erv.rows(), ctx.num_vertices());
+    let d_el = DeviceBuffer::from_slice(elv.data());
+    let d_er = DeviceBuffer::from_slice(erv.data());
+    let dw = DeviceBuffer::<f32>::zeros(ctx.nnz());
+    let kernel =
+        gnnone_kernels::gnnone::GnnOneUAddV::new(std::sync::Arc::clone(&ctx.graph));
+    let report = kernel
+        .run(&ctx.gpu, &d_el, &d_er, &dw)
+        .expect("u_add_v launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    tape.push_op(
+        Tensor::from_vec(ctx.nnz(), 1, dw.to_vec()),
+        vec![el, er],
+        Box::new(UAddVBackward { ctx: Rc::clone(ctx) }),
+    )
+}
+
+struct EdgeSoftmaxBackward {
+    ctx: Rc<GnnContext>,
+    alpha: Tensor,
+}
+
+impl BackwardOp for EdgeSoftmaxBackward {
+    fn backward(&self, grad: &Tensor, _inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
+        let csr = &self.ctx.graph.csr;
+        let mut out = Tensor::zeros(grad.rows(), 1);
+        for r in 0..csr.num_rows() {
+            let range = csr.row_range(r);
+            let dot: f32 = range
+                .clone()
+                .map(|e| self.alpha.data()[e] * grad.data()[e])
+                .sum();
+            for e in range {
+                out.data_mut()[e] =
+                    self.alpha.data()[e] * (grad.data()[e] - dot);
+            }
+        }
+        charge_edge_pass(&self.ctx, 2);
+        vec![Some(out)]
+    }
+
+    fn name(&self) -> &'static str {
+        "edge_softmax"
+    }
+}
+
+/// Row-wise softmax over each vertex's incident edges — GAT's attention
+/// normalization. Input and output are `|E| × 1` in `A`'s NZE order.
+pub fn edge_softmax(ctx: &Rc<GnnContext>, tape: &mut Tape, logits: VarId) -> VarId {
+    let csr = &ctx.graph.csr;
+    let lv = tape.value(logits);
+    assert_eq!(lv.rows(), ctx.nnz());
+    let mut alpha = Tensor::zeros(ctx.nnz(), 1);
+    for r in 0..csr.num_rows() {
+        let range = csr.row_range(r);
+        if range.is_empty() {
+            continue;
+        }
+        let max = range
+            .clone()
+            .map(|e| lv.data()[e])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for e in range.clone() {
+            let v = (lv.data()[e] - max).exp();
+            alpha.data_mut()[e] = v;
+            sum += v;
+        }
+        for e in range {
+            alpha.data_mut()[e] /= sum;
+        }
+    }
+    charge_edge_pass(ctx, 3);
+    let alpha_saved = alpha.clone();
+    tape.push_op(
+        alpha,
+        vec![logits],
+        Box::new(EdgeSoftmaxBackward {
+            ctx: Rc::clone(ctx),
+            alpha: alpha_saved,
+        }),
+    )
+}
+
+// ---------------------------------------------------------------- GAT
+
+/// The full GAT attention step:
+/// `y[r] = Σ_c softmax_r(LeakyReLU(el[r] + er[c])) · z[c]`.
+///
+/// Dispatches on the system: GNNOne/DGL compose the unfused pipeline
+/// (`u_add_v` → LeakyReLU → `edge_softmax` → SpMM, each a launch); dgNN
+/// runs the **fused attention kernel** — one launch, no edge tensors in
+/// device memory — which is how the real dgNN earns its Fig. 6 standing.
+pub fn gat_attention(
+    ctx: &Rc<GnnContext>,
+    tape: &mut Tape,
+    el: VarId,
+    er: VarId,
+    z: VarId,
+    slope: f32,
+) -> VarId {
+    if !ctx.fused_edge_ops {
+        let raw = u_add_v(ctx, tape, el, er);
+        let logits = gnnone_tensor::ops::leaky_relu(tape, raw, slope);
+        let alpha = edge_softmax(ctx, tape, logits);
+        return spmm(ctx, tape, alpha, z);
+    }
+    // Fused path: one simulated launch produces y and keeps α for backward.
+    let f = tape.value(z).cols();
+    let n = ctx.num_vertices();
+    let dz = DeviceBuffer::from_slice(tape.value(z).data());
+    let del = DeviceBuffer::from_slice(tape.value(el).data());
+    let der = DeviceBuffer::from_slice(tape.value(er).data());
+    let dy = DeviceBuffer::<f32>::zeros(n * f);
+    let dalpha = DeviceBuffer::<f32>::zeros(ctx.nnz());
+    let kernel =
+        gnnone_kernels::gnnone::FusedGatAttention::new(std::sync::Arc::clone(&ctx.graph), slope);
+    let report = kernel
+        .run(&ctx.gpu, &dz, &del, &der, f, &dy, Some(&dalpha))
+        .expect("fused GAT launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    let alpha = Tensor::from_vec(ctx.nnz(), 1, dalpha.to_vec());
+    let value = Tensor::from_vec(n, f, dy.to_vec());
+    tape.push_op(
+        value,
+        vec![el, er, z],
+        Box::new(FusedGatBackward {
+            ctx: Rc::clone(ctx),
+            alpha,
+            slope,
+            f,
+        }),
+    )
+}
+
+struct FusedGatBackward {
+    ctx: Rc<GnnContext>,
+    alpha: Tensor,
+    slope: f32,
+    f: usize,
+}
+
+impl BackwardOp for FusedGatBackward {
+    fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
+        let (el, er, z) = (&inputs[0], &inputs[1], &inputs[2]);
+        let coo = &self.ctx.graph.coo;
+        let csr = &self.ctx.graph.csr;
+        // ∂z from the aggregation: SpMM(Aᵀ, α, grad) — a simulated launch
+        // (dgNN's backward aggregation kernel).
+        let dz = launch_spmm_t(&self.ctx, &self.alpha, grad, self.f);
+        // ∂α = SDDMM(A, grad, z) — the other simulated launch.
+        let dalpha = launch_sddmm(&self.ctx, grad, z, self.f);
+        // Softmax + LeakyReLU backward, fused as edge passes.
+        let mut dlogit = Tensor::zeros(coo.nnz(), 1);
+        for r in 0..csr.num_rows() {
+            let range = csr.row_range(r);
+            let dot: f32 = range
+                .clone()
+                .map(|e| self.alpha.data()[e] * dalpha.data()[e])
+                .sum();
+            for e in range {
+                dlogit.data_mut()[e] = self.alpha.data()[e] * (dalpha.data()[e] - dot);
+            }
+        }
+        let n = self.ctx.num_vertices();
+        let mut del = Tensor::zeros(n, 1);
+        let mut der = Tensor::zeros(n, 1);
+        for e in 0..coo.nnz() {
+            let r = coo.rows()[e] as usize;
+            let c = coo.cols()[e] as usize;
+            let raw = el.data()[r] + er.data()[c];
+            let g = dlogit.data()[e] * if raw > 0.0 { 1.0 } else { self.slope };
+            del.data_mut()[r] += g;
+            der.data_mut()[c] += g;
+        }
+        charge_edge_pass(&self.ctx, 3);
+        vec![Some(del), Some(der), Some(dz)]
+    }
+
+    fn name(&self) -> &'static str {
+        "fused_gat"
+    }
+}
+
+/// GCN symmetric normalization weights `1/√(d_u · d_v)` per edge, with
+/// degrees counted on `A + I` semantics (degree floored at 1).
+pub fn gcn_norm_weights(ctx: &GnnContext) -> Tensor {
+    let coo = &ctx.graph.coo;
+    let deg = coo.degrees();
+    let data: Vec<f32> = (0..coo.nnz())
+        .map(|e| {
+            let du = deg[coo.rows()[e] as usize].max(1) as f32;
+            let dv = deg[coo.cols()[e] as usize].max(1) as f32;
+            1.0 / (du * dv).sqrt()
+        })
+        .collect();
+    Tensor::from_vec(coo.nnz(), 1, data)
+}
+
+/// All-ones edge weights (GIN's plain sum aggregation).
+pub fn ones_weights(ctx: &GnnContext) -> Tensor {
+    Tensor::from_vec(ctx.nnz(), 1, vec![1.0; ctx.nnz()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::SystemKind;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+    use gnnone_tensor::ops;
+
+    fn ctx(system: SystemKind) -> Rc<GnnContext> {
+        let el = gen::rmat(6, 300, gen::GRAPH500_PROBS, 9).symmetrize();
+        Rc::new(GnnContext::new(
+            system,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ))
+    }
+
+    #[test]
+    fn spmm_forward_matches_reference() {
+        for system in [SystemKind::GnnOne, SystemKind::Dgl] {
+            let c = ctx(system);
+            let f = 8;
+            let mut tape = Tape::new();
+            let x0 = Tensor::from_vec(
+                c.num_vertices(),
+                f,
+                (0..c.num_vertices() * f).map(|i| (i % 7) as f32 * 0.3).collect(),
+            );
+            let x = tape.leaf(x0.clone(), true);
+            let w = gcn_norm_weights(&c);
+            let y = spmm_const(&c, &mut tape, &w, x);
+            let expected =
+                reference::spmm_csr(&c.graph.csr, w.data(), x0.data(), f);
+            reference::assert_close(tape.value(y).data(), &expected, 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmm_backward_dx_matches_transpose_reference() {
+        let c = ctx(SystemKind::GnnOne);
+        let f = 4;
+        let mut tape = Tape::new();
+        let x0 = Tensor::from_vec(
+            c.num_vertices(),
+            f,
+            (0..c.num_vertices() * f).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect(),
+        );
+        let x = tape.leaf(x0, true);
+        let w = ones_weights(&c);
+        let y = spmm_const(&c, &mut tape, &w, x);
+        let s = ops::sum(&mut tape, y);
+        let grads = tape.backward(s);
+        // d(sum A·x)/dx = Aᵀ · 1.
+        let ones = vec![1.0f32; c.num_vertices() * f];
+        let wt: Vec<f32> = c.t_perm.iter().map(|&i| w.data()[i as usize]).collect();
+        let expected = reference::spmm_csr(&c.graph_t.csr, &wt, &ones, f);
+        reference::assert_close(grads[x].as_ref().unwrap().data(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn spmm_weight_gradient_is_sddmm() {
+        let c = ctx(SystemKind::GnnOne);
+        let f = 4;
+        let mut tape = Tape::new();
+        let x0 = Tensor::from_vec(
+            c.num_vertices(),
+            f,
+            (0..c.num_vertices() * f).map(|i| (i % 3) as f32 * 0.7).collect(),
+        );
+        let x = tape.leaf(x0.clone(), false);
+        let w = tape.leaf(ones_weights(&c), true);
+        let y = spmm(&c, &mut tape, w, x);
+        let s = ops::sum(&mut tape, y);
+        let grads = tape.backward(s);
+        // dW[e] = grad_y[row]·x[col] with grad_y = 1.
+        let ones = vec![1.0f32; c.num_vertices() * f];
+        let expected = reference::sddmm_coo(&c.graph.coo, &ones, x0.data(), f);
+        reference::assert_close(grads[w].as_ref().unwrap().data(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn edge_softmax_rows_sum_to_one() {
+        let c = ctx(SystemKind::GnnOne);
+        let mut tape = Tape::new();
+        let logits = tape.leaf(
+            Tensor::from_vec(c.nnz(), 1, (0..c.nnz()).map(|e| (e % 11) as f32 * 0.2).collect()),
+            true,
+        );
+        let alpha = edge_softmax(&c, &mut tape, logits);
+        let av = tape.value(alpha);
+        for r in 0..c.graph.csr.num_rows() {
+            let range = c.graph.csr.row_range(r);
+            if range.is_empty() {
+                continue;
+            }
+            let sum: f32 = range.map(|e| av.data()[e]).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn edge_softmax_gradient_finite_difference() {
+        // Small deterministic graph for a tight FD check.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ));
+        let l0 = Tensor::from_vec(4, 1, vec![0.3, -0.5, 0.9, 0.1]);
+        let f = |l: &Tensor| {
+            let mut tape = Tape::new();
+            let lid = tape.leaf(l.clone(), false);
+            let a = edge_softmax(&c, &mut tape, lid);
+            let sq = ops::mul(&mut tape, a, a);
+            let s = ops::sum(&mut tape, sq);
+            tape.value(s).item()
+        };
+        let mut tape = Tape::new();
+        let lid = tape.leaf(l0.clone(), true);
+        let a = edge_softmax(&c, &mut tape, lid);
+        let sq = ops::mul(&mut tape, a, a);
+        let s = ops::sum(&mut tape, sq);
+        let grads = tape.backward(s);
+        let ana = grads[lid].as_ref().unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = l0.clone();
+            lp.data_mut()[i] += eps;
+            let num = (f(&lp) - f(&l0)) / eps;
+            assert!(
+                (num - ana.data()[i]).abs() < 1e-2,
+                "dlogit[{i}]: {num} vs {}",
+                ana.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn u_add_v_forward_and_backward() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ));
+        let mut tape = Tape::new();
+        let elv = tape.leaf(Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]), true);
+        let erv = tape.leaf(Tensor::from_vec(3, 1, vec![10.0, 20.0, 30.0]), true);
+        let logits = u_add_v(&c, &mut tape, elv, erv);
+        // Edges in CSR order: (0,1), (1,2), (2,0).
+        assert_eq!(tape.value(logits).data(), &[21.0, 32.0, 13.0]);
+        let s = ops::sum(&mut tape, logits);
+        let grads = tape.backward(s);
+        // Each vertex is source of exactly 1 edge and dest of exactly 1.
+        assert_eq!(grads[elv].as_ref().unwrap().data(), &[1.0, 1.0, 1.0]);
+        assert_eq!(grads[erv].as_ref().unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn clock_accumulates_kernel_launches() {
+        let c = ctx(SystemKind::GnnOne);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(c.num_vertices(), 4), true);
+        let w = ones_weights(&c);
+        let y = spmm_const(&c, &mut tape, &w, x);
+        let s = ops::sum(&mut tape, y);
+        assert_eq!(c.clock.borrow().launches, 1); // forward SpMM
+        let _ = tape.backward(s);
+        // Backward added the transposed SpMM.
+        assert!(c.clock.borrow().launches >= 2);
+        assert!(c.clock.borrow().kernel_cycles > 0);
+        let _ = s;
+    }
+
+    #[test]
+    fn gcn_norm_weights_are_symmetric_normalized() {
+        let c = ctx(SystemKind::GnnOne);
+        let w = gcn_norm_weights(&c);
+        assert_eq!(w.rows(), c.nnz());
+        assert!(w.data().iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}
+
+#[cfg(test)]
+mod fused_tests {
+    use super::*;
+    use crate::systems::SystemKind;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+    use gnnone_tensor::ops;
+
+    fn setup(system: SystemKind) -> Rc<GnnContext> {
+        let el = gen::rmat(6, 300, gen::GRAPH500_PROBS, 77).symmetrize();
+        Rc::new(GnnContext::new(
+            system,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ))
+    }
+
+    fn run_attention(system: SystemKind) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let c = setup(system);
+        let n = c.num_vertices();
+        let f = 8;
+        let mut tape = Tape::new();
+        let z = tape.leaf(
+            Tensor::from_vec(n, f, (0..n * f).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect()),
+            true,
+        );
+        let el = tape.leaf(
+            Tensor::from_vec(n, 1, (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect()),
+            true,
+        );
+        let er = tape.leaf(
+            Tensor::from_vec(n, 1, (0..n).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect()),
+            true,
+        );
+        let y = gat_attention(&c, &mut tape, el, er, z, 0.2);
+        let out = tape.value(y).data().to_vec();
+        let s = ops::sum(&mut tape, y);
+        let grads = tape.backward(s);
+        (
+            out,
+            grads[z].as_ref().unwrap().data().to_vec(),
+            grads[el].as_ref().unwrap().data().to_vec(),
+            grads[er].as_ref().unwrap().data().to_vec(),
+        )
+    }
+
+    #[test]
+    fn fused_and_unfused_attention_agree_forward_and_backward() {
+        // dgNN's fused kernel must compute the same function — and the
+        // same gradients — as the unfused GNNOne pipeline.
+        let (y_u, dz_u, del_u, der_u) = run_attention(SystemKind::GnnOne);
+        let (y_f, dz_f, del_f, der_f) = run_attention(SystemKind::DgNn);
+        reference::assert_close(&y_f, &y_u, 1e-3);
+        reference::assert_close(&dz_f, &dz_u, 1e-3);
+        reference::assert_close(&del_f, &del_u, 1e-3);
+        reference::assert_close(&der_f, &der_u, 1e-3);
+    }
+
+    #[test]
+    fn fused_path_uses_fewer_launches() {
+        let count_launches = |system: SystemKind| {
+            let c = setup(system);
+            let n = c.num_vertices();
+            let f = 8;
+            let mut tape = Tape::new();
+            let z = tape.leaf(Tensor::zeros(n, f), true);
+            let el = tape.leaf(Tensor::zeros(n, 1), true);
+            let er = tape.leaf(Tensor::zeros(n, 1), true);
+            let _ = gat_attention(&c, &mut tape, el, er, z, 0.2);
+            let launches = c.clock.borrow().launches;
+            launches
+        };
+        assert!(count_launches(SystemKind::DgNn) < count_launches(SystemKind::GnnOne));
+    }
+}

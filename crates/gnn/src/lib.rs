@@ -1,0 +1,30 @@
+//! # gnnone-gnn — GNN models, training, and system configurations
+//!
+//! End-to-end GNN training on top of the simulated sparse kernels
+//! (paper §5.3):
+//!
+//! * [`graphops`] — autograd ops whose forward/backward launch the
+//!   *simulated* sparse kernels: SpMM's backward calls SpMM(Aᵀ) and SDDMM,
+//!   exactly the kernel interplay the paper builds on (§1);
+//! * [`models`] — GCN (2-layer, hidden 16), GIN (5-layer, hidden 64) and
+//!   GAT (5-layer, hidden 16), the paper's training workloads;
+//! * [`systems`] — the three systems compared in Figs. 5–7: **GNNOne**
+//!   (COO kernels), **DGL** (cuSPARSE SpMM + its own COO SDDMM, multiple
+//!   formats), **dgNN** (vertex-parallel dgSparse kernels with attention
+//!   fusion);
+//! * [`timing`] — the simulated clock: sparse-kernel launches accumulate
+//!   their `KernelReport` cycles, dense ops (linear/softmax/dropout — the
+//!   "rely on PyTorch" part) are charged through a roofline cost model;
+//! * [`train`] — the training loop (Adam, NLL loss, accuracy, masks);
+//! * [`memory`] — the paper-scale device-memory model behind the Fig. 7
+//!   OOM results.
+
+pub mod graphops;
+pub mod memory;
+pub mod models;
+pub mod systems;
+pub mod timing;
+pub mod train;
+
+pub use systems::{GnnContext, SystemKind};
+pub use train::{train_model, TrainConfig, TrainResult};

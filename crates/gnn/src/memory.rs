@@ -1,0 +1,183 @@
+//! Paper-scale device-memory model — the mechanism behind Fig. 7's OOM
+//! results ("GNNOne could train GCN on G17 due to memory saving enabled by
+//! keeping a single storage format, while DGL ran out of memory; for G16
+//! and G18 both systems ran out of memory").
+//!
+//! The estimate itemizes, at the *paper's* vertex/edge counts:
+//!
+//! * resident storage formats (GNNOne: COO only; DGL: COO + CSR + CSC);
+//! * input features and per-layer activations (+ gradients);
+//! * edge-level tensors (weights, attention, gradients);
+//! * DGL's known edge-message materialization in the backward pass of
+//!   weighted SpMM (`|E| × hidden` floats) — the dominant term that tips
+//!   uk-2002 over 40 GB under DGL but not under GNNOne;
+//! * optimizer state and a small framework-overhead factor.
+
+use crate::systems::SystemKind;
+use gnnone_sparse::datasets::DatasetSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which model the estimate is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// 2-layer GCN, hidden 16.
+    Gcn,
+    /// 5-layer GIN, hidden 64.
+    Gin,
+    /// 5-layer GAT, hidden 16.
+    Gat,
+}
+
+impl ModelKind {
+    /// (layers, hidden width) per the paper's §5.3 setup.
+    pub fn shape(&self) -> (u64, u64) {
+        match self {
+            ModelKind::Gcn => (2, 16),
+            ModelKind::Gin => (5, 64),
+            ModelKind::Gat => (5, 16),
+        }
+    }
+
+    /// Whether edge weights are trainable (GAT's attention) — adds
+    /// edge-level gradient tensors.
+    pub fn trainable_edge_weights(&self) -> bool {
+        matches!(self, ModelKind::Gat)
+    }
+}
+
+/// Itemized memory estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    /// (item, bytes) pairs.
+    pub items: Vec<(String, u64)>,
+    /// Total bytes including overhead factor.
+    pub total_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Whether the estimate fits a device of `device_bytes`.
+    pub fn fits(&self, device_bytes: u64) -> bool {
+        self.total_bytes <= device_bytes
+    }
+}
+
+/// Estimates training memory for `system` × `model` on a dataset at the
+/// paper's scale.
+pub fn estimate_training_bytes(
+    system: SystemKind,
+    model: ModelKind,
+    spec: &DatasetSpec,
+) -> MemoryEstimate {
+    let v = spec.paper_vertices;
+    let e = spec.paper_edges;
+    let f_in = spec.feature_len as u64;
+    let (layers, hidden) = model.shape();
+    let mut items: Vec<(String, u64)> = Vec::new();
+
+    // Storage formats.
+    for fmt in system.formats() {
+        let bytes = match *fmt {
+            "COO" => 8 * e,
+            "CSR" | "CSC" => 4 * e + 4 * (v + 1),
+            other => unreachable!("unknown format {other}"),
+        };
+        items.push((format!("format:{fmt}"), bytes));
+    }
+
+    // Input features (no gradient needed).
+    items.push(("features:input".into(), 4 * v * f_in));
+
+    // Activations + gradients per layer (value, grad, workspace).
+    items.push((
+        "activations+grads".into(),
+        3 * 4 * v * hidden * layers,
+    ));
+
+    // Edge-level tensors: weights always; logits/attention/grads for GAT.
+    let edge_tensors: u64 = if model.trainable_edge_weights() {
+        4 * layers // logits, alpha, dlogits, dalpha per layer (amortized 4×)
+    } else {
+        1
+    };
+    items.push(("edge tensors".into(), 4 * e * edge_tensors));
+
+    // DGL materializes |E| × hidden messages in weighted-SpMM backward.
+    if system == SystemKind::Dgl {
+        items.push(("DGL edge-message materialization".into(), 4 * e * hidden));
+    }
+
+    // Optimizer state (Adam: 2 moments + grads ≈ 3× weights) — weights are
+    // tiny relative to features.
+    let weight_elems = layers * hidden * (f_in.max(hidden) + hidden);
+    items.push(("weights+Adam".into(), 4 * weight_elems * 4));
+
+    let raw: u64 = items.iter().map(|(_, b)| b).sum();
+    // Allocator fragmentation + framework bookkeeping.
+    let total_bytes = (raw as f64 * 1.10) as u64;
+    MemoryEstimate { items, total_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sparse::datasets::by_id;
+
+    const A100_BYTES: u64 = 40 * 1024 * 1024 * 1024;
+
+    #[test]
+    fn fig7_gcn_oom_pattern() {
+        // G17 (uk-2002): GNNOne trains, DGL OOMs.
+        let g17 = by_id("G17").unwrap();
+        let one = estimate_training_bytes(SystemKind::GnnOne, ModelKind::Gcn, &g17);
+        let dgl = estimate_training_bytes(SystemKind::Dgl, ModelKind::Gcn, &g17);
+        assert!(one.fits(A100_BYTES), "GNNOne should fit G17: {one:?}");
+        assert!(!dgl.fits(A100_BYTES), "DGL should OOM on G17");
+
+        // G16 (kmer) and G18 (uk-2005): both OOM.
+        for id in ["G16", "G18"] {
+            let spec = by_id(id).unwrap();
+            let one = estimate_training_bytes(SystemKind::GnnOne, ModelKind::Gcn, &spec);
+            let dgl = estimate_training_bytes(SystemKind::Dgl, ModelKind::Gcn, &spec);
+            assert!(!one.fits(A100_BYTES), "{id}: GNNOne should OOM");
+            assert!(!dgl.fits(A100_BYTES), "{id}: DGL should OOM");
+        }
+    }
+
+    #[test]
+    fn mid_size_datasets_fit_both_systems() {
+        // LiveJournal, Reddit, orkut all train under both systems in Fig. 7.
+        for id in ["G13", "G14", "G15"] {
+            let spec = by_id(id).unwrap();
+            for system in [SystemKind::GnnOne, SystemKind::Dgl] {
+                let est = estimate_training_bytes(system, ModelKind::Gcn, &spec);
+                assert!(
+                    est.fits(A100_BYTES),
+                    "{id}/{}: {} GB should fit",
+                    system.name(),
+                    est.total_bytes / (1 << 30)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gnnone_always_uses_less_memory_than_dgl() {
+        for spec in gnnone_sparse::datasets::table1() {
+            for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat] {
+                let one = estimate_training_bytes(SystemKind::GnnOne, model, &spec);
+                let dgl = estimate_training_bytes(SystemKind::Dgl, model, &spec);
+                assert!(one.total_bytes < dgl.total_bytes, "{}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_itemize() {
+        let spec = by_id("G14").unwrap();
+        let est = estimate_training_bytes(SystemKind::Dgl, ModelKind::Gat, &spec);
+        assert!(est.items.iter().any(|(n, _)| n.starts_with("format:CSR")));
+        assert!(est.items.iter().any(|(n, _)| n.contains("materialization")));
+        let sum: u64 = est.items.iter().map(|(_, b)| b).sum();
+        assert!(est.total_bytes >= sum);
+    }
+}

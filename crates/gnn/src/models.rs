@@ -1,0 +1,563 @@
+//! The paper's training workloads (§5.3): 2-layer GCN (hidden 16),
+//! 5-layer GIN (hidden 64), 5-layer GAT (hidden 16).
+//!
+//! Models are define-by-run: `forward` replays the architecture onto a
+//! fresh tape each step, registering parameters as leaves and returning
+//! their ids so the trainer can route gradients to the optimizer. Dense
+//! ops charge the simulated clock with a forward+backward roofline cost
+//! (×3 of forward: one forward pass, two backward GEMMs), mirroring the
+//! PyTorch side both systems share.
+
+use std::rc::Rc;
+
+use gnnone_tensor::optim::Param;
+use gnnone_tensor::{init, ops, Tape, Tensor, VarId};
+
+use crate::graphops;
+use crate::systems::GnnContext;
+
+/// Output of a model forward pass.
+pub struct ForwardOutput {
+    /// Raw class logits (`|V| × C`).
+    pub logits: VarId,
+    /// Tape ids of the parameters, aligned with `params_mut()` order.
+    pub param_vars: Vec<VarId>,
+}
+
+/// A trainable GNN model.
+pub trait GnnModel {
+    /// Human-readable name ("GCN", "GIN", "GAT").
+    fn name(&self) -> &'static str;
+
+    /// Runs the forward pass for one step.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        training: bool,
+        step: u64,
+    ) -> ForwardOutput;
+
+    /// Mutable access to the parameters, in `param_vars` order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+}
+
+/// A linear layer `x·W + b`.
+struct Linear {
+    w: Param,
+    b: Param,
+}
+
+impl Linear {
+    fn new(fan_in: usize, fan_out: usize, seed: u64) -> Self {
+        Self {
+            w: Param::new(init::xavier_uniform(fan_in, fan_out, seed)),
+            b: Param::new(Tensor::zeros(1, fan_out)),
+        }
+    }
+
+    fn apply(
+        &self,
+        tape: &mut Tape,
+        ctx: &GnnContext,
+        collector: &mut Vec<VarId>,
+        x: VarId,
+    ) -> VarId {
+        let w = tape.leaf(self.w.value.clone(), true);
+        let b = tape.leaf(self.b.value.clone(), true);
+        collector.push(w);
+        collector.push(b);
+        let (n, k) = (tape.value(x).rows(), tape.value(x).cols());
+        let m = self.w.value.cols();
+        let z = ops::matmul(tape, x, w);
+        let out = ops::add_bias(tape, z, b);
+        // fwd GEMM + two bwd GEMMs.
+        let flops = 3 * (n * k * m) as u64;
+        let bytes = 3 * 4 * (n * k + k * m + n * m) as u64;
+        ctx.clock.borrow_mut().charge_dense(flops, bytes);
+        out
+    }
+
+    fn push_params<'a>(&'a mut self, out: &mut Vec<&'a mut Param>) {
+        out.push(&mut self.w);
+        out.push(&mut self.b);
+    }
+}
+
+/// Charges an element-wise activation/dropout pass on `n` values.
+fn charge_elementwise(ctx: &GnnContext, n: usize) {
+    ctx.clock.borrow_mut().charge_dense(3 * n as u64, 3 * 8 * n as u64);
+}
+
+// ------------------------------------------------------------------- GCN
+
+/// 2-layer GCN (Kipf & Welling) with symmetric normalization.
+pub struct Gcn {
+    l1: Linear,
+    l2: Linear,
+    dropout: f32,
+}
+
+impl Gcn {
+    /// GCN with the paper's shape: `input → 16 → classes`.
+    pub fn new(input_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        Self {
+            l1: Linear::new(input_dim, hidden, seed),
+            l2: Linear::new(hidden, classes, seed + 1),
+            dropout: 0.5,
+        }
+    }
+}
+
+impl GnnModel for Gcn {
+    fn name(&self) -> &'static str {
+        "GCN"
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        training: bool,
+        step: u64,
+    ) -> ForwardOutput {
+        let mut pv = Vec::new();
+        let norm = graphops::gcn_norm_weights(ctx);
+        let x = tape.leaf(x.clone(), false);
+        // Layer 1: Â (X W₁), ReLU, dropout.
+        let z1 = self.l1.apply(tape, ctx, &mut pv, x);
+        let a1 = graphops::spmm_const(ctx, tape, &norm, z1);
+        let h1 = ops::relu(tape, a1);
+        charge_elementwise(ctx, tape.value(h1).len());
+        let h1 = ops::dropout(tape, h1, self.dropout, training, step ^ 0x5eed);
+        // Layer 2: Â (H W₂).
+        let z2 = self.l2.apply(tape, ctx, &mut pv, h1);
+        let logits = graphops::spmm_const(ctx, tape, &norm, z2);
+        ForwardOutput {
+            logits,
+            param_vars: pv,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        self.l1.push_params(&mut out);
+        self.l2.push_params(&mut out);
+        out
+    }
+}
+
+// ------------------------------------------------------------------- GIN
+
+/// One GIN layer: `MLP((1 + ε)·h + Σ_neighbors h)` with a 2-layer MLP.
+struct GinLayer {
+    mlp1: Linear,
+    mlp2: Linear,
+    eps: f32,
+}
+
+/// 5-layer GIN (Xu et al.) with hidden width 64.
+pub struct Gin {
+    layers: Vec<GinLayer>,
+    classifier: Linear,
+}
+
+impl Gin {
+    /// GIN with the paper's shape: `num_layers` of hidden width `hidden`.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        let mut layers = Vec::new();
+        for i in 0..num_layers {
+            let fan_in = if i == 0 { input_dim } else { hidden };
+            layers.push(GinLayer {
+                mlp1: Linear::new(fan_in, hidden, seed + 10 * i as u64),
+                mlp2: Linear::new(hidden, hidden, seed + 10 * i as u64 + 5),
+                eps: 0.0,
+            });
+        }
+        Self {
+            layers,
+            classifier: Linear::new(hidden, classes, seed + 999),
+        }
+    }
+}
+
+impl GnnModel for Gin {
+    fn name(&self) -> &'static str {
+        "GIN"
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        _training: bool,
+        _step: u64,
+    ) -> ForwardOutput {
+        let mut pv = Vec::new();
+        let ones = graphops::ones_weights(ctx);
+        let mut h = tape.leaf(x.clone(), false);
+        for layer in &self.layers {
+            let agg = graphops::spmm_const(ctx, tape, &ones, h);
+            let selfed = ops::scale(tape, h, 1.0 + layer.eps);
+            let s = ops::add(tape, agg, selfed);
+            charge_elementwise(ctx, tape.value(s).len());
+            let m1 = layer.mlp1.apply(tape, ctx, &mut pv, s);
+            let r1 = ops::relu(tape, m1);
+            charge_elementwise(ctx, tape.value(r1).len());
+            let m2 = layer.mlp2.apply(tape, ctx, &mut pv, r1);
+            let r2 = ops::relu(tape, m2);
+            charge_elementwise(ctx, tape.value(r2).len());
+            h = r2;
+        }
+        let logits = self.classifier.apply(tape, ctx, &mut pv, h);
+        ForwardOutput {
+            logits,
+            param_vars: pv,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.mlp1.push_params(&mut out);
+            layer.mlp2.push_params(&mut out);
+        }
+        self.classifier.push_params(&mut out);
+        out
+    }
+}
+
+// ------------------------------------------------------------------- GAT
+
+/// One GAT attention head: projection + the two attention vectors.
+struct GatHead {
+    proj: Linear,
+    attn_l: Param,
+    attn_r: Param,
+}
+
+/// One GAT layer: one or more heads, concatenated (hidden layers) or
+/// averaged (output layer), as in Veličković et al.
+struct GatLayer {
+    heads: Vec<GatHead>,
+    /// Concatenate head outputs (hidden layers) vs average them (output).
+    concat: bool,
+}
+
+/// 5-layer GAT (Veličković et al.) with hidden width 16.
+pub struct Gat {
+    layers: Vec<GatLayer>,
+    slope: f32,
+}
+
+impl Gat {
+    /// Single-head GAT with the paper's shape (the configuration the
+    /// Fig. 6 timing harness uses).
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_heads(input_dim, hidden, classes, num_layers, 1, seed)
+    }
+
+    /// Multi-head GAT: `heads` per hidden layer (outputs concatenated, so
+    /// the next layer sees `heads × hidden` features) and `heads` averaged
+    /// heads on the output layer.
+    pub fn with_heads(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        heads: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(heads >= 1);
+        let mut layers = Vec::new();
+        for i in 0..num_layers {
+            let last = i + 1 == num_layers;
+            let fan_in = if i == 0 {
+                input_dim
+            } else {
+                hidden * heads
+            };
+            let fan_out = if last { classes } else { hidden };
+            let mut hs = Vec::new();
+            for h in 0..heads {
+                let s = seed + 100 * i as u64 + 10 * h as u64;
+                hs.push(GatHead {
+                    proj: Linear::new(fan_in, fan_out, s),
+                    attn_l: Param::new(init::xavier_uniform(fan_out, 1, s + 7)),
+                    attn_r: Param::new(init::xavier_uniform(fan_out, 1, s + 13)),
+                });
+            }
+            layers.push(GatLayer {
+                heads: hs,
+                concat: !last,
+            });
+        }
+        Self {
+            layers,
+            slope: 0.2,
+        }
+    }
+}
+
+impl GnnModel for Gat {
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        _training: bool,
+        _step: u64,
+    ) -> ForwardOutput {
+        let mut pv = Vec::new();
+        let mut h = tape.leaf(x.clone(), false);
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Each head: projection, attention logits
+            // e = LeakyReLU(z·a_l [u] + z·a_r [v]), softmax, aggregation.
+            // The attention step is the unfused pipeline (GNNOne/DGL) or
+            // dgNN's single fused kernel; either way the backward launches
+            // the transposed SpMM and SDDMM — GAT needs both kernels (§3.1).
+            let mut head_outs = Vec::with_capacity(layer.heads.len());
+            for head in &layer.heads {
+                let z = head.proj.apply(tape, ctx, &mut pv, h);
+                let al = tape.leaf(head.attn_l.value.clone(), true);
+                let ar = tape.leaf(head.attn_r.value.clone(), true);
+                pv.push(al);
+                pv.push(ar);
+                let el = ops::matmul(tape, z, al);
+                let er = ops::matmul(tape, z, ar);
+                head_outs.push(graphops::gat_attention(ctx, tape, el, er, z, self.slope));
+            }
+            // Combine heads: concat (hidden) / average (output).
+            let mut agg = head_outs[0];
+            for &other in &head_outs[1..] {
+                agg = if layer.concat {
+                    ops::concat_cols(tape, agg, other)
+                } else {
+                    ops::add(tape, agg, other)
+                };
+            }
+            if !layer.concat && head_outs.len() > 1 {
+                agg = ops::scale(tape, agg, 1.0 / head_outs.len() as f32);
+            }
+            h = if i + 1 == n_layers {
+                agg
+            } else {
+                let r = ops::relu(tape, agg);
+                charge_elementwise(ctx, tape.value(r).len());
+                r
+            };
+        }
+        ForwardOutput {
+            logits: h,
+            param_vars: pv,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            for head in &mut layer.heads {
+                head.proj.push_params(&mut out);
+                out.push(&mut head.attn_l);
+                out.push(&mut head.attn_r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::SystemKind;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+
+    fn ctx() -> Rc<GnnContext> {
+        let el = gen::erdos_renyi(40, 160, 3).symmetrize();
+        Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ))
+    }
+
+    fn features(c: &GnnContext, f: usize) -> Tensor {
+        Tensor::from_vec(
+            c.num_vertices(),
+            f,
+            (0..c.num_vertices() * f).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+        )
+    }
+
+    #[test]
+    fn gcn_shapes_and_params() {
+        let c = ctx();
+        let mut model = Gcn::new(8, 16, 3, 1);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        assert_eq!(tape.value(out.logits).rows(), c.num_vertices());
+        assert_eq!(tape.value(out.logits).cols(), 3);
+        assert_eq!(out.param_vars.len(), model.params_mut().len());
+    }
+
+    #[test]
+    fn gin_depth_and_shapes() {
+        let c = ctx();
+        let mut model = Gin::new(8, 64, 5, 5, 2);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        assert_eq!(tape.value(out.logits).cols(), 5);
+        // 5 layers × 2 MLP linears × 2 params + classifier 2.
+        assert_eq!(model.params_mut().len(), 5 * 4 + 2);
+        assert_eq!(out.param_vars.len(), 22);
+    }
+
+    #[test]
+    fn gat_shapes_and_params() {
+        let c = ctx();
+        let mut model = Gat::new(8, 16, 4, 5, 3);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        assert_eq!(tape.value(out.logits).cols(), 4);
+        // 5 layers × (2 linear params + 2 attention vectors).
+        assert_eq!(model.params_mut().len(), 20);
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter() {
+        let c = ctx();
+        let model = Gat::new(8, 16, 4, 2, 4);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        let ls = ops::log_softmax(&mut tape, out.logits);
+        let targets: Vec<u32> = (0..c.num_vertices() as u32).map(|v| v % 4).collect();
+        let loss = ops::nll_loss(&mut tape, ls, &targets, None);
+        let grads = tape.backward(loss);
+        for (i, &pid) in out.param_vars.iter().enumerate() {
+            let g = grads[pid].as_ref().unwrap_or_else(|| panic!("param {i} has no grad"));
+            assert!(
+                g.data().iter().any(|&v| v != 0.0),
+                "param {i} gradient is all zero"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_charges_the_clock() {
+        let c = ctx();
+        let model = Gcn::new(8, 16, 3, 5);
+        let mut tape = Tape::new();
+        let _ = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        let clock = c.clock.borrow();
+        assert!(clock.kernel_cycles > 0, "sparse kernels charged");
+        assert!(clock.dense_cycles > 0, "dense ops charged");
+    }
+}
+
+#[cfg(test)]
+mod multihead_tests {
+    use super::*;
+    use crate::systems::SystemKind;
+    use crate::train::{train_model, TrainConfig};
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+
+    #[test]
+    fn multihead_gat_shapes_and_params() {
+        let el = gen::erdos_renyi(30, 120, 5).symmetrize();
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ));
+        let heads = 4;
+        let mut model = Gat::with_heads(8, 16, 3, 2, heads, 11);
+        let x = Tensor::from_vec(
+            c.num_vertices(),
+            8,
+            (0..c.num_vertices() * 8).map(|i| (i % 7) as f32 * 0.1).collect(),
+        );
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &x, true, 0);
+        // Output layer averages heads → classes columns.
+        assert_eq!(tape.value(out.logits).cols(), 3);
+        // 2 layers × 4 heads × (W, b, a_l, a_r).
+        assert_eq!(model.params_mut().len(), 2 * heads * 4);
+        assert_eq!(out.param_vars.len(), 2 * heads * 4);
+    }
+
+    #[test]
+    fn multihead_gat_learns() {
+        let g = gen::planted_partition(100, 3, 8.0, 0.9, 8, 0.2, 23);
+        let coo = Coo::from_edge_list(&g.edges.clone().symmetrize());
+        let ctx = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            coo,
+            GpuSpec::a100_40gb(),
+        ));
+        let x = Tensor::from_vec(100, g.feature_dim, g.features.clone());
+        let mut model = Gat::with_heads(8, 8, 3, 2, 2, 31);
+        let cfg = TrainConfig {
+            epochs: 50,
+            lr: 0.02,
+            ..Default::default()
+        };
+        let r = train_model(&mut model, &ctx, &x, &g.labels, &cfg);
+        assert!(
+            r.test_accuracy > 0.6,
+            "multi-head GAT accuracy {}",
+            r.test_accuracy
+        );
+    }
+
+    #[test]
+    fn multihead_gradients_reach_every_head() {
+        let el = gen::erdos_renyi(24, 96, 7).symmetrize();
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            Coo::from_edge_list(&el),
+            GpuSpec::a100_40gb(),
+        ));
+        let model = Gat::with_heads(4, 8, 2, 2, 3, 41);
+        let x = Tensor::from_vec(
+            c.num_vertices(),
+            4,
+            (0..c.num_vertices() * 4).map(|i| ((i % 5) as f32 - 2.0) * 0.2).collect(),
+        );
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &x, true, 0);
+        let ls = ops::log_softmax(&mut tape, out.logits);
+        let targets: Vec<u32> = (0..c.num_vertices() as u32).map(|v| v % 2).collect();
+        let loss = ops::nll_loss(&mut tape, ls, &targets, None);
+        let grads = tape.backward(loss);
+        for (i, &pid) in out.param_vars.iter().enumerate() {
+            let g = grads[pid]
+                .as_ref()
+                .unwrap_or_else(|| panic!("head param {i} missing grad"));
+            assert!(g.data().iter().any(|&v| v != 0.0), "param {i} all-zero grad");
+        }
+    }
+}

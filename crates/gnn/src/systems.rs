@@ -1,0 +1,236 @@
+//! System configurations for end-to-end training (paper §5.3).
+//!
+//! Each system is a choice of sparse kernels, storage formats (which the
+//! memory model charges), and whether edge-level attention ops are fused:
+//!
+//! * **GNNOne** — COO-only; the proposed SpMM/SDDMM; no fusion ("without
+//!   any kernel fusion", §5.3.2).
+//! * **DGL** — cuSPARSE CSR SpMM + DGL's own COO edge-parallel SDDMM;
+//!   keeps COO *and* CSR (and CSC for backward) alive.
+//! * **dgNN** — vertex-parallel dgSparse kernels on CSR with the attention
+//!   pipeline fused (fewer launches, less intermediate traffic); only
+//!   supports attention GNNs like GAT, as in the paper.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gnnone_kernels::baselines::{CusparseSpmm, DgSparseSddmm, DglSddmm};
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
+use gnnone_sim::{Gpu, GpuSpec};
+use gnnone_sparse::formats::Coo;
+
+use crate::timing::SimClock;
+
+/// The three systems of Figs. 5–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// The proposed system (COO, unified kernels).
+    GnnOne,
+    /// DGL (cuSPARSE SpMM, own SDDMM, multiple formats).
+    Dgl,
+    /// dgNN (fused vertex-parallel kernels; GAT only).
+    DgNn,
+}
+
+impl SystemKind {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::GnnOne => "GnnOne",
+            SystemKind::Dgl => "DGL",
+            SystemKind::DgNn => "dgNN",
+        }
+    }
+
+    /// Storage formats the system keeps resident (for the memory model).
+    pub fn formats(&self) -> &'static [&'static str] {
+        match self {
+            SystemKind::GnnOne => &["COO"],
+            // DGL: COO for SDDMM, CSR for SpMM, CSC for the transposed
+            // backward SpMM.
+            SystemKind::Dgl => &["COO", "CSR", "CSC"],
+            SystemKind::DgNn => &["CSR", "CSC"],
+        }
+    }
+}
+
+/// Everything a model needs to run on a (graph, system, device) triple.
+pub struct GnnContext {
+    /// The simulated device.
+    pub gpu: Rc<Gpu>,
+    /// Forward graph `A`.
+    pub graph: Arc<GraphData>,
+    /// Transposed graph `Aᵀ` (backward data flow).
+    pub graph_t: Arc<GraphData>,
+    /// For NZE `i` of `Aᵀ`, the index of the same edge in `A`'s order.
+    pub t_perm: Rc<Vec<u32>>,
+    /// SpMM kernel over `A`.
+    pub spmm: Rc<dyn SpmmKernel>,
+    /// SpMM kernel over `Aᵀ`.
+    pub spmm_t: Rc<dyn SpmmKernel>,
+    /// SDDMM kernel over `A`.
+    pub sddmm: Rc<dyn SddmmKernel>,
+    /// Simulated training clock.
+    pub clock: Rc<RefCell<SimClock>>,
+    /// Whether edge-level attention ops are fused (dgNN).
+    pub fused_edge_ops: bool,
+    /// Which system this context realizes.
+    pub system: SystemKind,
+}
+
+impl GnnContext {
+    /// Builds a context for `system` over `coo` on a device `spec`.
+    pub fn new(system: SystemKind, coo: Coo, spec: GpuSpec) -> Self {
+        let coo_t = coo.transpose();
+        let t_perm = transpose_permutation(&coo);
+        let graph = Arc::new(GraphData::new(coo));
+        let graph_t = Arc::new(GraphData::new(coo_t));
+        let gpu = Rc::new(Gpu::new(spec.clone()));
+        let clock = Rc::new(RefCell::new(SimClock::new(spec)));
+
+        let (spmm, spmm_t, sddmm): (
+            Rc<dyn SpmmKernel>,
+            Rc<dyn SpmmKernel>,
+            Rc<dyn SddmmKernel>,
+        ) = match system {
+            SystemKind::GnnOne => (
+                Rc::new(GnnOneSpmm::new(Arc::clone(&graph), GnnOneConfig::default())),
+                Rc::new(GnnOneSpmm::new(Arc::clone(&graph_t), GnnOneConfig::default())),
+                Rc::new(GnnOneSddmm::new(Arc::clone(&graph), GnnOneConfig::default())),
+            ),
+            SystemKind::Dgl => (
+                Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
+                Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
+                Rc::new(DglSddmm::new(Arc::clone(&graph))),
+            ),
+            SystemKind::DgNn => (
+                // dgNN's aggregation is a vertex-parallel CSR SpMM; reuse
+                // the cuSPARSE-class row-split kernel as its aggregation
+                // engine and dgSparse for SDDMM, per §5.3's description.
+                Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
+                Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
+                Rc::new(DgSparseSddmm::new(Arc::clone(&graph))),
+            ),
+        };
+
+        Self {
+            gpu,
+            graph,
+            graph_t,
+            t_perm: Rc::new(t_perm),
+            spmm,
+            spmm_t,
+            sddmm,
+            clock,
+            fused_edge_ops: system == SystemKind::DgNn,
+            system,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of NZEs.
+    pub fn nnz(&self) -> usize {
+        self.graph.nnz()
+    }
+}
+
+/// Computes, for each NZE of `Aᵀ` (in CSR order), the index of the same
+/// edge in `A`'s CSR order — used to permute edge tensors for backward.
+pub fn transpose_permutation(coo: &Coo) -> Vec<u32> {
+    // Edge (r, c) at index i in A appears as (c, r) in Aᵀ. Sort A's edges
+    // by (c, r) to obtain Aᵀ's order.
+    let mut idx: Vec<u32> = (0..coo.nnz() as u32).collect();
+    let rows = coo.rows();
+    let cols = coo.cols();
+    idx.sort_unstable_by_key(|&i| (cols[i as usize], rows[i as usize]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sparse::formats::EdgeList;
+
+    fn coo() -> Coo {
+        Coo::from_edge_list(&EdgeList::new(
+            3,
+            vec![(0, 1), (0, 2), (1, 0), (2, 1)],
+        ))
+    }
+
+    #[test]
+    fn transpose_permutation_maps_edges() {
+        let a = coo();
+        let at = a.transpose();
+        let perm = transpose_permutation(&a);
+        for i in 0..at.nnz() {
+            let j = perm[i] as usize;
+            assert_eq!(at.rows()[i], a.cols()[j]);
+            assert_eq!(at.cols()[i], a.rows()[j]);
+        }
+    }
+
+    #[test]
+    fn contexts_pick_the_right_kernels() {
+        let spec = GpuSpec::a100_40gb();
+        let one = GnnContext::new(SystemKind::GnnOne, coo(), spec.clone());
+        assert_eq!(one.spmm.name(), "GnnOne");
+        assert_eq!(one.sddmm.name(), "GnnOne");
+        assert!(!one.fused_edge_ops);
+
+        let dgl = GnnContext::new(SystemKind::Dgl, coo(), spec.clone());
+        assert_eq!(dgl.spmm.name(), "CuSparse");
+        assert_eq!(dgl.sddmm.name(), "DGL");
+
+        let dgnn = GnnContext::new(SystemKind::DgNn, coo(), spec);
+        assert_eq!(dgnn.sddmm.name(), "dgSparse");
+        assert!(dgnn.fused_edge_ops);
+    }
+
+    #[test]
+    fn formats_per_system() {
+        assert_eq!(SystemKind::GnnOne.formats(), &["COO"]);
+        assert_eq!(SystemKind::Dgl.formats().len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod memory_interplay_tests {
+    use super::*;
+    use gnnone_sparse::formats::EdgeList;
+
+    #[test]
+    fn transpose_permutation_is_a_permutation() {
+        let coo = Coo::from_edge_list(&EdgeList::new(
+            5,
+            vec![(0, 1), (0, 4), (1, 2), (2, 0), (3, 1), (4, 3)],
+        ));
+        let perm = transpose_permutation(&coo);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..coo.nnz() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn symmetric_graph_transpose_permutation_roundtrips_edge_values() {
+        // On a symmetric graph, permuting twice with the transpose map of
+        // A then of Aᵀ must restore the original edge order.
+        let coo = Coo::from_edge_list(
+            &EdgeList::new(6, vec![(0, 1), (2, 3), (4, 5), (1, 3)]).symmetrize(),
+        );
+        let perm_a = transpose_permutation(&coo);
+        let coo_t = coo.transpose();
+        let perm_t = transpose_permutation(&coo_t);
+        let vals: Vec<f32> = (0..coo.nnz()).map(|e| e as f32).collect();
+        let once: Vec<f32> = perm_a.iter().map(|&i| vals[i as usize]).collect();
+        let twice: Vec<f32> = perm_t.iter().map(|&i| once[i as usize]).collect();
+        assert_eq!(twice, vals);
+    }
+}

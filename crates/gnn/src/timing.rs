@@ -1,0 +1,139 @@
+//! The simulated training clock.
+//!
+//! Sparse kernels run through `gnnone-sim` and report exact modelled
+//! cycles. Everything else a GNN epoch executes — linear layers, ReLU,
+//! softmax, dropout, loss — runs on PyTorch in every system the paper
+//! compares (§5.3.2: "GNN models also include many other kernels … for
+//! which both rely on PyTorch"), so those are charged through a common
+//! roofline model: `launch overhead + max(compute-bound, bandwidth-bound)`.
+//! This is what dilutes 6× kernel speedups into the paper's 1.3–4×
+//! end-to-end numbers.
+
+use gnnone_sim::{GpuSpec, KernelReport};
+
+/// Accumulates simulated time over a training run.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    spec: GpuSpec,
+    /// Cycles spent in sparse kernels.
+    pub kernel_cycles: u64,
+    /// Cycles spent in dense (PyTorch-side) ops.
+    pub dense_cycles: u64,
+    /// Kernel launches issued (sparse + dense).
+    pub launches: u64,
+}
+
+impl SimClock {
+    /// New clock for a device spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        Self {
+            spec,
+            kernel_cycles: 0,
+            dense_cycles: 0,
+            launches: 0,
+        }
+    }
+
+    /// The device spec the clock converts against.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Records a simulated sparse-kernel launch.
+    pub fn add_kernel(&mut self, report: &KernelReport) {
+        self.kernel_cycles += report.cycles;
+        self.launches += 1;
+    }
+
+    /// Charges a dense op through the roofline model.
+    /// `flops` = multiply-add count, `bytes` = global traffic.
+    pub fn charge_dense(&mut self, flops: u64, bytes: u64) {
+        self.dense_cycles += self.dense_cost(flops, bytes);
+        self.launches += 1;
+    }
+
+    /// Charges a *fused* dense op: no launch overhead and reduced traffic —
+    /// how dgNN's fused attention pipeline is modelled (§5.3.2).
+    pub fn charge_fused(&mut self, flops: u64, bytes: u64) {
+        let t = self.spec.timing;
+        let cost = self
+            .dense_cost(flops, bytes)
+            .saturating_sub(t.kernel_launch_overhead_cycles);
+        self.dense_cycles += cost;
+    }
+
+    fn dense_cost(&self, flops: u64, bytes: u64) -> u64 {
+        let t = self.spec.timing;
+        // FP32 roofline: each SM retires ~128 FLOPs/cycle (64 FMA lanes).
+        let flops_per_cycle = (self.spec.num_sms as u64) * 128;
+        let bytes_per_cycle =
+            self.spec.bytes_per_cycle_per_sm() * self.spec.num_sms as f64;
+        let compute = flops / flops_per_cycle.max(1);
+        let memory = (bytes as f64 / bytes_per_cycle) as u64;
+        t.kernel_launch_overhead_cycles + compute.max(memory)
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernel_cycles + self.dense_cycles
+    }
+
+    /// Total simulated milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.spec.cycles_to_ms(self.total_cycles())
+    }
+
+    /// Resets all counters (e.g. between warm-up and timed epochs).
+    pub fn reset(&mut self) {
+        self.kernel_cycles = 0;
+        self.dense_cycles = 0;
+        self.launches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_charge_is_at_least_launch_overhead() {
+        let mut c = SimClock::new(GpuSpec::a100_40gb());
+        c.charge_dense(0, 0);
+        assert_eq!(
+            c.dense_cycles,
+            GpuSpec::a100_40gb().timing.kernel_launch_overhead_cycles
+        );
+        assert_eq!(c.launches, 1);
+    }
+
+    #[test]
+    fn memory_bound_op_scales_with_bytes() {
+        let mut c = SimClock::new(GpuSpec::a100_40gb());
+        c.charge_dense(0, 1_000_000_000);
+        let one_gb = c.dense_cycles;
+        c.reset();
+        c.charge_dense(0, 2_000_000_000);
+        assert!(c.dense_cycles > one_gb * 3 / 2);
+    }
+
+    #[test]
+    fn fused_charge_is_cheaper() {
+        let mut a = SimClock::new(GpuSpec::a100_40gb());
+        let mut b = SimClock::new(GpuSpec::a100_40gb());
+        a.charge_dense(1000, 1000);
+        b.charge_fused(1000, 1000);
+        assert!(b.dense_cycles < a.dense_cycles);
+        assert_eq!(b.launches, 0);
+    }
+
+    #[test]
+    fn totals_combine() {
+        let mut c = SimClock::new(GpuSpec::a100_40gb());
+        c.charge_dense(1, 1);
+        c.kernel_cycles += 100;
+        assert_eq!(c.total_cycles(), c.dense_cycles + 100);
+        assert!(c.total_ms() > 0.0);
+        c.reset();
+        assert_eq!(c.total_cycles(), 0);
+    }
+}

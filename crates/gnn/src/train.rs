@@ -1,0 +1,231 @@
+//! The training loop (paper §5.3): Adam, NLL loss over a train mask,
+//! accuracy on a held-out test mask, simulated epoch timing.
+
+use std::rc::Rc;
+
+use gnnone_tensor::optim::Adam;
+use gnnone_tensor::{ops, Tape, Tensor};
+
+use crate::models::GnnModel;
+use crate::systems::GnnContext;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of epochs (the paper times 200).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Fraction of vertices in the train split.
+    pub train_fraction: f64,
+    /// Seed for the split.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            lr: 0.01,
+            train_fraction: 0.6,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Loss after each epoch.
+    pub losses: Vec<f32>,
+    /// Final train-split accuracy.
+    pub train_accuracy: f64,
+    /// Final test-split accuracy (what Fig. 5 reports).
+    pub test_accuracy: f64,
+    /// Total simulated time over all epochs, milliseconds.
+    pub simulated_ms: f64,
+    /// Simulated sparse-kernel milliseconds.
+    pub kernel_ms: f64,
+    /// Kernel/dense launches issued.
+    pub launches: u64,
+}
+
+/// Deterministic train/test split.
+pub fn split_masks(n: usize, train_fraction: f64, seed: u64) -> (Vec<bool>, Vec<bool>) {
+    use rand::prelude::*;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut train = vec![false; n];
+    let mut test = vec![false; n];
+    for v in 0..n {
+        if rng.gen_bool(train_fraction) {
+            train[v] = true;
+        } else {
+            test[v] = true;
+        }
+    }
+    (train, test)
+}
+
+/// Trains `model` on `(features, labels)` over the context's graph,
+/// returning accuracy and simulated timing.
+pub fn train_model(
+    model: &mut dyn GnnModel,
+    ctx: &Rc<GnnContext>,
+    features: &Tensor,
+    labels: &[u32],
+    config: &TrainConfig,
+) -> TrainResult {
+    assert_eq!(features.rows(), ctx.num_vertices());
+    assert_eq!(labels.len(), ctx.num_vertices());
+    let (train_mask, test_mask) =
+        split_masks(ctx.num_vertices(), config.train_fraction, config.seed);
+    let mut opt = Adam::new(config.lr);
+    ctx.clock.borrow_mut().reset();
+
+    let mut losses = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, ctx, features, true, epoch as u64);
+        let ls = ops::log_softmax(&mut tape, out.logits);
+        let loss = ops::nll_loss(&mut tape, ls, labels, Some(&train_mask));
+        losses.push(tape.value(loss).item());
+        let grads = tape.backward(loss);
+        let grad_refs: Vec<Option<&Tensor>> = out
+            .param_vars
+            .iter()
+            .map(|&pid| grads[pid].as_ref())
+            .collect();
+        let mut params = model.params_mut();
+        opt.step(&mut params, &grad_refs);
+    }
+
+    // Final evaluation pass (no dropout).
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, ctx, features, false, u64::MAX);
+    let ls = ops::log_softmax(&mut tape, out.logits);
+    let lp = tape.value(ls);
+    let train_accuracy = ops::accuracy(lp, labels, Some(&train_mask));
+    let test_accuracy = ops::accuracy(lp, labels, Some(&test_mask));
+
+    let clock = ctx.clock.borrow();
+    TrainResult {
+        losses,
+        train_accuracy,
+        test_accuracy,
+        simulated_ms: clock.total_ms(),
+        kernel_ms: clock.spec().cycles_to_ms(clock.kernel_cycles),
+        launches: clock.launches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Gat, Gcn, Gin};
+    use crate::systems::SystemKind;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+
+    fn labeled_setup() -> (Rc<GnnContext>, Tensor, Vec<u32>) {
+        let g = gen::planted_partition(120, 3, 8.0, 0.9, 8, 0.2, 7);
+        let coo = Coo::from_edge_list(&g.edges.clone().symmetrize());
+        let ctx = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            coo,
+            GpuSpec::a100_40gb(),
+        ));
+        let x = Tensor::from_vec(120, g.feature_dim, g.features.clone());
+        (ctx, x, g.labels)
+    }
+
+    #[test]
+    fn split_masks_partition() {
+        let (train, test) = split_masks(100, 0.6, 3);
+        for v in 0..100 {
+            assert!(train[v] ^ test[v]);
+        }
+        let t = train.iter().filter(|&&b| b).count();
+        assert!((40..80).contains(&t));
+    }
+
+    #[test]
+    fn gcn_learns_planted_partition() {
+        let (ctx, x, labels) = labeled_setup();
+        let mut model = Gcn::new(8, 16, 3, 11);
+        let cfg = TrainConfig {
+            epochs: 60,
+            ..Default::default()
+        };
+        let r = train_model(&mut model, &ctx, &x, &labels, &cfg);
+        assert!(
+            r.test_accuracy > 0.7,
+            "GCN test accuracy {} too low",
+            r.test_accuracy
+        );
+        assert!(r.losses.first().unwrap() > r.losses.last().unwrap());
+        assert!(r.simulated_ms > 0.0);
+        assert!(r.launches > 0);
+    }
+
+    #[test]
+    fn gin_learns_planted_partition() {
+        let (ctx, x, labels) = labeled_setup();
+        let mut model = Gin::new(8, 16, 3, 2, 13);
+        let cfg = TrainConfig {
+            epochs: 60,
+            ..Default::default()
+        };
+        let r = train_model(&mut model, &ctx, &x, &labels, &cfg);
+        assert!(
+            r.test_accuracy > 0.6,
+            "GIN test accuracy {} too low",
+            r.test_accuracy
+        );
+    }
+
+    #[test]
+    fn gat_learns_planted_partition() {
+        let (ctx, x, labels) = labeled_setup();
+        let mut model = Gat::new(8, 16, 3, 2, 17);
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.02,
+            ..Default::default()
+        };
+        let r = train_model(&mut model, &ctx, &x, &labels, &cfg);
+        assert!(
+            r.test_accuracy > 0.6,
+            "GAT test accuracy {} too low",
+            r.test_accuracy
+        );
+    }
+
+    #[test]
+    fn accuracy_parity_between_systems() {
+        // Fig. 5's claim: GNNOne and DGL kernels compute the same math, so
+        // training accuracy matches.
+        let g = gen::planted_partition(100, 3, 8.0, 0.9, 8, 0.2, 19);
+        let coo = Coo::from_edge_list(&g.edges.clone().symmetrize());
+        let x = Tensor::from_vec(100, g.feature_dim, g.features.clone());
+        let cfg = TrainConfig {
+            epochs: 40,
+            ..Default::default()
+        };
+        let mut accs = Vec::new();
+        for system in [SystemKind::GnnOne, SystemKind::Dgl] {
+            let ctx = Rc::new(GnnContext::new(
+                system,
+                coo.clone(),
+                GpuSpec::a100_40gb(),
+            ));
+            let mut model = Gcn::new(8, 16, 3, 23);
+            let r = train_model(&mut model, &ctx, &x, &g.labels, &cfg);
+            accs.push(r.test_accuracy);
+        }
+        assert!(
+            (accs[0] - accs[1]).abs() < 0.05,
+            "accuracy diverged: {accs:?}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Dalton et al. (IPDPS'15) nonzero-split SpMV — the *other* class of
+//! nonzero-split the paper dissects in §4.4:
+//!
+//! > "Dalton et al. fetches NZEs and edge-features in a coalesced manner
+//! > that forbids any thread-local reduction. Hence, inter-thread reduction
+//! > is performed by materializing the dot product to the shared memory."
+//!
+//! Together with [`crate::baselines::MergeSpmv`] (the Merrill class:
+//! uncoalesced fetch, thread-local reduction) this completes the paper's
+//! claim that *both* nonzero-split SpMV classes are special cases of
+//! GNNOne's SpMM design once Stage-1 caching is dropped.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmvKernel;
+
+/// NZEs per warp.
+const NZE_PER_WARP: usize = 256;
+
+/// Dalton-class nonzero-split SpMV over COO.
+pub struct DaltonSpmv {
+    graph: Arc<GraphData>,
+}
+
+impl DaltonSpmv {
+    /// Creates the kernel for `graph`.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        Self { graph }
+    }
+}
+
+impl SpmvKernel for DaltonSpmv {
+    fn name(&self) -> &'static str {
+        "Dalton et al."
+    }
+
+    fn format(&self) -> &'static str {
+        "COO"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = DaltonLaunch {
+            rows: &self.graph.d_coo_rows,
+            cols: &self.graph.d_coo_cols,
+            vals: edge_vals,
+            x,
+            y,
+            nnz: self.graph.nnz(),
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct DaltonLaunch<'a> {
+    rows: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    nnz: usize,
+}
+
+impl WarpKernel for DaltonLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 30,
+            // Products + row IDs materialized in shared for the reduction.
+            shared_bytes_per_cta: (256 / 32) * WARP_SIZE * 8,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(NZE_PER_WARP)
+    }
+
+    fn name(&self) -> &str {
+        "Dalton-SpMV"
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let base = warp_id * NZE_PER_WARP;
+        let count = NZE_PER_WARP.min(self.nnz - base);
+        for off in (0..count).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < count;
+            // Fully coalesced NZE + value fetch (the class's strength)...
+            let rows = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
+            let cols = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+            let vals = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
+            ctx.use_loads();
+            let xv = ctx.load_f32(self.x, |l| active(l).then(|| cols.get(l) as usize));
+            ctx.compute(1);
+            let prod = vals.zip_with(&xv, |v, x| v * x);
+
+            // ...but no thread-local reduction: products and row IDs go to
+            // shared memory, then a segmented tree reduction walks them —
+            // materialization traffic, 5 rounds, a barrier each (the cost
+            // structure the paper contrasts with Merrill's class).
+            ctx.shared_store(|l| active(l).then(|| (l, prod.get(l).to_bits())));
+            ctx.shared_store(|l| active(l).then(|| (WARP_SIZE + l, rows.get(l))));
+            ctx.barrier();
+            // Segmented inclusive scan in shared memory: after round k,
+            // slot l holds the sum of its row-segment's slots (l-2^k, l].
+            let mut scan = prod;
+            for round in 0..5 {
+                let stride = 1usize << round;
+                // Each round: read neighbor slot + row id, combine, store.
+                let _p: LaneArr<u32> =
+                    ctx.shared_load(|l| (active(l) && l >= stride).then(|| l - stride));
+                let _r: LaneArr<u32> = ctx.shared_load(|l| {
+                    (active(l) && l >= stride).then(|| WARP_SIZE + l - stride)
+                });
+                ctx.compute(2);
+                scan = LaneArr::from_fn(|l| {
+                    if active(l) && l >= stride && rows.get(l - stride) == rows.get(l) {
+                        scan.get(l) + scan.get(l - stride)
+                    } else {
+                        scan.get(l)
+                    }
+                });
+                ctx.shared_store(|l| active(l).then(|| (l, scan.get(l).to_bits())));
+                ctx.barrier();
+            }
+            // Segment tails (last lane of each row run) flush atomically.
+            ctx.atomic_add_f32(self.y, |l| {
+                if !active(l) {
+                    return None;
+                }
+                let tail =
+                    l + 1 >= WARP_SIZE || !active(l + 1) || rows.get(l + 1) != rows.get(l);
+                tail.then(|| (rows.get(l) as usize, scan.get(l)))
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    #[test]
+    fn correct_on_random_graph() {
+        let el = gen::rmat(8, 1500, gen::GRAPH500_PROBS, 121).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let x: Vec<f32> = (0..g.coo.num_cols())
+            .map(|i| ((i * 3 % 7) as f32 - 3.0) * 0.4)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 5) as f32 - 2.0) * 0.3).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows());
+        DaltonSpmv::new(Arc::clone(&g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmv_csr(&g.csr, &w, &x);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+    }
+}

@@ -1,0 +1,215 @@
+//! GE-SpMM (Huang et al., SC'20): vertex-parallel CSR SpMM with
+//! *Coalesced Row Caching* — each warp owns one row, stages 32 column IDs
+//! (and edge values) of that row in shared memory, then streams the
+//! features feature-parallel with a fully thread-local register reduction.
+//!
+//! Pathologies the paper leans on (§4.1.1, §5.2): the cache is pinned at 32
+//! and bounded by the row length (short rows under-fill it), caching is
+//! **dropped entirely when f < 32**, and warp-per-row parallelism inherits
+//! the straggler imbalance of power-law rows.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// GE-SpMM kernel.
+pub struct GeSpmm {
+    graph: Arc<GraphData>,
+}
+
+impl GeSpmm {
+    /// Creates the kernel for `graph`.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        Self { graph }
+    }
+}
+
+impl SpmmKernel for GeSpmm {
+    fn name(&self) -> &'static str {
+        "GE-SpMM"
+    }
+
+    fn format(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = GeSpmmLaunch {
+            offsets: &self.graph.d_csr_offsets,
+            cols: &self.graph.d_csr_cols,
+            vals: edge_vals,
+            x,
+            y,
+            num_rows: self.graph.num_vertices(),
+            f,
+            use_caching: f >= 32,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct GeSpmmLaunch<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    num_rows: usize,
+    f: usize,
+    use_caching: bool,
+}
+
+impl WarpKernel for GeSpmmLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        let threads_per_cta = 256;
+        KernelResources {
+            threads_per_cta,
+            regs_per_thread: 38,
+            shared_bytes_per_cta: if self.use_caching {
+                // 32 NZEs per warp: col id + edge value.
+                (threads_per_cta / 32) * 32 * 8
+            } else {
+                0
+            },
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.num_rows
+    }
+
+    fn name(&self) -> &str {
+        "GE-SpMM"
+    }
+
+    fn run_warp(&self, row: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let off = ctx.load_u32(self.offsets, |l| (l < 2).then_some(row + l));
+        ctx.use_loads();
+        let (start, end) = (off.get(0) as usize, off.get(1) as usize);
+        if start == end {
+            return;
+        }
+        // Feature tiles of 32 (one output register per lane per tile).
+        for fbase in (0..f).step_by(WARP_SIZE) {
+            let lanes = (f - fbase).min(WARP_SIZE);
+            let mut acc = LaneArr::<f32>::default();
+            for chunk_start in (start..end).step_by(WARP_SIZE) {
+                let chunk = (end - chunk_start).min(WARP_SIZE);
+                let (cols_c, vals_c) = if self.use_caching {
+                    // Coalesced Row Caching: stage the chunk in shared.
+                    let c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
+                    let v = ctx.load_f32(self.vals, |l| (l < chunk).then(|| chunk_start + l));
+                    ctx.shared_store(|l| (l < chunk).then(|| (l, c.get(l))));
+                    ctx.shared_store(|l| (l < chunk).then(|| (32 + l, v.get(l))));
+                    ctx.barrier();
+                    (c, v)
+                } else {
+                    (LaneArr::default(), LaneArr::default())
+                };
+                for i in 0..chunk {
+                    let (col, val) = if self.use_caching {
+                        // Broadcast from shared — one access serves the warp.
+                        let c: LaneArr<u32> = ctx.shared_load(|l| (l < lanes).then_some(i));
+                        let v: LaneArr<f32> = ctx.shared_load(|l| (l < lanes).then_some(32 + i));
+                        // Consume the staged registers so the borrow above
+                        // matches the cached load (values identical).
+                        let _ = (&cols_c, &vals_c);
+                        (c.get(0) as usize, v.get(0))
+                    } else {
+                        // f < 32: caching dropped — every NZE pays a
+                        // broadcast global load with idle lanes.
+                        let c = ctx.load_u32(self.cols, |l| (l < lanes).then(|| chunk_start + i));
+                        let v = ctx.load_f32(self.vals, |l| (l < lanes).then(|| chunk_start + i));
+                        ctx.use_loads();
+                        (c.get(0) as usize, v.get(0))
+                    };
+                    let xv = ctx.load_f32(self.x, |l| (l < lanes).then(|| col * f + fbase + l));
+                    ctx.compute(1);
+                    for l in 0..lanes {
+                        acc.set(l, acc.get(l) + val * xv.get(l));
+                    }
+                }
+            }
+            // Thread-local reduction finished: one coalesced store per tile.
+            ctx.store_f32(self.y, |l| (l < lanes).then(|| (row * f + fbase + l, acc.get(l))));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100_40gb())
+    }
+
+    fn check(g: &Arc<GraphData>, f: usize) -> KernelReport {
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 19 % 7) as f32 - 3.0) * 0.4)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 6) as f32 - 2.0) * 0.3).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let r = GeSpmm::new(Arc::clone(g))
+            .run(
+                &gpu(),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+        r
+    }
+
+    fn random_graph(seed: u64) -> Arc<GraphData> {
+        let el = gen::rmat(7, 700, gen::GRAPH500_PROBS, seed).symmetrize();
+        Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+    }
+
+    #[test]
+    fn correct_all_paper_dims() {
+        let g = random_graph(31);
+        for f in [6, 16, 32, 64] {
+            check(&g, f);
+        }
+    }
+
+    #[test]
+    fn no_atomics_thanks_to_feature_parallel_reduction() {
+        let g = random_graph(32);
+        let r = check(&g, 32);
+        assert_eq!(r.stats.atomics, 0);
+    }
+
+    #[test]
+    fn caching_dropped_below_f32() {
+        let g = random_graph(33);
+        let cached = check(&g, 32);
+        let uncached = check(&g, 16);
+        assert!(cached.stats.shared_accesses > 0);
+        assert_eq!(uncached.stats.shared_accesses, 0);
+        // Without caching, every NZE pays its own col/val global loads.
+        assert!(uncached.stats.loads > cached.stats.loads / 2);
+    }
+}

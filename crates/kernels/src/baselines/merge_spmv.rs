@@ -1,0 +1,250 @@
+//! Merge-SpMV (Merrill & Garland, SC'16): merge-path SpMV over a custom
+//! format — the Fig. 12 comparator.
+//!
+//! The trade-off the paper dissects (§4.4): Merge-SpMV divides the merge of
+//! (row offsets × NZE indices) into perfectly equal spans, and each *thread*
+//! consumes a consecutive run of NZEs, enabling thread-local reduction —
+//! but the per-thread runs make the NZE loads **uncoalesced** (a warp's 32
+//! lanes read 32 strided positions), and the span metadata needs a narrow
+//! load plus a binary search before real work starts.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmvKernel;
+use gnnone_sparse::custom::MergePath;
+
+/// Merge items (rows + NZEs) consumed per thread.
+const ITEMS_PER_THREAD: usize = 8;
+
+/// Merge-SpMV kernel.
+pub struct MergeSpmv {
+    graph: Arc<GraphData>,
+    /// Pre-processed merge-path spans (the custom format's metadata).
+    spans: MergePath,
+    d_span_meta: DeviceBuffer<u32>,
+}
+
+impl MergeSpmv {
+    /// Creates the kernel, running the merge-path pre-processing step.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        let total = graph.num_vertices() + graph.nnz();
+        let num_spans = total.div_ceil(WARP_SIZE * ITEMS_PER_THREAD).max(1);
+        let spans = MergePath::build(&graph.csr, num_spans);
+        let meta: Vec<u32> = spans
+            .spans
+            .iter()
+            .flat_map(|s| [s.row_start, s.row_end, s.nze_start, s.nze_end])
+            .collect();
+        let d_span_meta = DeviceBuffer::from_slice(&meta);
+        Self {
+            graph,
+            spans,
+            d_span_meta,
+        }
+    }
+
+    /// Metadata bytes of the custom format.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.spans.metadata_bytes()
+    }
+}
+
+impl SpmvKernel for MergeSpmv {
+    fn name(&self) -> &'static str {
+        "Merge-SpMV"
+    }
+
+    fn format(&self) -> &'static str {
+        "custom"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = MergeLaunch {
+            offsets: &self.graph.d_csr_offsets,
+            cols: &self.graph.d_csr_cols,
+            vals: edge_vals,
+            x,
+            y,
+            span_meta: &self.d_span_meta,
+            num_spans: self.spans.spans.len(),
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct MergeLaunch<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    span_meta: &'a DeviceBuffer<u32>,
+    num_spans: usize,
+}
+
+impl WarpKernel for MergeLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 40,
+            // Carry-out exchange buffer.
+            shared_bytes_per_cta: (256 / 32) * WARP_SIZE * 8,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.num_spans
+    }
+
+    fn name(&self) -> &str {
+        "Merge-SpMV"
+    }
+
+    fn run_warp(&self, span_id: usize, ctx: &mut WarpCtx) {
+        // Narrow metadata load + broadcast + per-thread diagonal binary
+        // search — the custom-format overhead (§5.4.5).
+        let meta = ctx.load_u32(self.span_meta, |l| (l < 4).then(|| span_id * 4 + l));
+        ctx.use_loads();
+        ctx.barrier();
+        ctx.compute(10); // binary search on the merge grid
+        let nze_start = meta.get(2) as usize;
+        let nze_end = meta.get(3) as usize;
+        let count = nze_end - nze_start;
+        if count == 0 {
+            return;
+        }
+
+        // Each lane consumes a consecutive run of NZEs.
+        let per_lane = count.div_ceil(WARP_SIZE);
+        let lane_start = |l: usize| (nze_start + l * per_lane).min(nze_end);
+        let lane_end = |l: usize| (nze_start + (l + 1) * per_lane).min(nze_end);
+
+        // Row IDs come from walking the offsets side of the merge; the
+        // device cost of that walk is the per-step offsets load plus search
+        // arithmetic below. (The functional row lookup uses a host-side
+        // binary search over the same data.)
+        ctx.compute(8);
+        let mut acc = LaneArr::<f32>::default();
+        let host_offsets = self.offsets;
+
+        for step in 0..per_lane {
+            let active = |l: usize| lane_start(l) + step < lane_end(l);
+            // Uncoalesced: 32 lanes at stride `per_lane` — the Merrill
+            // trade-off (coalescing sacrificed for thread-local reduction).
+            let col = ctx.load_u32(self.cols, |l| active(l).then(|| lane_start(l) + step));
+            let val = ctx.load_f32(self.vals, |l| active(l).then(|| lane_start(l) + step));
+            ctx.use_loads();
+            let xv = ctx.load_f32(self.x, |l| active(l).then(|| col.get(l) as usize));
+            // Each lane checks the offsets list for a row boundary.
+            let rows: [u32; WARP_SIZE] = std::array::from_fn(|l| {
+                if active(l) {
+                    row_of_nze(host_offsets, lane_start(l) + step)
+                } else {
+                    0
+                }
+            });
+            let _boundary_probe = ctx.load_u32(self.offsets, |l| {
+                active(l).then(|| rows[l] as usize + 1)
+            });
+            ctx.use_loads();
+            ctx.compute(2);
+
+            // Accumulate, then flush lanes whose row (or lane range) ends.
+            let mut flush: [Option<(usize, f32)>; WARP_SIZE] = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if !active(l) {
+                    continue;
+                }
+                let e = lane_start(l) + step;
+                acc.set(l, acc.get(l) + val.get(l) * xv.get(l));
+                let row_end = host_offsets.read(rows[l] as usize + 1) as usize;
+                if e + 1 >= row_end || e + 1 >= lane_end(l) {
+                    flush[l] = Some((rows[l] as usize, acc.get(l)));
+                    acc.set(l, 0.0);
+                }
+            }
+            ctx.atomic_add_f32(self.y, |l| flush[l]);
+        }
+    }
+}
+
+/// Host-side functional lookup of the row owning `nze` (the device cost is
+/// charged through the offsets loads and search `compute` above).
+fn row_of_nze(offsets: &DeviceBuffer<u32>, nze: usize) -> u32 {
+    let (mut lo, mut hi) = (0usize, offsets.len() - 1);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if offsets.read(mid) as usize <= nze {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn check(coo: Coo) {
+        let g = Arc::new(GraphData::new(coo));
+        let x: Vec<f32> = (0..g.coo.num_cols())
+            .map(|i| ((i * 3 % 13) as f32 - 6.0) * 0.4)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 4) as f32 - 1.0) * 0.9).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows());
+        MergeSpmv::new(Arc::clone(&g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmv_csr(&g.csr, &w, &x);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn correct_on_random_graph() {
+        let el = gen::rmat(8, 1500, gen::GRAPH500_PROBS, 81).symmetrize();
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn correct_on_hub_graph() {
+        let el = EdgeList::new(80, (1..80u32).map(|c| (0, c)).collect()).symmetrize();
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn correct_on_chain() {
+        let el = EdgeList::new(200, (0..199u32).map(|i| (i, i + 1)).collect());
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn metadata_reported() {
+        let el = gen::erdos_renyi(64, 256, 82).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let k = MergeSpmv::new(g);
+        assert!(k.metadata_bytes() > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Baseline systems from the paper's evaluation (§5, §6), re-implemented
+//! from their published algorithmic descriptions on the same simulator so
+//! the comparison isolates *design*, not engineering:
+//!
+//! | System | Kernels | Format | Strategy | Known pathology modelled |
+//! |---|---|---|---|---|
+//! | DGL | SDDMM | COO | edge-parallel, no caching, no reuse | — |
+//! | DGL | SpMM | CSR | delegates to cuSPARSE | second format alive |
+//! | dgSparse / dgNN | SDDMM | CSR | vertex-parallel, warp per row | straggler imbalance |
+//! | cuSPARSE | SDDMM | CSR | thread-per-row, scalar loads | uncoalesced, errors at large \|V\| |
+//! | cuSPARSE | SpMM | CSR | row-split, row batching for small f | mild imbalance |
+//! | Sputnik | SDDMM | CSR | vertex-parallel, no row reuse | \|V\|² grid overflow |
+//! | FeatGraph | SDDMM | CSR | vertex-parallel + feature tiling | tiling bookkeeping |
+//! | FeatGraph | SpMM | CSR | thread-per-row | tuning crashes, worst baseline |
+//! | GE-SpMM | SpMM | CSR | warp-per-row + 32-NZE row caching | caching dropped for f<32 |
+//! | GNNAdvisor | SpMM | custom | neighbor groups + metadata search | ragged groups, idle lanes |
+//! | Huang et al. | SpMM | custom | neighbor groups, leaner metadata | ragged groups |
+//! | Yang et al. | SpMM | CSR | nonzero-split, register materialization | occupancy collapse |
+//! | Merge-SpMV | SpMV | custom | merge path, thread-local reduction | uncoalesced NZE loads |
+
+pub mod dalton_spmv;
+pub mod dgl;
+pub mod featgraph_spmm;
+pub mod gespmm;
+pub mod merge_spmv;
+pub mod neighbor_group;
+pub mod row_binning;
+pub mod spmm_cusparse;
+pub mod sputnik_spmm;
+pub mod vp_sddmm;
+pub mod yang;
+
+pub use dalton_spmv::DaltonSpmv;
+pub use dgl::{DglSddmm, DglSpmm};
+pub use featgraph_spmm::FeatGraphSpmm;
+pub use gespmm::GeSpmm;
+pub use merge_spmv::MergeSpmv;
+pub use neighbor_group::{GnnAdvisorSpmm, HuangSpmm};
+pub use row_binning::RowBinningSpmm;
+pub use spmm_cusparse::CusparseSpmm;
+pub use sputnik_spmm::SputnikSpmm;
+pub use vp_sddmm::{CusparseSddmm, DgSparseSddmm, FeatGraphSddmm, SputnikSddmm};
+pub use yang::YangSpmm;

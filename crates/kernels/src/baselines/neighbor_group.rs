@@ -1,0 +1,328 @@
+//! Neighbor-group SpMM baselines: GNNAdvisor (OSDI'21) and Huang et al.
+//! (PPoPP'21).
+//!
+//! Both pre-process CSR into a **custom format** of ≤32-NZE neighbor groups
+//! with explicit (row, start, len) metadata, assigning one warp per group
+//! for workload balance (paper §6). The cost structure the paper contrasts
+//! with GNNOne (§4.1.1, §5.4.5):
+//!
+//! * groups are capped at 32 by the row length — the cache cannot grow to
+//!   128 the way GNNOne's row-independent Stage 1 can;
+//! * ragged final groups and sub-32 rows leave lanes idle;
+//! * feature-parallel lanes idle when `f < 32`;
+//! * metadata arrives via a narrow load + broadcast (+ an online search in
+//!   GNNAdvisor), instead of COO's all-lanes coalesced row-ID load;
+//! * every group ends in an `atomicAdd` per feature.
+//!
+//! Huang et al. is the leaner point (paper: only 1.34× behind GNNOne at
+//! f = 32): no online search and slightly cheaper metadata.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+use gnnone_sparse::custom::NeighborGroups;
+
+/// Parameter point of the neighbor-group family.
+#[derive(Debug, Clone, Copy)]
+struct NgParams {
+    name: &'static str,
+    /// Instructions of online metadata search per group (GNNAdvisor).
+    search_instr: u64,
+    /// Stage the group's col IDs / edge values in shared memory before the
+    /// feature loop (Huang et al.). GNNAdvisor's published kernel instead
+    /// broadcast-loads them from global memory per NZE, paying a dependent
+    /// load chain.
+    stage_in_shared: bool,
+}
+
+struct NgSpmm {
+    graph: Arc<GraphData>,
+    params: NgParams,
+    /// Device metadata of the custom format (row, start, len per group) —
+    /// built by the pre-processing step at construction.
+    d_group_row: DeviceBuffer<u32>,
+    d_group_start: DeviceBuffer<u32>,
+    d_group_len: DeviceBuffer<u32>,
+    num_groups: usize,
+}
+
+impl NgSpmm {
+    fn new(graph: Arc<GraphData>, params: NgParams) -> Self {
+        let groups = NeighborGroups::build(&graph.csr, 32);
+        let row: Vec<u32> = groups.groups.iter().map(|g| g.row).collect();
+        let start: Vec<u32> = groups.groups.iter().map(|g| g.start).collect();
+        let len: Vec<u32> = groups.groups.iter().map(|g| g.len).collect();
+        let num_groups = groups.groups.len();
+        Self {
+            graph,
+            params,
+            d_group_row: DeviceBuffer::from_slice(&row),
+            d_group_start: DeviceBuffer::from_slice(&start),
+            d_group_len: DeviceBuffer::from_slice(&len),
+            num_groups,
+        }
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = NgLaunch {
+            cols: &self.graph.d_csr_cols,
+            vals: edge_vals,
+            x,
+            y,
+            group_row: &self.d_group_row,
+            group_start: &self.d_group_start,
+            group_len: &self.d_group_len,
+            num_groups: self.num_groups,
+            f,
+            params: self.params,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct NgLaunch<'a> {
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    group_row: &'a DeviceBuffer<u32>,
+    group_start: &'a DeviceBuffer<u32>,
+    group_len: &'a DeviceBuffer<u32>,
+    num_groups: usize,
+    f: usize,
+    params: NgParams,
+}
+
+impl WarpKernel for NgLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 38,
+            // Column IDs + edge values of one 32-NZE group staged in shared
+            // (Huang et al. only).
+            shared_bytes_per_cta: if self.params.stage_in_shared {
+                (256 / 32) * 32 * 8
+            } else {
+                0
+            },
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.num_groups
+    }
+
+    fn name(&self) -> &str {
+        self.params.name
+    }
+
+    fn run_warp(&self, group_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        // Metadata: a few lanes fetch, then broadcast to the warp (the
+        // custom-format overhead of §5.4.5 — narrow load, sync, search).
+        let row_l = ctx.load_u32(self.group_row, |l| (l == 0).then_some(group_id));
+        let start_l = ctx.load_u32(self.group_start, |l| (l == 0).then_some(group_id));
+        let len_l = ctx.load_u32(self.group_len, |l| (l == 0).then_some(group_id));
+        ctx.use_loads();
+        ctx.barrier(); // broadcast via shared / sync
+        if self.params.search_instr > 0 {
+            ctx.compute(self.params.search_instr);
+        }
+        let row = row_l.get(0) as usize;
+        let start = start_l.get(0) as usize;
+        let len = len_l.get(0) as usize;
+
+        // Stage the group's NZEs (≤ 32; ragged groups leave lanes idle).
+        if self.params.stage_in_shared {
+            let c = ctx.load_u32(self.cols, |l| (l < len).then(|| start + l));
+            let v = ctx.load_f32(self.vals, |l| (l < len).then(|| start + l));
+            ctx.shared_store(|l| (l < len).then(|| (l, c.get(l))));
+            ctx.shared_store(|l| (l < len).then(|| (32 + l, v.get(l))));
+            ctx.barrier();
+        }
+
+        // Feature-parallel accumulation (lanes beyond f idle).
+        for fbase in (0..f).step_by(WARP_SIZE) {
+            let lanes = (f - fbase).min(WARP_SIZE);
+            let mut acc = LaneArr::<f32>::default();
+            for i in 0..len {
+                let (col, val) = if self.params.stage_in_shared {
+                    let col: LaneArr<u32> = ctx.shared_load(|l| (l < lanes).then_some(i));
+                    let val: LaneArr<f32> =
+                        ctx.shared_load(|l| (l < lanes).then_some(32 + i));
+                    (col.get(0) as usize, val.get(0))
+                } else {
+                    // GNNAdvisor: broadcast global loads per NZE; the x
+                    // gather below depends on the column ID.
+                    let col = ctx.load_u32(self.cols, |l| (l < lanes).then_some(start + i));
+                    let val = ctx.load_f32(self.vals, |l| (l < lanes).then_some(start + i));
+                    ctx.use_loads();
+                    (col.get(0) as usize, val.get(0))
+                };
+                let xv = ctx.load_f32(self.x, |l| {
+                    (l < lanes).then(|| col * f + fbase + l)
+                });
+                ctx.compute(1);
+                for l in 0..lanes {
+                    acc.set(l, acc.get(l) + val * xv.get(l));
+                }
+            }
+            // One atomic flush per group per feature tile — rows split
+            // across groups make atomics unavoidable.
+            ctx.atomic_add_f32(self.y, |l| {
+                (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
+            });
+        }
+    }
+}
+
+macro_rules! ng_system {
+    ($(#[$doc:meta])* $ty:ident, $params:expr) => {
+        $(#[$doc])*
+        pub struct $ty(NgSpmm);
+
+        impl $ty {
+            /// Creates the kernel, running the format pre-processing step.
+            pub fn new(graph: Arc<GraphData>) -> Self {
+                Self(NgSpmm::new(graph, $params))
+            }
+
+            /// Metadata bytes the custom format adds over CSR.
+            pub fn metadata_bytes(&self) -> u64 {
+                self.0.num_groups as u64 * 12
+            }
+        }
+
+        impl SpmmKernel for $ty {
+            fn name(&self) -> &'static str {
+                self.0.params.name
+            }
+            fn format(&self) -> &'static str {
+                "custom"
+            }
+            fn run(
+                &self,
+                gpu: &Gpu,
+                edge_vals: &DeviceBuffer<f32>,
+                x: &DeviceBuffer<f32>,
+                f: usize,
+                y: &DeviceBuffer<f32>,
+            ) -> Result<KernelReport, LaunchError> {
+                self.0.run(gpu, edge_vals, x, f, y)
+            }
+        }
+    };
+}
+
+ng_system!(
+    /// GNNAdvisor SpMM: neighbor groups + online metadata search.
+    GnnAdvisorSpmm,
+    NgParams {
+        name: "GNNAdvisor",
+        search_instr: 8,
+        stage_in_shared: false,
+    }
+);
+
+ng_system!(
+    /// Huang et al. SpMM: neighbor groups with streamlined metadata — the
+    /// strongest SpMM baseline in Fig. 4.
+    HuangSpmm,
+    NgParams {
+        name: "Huang et al.",
+        search_instr: 0,
+        stage_in_shared: true,
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn random_graph(seed: u64) -> Arc<GraphData> {
+        let el = gen::rmat(7, 700, gen::GRAPH500_PROBS, seed).symmetrize();
+        Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+    }
+
+    fn check(kernel: &dyn SpmmKernel, g: &Arc<GraphData>, f: usize) -> KernelReport {
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 11 % 5) as f32 - 2.0) * 0.3)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 3) as f32 - 1.0) * 0.8).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let r = kernel
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+        r
+    }
+
+    #[test]
+    fn gnnadvisor_correct() {
+        let g = random_graph(51);
+        for f in [6, 16, 32, 64] {
+            check(&GnnAdvisorSpmm::new(Arc::clone(&g)), &g, f);
+        }
+    }
+
+    #[test]
+    fn huang_correct() {
+        let g = random_graph(52);
+        for f in [6, 32] {
+            check(&HuangSpmm::new(Arc::clone(&g)), &g, f);
+        }
+    }
+
+    #[test]
+    fn huang_is_leaner_than_gnnadvisor() {
+        let g = random_graph(53);
+        let adv = check(&GnnAdvisorSpmm::new(Arc::clone(&g)), &g, 32);
+        let hua = check(&HuangSpmm::new(Arc::clone(&g)), &g, 32);
+        assert!(hua.stats.compute_instr < adv.stats.compute_instr);
+        assert!(hua.cycles <= adv.cycles);
+    }
+
+    #[test]
+    fn groups_balance_across_warps() {
+        // Neighbor grouping bounds the straggler at 32 NZEs per warp.
+        let g = random_graph(54);
+        let r = check(&GnnAdvisorSpmm::new(Arc::clone(&g)), &g, 32);
+        let mean = r.stats.total_solo_cycles / r.stats.warps.max(1);
+        assert!(
+            r.stats.max_warp_cycles < 8 * mean,
+            "max {} vs mean {mean}",
+            r.stats.max_warp_cycles
+        );
+    }
+
+    #[test]
+    fn metadata_bytes_reported() {
+        let g = random_graph(55);
+        let adv = GnnAdvisorSpmm::new(Arc::clone(&g));
+        assert!(adv.metadata_bytes() > 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Row-binning SpMM — the SpMV/graph-processing lineage the paper's §6
+//! discusses (Enterprise, Gunrock): a pre-processing step buckets rows by
+//! length, and a separate launch per bin assigns a thread, a warp, or a
+//! CTA-sized team to each row. Balances *across* bins but, as the paper
+//! notes, "still suffers from workload imbalance within each bin".
+//!
+//! Provided as an additional baseline for the extension benches; the
+//! reported [`KernelReport`] aggregates the per-bin launches.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// Bin boundaries on row length: (0, 8] → thread-per-row pack,
+/// (8, 256] → warp-per-row, (256, ∞) → multi-warp team.
+const SMALL_MAX: usize = 8;
+const MEDIUM_MAX: usize = 256;
+
+/// Row-binning SpMM.
+pub struct RowBinningSpmm {
+    graph: Arc<GraphData>,
+    small: Vec<u32>,
+    medium: Vec<u32>,
+    large: Vec<u32>,
+    d_small: DeviceBuffer<u32>,
+    d_medium: DeviceBuffer<u32>,
+    d_large: DeviceBuffer<u32>,
+}
+
+impl RowBinningSpmm {
+    /// Creates the kernel, running the binning pre-processing step.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        let mut small = Vec::new();
+        let mut medium = Vec::new();
+        let mut large = Vec::new();
+        for row in 0..graph.csr.num_rows() {
+            let d = graph.csr.degree(row);
+            if d == 0 {
+                continue;
+            } else if d <= SMALL_MAX {
+                small.push(row as u32);
+            } else if d <= MEDIUM_MAX {
+                medium.push(row as u32);
+            } else {
+                large.push(row as u32);
+            }
+        }
+        let d_small = DeviceBuffer::from_slice(&small);
+        let d_medium = DeviceBuffer::from_slice(&medium);
+        let d_large = DeviceBuffer::from_slice(&large);
+        Self {
+            graph,
+            small,
+            medium,
+            large,
+            d_small,
+            d_medium,
+            d_large,
+        }
+    }
+
+    /// Bin sizes `(small, medium, large)` — for diagnostics and tests.
+    pub fn bin_sizes(&self) -> (usize, usize, usize) {
+        (self.small.len(), self.medium.len(), self.large.len())
+    }
+}
+
+impl SpmmKernel for RowBinningSpmm {
+    fn name(&self) -> &'static str {
+        "Row-binning"
+    }
+
+    fn format(&self) -> &'static str {
+        "custom"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        // One launch per non-empty bin; times add (sequential launches, as
+        // the row-binning systems issue them).
+        let mut total: Option<KernelReport> = None;
+        for (bin, rows_host, rows_dev) in [
+            (Bin::Small, &self.small, &self.d_small),
+            (Bin::Medium, &self.medium, &self.d_medium),
+            (Bin::Large, &self.large, &self.d_large),
+        ] {
+            if rows_host.is_empty() {
+                continue;
+            }
+            let launch = BinLaunch {
+                offsets: &self.graph.d_csr_offsets,
+                cols: &self.graph.d_csr_cols,
+                rows: rows_dev,
+                vals: edge_vals,
+                x,
+                y,
+                num_bin_rows: rows_host.len(),
+                f,
+                bin,
+            };
+            let r = gpu.try_launch(&launch)?;
+            total = Some(match total {
+                None => r,
+                Some(mut acc) => {
+                    acc.cycles += r.cycles;
+                    acc.time_ms += r.time_ms;
+                    acc.ctas += r.ctas;
+                    acc.stats.merge(&r.stats);
+                    acc
+                }
+            });
+        }
+        total.ok_or(LaunchError::Unlaunchable {
+            reason: "empty matrix".into(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bin {
+    /// Thread-per-row: 32 short rows per warp.
+    Small,
+    /// Warp-per-row.
+    Medium,
+    /// Four cooperating warps per row (atomic combine).
+    Large,
+}
+
+struct BinLaunch<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    rows: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    num_bin_rows: usize,
+    f: usize,
+    bin: Bin,
+}
+
+impl WarpKernel for BinLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 38,
+            shared_bytes_per_cta: 0,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        match self.bin {
+            Bin::Small => self.num_bin_rows.div_ceil(WARP_SIZE),
+            Bin::Medium => self.num_bin_rows,
+            Bin::Large => self.num_bin_rows * 4,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "row-binning"
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        match self.bin {
+            Bin::Small => self.run_small(warp_id, ctx),
+            Bin::Medium => self.run_row(warp_id, 0, 1, ctx),
+            Bin::Large => self.run_row(warp_id / 4, warp_id % 4, 4, ctx),
+        }
+    }
+}
+
+impl BinLaunch<'_> {
+    /// Thread-per-row over 32 short rows (features looped serially — the
+    /// within-bin imbalance and uncoalesced feature access of §6).
+    fn run_small(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let base = warp_id * WARP_SIZE;
+        let active0 = |l: usize| base + l < self.num_bin_rows;
+        let rows = ctx.load_u32(self.rows, |l| active0(l).then(|| base + l));
+        ctx.use_loads();
+        let start = ctx.load_u32(self.offsets, |l| active0(l).then(|| rows.get(l) as usize));
+        let end = ctx.load_u32(self.offsets, |l| {
+            active0(l).then(|| rows.get(l) as usize + 1)
+        });
+        ctx.use_loads();
+        let deg = |l: usize| (end.get(l) - start.get(l)) as usize;
+        let max_deg = (0..WARP_SIZE).filter(|&l| active0(l)).map(deg).max().unwrap_or(0);
+
+        for k in 0..f {
+            let mut acc = LaneArr::<f32>::default();
+            for step in 0..max_deg {
+                let active = |l: usize| active0(l) && step < deg(l);
+                let col = ctx.load_u32(self.cols, |l| {
+                    active(l).then(|| start.get(l) as usize + step)
+                });
+                let val = ctx.load_f32(self.vals, |l| {
+                    active(l).then(|| start.get(l) as usize + step)
+                });
+                ctx.use_loads();
+                let xv = ctx.load_f32(self.x, |l| {
+                    active(l).then(|| col.get(l) as usize * f + k)
+                });
+                ctx.compute(1);
+                for l in 0..WARP_SIZE {
+                    if active(l) {
+                        acc.set(l, acc.get(l) + val.get(l) * xv.get(l));
+                    }
+                }
+            }
+            ctx.store_f32(self.y, |l| {
+                active0(l).then(|| (rows.get(l) as usize * f + k, acc.get(l)))
+            });
+        }
+    }
+
+    /// Warp (or one of `teams` warps) per row, feature-parallel.
+    fn run_row(&self, bin_idx: usize, team: usize, teams: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        if bin_idx >= self.num_bin_rows {
+            return;
+        }
+        let row_l = ctx.load_u32(self.rows, |l| (l == 0).then_some(bin_idx));
+        ctx.use_loads();
+        let row = row_l.get(0) as usize;
+        let off = ctx.load_u32(self.offsets, |l| (l < 2).then_some(row + l));
+        ctx.use_loads();
+        let (start, end) = (off.get(0) as usize, off.get(1) as usize);
+        let span = (end - start).div_ceil(teams);
+        let (s, e) = (
+            (start + team * span).min(end),
+            (start + (team + 1) * span).min(end),
+        );
+        for fbase in (0..f).step_by(WARP_SIZE) {
+            let lanes = (f - fbase).min(WARP_SIZE);
+            let mut acc = LaneArr::<f32>::default();
+            for nze in s..e {
+                let col = ctx.load_u32(self.cols, |l| (l < lanes).then_some(nze));
+                let val = ctx.load_f32(self.vals, |l| (l < lanes).then_some(nze));
+                let xv = ctx.load_f32(self.x, |l| {
+                    (l < lanes).then(|| col.get(0) as usize * f + fbase + l)
+                });
+                ctx.compute(1);
+                for l in 0..lanes {
+                    acc.set(l, acc.get(l) + val.get(0) * xv.get(l));
+                }
+            }
+            if teams == 1 {
+                ctx.store_f32(self.y, |l| {
+                    (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
+                });
+            } else {
+                ctx.atomic_add_f32(self.y, |l| {
+                    (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn check(coo: Coo, f: usize) {
+        let g = Arc::new(GraphData::new(coo));
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 5 % 9) as f32 - 4.0) * 0.3)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 6) as f32 - 2.0) * 0.4).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        RowBinningSpmm::new(Arc::clone(&g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+    }
+
+    #[test]
+    fn correct_on_mixed_degree_graph() {
+        // Hub (large bin) + medium rows + many small rows.
+        let mut edges: Vec<(u32, u32)> = (1..600u32).map(|c| (0, c % 700)).collect();
+        for r in 1..40u32 {
+            for k in 0..20u32 {
+                edges.push((r, (r * 13 + k) % 700));
+            }
+        }
+        for r in 40..700u32 {
+            edges.push((r, (r * 7) % 700));
+        }
+        let coo = Coo::from_edge_list(&EdgeList::new(700, edges));
+        check(coo, 16);
+    }
+
+    #[test]
+    fn correct_paper_dims_random() {
+        let el = gen::rmat(8, 1500, gen::GRAPH500_PROBS, 111).symmetrize();
+        for f in [6usize, 32] {
+            check(Coo::from_edge_list(&el), f);
+        }
+    }
+
+    #[test]
+    fn bins_partition_rows() {
+        let el = gen::rmat(9, 4000, gen::GRAPH500_PROBS, 112).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let k = RowBinningSpmm::new(Arc::clone(&g));
+        let (s, m, l) = k.bin_sizes();
+        let nonzero_rows = (0..g.csr.num_rows())
+            .filter(|&r| g.csr.degree(r) > 0)
+            .count();
+        assert_eq!(s + m + l, nonzero_rows);
+        assert!(s > 0 && m > 0, "power-law graph fills small+medium bins");
+    }
+}

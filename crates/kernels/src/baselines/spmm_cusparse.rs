@@ -1,0 +1,283 @@
+//! cuSPARSE-style CSR SpMM (`csrmm`): a solid vendor row-split kernel.
+//!
+//! Modelled after the modern CsrMM algorithm with the two refinements the
+//! vendor library is known for and the academic baselines lack:
+//!
+//! * **row splitting** — rows longer than [`ROW_CHUNK`] NZEs are split
+//!   across warps (with an atomic combine), bounding the straggler that
+//!   sinks plain vertex-parallel kernels on power-law graphs;
+//! * **software pipelining** — column/value loads for the next NZE are
+//!   issued while the current one is processed, so the dependent gather
+//!   does not drain the load pipeline each iteration.
+//!
+//! It still lacks shared-memory NZE caching and the row batching is only
+//! engaged below warp-width feature lengths, which is where GNNOne's 2.65×
+//! (f = 32) and 3.57× (f = 16) gaps in Fig. 4 come from.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// Maximum NZEs per warp chunk (row-split granularity).
+pub const ROW_CHUNK: usize = 256;
+
+/// One unit of warp work: a contiguous chunk of one row.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    row: u32,
+    start: u32,
+    end: u32,
+    /// Whether this row was split (needs an atomic combine).
+    split: bool,
+}
+
+/// cuSPARSE-style SpMM kernel.
+pub struct CusparseSpmm {
+    graph: Arc<GraphData>,
+    chunks: Vec<Chunk>,
+}
+
+impl CusparseSpmm {
+    /// Creates the kernel for `graph` (chunking is the vendor library's
+    /// internal setup work, analogous to `cusparseSpMM_preprocess`).
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        let mut chunks = Vec::new();
+        let csr = &graph.csr;
+        for row in 0..csr.num_rows() {
+            let range = csr.row_range(row);
+            if range.is_empty() {
+                continue;
+            }
+            let split = range.len() > ROW_CHUNK;
+            let mut s = range.start;
+            while s < range.end {
+                let e = (s + ROW_CHUNK).min(range.end);
+                chunks.push(Chunk {
+                    row: row as u32,
+                    start: s as u32,
+                    end: e as u32,
+                    split,
+                });
+                s = e;
+            }
+        }
+        Self { graph, chunks }
+    }
+}
+
+impl SpmmKernel for CusparseSpmm {
+    fn name(&self) -> &'static str {
+        "CuSparse"
+    }
+
+    fn format(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        // Batch several chunks per warp when f < 32 to keep lanes busy.
+        let chunks_per_warp = (WARP_SIZE / f.next_power_of_two().min(WARP_SIZE)).max(1);
+        let launch = CusparseSpmmLaunch {
+            cols: &self.graph.d_csr_cols,
+            vals: edge_vals,
+            x,
+            y,
+            chunks: &self.chunks,
+            f,
+            chunks_per_warp,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct CusparseSpmmLaunch<'a> {
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    chunks: &'a [Chunk],
+    f: usize,
+    chunks_per_warp: usize,
+}
+
+impl WarpKernel for CusparseSpmmLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 40,
+            shared_bytes_per_cta: 0,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.chunks.len().div_ceil(self.chunks_per_warp)
+    }
+
+    fn name(&self) -> &str {
+        "CuSparse-SpMM"
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let cpw = self.chunks_per_warp;
+        let lanes_per_chunk = WARP_SIZE / cpw;
+        let base = warp_id * cpw;
+        let my_chunks: Vec<Option<Chunk>> = (0..cpw)
+            .map(|i| self.chunks.get(base + i).copied())
+            .collect();
+        let max_len = my_chunks
+            .iter()
+            .flatten()
+            .map(|c| (c.end - c.start) as usize)
+            .max()
+            .unwrap_or(0);
+
+        for fbase in (0..f).step_by(lanes_per_chunk) {
+            let tile = (f - fbase).min(lanes_per_chunk);
+            let mut acc = LaneArr::<f32>::default();
+            for step in 0..max_len {
+                let active = |l: usize| {
+                    let (ci, t) = (l / lanes_per_chunk, l % lanes_per_chunk);
+                    t < tile
+                        && my_chunks
+                            .get(ci)
+                            .and_then(|c| *c)
+                            .is_some_and(|c| (c.start as usize) + step < c.end as usize)
+                };
+                // Software-pipelined col/value loads: issued a step ahead by
+                // the real kernel, so no drain between them and the gather.
+                let col = ctx.load_u32(self.cols, |l| {
+                    active(l).then(|| {
+                        my_chunks[l / lanes_per_chunk].expect("active").start as usize + step
+                    })
+                });
+                let val = ctx.load_f32(self.vals, |l| {
+                    active(l).then(|| {
+                        my_chunks[l / lanes_per_chunk].expect("active").start as usize + step
+                    })
+                });
+                let xv = ctx.load_f32(self.x, |l| {
+                    active(l).then(|| {
+                        col.get(l) as usize * f + fbase + l % lanes_per_chunk
+                    })
+                });
+                ctx.compute(1);
+                for l in 0..WARP_SIZE {
+                    if active(l) {
+                        acc.set(l, acc.get(l) + val.get(l) * xv.get(l));
+                    }
+                }
+            }
+            // Split rows combine atomically; whole rows store directly.
+            ctx.store_f32(self.y, |l| {
+                let (ci, t) = (l / lanes_per_chunk, l % lanes_per_chunk);
+                match my_chunks.get(ci).and_then(|c| *c) {
+                    Some(c) if !c.split && t < tile => {
+                        Some((c.row as usize * f + fbase + t, acc.get(l)))
+                    }
+                    _ => None,
+                }
+            });
+            ctx.atomic_add_f32(self.y, |l| {
+                let (ci, t) = (l / lanes_per_chunk, l % lanes_per_chunk);
+                match my_chunks.get(ci).and_then(|c| *c) {
+                    Some(c) if c.split && t < tile => {
+                        Some((c.row as usize * f + fbase + t, acc.get(l)))
+                    }
+                    _ => None,
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn check_graph(coo: Coo, f: usize) -> KernelReport {
+        let g = Arc::new(GraphData::new(coo));
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 23 % 9) as f32 - 4.0) * 0.2)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 4) as f32 - 1.0) * 0.6).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let r = CusparseSpmm::new(Arc::clone(&g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+        r
+    }
+
+    fn rmat(seed: u64) -> Coo {
+        Coo::from_edge_list(&gen::rmat(7, 700, gen::GRAPH500_PROBS, seed).symmetrize())
+    }
+
+    #[test]
+    fn correct_all_paper_dims() {
+        for f in [6, 16, 32, 64] {
+            check_graph(rmat(41), f);
+        }
+    }
+
+    #[test]
+    fn correct_odd_dims() {
+        for f in [1, 3, 5, 48] {
+            check_graph(rmat(42), f);
+        }
+    }
+
+    #[test]
+    fn long_rows_are_split() {
+        // A 1000-degree hub must not become a straggler.
+        let el = EdgeList::new(1100, (1..1001u32).map(|c| (0, c)).collect());
+        let r = check_graph(Coo::from_edge_list(&el), 32);
+        // 1000 NZEs in chunks of 256 → ≥ 4 warps, with atomics combining.
+        assert!(r.stats.atomics > 0, "split rows must combine atomically");
+        let mean = r.stats.total_solo_cycles / r.stats.warps.max(1);
+        assert!(
+            r.stats.max_warp_cycles < 64 * mean.max(1),
+            "straggler bounded: max {} mean {mean}",
+            r.stats.max_warp_cycles
+        );
+    }
+
+    #[test]
+    fn small_f_batches_rows() {
+        let coo = rmat(43);
+        let g = Arc::new(GraphData::new(coo));
+        let run = |f: usize| {
+            let x = DeviceBuffer::from_slice(&vec![0.0f32; g.coo.num_cols() * f]);
+            let w = DeviceBuffer::from_slice(&vec![0.0f32; g.nnz()]);
+            let y = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+            CusparseSpmm::new(Arc::clone(&g))
+                .run(&Gpu::new(GpuSpec::a100_40gb()), &w, &x, f, &y)
+                .unwrap()
+        };
+        assert!(run(6).stats.warps < run(32).stats.warps);
+    }
+}

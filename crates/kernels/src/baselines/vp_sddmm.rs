@@ -1,0 +1,463 @@
+//! Vertex-parallel SDDMM baselines: dgSparse, FeatGraph, Sputnik, cuSPARSE.
+//!
+//! All four downgrade SDDMM to a vertex-centric computation over CSR so the
+//! whole GNN can live on one format (paper §1, approach 2) — inheriting the
+//! workload imbalance of vertex-parallelism and, except for dgSparse and
+//! FeatGraph, discarding even the free row-feature reuse. A single
+//! parameterized engine implements the family; each published system is a
+//! parameter point plus its own pathology.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::geometry::GroupGeometry;
+use crate::graph::GraphData;
+use crate::traits::SddmmKernel;
+
+/// Parameter point of the vertex-parallel SDDMM family.
+#[derive(Debug, Clone, Copy)]
+struct VpParams {
+    name: &'static str,
+    /// Warp-per-row (false) or thread-per-row (true, cuSPARSE's design —
+    /// every lane walks a different row with scalar, uncoalesced loads).
+    thread_per_row: bool,
+    /// Keep the row's features in registers across its NZEs.
+    reuse_row_features: bool,
+    /// Extra bookkeeping instructions per NZE (FeatGraph's feature-tiling
+    /// index arithmetic).
+    overhead_instr: u64,
+    /// Fails when |V|² exceeds the device grid limit (Sputnik allocates a
+    /// |V|²-shaped grid — §5.1) or when workspace indices overflow 32 bits
+    /// (cuSPARSE's observed errors past |V| ≈ 2M, scaled here with the
+    /// device).
+    quadratic_grid: bool,
+}
+
+/// Row-chunk granularity of the warp-per-row path: long rows are processed
+/// by several warps (CTA-per-row in the real kernels), bounding the
+/// straggler while keeping the computation vertex-centric. SDDMM output is
+/// per-edge, so splitting needs no combine step.
+const ROW_CHUNK: usize = 256;
+
+/// One warp's work: a contiguous chunk of one row.
+#[derive(Debug, Clone, Copy)]
+struct RowChunk {
+    row: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Shared implementation.
+struct VpSddmm {
+    graph: Arc<GraphData>,
+    params: VpParams,
+    chunks: Vec<RowChunk>,
+}
+
+impl VpSddmm {
+    fn build(graph: Arc<GraphData>, params: VpParams) -> Self {
+        let mut chunks = Vec::new();
+        for row in 0..graph.csr.num_rows() {
+            let range = graph.csr.row_range(row);
+            if range.is_empty() {
+                continue;
+            }
+            let mut s = range.start;
+            while s < range.end {
+                let e = (s + ROW_CHUNK).min(range.end);
+                chunks.push(RowChunk {
+                    row: row as u32,
+                    start: s as u32,
+                    end: e as u32,
+                });
+                s = e;
+            }
+        }
+        Self {
+            graph,
+            params,
+            chunks,
+        }
+    }
+    fn run(
+        &self,
+        gpu: &Gpu,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+        f: usize,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        if self.params.quadratic_grid {
+            let v = self.graph.num_vertices() as u64;
+            let max = gpu.spec().max_grid_ctas;
+            if v.saturating_mul(v) > max {
+                return Err(LaunchError::GridTooLarge {
+                    requested: v.saturating_mul(v),
+                    max,
+                });
+            }
+        }
+        let launch = VpLaunch {
+            offsets: &self.graph.d_csr_offsets,
+            cols: &self.graph.d_csr_cols,
+            x,
+            y,
+            w,
+            num_rows: self.graph.num_vertices(),
+            chunks: &self.chunks,
+            f,
+            geo: GroupGeometry::feature_parallel(f),
+            params: self.params,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct VpLaunch<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    w: &'a DeviceBuffer<f32>,
+    num_rows: usize,
+    chunks: &'a [RowChunk],
+    f: usize,
+    geo: GroupGeometry,
+    params: VpParams,
+}
+
+impl VpLaunch<'_> {
+    /// Warp-per-row-chunk path (dgSparse / FeatGraph / Sputnik).
+    fn run_warp_per_row(&self, chunk_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let geo = self.geo;
+        let Some(chunk) = self.chunks.get(chunk_id) else {
+            return;
+        };
+        let row = chunk.row as usize;
+        // Row bounds: two broadcast loads, then an address dependency.
+        let off = ctx.load_u32(self.offsets, |l| (l < 2).then_some(row + l));
+        ctx.use_loads();
+        let (start, end) = (chunk.start as usize, chunk.end as usize);
+        let _ = off;
+
+        let mut x_regs = [LaneArr::<f32>::default(); 8];
+        let mut have_x = false;
+        for e in start..end {
+            // Column ID: broadcast load by the active lanes.
+            let col = ctx.load_u32(self.cols, |l| (l < geo.active_lanes(0)).then_some(e));
+            ctx.use_loads();
+            let c = col.get(0) as usize;
+
+            let mut partial = LaneArr::<f32>::default();
+            for pass in 0..geo.passes {
+                let fbase = pass * WARP_SIZE;
+                let lanes = geo.active_lanes(pass);
+                if !have_x || !self.params.reuse_row_features {
+                    let xv =
+                        ctx.load_f32(self.x, |l| (l < lanes).then(|| row * f + fbase + l));
+                    x_regs[pass] = xv;
+                }
+                let yv = ctx.load_f32(self.y, |l| (l < lanes).then(|| c * f + fbase + l));
+                ctx.compute(1 + self.params.overhead_instr);
+                for l in 0..lanes {
+                    partial.set(l, partial.get(l) + x_regs[pass].get(l) * yv.get(l));
+                }
+            }
+            have_x = true;
+            // Full-warp tree reduction: 5 shuffle rounds regardless of f —
+            // the cost GNNOne's thread groups cut to log2(group).
+            let reduced = ctx.shfl_reduce_sum_f32(&partial, WARP_SIZE);
+            ctx.store_f32(self.w, |l| (l == 0).then(|| (e, reduced.get(0))));
+        }
+    }
+
+    /// Thread-per-row path (cuSPARSE): every lane owns one row and walks it
+    /// with scalar loads — no coalescing, no cooperation.
+    fn run_thread_per_row(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let base_row = warp_id * WARP_SIZE;
+        let rows = ctx.load_u32(self.offsets, |l| {
+            (base_row + l < self.num_rows).then(|| base_row + l)
+        });
+        let rows_end = ctx.load_u32(self.offsets, |l| {
+            (base_row + l < self.num_rows).then(|| base_row + l + 1)
+        });
+        ctx.use_loads();
+        let deg = |l: usize| (rows_end.get(l) - rows.get(l)) as usize;
+        let max_deg = (0..WARP_SIZE)
+            .filter(|&l| base_row + l < self.num_rows)
+            .map(deg)
+            .max()
+            .unwrap_or(0);
+
+        for step in 0..max_deg {
+            let active = |l: usize| base_row + l < self.num_rows && step < deg(l);
+            let col = ctx.load_u32(self.cols, |l| {
+                active(l).then(|| rows.get(l) as usize + step)
+            });
+            ctx.use_loads();
+            let mut acc = LaneArr::<f32>::default();
+            for k in 0..f {
+                // Scalar, per-lane strided loads: each lane touches its own
+                // row — fully uncoalesced, the design cuSPARSE's SDDMM pays
+                // one to two orders of magnitude for (§5.1).
+                let xv = ctx.load_f32(self.x, |l| active(l).then(|| (base_row + l) * f + k));
+                let yv = ctx.load_f32(self.y, |l| active(l).then(|| col.get(l) as usize * f + k));
+                ctx.compute(1);
+                acc = LaneArr::from_fn(|l| acc.get(l) + xv.get(l) * yv.get(l));
+            }
+            ctx.store_f32(self.w, |l| {
+                active(l).then(|| (rows.get(l) as usize + step, acc.get(l)))
+            });
+        }
+    }
+}
+
+impl WarpKernel for VpLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 36,
+            shared_bytes_per_cta: 0,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        if self.params.thread_per_row {
+            self.num_rows.div_ceil(WARP_SIZE)
+        } else {
+            self.chunks.len()
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.params.name
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        if self.params.thread_per_row {
+            self.run_thread_per_row(warp_id, ctx);
+        } else {
+            self.run_warp_per_row(warp_id, ctx);
+        }
+    }
+}
+
+macro_rules! vp_system {
+    ($(#[$doc:meta])* $ty:ident, $params:expr) => {
+        $(#[$doc])*
+        pub struct $ty(VpSddmm);
+
+        impl $ty {
+            /// Creates the kernel for `graph`.
+            pub fn new(graph: Arc<GraphData>) -> Self {
+                Self(VpSddmm::build(graph, $params))
+            }
+        }
+
+        impl SddmmKernel for $ty {
+            fn name(&self) -> &'static str {
+                self.0.params.name
+            }
+            fn format(&self) -> &'static str {
+                "CSR"
+            }
+            fn run(
+                &self,
+                gpu: &Gpu,
+                x: &DeviceBuffer<f32>,
+                y: &DeviceBuffer<f32>,
+                f: usize,
+                w: &DeviceBuffer<f32>,
+            ) -> Result<KernelReport, LaunchError> {
+                self.0.run(gpu, x, y, f, w)
+            }
+        }
+    };
+}
+
+vp_system!(
+    /// dgSparse SDDMM (used by dgNN): vertex-parallel, warp per row, with
+    /// the natural row-feature reuse of vertex-centric execution.
+    DgSparseSddmm,
+    VpParams {
+        name: "dgSparse",
+        thread_per_row: false,
+        reuse_row_features: true,
+        overhead_instr: 0,
+        quadratic_grid: false,
+    }
+);
+
+vp_system!(
+    /// FeatGraph SDDMM: vertex-parallel with feature tiling — row reuse but
+    /// extra tiling bookkeeping per NZE.
+    FeatGraphSddmm,
+    VpParams {
+        name: "FeatGraph",
+        thread_per_row: false,
+        reuse_row_features: true,
+        overhead_instr: 4,
+        quadratic_grid: false,
+    }
+);
+
+vp_system!(
+    /// Sputnik SDDMM: vertex-parallel without row-feature reuse (§6), and a
+    /// |V|²-shaped grid that exceeds CUDA limits on large vertex sets (§5.1).
+    SputnikSddmm,
+    VpParams {
+        name: "Sputnik",
+        thread_per_row: false,
+        reuse_row_features: false,
+        overhead_instr: 2,
+        quadratic_grid: true,
+    }
+);
+
+vp_system!(
+    /// cuSPARSE SDDMM: thread-per-row with scalar uncoalesced feature loads
+    /// — "extremely slow" per the paper's measurements (§1, §5.1) — and
+    /// errors once |V| outgrows its workspace indexing.
+    CusparseSddmm,
+    VpParams {
+        name: "CuSparse",
+        thread_per_row: true,
+        reuse_row_features: false,
+        overhead_instr: 0,
+        quadratic_grid: true,
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnnone::{GnnOneConfig, GnnOneSddmm};
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100_40gb())
+    }
+
+    fn random_graph(seed: u64) -> Arc<GraphData> {
+        let el = gen::rmat(7, 700, gen::GRAPH500_PROBS, seed).symmetrize();
+        Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+    }
+
+    fn check(kernel: &dyn SddmmKernel, g: &Arc<GraphData>, f: usize) -> KernelReport {
+        let x: Vec<f32> = (0..g.coo.num_rows() * f)
+            .map(|i| ((i * 29 % 13) as f32 - 6.0) * 0.2)
+            .collect();
+        let yv: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 41 % 11) as f32 - 5.0) * 0.3)
+            .collect();
+        let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+        let r = kernel
+            .run(
+                &gpu(),
+                &DeviceBuffer::from_slice(&x),
+                &DeviceBuffer::from_slice(&yv),
+                f,
+                &dw,
+            )
+            .unwrap();
+        let expected = reference::sddmm_coo(&g.coo, &x, &yv, f);
+        reference::assert_close(&dw.to_vec(), &expected, 1e-4);
+        r
+    }
+
+    #[test]
+    fn dgsparse_correct() {
+        let g = random_graph(2);
+        for f in [6, 16, 32, 64] {
+            check(&DgSparseSddmm::new(Arc::clone(&g)), &g, f);
+        }
+    }
+
+    #[test]
+    fn featgraph_correct() {
+        let g = random_graph(3);
+        for f in [6, 32] {
+            check(&FeatGraphSddmm::new(Arc::clone(&g)), &g, f);
+        }
+    }
+
+    #[test]
+    fn sputnik_correct_when_small() {
+        let g = random_graph(4);
+        check(&SputnikSddmm::new(Arc::clone(&g)), &g, 32);
+    }
+
+    #[test]
+    fn cusparse_correct() {
+        let g = random_graph(5);
+        for f in [6, 32] {
+            check(&CusparseSddmm::new(Arc::clone(&g)), &g, f);
+        }
+    }
+
+    #[test]
+    fn sputnik_grid_overflows_on_large_vertex_sets() {
+        let g = random_graph(6);
+        let mut spec = GpuSpec::a100_40gb();
+        // Vertex count squared must exceed the grid limit.
+        spec.max_grid_ctas = (g.num_vertices() as u64).pow(2) - 1;
+        let x = DeviceBuffer::from_slice(&vec![0.0f32; g.num_vertices() * 8]);
+        let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+        let err = SputnikSddmm::new(Arc::clone(&g))
+            .run(&Gpu::new(spec), &x, &x, 8, &dw)
+            .unwrap_err();
+        assert!(matches!(err, LaunchError::GridTooLarge { .. }));
+    }
+
+    #[test]
+    fn cusparse_is_much_slower_than_gnnone() {
+        // The paper's one-to-two-orders gap (§5.1).
+        let g = random_graph(7);
+        let f = 32;
+        let cus = check(&CusparseSddmm::new(Arc::clone(&g)), &g, f);
+        let one = check(
+            &GnnOneSddmm::new(Arc::clone(&g), GnnOneConfig::default()),
+            &g,
+            f,
+        );
+        assert!(
+            cus.cycles > 5 * one.cycles,
+            "cusparse {} !> 5 × gnnone {}",
+            cus.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn vertex_parallel_is_imbalanced_on_skewed_graphs() {
+        let g = random_graph(8);
+        let r = check(&DgSparseSddmm::new(Arc::clone(&g)), &g, 32);
+        // Max warp far exceeds the mean: straggler-prone.
+        let mean = r.stats.total_solo_cycles / r.stats.warps.max(1);
+        assert!(
+            r.stats.max_warp_cycles > 4 * mean,
+            "max {} !> 4 × mean {mean}",
+            r.stats.max_warp_cycles
+        );
+    }
+
+    #[test]
+    fn dgsparse_reuses_rows_vs_sputnik() {
+        // Same strategy modulo row-feature reuse → Sputnik issues more
+        // feature loads.
+        let g = random_graph(9);
+        let f = 32;
+        let dg = check(&DgSparseSddmm::new(Arc::clone(&g)), &g, f);
+        let sp = check(&SputnikSddmm::new(Arc::clone(&g)), &g, f);
+        assert!(dg.stats.loads < sp.stats.loads);
+    }
+}

@@ -1,0 +1,179 @@
+//! Thread-group geometry (paper §4.2).
+//!
+//! The symbiotic scheduler divides each 32-lane warp into *thread groups*;
+//! one group processes one NZE at a time, each lane loading `vec_width`
+//! consecutive vertex features with a single vector instruction. This module
+//! computes the geometry for a feature length and is shared by GNNOne and
+//! by the vanilla feature-parallel baselines (which use `vec_width = 1` and
+//! a single group — leaving lanes idle when `f < 32`, exactly the
+//! inefficiency the paper exploits).
+
+/// How lanes of a warp are arranged for a given feature length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupGeometry {
+    /// Feature length covered.
+    pub feature_len: usize,
+    /// Features loaded per lane per vector instruction (CUDA float/float2/
+    /// float3/float4 → 1..=4).
+    pub vec_width: usize,
+    /// Lanes per thread group (power of two; lanes beyond
+    /// `ceil(f / vec_width)` idle within the group).
+    pub group_size: usize,
+    /// Thread groups per warp (`32 / group_size`).
+    pub groups_per_warp: usize,
+    /// Feature chunks each lane iterates when `f` exceeds one pass
+    /// (`group_size × vec_width`).
+    pub passes: usize,
+}
+
+impl GroupGeometry {
+    /// GNNOne geometry: the widest vector type that divides `f` (float4
+    /// preferred; float3 for the odd last-layer lengths like 6 — §4.4),
+    /// then the smallest power-of-two group covering `f`.
+    pub fn gnnone(f: usize) -> Self {
+        assert!(f >= 1);
+        let vec_width = if f.is_multiple_of(4) {
+            4
+        } else if f.is_multiple_of(3) {
+            3
+        } else if f.is_multiple_of(2) {
+            2
+        } else {
+            1
+        };
+        Self::with_vec_width(f, vec_width)
+    }
+
+    /// Vanilla feature-parallel geometry (prior works): one feature per
+    /// lane, one group per warp — lanes beyond `f` idle, and `f > 32`
+    /// iterates passes.
+    pub fn feature_parallel(f: usize) -> Self {
+        assert!(f >= 1);
+        Self {
+            feature_len: f,
+            vec_width: 1,
+            group_size: 32,
+            groups_per_warp: 1,
+            passes: f.div_ceil(32),
+        }
+    }
+
+    /// Geometry with an explicit vector width (for ablations).
+    pub fn with_vec_width(f: usize, vec_width: usize) -> Self {
+        assert!((1..=4).contains(&vec_width));
+        let lanes_needed = f.div_ceil(vec_width);
+        let group_size = lanes_needed.next_power_of_two().min(32);
+        let per_pass = group_size * vec_width;
+        Self {
+            feature_len: f,
+            vec_width,
+            group_size,
+            groups_per_warp: 32 / group_size,
+            passes: f.div_ceil(per_pass),
+        }
+    }
+
+    /// Number of active lanes in a group during a feature pass starting at
+    /// feature `pass_base` (the tail pass may be ragged).
+    pub fn active_lanes(&self, pass: usize) -> usize {
+        let base = pass * self.group_size * self.vec_width;
+        let remaining = self.feature_len.saturating_sub(base);
+        remaining.div_ceil(self.vec_width).min(self.group_size)
+    }
+
+    /// Shuffle rounds of a tree reduction across the group.
+    pub fn reduction_rounds(&self) -> u32 {
+        self.group_size.trailing_zeros()
+    }
+
+    /// Decomposes lane index into (group, lane-in-group).
+    #[inline]
+    pub fn split_lane(&self, lane: usize) -> (usize, usize) {
+        (lane / self.group_size, lane % self.group_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_f32() {
+        // §4.2: f = 32 → float4, 8-lane groups, 4 groups, 3 rounds.
+        let g = GroupGeometry::gnnone(32);
+        assert_eq!(g.vec_width, 4);
+        assert_eq!(g.group_size, 8);
+        assert_eq!(g.groups_per_warp, 4);
+        assert_eq!(g.reduction_rounds(), 3);
+        assert_eq!(g.passes, 1);
+    }
+
+    #[test]
+    fn paper_example_f16() {
+        // §4.2: f = 16 → 4-lane groups, 8 groups.
+        let g = GroupGeometry::gnnone(16);
+        assert_eq!(g.vec_width, 4);
+        assert_eq!(g.group_size, 4);
+        assert_eq!(g.groups_per_warp, 8);
+    }
+
+    #[test]
+    fn odd_length_6_uses_float3() {
+        // §4.4: f = 6 → float3 (float4 misaligns), 2-lane groups.
+        let g = GroupGeometry::gnnone(6);
+        assert_eq!(g.vec_width, 3);
+        assert_eq!(g.group_size, 2);
+        assert_eq!(g.groups_per_warp, 16);
+        assert_eq!(g.reduction_rounds(), 1);
+    }
+
+    #[test]
+    fn f64_two_groups() {
+        let g = GroupGeometry::gnnone(64);
+        assert_eq!(g.vec_width, 4);
+        assert_eq!(g.group_size, 16);
+        assert_eq!(g.groups_per_warp, 2);
+        assert_eq!(g.passes, 1);
+    }
+
+    #[test]
+    fn feature_parallel_keeps_lanes_idle() {
+        let g = GroupGeometry::feature_parallel(16);
+        assert_eq!(g.groups_per_warp, 1);
+        assert_eq!(g.active_lanes(0), 16); // 16 of 32 lanes busy
+        let g = GroupGeometry::feature_parallel(64);
+        assert_eq!(g.passes, 2);
+        assert_eq!(g.active_lanes(0), 32);
+        assert_eq!(g.active_lanes(1), 32);
+    }
+
+    #[test]
+    fn ragged_group_tail() {
+        // f = 5, vec 1 → group 8, 5 active lanes, 3 idle.
+        let g = GroupGeometry::with_vec_width(5, 1);
+        assert_eq!(g.group_size, 8);
+        assert_eq!(g.active_lanes(0), 5);
+    }
+
+    #[test]
+    fn split_lane() {
+        let g = GroupGeometry::gnnone(32);
+        assert_eq!(g.split_lane(0), (0, 0));
+        assert_eq!(g.split_lane(9), (1, 1));
+        assert_eq!(g.split_lane(31), (3, 7));
+    }
+
+    #[test]
+    fn group_size_is_always_power_of_two() {
+        for f in 1..=128 {
+            let g = GroupGeometry::gnnone(f);
+            assert!(g.group_size.is_power_of_two(), "f={f}");
+            assert_eq!(g.groups_per_warp * g.group_size, 32, "f={f}");
+            // Every feature is covered.
+            assert!(
+                g.passes * g.group_size * g.vec_width >= f,
+                "f={f}: {g:?}"
+            );
+        }
+    }
+}

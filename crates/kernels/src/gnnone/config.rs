@@ -1,0 +1,108 @@
+//! Configuration knobs of the GNNOne kernels — each knob corresponds to a
+//! design-choice experiment in the paper's §5.4.
+
+use serde::{Deserialize, Serialize};
+
+/// Stage-2 NZE assignment policy (paper §4.2.2, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Each thread group takes a contiguous block of the cached NZEs —
+    /// enables row-feature reuse in SDDMM and long thread-local reduction
+    /// runs in SpMM. The paper's preferred policy.
+    #[default]
+    Consecutive,
+    /// Cached NZEs dealt round-robin across groups — little reuse, a flush
+    /// per NZE in SpMM on short rows.
+    RoundRobin,
+}
+
+/// GNNOne kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GnnOneConfig {
+    /// NZEs cached per warp in Stage 1; multiple of 32 (Fig. 9 compares 32
+    /// vs the default 128).
+    pub cache_size: usize,
+    /// Stage-2 NZE assignment policy.
+    pub schedule: Schedule,
+    /// Use vector loads (`float4`, `float3` for odd lengths) and thread
+    /// groups in Stage 2 (the "+Float4" step of Fig. 8). When `false`, the
+    /// vanilla feature-parallel layout (one feature per lane) is used.
+    pub vectorize: bool,
+    /// Stage-1 shared-memory NZE caching plus SDDMM row-feature reuse (the
+    /// "+Data-reuse" step of Fig. 8). When `false`, NZE IDs are re-fetched
+    /// from global memory per thread group, as DGL does.
+    pub data_reuse: bool,
+}
+
+impl Default for GnnOneConfig {
+    fn default() -> Self {
+        Self {
+            cache_size: 128,
+            schedule: Schedule::Consecutive,
+            vectorize: true,
+            data_reuse: true,
+        }
+    }
+}
+
+impl GnnOneConfig {
+    /// The Fig. 8 "Baseline": balanced COO data load, no reuse, no float4 —
+    /// roughly the DGL SDDMM design idea.
+    pub fn ablation_baseline() -> Self {
+        Self {
+            cache_size: 128,
+            schedule: Schedule::Consecutive,
+            vectorize: false,
+            data_reuse: false,
+        }
+    }
+
+    /// Fig. 8 "+Data-reuse".
+    pub fn ablation_data_reuse() -> Self {
+        Self {
+            data_reuse: true,
+            ..Self::ablation_baseline()
+        }
+    }
+
+    /// Validates invariants (cache size a positive multiple of 32).
+    pub fn validate(&self) {
+        assert!(
+            self.cache_size >= 32 && self.cache_size.is_multiple_of(32),
+            "cache_size must be a positive multiple of 32, got {}",
+            self.cache_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = GnnOneConfig::default();
+        assert_eq!(c.cache_size, 128);
+        assert_eq!(c.schedule, Schedule::Consecutive);
+        assert!(c.vectorize && c.data_reuse);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_ladder() {
+        let base = GnnOneConfig::ablation_baseline();
+        assert!(!base.vectorize && !base.data_reuse);
+        let reuse = GnnOneConfig::ablation_data_reuse();
+        assert!(!reuse.vectorize && reuse.data_reuse);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn bad_cache_size_rejected() {
+        GnnOneConfig {
+            cache_size: 48,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

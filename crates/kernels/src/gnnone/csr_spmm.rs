@@ -1,0 +1,375 @@
+//! GNNOne's SpMM ported to plain CSR — the format-selection trade-off of
+//! §4.3/§5.4.5 made executable.
+//!
+//! The unified design "can fit in any format if we can quickly locate the
+//! row and column ID from each non-zero element". On COO the row ID is one
+//! coalesced 4-byte load; on plain CSR it must be *derived*: each warp
+//! binary-searches the offsets array for the rows its NZE span touches
+//! (a serial chain of dependent loads), stages that offsets slice in
+//! shared memory, and resolves every NZE's row against it. Avoiding either
+//! this search or extra metadata (which would make CSR a custom format) is
+//! exactly why the paper standardizes on COO. The `ext_format_tradeoff`
+//! bench quantifies the gap.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// NZEs per warp, as in the COO kernel's default Stage 1.
+const CACHE: usize = 128;
+
+/// GNNOne-structured SpMM over plain CSR (feature-parallel Stage 2 with
+/// register accumulation per resolved row — the same running-reduction
+/// idea, driven by searched row IDs).
+pub struct GnnOneCsrSpmm {
+    graph: Arc<GraphData>,
+}
+
+impl GnnOneCsrSpmm {
+    /// Creates the kernel for `graph`.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        Self { graph }
+    }
+}
+
+impl SpmmKernel for GnnOneCsrSpmm {
+    fn name(&self) -> &'static str {
+        "GnnOne-CSR"
+    }
+
+    fn format(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = CsrLaunch {
+            offsets: &self.graph.d_csr_offsets,
+            cols: &self.graph.d_csr_cols,
+            vals: edge_vals,
+            x,
+            y,
+            num_rows: self.graph.num_vertices(),
+            nnz: self.graph.nnz(),
+            f,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct CsrLaunch<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    num_rows: usize,
+    nnz: usize,
+    f: usize,
+}
+
+impl CsrLaunch<'_> {
+    /// Charges one binary search over the offsets array: a serial chain of
+    /// `⌈log₂(rows)⌉` broadcast probes, each a dependent global load — the
+    /// cost COO's 4-byte row IDs avoid. Returns the functional result.
+    fn device_row_search(&self, ctx: &mut WarpCtx, nze: usize) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.num_rows;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let probe = ctx.load_u32(self.offsets, |l| (l == 0).then_some(mid));
+            ctx.use_loads(); // the next probe's address depends on this one
+            ctx.compute(2);
+            if probe.get(0) as usize <= nze {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl WarpKernel for CsrLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 42,
+            // Cols + vals (8 B/NZE) plus the staged offsets slice.
+            shared_bytes_per_cta: (256 / 32) * (CACHE * 8 + (CACHE + 2) * 4),
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(CACHE)
+    }
+
+    fn name(&self) -> &str {
+        "GnnOne-CSR-SpMM"
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let f = self.f;
+        let base = warp_id * CACHE;
+        let count = CACHE.min(self.nnz - base);
+
+        // ---- Row-ID derivation: the CSR surcharge --------------------
+        // Two dependent binary searches bracket the rows this warp's NZE
+        // span touches...
+        let row_first = self.device_row_search(ctx, base);
+        let row_last = self.device_row_search(ctx, base + count - 1);
+        let span = row_last - row_first + 1;
+        // ...then the offsets slice is staged in shared for per-NZE
+        // resolution (capped at the warp's NZE count by construction:
+        // a span of rows over `count` NZEs has at most `count` non-empties,
+        // but empty rows can inflate it — those chunks load extra).
+        for off in (0..span + 1).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < span + 1;
+            let o = ctx.load_u32(self.offsets, |l| {
+                active(l).then(|| row_first + off + l)
+            });
+            ctx.shared_store(|l| {
+                active(l).then(|| (CACHE * 2 + ((off + l) % (CACHE + 2)), o.get(l)))
+            });
+        }
+
+        // ---- Stage 1: cache cols + vals (8 B/NZE — less than COO's 12)
+        for off in (0..count).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < count;
+            let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+            let v = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
+            ctx.shared_store(|l| active(l).then(|| (off + l, c.get(l))));
+            ctx.shared_store(|l| active(l).then(|| (CACHE + off + l, v.get(l))));
+        }
+        ctx.barrier();
+
+        // ---- Stage 2: thread groups with running reduction ----------
+        let geo = crate::geometry::GroupGeometry::gnnone(f);
+        let ng = geo.groups_per_warp;
+        let vw = geo.vec_width;
+        let per_group = CACHE / ng;
+
+        for pass in 0..geo.passes {
+            let fbase = pass * geo.group_size * vw;
+            let mut acc = [LaneArr::<f32>::default(); 4];
+            let mut open_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+            for j in 0..per_group {
+                let e_local = |g: usize| g * per_group + j;
+                let group_active = |g: usize| e_local(g) < count;
+                if (0..ng).all(|g| !group_active(g)) {
+                    break;
+                }
+                let cols_l: LaneArr<u32> = ctx.shared_load(|l| {
+                    let (g, _) = geo.split_lane(l);
+                    group_active(g).then(|| e_local(g))
+                });
+                let vals_l: LaneArr<f32> = ctx.shared_load(|l| {
+                    let (g, _) = geo.split_lane(l);
+                    group_active(g).then(|| CACHE + e_local(g))
+                });
+                // Row resolution: one shared probe + search arithmetic per
+                // NZE (the staged offsets slice), vs COO's direct read.
+                let _probe: LaneArr<u32> = ctx.shared_load(|l| {
+                    let (g, _) = geo.split_lane(l);
+                    group_active(g).then(|| CACHE * 2 + (e_local(g) % (CACHE + 2)))
+                });
+                ctx.compute(4); // branchy search steps within the slice
+                let mut rows_l = [0u32; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    let (g, _) = geo.split_lane(l);
+                    if group_active(g) {
+                        rows_l[l] = host_row_of(self.offsets, base + e_local(g)) as u32;
+                    }
+                }
+
+                // Row-split flush, as in the COO kernel.
+                let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+                let mut any = false;
+                for g in 0..ng {
+                    if !group_active(g) {
+                        continue;
+                    }
+                    let row = rows_l[g * geo.group_size];
+                    if let Some(open) = open_row[g] {
+                        if open != row {
+                            flush_row[g] = Some(open);
+                            any = true;
+                        }
+                    }
+                    open_row[g] = Some(row);
+                }
+                if any {
+                    flush(ctx, &geo, f, fbase, self.y, &flush_row, &mut acc);
+                }
+
+                let xv = ctx.load_f32xw(vw, self.x, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
+                });
+                ctx.compute(vw as u64);
+                for l in 0..WARP_SIZE {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    if group_active(g) && k < f {
+                        for kk in 0..vw {
+                            acc[kk].set(l, acc[kk].get(l) + vals_l.get(l) * xv[kk].get(l));
+                        }
+                    }
+                }
+            }
+            let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+            flush_row[..ng].copy_from_slice(&open_row[..ng]);
+            if flush_row.iter().any(|r| r.is_some()) {
+                flush(ctx, &geo, f, fbase, self.y, &flush_row, &mut acc);
+            }
+        }
+    }
+}
+
+fn flush(
+    ctx: &mut WarpCtx,
+    geo: &crate::geometry::GroupGeometry,
+    f: usize,
+    fbase: usize,
+    y: &DeviceBuffer<f32>,
+    flush_row: &[Option<u32>; WARP_SIZE],
+    acc: &mut [LaneArr<f32>; 4],
+) {
+    let vw = geo.vec_width;
+    ctx.atomic_add_f32_vec(vw, y, |l| {
+        let (g, t) = geo.split_lane(l);
+        let k0 = fbase + t * vw;
+        match flush_row[g] {
+            Some(row) if k0 < f => {
+                let vals = [acc[0].get(l), acc[1].get(l), acc[2].get(l), acc[3].get(l)];
+                Some((row as usize * f + k0, vals))
+            }
+            _ => None,
+        }
+    });
+    for a in acc.iter_mut() {
+        for l in 0..WARP_SIZE {
+            let (g, _) = geo.split_lane(l);
+            if flush_row[g].is_some() {
+                a.set(l, 0.0);
+            }
+        }
+    }
+}
+
+/// Host-side functional row lookup (device cost charged through the
+/// searches/probes above).
+fn host_row_of(offsets: &DeviceBuffer<u32>, nze: usize) -> usize {
+    let (mut lo, mut hi) = (0usize, offsets.len() - 1);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if offsets.read(mid) as usize <= nze {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnnone::{GnnOneConfig, GnnOneSpmm};
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn check(g: &Arc<GraphData>, f: usize) -> KernelReport {
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 19 % 13) as f32 - 6.0) * 0.2)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 5) as f32 - 2.0) * 0.4).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let r = GnnOneCsrSpmm::new(Arc::clone(g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+        r
+    }
+
+    #[test]
+    fn correct_paper_dims() {
+        let el = gen::rmat(7, 700, gen::GRAPH500_PROBS, 151).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        for f in [6, 16, 32, 64] {
+            check(&g, f);
+        }
+    }
+
+    #[test]
+    fn coo_beats_csr_variant_on_saturated_device() {
+        // §5.4.5: the 4-byte COO row ID is cheaper than deriving rows.
+        let el = gen::rmat(11, 16_000, gen::GRAPH500_PROBS, 152).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let f = 32;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; g.coo.num_cols() * f]);
+        let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let coo = GnnOneSpmm::new(Arc::clone(&g), GnnOneConfig::default())
+            .run(&gpu, &w, &x, f, &dy)
+            .unwrap();
+        let csr = GnnOneCsrSpmm::new(Arc::clone(&g))
+            .run(&gpu, &w, &x, f, &dy)
+            .unwrap();
+        assert!(
+            csr.cycles > coo.cycles,
+            "CSR variant {} !> COO {}",
+            csr.cycles,
+            coo.cycles
+        );
+    }
+
+    #[test]
+    fn csr_variant_reads_fewer_topology_bytes_but_more_instructions() {
+        let el = gen::rmat(9, 3000, gen::GRAPH500_PROBS, 153).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let f = 16;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; g.coo.num_cols() * f]);
+        let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let gpu = Gpu::new(GpuSpec::a100_40gb());
+        let coo = GnnOneSpmm::new(Arc::clone(&g), GnnOneConfig::default())
+            .run(&gpu, &w, &x, f, &dy)
+            .unwrap();
+        let csr = GnnOneCsrSpmm::new(Arc::clone(&g))
+            .run(&gpu, &w, &x, f, &dy)
+            .unwrap();
+        // The trade-off, itemized: more exposed stall (serial searches)…
+        assert!(csr.stats.total_mem_stall_cycles > coo.stats.total_mem_stall_cycles);
+        // …in exchange for not requesting the 4-byte row ID per NZE.
+        assert!(
+            csr.stats.read_useful_bytes < coo.stats.read_useful_bytes,
+            "CSR useful {} !< COO useful {}",
+            csr.stats.read_useful_bytes,
+            coo.stats.read_useful_bytes
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! The GNNOne kernels (paper §4): a unified two-stage data-load design on
+//! the standard COO format.
+//!
+//! * Stage 1 — edge-parallel, fully balanced load of `CACHE_SIZE` NZEs
+//!   (+ edge features for SpMM) per warp into shared memory ([`config`]).
+//! * Stage 2 — the symbiotic thread scheduler: thread groups sized by the
+//!   feature length, `float4`/`float3` vector loads, and the Consecutive
+//!   NZE-assignment policy enabling row-feature reuse (SDDMM) and a running
+//!   thread-local reduction (SpMM).
+
+pub mod config;
+pub mod csr_spmm;
+pub mod fused;
+pub mod sddmm;
+pub mod spmm;
+pub mod spmv;
+pub mod variants;
+
+pub use config::{GnnOneConfig, Schedule};
+pub use csr_spmm::GnnOneCsrSpmm;
+pub use fused::FusedGatAttention;
+pub use sddmm::GnnOneSddmm;
+pub use spmm::GnnOneSpmm;
+pub use spmv::GnnOneSpmv;
+pub use variants::GnnOneUAddV;

@@ -1,0 +1,452 @@
+//! GNNOne SpMM (paper §4): `y[r] += Σ_{(r,c)} w[(r,c)] · x[c]` on COO.
+//!
+//! Stage 1 additionally caches the edge feature of every NZE (needed for
+//! the dot products). Stage 2 uses the same thread groups as SDDMM; under
+//! the Consecutive policy each group walks a contiguous run of NZEs, so the
+//! reduction along the neighborhood dimension is a **running, thread-local
+//! accumulation** — registers hold one partial vector per lane, flushed
+//! with `atomicAdd` only when a row split is observed (§4.3). This is what
+//! frees GNNOne from the register materialization that sinks Yang et al.'s
+//! nonzero-split SpMM.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::{GnnOneConfig, Schedule};
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// The GNNOne SpMM kernel over COO.
+pub struct GnnOneSpmm {
+    graph: Arc<GraphData>,
+    config: GnnOneConfig,
+    name: &'static str,
+}
+
+impl GnnOneSpmm {
+    /// Creates the kernel for `graph` with `config`.
+    pub fn new(graph: Arc<GraphData>, config: GnnOneConfig) -> Self {
+        config.validate();
+        Self {
+            graph,
+            config,
+            name: "GnnOne",
+        }
+    }
+
+    /// Same kernel under an ablation label.
+    pub fn named(graph: Arc<GraphData>, config: GnnOneConfig, name: &'static str) -> Self {
+        config.validate();
+        Self {
+            graph,
+            config,
+            name,
+        }
+    }
+}
+
+impl SpmmKernel for GnnOneSpmm {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn format(&self) -> &'static str {
+        "COO"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let geo = if self.config.vectorize {
+            GroupGeometry::gnnone(f)
+        } else {
+            GroupGeometry::feature_parallel(f)
+        };
+        let launch = SpmmLaunch {
+            rows: &self.graph.d_coo_rows,
+            cols: &self.graph.d_coo_cols,
+            vals: edge_vals,
+            x,
+            y,
+            nnz: self.graph.nnz(),
+            f,
+            geo,
+            cfg: self.config,
+            name: self.name,
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct SpmmLaunch<'a> {
+    rows: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    nnz: usize,
+    f: usize,
+    geo: GroupGeometry,
+    cfg: GnnOneConfig,
+    name: &'static str,
+}
+
+impl SpmmLaunch<'_> {
+    /// Flush one group's running accumulator to `y[row]` via atomicAdd —
+    /// `vec_width` atomic instructions, one per feature slot per lane.
+    #[allow(clippy::too_many_arguments)]
+    fn flush(
+        &self,
+        ctx: &mut WarpCtx,
+        geo: &GroupGeometry,
+        flush_row: &[Option<u32>; WARP_SIZE],
+        acc: &mut [LaneArr<f32>; 4],
+        pass: usize,
+    ) {
+        let f = self.f;
+        let vw = geo.vec_width;
+        let fbase = pass * geo.group_size * vw;
+        // One vectored atomic per lane: `vw` consecutive element-atomics
+        // whose sector traffic the L2 combines (§4.3's atomicAdd flush).
+        ctx.atomic_add_f32_vec(vw, self.y, |l| {
+            let (g, t) = geo.split_lane(l);
+            let k0 = fbase + t * vw;
+            match flush_row[g] {
+                Some(row) if k0 < f => {
+                    let vals = [acc[0].get(l), acc[1].get(l), acc[2].get(l), acc[3].get(l)];
+                    Some((row as usize * f + k0, vals))
+                }
+                _ => None,
+            }
+        });
+        for k in 0..vw {
+            for l in 0..WARP_SIZE {
+                let (g, _) = geo.split_lane(l);
+                if flush_row[g].is_some() {
+                    acc[k].set(l, 0.0);
+                }
+            }
+        }
+    }
+}
+
+impl WarpKernel for SpmmLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        let threads_per_cta = 256;
+        let warps_per_cta = threads_per_cta / 32;
+        KernelResources {
+            threads_per_cta,
+            // Running reduction keeps register pressure flat: accumulator +
+            // loaded vector + ids (§4.3) — contrast Yang et al.
+            regs_per_thread: if self.cfg.vectorize { 42 } else { 36 },
+            shared_bytes_per_cta: if self.cfg.data_reuse {
+                // rows + cols + edge features: 12 bytes per cached NZE.
+                warps_per_cta * self.cfg.cache_size * 12
+            } else {
+                0
+            },
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(self.cfg.cache_size)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let cache = self.cfg.cache_size;
+        let base = warp_id * cache;
+        let count = cache.min(self.nnz - base);
+        let geo = self.geo;
+        let f = self.f;
+        let ng = geo.groups_per_warp;
+        let vw = geo.vec_width;
+
+        // ---- Stage 1: cache NZEs + edge features ----
+        if self.cfg.data_reuse {
+            let chunks = count.div_ceil(WARP_SIZE);
+            for ch in 0..chunks {
+                let off = ch * WARP_SIZE;
+                let active = |l: usize| off + l < count;
+                let r = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
+                let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+                let v = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
+                ctx.shared_store(|l| active(l).then(|| (off + l, r.get(l))));
+                ctx.shared_store(|l| active(l).then(|| (cache + off + l, c.get(l))));
+                ctx.shared_store(|l| active(l).then(|| (2 * cache + off + l, v.get(l))));
+            }
+            ctx.barrier();
+        }
+
+        // ---- Stage 2: running thread-local reduction ----
+        let per_group = cache / ng;
+        let e_local = |g: usize, j: usize| match self.cfg.schedule {
+            Schedule::Consecutive => g * per_group + j,
+            Schedule::RoundRobin => j * ng + g,
+        };
+
+        for pass in 0..geo.passes {
+            let fbase = pass * geo.group_size * vw;
+            let mut acc = [LaneArr::<f32>::default(); 4];
+            let mut open_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+
+            for j in 0..per_group {
+                let group_active = |g: usize| e_local(g, j) < count;
+                if (0..ng).all(|g| !group_active(g)) {
+                    break;
+                }
+
+                let (rows_l, cols_l, vals_l) = if self.cfg.data_reuse {
+                    let r: LaneArr<u32> = ctx.shared_load(|l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| e_local(g, j))
+                    });
+                    let c: LaneArr<u32> = ctx.shared_load(|l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| cache + e_local(g, j))
+                    });
+                    let v: LaneArr<f32> = ctx.shared_load(|l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| 2 * cache + e_local(g, j))
+                    });
+                    (r, c, v)
+                } else {
+                    let r = ctx.load_u32(self.rows, |l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| base + e_local(g, j))
+                    });
+                    let c = ctx.load_u32(self.cols, |l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| base + e_local(g, j))
+                    });
+                    let v = ctx.load_f32(self.vals, |l| {
+                        let (g, _) = geo.split_lane(l);
+                        group_active(g).then(|| base + e_local(g, j))
+                    });
+                    ctx.use_loads();
+                    (r, c, v)
+                };
+
+                // Row split detection: flush groups whose open row differs
+                // from the incoming NZE's row (§4.3, "discovering a
+                // row-split is easy because every NZE carries its row ID").
+                let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+                let mut any_flush = false;
+                for g in 0..ng {
+                    if !group_active(g) {
+                        continue;
+                    }
+                    let row = rows_l.get(g * geo.group_size);
+                    if let Some(open) = open_row[g] {
+                        if open != row {
+                            flush_row[g] = Some(open);
+                            any_flush = true;
+                        }
+                    }
+                    open_row[g] = Some(row);
+                }
+                if any_flush {
+                    self.flush(ctx, &geo, &flush_row, &mut acc, pass);
+                }
+
+                // Load the column's vertex features and accumulate.
+                let xv = ctx.load_f32xw(vw, self.x, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (group_active(g) && k < f)
+                        .then(|| cols_l.get(l) as usize * f + k)
+                });
+                ctx.compute(vw as u64);
+                for l in 0..WARP_SIZE {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    if group_active(g) && k < f {
+                        for kk in 0..vw {
+                            acc[kk].set(l, acc[kk].get(l) + vals_l.get(l) * xv[kk].get(l));
+                        }
+                    }
+                }
+            }
+
+            // Final flush of every open accumulator.
+            let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+            for (g, item) in flush_row.iter_mut().enumerate().take(ng) {
+                *item = open_row[g];
+            }
+            if flush_row.iter().any(|r| r.is_some()) {
+                self.flush(ctx, &geo, &flush_row, &mut acc, pass);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100_40gb())
+    }
+
+    fn random_graph(seed: u64) -> Arc<GraphData> {
+        let el = gen::rmat(7, 700, gen::GRAPH500_PROBS, seed).symmetrize();
+        Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+    }
+
+    fn check_correct(cfg: GnnOneConfig, f: usize) {
+        let g = random_graph(5);
+        let x: Vec<f32> = (0..g.coo.num_cols() * f)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.25)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e * 13 % 7) as f32 - 3.0) * 0.5).collect();
+        let dx = DeviceBuffer::from_slice(&x);
+        let dw = DeviceBuffer::from_slice(&w);
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        GnnOneSpmm::new(Arc::clone(&g), cfg)
+            .run(&gpu(), &dw, &dx, f, &dy)
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn correct_default_config_paper_dims() {
+        for f in [6, 16, 32, 64] {
+            check_correct(GnnOneConfig::default(), f);
+        }
+    }
+
+    #[test]
+    fn correct_round_robin() {
+        for f in [6, 32] {
+            check_correct(
+                GnnOneConfig {
+                    schedule: Schedule::RoundRobin,
+                    ..Default::default()
+                },
+                f,
+            );
+        }
+    }
+
+    #[test]
+    fn correct_scalar_and_no_reuse() {
+        check_correct(GnnOneConfig::ablation_baseline(), 32);
+        check_correct(GnnOneConfig::ablation_data_reuse(), 16);
+    }
+
+    #[test]
+    fn correct_cache_sizes() {
+        for cache in [32, 64, 256] {
+            check_correct(
+                GnnOneConfig {
+                    cache_size: cache,
+                    ..Default::default()
+                },
+                16,
+            );
+        }
+    }
+
+    #[test]
+    fn correct_odd_dims() {
+        for f in [1, 3, 5, 12, 100] {
+            check_correct(GnnOneConfig::default(), f);
+        }
+    }
+
+    #[test]
+    fn cache_128_beats_cache_32() {
+        // Fig. 9's shape. Needs a *saturated* device, as in the paper's
+        // setup — tiny GPU, medium graph.
+        let el = gen::rmat(11, 16_000, gen::GRAPH500_PROBS, 23).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let f = 16;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; g.coo.num_cols() * f]);
+        let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        let gp = Gpu::new(GpuSpec::tiny());
+        let run = |cache: usize| {
+            GnnOneSpmm::new(
+                Arc::clone(&g),
+                GnnOneConfig {
+                    cache_size: cache,
+                    ..Default::default()
+                },
+            )
+            .run(&gp, &w, &x, f, &dy)
+            .unwrap()
+            .cycles
+        };
+        let c128 = run(128);
+        let c32 = run(32);
+        assert!(c128 < c32, "cache128 {c128} !< cache32 {c32}");
+    }
+
+    #[test]
+    fn consecutive_needs_fewer_atomics_than_round_robin() {
+        // Long rows: Consecutive accumulates locally, RoundRobin flushes on
+        // interleaved rows far more often on short-row graphs.
+        let el = EdgeList::new(
+            128,
+            (0..32u32)
+                .flat_map(|r| (0..4u32).map(move |c| (r, 64 + (r * 4 + c) % 64)))
+                .collect(),
+        );
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let f = 32;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; 128 * f]);
+        let w = DeviceBuffer::from_slice(&vec![1.0f32; g.nnz()]);
+        let gp = gpu();
+        let run = |s: Schedule| {
+            let dy = DeviceBuffer::<f32>::zeros(128 * f);
+            GnnOneSpmm::new(
+                Arc::clone(&g),
+                GnnOneConfig {
+                    schedule: s,
+                    ..Default::default()
+                },
+            )
+            .run(&gp, &w, &x, f, &dy)
+            .unwrap()
+        };
+        let cons = run(Schedule::Consecutive);
+        let rr = run(Schedule::RoundRobin);
+        assert!(
+            cons.stats.atomics < rr.stats.atomics,
+            "consecutive {} !< round-robin {}",
+            cons.stats.atomics,
+            rr.stats.atomics
+        );
+    }
+
+    #[test]
+    fn zero_edge_values_produce_zero_output() {
+        let g = random_graph(9);
+        let f = 8;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; g.coo.num_cols() * f]);
+        let w = DeviceBuffer::from_slice(&vec![0.0f32; g.nnz()]);
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+        GnnOneSpmm::new(g, GnnOneConfig::default())
+            .run(&gpu(), &w, &x, f, &dy)
+            .unwrap();
+        assert!(dy.to_vec().iter().all(|&v| v == 0.0));
+    }
+}

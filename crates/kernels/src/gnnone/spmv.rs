@@ -1,0 +1,207 @@
+//! GNNOne SpMV (paper §5.4.5, Fig. 12): nonzero-split SpMV over COO.
+//!
+//! Feature length is 1, so Stage-1 caching buys nothing (§4.4: "caching in
+//! Stage 1 is dropped, making our SpMV implementation one of Dalton et al.
+//! or Merrill et al."). Each warp takes an equal contiguous span of NZEs,
+//! loads rows/cols/values fully coalesced — paying 4 extra bytes per NZE
+//! for the COO row ID — then performs a warp-level segmented reduction and
+//! a boundary `atomicAdd` per distinct row. The comparison against
+//! Merge-SpMV isolates exactly the paper's COO-vs-custom-format trade-off.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
+    WarpKernel, WARP_SIZE,
+};
+
+use crate::graph::GraphData;
+use crate::traits::SpmvKernel;
+
+/// NZEs processed per warp (spanning several 32-wide iterations).
+const NZE_PER_WARP: usize = 256;
+
+/// The GNNOne nonzero-split SpMV over COO.
+pub struct GnnOneSpmv {
+    graph: Arc<GraphData>,
+}
+
+impl GnnOneSpmv {
+    /// Creates the kernel for `graph`.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        Self { graph }
+    }
+}
+
+impl SpmvKernel for GnnOneSpmv {
+    fn name(&self) -> &'static str {
+        "GnnOne"
+    }
+
+    fn format(&self) -> &'static str {
+        "COO"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let launch = SpmvLaunch {
+            rows: &self.graph.d_coo_rows,
+            cols: &self.graph.d_coo_cols,
+            vals: edge_vals,
+            x,
+            y,
+            nnz: self.graph.nnz(),
+        };
+        gpu.try_launch(&launch)
+    }
+}
+
+struct SpmvLaunch<'a> {
+    rows: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+    nnz: usize,
+}
+
+impl WarpKernel for SpmvLaunch<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 32,
+            shared_bytes_per_cta: 0,
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(NZE_PER_WARP)
+    }
+
+    fn name(&self) -> &str {
+        "GnnOne-SpMV"
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let base = warp_id * NZE_PER_WARP;
+        let count = NZE_PER_WARP.min(self.nnz - base);
+        for off in (0..count).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < count;
+            // Coalesced loads of rows, cols, values — the "4 extra bytes"
+            // of COO are loaded by all lanes in parallel, no broadcast or
+            // search as custom formats need.
+            let rows = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
+            let cols = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+            let vals = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
+            // The gather of x depends on the loaded column IDs.
+            ctx.use_loads();
+            let xv = ctx.load_f32(self.x, |l| active(l).then(|| cols.get(l) as usize));
+            ctx.compute(1);
+            let prod = vals.zip_with(&xv, |v, x| v * x);
+
+            // Warp-level segmented inclusive scan by row: after log2(32)
+            // shuffle rounds, the *last* lane of each row segment holds the
+            // segment sum.
+            let mut scan = prod;
+            let mut delta = 1;
+            while delta < WARP_SIZE {
+                let shifted = shfl_up(ctx, &scan, delta);
+                scan = LaneArr::from_fn(|l| {
+                    if l >= delta && rows.get(l - delta) == rows.get(l) && active(l) {
+                        scan.get(l) + shifted.get(l)
+                    } else {
+                        scan.get(l)
+                    }
+                });
+                delta *= 2;
+            }
+
+            // Boundary lanes (last of each row segment) flush atomically.
+            ctx.atomic_add_f32(self.y, |l| {
+                if !active(l) {
+                    return None;
+                }
+                let is_boundary = !active(l + 1)
+                    || l + 1 >= WARP_SIZE
+                    || rows.get(l + 1) != rows.get(l);
+                is_boundary.then(|| (rows.get(l) as usize, scan.get(l)))
+            });
+        }
+    }
+}
+
+/// `__shfl_up_sync` built from the ctx's shuffle-down primitive semantics:
+/// lane `l` receives the value of lane `l - delta` (own value when the
+/// source is out of range). Costed identically to a down-shuffle round.
+fn shfl_up(ctx: &mut WarpCtx, vals: &LaneArr<f32>, delta: usize) -> LaneArr<f32> {
+    // Reverse, shuffle down, reverse: same exchange pattern and cost.
+    let rev = LaneArr::from_fn(|l| vals.get(WARP_SIZE - 1 - l));
+    let down = ctx.shfl_down_f32(&rev, delta, WARP_SIZE);
+    LaneArr::from_fn(|l| down.get(WARP_SIZE - 1 - l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::{Coo, EdgeList};
+    use gnnone_sparse::gen;
+    use gnnone_sparse::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100_40gb())
+    }
+
+    fn check(coo: Coo) {
+        let g = Arc::new(GraphData::new(coo));
+        let x: Vec<f32> = (0..g.coo.num_cols())
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.3)
+            .collect();
+        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e % 5) as f32 - 2.0) * 0.7).collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows());
+        GnnOneSpmv::new(Arc::clone(&g))
+            .run(
+                &gpu(),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmv_csr(&g.csr, &w, &x);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn correct_on_random_graph() {
+        let el = gen::rmat(8, 1500, gen::GRAPH500_PROBS, 17).symmetrize();
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn correct_on_single_hub() {
+        // One row owning a full warp span exercises the segmented scan.
+        let el = EdgeList::new(70, (1..70u32).map(|c| (0, c)).collect());
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn correct_on_diagonalish() {
+        let el = EdgeList::new(100, (0..99u32).map(|i| (i, i + 1)).collect());
+        check(Coo::from_edge_list(&el));
+    }
+
+    #[test]
+    fn shfl_up_shifts_values() {
+        let mut ctx = WarpCtx::new(gnnone_sim::TimingParams::default(), 0);
+        let vals = LaneArr::from_fn(|l| l as f32);
+        let up = shfl_up(&mut ctx, &vals, 1);
+        assert_eq!(up.get(0), 0.0); // out of range keeps own
+        assert_eq!(up.get(1), 0.0);
+        assert_eq!(up.get(31), 30.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Device-resident graph tensors shared by all kernel implementations.
+
+use gnnone_sim::DeviceBuffer;
+use gnnone_sparse::formats::{Coo, Csr};
+
+/// A graph uploaded to (simulated) device memory in both standard formats.
+///
+/// Keeping both alive mirrors what DGL does (CSR for SpMM, COO for SDDMM) —
+/// the memory cost the paper's single-format design avoids. Kernels read
+/// only the arrays of the format they declare; the memory model in
+/// `gnnone-gnn` charges each *system* for exactly the formats its kernels
+/// require.
+pub struct GraphData {
+    /// Host COO (CSR-ordered).
+    pub coo: Coo,
+    /// Host CSR.
+    pub csr: Csr,
+    /// COO row IDs on device.
+    pub d_coo_rows: DeviceBuffer<u32>,
+    /// COO column IDs on device.
+    pub d_coo_cols: DeviceBuffer<u32>,
+    /// CSR row offsets on device.
+    pub d_csr_offsets: DeviceBuffer<u32>,
+    /// CSR column IDs on device.
+    pub d_csr_cols: DeviceBuffer<u32>,
+}
+
+impl GraphData {
+    /// Uploads a COO graph (and its CSR conversion) to device buffers.
+    pub fn new(coo: Coo) -> Self {
+        let csr = Csr::from_coo(&coo);
+        let d_coo_rows = DeviceBuffer::from_slice(coo.rows());
+        let d_coo_cols = DeviceBuffer::from_slice(coo.cols());
+        let d_csr_offsets = DeviceBuffer::from_slice(csr.offsets());
+        let d_csr_cols = DeviceBuffer::from_slice(csr.cols());
+        Self {
+            coo,
+            csr,
+            d_coo_rows,
+            d_coo_cols,
+            d_csr_offsets,
+            d_csr_cols,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.coo.num_rows()
+    }
+
+    /// Number of NZEs (directed edges).
+    pub fn nnz(&self) -> usize {
+        self.coo.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sparse::formats::EdgeList;
+
+    #[test]
+    fn upload_roundtrip() {
+        let coo = Coo::from_edge_list(&EdgeList::new(3, vec![(0, 1), (1, 2)]));
+        let g = GraphData::new(coo);
+        assert_eq!(g.d_coo_rows.to_vec(), vec![0, 1]);
+        assert_eq!(g.d_coo_cols.to_vec(), vec![1, 2]);
+        assert_eq!(g.d_csr_offsets.to_vec(), vec![0, 1, 2, 2]);
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! # gnnone-kernels — GNNOne sparse kernels and every paper baseline
+//!
+//! The paper's primary contribution: SDDMM, SpMM and SpMV built on one
+//! **unified two-stage data-load design** over the standard COO format
+//! (§4), plus faithful re-implementations of every system it compares
+//! against (§5), all running on the `gnnone-sim` SIMT execution model.
+//!
+//! * [`gnnone`] — the proposed kernels: Stage-1 balanced NZE caching,
+//!   Stage-2 symbiotic thread scheduler (thread groups, `float4` loads,
+//!   Consecutive/Round-robin policies), running reduction.
+//! * [`baselines`] — DGL, dgSparse, cuSPARSE, Sputnik, FeatGraph (SDDMM);
+//!   GE-SpMM, cuSPARSE, GNNAdvisor, Huang et al., Yang et al., FeatGraph
+//!   (SpMM); Merge-SpMV (SpMV) — each with its published storage format,
+//!   parallelization strategy and known pathologies.
+//! * [`traits`] — the `SpmmKernel` / `SddmmKernel` / `SpmvKernel` object
+//!   interfaces the benchmark harness drives.
+//! * [`geometry`] — thread-group geometry shared by all kernels.
+//! * [`graph`] — device-resident graph tensors ([`GraphData`]).
+//! * [`registry`] — constructs every implementation by name.
+//!
+//! ## Example: run GNNOne SpMM against the CPU oracle
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gnnone_kernels::{graph::GraphData, gnnone::GnnOneSpmm, traits::SpmmKernel};
+//! use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec};
+//! use gnnone_sparse::{formats::{Coo, EdgeList}, reference};
+//!
+//! let coo = Coo::from_edge_list(&EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]));
+//! let g = Arc::new(GraphData::new(coo));
+//! let f = 8;
+//! let x: Vec<f32> = (0..g.coo.num_cols() * f).map(|i| i as f32 * 0.1).collect();
+//! let w = vec![1.0f32; g.coo.nnz()];
+//!
+//! let gpu = Gpu::new(GpuSpec::a100_40gb());
+//! let dx = DeviceBuffer::from_slice(&x);
+//! let dw = DeviceBuffer::from_slice(&w);
+//! let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);
+//! let kernel = GnnOneSpmm::new(Arc::clone(&g), Default::default());
+//! let report = kernel.run(&gpu, &dw, &dx, f, &dy).unwrap();
+//!
+//! let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+//! reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
+
+pub mod baselines;
+pub mod geometry;
+pub mod gnnone;
+pub mod graph;
+pub mod registry;
+pub mod traits;
+
+pub use graph::GraphData;
+pub use traits::{SddmmKernel, SpmmKernel, SpmvKernel};

@@ -1,0 +1,118 @@
+//! Constructs every kernel implementation for a graph — the entry point the
+//! figure-reproduction harness iterates over.
+
+use std::sync::Arc;
+
+use crate::baselines::{
+    CusparseSddmm, CusparseSpmm, DaltonSpmv, DgSparseSddmm, DglSddmm, FeatGraphSddmm,
+    FeatGraphSpmm, GeSpmm, GnnAdvisorSpmm, HuangSpmm, MergeSpmv, RowBinningSpmm, SputnikSddmm,
+    SputnikSpmm, YangSpmm,
+};
+use crate::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm, GnnOneSpmv};
+use crate::graph::GraphData;
+use crate::traits::{SddmmKernel, SpmmKernel, SpmvKernel};
+
+/// All SDDMM systems of Fig. 3, GNNOne first.
+pub fn sddmm_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SddmmKernel>> {
+    vec![
+        Box::new(GnnOneSddmm::new(Arc::clone(graph), GnnOneConfig::default())),
+        Box::new(DgSparseSddmm::new(Arc::clone(graph))),
+        Box::new(CusparseSddmm::new(Arc::clone(graph))),
+        Box::new(SputnikSddmm::new(Arc::clone(graph))),
+        Box::new(FeatGraphSddmm::new(Arc::clone(graph))),
+        Box::new(DglSddmm::new(Arc::clone(graph))),
+    ]
+}
+
+/// All SpMM systems of Fig. 4, GNNOne first.
+pub fn spmm_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(GnnOneSpmm::new(Arc::clone(graph), GnnOneConfig::default())),
+        Box::new(GeSpmm::new(Arc::clone(graph))),
+        Box::new(CusparseSpmm::new(Arc::clone(graph))),
+        Box::new(HuangSpmm::new(Arc::clone(graph))),
+        Box::new(FeatGraphSpmm::new(Arc::clone(graph))),
+        Box::new(GnnAdvisorSpmm::new(Arc::clone(graph))),
+    ]
+}
+
+/// Extra SpMM systems discussed but not plotted in Fig. 4: Yang et al.'s
+/// nonzero-split (§3.2/§4.4), Sputnik's row-swizzled SpMM (§6) and the
+/// row-binning lineage (§6).
+pub fn spmm_discussion_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(YangSpmm::new(Arc::clone(graph))),
+        Box::new(SputnikSpmm::new(Arc::clone(graph))),
+        Box::new(RowBinningSpmm::new(Arc::clone(graph))),
+    ]
+}
+
+/// All three SpMV designs of the §4.4 trade-off discussion: GNNOne's COO
+/// nonzero-split plus the two prior classes it generalizes.
+pub fn spmv_class_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SpmvKernel>> {
+    vec![
+        Box::new(GnnOneSpmv::new(Arc::clone(graph))),
+        Box::new(MergeSpmv::new(Arc::clone(graph))),
+        Box::new(DaltonSpmv::new(Arc::clone(graph))),
+    ]
+}
+
+/// Both SpMV systems of Fig. 12, GNNOne first.
+pub fn spmv_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SpmvKernel>> {
+    vec![
+        Box::new(GnnOneSpmv::new(Arc::clone(graph))),
+        Box::new(MergeSpmv::new(Arc::clone(graph))),
+    ]
+}
+
+/// Looks up one SDDMM system by its figure label.
+pub fn sddmm_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn SddmmKernel>> {
+    sddmm_kernels(graph)
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Looks up one SpMM system by its figure label.
+pub fn spmm_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn SpmmKernel>> {
+    spmm_kernels(graph)
+        .into_iter()
+        .chain(spmm_discussion_kernels(graph))
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+
+    fn graph() -> Arc<GraphData> {
+        let el = gen::erdos_renyi(64, 256, 1).symmetrize();
+        Arc::new(GraphData::new(Coo::from_edge_list(&el)))
+    }
+
+    #[test]
+    fn registries_match_paper_figures() {
+        let g = graph();
+        let sddmm: Vec<_> = sddmm_kernels(&g).iter().map(|k| k.name()).collect();
+        assert_eq!(
+            sddmm,
+            vec!["GnnOne", "dgSparse", "CuSparse", "Sputnik", "FeatGraph", "DGL"]
+        );
+        let spmm: Vec<_> = spmm_kernels(&g).iter().map(|k| k.name()).collect();
+        assert_eq!(
+            spmm,
+            vec!["GnnOne", "GE-SpMM", "CuSparse", "Huang et al.", "FeatGraph", "GNNAdvisor"]
+        );
+        let spmv: Vec<_> = spmv_kernels(&g).iter().map(|k| k.name()).collect();
+        assert_eq!(spmv, vec!["GnnOne", "Merge-SpMV"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g = graph();
+        assert!(sddmm_by_name(&g, "sputnik").is_some());
+        assert!(spmm_by_name(&g, "Yang et al.").is_some());
+        assert!(spmm_by_name(&g, "nope").is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Kernel object interfaces driven by the benchmark harness and the GNN
+//! training stack.
+//!
+//! Implementations capture their graph (and any custom-format metadata
+//! built by pre-processing) at construction; `run` then executes one kernel
+//! launch for a given feature length. Pre-processing cost is therefore a
+//! one-time cost outside the timed launch, matching how the paper treats
+//! custom formats (§5.4.5).
+
+use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
+
+/// SpMM: `y ← A·x` with per-NZE edge values.
+pub trait SpmmKernel: Send + Sync {
+    /// System name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Storage format consumed ("COO", "CSR", "custom").
+    fn format(&self) -> &'static str;
+
+    /// Launches the kernel: reads `edge_vals` (`|E|`), `x`
+    /// (`|V| × f` row-major), accumulates into `y` (`|V| × f`, must be
+    /// zeroed by the caller).
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError>;
+}
+
+/// SDDMM: `w ← A ⊙ (X·Yᵀ)`.
+pub trait SddmmKernel: Send + Sync {
+    /// System name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Storage format consumed.
+    fn format(&self) -> &'static str;
+
+    /// Launches the kernel: reads `x` and `y` (`|V| × f` row-major),
+    /// writes `w` (`|E|`).
+    fn run(
+        &self,
+        gpu: &Gpu,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+        f: usize,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError>;
+}
+
+/// SpMV: `y ← A·x` with scalar features.
+pub trait SpmvKernel: Send + Sync {
+    /// System name.
+    fn name(&self) -> &'static str;
+
+    /// Storage format consumed.
+    fn format(&self) -> &'static str;
+
+    /// Launches the kernel: reads `edge_vals` (`|E|`) and `x` (`|V|`),
+    /// accumulates into `y` (`|V|`, zeroed by the caller).
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError>;
+}

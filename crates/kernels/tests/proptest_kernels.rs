@@ -1,0 +1,160 @@
+//! Property-based equivalence: every kernel implementation computes the
+//! same function as the CPU reference, for random graphs, feature lengths
+//! and configurations.
+
+use std::sync::Arc;
+
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm, GnnOneSpmv, Schedule};
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::registry;
+use gnnone_kernels::traits::{SddmmKernel, SpmmKernel, SpmvKernel};
+use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec};
+use gnnone_sparse::formats::{Coo, EdgeList, VertexId};
+use gnnone_sparse::reference;
+use proptest::prelude::*;
+
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (2usize..48).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        prop::collection::vec(edge, 1..200)
+            .prop_map(move |edges| Coo::from_edge_list(&EdgeList::new(n, edges)))
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = GnnOneConfig> {
+    (
+        prop::sample::select(vec![32usize, 64, 128, 256]),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(cache_size, rr, vectorize, data_reuse)| GnnOneConfig {
+            cache_size,
+            schedule: if rr {
+                Schedule::RoundRobin
+            } else {
+                Schedule::Consecutive
+            },
+            vectorize,
+            data_reuse,
+        })
+}
+
+fn features(n: usize, f: usize, salt: usize) -> Vec<f32> {
+    (0..n * f)
+        .map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) * 0.1)
+        .collect()
+}
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuSpec::a100_40gb())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GNNOne SDDMM ≡ reference for every configuration point.
+    #[test]
+    fn gnnone_sddmm_equiv(coo in arb_coo(), f in 1usize..40, cfg in arb_config()) {
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), f, 1);
+        let y = features(g.num_vertices(), f, 2);
+        let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+        GnnOneSddmm::new(Arc::clone(&g), cfg)
+            .run(&gpu(), &DeviceBuffer::from_slice(&x), &DeviceBuffer::from_slice(&y), f, &dw)
+            .unwrap();
+        let expected = reference::sddmm_coo(&g.coo, &x, &y, f);
+        reference::assert_close(&dw.to_vec(), &expected, 1e-3);
+    }
+
+    /// GNNOne SpMM ≡ reference for every configuration point.
+    #[test]
+    fn gnnone_spmm_equiv(coo in arb_coo(), f in 1usize..40, cfg in arb_config()) {
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), f, 3);
+        let w = features(g.nnz(), 1, 4);
+        let dy = DeviceBuffer::<f32>::zeros(g.num_vertices() * f);
+        GnnOneSpmm::new(Arc::clone(&g), cfg)
+            .run(&gpu(), &DeviceBuffer::from_slice(&w), &DeviceBuffer::from_slice(&x), f, &dy)
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+    }
+
+    /// Every registered SDDMM baseline ≡ reference (paper dims).
+    #[test]
+    fn all_sddmm_baselines_equiv(coo in arb_coo(), dim_idx in 0usize..4) {
+        let f = [6, 16, 32, 64][dim_idx];
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), f, 5);
+        let y = features(g.num_vertices(), f, 6);
+        let expected = reference::sddmm_coo(&g.coo, &x, &y, f);
+        for kernel in registry::sddmm_kernels(&g) {
+            let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+            kernel
+                .run(&gpu(), &DeviceBuffer::from_slice(&x), &DeviceBuffer::from_slice(&y), f, &dw)
+                .unwrap();
+            reference::assert_close(&dw.to_vec(), &expected, 1e-3);
+        }
+    }
+
+    /// Every registered SpMM baseline (plus Yang) ≡ reference (paper dims).
+    #[test]
+    fn all_spmm_baselines_equiv(coo in arb_coo(), dim_idx in 0usize..4) {
+        let f = [6, 16, 32, 64][dim_idx];
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), f, 7);
+        let w = features(g.nnz(), 1, 8);
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        let kernels = registry::spmm_kernels(&g)
+            .into_iter()
+            .chain(registry::spmm_discussion_kernels(&g));
+        for kernel in kernels {
+            let dy = DeviceBuffer::<f32>::zeros(g.num_vertices() * f);
+            kernel
+                .run(&gpu(), &DeviceBuffer::from_slice(&w), &DeviceBuffer::from_slice(&x), f, &dy)
+                .unwrap();
+            reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+        }
+    }
+
+    /// Both SpMV systems ≡ reference.
+    #[test]
+    fn all_spmv_equiv(coo in arb_coo()) {
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), 1, 9);
+        let w = features(g.nnz(), 1, 10);
+        let expected = reference::spmv_csr(&g.csr, &w, &x);
+        for kernel in registry::spmv_kernels(&g) {
+            let dy = DeviceBuffer::<f32>::zeros(g.num_vertices());
+            kernel
+                .run(&gpu(), &DeviceBuffer::from_slice(&w), &DeviceBuffer::from_slice(&x), &dy)
+                .unwrap();
+            reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+        }
+        // And the standalone GnnOne SpMV type.
+        let dy = DeviceBuffer::<f32>::zeros(g.num_vertices());
+        GnnOneSpmv::new(Arc::clone(&g))
+            .run(&gpu(), &DeviceBuffer::from_slice(&w), &DeviceBuffer::from_slice(&x), &dy)
+            .unwrap();
+        reference::assert_close(&dy.to_vec(), &expected, 1e-3);
+    }
+
+    /// Configuration knobs never change the *result*, only the cost — the
+    /// unification claim in executable form.
+    #[test]
+    fn config_is_semantics_preserving(coo in arb_coo(), f in 1usize..24,
+                                      cfg_a in arb_config(), cfg_b in arb_config()) {
+        let g = Arc::new(GraphData::new(coo));
+        let x = features(g.num_vertices(), f, 11);
+        let w = features(g.nnz(), 1, 12);
+        let run = |cfg: GnnOneConfig| {
+            let dy = DeviceBuffer::<f32>::zeros(g.num_vertices() * f);
+            GnnOneSpmm::new(Arc::clone(&g), cfg)
+                .run(&gpu(), &DeviceBuffer::from_slice(&w), &DeviceBuffer::from_slice(&x), f, &dy)
+                .unwrap();
+            dy.to_vec()
+        };
+        reference::assert_close(&run(cfg_a), &run(cfg_b), 1e-3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Memory-coalescing model.
+//!
+//! When the 32 lanes of a warp execute one memory instruction, the hardware
+//! groups the lane addresses into 32-byte *sectors* (the DRAM access
+//! granularity on Volta+) belonging to 128-byte cache lines. A fully
+//! coalesced warp-wide 4-byte access touches exactly 4 sectors (128 bytes);
+//! a fully scattered one touches up to 32 sectors (1 KiB of traffic for
+//! 128 bytes of data). The paper's Stage-1/Stage-2 designs are precisely
+//! about keeping this number minimal (§4.1–4.2), so the simulator derives
+//! both bandwidth cost and latency cost from the sector count.
+
+/// DRAM sector size in bytes (Volta/Ampere: 32 B).
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Cache-line / maximal transaction size in bytes.
+pub const LINE_BYTES: u64 = 128;
+
+/// Outcome of coalescing one warp-wide memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Number of distinct 32-byte sectors touched.
+    pub sectors: u32,
+    /// Number of distinct 128-byte lines touched.
+    pub lines: u32,
+    /// Bytes of useful data requested by active lanes.
+    pub useful_bytes: u64,
+}
+
+impl Access {
+    /// Bytes of DRAM traffic generated (sectors × 32).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.sectors as u64 * SECTOR_BYTES
+    }
+
+    /// Whether the access was perfectly coalesced, i.e. no byte of a touched
+    /// sector is wasted.
+    pub fn is_fully_coalesced(&self) -> bool {
+        self.useful_bytes == self.traffic_bytes()
+    }
+}
+
+/// Groups the byte ranges `[addr, addr + width)` of active lanes into
+/// sectors and lines.
+///
+/// `addrs` yields `(addr, width_bytes)` per active lane. Sector sets are tiny
+/// (≤ 32 per instruction for scalar, ≤ 64 for vector loads crossing
+/// sectors), so a small sorted buffer beats a hash set — this runs in the
+/// innermost loop of every simulated kernel.
+pub fn coalesce(addrs: impl Iterator<Item = (u64, u64)>) -> Access {
+    let mut sectors: Vec<u64> = Vec::with_capacity(32);
+    let mut useful = 0u64;
+    for (addr, width) in addrs {
+        useful += width;
+        let first = addr / SECTOR_BYTES;
+        let last = (addr + width - 1) / SECTOR_BYTES;
+        for s in first..=last {
+            if let Err(pos) = sectors.binary_search(&s) {
+                sectors.insert(pos, s);
+            }
+        }
+    }
+    let mut lines = 0u32;
+    let mut prev_line = u64::MAX;
+    for &s in &sectors {
+        let line = s * SECTOR_BYTES / LINE_BYTES;
+        if line != prev_line {
+            lines += 1;
+            prev_line = line;
+        }
+    }
+    Access {
+        sectors: sectors.len() as u32,
+        lines,
+        useful_bytes: useful,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_addrs(addrs: &[u64]) -> Access {
+        coalesce(addrs.iter().map(|&a| (a, 4)))
+    }
+
+    #[test]
+    fn fully_coalesced_warp_load_is_four_sectors_one_line() {
+        // 32 lanes × 4 bytes, consecutive, 128-byte aligned.
+        let addrs: Vec<u64> = (0..32).map(|l| 1024 + l * 4).collect();
+        let a = scalar_addrs(&addrs);
+        assert_eq!(a.sectors, 4);
+        assert_eq!(a.lines, 1);
+        assert_eq!(a.useful_bytes, 128);
+        assert!(a.is_fully_coalesced());
+    }
+
+    #[test]
+    fn strided_access_wastes_bandwidth() {
+        // Stride of 128 bytes: every lane touches its own line.
+        let addrs: Vec<u64> = (0..32).map(|l| l * 128).collect();
+        let a = scalar_addrs(&addrs);
+        assert_eq!(a.sectors, 32);
+        assert_eq!(a.lines, 32);
+        assert_eq!(a.useful_bytes, 128);
+        assert!(!a.is_fully_coalesced());
+        assert_eq!(a.traffic_bytes(), 1024);
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one_sector() {
+        let addrs = vec![64u64; 32];
+        let a = scalar_addrs(&addrs);
+        assert_eq!(a.sectors, 1);
+        assert_eq!(a.lines, 1);
+    }
+
+    #[test]
+    fn vector_load_float4_is_coalesced_across_eight_lanes() {
+        // 8 lanes × 16 bytes consecutive = 128 bytes, 4 sectors — the
+        // thread-group layout of GNNOne's Stage 2 (§4.2.1).
+        let a = coalesce((0..8u64).map(|l| (2048 + l * 16, 16)));
+        assert_eq!(a.sectors, 4);
+        assert_eq!(a.lines, 1);
+        assert!(a.is_fully_coalesced());
+    }
+
+    #[test]
+    fn unaligned_access_touches_extra_sector() {
+        // 32 consecutive floats starting 4 bytes into a sector.
+        let addrs: Vec<u64> = (0..32).map(|l| 1028 + l * 4).collect();
+        let a = scalar_addrs(&addrs);
+        assert_eq!(a.sectors, 5);
+        assert_eq!(a.useful_bytes, 128);
+        assert!(!a.is_fully_coalesced());
+    }
+
+    #[test]
+    fn empty_access_is_zero() {
+        let a = coalesce(std::iter::empty());
+        assert_eq!(a, Access::default());
+        assert!(a.is_fully_coalesced()); // vacuously: 0 == 0
+    }
+
+    #[test]
+    fn duplicate_sectors_counted_once() {
+        let addrs = vec![0u64, 4, 8, 0, 4, 8];
+        let a = scalar_addrs(&addrs);
+        assert_eq!(a.sectors, 1);
+        assert_eq!(a.useful_bytes, 24);
+    }
+}

@@ -1,0 +1,550 @@
+//! The launch engine: executes a [`WarpKernel`] functionally, schedules its
+//! CTAs across SMs, and converts per-warp scoreboard times into a kernel
+//! time under the latency-hiding model.
+//!
+//! ## SM time model
+//!
+//! After all warps have executed (in parallel on the host via rayon — warps
+//! are independent), CTAs are assigned to SMs greedily in launch order, each
+//! to the currently least-loaded SM, approximating the hardware's dynamic
+//! CTA scheduler. Each SM's busy time is the maximum of four lower bounds:
+//!
+//! * **latency-bound**: Σ warp solo cycles ÷ resident warps — with `W`
+//!   resident warps the SM interleaves their stalls; low occupancy
+//!   (register/shared pressure) shrinks `W` and exposes latency, the
+//!   mechanism behind Yang et al.'s slowdown (§3.2 of the paper);
+//! * **issue-bound**: Σ non-stall cycles ÷ warp schedulers;
+//! * **bandwidth-bound**: DRAM traffic ÷ per-SM bandwidth share — rewards
+//!   coalescing and data reuse directly;
+//! * **straggler-bound**: the longest single warp, which no concurrency can
+//!   compress — this is what workload imbalance in vertex-parallel kernels
+//!   looks like on power-law graphs.
+//!
+//! Kernel time = max over SMs + a fixed launch overhead.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::{KernelResources, WarpKernel};
+use crate::occupancy::{Limiter, Occupancy};
+use crate::spec::GpuSpec;
+use crate::stats::KernelStats;
+use crate::warp::WarpCtx;
+
+/// Why a launch failed. Mirrors the real-world failures the paper reports
+/// (Sputnik exceeding CUDA's grid limit on |V| > ~2M, §5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchError {
+    /// A single CTA exceeds SM resources.
+    Unlaunchable {
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// The grid requests more CTAs than the device supports.
+    GridTooLarge {
+        /// CTAs requested.
+        requested: u64,
+        /// Device maximum.
+        max: u64,
+    },
+    /// Device memory exhausted (used by the memory model in `gnnone-gnn`).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Unlaunchable { reason } => write!(f, "kernel unlaunchable: {reason}"),
+            LaunchError::GridTooLarge { requested, max } => {
+                write!(f, "grid too large: {requested} CTAs > device max {max}")
+            }
+            LaunchError::OutOfMemory {
+                requested,
+                available,
+            } => write!(f, "out of memory: need {requested} B, have {available} B"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Which lower bound dominated the critical SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Exposed memory latency (occupancy-limited).
+    Latency,
+    /// Instruction issue throughput.
+    Issue,
+    /// DRAM bandwidth.
+    Bandwidth,
+    /// A single long-running warp (workload imbalance).
+    Straggler,
+}
+
+/// Result of a simulated kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Total kernel time in cycles (including launch overhead).
+    pub cycles: u64,
+    /// Kernel time in milliseconds at the spec's clock.
+    pub time_ms: f64,
+    /// Number of CTAs launched.
+    pub ctas: u64,
+    /// Resident warps per SM achieved.
+    pub warps_per_sm: usize,
+    /// Fractional occupancy.
+    pub occupancy: f64,
+    /// The dominating bound on the critical SM.
+    pub bound: Bound,
+    /// Aggregated execution statistics.
+    pub stats: KernelStats,
+}
+
+impl KernelReport {
+    /// Estimated fraction of kernel time attributable to data load
+    /// (memory stalls + bandwidth share of issue) — the paper's Fig. 11
+    /// breakdown is derived from this plus a load-only kernel variant.
+    pub fn load_time_fraction(&self) -> f64 {
+        self.stats.mem_stall_fraction()
+    }
+}
+
+/// Per-CTA cost summary used for SM scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+struct CtaCost {
+    solo_cycles: u64,
+    work_cycles: u64,
+    traffic_bytes: u64,
+    max_warp_cycles: u64,
+}
+
+/// Per-SM accumulated load.
+#[derive(Debug, Clone, Copy, Default)]
+struct SmLoad {
+    solo_cycles: u64,
+    work_cycles: u64,
+    traffic_bytes: u64,
+    max_warp_cycles: u64,
+}
+
+/// The simulated GPU: owns a spec, launches kernels.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    spec: GpuSpec,
+}
+
+impl Gpu {
+    /// Creates a GPU from a hardware spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Launches `kernel`, panicking on configuration errors. Use
+    /// [`Gpu::try_launch`] when failure is an expected outcome (baseline
+    /// pathologies).
+    pub fn launch(&self, kernel: &dyn WarpKernel) -> KernelReport {
+        self.try_launch(kernel).expect("kernel launch failed")
+    }
+
+    /// Launches `kernel`, returning configuration failures as errors.
+    pub fn try_launch(&self, kernel: &dyn WarpKernel) -> Result<KernelReport, LaunchError> {
+        let res = kernel.resources();
+        self.validate(&res)?;
+        let occ = Occupancy::compute(&self.spec, &res);
+        if occ.limiter == Limiter::Unlaunchable {
+            return Err(LaunchError::Unlaunchable {
+                reason: format!(
+                    "CTA of {} threads / {} regs / {} shared bytes exceeds one SM",
+                    res.threads_per_cta, res.regs_per_thread, res.shared_bytes_per_cta
+                ),
+            });
+        }
+        let grid_warps = kernel.grid_warps();
+        let warps_per_cta = res.warps_per_cta().max(1);
+        let num_ctas = grid_warps.div_ceil(warps_per_cta).max(1);
+        if num_ctas as u64 > self.spec.max_grid_ctas {
+            return Err(LaunchError::GridTooLarge {
+                requested: num_ctas as u64,
+                max: self.spec.max_grid_ctas,
+            });
+        }
+
+        let timing = self.spec.timing;
+        let shared_per_warp = res.shared_bytes_per_warp();
+
+        // Execute every CTA (warps within a CTA run back to back; CTAs in
+        // parallel on the host — they are independent).
+        let (costs, stats) = (0..num_ctas)
+            .into_par_iter()
+            .map(|cta| {
+                let mut cost = CtaCost::default();
+                let mut stats = KernelStats::default();
+                for w in 0..warps_per_cta {
+                    let warp_id = cta * warps_per_cta + w;
+                    if warp_id >= grid_warps {
+                        break;
+                    }
+                    let mut ctx = WarpCtx::new(timing, shared_per_warp);
+                    kernel.run_warp(warp_id, &mut ctx);
+                    let ws = ctx.finish();
+                    cost.solo_cycles += ws.solo_cycles;
+                    cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
+                    cost.traffic_bytes += (ws.read_sectors + ws.write_sectors)
+                        * crate::coalesce::SECTOR_BYTES;
+                    cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
+                    stats.absorb_warp(&ws);
+                }
+                (cost, stats)
+            })
+            .fold(
+                || (Vec::<CtaCost>::new(), KernelStats::default()),
+                |(mut costs, mut acc), (cost, stats)| {
+                    costs.push(cost);
+                    acc.merge(&stats);
+                    (costs, acc)
+                },
+            )
+            .reduce(
+                || (Vec::new(), KernelStats::default()),
+                |(mut a, mut sa), (b, sb)| {
+                    a.extend(b);
+                    sa.merge(&sb);
+                    (a, sa)
+                },
+            );
+
+        let (cycles, bound) = self.schedule(&costs, &occ);
+        Ok(KernelReport {
+            name: kernel.name().to_string(),
+            cycles,
+            time_ms: self.spec.cycles_to_ms(cycles),
+            ctas: num_ctas as u64,
+            warps_per_sm: occ.warps_per_sm,
+            occupancy: occ.fraction(&self.spec),
+            bound,
+            stats,
+        })
+    }
+
+    fn validate(&self, res: &KernelResources) -> Result<(), LaunchError> {
+        if res.threads_per_cta == 0 || !res.threads_per_cta.is_multiple_of(32) || res.threads_per_cta > 1024
+        {
+            return Err(LaunchError::Unlaunchable {
+                reason: format!(
+                    "threads_per_cta must be a positive multiple of 32 ≤ 1024, got {}",
+                    res.threads_per_cta
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Greedy dynamic CTA scheduling + per-SM time model.
+    fn schedule(&self, costs: &[CtaCost], occ: &Occupancy) -> (u64, Bound) {
+        let num_sms = self.spec.num_sms;
+        let mut sms = vec![SmLoad::default(); num_sms];
+        // Assign each CTA (in launch order) to the least-loaded SM, like the
+        // hardware's dynamic work distributor.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+            (0..num_sms).map(|i| std::cmp::Reverse((0u64, i))).collect();
+        for cost in costs {
+            let std::cmp::Reverse((load, sm)) = heap.pop().expect("heap has num_sms entries");
+            let s = &mut sms[sm];
+            s.solo_cycles += cost.solo_cycles;
+            s.work_cycles += cost.work_cycles;
+            s.traffic_bytes += cost.traffic_bytes;
+            s.max_warp_cycles = s.max_warp_cycles.max(cost.max_warp_cycles);
+            heap.push(std::cmp::Reverse((load + cost.solo_cycles, sm)));
+        }
+
+        // Effective latency-hiding concurrency: capped by the MSHR budget
+        // and *proportional* to occupancy, so register/shared-memory
+        // pressure (Yang et al.'s collapse, §3.2) still shrinks it even
+        // when resident warps exceed the cap.
+        let max_warps = (self.spec.max_threads_per_sm / 32).max(1) as f64;
+        let occ_fraction = occ.warps_per_sm as f64 / max_warps;
+        let cap = self.spec.timing.latency_hiding_warps.max(1) as f64;
+        let warps = ((cap * occ_fraction).ceil() as u64)
+            .clamp(1, occ.warps_per_sm.max(1) as u64);
+        let issue_width = self.spec.timing.issue_width_per_sm.max(1);
+        let bpc = self.spec.bytes_per_cycle_per_sm();
+        // An SM may burst past its fair DRAM share through the L2 when
+        // other SMs are idle; DRAM stays a global limit (checked below).
+        let bpc_burst = bpc * self.spec.timing.sm_bandwidth_burst.max(1.0);
+
+        let mut worst = 0u64;
+        let mut bound = Bound::Issue;
+        let mut total_traffic = 0u64;
+        for s in &sms {
+            total_traffic += s.traffic_bytes;
+            let latency = s.solo_cycles / warps;
+            let issue = s.work_cycles / issue_width;
+            let bandwidth = (s.traffic_bytes as f64 / bpc_burst) as u64;
+            let straggler = s.max_warp_cycles;
+            // Latency stalls and DRAM service overlap imperfectly: the
+            // unhidden fraction of the smaller term extends the larger.
+            let overlap = self.spec.timing.latency_bw_overlap.clamp(0.0, 1.0);
+            let unhidden = ((1.0 - overlap) * latency.min(bandwidth) as f64) as u64;
+            let dominant = latency.max(issue).max(bandwidth).max(straggler);
+            let t = dominant + unhidden;
+            if t > worst {
+                worst = t;
+                bound = if dominant == straggler && straggler > latency {
+                    Bound::Straggler
+                } else if dominant == latency {
+                    Bound::Latency
+                } else if dominant == bandwidth {
+                    Bound::Bandwidth
+                } else {
+                    Bound::Issue
+                };
+            }
+        }
+        // Global DRAM bound across all SMs.
+        let global_bw = (total_traffic as f64 / (bpc * num_sms as f64)) as u64;
+        if global_bw > worst {
+            worst = global_bw;
+            bound = Bound::Bandwidth;
+        }
+        (
+            worst + self.spec.timing.kernel_launch_overhead_cycles,
+            bound,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+    use crate::kernel::KernelResources;
+
+    /// Streams `loads_per_warp` coalesced loads per warp; configurable
+    /// resources to probe occupancy effects.
+    struct Stream<'a> {
+        buf: &'a DeviceBuffer<f32>,
+        warps: usize,
+        loads_per_warp: usize,
+        regs: usize,
+        drain_every: Option<usize>,
+    }
+
+    impl WarpKernel for Stream<'_> {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 256,
+                regs_per_thread: self.regs,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            self.warps
+        }
+        fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+            let n = self.buf.len();
+            for i in 0..self.loads_per_warp {
+                let base = (warp_id * self.loads_per_warp + i) * 32;
+                ctx.load_f32(self.buf, |lane| Some((base + lane) % n));
+                if let Some(k) = self.drain_every {
+                    if (i + 1) % k == 0 {
+                        ctx.barrier();
+                    }
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "stream"
+        }
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100_40gb())
+    }
+
+    #[test]
+    fn launch_produces_time_and_stats() {
+        let buf = DeviceBuffer::<f32>::zeros(1 << 16);
+        let k = Stream {
+            buf: &buf,
+            warps: 1024,
+            loads_per_warp: 16,
+            regs: 32,
+            drain_every: None,
+        };
+        let r = gpu().launch(&k);
+        assert_eq!(r.stats.loads, 1024 * 16);
+        assert!(r.cycles > 0);
+        assert!(r.time_ms > 0.0);
+        assert_eq!(r.name, "stream");
+    }
+
+    #[test]
+    fn low_occupancy_is_slower() {
+        let buf = DeviceBuffer::<f32>::zeros(1 << 16);
+        let fast = Stream {
+            buf: &buf,
+            warps: 4096,
+            loads_per_warp: 16,
+            regs: 32,
+            drain_every: Some(1),
+        };
+        let slow = Stream {
+            buf: &buf,
+            warps: 4096,
+            loads_per_warp: 16,
+            regs: 255,
+            drain_every: Some(1),
+        };
+        let g = gpu();
+        let rf = g.launch(&fast);
+        let rs = g.launch(&slow);
+        assert!(
+            rs.cycles > rf.cycles,
+            "low-occupancy {} !> full-occupancy {}",
+            rs.cycles,
+            rf.cycles
+        );
+        assert!(rs.occupancy < rf.occupancy);
+    }
+
+    #[test]
+    fn frequent_drains_are_slower() {
+        let buf = DeviceBuffer::<f32>::zeros(1 << 16);
+        let g = gpu();
+        // Register-limited so latency is the binding constraint.
+        let batched = g.launch(&Stream {
+            buf: &buf,
+            warps: 2048,
+            loads_per_warp: 32,
+            regs: 128,
+            drain_every: Some(8),
+        });
+        let serial = g.launch(&Stream {
+            buf: &buf,
+            warps: 2048,
+            loads_per_warp: 32,
+            regs: 128,
+            drain_every: Some(1),
+        });
+        assert!(
+            serial.cycles > batched.cycles,
+            "serial {} !> batched {}",
+            serial.cycles,
+            batched.cycles
+        );
+    }
+
+    #[test]
+    fn grid_limit_is_enforced() {
+        let mut spec = GpuSpec::a100_40gb();
+        spec.max_grid_ctas = 10;
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        let k = Stream {
+            buf: &buf,
+            warps: 8 * 11, // 11 CTAs of 8 warps
+            loads_per_warp: 1,
+            regs: 32,
+            drain_every: None,
+        };
+        let err = Gpu::new(spec).try_launch(&k).unwrap_err();
+        assert!(matches!(err, LaunchError::GridTooLarge { .. }));
+    }
+
+    #[test]
+    fn invalid_cta_shape_rejected() {
+        struct Bad;
+        impl WarpKernel for Bad {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_cta: 33,
+                    regs_per_thread: 32,
+                    shared_bytes_per_cta: 0,
+                }
+            }
+            fn grid_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _: usize, _: &mut WarpCtx) {}
+        }
+        let err = gpu().try_launch(&Bad).unwrap_err();
+        assert!(matches!(err, LaunchError::Unlaunchable { .. }));
+    }
+
+    #[test]
+    fn straggler_bound_detected_for_imbalanced_work() {
+        // One warp does 512 dependent loads, the rest do 1: the straggler
+        // dominates even with full occupancy.
+        struct Imbalanced<'a> {
+            buf: &'a DeviceBuffer<f32>,
+        }
+        impl WarpKernel for Imbalanced<'_> {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_cta: 32,
+                    regs_per_thread: 32,
+                    shared_bytes_per_cta: 0,
+                }
+            }
+            fn grid_warps(&self) -> usize {
+                256
+            }
+            fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+                let iters = if warp_id == 0 { 512 } else { 1 };
+                for i in 0..iters {
+                    ctx.load_f32(self.buf, |lane| Some((i * 32 + lane) % self.buf.len()));
+                    ctx.barrier(); // dependent chain
+                }
+            }
+        }
+        let buf = DeviceBuffer::<f32>::zeros(1 << 14);
+        let r = gpu().launch(&Imbalanced { buf: &buf });
+        assert_eq!(r.bound, Bound::Straggler);
+        assert!(r.stats.max_warp_cycles > r.stats.total_solo_cycles / 256 * 10);
+    }
+
+    #[test]
+    fn launch_overhead_floor() {
+        struct Nop;
+        impl WarpKernel for Nop {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_cta: 32,
+                    regs_per_thread: 16,
+                    shared_bytes_per_cta: 0,
+                }
+            }
+            fn grid_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _: usize, _: &mut WarpCtx) {}
+        }
+        let r = gpu().launch(&Nop);
+        assert!(r.cycles >= GpuSpec::a100_40gb().timing.kernel_launch_overhead_cycles);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        let r = gpu().launch(&Stream {
+            buf: &buf,
+            warps: 8,
+            loads_per_warp: 2,
+            regs: 32,
+            drain_every: None,
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"stream\""));
+    }
+}

@@ -1,0 +1,77 @@
+//! The kernel abstraction: what user code implements to run on the simulator.
+
+use crate::warp::WarpCtx;
+
+/// Static resource declaration of a kernel — the analogue of what `nvcc`
+/// reports per kernel (threads per CTA from the launch configuration,
+/// registers per thread from compilation, shared memory from the
+/// `__shared__` declarations). These three numbers determine occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Threads per CTA (multiple of 32, ≤ 1024).
+    pub threads_per_cta: usize,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared memory bytes per CTA.
+    pub shared_bytes_per_cta: usize,
+}
+
+impl KernelResources {
+    /// Warps per CTA.
+    pub fn warps_per_cta(&self) -> usize {
+        self.threads_per_cta / 32
+    }
+
+    /// Per-warp share of the CTA's shared memory.
+    pub fn shared_bytes_per_warp(&self) -> usize {
+        self.shared_bytes_per_cta / self.warps_per_cta().max(1)
+    }
+}
+
+/// A GPU kernel expressed at warp granularity.
+///
+/// The engine executes `run_warp` once for every warp in the grid; warps are
+/// independent (the reproduced kernels all synchronize at warp scope, and
+/// CTA-wide shared memory is partitioned per warp as in the paper's
+/// Listing 1), so the host may run them in any order and in parallel.
+pub trait WarpKernel: Sync {
+    /// Resource usage determining occupancy.
+    fn resources(&self) -> KernelResources;
+
+    /// Total number of warps in the grid.
+    fn grid_warps(&self) -> usize;
+
+    /// Executes one warp, both functionally and for timing.
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx);
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "kernel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warps_per_cta() {
+        let r = KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 32,
+            shared_bytes_per_cta: 8192,
+        };
+        assert_eq!(r.warps_per_cta(), 8);
+        assert_eq!(r.shared_bytes_per_warp(), 1024);
+    }
+
+    #[test]
+    fn shared_per_warp_handles_zero_warps() {
+        let r = KernelResources {
+            threads_per_cta: 0,
+            regs_per_thread: 32,
+            shared_bytes_per_cta: 1024,
+        };
+        assert_eq!(r.shared_bytes_per_warp(), 1024);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-lane value containers for warp-wide (SIMT) operations.
+
+/// Number of threads (lanes) in a warp, matching CUDA.
+pub const WARP_SIZE: usize = 32;
+
+/// A warp-wide register: one value per lane.
+///
+/// Lanes that were inactive for the producing instruction hold the type's
+/// default value; consumers that respect their own active masks never observe
+/// them. `LaneArr` is `Copy`-cheap (128 bytes for `f32`) and allocation-free,
+/// which matters because kernels create them in the innermost loops of the
+/// functional simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneArr<T>(pub [T; WARP_SIZE]);
+
+impl<T: Copy + Default> Default for LaneArr<T> {
+    fn default() -> Self {
+        Self([T::default(); WARP_SIZE])
+    }
+}
+
+impl<T: Copy + Default> LaneArr<T> {
+    /// Builds a lane array by evaluating `f` for every lane.
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Self(std::array::from_fn(f))
+    }
+
+    /// Value held by `lane`.
+    #[inline]
+    pub fn get(&self, lane: usize) -> T {
+        self.0[lane]
+    }
+
+    /// Overwrites the value held by `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, value: T) {
+        self.0[lane] = value;
+    }
+
+    /// Applies `f` lane-wise, producing a new lane array.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> LaneArr<U> {
+        LaneArr(std::array::from_fn(|lane| f(self.0[lane])))
+    }
+
+    /// Combines two lane arrays lane-wise.
+    pub fn zip_with<U: Copy + Default, V: Copy + Default>(
+        &self,
+        other: &LaneArr<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> LaneArr<V> {
+        LaneArr(std::array::from_fn(|lane| f(self.0[lane], other.0[lane])))
+    }
+
+    /// Iterator over `(lane, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.0.iter().copied().enumerate()
+    }
+}
+
+impl LaneArr<f32> {
+    /// Lane-wise sum across the warp — a *host-side* helper for tests and
+    /// assertions. Kernels must use `WarpCtx::shfl_down` rounds instead so
+    /// the communication is costed.
+    pub fn host_sum(&self) -> f32 {
+        self.0.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let a = LaneArr::from_fn(|lane| lane as f32);
+        assert_eq!(a.get(0), 0.0);
+        assert_eq!(a.get(31), 31.0);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = LaneArr::from_fn(|lane| lane as f32);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.get(5), 10.0);
+        let c = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(c.get(5), 15.0);
+    }
+
+    #[test]
+    fn host_sum_matches_formula() {
+        let a = LaneArr::from_fn(|lane| lane as f32);
+        assert_eq!(a.host_sum(), (31 * 32 / 2) as f32);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let a: LaneArr<u32> = LaneArr::default();
+        assert!(a.iter().all(|(_, v)| v == 0));
+    }
+}

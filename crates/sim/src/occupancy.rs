@@ -1,0 +1,163 @@
+//! GPU occupancy calculation.
+//!
+//! Occupancy — resident warps per SM — is bounded by four resources:
+//! thread slots, CTA slots, the register file, and shared memory. The paper
+//! leans on this twice: Yang et al.'s nonzero-split SpMM materializes per-NZE
+//! dot products in registers, collapsing occupancy and with it latency
+//! hiding (§3.2); and GNNOne keeps its Stage-1 cache small enough that
+//! shared memory never becomes the limiter (§4.1.1).
+
+use crate::kernel::KernelResources;
+use crate::spec::GpuSpec;
+
+/// Resolved occupancy of a kernel on a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident CTAs per SM.
+    pub ctas_per_sm: usize,
+    /// Resident warps per SM (`ctas_per_sm × warps_per_cta`).
+    pub warps_per_sm: usize,
+    /// Which resource bound first.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread-slot limit (full occupancy).
+    Threads,
+    /// CTA-slot limit.
+    CtaSlots,
+    /// Register file exhausted.
+    Registers,
+    /// Shared memory exhausted.
+    SharedMemory,
+    /// Kernel cannot run at all (one CTA exceeds an SM's resources).
+    Unlaunchable,
+}
+
+impl Occupancy {
+    /// Computes occupancy for `res` on `spec`.
+    pub fn compute(spec: &GpuSpec, res: &KernelResources) -> Occupancy {
+        let threads = res.threads_per_cta.max(1);
+        // Register allocation is per-thread, clamped at the ISA limit —
+        // beyond it the compiler spills, which we conservatively model by
+        // capping (the spill traffic is charged by kernels that declare it).
+        let regs = res.regs_per_thread.clamp(1, spec.max_regs_per_thread);
+
+        let by_threads = spec.max_threads_per_sm / threads;
+        let by_slots = spec.max_ctas_per_sm;
+        let by_regs = spec.regs_per_sm / (regs * threads);
+        let by_shared = if res.shared_bytes_per_cta == 0 {
+            usize::MAX
+        } else {
+            spec.shared_mem_per_sm / res.shared_bytes_per_cta
+        };
+
+        let ctas = by_threads.min(by_slots).min(by_regs).min(by_shared);
+        if ctas == 0 || res.shared_bytes_per_cta > spec.shared_mem_per_cta {
+            return Occupancy {
+                ctas_per_sm: 0,
+                warps_per_sm: 0,
+                limiter: Limiter::Unlaunchable,
+            };
+        }
+        let limiter = if ctas == by_threads {
+            Limiter::Threads
+        } else if ctas == by_regs {
+            Limiter::Registers
+        } else if ctas == by_shared {
+            Limiter::SharedMemory
+        } else {
+            Limiter::CtaSlots
+        };
+        Occupancy {
+            ctas_per_sm: ctas,
+            warps_per_sm: ctas * (threads / 32).max(1),
+            limiter,
+        }
+    }
+
+    /// Occupancy as a fraction of the spec's maximum resident warps.
+    pub fn fraction(&self, spec: &GpuSpec) -> f64 {
+        self.warps_per_sm as f64 / (spec.max_threads_per_sm / 32) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(threads: usize, regs: usize, shared: usize) -> KernelResources {
+        KernelResources {
+            threads_per_cta: threads,
+            regs_per_thread: regs,
+            shared_bytes_per_cta: shared,
+        }
+    }
+
+    #[test]
+    fn lean_kernel_reaches_full_occupancy() {
+        let spec = GpuSpec::a100_40gb();
+        let o = Occupancy::compute(&spec, &res(256, 32, 0));
+        assert_eq!(o.ctas_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 64);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert!((o.fraction(&spec) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_hog_halves_occupancy() {
+        // 64 regs/thread on A100: 65536 / (64 × 256) = 4 CTAs = 1024 threads.
+        let spec = GpuSpec::a100_40gb();
+        let o = Occupancy::compute(&spec, &res(256, 64, 0));
+        assert_eq!(o.ctas_per_sm, 4);
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!((o.fraction(&spec) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_registers_collapse_occupancy() {
+        // The Yang et al. pathology: 255 regs/thread.
+        let spec = GpuSpec::a100_40gb();
+        let o = Occupancy::compute(&spec, &res(256, 255, 0));
+        assert_eq!(o.ctas_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn regs_beyond_isa_limit_clamp() {
+        let spec = GpuSpec::a100_40gb();
+        let clamped = Occupancy::compute(&spec, &res(256, 10_000, 0));
+        let at_limit = Occupancy::compute(&spec, &res(256, 255, 0));
+        assert_eq!(clamped, at_limit);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        // 40 KB per CTA on a 164 KB SM → 4 CTAs.
+        let spec = GpuSpec::a100_40gb();
+        let o = Occupancy::compute(&spec, &res(128, 32, 40 * 1024));
+        assert_eq!(o.ctas_per_sm, 4);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_cta_is_unlaunchable() {
+        let spec = GpuSpec::a100_40gb();
+        let o = Occupancy::compute(&spec, &res(256, 32, 200 * 1024));
+        assert_eq!(o.limiter, Limiter::Unlaunchable);
+        assert_eq!(o.warps_per_sm, 0);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_register_use() {
+        let spec = GpuSpec::a100_40gb();
+        let mut prev = usize::MAX;
+        for regs in [16, 32, 48, 64, 96, 128, 255] {
+            let o = Occupancy::compute(&spec, &res(256, regs, 0));
+            assert!(o.warps_per_sm <= prev, "regs={regs}");
+            prev = o.warps_per_sm;
+        }
+    }
+}

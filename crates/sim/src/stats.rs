@@ -1,0 +1,212 @@
+//! Execution statistics gathered by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated while one warp executes. Aggregated into
+/// [`KernelStats`] after the launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Global-load instructions issued.
+    pub loads: u64,
+    /// 32-byte sectors read from DRAM.
+    pub read_sectors: u64,
+    /// Useful bytes requested by loads.
+    pub read_useful_bytes: u64,
+    /// Global-store instructions issued.
+    pub stores: u64,
+    /// 32-byte sectors written to DRAM.
+    pub write_sectors: u64,
+    /// Shared-memory accesses (loads + stores).
+    pub shared_accesses: u64,
+    /// Barriers / fences executed (including those implied by shuffles).
+    pub barriers: u64,
+    /// Warp-shuffle exchange rounds.
+    pub shfl_rounds: u64,
+    /// Global atomic instructions.
+    pub atomics: u64,
+    /// Extra serialization steps caused by intra-warp atomic address
+    /// conflicts (0 when all lanes hit distinct addresses).
+    pub atomic_conflicts: u64,
+    /// Warp-wide compute instructions (FMA-equivalents).
+    pub compute_instr: u64,
+    /// Cycles this warp would take running alone on an SM (scoreboard
+    /// model: issue + exposed memory latency).
+    pub solo_cycles: u64,
+    /// Portion of `solo_cycles` spent stalled on memory (load latency the
+    /// scoreboard could not overlap). Basis of the Fig. 11 breakdown.
+    pub mem_stall_cycles: u64,
+}
+
+impl WarpStats {
+    /// Accumulate another warp's counters into `self`.
+    pub fn merge(&mut self, other: &WarpStats) {
+        self.loads += other.loads;
+        self.read_sectors += other.read_sectors;
+        self.read_useful_bytes += other.read_useful_bytes;
+        self.stores += other.stores;
+        self.write_sectors += other.write_sectors;
+        self.shared_accesses += other.shared_accesses;
+        self.barriers += other.barriers;
+        self.shfl_rounds += other.shfl_rounds;
+        self.atomics += other.atomics;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.compute_instr += other.compute_instr;
+        self.solo_cycles += other.solo_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+    }
+}
+
+/// Launch-wide statistics, reported by [`crate::Gpu::launch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Number of warps executed.
+    pub warps: u64,
+    /// Global-load instructions issued.
+    pub loads: u64,
+    /// DRAM read traffic in bytes (sectors × 32).
+    pub read_bytes: u64,
+    /// Bytes actually requested by active lanes — `read_bytes -
+    /// read_useful_bytes` is wasted bandwidth from poor coalescing.
+    pub read_useful_bytes: u64,
+    /// DRAM write traffic in bytes.
+    pub write_bytes: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Warp-shuffle rounds.
+    pub shfl_rounds: u64,
+    /// Global atomics issued.
+    pub atomics: u64,
+    /// Intra-warp atomic serialization steps.
+    pub atomic_conflicts: u64,
+    /// Warp-wide compute instructions.
+    pub compute_instr: u64,
+    /// Sum of per-warp solo cycles.
+    pub total_solo_cycles: u64,
+    /// Largest single-warp solo time (workload-imbalance witness).
+    pub max_warp_cycles: u64,
+    /// Sum of per-warp memory stall cycles.
+    pub total_mem_stall_cycles: u64,
+}
+
+impl KernelStats {
+    /// Fold one warp's counters into the launch totals.
+    pub fn absorb_warp(&mut self, w: &WarpStats) {
+        self.warps += 1;
+        self.loads += w.loads;
+        self.read_bytes += w.read_sectors * crate::coalesce::SECTOR_BYTES;
+        self.read_useful_bytes += w.read_useful_bytes;
+        self.write_bytes += w.write_sectors * crate::coalesce::SECTOR_BYTES;
+        self.shared_accesses += w.shared_accesses;
+        self.barriers += w.barriers;
+        self.shfl_rounds += w.shfl_rounds;
+        self.atomics += w.atomics;
+        self.atomic_conflicts += w.atomic_conflicts;
+        self.compute_instr += w.compute_instr;
+        self.total_solo_cycles += w.solo_cycles;
+        self.max_warp_cycles = self.max_warp_cycles.max(w.solo_cycles);
+        self.total_mem_stall_cycles += w.mem_stall_cycles;
+    }
+
+    /// Merge launch totals (used when reducing parallel partial sums).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.warps += other.warps;
+        self.loads += other.loads;
+        self.read_bytes += other.read_bytes;
+        self.read_useful_bytes += other.read_useful_bytes;
+        self.write_bytes += other.write_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.barriers += other.barriers;
+        self.shfl_rounds += other.shfl_rounds;
+        self.atomics += other.atomics;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.compute_instr += other.compute_instr;
+        self.total_solo_cycles += other.total_solo_cycles;
+        self.max_warp_cycles = self.max_warp_cycles.max(other.max_warp_cycles);
+        self.total_mem_stall_cycles += other.total_mem_stall_cycles;
+    }
+
+    /// Fraction of read traffic that was useful (1.0 = perfectly coalesced).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.read_bytes == 0 {
+            1.0
+        } else {
+            self.read_useful_bytes as f64 / self.read_bytes as f64
+        }
+    }
+
+    /// Fraction of warp time spent stalled on memory — the paper's
+    /// "data load ≫ actual compute" observation (Fig. 11).
+    pub fn mem_stall_fraction(&self) -> f64 {
+        if self.total_solo_cycles == 0 {
+            0.0
+        } else {
+            self.total_mem_stall_cycles as f64 / self.total_solo_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_warp_accumulates() {
+        let mut ks = KernelStats::default();
+        let w = WarpStats {
+            loads: 2,
+            read_sectors: 8,
+            read_useful_bytes: 256,
+            solo_cycles: 100,
+            mem_stall_cycles: 60,
+            ..Default::default()
+        };
+        ks.absorb_warp(&w);
+        ks.absorb_warp(&w);
+        assert_eq!(ks.warps, 2);
+        assert_eq!(ks.loads, 4);
+        assert_eq!(ks.read_bytes, 512);
+        assert_eq!(ks.max_warp_cycles, 100);
+        assert!((ks.coalescing_efficiency() - 1.0).abs() < 1e-12);
+        assert!((ks.mem_stall_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_of_max() {
+        let mut a = KernelStats {
+            max_warp_cycles: 5,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            max_warp_cycles: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.max_warp_cycles, 9);
+    }
+
+    #[test]
+    fn empty_stats_have_unit_efficiency() {
+        let ks = KernelStats::default();
+        assert_eq!(ks.coalescing_efficiency(), 1.0);
+        assert_eq!(ks.mem_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn warp_stats_merge() {
+        let mut a = WarpStats {
+            loads: 1,
+            solo_cycles: 10,
+            ..Default::default()
+        };
+        let b = WarpStats {
+            loads: 2,
+            solo_cycles: 20,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.solo_cycles, 30);
+    }
+}

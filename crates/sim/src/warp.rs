@@ -1,0 +1,737 @@
+//! Warp-level execution context: functional SIMT operations plus the
+//! per-warp scoreboard that models load ILP and memory-barrier drains.
+//!
+//! ## The scoreboard
+//!
+//! Global loads are issued into a bounded in-flight queue
+//! ([`TimingParams::max_outstanding_loads`]). The warp's clock only advances
+//! by the issue cost, so independent loads overlap their DRAM latency —
+//! *instruction-level parallelism*. Three things expose latency:
+//!
+//! 1. the in-flight queue filling up (the warp stalls for the oldest load),
+//! 2. a **drain point** — a barrier or a warp-shuffle exchange — which waits
+//!    for every outstanding load (the paper's "memory barrier" effect on
+//!    data-load performance, §3.2),
+//! 3. explicit consumption via [`WarpCtx::use_loads`].
+//!
+//! This is exactly the mechanism GNNOne's Stage-2 design manipulates: loading
+//! four features per thread with one `float4` instruction issues the same
+//! bytes with fewer instructions *and* meets fewer shuffle-drain points per
+//! feature, so less latency is exposed.
+//!
+//! ## Shared memory
+//!
+//! Each warp owns a private slice of its CTA's shared memory (the GNNOne
+//! kernels, like the originals, partition the CTA allocation per warp;
+//! see Listing 1 of the paper). Accesses are charged a small pipelined cost;
+//! bank conflicts are not modelled (none of the reproduced kernels generate
+//! systematic conflicts — all use linear layouts).
+
+use std::collections::VecDeque;
+
+use crate::buffer::{DeviceBuffer, Pod32};
+use crate::coalesce::{coalesce, Access};
+use crate::lanes::{LaneArr, WARP_SIZE};
+use crate::spec::TimingParams;
+use crate::stats::WarpStats;
+
+/// Execution context handed to [`crate::WarpKernel::run_warp`].
+pub struct WarpCtx {
+    timing: TimingParams,
+    clock: u64,
+    outstanding: VecDeque<u64>,
+    shared: Vec<u32>,
+    shared_limit_words: usize,
+    stats: WarpStats,
+}
+
+impl WarpCtx {
+    /// Creates a context with `shared_bytes` of per-warp shared memory.
+    pub fn new(timing: TimingParams, shared_bytes: usize) -> Self {
+        let shared_limit_words = shared_bytes / 4;
+        Self {
+            timing,
+            clock: 0,
+            outstanding: VecDeque::with_capacity(timing.max_outstanding_loads),
+            shared: vec![0u32; shared_limit_words],
+            shared_limit_words,
+            stats: WarpStats::default(),
+        }
+    }
+
+    /// Current warp-local clock (cycles since warp start).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &WarpStats {
+        &self.stats
+    }
+
+    /// Drains outstanding loads and finalizes `solo_cycles`; called by the
+    /// engine when the warp function returns.
+    pub fn finish(&mut self) -> WarpStats {
+        self.drain();
+        self.stats.solo_cycles = self.clock;
+        self.stats
+    }
+
+    // ---- scoreboard internals ------------------------------------------
+
+    fn issue_load_access(&mut self, access: Access) {
+        self.stats.loads += 1;
+        self.stats.read_sectors += access.sectors as u64;
+        self.stats.read_useful_bytes += access.useful_bytes;
+        self.clock += self.timing.issue_cycles;
+        if access.sectors == 0 {
+            // All lanes inactive: the instruction still issues, nothing flies.
+            return;
+        }
+        if self.outstanding.len() >= self.timing.max_outstanding_loads {
+            let ready = self
+                .outstanding
+                .pop_front()
+                .expect("queue non-empty by check");
+            self.stall_until(ready);
+        }
+        let service = self.timing.dram_latency
+            + u64::from(access.sectors.saturating_sub(1)) * self.timing.cycles_per_extra_sector;
+        self.outstanding.push_back(self.clock + service);
+    }
+
+    fn stall_until(&mut self, ready: u64) {
+        if ready > self.clock {
+            self.stats.mem_stall_cycles += ready - self.clock;
+            self.clock = ready;
+        }
+    }
+
+    fn drain(&mut self) {
+        if let Some(&max_ready) = self.outstanding.iter().max() {
+            self.stall_until(max_ready);
+        }
+        self.outstanding.clear();
+    }
+
+    // ---- global memory --------------------------------------------------
+
+    /// Warp-wide scalar load: lane `l` reads `buf[addr(l)]` when
+    /// `addr(l) == Some(_)`; inactive lanes receive `T::default()`.
+    pub fn load<T: Pod32>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        mut addr: impl FnMut(usize) -> Option<usize>,
+    ) -> LaneArr<T> {
+        let mut out = LaneArr::<T>::default();
+        let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if let Some(idx) = addr(lane) {
+                out.set(lane, buf.read(idx));
+                lane_addrs[lane] = Some(buf.addr_of(idx));
+            }
+        }
+        let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, 4))));
+        self.issue_load_access(access);
+        out
+    }
+
+    /// Warp-wide scalar `f32` load.
+    pub fn load_f32(
+        &mut self,
+        buf: &DeviceBuffer<f32>,
+        addr: impl FnMut(usize) -> Option<usize>,
+    ) -> LaneArr<f32> {
+        self.load(buf, addr)
+    }
+
+    /// Warp-wide scalar `u32` load.
+    pub fn load_u32(
+        &mut self,
+        buf: &DeviceBuffer<u32>,
+        addr: impl FnMut(usize) -> Option<usize>,
+    ) -> LaneArr<u32> {
+        self.load(buf, addr)
+    }
+
+    /// Vector load (`float4`): lane `l` reads `buf[base(l) .. base(l)+4]`
+    /// with **one** memory instruction — the CUDA `float4` mechanism GNNOne
+    /// uses in Stage 2 (§4.2.1). `base(l)` must be 4-element aligned for a
+    /// fully coalesced access, mirroring the alignment requirement that
+    /// forces the `float3` fallback for feature length 6 (§4.4).
+    pub fn load_f32x4(
+        &mut self,
+        buf: &DeviceBuffer<f32>,
+        mut base: impl FnMut(usize) -> Option<usize>,
+    ) -> [LaneArr<f32>; 4] {
+        self.load_f32xn::<4>(buf, &mut base)
+    }
+
+    /// Vector load of `N` consecutive floats per lane (one instruction).
+    /// `N` must be 1..=4, matching CUDA's `float`, `float2`, `float3`,
+    /// `float4` vector types.
+    pub fn load_f32xn<const N: usize>(
+        &mut self,
+        buf: &DeviceBuffer<f32>,
+        base: &mut impl FnMut(usize) -> Option<usize>,
+    ) -> [LaneArr<f32>; N] {
+        const { assert!(N >= 1 && N <= 4, "vector width must be 1..=4") };
+        let mut out = [LaneArr::<f32>::default(); N];
+        let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if let Some(idx) = base(lane) {
+                for (k, arr) in out.iter_mut().enumerate() {
+                    arr.set(lane, buf.read(idx + k));
+                }
+                lane_addrs[lane] = Some(buf.addr_of(idx));
+            }
+        }
+        let width = 4 * N as u64;
+        let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, width))));
+        self.issue_load_access(access);
+        out
+    }
+
+    /// Vector load with a runtime width (1..=4): the dynamic counterpart of
+    /// [`WarpCtx::load_f32xn`]. Unused trailing arrays are zero. Kernels use
+    /// this because the vector width is picked per feature length at
+    /// runtime (float4 / float3 / float2 / float — §4.4 of the paper).
+    pub fn load_f32xw(
+        &mut self,
+        width: usize,
+        buf: &DeviceBuffer<f32>,
+        mut base: impl FnMut(usize) -> Option<usize>,
+    ) -> [LaneArr<f32>; 4] {
+        match width {
+            1 => {
+                let [a] = self.load_f32xn::<1>(buf, &mut base);
+                [a, LaneArr::default(), LaneArr::default(), LaneArr::default()]
+            }
+            2 => {
+                let [a, b] = self.load_f32xn::<2>(buf, &mut base);
+                [a, b, LaneArr::default(), LaneArr::default()]
+            }
+            3 => {
+                let [a, b, c] = self.load_f32xn::<3>(buf, &mut base);
+                [a, b, c, LaneArr::default()]
+            }
+            4 => self.load_f32xn::<4>(buf, &mut base),
+            _ => panic!("vector width must be 1..=4, got {width}"),
+        }
+    }
+
+    /// Warp-wide store: lane `l` writes `value` to `buf[idx]` when
+    /// `write(l) == Some((idx, value))`. Stores are fire-and-forget (they do
+    /// not join the load scoreboard); their bandwidth is accounted.
+    pub fn store<T: Pod32>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        mut write: impl FnMut(usize) -> Option<(usize, T)>,
+    ) {
+        let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, value)) = write(lane) {
+                buf.write(idx, value);
+                lane_addrs[lane] = Some(buf.addr_of(idx));
+            }
+        }
+        let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, 4))));
+        self.stats.stores += 1;
+        self.stats.write_sectors += access.sectors as u64;
+        self.clock += self.timing.issue_cycles
+            + access.sectors as u64 * self.timing.store_sector_cycles;
+    }
+
+    /// Warp-wide `f32` store.
+    pub fn store_f32(
+        &mut self,
+        buf: &DeviceBuffer<f32>,
+        write: impl FnMut(usize) -> Option<(usize, f32)>,
+    ) {
+        self.store(buf, write)
+    }
+
+    /// Warp-wide `u32` store.
+    pub fn store_u32(
+        &mut self,
+        buf: &DeviceBuffer<u32>,
+        write: impl FnMut(usize) -> Option<(usize, u32)>,
+    ) {
+        self.store(buf, write)
+    }
+
+    /// Warp-wide `atomicAdd` on `f32`. Lanes hitting the same address
+    /// serialize: the instruction is charged `atomic_cycles ×` the largest
+    /// per-address multiplicity. The running reduction of GNNOne SpMM keeps
+    /// this multiplicity at 1 except at row splits (§4.3).
+    pub fn atomic_add_f32(
+        &mut self,
+        buf: &DeviceBuffer<f32>,
+        mut write: impl FnMut(usize) -> Option<(usize, f32)>,
+    ) {
+        let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
+        let mut idxs: Vec<usize> = Vec::with_capacity(WARP_SIZE);
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, value)) = write(lane) {
+                buf.atomic_add(idx, value);
+                lane_addrs[lane] = Some(buf.addr_of(idx));
+                idxs.push(idx);
+            }
+        }
+        if idxs.is_empty() {
+            self.clock += self.timing.issue_cycles;
+            return;
+        }
+        idxs.sort_unstable();
+        let mut max_mult: u64 = 0;
+        let mut run = 0u64;
+        let mut prev = usize::MAX;
+        for idx in idxs {
+            if idx == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = idx;
+            }
+            max_mult = max_mult.max(run);
+        }
+        let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, 4))));
+        self.stats.atomics += 1;
+        self.stats.atomic_conflicts += max_mult - 1;
+        self.stats.write_sectors += access.sectors as u64;
+        self.clock += self.timing.issue_cycles + self.timing.atomic_cycles * max_mult;
+    }
+
+    /// Vectored `atomicAdd`: each active lane atomically adds `width`
+    /// consecutive floats starting at its base index. Models a thread
+    /// flushing a `float4` accumulator with consecutive per-element atomics
+    /// — the L2 combines them into the same sectors, so traffic is counted
+    /// once while the issue cost covers all `width` element-atomics.
+    pub fn atomic_add_f32_vec(
+        &mut self,
+        width: usize,
+        buf: &DeviceBuffer<f32>,
+        mut write: impl FnMut(usize) -> Option<(usize, [f32; 4])>,
+    ) -> bool {
+        assert!((1..=4).contains(&width));
+        let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
+        let mut any = false;
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, vals)) = write(lane) {
+                for (k, &v) in vals.iter().enumerate().take(width) {
+                    buf.atomic_add(idx + k, v);
+                }
+                lane_addrs[lane] = Some(buf.addr_of(idx));
+                any = true;
+            }
+        }
+        if !any {
+            self.clock += self.timing.issue_cycles;
+            return false;
+        }
+        let w = 4 * width as u64;
+        let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, w))));
+        self.stats.atomics += width as u64;
+        self.stats.write_sectors += access.sectors as u64;
+        self.clock +=
+            width as u64 * self.timing.issue_cycles + self.timing.atomic_cycles;
+        true
+    }
+
+    /// Waits for every outstanding load — models consuming loaded registers
+    /// without an inter-thread exchange (e.g. before a data-dependent branch).
+    pub fn use_loads(&mut self) {
+        self.drain();
+    }
+
+    // ---- shared memory ----------------------------------------------------
+
+    /// Number of 32-bit words of per-warp shared memory available.
+    pub fn shared_words(&self) -> usize {
+        self.shared_limit_words
+    }
+
+    /// Stores one word per active lane into per-warp shared memory.
+    pub fn shared_store<T: Pod32>(&mut self, mut write: impl FnMut(usize) -> Option<(usize, T)>) {
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, value)) = write(lane) {
+                assert!(
+                    idx < self.shared_limit_words,
+                    "shared memory overflow: word {idx} >= {} words",
+                    self.shared_limit_words
+                );
+                self.shared[idx] = value.to_bits32();
+            }
+        }
+        self.stats.shared_accesses += 1;
+        self.clock += self.timing.issue_cycles;
+    }
+
+    /// Loads one word per active lane from per-warp shared memory.
+    /// A barrier must separate the producing stores from these reads, as on
+    /// hardware; the simulator checks only cost, not ordering (the functional
+    /// result is always the latest store because warps are sequential here).
+    pub fn shared_load<T: Pod32>(
+        &mut self,
+        mut addr: impl FnMut(usize) -> Option<usize>,
+    ) -> LaneArr<T> {
+        let mut out = LaneArr::<T>::default();
+        for lane in 0..WARP_SIZE {
+            if let Some(idx) = addr(lane) {
+                assert!(
+                    idx < self.shared_limit_words,
+                    "shared memory overflow: word {idx} >= {} words",
+                    self.shared_limit_words
+                );
+                out.set(lane, T::from_bits32(self.shared[idx]));
+            }
+        }
+        self.stats.shared_accesses += 1;
+        self.clock += self.timing.issue_cycles;
+        out
+    }
+
+    /// Reads a single shared word from the host-side of the simulation
+    /// without cost — for assertions in tests.
+    pub fn shared_peek<T: Pod32>(&self, idx: usize) -> T {
+        T::from_bits32(self.shared[idx])
+    }
+
+    // ---- synchronization --------------------------------------------------
+
+    /// Memory barrier (`__syncthreads` / `__syncwarp` with fence semantics):
+    /// drains all outstanding loads and charges the barrier cost. This is
+    /// the ordering constraint the paper identifies as the hidden enemy of
+    /// data-load ILP (§3.2).
+    pub fn barrier(&mut self) {
+        self.drain();
+        self.stats.barriers += 1;
+        self.clock += self.timing.barrier_cycles;
+    }
+
+    /// One `__shfl_down_sync` exchange round of width `width` (a power of
+    /// two ≤ 32). Lane `l` receives the value of lane `l + delta` when both
+    /// are in the same `width`-sized segment; otherwise keeps its own value.
+    ///
+    /// Shuffles synchronize the participating lanes, so the scoreboard
+    /// treats each round as a drain point — the mechanism behind "reduction
+    /// indirectly impacts data load" (§3.2).
+    pub fn shfl_down_f32(&mut self, vals: &LaneArr<f32>, delta: usize, width: usize) -> LaneArr<f32> {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.drain();
+        self.stats.shfl_rounds += 1;
+        self.clock += self.timing.shfl_cycles;
+        LaneArr::from_fn(|lane| {
+            let seg = lane / width * width;
+            let src = lane + delta;
+            if src < seg + width {
+                vals.get(src)
+            } else {
+                vals.get(lane)
+            }
+        })
+    }
+
+    /// Tree reduction within each `width`-wide segment using
+    /// `log2(width)` shuffle rounds; every lane of a segment ends with the
+    /// segment sum in its slot (sufficient for lane 0 to store it).
+    pub fn shfl_reduce_sum_f32(&mut self, vals: &LaneArr<f32>, width: usize) -> LaneArr<f32> {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        let mut acc = *vals;
+        let mut delta = width / 2;
+        while delta >= 1 {
+            let shifted = self.shfl_down_f32(&acc, delta, width);
+            acc = acc.zip_with(&shifted, |a, b| a + b);
+            delta /= 2;
+        }
+        acc
+    }
+
+    // ---- compute ------------------------------------------------------------
+
+    /// Charges `n` warp-wide FMA-equivalent instructions.
+    pub fn compute(&mut self, n: u64) {
+        self.stats.compute_instr += n;
+        self.clock += n * self.timing.issue_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(TimingParams::default(), 4096)
+    }
+
+    #[test]
+    fn loads_overlap_until_queue_full() {
+        let t = TimingParams::default();
+        let buf = DeviceBuffer::<f32>::zeros(32 * 64);
+        let mut c = ctx();
+        // Issue max_outstanding loads: clock advances only by issue cost.
+        for i in 0..t.max_outstanding_loads {
+            c.load_f32(&buf, |lane| Some(i * 32 + lane));
+        }
+        assert_eq!(c.clock(), t.max_outstanding_loads as u64 * t.issue_cycles);
+        // One more load must stall for the first to return.
+        c.load_f32(&buf, Some);
+        assert!(c.clock() >= t.dram_latency);
+        assert!(c.stats().mem_stall_cycles > 0);
+    }
+
+    #[test]
+    fn barrier_drains_outstanding() {
+        let t = TimingParams::default();
+        let buf = DeviceBuffer::<f32>::zeros(64);
+        let mut c = ctx();
+        c.load_f32(&buf, Some);
+        c.barrier();
+        // Clock passed full latency plus barrier cost.
+        assert!(c.clock() >= t.dram_latency + t.barrier_cycles);
+        assert_eq!(c.stats().barriers, 1);
+    }
+
+    #[test]
+    fn more_loads_per_barrier_is_faster_per_load() {
+        // The paper's core ILP claim: k loads then one drain beats
+        // (load, drain) × k.
+        let buf = DeviceBuffer::<f32>::zeros(32 * 16);
+        let mut batched = ctx();
+        for i in 0..4 {
+            batched.load_f32(&buf, |lane| Some(i * 32 + lane));
+        }
+        batched.barrier();
+        let batched_cycles = batched.finish().solo_cycles;
+
+        let mut serial = ctx();
+        for i in 0..4 {
+            serial.load_f32(&buf, |lane| Some(i * 32 + lane));
+            serial.barrier();
+        }
+        let serial_cycles = serial.finish().solo_cycles;
+        assert!(
+            serial_cycles > 3 * batched_cycles,
+            "serial={serial_cycles} batched={batched_cycles}"
+        );
+    }
+
+    #[test]
+    fn functional_load_reads_values() {
+        let buf = DeviceBuffer::from_slice(&(0..64).map(|i| i as f32).collect::<Vec<_>>());
+        let mut c = ctx();
+        let v = c.load_f32(&buf, |lane| Some(lane * 2));
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.get(31), 62.0);
+    }
+
+    #[test]
+    fn vector_load_reads_four_consecutive() {
+        let buf = DeviceBuffer::from_slice(&(0..256).map(|i| i as f32).collect::<Vec<_>>());
+        let mut c = ctx();
+        let vecs = c.load_f32x4(&buf, |lane| (lane < 8).then_some(lane * 4));
+        assert_eq!(vecs[0].get(1), 4.0);
+        assert_eq!(vecs[3].get(1), 7.0);
+        assert_eq!(vecs[2].get(7), 30.0);
+        // 8 lanes × 16 B consecutive = fully coalesced 4 sectors.
+        assert_eq!(c.stats().read_sectors, 4);
+        assert_eq!(c.stats().read_useful_bytes, 128);
+        assert_eq!(c.stats().loads, 1);
+    }
+
+    #[test]
+    fn float4_moves_same_bytes_with_fewer_instructions() {
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        // Scalar: 4 instructions, 32 lanes each.
+        let mut scalar = ctx();
+        for k in 0..4 {
+            scalar.load_f32(&buf, |lane| Some(lane * 4 + k));
+        }
+        // Vector: 1 instruction, 32 lanes × 4 floats. (Different layout but
+        // same 512 useful bytes.)
+        let mut vector = ctx();
+        vector.load_f32x4(&buf, |lane| Some(lane * 4));
+        assert_eq!(
+            scalar.stats().read_useful_bytes,
+            vector.stats().read_useful_bytes
+        );
+        assert_eq!(vector.stats().loads, 1);
+        assert_eq!(scalar.stats().loads, 4);
+    }
+
+    #[test]
+    fn shfl_down_exchanges_within_segment() {
+        let mut c = ctx();
+        let vals = LaneArr::from_fn(|lane| lane as f32);
+        let out = c.shfl_down_f32(&vals, 4, 8);
+        assert_eq!(out.get(0), 4.0);
+        assert_eq!(out.get(3), 7.0);
+        // Lane 4 + 4 = 8 is outside segment [0,8): keeps own value.
+        assert_eq!(out.get(4), 4.0);
+        assert_eq!(out.get(8), 12.0);
+    }
+
+    #[test]
+    fn shfl_reduce_sums_each_segment() {
+        let mut c = ctx();
+        let vals = LaneArr::from_fn(|lane| lane as f32);
+        let out = c.shfl_reduce_sum_f32(&vals, 8);
+        // Segment 0 holds lanes 0..8: sum = 28.
+        assert_eq!(out.get(0), 28.0);
+        // Segment 1 holds lanes 8..16: sum = 92.
+        assert_eq!(out.get(8), 92.0);
+        assert_eq!(c.stats().shfl_rounds, 3);
+    }
+
+    #[test]
+    fn shfl_reduce_full_warp_is_five_rounds() {
+        let mut c = ctx();
+        let vals = LaneArr::from_fn(|_| 1.0);
+        let out = c.shfl_reduce_sum_f32(&vals, 32);
+        assert_eq!(out.get(0), 32.0);
+        assert_eq!(c.stats().shfl_rounds, 5);
+    }
+
+    #[test]
+    fn shared_store_load_roundtrip() {
+        let mut c = ctx();
+        c.shared_store(|lane| Some((lane, lane as u32 * 3)));
+        c.barrier();
+        let v: LaneArr<u32> = c.shared_load(|lane| Some(31 - lane));
+        assert_eq!(v.get(0), 93);
+        assert_eq!(v.get(31), 0);
+        assert_eq!(c.stats().shared_accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn shared_overflow_panics() {
+        let mut c = WarpCtx::new(TimingParams::default(), 16);
+        c.shared_store(|lane| Some((lane, 0u32)));
+    }
+
+    #[test]
+    fn atomic_add_conflict_serializes() {
+        let t = TimingParams::default();
+        let buf = DeviceBuffer::<f32>::zeros(4);
+        // All 32 lanes hit index 0: multiplicity 32.
+        let mut conflicted = ctx();
+        conflicted.atomic_add_f32(&buf, |_| Some((0, 1.0)));
+        assert_eq!(buf.read(0), 32.0);
+        assert_eq!(conflicted.stats().atomic_conflicts, 31);
+
+        let buf2 = DeviceBuffer::<f32>::zeros(32);
+        let mut clean = ctx();
+        clean.atomic_add_f32(&buf2, |lane| Some((lane, 1.0)));
+        assert_eq!(clean.stats().atomic_conflicts, 0);
+        assert!(
+            conflicted.clock() > clean.clock() + 20 * t.atomic_cycles,
+            "conflicted={} clean={}",
+            conflicted.clock(),
+            clean.clock()
+        );
+    }
+
+    #[test]
+    fn store_writes_and_counts_sectors() {
+        let buf = DeviceBuffer::<f32>::zeros(32);
+        let mut c = ctx();
+        c.store_f32(&buf, |lane| Some((lane, lane as f32)));
+        assert_eq!(buf.read(5), 5.0);
+        assert_eq!(c.stats().write_sectors, 4);
+    }
+
+    #[test]
+    fn finish_sets_solo_cycles() {
+        let buf = DeviceBuffer::<f32>::zeros(32);
+        let mut c = ctx();
+        c.load_f32(&buf, Some);
+        let stats = c.finish();
+        assert!(stats.solo_cycles >= TimingParams::default().dram_latency);
+    }
+
+    #[test]
+    fn inactive_lane_load_is_free_of_traffic() {
+        let buf = DeviceBuffer::<f32>::zeros(32);
+        let mut c = ctx();
+        let v = c.load_f32(&buf, |_| None);
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(c.stats().read_sectors, 0);
+        assert_eq!(c.stats().loads, 1); // the instruction still issued
+    }
+}
+
+#[cfg(test)]
+mod vec_atomic_tests {
+    use super::*;
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(TimingParams::default(), 0)
+    }
+
+    #[test]
+    fn vectored_atomic_adds_consecutive_elements() {
+        let buf = DeviceBuffer::<f32>::zeros(32 * 4);
+        let mut c = ctx();
+        c.atomic_add_f32_vec(4, &buf, |l| Some((l * 4, [1.0, 2.0, 3.0, 4.0])));
+        let v = buf.to_vec();
+        assert_eq!(&v[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&v[124..128], &[1.0, 2.0, 3.0, 4.0]);
+        // One vectored atomic = `width` element-atomics counted.
+        assert_eq!(c.stats().atomics, 4);
+    }
+
+    #[test]
+    fn vectored_atomic_traffic_is_combined() {
+        // 8 lanes × 16 B consecutive = 128 B = 4 sectors, counted once —
+        // vs 4 separate strided atomics which would count 16.
+        let buf = DeviceBuffer::<f32>::zeros(256);
+        let mut c = ctx();
+        c.atomic_add_f32_vec(4, &buf, |l| (l < 8).then(|| (l * 4, [1.0; 4])));
+        assert_eq!(c.stats().write_sectors, 4);
+    }
+
+    #[test]
+    fn vectored_atomic_partial_width() {
+        let buf = DeviceBuffer::<f32>::zeros(64);
+        let mut c = ctx();
+        c.atomic_add_f32_vec(2, &buf, |l| (l == 0).then_some((10, [5.0, 7.0, 99.0, 99.0])));
+        assert_eq!(buf.read(10), 5.0);
+        assert_eq!(buf.read(11), 7.0);
+        assert_eq!(buf.read(12), 0.0); // width 2: trailing lanes ignored
+    }
+
+    #[test]
+    fn vectored_atomic_all_inactive_is_cheap() {
+        let buf = DeviceBuffer::<f32>::zeros(4);
+        let mut c = ctx();
+        let wrote = c.atomic_add_f32_vec(4, &buf, |_| None);
+        assert!(!wrote);
+        assert_eq!(c.stats().atomics, 0);
+    }
+
+    #[test]
+    fn dynamic_width_load_matches_const_width() {
+        let buf = DeviceBuffer::from_slice(&(0..128).map(|i| i as f32).collect::<Vec<_>>());
+        let mut a = ctx();
+        let va = a.load_f32xw(3, &buf, |l| (l < 4).then(|| l * 3));
+        let mut b = ctx();
+        let vb = b.load_f32xn::<3>(&buf, &mut |l| (l < 4).then(|| l * 3));
+        for k in 0..3 {
+            for l in 0..4 {
+                assert_eq!(va[k].get(l), vb[k].get(l));
+            }
+        }
+        // Width-4 slot of the dynamic variant is zeroed.
+        assert_eq!(va[3].get(0), 0.0);
+        assert_eq!(a.stats().read_sectors, b.stats().read_sectors);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector width must be 1..=4")]
+    fn dynamic_width_rejects_out_of_range() {
+        let buf = DeviceBuffer::<f32>::zeros(4);
+        ctx().load_f32xw(5, &buf, |_| None);
+    }
+}

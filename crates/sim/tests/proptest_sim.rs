@@ -1,0 +1,142 @@
+//! Property-based tests of the simulator's core invariants.
+
+use gnnone_sim::coalesce::{coalesce, SECTOR_BYTES};
+use gnnone_sim::{
+    DeviceBuffer, Gpu, GpuSpec, KernelResources, Occupancy, TimingParams, WarpCtx, WarpKernel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sector count is bounded by the per-lane sector span and never zero
+    /// for a non-empty access; traffic always covers the useful bytes of
+    /// distinct addresses.
+    #[test]
+    fn coalescing_bounds(addrs in prop::collection::vec(0u64..100_000, 1..32), width in 1u64..=16) {
+        let access = coalesce(addrs.iter().map(|&a| (a, width)));
+        let max_sectors: u64 = addrs.len() as u64 * (width / SECTOR_BYTES + 2);
+        prop_assert!(access.sectors as u64 <= max_sectors);
+        prop_assert!(access.sectors >= 1);
+        prop_assert_eq!(access.useful_bytes, addrs.len() as u64 * width);
+        prop_assert!(access.lines <= access.sectors);
+        // Traffic covers every distinct byte requested.
+        let mut bytes: Vec<u64> = addrs
+            .iter()
+            .flat_map(|&a| (a..a + width).map(|b| b / SECTOR_BYTES))
+            .collect();
+        bytes.sort_unstable();
+        bytes.dedup();
+        prop_assert_eq!(access.sectors as usize, bytes.len());
+    }
+
+    /// Occupancy is monotonically non-increasing in every resource axis.
+    #[test]
+    fn occupancy_monotone(
+        threads_pow in 1u32..=5, // 32..=1024 threads
+        regs in 8usize..200,
+        shared in 0usize..64 * 1024,
+    ) {
+        let spec = GpuSpec::a100_40gb();
+        let threads = 32usize << threads_pow.min(5);
+        let base = KernelResources {
+            threads_per_cta: threads.min(1024),
+            regs_per_thread: regs,
+            shared_bytes_per_cta: shared,
+        };
+        let o0 = Occupancy::compute(&spec, &base);
+        let more_regs = Occupancy::compute(&spec, &KernelResources {
+            regs_per_thread: regs + 16,
+            ..base
+        });
+        let more_shared = Occupancy::compute(&spec, &KernelResources {
+            shared_bytes_per_cta: shared + 8192,
+            ..base
+        });
+        prop_assert!(more_regs.warps_per_sm <= o0.warps_per_sm);
+        prop_assert!(more_shared.warps_per_sm <= o0.warps_per_sm);
+    }
+
+    /// Batching loads before a drain never loses to draining after every
+    /// load — the scoreboard's fundamental ILP property.
+    #[test]
+    fn batched_loads_never_lose(n_loads in 1usize..16) {
+        let buf = DeviceBuffer::<f32>::zeros(32 * 16);
+        let timing = TimingParams::default();
+
+        let mut batched = WarpCtx::new(timing, 0);
+        for i in 0..n_loads {
+            batched.load_f32(&buf, |l| Some((i * 32 + l) % 512));
+        }
+        batched.barrier();
+        let b = batched.finish().solo_cycles;
+
+        let mut serial = WarpCtx::new(timing, 0);
+        for i in 0..n_loads {
+            serial.load_f32(&buf, |l| Some((i * 32 + l) % 512));
+            serial.barrier();
+        }
+        let s = serial.finish().solo_cycles;
+        prop_assert!(b <= s, "batched {b} > serial {s}");
+    }
+
+    /// Functional correctness of loads/stores under arbitrary permutations:
+    /// a gather followed by a scatter with the same permutation is identity.
+    #[test]
+    fn gather_scatter_roundtrip(perm in Just(()).prop_perturb(|_, mut rng| {
+        let mut p: Vec<usize> = (0..32).collect();
+        for i in (1..32usize).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            p.swap(i, j);
+        }
+        p
+    })) {
+        let src: Vec<f32> = (0..32).map(|i| i as f32 * 1.5).collect();
+        let a = DeviceBuffer::from_slice(&src);
+        let b = DeviceBuffer::<f32>::zeros(32);
+        let mut ctx = WarpCtx::new(TimingParams::default(), 0);
+        let vals = ctx.load_f32(&a, |l| Some(perm[l]));
+        ctx.use_loads();
+        ctx.store_f32(&b, |l| Some((perm[l], vals.get(l))));
+        prop_assert_eq!(b.to_vec(), src);
+    }
+}
+
+/// A kernel whose total work is invariant to CTA shape: the reported DRAM
+/// traffic must be identical across launch configurations.
+struct Streamer<'a> {
+    buf: &'a DeviceBuffer<f32>,
+    warps: usize,
+    threads_per_cta: usize,
+}
+
+impl WarpKernel for Streamer<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: self.threads_per_cta,
+            regs_per_thread: 32,
+            shared_bytes_per_cta: 0,
+        }
+    }
+    fn grid_warps(&self) -> usize {
+        self.warps
+    }
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let n = self.buf.len();
+        ctx.load_f32(self.buf, |l| Some((warp_id * 32 + l) % n));
+    }
+}
+
+proptest! {
+    #[test]
+    fn traffic_invariant_to_cta_shape(warps in 1usize..64, shape_pow in 1u32..=5) {
+        let buf = DeviceBuffer::<f32>::zeros(4096);
+        let gpu = Gpu::new(GpuSpec::a100_40gb());
+        let r1 = gpu.launch(&Streamer { buf: &buf, warps, threads_per_cta: 32 });
+        let r2 = gpu.launch(&Streamer {
+            buf: &buf,
+            warps,
+            threads_per_cta: 32 << shape_pow,
+        });
+        prop_assert_eq!(r1.stats.read_bytes, r2.stats.read_bytes);
+        prop_assert_eq!(r1.stats.loads, r2.stats.loads);
+    }
+}

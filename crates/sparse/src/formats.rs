@@ -1,0 +1,380 @@
+//! Standard sparse storage formats (paper Fig. 1).
+//!
+//! The paper standardizes on **COO stored in CSR order** — NZEs sorted by
+//! row, then column, exactly the layout cuSPARSE documents for its COO —
+//! because every NZE then knows its row ID with a single 4-byte load while
+//! remaining compatible with standard libraries (§4.3, *Format Selection*).
+//! [`Csr`] is provided for the vertex-parallel baselines and for GNN
+//! systems that, like DGL, keep *both* formats alive (the memory cost the
+//! paper calls out).
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. 32-bit, as in the paper's 4-bytes-per-row-ID
+/// trade-off discussion (§5.4.5).
+pub type VertexId = u32;
+
+/// An unordered edge list — the raw output of generators and I/O.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeList {
+    /// Number of vertices (rows == cols; the paper treats graphs as square
+    /// adjacency matrices).
+    pub num_vertices: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// Creates an edge list, checking vertex bounds.
+    pub fn new(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge ({u},{v}) out of bounds for {num_vertices} vertices"
+            );
+        }
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Adds the reverse of every edge, removes self-loops and duplicates —
+    /// the "edges are doubled" undirected treatment of Table 1.
+    pub fn symmetrize(mut self) -> Self {
+        let mut sym = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u != v {
+                sym.push((u, v));
+                sym.push((v, u));
+            }
+        }
+        sym.sort_unstable();
+        sym.dedup();
+        self.edges = sym;
+        self
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Coordinate format, stored in CSR (row-major) order.
+///
+/// Two parallel arrays of row and column IDs. Edge-level tensors (the `W` of
+/// Fig. 1) are *not* stored here — they are separate `|E|`-length tensors
+/// indexed by NZE position, as in the paper where edge features are dynamic
+/// while topology is static.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coo {
+    num_rows: usize,
+    num_cols: usize,
+    rows: Vec<VertexId>,
+    cols: Vec<VertexId>,
+}
+
+impl Coo {
+    /// Builds a COO from an edge list, sorting into CSR order.
+    pub fn from_edge_list(list: &EdgeList) -> Self {
+        let mut pairs: Vec<(VertexId, VertexId)> = list.edges.clone();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let (rows, cols) = pairs.into_iter().unzip();
+        Self {
+            num_rows: list.num_vertices,
+            num_cols: list.num_vertices,
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds directly from sorted, deduplicated row/col arrays.
+    ///
+    /// # Panics
+    /// If the arrays differ in length, are not CSR-ordered, or reference
+    /// out-of-bounds vertices.
+    pub fn from_sorted(
+        num_rows: usize,
+        num_cols: usize,
+        rows: Vec<VertexId>,
+        cols: Vec<VertexId>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len(), "row/col arrays must align");
+        for i in 0..rows.len() {
+            assert!((rows[i] as usize) < num_rows, "row {} OOB", rows[i]);
+            assert!((cols[i] as usize) < num_cols, "col {} OOB", cols[i]);
+            if i > 0 {
+                assert!(
+                    (rows[i - 1], cols[i - 1]) < (rows[i], cols[i]),
+                    "COO must be strictly CSR-ordered at position {i}"
+                );
+            }
+        }
+        Self {
+            num_rows,
+            num_cols,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (vertices).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns (vertices).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of non-zero elements (directed edges).
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row IDs of every NZE, CSR-ordered.
+    pub fn rows(&self) -> &[VertexId] {
+        &self.rows
+    }
+
+    /// Column IDs of every NZE, CSR-ordered.
+    pub fn cols(&self) -> &[VertexId] {
+        &self.cols
+    }
+
+    /// Storage bytes of the topology (2 × 4 bytes per NZE) — the quantity
+    /// the paper's single-format argument saves (§3.2, *Advantages*).
+    pub fn topology_bytes(&self) -> u64 {
+        self.nnz() as u64 * 8
+    }
+
+    /// Out-degree (row length) of every row.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_rows];
+        for &r in &self.rows {
+            deg[r as usize] += 1;
+        }
+        deg
+    }
+
+    /// Transposed copy (CSR-ordered). Used by backward passes: `∂(A·X)`
+    /// needs `Aᵀ`.
+    pub fn transpose(&self) -> Coo {
+        let mut pairs: Vec<(VertexId, VertexId)> =
+            self.cols.iter().copied().zip(self.rows.iter().copied()).collect();
+        pairs.sort_unstable();
+        let (rows, cols) = pairs.into_iter().unzip();
+        Coo {
+            num_rows: self.num_cols,
+            num_cols: self.num_rows,
+            rows,
+            cols,
+        }
+    }
+}
+
+/// Compressed sparse row format: offsets + column IDs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    num_rows: usize,
+    num_cols: usize,
+    offsets: Vec<u32>,
+    cols: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Converts from CSR-ordered COO.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut offsets = vec![0u32; coo.num_rows() + 1];
+        for &r in coo.rows() {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..coo.num_rows() {
+            offsets[i + 1] += offsets[i];
+        }
+        Self {
+            num_rows: coo.num_rows(),
+            num_cols: coo.num_cols(),
+            offsets,
+            cols: coo.cols().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row offset array (`num_rows + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Column IDs, row-major.
+    pub fn cols(&self) -> &[VertexId] {
+        &self.cols
+    }
+
+    /// NZE index range of `row`.
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.offsets[row] as usize..self.offsets[row + 1] as usize
+    }
+
+    /// Column IDs of `row`.
+    pub fn row_cols(&self, row: usize) -> &[VertexId] {
+        &self.cols[self.row_range(row)]
+    }
+
+    /// Out-degree of `row`.
+    pub fn degree(&self, row: usize) -> usize {
+        (self.offsets[row + 1] - self.offsets[row]) as usize
+    }
+
+    /// Storage bytes of the topology (offsets + columns).
+    pub fn topology_bytes(&self) -> u64 {
+        (self.offsets.len() as u64 + self.cols.len() as u64) * 4
+    }
+
+    /// Converts back to CSR-ordered COO.
+    pub fn to_coo(&self) -> Coo {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for r in 0..self.num_rows {
+            rows.extend(std::iter::repeat_n(r as VertexId, self.degree(r)));
+        }
+        Coo {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            rows,
+            cols: self.cols.clone(),
+        }
+    }
+
+    /// Maximum row length — drives worst-case imbalance in vertex-parallel
+    /// kernels.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_rows).map(|r| self.degree(r)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Coo {
+        // 4 vertices: 0→{1,2}, 1→{0}, 2→{3}, 3→{}
+        Coo::from_edge_list(&EdgeList::new(
+            4,
+            vec![(0, 1), (0, 2), (1, 0), (2, 3)],
+        ))
+    }
+
+    #[test]
+    fn coo_is_csr_ordered() {
+        let coo = small();
+        assert_eq!(coo.rows(), &[0, 0, 1, 2]);
+        assert_eq!(coo.cols(), &[1, 2, 0, 3]);
+        assert_eq!(coo.nnz(), 4);
+    }
+
+    #[test]
+    fn from_edge_list_dedups_and_sorts() {
+        let coo = Coo::from_edge_list(&EdgeList::new(
+            3,
+            vec![(2, 1), (0, 1), (2, 1), (0, 1)],
+        ));
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.rows(), &[0, 2]);
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_removes_self_loops() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 1), (1, 2)]).symmetrize();
+        let mut expected = vec![(0, 1), (1, 0), (1, 2), (2, 1)];
+        expected.sort_unstable();
+        assert_eq!(el.edges, expected);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let coo = small();
+        let csr = Csr::from_coo(&coo);
+        assert_eq!(csr.offsets(), &[0, 2, 3, 4, 4]);
+        assert_eq!(csr.row_cols(0), &[1, 2]);
+        assert_eq!(csr.degree(3), 0);
+        assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let coo = small();
+        assert_eq!(coo.transpose().transpose(), coo);
+    }
+
+    #[test]
+    fn transpose_swaps_degrees() {
+        let coo = small();
+        let t = coo.transpose();
+        // In-degree of vertex 0 is 1 (from 1).
+        assert_eq!(Csr::from_coo(&t).degree(0), 1);
+        // In-degree of vertex 3 is 1 (from 2).
+        assert_eq!(Csr::from_coo(&t).degree(3), 1);
+    }
+
+    #[test]
+    fn degrees_match_csr() {
+        let coo = small();
+        let csr = Csr::from_coo(&coo);
+        let deg = coo.degrees();
+        for r in 0..4 {
+            assert_eq!(deg[r] as usize, csr.degree(r));
+        }
+    }
+
+    #[test]
+    fn topology_bytes() {
+        let coo = small();
+        let csr = Csr::from_coo(&coo);
+        assert_eq!(coo.topology_bytes(), 32); // 4 NZE × 8 B
+        assert_eq!(csr.topology_bytes(), (5 + 4) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly CSR-ordered")]
+    fn from_sorted_rejects_unsorted() {
+        Coo::from_sorted(2, 2, vec![1, 0], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edge_list_rejects_oob() {
+        EdgeList::new(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn max_degree() {
+        let csr = Csr::from_coo(&small());
+        assert_eq!(csr.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let coo = Coo::from_edge_list(&EdgeList::new(3, vec![]));
+        assert_eq!(coo.nnz(), 0);
+        let csr = Csr::from_coo(&coo);
+        assert_eq!(csr.offsets(), &[0, 0, 0, 0]);
+        assert_eq!(csr.max_degree(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gnnone-sparse — sparse formats, graph generators, datasets, references
+//!
+//! Substrate crate for the GNNOne reproduction:
+//!
+//! * [`formats`] — the standard storage formats from the paper's Fig. 1:
+//!   [`Coo`] (stored in CSR order, as cuSPARSE defines it — the format
+//!   GNNOne standardizes on) and [`Csr`], with checked conversions.
+//! * [`custom`] — the *custom* formats the baselines rely on: neighbor
+//!   groups (GNNAdvisor / Huang et al.), merge-path coordinates
+//!   (Merge-SpMV), and row swizzling (Sputnik).
+//! * [`gen`] — deterministic synthetic graph generators standing in for the
+//!   SNAP / UFL / OGB downloads of Table 1 (RMAT/Kronecker, preferential
+//!   attachment, 2-D grids with shortcuts, Erdős–Rényi, planted partitions
+//!   with learnable features for the accuracy experiment).
+//! * [`datasets`] — the Table 1 registry: every graph G0–G18 mapped to a
+//!   scaled synthetic analogue plus the paper-scale vertex/edge counts used
+//!   by the memory (OOM) model.
+//! * [`reference`](mod@crate::reference) — sequential and rayon-parallel CPU reference kernels
+//!   (SpMM, SDDMM, SpMV) serving as the correctness oracle for every
+//!   simulated kernel.
+//! * [`io`] — minimal Matrix Market import/export so real datasets can be
+//!   dropped in where available.
+//! * [`stats`] — degree-distribution summaries (Gini, skew) characterizing
+//!   the workload-imbalance risk each kernel strategy faces.
+
+pub mod custom;
+pub mod datasets;
+pub mod formats;
+pub mod gen;
+pub mod io;
+pub mod reference;
+pub mod stats;
+
+pub use datasets::{Dataset, DatasetSpec, Scale};
+pub use formats::{Coo, Csr, EdgeList, VertexId};

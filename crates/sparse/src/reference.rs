@@ -1,0 +1,210 @@
+//! CPU reference kernels — the correctness oracle.
+//!
+//! Every simulated kernel in `gnnone-kernels` is checked against these
+//! straightforward implementations. Dense tensors are row-major `Vec<f32>`
+//! slices; the semantics match the paper's §2 definitions:
+//!
+//! * **SpMM**: `Y ← A·X` where `A` carries one edge feature per NZE —
+//!   `y[r][k] = Σ_{(r,c) ∈ A} w[(r,c)] · x[c][k]`;
+//! * **SDDMM**: `W ← A ⊙ (X·Yᵀ)` — `w[(r,c)] = Σ_k x[r][k] · y[c][k]`;
+//! * **SpMV**: SpMM with feature length 1.
+//!
+//! Both sequential and rayon-parallel variants are provided; the parallel
+//! ones partition by output row / NZE so they are race-free by construction.
+
+use crate::formats::{Coo, Csr};
+use rayon::prelude::*;
+
+/// Sequential reference SpMM over CSR: `y = A · x`, `x` is `num_cols × f`,
+/// `edge_vals[e]` is the edge feature of NZE `e` (pass all-ones for an
+/// unweighted adjacency).
+pub fn spmm_csr(csr: &Csr, edge_vals: &[f32], x: &[f32], f: usize) -> Vec<f32> {
+    assert_eq!(edge_vals.len(), csr.nnz());
+    assert_eq!(x.len(), csr.num_cols() * f);
+    let mut y = vec![0.0f32; csr.num_rows() * f];
+    for r in 0..csr.num_rows() {
+        let range = csr.row_range(r);
+        let out = &mut y[r * f..(r + 1) * f];
+        for e in range {
+            let c = csr.cols()[e] as usize;
+            let w = edge_vals[e];
+            let xr = &x[c * f..(c + 1) * f];
+            for k in 0..f {
+                out[k] += w * xr[k];
+            }
+        }
+    }
+    y
+}
+
+/// Rayon-parallel reference SpMM (partitioned by output row).
+pub fn spmm_csr_par(csr: &Csr, edge_vals: &[f32], x: &[f32], f: usize) -> Vec<f32> {
+    assert_eq!(edge_vals.len(), csr.nnz());
+    assert_eq!(x.len(), csr.num_cols() * f);
+    let mut y = vec![0.0f32; csr.num_rows() * f];
+    y.par_chunks_mut(f).enumerate().for_each(|(r, out)| {
+        for e in csr.row_range(r) {
+            let c = csr.cols()[e] as usize;
+            let w = edge_vals[e];
+            let xr = &x[c * f..(c + 1) * f];
+            for k in 0..f {
+                out[k] += w * xr[k];
+            }
+        }
+    });
+    y
+}
+
+/// Sequential reference SDDMM over COO: `w[e] = Σ_k x[row(e)][k] · y[col(e)][k]`.
+pub fn sddmm_coo(coo: &Coo, x: &[f32], y: &[f32], f: usize) -> Vec<f32> {
+    assert_eq!(x.len(), coo.num_rows() * f);
+    assert_eq!(y.len(), coo.num_cols() * f);
+    let mut w = vec![0.0f32; coo.nnz()];
+    for e in 0..coo.nnz() {
+        let r = coo.rows()[e] as usize;
+        let c = coo.cols()[e] as usize;
+        let mut acc = 0.0f32;
+        for k in 0..f {
+            acc += x[r * f + k] * y[c * f + k];
+        }
+        w[e] = acc;
+    }
+    w
+}
+
+/// Rayon-parallel reference SDDMM (partitioned by NZE).
+pub fn sddmm_coo_par(coo: &Coo, x: &[f32], y: &[f32], f: usize) -> Vec<f32> {
+    assert_eq!(x.len(), coo.num_rows() * f);
+    assert_eq!(y.len(), coo.num_cols() * f);
+    let rows = coo.rows();
+    let cols = coo.cols();
+    (0..coo.nnz())
+        .into_par_iter()
+        .map(|e| {
+            let r = rows[e] as usize;
+            let c = cols[e] as usize;
+            (0..f).map(|k| x[r * f + k] * y[c * f + k]).sum()
+        })
+        .collect()
+}
+
+/// Reference SpMV: `y = A · x` with scalar features.
+pub fn spmv_csr(csr: &Csr, edge_vals: &[f32], x: &[f32]) -> Vec<f32> {
+    spmm_csr(csr, edge_vals, x, 1)
+}
+
+/// Maximum relative error between two tensors (for tolerant comparison of
+/// float reductions whose association order differs). The denominator is
+/// floored at 1e-2 so that near-zero sums — where different association
+/// orders legitimately produce ±ε results — are compared absolutely.
+pub fn max_rel_error(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let denom = x.abs().max(y.abs()).max(1e-2);
+            (x - y).abs() / denom
+        })
+        .fold(0.0, f32::max)
+}
+
+/// Asserts two tensors match within `tol` relative error.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    let err = max_rel_error(a, b);
+    assert!(err <= tol, "tensors differ: max relative error {err} > {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::EdgeList;
+
+    fn fixture() -> (Coo, Csr) {
+        // 0→{1,2}, 1→{0,2}, 2→{1}
+        let coo = Coo::from_edge_list(&EdgeList::new(
+            3,
+            vec![(0, 1), (0, 2), (1, 0), (1, 2), (2, 1)],
+        ));
+        let csr = Csr::from_coo(&coo);
+        (coo, csr)
+    }
+
+    #[test]
+    fn spmm_hand_computed() {
+        let (_, csr) = fixture();
+        let x = vec![
+            1.0, 2.0, // v0
+            3.0, 4.0, // v1
+            5.0, 6.0, // v2
+        ];
+        let w = vec![1.0; 5];
+        let y = spmm_csr(&csr, &w, &x, 2);
+        // y0 = x1 + x2 = (8, 10); y1 = x0 + x2 = (6, 8); y2 = x1 = (3, 4).
+        assert_eq!(y, vec![8.0, 10.0, 6.0, 8.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_weighted() {
+        let (_, csr) = fixture();
+        let x = vec![1.0, 1.0, 1.0]; // f = 1
+        let w = vec![0.5, 0.25, 1.0, 2.0, 3.0];
+        let y = spmm_csr(&csr, &w, &x, 1);
+        assert_eq!(y, vec![0.75, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn sddmm_hand_computed() {
+        let (coo, _) = fixture();
+        let x = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let y = vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let w = sddmm_coo(&coo, &x, &y, 2);
+        // e0 = (0,1): x0·y1 = 1*4 + 0*5 = 4
+        // e1 = (0,2): x0·y2 = 6
+        // e2 = (1,0): x1·y0 = 3
+        // e3 = (1,2): x1·y2 = 7
+        // e4 = (2,1): x2·y1 = 9
+        assert_eq!(w, vec![4.0, 6.0, 3.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use crate::gen;
+        let el = gen::rmat(8, 2000, gen::GRAPH500_PROBS, 42).symmetrize();
+        let coo = Coo::from_edge_list(&el);
+        let csr = Csr::from_coo(&coo);
+        let f = 7;
+        let x: Vec<f32> = (0..coo.num_cols() * f).map(|i| (i % 13) as f32 * 0.5).collect();
+        let yv: Vec<f32> = (0..coo.num_rows() * f).map(|i| (i % 7) as f32 - 3.0).collect();
+        let w: Vec<f32> = (0..coo.nnz()).map(|e| (e % 5) as f32 * 0.1).collect();
+        assert_close(
+            &spmm_csr(&csr, &w, &x, f),
+            &spmm_csr_par(&csr, &w, &x, f),
+            1e-5,
+        );
+        assert_close(
+            &sddmm_coo(&coo, &x, &yv, f),
+            &sddmm_coo_par(&coo, &x, &yv, f),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn spmv_is_f1_spmm() {
+        let (_, csr) = fixture();
+        let x = vec![1.0, 2.0, 3.0];
+        let w = vec![1.0; 5];
+        assert_eq!(spmv_csr(&csr, &w, &x), spmm_csr(&csr, &w, &x, 1));
+    }
+
+    #[test]
+    fn max_rel_error_detects_difference() {
+        assert_eq!(max_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_error(&[1.0], &[1.1]) > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensors differ")]
+    fn assert_close_panics_on_mismatch() {
+        assert_close(&[1.0], &[2.0], 1e-3);
+    }
+}

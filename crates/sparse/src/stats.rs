@@ -1,0 +1,145 @@
+//! Degree-distribution statistics — the graph property sparse-kernel
+//! performance actually responds to (workload imbalance comes from degree
+//! skew; paper §2, *Vertex-Parallel and Edge-Parallel*).
+//!
+//! Used by the `table1` binary to demonstrate that each synthetic analogue
+//! matches the *character* of its Table 1 original, and handy for users
+//! deciding which kernel strategy fits their matrix.
+
+use crate::formats::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a graph's (out-)degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of rows (vertices).
+    pub num_rows: usize,
+    /// Number of NZEs.
+    pub nnz: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// 99th-percentile degree.
+    pub p99: usize,
+    /// Gini coefficient of the degree distribution: 0 = perfectly uniform
+    /// (road networks), → 1 = extremely skewed (web crawls, social hubs).
+    pub gini: f64,
+    /// Fraction of rows with zero NZEs.
+    pub empty_fraction: f64,
+}
+
+impl DegreeStats {
+    /// Computes the summary for `csr`.
+    pub fn compute(csr: &Csr) -> Self {
+        let n = csr.num_rows();
+        let mut degrees: Vec<usize> = (0..n).map(|r| csr.degree(r)).collect();
+        degrees.sort_unstable();
+        let nnz = csr.nnz();
+        let mean = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
+        let max = degrees.last().copied().unwrap_or(0);
+        let p99 = if n == 0 {
+            0
+        } else {
+            degrees[((n - 1) as f64 * 0.99) as usize]
+        };
+        let empty = degrees.iter().filter(|&&d| d == 0).count();
+
+        // Gini over the sorted degrees: G = (2 Σ i·x_i) / (n Σ x_i) − (n+1)/n.
+        let gini = if nnz == 0 || n == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * nnz as f64) - (n as f64 + 1.0) / n as f64
+        };
+        Self {
+            num_rows: n,
+            nnz,
+            mean,
+            max,
+            p99,
+            gini,
+            empty_fraction: if n == 0 { 0.0 } else { empty as f64 / n as f64 },
+        }
+    }
+
+    /// Skew ratio `max / mean` — a quick straggler-risk indicator for
+    /// vertex-parallel kernels.
+    pub fn skew(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::{Coo, EdgeList};
+    use crate::gen;
+
+    fn stats_of(el: EdgeList) -> DegreeStats {
+        DegreeStats::compute(&Csr::from_coo(&Coo::from_edge_list(&el)))
+    }
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        let s = stats_of(gen::grid2d(32, 32, 0, 0).symmetrize());
+        assert!(s.gini < 0.15, "grid gini {}", s.gini);
+        assert_eq!(s.max, 4);
+        assert!(s.skew() < 1.5);
+    }
+
+    #[test]
+    fn powerlaw_graph_has_high_gini() {
+        let s = stats_of(gen::rmat(10, 8192, gen::GRAPH500_PROBS, 3).symmetrize());
+        assert!(s.gini > 0.4, "rmat gini {}", s.gini);
+        assert!(s.skew() > 5.0);
+    }
+
+    #[test]
+    fn hand_checked_small_graph() {
+        // Degrees: 2, 1, 1, 0.
+        let s = stats_of(EdgeList::new(4, vec![(0, 1), (0, 2), (1, 0), (2, 3)]));
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.mean, 1.0);
+        assert!((s.empty_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        // All mass on one row: Gini → (n-1)/n.
+        let s = stats_of(EdgeList::new(10, (1..10u32).map(|c| (0, c)).collect()));
+        assert!(s.gini > 0.85, "gini {}", s.gini);
+        // Perfectly even: Gini = 0.
+        let s = stats_of(EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]));
+        assert!(s.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = stats_of(EdgeList::new(3, vec![]));
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.skew(), 0.0);
+        assert_eq!(s.empty_fraction, 1.0);
+    }
+
+    #[test]
+    fn analogue_character_matches_originals() {
+        use crate::datasets::{by_id, Dataset, Scale};
+        // Road analogue near-uniform, hollywood analogue heavily skewed.
+        let road = Dataset::generate(&by_id("G5").unwrap(), Scale::Tiny);
+        let holly = Dataset::generate(&by_id("G11").unwrap(), Scale::Tiny);
+        let sr = DegreeStats::compute(&road.csr);
+        let sh = DegreeStats::compute(&holly.csr);
+        assert!(sr.gini < 0.2, "road gini {}", sr.gini);
+        assert!(sh.gini > 0.4, "hollywood gini {}", sh.gini);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of format conversions and custom-format builders.
+
+use gnnone_sparse::custom::{MergePath, NeighborGroups, RowSwizzle};
+use gnnone_sparse::formats::{Coo, Csr, EdgeList, VertexId};
+use gnnone_sparse::io;
+use gnnone_sparse::reference;
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph as (num_vertices, edges).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..64).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        (Just(n), prop::collection::vec(edge, 0..256))
+    })
+}
+
+proptest! {
+    /// COO → CSR → COO is identity.
+    #[test]
+    fn coo_csr_roundtrip((n, edges) in arb_graph()) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        prop_assert_eq!(csr.to_coo(), coo);
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution((n, edges) in arb_graph()) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let t = coo.transpose();
+        prop_assert_eq!(t.nnz(), coo.nnz());
+        prop_assert_eq!(t.transpose(), coo);
+    }
+
+    /// Symmetrization produces a graph equal to its own transpose with no
+    /// self-loops.
+    #[test]
+    fn symmetrize_is_symmetric((n, edges) in arb_graph()) {
+        let el = EdgeList::new(n, edges).symmetrize();
+        let coo = Coo::from_edge_list(&el);
+        prop_assert_eq!(coo.transpose(), coo.clone());
+        for e in 0..coo.nnz() {
+            prop_assert_ne!(coo.rows()[e], coo.cols()[e]);
+        }
+    }
+
+    /// Degrees sum to nnz; CSR offsets are monotone and end at nnz.
+    #[test]
+    fn degrees_and_offsets((n, edges) in arb_graph()) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let deg_sum: u64 = coo.degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(deg_sum, coo.nnz() as u64);
+        prop_assert!(csr.offsets().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*csr.offsets().last().unwrap() as usize, csr.nnz());
+    }
+
+    /// Neighbor groups partition the NZEs exactly, each within one row.
+    #[test]
+    fn neighbor_groups_partition((n, edges) in arb_graph(), gsize in 1u32..64) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let ng = NeighborGroups::build(&csr, gsize);
+        let covered: u64 = ng.groups.iter().map(|g| g.len as u64).sum();
+        prop_assert_eq!(covered, csr.nnz() as u64);
+        for g in &ng.groups {
+            prop_assert!(g.len <= gsize);
+            let range = csr.row_range(g.row as usize);
+            prop_assert!(g.start as usize >= range.start);
+            prop_assert!((g.start + g.len) as usize <= range.end);
+        }
+    }
+
+    /// Merge-path spans cover the NZE range contiguously.
+    #[test]
+    fn merge_path_covers((n, edges) in arb_graph(), spans in 1usize..16) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let mp = MergePath::build(&csr, spans);
+        if csr.nnz() + csr.num_rows() > 0 {
+            prop_assert!(!mp.spans.is_empty());
+            prop_assert_eq!(mp.spans[0].nze_start, 0);
+            prop_assert_eq!(mp.spans.last().unwrap().nze_end as usize, csr.nnz());
+            for w in mp.spans.windows(2) {
+                prop_assert_eq!(w[0].nze_end, w[1].nze_start);
+            }
+        }
+    }
+
+    /// Row swizzling is a permutation sorted by non-increasing degree.
+    #[test]
+    fn row_swizzle_is_sorted_permutation((n, edges) in arb_graph()) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let sw = RowSwizzle::build(&csr);
+        let mut sorted = sw.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as VertexId).collect::<Vec<_>>());
+        let degs: Vec<usize> = sw.order.iter().map(|&r| csr.degree(r as usize)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Matrix Market write → read is identity on the topology.
+    #[test]
+    fn mtx_roundtrip((n, edges) in arb_graph()) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let mut buf = Vec::new();
+        io::write_mtx(&coo, &mut buf).unwrap();
+        let back = io::read_mtx(std::io::Cursor::new(buf)).unwrap();
+        let coo2 = Coo::from_edge_list(&back);
+        prop_assert_eq!(coo2.rows(), coo.rows());
+        prop_assert_eq!(coo2.cols(), coo.cols());
+    }
+
+    /// Reference SpMM is linear: A·(x + y) = A·x + A·y.
+    #[test]
+    fn reference_spmm_linearity((n, edges) in arb_graph(), f in 1usize..8) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let w: Vec<f32> = (0..csr.nnz()).map(|e| (e % 7) as f32 - 3.0).collect();
+        let x: Vec<f32> = (0..n * f).map(|i| (i % 5) as f32).collect();
+        let y: Vec<f32> = (0..n * f).map(|i| (i % 3) as f32 - 1.0).collect();
+        let xy: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = reference::spmm_csr(&csr, &w, &xy, f);
+        let ax = reference::spmm_csr(&csr, &w, &x, f);
+        let ay = reference::spmm_csr(&csr, &w, &y, f);
+        let rhs: Vec<f32> = ax.iter().zip(&ay).map(|(a, b)| a + b).collect();
+        reference::assert_close(&lhs, &rhs, 1e-4);
+    }
+
+    /// SDDMM and SpMM satisfy the adjoint identity
+    /// `⟨SDDMM(A,X,Y), w⟩ = ⟨X, SpMM(A∘w, Y)⟩` — the mathematical fact that
+    /// makes SpMM's backward an SDDMM (paper §1).
+    #[test]
+    fn sddmm_spmm_adjoint((n, edges) in arb_graph(), f in 1usize..6) {
+        let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f32> = (0..n * f).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect();
+        let y: Vec<f32> = (0..n * f).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect();
+        let w: Vec<f32> = (0..coo.nnz()).map(|e| ((e % 3) as f32 - 1.0) * 0.5).collect();
+        let sddmm = reference::sddmm_coo(&coo, &x, &y, f);
+        let lhs: f32 = sddmm.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let spmm = reference::spmm_csr(&csr, &w, &y, f);
+        let rhs: f32 = x.iter().zip(&spmm).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs().max(rhs.abs())),
+            "adjoint identity violated: {lhs} vs {rhs}");
+    }
+}

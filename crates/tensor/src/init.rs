@@ -1,0 +1,51 @@
+//! Deterministic parameter initialization.
+
+use crate::tensor::Tensor;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Glorot/Xavier uniform initialization for a `fan_in × fan_out` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Tensor::from_vec(fan_in, fan_out, data)
+}
+
+/// Uniform `[-limit, limit]` vector (attention parameters).
+pub fn uniform_vec(len: usize, limit: f32, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..len).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(1, len, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bounds_and_deterministic() {
+        let w = xavier_uniform(16, 8, 3);
+        let limit = (6.0f64 / 24.0).sqrt() as f32;
+        assert!(w.data().iter().all(|&v| v.abs() <= limit));
+        assert_eq!(w, xavier_uniform(16, 8, 3));
+        assert_ne!(w, xavier_uniform(16, 8, 4));
+    }
+
+    #[test]
+    fn xavier_is_not_degenerate() {
+        let w = xavier_uniform(64, 64, 1);
+        let mean: f32 = w.data().iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05);
+        assert!(w.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn uniform_vec_shape() {
+        let v = uniform_vec(10, 0.5, 2);
+        assert_eq!((v.rows(), v.cols()), (1, 10));
+        assert!(v.data().iter().all(|&x| x.abs() <= 0.5));
+    }
+}

@@ -1,0 +1,30 @@
+//! # gnnone-tensor — minimal dense tensors with reverse-mode autograd
+//!
+//! The GNN training substrate (paper §5.3): GNN models mix sparse kernels
+//! with dense operations — linear layers, activations, softmax, dropout —
+//! for which the paper's systems "rely on PyTorch". This crate is that
+//! PyTorch stand-in: a row-major 2-D [`Tensor`], a define-by-run [`Tape`]
+//! with pluggable backward ops (so `gnnone-gnn` can register sparse-kernel
+//! ops whose backward calls the *dual* sparse kernel — the SpMM/SDDMM
+//! interplay the paper describes in §1), standard NN ops, and Adam.
+//!
+//! ```
+//! use gnnone_tensor::{ops, Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]), true);
+//! let y = ops::relu(&mut tape, x);
+//! let s = ops::sum(&mut tape, y);
+//! let grads = tape.backward(s);
+//! // d(sum ∘ relu)/dx = 1 where x > 0.
+//! assert_eq!(grads[x].as_ref().unwrap().data(), &[1.0, 0.0, 1.0, 0.0]);
+//! ```
+
+pub mod init;
+pub mod ops;
+pub mod optim;
+pub mod tape;
+pub mod tensor;
+
+pub use tape::{BackwardOp, Tape, VarId};
+pub use tensor::Tensor;

@@ -1,0 +1,142 @@
+//! Optimizers: Adam (used for all GNN training runs) and SGD.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter with its optimizer state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Tensor) -> Self {
+        let m = Tensor::zeros(value.rows(), value.cols());
+        let v = Tensor::zeros(value.rows(), value.cols());
+        Self { value, m, v }
+    }
+}
+
+/// Adam optimizer (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the standard hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Applies one step to every (param, grad) pair; `None` grads skip.
+    pub fn step(&mut self, params: &mut [&mut Param], grads: &[Option<&Tensor>]) {
+        assert_eq!(params.len(), grads.len());
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (p, g) in params.iter_mut().zip(grads) {
+            let Some(g) = g else { continue };
+            assert_eq!(p.value.rows(), g.rows(), "grad shape mismatch");
+            assert_eq!(p.value.cols(), g.cols(), "grad shape mismatch");
+            for i in 0..p.value.len() {
+                let gi = g.data()[i];
+                let m = self.beta1 * p.m.data()[i] + (1.0 - self.beta1) * gi;
+                let v = self.beta2 * p.v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one step.
+    pub fn step(&mut self, params: &mut [&mut Param], grads: &[Option<&Tensor>]) {
+        for (p, g) in params.iter_mut().zip(grads) {
+            let Some(g) = g else { continue };
+            for i in 0..p.value.len() {
+                p.value.data_mut()[i] -= self.lr * g.data()[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0.
+    fn quadratic_grad(p: &Param) -> Tensor {
+        p.value.map(|x| 2.0 * (x - 3.0))
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[Some(&g)]);
+        }
+        assert!((p.value.item() - 3.0).abs() < 1e-2, "got {}", p.value.item());
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[Some(&g)]);
+        }
+        assert!((p.value.item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn none_grads_leave_params_untouched() {
+        let mut p = Param::new(Tensor::scalar(1.5));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p], &[None]);
+        assert_eq!(p.value.item(), 1.5);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step has magnitude ≈ lr.
+        let mut p = Param::new(Tensor::scalar(0.0));
+        let g = Tensor::scalar(10.0);
+        let mut opt = Adam::new(0.05);
+        opt.step(&mut [&mut p], &[Some(&g)]);
+        assert!((p.value.item() + 0.05).abs() < 1e-3, "got {}", p.value.item());
+    }
+}

@@ -1,0 +1,219 @@
+//! Define-by-run reverse-mode autograd tape.
+//!
+//! Ops append nodes holding the forward value, parent IDs, and a
+//! [`BackwardOp`] that maps the incoming gradient to parent gradients.
+//! The trait is public so downstream crates can register custom nodes —
+//! `gnnone-gnn` uses this to make SpMM's backward call SDDMM/SpMM(Aᵀ),
+//! the kernel pairing at the heart of the paper's GNN workflow (§1, §2).
+
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Index of a tape node.
+pub type VarId = usize;
+
+/// Backward rule of one op: given the gradient flowing into the node's
+/// output and the saved parent values, produce a gradient per parent
+/// (`None` when a parent needs no gradient).
+pub trait BackwardOp {
+    /// Computes parent gradients.
+    fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>>;
+
+    /// Op name for diagnostics.
+    fn name(&self) -> &'static str {
+        "op"
+    }
+}
+
+struct Node {
+    value: Rc<Tensor>,
+    parents: Vec<VarId>,
+    op: Option<Box<dyn BackwardOp>>,
+    requires_grad: bool,
+}
+
+/// The autograd tape: rebuilt every training iteration.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Registers a leaf (input or parameter).
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> VarId {
+        self.nodes.push(Node {
+            value: Rc::new(value),
+            parents: Vec::new(),
+            op: None,
+            requires_grad,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Registers an op node. `parents` are the inputs whose saved values
+    /// the backward rule receives, in order.
+    pub fn push_op(
+        &mut self,
+        value: Tensor,
+        parents: Vec<VarId>,
+        op: Box<dyn BackwardOp>,
+    ) -> VarId {
+        let requires_grad = parents.iter().any(|&p| self.nodes[p].requires_grad);
+        self.nodes.push(Node {
+            value: Rc::new(value),
+            parents,
+            op: Some(op),
+            requires_grad,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Shared handle to a node's value (for saving in ops).
+    pub fn value_rc(&self, id: VarId) -> Rc<Tensor> {
+        Rc::clone(&self.nodes[id].value)
+    }
+
+    /// Reverse pass from `root` (must be scalar-valued for a loss, though
+    /// any shape works — the seed gradient is all-ones). Returns one
+    /// optional gradient per node id.
+    pub fn backward(&self, root: VarId) -> Vec<Option<Tensor>> {
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        let seed = self.nodes[root]
+            .value
+            .map(|_| 1.0);
+        grads[root] = Some(seed);
+        for id in (0..=root).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            let node = &self.nodes[id];
+            if let Some(op) = &node.op {
+                let inputs: Vec<Rc<Tensor>> = node
+                    .parents
+                    .iter()
+                    .map(|&p| Rc::clone(&self.nodes[p].value))
+                    .collect();
+                let parent_grads = op.backward(&grad, &inputs);
+                assert_eq!(
+                    parent_grads.len(),
+                    node.parents.len(),
+                    "{} returned wrong gradient count",
+                    op.name()
+                );
+                for (&p, pg) in node.parents.iter().zip(parent_grads) {
+                    let Some(pg) = pg else { continue };
+                    if !self.nodes[p].requires_grad && self.nodes[p].op.is_none() {
+                        continue;
+                    }
+                    match &mut grads[p] {
+                        Some(acc) => acc.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            if node.requires_grad && node.op.is_none() {
+                grads[id] = Some(grad); // keep leaf gradients
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn leaf_value_roundtrip() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0), true);
+        assert_eq!(tape.value(x).item(), 3.0);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn chain_rule_through_two_ops() {
+        // f(x) = sum(relu(x)²-ish): use mul for square.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 2, vec![2.0, -3.0]), true);
+        let y = ops::mul(&mut tape, x, x); // x²
+        let s = ops::sum(&mut tape, y);
+        let grads = tape.backward(s);
+        // d(x²)/dx = 2x (zero where relu clipped nothing here).
+        assert_eq!(grads[x].as_ref().unwrap().data(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_paths() {
+        // f = sum(x + x): grad = 2.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 1.0]), true);
+        let y = ops::add(&mut tape, x, x);
+        let s = ops::sum(&mut tape, y);
+        let grads = tape.backward(s);
+        assert_eq!(grads[x].as_ref().unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn no_grad_leaves_stay_none() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(1.0), true);
+        let c = tape.leaf(Tensor::scalar(5.0), false);
+        let y = ops::mul(&mut tape, x, c);
+        let grads = tape.backward(y);
+        assert!(grads[c].is_none());
+        assert_eq!(grads[x].as_ref().unwrap().item(), 5.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_difference() {
+        let a0 = Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]);
+        let b0 = Tensor::from_vec(3, 2, vec![1.0, 0.2, -0.4, 0.9, 0.8, -1.1]);
+        let f = |a: &Tensor, b: &Tensor| a.matmul(b).sum();
+
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0.clone(), true);
+        let b = tape.leaf(b0.clone(), true);
+        let c = ops::matmul(&mut tape, a, b);
+        let s = ops::sum(&mut tape, c);
+        let grads = tape.backward(s);
+
+        let eps = 1e-3;
+        for i in 0..a0.len() {
+            let mut ap = a0.clone();
+            ap.data_mut()[i] += eps;
+            let num = (f(&ap, &b0) - f(&a0, &b0)) / eps;
+            let ana = grads[a].as_ref().unwrap().data()[i];
+            assert!((num - ana).abs() < 1e-2, "dA[{i}]: num {num} vs ana {ana}");
+        }
+        for i in 0..b0.len() {
+            let mut bp = b0.clone();
+            bp.data_mut()[i] += eps;
+            let num = (f(&a0, &bp) - f(&a0, &b0)) / eps;
+            let ana = grads[b].as_ref().unwrap().data()[i];
+            assert!((num - ana).abs() < 1e-2, "dB[{i}]: num {num} vs ana {ana}");
+        }
+    }
+}

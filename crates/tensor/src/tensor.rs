@@ -1,0 +1,242 @@
+//! Row-major 2-D tensor with rayon-parallel dense math.
+
+use rayon::prelude::*;
+
+/// A dense row-major matrix of `f32`. Vectors are `n × 1` or `1 × n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled `rows × cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × 1` scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1 × 1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Matrix product `self · other` (rayon-parallel over output rows).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        out.par_chunks_mut(m).enumerate().for_each(|(i, out_row)| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Lane-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let data = self.data.par_iter().map(|&v| f(v)).collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise combination with a same-shape tensor.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip shape mismatch"
+        );
+        let data = self
+            .data
+            .par_iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `self + other` element-wise.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self * s` element-wise.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Accumulate `other` into `self` (gradient accumulation).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_matches_transpose_formula() {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let a = Tensor::from_vec(2, 3, (0..6).map(|i| i as f32).collect());
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32) * 0.5).collect());
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn map_zip_add_scale() {
+        let a = Tensor::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0, 6.0]);
+        let b = a.add(&a);
+        assert_eq!(b.data(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.zip(&b, |x, y| y - x).data(), &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn item_and_sum() {
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+        assert_eq!(
+            Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).sum(),
+            10.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::zeros(1, 2);
+        a.add_assign(&Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        a.add_assign(&Tensor::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(a.data(), &[1.5, 2.5]);
+    }
+}

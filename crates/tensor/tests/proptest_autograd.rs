@@ -1,0 +1,129 @@
+//! Property-based gradient checking: every differentiable op's analytic
+//! gradient matches central finite differences on random inputs.
+
+use gnnone_tensor::{ops, Tape, Tensor, VarId};
+use proptest::prelude::*;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Central finite-difference check of `build`'s scalar output w.r.t. `x0`.
+fn gradcheck(build: impl Fn(&mut Tape, VarId) -> VarId, x0: &Tensor, tol: f32) {
+    let eval = |x: &Tensor| {
+        let mut tape = Tape::new();
+        let xid = tape.leaf(x.clone(), false);
+        let out = build(&mut tape, xid);
+        tape.value(out).item() as f64
+    };
+    let mut tape = Tape::new();
+    let xid = tape.leaf(x0.clone(), true);
+    let out = build(&mut tape, xid);
+    let grads = tape.backward(out);
+    let ana = grads[xid].as_ref().expect("gradient exists");
+    let eps = 1e-3f32;
+    for i in 0..x0.len() {
+        // Central differences are invalid where x straddles a ReLU-family
+        // kink: the op is not differentiable there, so skip those points.
+        if x0.data()[i].abs() < 4.0 * eps {
+            continue;
+        }
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        let num = ((eval(&plus) - eval(&minus)) / (2.0 * eps as f64)) as f32;
+        let a = ana.data()[i];
+        assert!(
+            (num - a).abs() <= tol * (1.0 + num.abs().max(a.abs())),
+            "grad[{i}]: numeric {num} vs analytic {a}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn relu_chain(x in arb_tensor(2, 5)) {
+        gradcheck(|t, x| {
+            let r = ops::relu(t, x);
+            let d = ops::mul(t, r, r);
+            ops::sum(t, d)
+        }, &x, 5e-2);
+    }
+
+    #[test]
+    fn leaky_relu_scaled(x in arb_tensor(3, 3), slope in 0.01f32..0.5) {
+        gradcheck(|t, x| {
+            let r = ops::leaky_relu(t, x, slope);
+            let s = ops::scale(t, r, 1.7);
+            ops::sum(t, s)
+        }, &x, 5e-2);
+    }
+
+    #[test]
+    fn log_softmax_loss(x in arb_tensor(3, 4)) {
+        gradcheck(|t, x| {
+            let ls = ops::log_softmax(t, x);
+            ops::nll_loss(t, ls, &[1, 3, 0], None)
+        }, &x, 5e-2);
+    }
+
+    #[test]
+    fn matmul_with_constant(x in arb_tensor(3, 4), w in arb_tensor(4, 2)) {
+        gradcheck(|t, x| {
+            let wid = t.leaf(w.clone(), false);
+            let y = ops::matmul(t, x, wid);
+            let sq = ops::mul(t, y, y);
+            ops::sum(t, sq)
+        }, &x, 8e-2);
+    }
+
+    #[test]
+    fn bias_broadcast(x in arb_tensor(4, 3), b in arb_tensor(1, 3)) {
+        gradcheck(|t, x| {
+            let bid = t.leaf(b.clone(), false);
+            let y = ops::add_bias(t, x, bid);
+            let r = ops::relu(t, y);
+            ops::sum(t, r)
+        }, &x, 5e-2);
+    }
+
+    /// Composite: a one-layer MLP end to end.
+    #[test]
+    fn mlp_end_to_end(x in arb_tensor(2, 3), w in arb_tensor(3, 3)) {
+        gradcheck(|t, x| {
+            let wid = t.leaf(w.clone(), false);
+            let z = ops::matmul(t, x, wid);
+            let h = ops::relu(t, z);
+            let ls = ops::log_softmax(t, h);
+            ops::nll_loss(t, ls, &[0, 2], None)
+        }, &x, 8e-2);
+    }
+
+    /// Backward through shared subexpressions accumulates correctly.
+    #[test]
+    fn diamond_graph(x in arb_tensor(2, 2)) {
+        gradcheck(|t, x| {
+            let a = ops::scale(t, x, 2.0);
+            let b = ops::relu(t, x);
+            let c = ops::add(t, a, b);
+            ops::sum(t, c)
+        }, &x, 5e-2);
+    }
+
+    /// sum is linear: d(sum(αx))/dx = α everywhere.
+    #[test]
+    fn sum_gradient_is_constant(x in arb_tensor(3, 3), alpha in -3.0f32..3.0) {
+        let mut tape = Tape::new();
+        let xid = tape.leaf(x, true);
+        let s = ops::scale(&mut tape, xid, alpha);
+        let out = ops::sum(&mut tape, s);
+        let grads = tape.backward(out);
+        for &g in grads[xid].as_ref().unwrap().data() {
+            prop_assert!((g - alpha).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Write your own kernel against the SIMT simulator — the extension path a
+//! downstream user takes to prototype a new sparse-kernel design and see
+//! how coalescing, barriers, occupancy and workload balance respond.
+//!
+//! The kernel below is a histogram of column IDs (in-degree count), written
+//! twice: once with uncoalesced per-lane atomics, once warp-aggregated.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use gnnone::sim::{DeviceBuffer, Gpu, GpuSpec, KernelResources, WarpCtx, WarpKernel, WARP_SIZE};
+use gnnone::sparse::formats::Coo;
+use gnnone::sparse::gen;
+
+/// Naive in-degree histogram: every lane atomically increments its column's
+/// counter — heavy atomic conflicts on hub vertices.
+struct NaiveDegree<'a> {
+    cols: &'a DeviceBuffer<u32>,
+    out: &'a DeviceBuffer<f32>,
+    nnz: usize,
+}
+
+impl WarpKernel for NaiveDegree<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 16,
+            shared_bytes_per_cta: 0,
+        }
+    }
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(WARP_SIZE)
+    }
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let base = warp_id * WARP_SIZE;
+        let cols = ctx.load_u32(self.cols, |l| (base + l < self.nnz).then(|| base + l));
+        ctx.use_loads();
+        ctx.atomic_add_f32(self.out, |l| {
+            (base + l < self.nnz).then(|| (cols.get(l) as usize, 1.0))
+        });
+    }
+    fn name(&self) -> &str {
+        "naive-degree"
+    }
+}
+
+/// Warp-aggregated version: lanes holding the same column combine first
+/// (leader election), so each distinct column issues one atomic.
+struct AggregatedDegree<'a> {
+    cols: &'a DeviceBuffer<u32>,
+    out: &'a DeviceBuffer<f32>,
+    nnz: usize,
+}
+
+impl WarpKernel for AggregatedDegree<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 20,
+            shared_bytes_per_cta: 0,
+        }
+    }
+    fn grid_warps(&self) -> usize {
+        self.nnz.div_ceil(WARP_SIZE)
+    }
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let base = warp_id * WARP_SIZE;
+        let active = |l: usize| base + l < self.nnz;
+        let cols = ctx.load_u32(self.cols, |l| active(l).then(|| base + l));
+        ctx.use_loads();
+        // Leader election + count: ~2 ballot/match rounds on hardware.
+        ctx.compute(2);
+        let mut counts = [0f32; WARP_SIZE];
+        let mut leader = [false; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if !active(l) {
+                continue;
+            }
+            let c = cols.get(l);
+            let first = (0..l).all(|p| !active(p) || cols.get(p) != c);
+            if first {
+                leader[l] = true;
+                counts[l] = (l..WARP_SIZE)
+                    .filter(|&p| active(p) && cols.get(p) == c)
+                    .count() as f32;
+            }
+        }
+        ctx.atomic_add_f32(self.out, |l| {
+            (active(l) && leader[l]).then(|| (cols.get(l) as usize, counts[l]))
+        });
+    }
+    fn name(&self) -> &str {
+        "aggregated-degree"
+    }
+}
+
+fn main() {
+    // Power-law graph: hub columns create atomic contention.
+    let el = gen::rmat(12, 40_000, gen::GRAPH500_PROBS, 7).symmetrize();
+    let coo = Coo::from_edge_list(&el);
+    let cols = DeviceBuffer::from_slice(coo.cols());
+    let gpu = Gpu::new(GpuSpec::a100_40gb());
+    println!("graph: {} vertices, {} NZEs", coo.num_rows(), coo.nnz());
+
+    let out_a = DeviceBuffer::<f32>::zeros(coo.num_rows());
+    let naive = gpu.launch(&NaiveDegree {
+        cols: &cols,
+        out: &out_a,
+        nnz: coo.nnz(),
+    });
+    let out_b = DeviceBuffer::<f32>::zeros(coo.num_rows());
+    let agg = gpu.launch(&AggregatedDegree {
+        cols: &cols,
+        out: &out_b,
+        nnz: coo.nnz(),
+    });
+
+    // Same functional result...
+    assert_eq!(out_a.to_vec(), out_b.to_vec());
+    let expected: f32 = coo.nnz() as f32;
+    assert_eq!(out_a.to_vec().iter().sum::<f32>(), expected);
+
+    // ...different cost profile.
+    println!(
+        "naive:      {:.3} ms | {:>8} atomic conflicts",
+        naive.time_ms, naive.stats.atomic_conflicts
+    );
+    println!(
+        "aggregated: {:.3} ms | {:>8} atomic conflicts",
+        agg.time_ms, agg.stats.atomic_conflicts
+    );
+    assert!(agg.stats.atomic_conflicts < naive.stats.atomic_conflicts);
+    println!(
+        "\nwarp aggregation cut atomic serialization {:.1}x — the same\n\
+         simulator mechanics the GNNOne kernels are built on.",
+        naive.stats.atomic_conflicts.max(1) as f64 / agg.stats.atomic_conflicts.max(1) as f64
+    );
+}

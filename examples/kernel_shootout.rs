@@ -1,0 +1,70 @@
+//! Compare every SDDMM and SpMM system on one graph across feature
+//! lengths — a miniature of the paper's Figs. 3 and 4.
+//!
+//! ```sh
+//! cargo run --release --example kernel_shootout
+//! ```
+
+use std::sync::Arc;
+
+use gnnone::kernels::graph::GraphData;
+use gnnone::kernels::registry;
+use gnnone::sim::{DeviceBuffer, Gpu, GpuSpec};
+use gnnone::sparse::datasets::{Dataset, Scale};
+
+fn main() {
+    // The hollywood09 analogue: dense and heavy-tailed — the kind of graph
+    // where data-load balance decides everything.
+    let dataset = Dataset::by_id("G11", Scale::Small).expect("G11 exists");
+    let graph = Arc::new(GraphData::new(dataset.coo.clone()));
+    let gpu = Gpu::new(GpuSpec::a100_scaled(4));
+    let n = graph.num_vertices();
+    println!(
+        "graph: {} analogue — {} vertices, {} NZEs, max degree {}\n",
+        dataset.spec.name,
+        n,
+        graph.nnz(),
+        dataset.csr.max_degree()
+    );
+
+    for f in [6usize, 16, 32, 64] {
+        println!("--- feature length {f} ---");
+        let x = DeviceBuffer::from_slice(&vec![0.5f32; n * f]);
+        let y = DeviceBuffer::from_slice(&vec![0.25f32; n * f]);
+        let w_out = DeviceBuffer::<f32>::zeros(graph.nnz());
+        let mut base = None;
+        for kernel in registry::sddmm_kernels(&graph) {
+            match kernel.run(&gpu, &x, &y, f, &w_out) {
+                Ok(r) => {
+                    let base_ms = *base.get_or_insert(r.time_ms);
+                    println!(
+                        "  SDDMM {:<12} {:>9.3} ms  ({:>5.2}x vs GnnOne)  [{}]",
+                        kernel.name(),
+                        r.time_ms,
+                        r.time_ms / base_ms,
+                        kernel.format()
+                    );
+                }
+                Err(e) => println!("  SDDMM {:<12} failed: {e}", kernel.name()),
+            }
+        }
+        let edge_vals = DeviceBuffer::from_slice(&vec![1.0f32; graph.nnz()]);
+        let y_out = DeviceBuffer::<f32>::zeros(n * f);
+        let mut base = None;
+        for kernel in registry::spmm_kernels(&graph) {
+            match kernel.run(&gpu, &edge_vals, &x, f, &y_out) {
+                Ok(r) => {
+                    let base_ms = *base.get_or_insert(r.time_ms);
+                    println!(
+                        "  SpMM  {:<12} {:>9.3} ms  ({:>5.2}x vs GnnOne)  [{}]",
+                        kernel.name(),
+                        r.time_ms,
+                        r.time_ms / base_ms,
+                        kernel.format()
+                    );
+                }
+                Err(e) => println!("  SpMM  {:<12} failed: {e}", kernel.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Reproduce every table/figure of the paper plus the extension experiments.
+# Usage: scripts/repro_all.sh [tiny|small|medium]   (default: medium)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-medium}"
+
+cargo build --release --workspace
+
+run() {
+  local name="$1"; shift
+  echo "=== $name $*"
+  "./target/release/$name" "$@" | tee "results/$name.log"
+}
+
+run table1 --scale "$SCALE"
+run fig3_sddmm --scale "$SCALE"
+run fig4_spmm --scale "$SCALE"
+run fig5_accuracy
+run fig6_gat_training
+run fig7_gcn_gin_training
+run fig8_sddmm_ablation --scale "$SCALE"
+run fig9_cache_size --scale "$SCALE"
+run fig10_schedule --scale "$SCALE"
+run fig11_breakdown --scale "$SCALE"
+run fig12_spmv --scale "$SCALE"
+run ext_spmv_classes --scale "$SCALE"
+run ext_spmm_extras --scale "$SCALE" --datasets G3,G5,G10,G14,G16
+run ext_fused_gat --scale "$SCALE" --datasets G3,G5,G10,G12,G14 --dims 16
+run ext_format_tradeoff --scale "$SCALE"
+run ext_sim_sensitivity --scale "$SCALE"
+
+echo "All results in results/*.log and results/*.json"

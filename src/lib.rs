@@ -1,0 +1,18 @@
+//! # GNNOne — unified system optimizations for GNN sparse kernels
+//!
+//! Facade crate re-exporting the whole workspace. See the crate-level
+//! documentation of each member:
+//!
+//! * [`sim`] — SIMT GPU execution-model simulator (the hardware substrate);
+//! * [`sparse`] — sparse formats, graph generators, dataset registry,
+//!   CPU reference kernels;
+//! * [`kernels`] — GNNOne SDDMM/SpMM/SpMV and every baseline from the
+//!   paper's evaluation;
+//! * [`tensor`] — dense tensors with reverse-mode autograd;
+//! * [`gnn`] — GCN/GIN/GAT models, training, and system configurations.
+
+pub use gnnone_gnn as gnn;
+pub use gnnone_kernels as kernels;
+pub use gnnone_sim as sim;
+pub use gnnone_sparse as sparse;
+pub use gnnone_tensor as tensor;
