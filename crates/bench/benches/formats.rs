@@ -2,11 +2,11 @@
 //! pre-processing steps the paper treats as one-time costs (§5.4.5) —
 //! quantifying what "one-time" actually costs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnnone_sparse::custom::{MergePath, NeighborGroups, RowSwizzle};
 use gnnone_sparse::formats::{Coo, Csr};
 use gnnone_sparse::gen;
+use std::time::Duration;
 
 fn fixture() -> Coo {
     let el = gen::rmat(13, 64_000, gen::GRAPH500_PROBS, 5).symmetrize();

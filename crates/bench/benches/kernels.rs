@@ -5,7 +5,6 @@
 
 use std::sync::Arc;
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gnnone_bench::figure_gpu_spec;
 use gnnone_kernels::graph::GraphData;
@@ -13,6 +12,7 @@ use gnnone_kernels::registry;
 use gnnone_sim::{DeviceBuffer, Gpu};
 use gnnone_sparse::formats::Coo;
 use gnnone_sparse::gen;
+use std::time::Duration;
 
 fn bench_graph() -> Arc<GraphData> {
     let el = gen::rmat(12, 16_000, gen::GRAPH500_PROBS, 99).symmetrize();
@@ -36,13 +36,9 @@ fn bench_sddmm(c: &mut Criterion) {
             if kernel.name() == "CuSparse" {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name(), dim),
-                &dim,
-                |b, &dim| {
-                    b.iter(|| kernel.run(&gpu, &x, &y, dim, &w).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name(), dim), &dim, |b, &dim| {
+                b.iter(|| kernel.run(&gpu, &x, &y, dim, &w).unwrap());
+            });
         }
     }
     group.finish();
@@ -64,13 +60,9 @@ fn bench_spmm(c: &mut Criterion) {
             if kernel.name() == "FeatGraph" {
                 continue; // tuning sweep too slow for micro-benching
             }
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name(), dim),
-                &dim,
-                |b, &dim| {
-                    b.iter(|| kernel.run(&gpu, &w, &x, dim, &y).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name(), dim), &dim, |b, &dim| {
+                b.iter(|| kernel.run(&gpu, &w, &x, dim, &y).unwrap());
+            });
         }
     }
     group.finish();

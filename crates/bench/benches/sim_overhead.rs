@@ -4,7 +4,6 @@
 
 use std::sync::Arc;
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gnnone_bench::figure_gpu_spec;
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
@@ -13,6 +12,7 @@ use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
 use gnnone_sim::{DeviceBuffer, Gpu};
 use gnnone_sparse::formats::Coo;
 use gnnone_sparse::gen;
+use std::time::Duration;
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let el = gen::rmat(12, 32_000, gen::GRAPH500_PROBS, 7).symmetrize();

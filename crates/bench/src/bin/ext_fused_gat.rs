@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::{Cell, Table};
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::gnnone::{FusedGatAttention, GnnOneConfig, GnnOneSpmm};
 use gnnone_kernels::traits::SpmmKernel;
 use gnnone_sim::{DeviceBuffer, Gpu};
@@ -18,6 +18,8 @@ use gnnone_sim::{DeviceBuffer, Gpu};
 fn main() {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let f = *opts.dims.first().unwrap_or(&16);
     let mut table = Table::new(
         &format!("Extension: fused vs unfused GAT attention, dim={f}"),
@@ -64,9 +66,12 @@ fn main() {
     table.print();
     println!("(extension beyond the paper: quantifies §5.3.2's fusion conjecture)");
 
-    let out = opts.out.unwrap_or_else(|| "results/ext_fused_gat.json".into());
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/ext_fused_gat.json".into());
     report::write_json(&out, &table).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }
 
 /// Host-side attention coefficients for the unfused SpMM input (their

@@ -8,8 +8,7 @@
 //! geomean speedup over the strongest baseline at each point — if the
 //! advantage held only at the defaults, the reproduction would be fragile.
 
-
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec};
 use serde::Serialize;
@@ -58,6 +57,7 @@ fn main() {
         variants.push(("bandwidth".into(), format!("{bw_scale}x"), s));
     }
 
+    let prof = profiling::Profiler::from_opts(&opts);
     let mut rows = Vec::new();
     println!(
         "{:<16} {:>8} {:>22} {:>22}",
@@ -65,6 +65,7 @@ fn main() {
     );
     for (knob, value, spec) in variants {
         let gpu = Gpu::new(spec);
+        prof.attach(&gpu);
         let mut sddmm_ratios = Vec::new();
         let mut spmm_ratios = Vec::new();
         for ld in &loaded {
@@ -124,4 +125,5 @@ fn main() {
         .unwrap_or_else(|| "results/ext_sim_sensitivity.json".into());
     report::write_json(&out, &rows).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
 use gnnone_kernels::registry;
 use gnnone_kernels::traits::SpmmKernel;
@@ -18,6 +18,8 @@ fn main() {
         opts.dims = vec![32];
     }
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let mut tables = Vec::new();
     for &dim in &opts.dims {
         let mut table = Table::new(
@@ -46,4 +48,5 @@ fn main() {
         .unwrap_or_else(|| "results/ext_spmm_extras.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

@@ -5,13 +5,15 @@
 //! reduction) — against GNNOne's COO nonzero-split.
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
 fn main() {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let mut table = Table::new(
         "Extension: nonzero-split SpMV classes (§4.4)",
         &["GnnOne", "Merge-SpMV", "Dalton et al."],
@@ -32,4 +34,5 @@ fn main() {
         .unwrap_or_else(|| "results/ext_spmv_classes.json".into());
     report::write_json(&out, &table).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm, Schedule};
 use gnnone_sim::Gpu;
 
@@ -19,6 +19,8 @@ fn main() {
         opts.dims = vec![32];
     }
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let mut tables = Vec::new();
 
     for &dim in &opts.dims {
@@ -53,4 +55,5 @@ fn main() {
         .unwrap_or_else(|| "results/fig10_schedule.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

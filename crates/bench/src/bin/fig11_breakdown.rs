@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
 use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
 use gnnone_sim::{DeviceBuffer, Gpu, KernelReport};
@@ -40,6 +40,8 @@ fn main() {
     }
     let dim = opts.dims[0];
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let mut rows = Vec::new();
 
     println!(
@@ -82,8 +84,7 @@ fn main() {
             rows.push(row);
         }
     }
-    let avg: f64 =
-        rows.iter().map(|r| r.load_fraction).sum::<f64>() / rows.len().max(1) as f64;
+    let avg: f64 = rows.iter().map(|r| r.load_fraction).sum::<f64>() / rows.len().max(1) as f64;
     println!(
         "\naverage load fraction: {:.1}% (paper: data load dominates even after optimization)",
         100.0 * avg
@@ -94,4 +95,5 @@ fn main() {
         .unwrap_or_else(|| "results/fig11_breakdown.json".into());
     report::write_json(&out, &rows).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

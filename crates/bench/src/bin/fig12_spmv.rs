@@ -10,13 +10,15 @@
 //! EXPERIMENTS.md.
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
 fn main() {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let mut table = Table::new("Fig 12: SpMV", &["GnnOne", "Merge-SpMV"]);
     for spec in runner::selected_specs(&opts) {
         let ld = runner::load(&spec, opts.scale);
@@ -27,9 +29,12 @@ fn main() {
         table.push_row(spec.id, cells);
     }
     table.print();
-    println!("(paper: comparable or better on all datasets; 1.74x on Reddit, 2.09x on Ogb-product)");
+    println!(
+        "(paper: comparable or better on all datasets; 1.74x on Reddit, 2.09x on Ogb-product)"
+    );
 
     let out = opts.out.unwrap_or_else(|| "results/fig12_spmv.json".into());
     report::write_json(&out, &table).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

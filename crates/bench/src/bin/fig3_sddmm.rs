@@ -6,21 +6,30 @@
 //! idle warp lanes; CuSparse and Sputnik are one to two orders slower and
 //! error out on datasets whose paper-scale |V| exceeds ~2M.
 
-use gnnone_bench::{cli, figure_gpu_spec, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD};
 use gnnone_bench::report::{Cell, Table};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
 fn main() {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Fig 3: SDDMM, dim={dim}"),
-            &["GnnOne", "dgSparse", "CuSparse", "Sputnik", "FeatGraph", "DGL"],
+            &[
+                "GnnOne",
+                "dgSparse",
+                "CuSparse",
+                "Sputnik",
+                "FeatGraph",
+                "DGL",
+            ],
         );
         for spec in &specs {
             let ld = runner::load(spec, opts.scale);
@@ -53,14 +62,21 @@ fn main() {
             acc.extend(t.speedups_vs(*col).into_iter().map(|(_, s)| s));
         }
     }
-    let all: Vec<f64> = per_system.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    let all: Vec<f64> = per_system
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
     println!(
         "\nOverall GnnOne SDDMM speedup vs {{dgSparse, FeatGraph, DGL}}: mean {:.2}x over {} cells (paper: 6.02x avg)",
         all.iter().sum::<f64>() / all.len().max(1) as f64,
         all.len()
     );
 
-    let out = opts.out.clone().unwrap_or_else(|| "results/fig3_sddmm.json".into());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/fig3_sddmm.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

@@ -7,20 +7,29 @@
 //! sharply below f = 32 where it drops caching; FeatGraph is the worst.
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
 fn main() {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
+    let prof = profiling::Profiler::from_opts(&opts);
+    prof.attach(&gpu);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Fig 4: SpMM, dim={dim}"),
-            &["GnnOne", "GE-SpMM", "CuSparse", "Huang et al.", "FeatGraph", "GNNAdvisor"],
+            &[
+                "GnnOne",
+                "GE-SpMM",
+                "CuSparse",
+                "Huang et al.",
+                "FeatGraph",
+                "GNNAdvisor",
+            ],
         );
         for spec in &specs {
             let ld = runner::load(spec, opts.scale);
@@ -46,7 +55,11 @@ fn main() {
         all.len()
     );
 
-    let out = opts.out.clone().unwrap_or_else(|| "results/fig4_spmm.json".into());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/fig4_spmm.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

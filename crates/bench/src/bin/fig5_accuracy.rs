@@ -8,7 +8,7 @@
 
 use std::rc::Rc;
 
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_gnn::models::{Gat, Gcn, Gin, GnnModel};
 use gnnone_gnn::{train_model, GnnContext, SystemKind, TrainConfig};
 use gnnone_sparse::datasets::Scale;
@@ -36,7 +36,12 @@ fn main() {
     if opts.epochs == 200 {
         opts.epochs = 60;
     }
-    let scale = if opts.scale == Scale::Small { Scale::Tiny } else { opts.scale };
+    let scale = if opts.scale == Scale::Small {
+        Scale::Tiny
+    } else {
+        opts.scale
+    };
+    let prof = profiling::Profiler::from_opts(&opts);
 
     let mut rows: Vec<AccuracyRow> = Vec::new();
     println!(
@@ -61,6 +66,7 @@ fn main() {
                 ld.dataset.coo.clone(),
                 figure_gpu_spec(),
             ));
+            prof.attach_ctx(&ctx);
             let models: Vec<(&'static str, Box<dyn GnnModel>)> = vec![
                 ("GCN", Box::new(Gcn::new(fdim, 16, spec.classes, 42))),
                 ("GIN", Box::new(Gin::new(fdim, 16, spec.classes, 2, 43))),
@@ -96,16 +102,20 @@ fn main() {
     let mut worst: f64 = 0.0;
     for r in &rows {
         if r.system == "GnnOne" {
-            if let Some(d) = rows.iter().find(|o| {
-                o.system == "DGL" && o.dataset == r.dataset && o.model == r.model
-            }) {
+            if let Some(d) = rows
+                .iter()
+                .find(|o| o.system == "DGL" && o.dataset == r.dataset && o.model == r.model)
+            {
                 worst = worst.max((r.test_accuracy - d.test_accuracy).abs());
             }
         }
     }
     println!("\nmax |GnnOne − DGL| test-accuracy gap: {worst:.3} (paper: parity)");
 
-    let out = opts.out.unwrap_or_else(|| "results/fig5_accuracy.json".into());
+    let out = opts
+        .out
+        .unwrap_or_else(|| "results/fig5_accuracy.json".into());
     report::write_json(&out, &rows).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

@@ -10,7 +10,7 @@
 use std::rc::Rc;
 
 use gnnone_bench::report::{Cell, Table};
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_gnn::memory::{estimate_training_bytes, ModelKind};
 use gnnone_gnn::models::Gat;
 use gnnone_gnn::{train_model, GnnContext, SystemKind, TrainConfig};
@@ -29,6 +29,7 @@ fn main() {
     }
     let spec_gpu = figure_gpu_spec();
     let device_bytes = 40u64 * 1024 * 1024 * 1024;
+    let prof = profiling::Profiler::from_opts(&opts);
 
     let mut table = Table::new(
         &format!("Fig 6: GAT training, {} epochs", opts.epochs),
@@ -58,6 +59,7 @@ fn main() {
                 ld.dataset.coo.clone(),
                 spec_gpu.clone(),
             ));
+            prof.attach_ctx(&ctx);
             let mut model = Gat::new(dspec.feature_len, 16, dspec.classes, 5, 7);
             let cfg = TrainConfig {
                 epochs: MEASURED_EPOCHS,
@@ -79,4 +81,5 @@ fn main() {
         .unwrap_or_else(|| "results/fig6_gat_training.json".into());
     report::write_json(&out, &table).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

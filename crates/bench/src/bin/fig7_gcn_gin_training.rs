@@ -6,7 +6,7 @@
 use std::rc::Rc;
 
 use gnnone_bench::report::{Cell, Table};
-use gnnone_bench::{cli, figure_gpu_spec, report, runner};
+use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_gnn::memory::{estimate_training_bytes, ModelKind};
 use gnnone_gnn::models::{Gcn, Gin, GnnModel};
 use gnnone_gnn::{train_model, GnnContext, SystemKind, TrainConfig};
@@ -26,11 +26,13 @@ fn main() {
     }
     let spec_gpu = figure_gpu_spec();
     let device_bytes = 40u64 * 1024 * 1024 * 1024;
+    let prof = profiling::Profiler::from_opts(&opts);
     let mut tables = Vec::new();
 
-    for (model_name, model_kind, hidden, layers) in
-        [("GCN", ModelKind::Gcn, 16usize, 2usize), ("GIN", ModelKind::Gin, 64, 5)]
-    {
+    for (model_name, model_kind, hidden, layers) in [
+        ("GCN", ModelKind::Gcn, 16usize, 2usize),
+        ("GIN", ModelKind::Gin, 64, 5),
+    ] {
         let mut table = Table::new(
             &format!("Fig 7: {model_name} training, {} epochs", opts.epochs),
             &["GnnOne", "DGL"],
@@ -43,8 +45,7 @@ fn main() {
                 dspec.feature_len,
                 runner::vertex_features(n, dspec.feature_len, 37),
             );
-            let labels: Vec<u32> =
-                (0..n as u32).map(|v| v % dspec.classes as u32).collect();
+            let labels: Vec<u32> = (0..n as u32).map(|v| v % dspec.classes as u32).collect();
 
             let mut cells = Vec::new();
             for system in [SystemKind::GnnOne, SystemKind::Dgl] {
@@ -58,13 +59,18 @@ fn main() {
                     ld.dataset.coo.clone(),
                     spec_gpu.clone(),
                 ));
+                prof.attach_ctx(&ctx);
                 let mut model: Box<dyn GnnModel> = match model_kind {
                     ModelKind::Gcn => {
                         Box::new(Gcn::new(dspec.feature_len, hidden, dspec.classes, 7))
                     }
-                    ModelKind::Gin => {
-                        Box::new(Gin::new(dspec.feature_len, hidden, dspec.classes, layers, 7))
-                    }
+                    ModelKind::Gin => Box::new(Gin::new(
+                        dspec.feature_len,
+                        hidden,
+                        dspec.classes,
+                        layers,
+                        7,
+                    )),
                     ModelKind::Gat => unreachable!(),
                 };
                 let cfg = TrainConfig {
@@ -87,4 +93,5 @@ fn main() {
         .unwrap_or_else(|| "results/fig7_gcn_gin_training.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    prof.write();
 }

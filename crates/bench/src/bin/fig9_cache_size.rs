@@ -3,22 +3,63 @@
 //!
 //! Expected shape (paper §5.4.2): caching 128 gives ≈1.31× over 32 because
 //! more independent loads issue before each memory barrier.
+//!
+//! This binary is the worked profiling example of `docs/PROFILING.md`:
+//! with `--metrics m.json` it writes per-variant snapshots
+//! (`m.cache128.json`, `m.cache32.json`) suitable for
+//! `gnnone-prof diff`, plus the combined `m.json`; with `--trace t.json`
+//! both variants share one Chrome-trace timeline.
 
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
 use gnnone_bench::{cli, figure_gpu_spec, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
-use gnnone_sim::Gpu;
+use gnnone_sim::{Gpu, MetricsRegistry, MetricsSnapshot, TraceConfig, TraceSession};
+
+/// `results/m.json` → `results/m.cache128.json`.
+fn variant_path(path: &str, variant: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{variant}.{ext}"),
+        None => format!("{path}.{variant}"),
+    }
+}
 
 fn main() {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![16]; // the figure's dimension
     }
-    let gpu = Gpu::new(figure_gpu_spec());
-    let mut tables = Vec::new();
+    let spec_gpu = figure_gpu_spec();
 
+    // One device per cache variant so kernel metrics roll up separately
+    // (the A and B of a `gnnone-prof diff`); one shared trace timeline.
+    let gpu128 = Gpu::new(spec_gpu.clone());
+    let gpu32 = Gpu::new(spec_gpu.clone());
+    let session = opts.trace.as_ref().map(|_| {
+        Arc::new(TraceSession::new(
+            TraceConfig::on(),
+            &spec_gpu.name,
+            spec_gpu.clock_ghz,
+        ))
+    });
+    if let Some(session) = &session {
+        gpu128.attach_trace(Arc::clone(session));
+        gpu32.attach_trace(Arc::clone(session));
+    }
+    let registries = opts.metrics.as_ref().map(|_| {
+        let mk = || {
+            let r = MetricsRegistry::new();
+            r.set_device(&spec_gpu.name, spec_gpu.clock_ghz);
+            Arc::new(r)
+        };
+        let (a, b) = (mk(), mk());
+        gpu128.attach_metrics(Arc::clone(&a));
+        gpu32.attach_metrics(Arc::clone(&b));
+        (a, b)
+    });
+
+    let mut tables = Vec::new();
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Fig 9: SpMM cache size, dim={dim}"),
@@ -26,9 +67,9 @@ fn main() {
         );
         for spec in runner::selected_specs(&opts) {
             let ld = runner::load(&spec, opts.scale);
-            let cells = [128usize, 32]
+            let cells = [(128usize, &gpu128), (32, &gpu32)]
                 .iter()
-                .map(|&cache| {
+                .map(|&(cache, gpu)| {
                     let k = GnnOneSpmm::new(
                         Arc::clone(&ld.graph),
                         GnnOneConfig {
@@ -36,7 +77,7 @@ fn main() {
                             ..Default::default()
                         },
                     );
-                    runner::run_spmm(&gpu, &k, &ld, dim)
+                    runner::run_spmm(gpu, &k, &ld, dim)
                 })
                 .collect();
             table.push_row(spec.id, cells);
@@ -51,4 +92,38 @@ fn main() {
         .unwrap_or_else(|| "results/fig9_cache_size.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+
+    if let (Some(path), Some(session)) = (&opts.trace, &session) {
+        session.write_chrome_trace(path).expect("write trace");
+        println!(
+            "trace: {path} ({} events; load in chrome://tracing or ui.perfetto.dev)",
+            session.event_count()
+        );
+    }
+    if let (Some(path), Some((reg128, reg32))) = (&opts.metrics, &registries) {
+        let (snap128, snap32) = (reg128.snapshot(), reg32.snapshot());
+        let (p128, p32) = (
+            variant_path(path, "cache128"),
+            variant_path(path, "cache32"),
+        );
+        snap128.write(&p128).expect("write metrics");
+        snap32.write(&p32).expect("write metrics");
+        // Combined snapshot: variant-prefixed kernel names keep both
+        // rollups distinguishable in one file.
+        let mut combined = MetricsSnapshot {
+            device: snap128.device.clone(),
+            clock_ghz: snap128.clock_ghz,
+            kernels: Vec::new(),
+        };
+        for (prefix, snap) in [("cache128/", &snap128), ("cache32/", &snap32)] {
+            for k in &snap.kernels {
+                let mut k = k.clone();
+                k.name = format!("{prefix}{}", k.name);
+                combined.kernels.push(k);
+            }
+        }
+        combined.write(path).expect("write metrics");
+        println!("metrics: {path} (+ per-variant {p128}, {p32})");
+        println!("compare: gnnone-prof diff {p128} {p32}");
+    }
 }

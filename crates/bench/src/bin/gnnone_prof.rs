@@ -1,0 +1,241 @@
+//! `gnnone-prof` — offline analysis of `--metrics` / `--trace` output.
+//!
+//! ```text
+//! gnnone-prof show    metrics.json           per-kernel summary table
+//! gnnone-prof diff    a.json b.json          A-vs-B comparison by kernel
+//! gnnone-prof trace   trace.json             chrome-trace sanity summary
+//! ```
+//!
+//! `show` and `diff` read [`MetricsSnapshot`] files written by any figure
+//! binary's `--metrics` flag (or by [`MetricsSnapshot::write`] directly);
+//! `trace` reads the Chrome-trace JSON written by `--trace`. See
+//! `docs/PROFILING.md` for the counter definitions and a worked diff
+//! example.
+
+use std::process::ExitCode;
+
+use gnnone_sim::jsonio::{self, Json};
+use gnnone_sim::{KernelMetrics, MetricsSnapshot};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("show") if args.len() == 2 => show(&args[1]),
+        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
+        Some("trace") if args.len() == 2 => trace_summary(&args[1]),
+        Some("--help") | Some("-h") => {
+            usage();
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(
+                "expected: show <metrics.json> | diff <a.json> <b.json> | trace <trace.json>"
+                    .to_string(),
+            )
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gnnone-prof: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  gnnone-prof show <metrics.json>\n  \
+         gnnone-prof diff <a.json> <b.json>\n  \
+         gnnone-prof trace <trace.json>"
+    );
+}
+
+fn load_snapshot(path: &str) -> Result<MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    MetricsSnapshot::from_json_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// One row of the `show` table, pre-formatted.
+fn summary_row(k: &KernelMetrics) -> Vec<String> {
+    vec![
+        k.name.clone(),
+        k.launches.to_string(),
+        format!("{:.3}", k.time_ms),
+        format!("{:.1}", k.achieved_bandwidth_gbs()),
+        format!("{:.1}%", 100.0 * k.sector_efficiency()),
+        format!("{:.1}%", 100.0 * k.stall_fraction()),
+        format!("{:.2}", k.atomic_conflict_rate()),
+        format!("{:.2}", k.avg_occupancy()),
+    ]
+}
+
+const SUMMARY_HEADER: [&str; 8] = [
+    "kernel",
+    "launches",
+    "time_ms",
+    "GB/s",
+    "sector_eff",
+    "stall",
+    "atomic_conf",
+    "occupancy",
+];
+
+fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{cell:<w$}"));
+            } else {
+                s.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.to_vec());
+    let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(dashes.iter().map(String::as_str).collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+fn show(path: &str) -> Result<(), String> {
+    let snap = load_snapshot(path)?;
+    println!(
+        "device: {} @ {:.2} GHz — {} kernel(s)\n",
+        snap.device,
+        snap.clock_ghz,
+        snap.kernels.len()
+    );
+    let rows: Vec<Vec<String>> = snap.kernels.iter().map(summary_row).collect();
+    print_table(&SUMMARY_HEADER, &rows);
+    Ok(())
+}
+
+fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+fn diff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = load_snapshot(path_a)?;
+    let b = load_snapshot(path_b)?;
+    println!("A = {path_a}\nB = {path_b}\n");
+
+    let mut rows = Vec::new();
+    for ka in &a.kernels {
+        let Some(kb) = b.kernel(&ka.name) else {
+            println!("only in A: {}", ka.name);
+            continue;
+        };
+        rows.push(vec![
+            ka.name.clone(),
+            format!("{:.3}", ka.time_ms),
+            format!("{:.3}", kb.time_ms),
+            ratio(kb.time_ms, ka.time_ms),
+            format!(
+                "{:.1}% / {:.1}%",
+                100.0 * ka.sector_efficiency(),
+                100.0 * kb.sector_efficiency()
+            ),
+            format!(
+                "{:.1}% / {:.1}%",
+                100.0 * ka.stall_fraction(),
+                100.0 * kb.stall_fraction()
+            ),
+            format!(
+                "{:.0} / {:.0}",
+                ka.achieved_bandwidth_gbs(),
+                kb.achieved_bandwidth_gbs()
+            ),
+        ]);
+    }
+    for kb in &b.kernels {
+        if a.kernel(&kb.name).is_none() {
+            println!("only in B: {}", kb.name);
+        }
+    }
+    let header = [
+        "kernel",
+        "A time_ms",
+        "B time_ms",
+        "B/A",
+        "sector_eff A/B",
+        "stall A/B",
+        "GB/s A/B",
+    ];
+    print_table(&header, &rows);
+    println!("\nB/A > 1 means A is faster; sector_eff and stall explain why.");
+    Ok(())
+}
+
+fn trace_summary(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = jsonio::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("not a chrome trace: missing 'traceEvents' array")?;
+
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    let mut end_us: f64 = 0.0;
+    let mut spans = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("?");
+        let key = if ph == "M" {
+            "metadata".to_string()
+        } else {
+            e.get("cat")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+        if ph == "X" {
+            spans += 1;
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+            let dur = e.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+            end_us = end_us.max(ts + dur);
+        }
+    }
+    let device = doc
+        .get("otherData")
+        .and_then(|o| o.get("device"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    println!(
+        "{path}: {} events ({spans} spans) on {device}, timeline ends at {:.3} ms",
+        events.len(),
+        end_us / 1e3
+    );
+    for (k, n) in counts {
+        println!("  {k:<10} {n}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+    }
+}

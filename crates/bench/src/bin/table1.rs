@@ -1,7 +1,7 @@
 //! Reproduces **Table 1**: the dataset roster — paper-scale sizes alongside
 //! the generated synthetic analogues actually used by the figures.
 
-use gnnone_bench::{cli, report};
+use gnnone_bench::{cli, profiling, report};
 use gnnone_sparse::datasets::Dataset;
 use gnnone_sparse::stats::DegreeStats;
 use serde::Serialize;
@@ -23,13 +23,24 @@ struct Row {
 
 fn main() {
     let opts = cli::from_env();
+    let prof = profiling::Profiler::from_opts(&opts);
     println!(
         "Table 1: datasets (paper scale → generated analogue at {:?})",
         opts.scale
     );
     println!(
         "{:<5} {:<17} {:>12} {:>14} {:>5} {:>3} {:>3} | {:>10} {:>10} {:>8} {:>6}",
-        "id", "name", "paper |V|", "paper |E|", "F", "C", "lab", "gen |V|", "gen |E|", "max deg", "gini"
+        "id",
+        "name",
+        "paper |V|",
+        "paper |E|",
+        "F",
+        "C",
+        "lab",
+        "gen |V|",
+        "gen |E|",
+        "max deg",
+        "gini"
     );
     let mut rows = Vec::new();
     for spec in gnnone_bench::runner::selected_specs(&opts) {
@@ -67,4 +78,5 @@ fn main() {
     let out = opts.out.unwrap_or_else(|| "results/table1.json".into());
     report::write_json(&out, &rows).expect("write results");
     println!("\nwrote {out}");
+    prof.write();
 }

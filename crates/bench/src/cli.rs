@@ -16,6 +16,12 @@ pub struct Options {
     pub epochs: usize,
     /// Output JSON path (`--out results/figN.json`).
     pub out: Option<String>,
+    /// Chrome-trace output path (`--trace trace.json`); `None` disables
+    /// tracing entirely.
+    pub trace: Option<String>,
+    /// Metrics-snapshot output path (`--metrics metrics.json`); `None`
+    /// disables the metrics registry.
+    pub metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -26,6 +32,8 @@ impl Default for Options {
             datasets: Vec::new(),
             epochs: 200,
             out: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -68,10 +76,13 @@ pub fn parse(args: impl Iterator<Item = String>) -> Options {
                 opts.epochs = take("--epochs").parse().expect("epochs must be an integer");
             }
             "--out" => opts.out = Some(take("--out")),
+            "--trace" => opts.trace = Some(take("--trace")),
+            "--metrics" => opts.metrics = Some(take("--metrics")),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
-                     --datasets G0,G3  --epochs N  --out results/fig.json"
+                     --datasets G0,G3  --epochs N  --out results/fig.json  \
+                     --trace trace.json  --metrics metrics.json"
                 );
                 std::process::exit(0);
             }
@@ -101,18 +112,23 @@ mod tests {
         assert_eq!(o.dims, vec![6, 16, 32, 64]);
         assert!(o.datasets.is_empty());
         assert_eq!(o.epochs, 200);
+        assert!(o.trace.is_none());
+        assert!(o.metrics.is_none());
     }
 
     #[test]
     fn full_flags() {
         let o = parse(argv(
-            "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json",
+            "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json \
+             --trace t.json --metrics m.json",
         ));
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.dims, vec![16, 32]);
         assert_eq!(o.datasets, vec!["G0", "G3"]);
         assert_eq!(o.epochs, 10);
         assert_eq!(o.out.as_deref(), Some("x.json"));
+        assert_eq!(o.trace.as_deref(), Some("t.json"));
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   `--epochs`, `--out`);
 //! * [`runner`] — dataset loading, deterministic feature generation,
 //!   kernel sweeps, speedup aggregation;
-//! * [`report`] — fixed-width table printing and JSON output.
+//! * [`report`] — fixed-width table printing and JSON output;
+//! * [`profiling`] — `--trace` / `--metrics` wiring (see
+//!   `docs/PROFILING.md`); results are inspected with the `gnnone-prof`
+//!   binary.
 //!
 //! ## Device scaling
 //!
@@ -19,6 +22,7 @@
 //! paper's 100M-edge graphs put the real A100 in. See DESIGN.md.
 
 pub mod cli;
+pub mod profiling;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,180 @@
+//! `--trace` / `--metrics` plumbing shared by the figure binaries.
+//!
+//! A [`Profiler`] is built once from the parsed [`Options`], attached to
+//! every simulated device the binary creates (directly via
+//! [`Profiler::attach`], or through a training context with
+//! [`Profiler::attach_ctx`]), and written out at the end with
+//! [`Profiler::write`]. When neither `--trace` nor `--metrics` was given
+//! every method is a no-op, so binaries can call them unconditionally.
+
+use std::sync::Arc;
+
+use gnnone_gnn::systems::GnnContext;
+use gnnone_sim::{Gpu, GpuSpec, MetricsRegistry, TraceConfig, TraceSession};
+
+use crate::cli::Options;
+
+/// Collects trace/metrics output for one figure-binary run.
+pub struct Profiler {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    session: Option<Arc<TraceSession>>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl Profiler {
+    /// Builds a profiler from the binary's options, recording against the
+    /// given device spec (clock used for trace timestamps).
+    pub fn new(opts: &Options, spec: &GpuSpec) -> Self {
+        let session = opts.trace.as_ref().map(|_| {
+            Arc::new(TraceSession::new(
+                TraceConfig::on(),
+                &spec.name,
+                spec.clock_ghz,
+            ))
+        });
+        let registry = opts.metrics.as_ref().map(|_| {
+            let r = MetricsRegistry::new();
+            r.set_device(&spec.name, spec.clock_ghz);
+            Arc::new(r)
+        });
+        Profiler {
+            trace_path: opts.trace.clone(),
+            metrics_path: opts.metrics.clone(),
+            session,
+            registry,
+        }
+    }
+
+    /// Builds a profiler against [`crate::figure_gpu_spec`].
+    pub fn from_opts(opts: &Options) -> Self {
+        Self::new(opts, &crate::figure_gpu_spec())
+    }
+
+    /// True when the run records anything.
+    pub fn enabled(&self) -> bool {
+        self.session.is_some() || self.registry.is_some()
+    }
+
+    /// The shared trace session, if `--trace` was given.
+    pub fn session(&self) -> Option<&Arc<TraceSession>> {
+        self.session.as_ref()
+    }
+
+    /// The shared metrics registry, if `--metrics` was given.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Attaches the profiler to a device. All launches on `gpu` (and its
+    /// clones) are then recorded. Safe to call on any number of devices —
+    /// they share one timeline and one registry.
+    pub fn attach(&self, gpu: &Gpu) {
+        if let Some(session) = &self.session {
+            gpu.attach_trace(Arc::clone(session));
+        }
+        if let Some(registry) = &self.registry {
+            gpu.attach_metrics(Arc::clone(registry));
+        }
+    }
+
+    /// Attaches the profiler to a training context: the device for sparse
+    /// kernels plus the training clock for dense-op spans.
+    pub fn attach_ctx(&self, ctx: &GnnContext) {
+        if let Some(session) = &self.session {
+            ctx.attach_trace(Arc::clone(session));
+        }
+        if let Some(registry) = &self.registry {
+            ctx.attach_metrics(Arc::clone(registry));
+        }
+    }
+
+    /// Writes whatever was requested, printing each output path. Call once
+    /// at the end of `main`.
+    pub fn write(&self) {
+        if let (Some(path), Some(session)) = (&self.trace_path, &self.session) {
+            match session.write_chrome_trace(path) {
+                Ok(()) => println!(
+                    "trace: {path} ({} events; load in chrome://tracing or ui.perfetto.dev)",
+                    session.event_count()
+                ),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
+        }
+        if let (Some(path), Some(registry)) = (&self.metrics_path, &self.registry) {
+            let snapshot = registry.snapshot();
+            match snapshot.write(path) {
+                Ok(()) => println!(
+                    "metrics: {path} ({} kernels; inspect with gnnone-prof show {path})",
+                    snapshot.kernels.len()
+                ),
+                Err(e) => eprintln!("metrics: failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::{DeviceBuffer, KernelResources, WarpCtx, WarpKernel};
+
+    struct Touch<'a>(&'a DeviceBuffer<f32>);
+    impl WarpKernel for Touch<'_> {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 32,
+                regs_per_thread: 16,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            4
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            ctx.load_f32(self.0, Some);
+        }
+    }
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = Profiler::from_opts(&Options::default());
+        assert!(!p.enabled());
+        let gpu = Gpu::new(GpuSpec::tiny());
+        p.attach(&gpu);
+        let buf = DeviceBuffer::<f32>::zeros(64);
+        gpu.launch(&Touch(&buf));
+        assert!(gpu.trace().is_none());
+        assert!(gpu.metrics().is_none());
+        p.write();
+    }
+
+    #[test]
+    fn enabled_profiler_records_across_devices() {
+        let opts = Options {
+            trace: Some("unused.json".to_string()),
+            metrics: Some("unused.json".to_string()),
+            ..Default::default()
+        };
+        let p = Profiler::new(&opts, &GpuSpec::tiny());
+        assert!(p.enabled());
+        let a = Gpu::new(GpuSpec::tiny());
+        let b = Gpu::new(GpuSpec::tiny());
+        p.attach(&a);
+        p.attach(&b);
+        let buf = DeviceBuffer::<f32>::zeros(64);
+        a.launch(&Touch(&buf));
+        b.launch(&Touch(&buf));
+        let session = p.session().unwrap();
+        let registry = p.registry().unwrap();
+        assert_eq!(
+            session
+                .events()
+                .iter()
+                .filter(|e| e.cat == "kernel")
+                .count(),
+            2
+        );
+        assert_eq!(registry.snapshot().kernels[0].launches, 2);
+    }
+}

@@ -10,18 +10,47 @@ use crate::cli::Options;
 use crate::report::Cell;
 
 /// Datasets selected by the options, in Table 1 order.
-pub fn selected_specs(opts: &Options) -> Vec<DatasetSpec> {
+///
+/// Unknown `--datasets` ids are an error listing the valid Table 1 ids —
+/// previously a typo silently produced an empty sweep.
+pub fn try_selected_specs(opts: &Options) -> Result<Vec<DatasetSpec>, String> {
     let all = table1();
     if opts.datasets.is_empty() {
-        all
-    } else {
-        all.into_iter()
-            .filter(|s| {
-                opts.datasets
-                    .iter()
-                    .any(|want| s.id.eq_ignore_ascii_case(want))
-            })
-            .collect()
+        return Ok(all);
+    }
+    let unknown: Vec<&String> = opts
+        .datasets
+        .iter()
+        .filter(|want| !all.iter().any(|s| s.id.eq_ignore_ascii_case(want)))
+        .collect();
+    if !unknown.is_empty() {
+        let valid: Vec<&str> = all.iter().map(|s| s.id).collect();
+        return Err(format!(
+            "unknown dataset id(s) {}; valid Table 1 ids: {}",
+            unknown
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            valid.join(", ")
+        ));
+    }
+    Ok(all
+        .into_iter()
+        .filter(|s| {
+            opts.datasets
+                .iter()
+                .any(|want| s.id.eq_ignore_ascii_case(want))
+        })
+        .collect())
+}
+
+/// Like [`try_selected_specs`], but panics on unknown ids — the figure
+/// binaries fail loudly on bad flags.
+pub fn selected_specs(opts: &Options) -> Vec<DatasetSpec> {
+    match try_selected_specs(opts) {
+        Ok(specs) => specs,
+        Err(msg) => panic!("{msg}"),
     }
 }
 
@@ -141,6 +170,27 @@ mod tests {
         let sel = selected_specs(&opts);
         assert_eq!(sel.len(), 2);
         assert_eq!(sel[1].id, "G10");
+    }
+
+    #[test]
+    fn unknown_dataset_id_is_an_error_listing_valid_ids() {
+        let opts = Options {
+            datasets: vec!["G0".into(), "G99".into()],
+            ..Default::default()
+        };
+        let err = try_selected_specs(&opts).unwrap_err();
+        assert!(err.contains("G99"), "{err}");
+        assert!(err.contains("G0") && err.contains("G18"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset id")]
+    fn selected_specs_panics_on_unknown_id() {
+        let opts = Options {
+            datasets: vec!["notagraph".into()],
+            ..Default::default()
+        };
+        selected_specs(&opts);
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl BackwardOp for SpmmBackward {
 /// GAT attention coefficients).
 pub fn spmm(ctx: &Rc<GnnContext>, tape: &mut Tape, w: VarId, x: VarId) -> VarId {
     let f = tape.value(x).cols();
-    assert_eq!(tape.value(w).rows(), ctx.nnz(), "edge weights must be |E|×1");
+    assert_eq!(
+        tape.value(w).rows(),
+        ctx.nnz(),
+        "edge weights must be |E|×1"
+    );
     let value = launch_spmm(ctx, tape.value(w), tape.value(x), f);
     tape.push_op(
         value,
@@ -196,8 +200,7 @@ pub fn u_add_v(ctx: &Rc<GnnContext>, tape: &mut Tape, el: VarId, er: VarId) -> V
     let d_el = DeviceBuffer::from_slice(elv.data());
     let d_er = DeviceBuffer::from_slice(erv.data());
     let dw = DeviceBuffer::<f32>::zeros(ctx.nnz());
-    let kernel =
-        gnnone_kernels::gnnone::GnnOneUAddV::new(std::sync::Arc::clone(&ctx.graph));
+    let kernel = gnnone_kernels::gnnone::GnnOneUAddV::new(std::sync::Arc::clone(&ctx.graph));
     let report = kernel
         .run(&ctx.gpu, &d_el, &d_er, &dw)
         .expect("u_add_v launch failed");
@@ -205,7 +208,9 @@ pub fn u_add_v(ctx: &Rc<GnnContext>, tape: &mut Tape, el: VarId, er: VarId) -> V
     tape.push_op(
         Tensor::from_vec(ctx.nnz(), 1, dw.to_vec()),
         vec![el, er],
-        Box::new(UAddVBackward { ctx: Rc::clone(ctx) }),
+        Box::new(UAddVBackward {
+            ctx: Rc::clone(ctx),
+        }),
     )
 }
 
@@ -225,8 +230,7 @@ impl BackwardOp for EdgeSoftmaxBackward {
                 .map(|e| self.alpha.data()[e] * grad.data()[e])
                 .sum();
             for e in range {
-                out.data_mut()[e] =
-                    self.alpha.data()[e] * (grad.data()[e] - dot);
+                out.data_mut()[e] = self.alpha.data()[e] * (grad.data()[e] - dot);
             }
         }
         charge_edge_pass(&self.ctx, 2);
@@ -424,13 +428,14 @@ mod tests {
             let x0 = Tensor::from_vec(
                 c.num_vertices(),
                 f,
-                (0..c.num_vertices() * f).map(|i| (i % 7) as f32 * 0.3).collect(),
+                (0..c.num_vertices() * f)
+                    .map(|i| (i % 7) as f32 * 0.3)
+                    .collect(),
             );
             let x = tape.leaf(x0.clone(), true);
             let w = gcn_norm_weights(&c);
             let y = spmm_const(&c, &mut tape, &w, x);
-            let expected =
-                reference::spmm_csr(&c.graph.csr, w.data(), x0.data(), f);
+            let expected = reference::spmm_csr(&c.graph.csr, w.data(), x0.data(), f);
             reference::assert_close(tape.value(y).data(), &expected, 1e-4);
         }
     }
@@ -443,7 +448,9 @@ mod tests {
         let x0 = Tensor::from_vec(
             c.num_vertices(),
             f,
-            (0..c.num_vertices() * f).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect(),
+            (0..c.num_vertices() * f)
+                .map(|i| ((i % 5) as f32 - 2.0) * 0.5)
+                .collect(),
         );
         let x = tape.leaf(x0, true);
         let w = ones_weights(&c);
@@ -465,7 +472,9 @@ mod tests {
         let x0 = Tensor::from_vec(
             c.num_vertices(),
             f,
-            (0..c.num_vertices() * f).map(|i| (i % 3) as f32 * 0.7).collect(),
+            (0..c.num_vertices() * f)
+                .map(|i| (i % 3) as f32 * 0.7)
+                .collect(),
         );
         let x = tape.leaf(x0.clone(), false);
         let w = tape.leaf(ones_weights(&c), true);
@@ -483,7 +492,11 @@ mod tests {
         let c = ctx(SystemKind::GnnOne);
         let mut tape = Tape::new();
         let logits = tape.leaf(
-            Tensor::from_vec(c.nnz(), 1, (0..c.nnz()).map(|e| (e % 11) as f32 * 0.2).collect()),
+            Tensor::from_vec(
+                c.nnz(),
+                1,
+                (0..c.nnz()).map(|e| (e % 11) as f32 * 0.2).collect(),
+            ),
             true,
         );
         let alpha = edge_softmax(&c, &mut tape, logits);
@@ -607,7 +620,11 @@ mod fused_tests {
         let f = 8;
         let mut tape = Tape::new();
         let z = tape.leaf(
-            Tensor::from_vec(n, f, (0..n * f).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect()),
+            Tensor::from_vec(
+                n,
+                f,
+                (0..n * f).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+            ),
             true,
         );
         let el = tape.leaf(

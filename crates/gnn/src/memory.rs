@@ -88,10 +88,7 @@ pub fn estimate_training_bytes(
     items.push(("features:input".into(), 4 * v * f_in));
 
     // Activations + gradients per layer (value, grad, workspace).
-    items.push((
-        "activations+grads".into(),
-        3 * 4 * v * hidden * layers,
-    ));
+    items.push(("activations+grads".into(), 3 * 4 * v * hidden * layers));
 
     // Edge-level tensors: weights always; logits/attention/grads for GAT.
     let edge_tensors: u64 = if model.trainable_edge_weights() {

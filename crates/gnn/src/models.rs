@@ -87,7 +87,9 @@ impl Linear {
 
 /// Charges an element-wise activation/dropout pass on `n` values.
 fn charge_elementwise(ctx: &GnnContext, n: usize) {
-    ctx.clock.borrow_mut().charge_dense(3 * n as u64, 3 * 8 * n as u64);
+    ctx.clock
+        .borrow_mut()
+        .charge_dense(3 * n as u64, 3 * 8 * n as u64);
 }
 
 // ------------------------------------------------------------------- GCN
@@ -287,11 +289,7 @@ impl Gat {
         let mut layers = Vec::new();
         for i in 0..num_layers {
             let last = i + 1 == num_layers;
-            let fan_in = if i == 0 {
-                input_dim
-            } else {
-                hidden * heads
-            };
+            let fan_in = if i == 0 { input_dim } else { hidden * heads };
             let fan_out = if last { classes } else { hidden };
             let mut hs = Vec::new();
             for h in 0..heads {
@@ -307,10 +305,7 @@ impl Gat {
                 concat: !last,
             });
         }
-        Self {
-            layers,
-            slope: 0.2,
-        }
+        Self { layers, slope: 0.2 }
     }
 }
 
@@ -407,7 +402,9 @@ mod tests {
         Tensor::from_vec(
             c.num_vertices(),
             f,
-            (0..c.num_vertices() * f).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+            (0..c.num_vertices() * f)
+                .map(|i| ((i % 13) as f32 - 6.0) * 0.1)
+                .collect(),
         )
     }
 
@@ -456,7 +453,9 @@ mod tests {
         let loss = ops::nll_loss(&mut tape, ls, &targets, None);
         let grads = tape.backward(loss);
         for (i, &pid) in out.param_vars.iter().enumerate() {
-            let g = grads[pid].as_ref().unwrap_or_else(|| panic!("param {i} has no grad"));
+            let g = grads[pid]
+                .as_ref()
+                .unwrap_or_else(|| panic!("param {i} has no grad"));
             assert!(
                 g.data().iter().any(|&v| v != 0.0),
                 "param {i} gradient is all zero"
@@ -498,7 +497,9 @@ mod multihead_tests {
         let x = Tensor::from_vec(
             c.num_vertices(),
             8,
-            (0..c.num_vertices() * 8).map(|i| (i % 7) as f32 * 0.1).collect(),
+            (0..c.num_vertices() * 8)
+                .map(|i| (i % 7) as f32 * 0.1)
+                .collect(),
         );
         let mut tape = Tape::new();
         let out = model.forward(&mut tape, &c, &x, true, 0);
@@ -545,7 +546,9 @@ mod multihead_tests {
         let x = Tensor::from_vec(
             c.num_vertices(),
             4,
-            (0..c.num_vertices() * 4).map(|i| ((i % 5) as f32 - 2.0) * 0.2).collect(),
+            (0..c.num_vertices() * 4)
+                .map(|i| ((i % 5) as f32 - 2.0) * 0.2)
+                .collect(),
         );
         let mut tape = Tape::new();
         let out = model.forward(&mut tape, &c, &x, true, 0);
@@ -557,7 +560,10 @@ mod multihead_tests {
             let g = grads[pid]
                 .as_ref()
                 .unwrap_or_else(|| panic!("head param {i} missing grad"));
-            assert!(g.data().iter().any(|&v| v != 0.0), "param {i} all-zero grad");
+            assert!(
+                g.data().iter().any(|&v| v != 0.0),
+                "param {i} all-zero grad"
+            );
         }
     }
 }

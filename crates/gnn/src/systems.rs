@@ -19,7 +19,7 @@ use gnnone_kernels::baselines::{CusparseSpmm, DgSparseSddmm, DglSddmm};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
 use gnnone_kernels::graph::GraphData;
 use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
-use gnnone_sim::{Gpu, GpuSpec};
+use gnnone_sim::{Gpu, GpuSpec, MetricsRegistry, TraceSession};
 use gnnone_sparse::formats::Coo;
 
 use crate::timing::SimClock;
@@ -91,30 +91,33 @@ impl GnnContext {
         let gpu = Rc::new(Gpu::new(spec.clone()));
         let clock = Rc::new(RefCell::new(SimClock::new(spec)));
 
-        let (spmm, spmm_t, sddmm): (
-            Rc<dyn SpmmKernel>,
-            Rc<dyn SpmmKernel>,
-            Rc<dyn SddmmKernel>,
-        ) = match system {
-            SystemKind::GnnOne => (
-                Rc::new(GnnOneSpmm::new(Arc::clone(&graph), GnnOneConfig::default())),
-                Rc::new(GnnOneSpmm::new(Arc::clone(&graph_t), GnnOneConfig::default())),
-                Rc::new(GnnOneSddmm::new(Arc::clone(&graph), GnnOneConfig::default())),
-            ),
-            SystemKind::Dgl => (
-                Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
-                Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
-                Rc::new(DglSddmm::new(Arc::clone(&graph))),
-            ),
-            SystemKind::DgNn => (
-                // dgNN's aggregation is a vertex-parallel CSR SpMM; reuse
-                // the cuSPARSE-class row-split kernel as its aggregation
-                // engine and dgSparse for SDDMM, per §5.3's description.
-                Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
-                Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
-                Rc::new(DgSparseSddmm::new(Arc::clone(&graph))),
-            ),
-        };
+        let (spmm, spmm_t, sddmm): (Rc<dyn SpmmKernel>, Rc<dyn SpmmKernel>, Rc<dyn SddmmKernel>) =
+            match system {
+                SystemKind::GnnOne => (
+                    Rc::new(GnnOneSpmm::new(Arc::clone(&graph), GnnOneConfig::default())),
+                    Rc::new(GnnOneSpmm::new(
+                        Arc::clone(&graph_t),
+                        GnnOneConfig::default(),
+                    )),
+                    Rc::new(GnnOneSddmm::new(
+                        Arc::clone(&graph),
+                        GnnOneConfig::default(),
+                    )),
+                ),
+                SystemKind::Dgl => (
+                    Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
+                    Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
+                    Rc::new(DglSddmm::new(Arc::clone(&graph))),
+                ),
+                SystemKind::DgNn => (
+                    // dgNN's aggregation is a vertex-parallel CSR SpMM; reuse
+                    // the cuSPARSE-class row-split kernel as its aggregation
+                    // engine and dgSparse for SDDMM, per §5.3's description.
+                    Rc::new(CusparseSpmm::new(Arc::clone(&graph))),
+                    Rc::new(CusparseSpmm::new(Arc::clone(&graph_t))),
+                    Rc::new(DgSparseSddmm::new(Arc::clone(&graph))),
+                ),
+            };
 
         Self {
             gpu,
@@ -128,6 +131,23 @@ impl GnnContext {
             fused_edge_ops: system == SystemKind::DgNn,
             system,
         }
+    }
+
+    /// Attaches a trace session to both the device (sparse kernel spans)
+    /// and the training clock (dense-op spans), so one timeline covers the
+    /// whole epoch. Returns `false` if the device already had a different
+    /// session attached.
+    pub fn attach_trace(&self, session: Arc<TraceSession>) -> bool {
+        let ok = self.gpu.attach_trace(Arc::clone(&session));
+        self.clock.borrow_mut().set_trace(session);
+        ok
+    }
+
+    /// Attaches a metrics registry to the device; every sparse-kernel
+    /// launch of the training run rolls up into it. Returns `false` if the
+    /// device already had a different registry attached.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) -> bool {
+        self.gpu.attach_metrics(registry)
     }
 
     /// Number of vertices.
@@ -159,10 +179,7 @@ mod tests {
     use gnnone_sparse::formats::EdgeList;
 
     fn coo() -> Coo {
-        Coo::from_edge_list(&EdgeList::new(
-            3,
-            vec![(0, 1), (0, 2), (1, 0), (2, 1)],
-        ))
+        Coo::from_edge_list(&EdgeList::new(3, vec![(0, 1), (0, 2), (1, 0), (2, 1)]))
     }
 
     #[test]

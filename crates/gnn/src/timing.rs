@@ -9,7 +9,10 @@
 //! This is what dilutes 6× kernel speedups into the paper's 1.3–4×
 //! end-to-end numbers.
 
-use gnnone_sim::{GpuSpec, KernelReport};
+use std::sync::Arc;
+
+use gnnone_sim::jsonio::Json;
+use gnnone_sim::{GpuSpec, KernelReport, TraceSession};
 
 /// Accumulates simulated time over a training run.
 #[derive(Debug, Clone)]
@@ -21,6 +24,9 @@ pub struct SimClock {
     pub dense_cycles: u64,
     /// Kernel launches issued (sparse + dense).
     pub launches: u64,
+    /// Optional trace session dense-op charges are recorded into (sparse
+    /// kernels are recorded by the [`gnnone_sim::Gpu`] they run on).
+    trace: Option<Arc<TraceSession>>,
 }
 
 impl SimClock {
@@ -31,12 +37,38 @@ impl SimClock {
             kernel_cycles: 0,
             dense_cycles: 0,
             launches: 0,
+            trace: None,
         }
     }
 
     /// The device spec the clock converts against.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Attaches a trace session; subsequent dense-op charges appear as
+    /// `host` spans on the kernel track. Attach the *same* session to the
+    /// [`gnnone_sim::Gpu`] so sparse and dense ops share one timeline.
+    pub fn set_trace(&mut self, session: Arc<TraceSession>) {
+        self.trace = Some(session);
+    }
+
+    /// The attached trace session, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceSession>> {
+        self.trace.as_ref()
+    }
+
+    fn trace_dense(&self, name: &str, cycles: u64, flops: u64, bytes: u64) {
+        if let Some(session) = self.trace.as_ref().filter(|s| s.is_enabled()) {
+            session.record_host_span(
+                name,
+                cycles,
+                vec![
+                    ("flops".to_string(), Json::U64(flops)),
+                    ("bytes".to_string(), Json::U64(bytes)),
+                ],
+            );
+        }
     }
 
     /// Records a simulated sparse-kernel launch.
@@ -48,8 +80,10 @@ impl SimClock {
     /// Charges a dense op through the roofline model.
     /// `flops` = multiply-add count, `bytes` = global traffic.
     pub fn charge_dense(&mut self, flops: u64, bytes: u64) {
-        self.dense_cycles += self.dense_cost(flops, bytes);
+        let cost = self.dense_cost(flops, bytes);
+        self.dense_cycles += cost;
         self.launches += 1;
+        self.trace_dense("dense op", cost, flops, bytes);
     }
 
     /// Charges a *fused* dense op: no launch overhead and reduced traffic —
@@ -60,14 +94,14 @@ impl SimClock {
             .dense_cost(flops, bytes)
             .saturating_sub(t.kernel_launch_overhead_cycles);
         self.dense_cycles += cost;
+        self.trace_dense("fused dense op", cost, flops, bytes);
     }
 
     fn dense_cost(&self, flops: u64, bytes: u64) -> u64 {
         let t = self.spec.timing;
         // FP32 roofline: each SM retires ~128 FLOPs/cycle (64 FMA lanes).
         let flops_per_cycle = (self.spec.num_sms as u64) * 128;
-        let bytes_per_cycle =
-            self.spec.bytes_per_cycle_per_sm() * self.spec.num_sms as f64;
+        let bytes_per_cycle = self.spec.bytes_per_cycle_per_sm() * self.spec.num_sms as f64;
         let compute = flops / flops_per_cycle.max(1);
         let memory = (bytes as f64 / bytes_per_cycle) as u64;
         t.kernel_launch_overhead_cycles + compute.max(memory)
@@ -124,6 +158,34 @@ mod tests {
         b.charge_fused(1000, 1000);
         assert!(b.dense_cycles < a.dense_cycles);
         assert_eq!(b.launches, 0);
+    }
+
+    #[test]
+    fn dense_charges_record_host_spans() {
+        use gnnone_sim::TraceConfig;
+        let mut c = SimClock::new(GpuSpec::tiny());
+        let session = Arc::new(TraceSession::new(TraceConfig::on(), "tiny", 1.0));
+        c.set_trace(Arc::clone(&session));
+        c.charge_dense(1_000_000, 1_000_000);
+        c.charge_fused(1_000_000, 1_000_000);
+        let events = session.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.cat == "host"));
+        assert_eq!(events[0].name, "dense op");
+        assert_eq!(events[1].name, "fused dense op");
+        // Spans tile the timeline: second starts where the first ended.
+        assert!((events[0].ts_us + events[0].dur_us - events[1].ts_us).abs() < 1e-9);
+        assert_eq!(session.cursor_cycles(), c.dense_cycles);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        use gnnone_sim::TraceConfig;
+        let mut c = SimClock::new(GpuSpec::tiny());
+        let session = Arc::new(TraceSession::new(TraceConfig::off(), "tiny", 1.0));
+        c.set_trace(Arc::clone(&session));
+        c.charge_dense(1000, 1000);
+        assert_eq!(session.event_count(), 0);
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub fn train_model(
 
     let mut losses = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        if let Some(session) = ctx.clock.borrow().trace() {
+            session.record_marker(&format!("epoch {epoch}"));
+        }
         let mut tape = Tape::new();
         let out = model.forward(&mut tape, ctx, features, true, epoch as u64);
         let ls = ops::log_softmax(&mut tape, out.logits);
@@ -202,6 +205,39 @@ mod tests {
     }
 
     #[test]
+    fn traced_training_covers_kernels_dense_ops_and_epochs() {
+        use gnnone_sim::{MetricsRegistry, TraceConfig, TraceSession};
+        use std::sync::Arc;
+
+        let (ctx, x, labels) = labeled_setup();
+        let session = Arc::new(TraceSession::new(TraceConfig::on(), "test", 1.0));
+        let registry = Arc::new(MetricsRegistry::new());
+        assert!(ctx.attach_trace(Arc::clone(&session)));
+        assert!(ctx.attach_metrics(Arc::clone(&registry)));
+
+        let mut model = Gcn::new(8, 16, 3, 11);
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        train_model(&mut model, &ctx, &x, &labels, &cfg);
+
+        let events = session.events();
+        assert!(events.iter().any(|e| e.cat == "kernel"), "sparse kernels");
+        assert!(events.iter().any(|e| e.cat == "host"), "dense ops");
+        let markers: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "marker")
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(markers, ["epoch 0", "epoch 1", "epoch 2"]);
+        // Kernel rollups landed in the registry.
+        assert!(registry.kernel_count() > 0);
+        let snap = registry.snapshot();
+        assert!(snap.kernels.iter().any(|k| k.launches > 1));
+    }
+
+    #[test]
     fn accuracy_parity_between_systems() {
         // Fig. 5's claim: GNNOne and DGL kernels compute the same math, so
         // training accuracy matches.
@@ -214,11 +250,7 @@ mod tests {
         };
         let mut accs = Vec::new();
         for system in [SystemKind::GnnOne, SystemKind::Dgl] {
-            let ctx = Rc::new(GnnContext::new(
-                system,
-                coo.clone(),
-                GpuSpec::a100_40gb(),
-            ));
+            let ctx = Rc::new(GnnContext::new(system, coo.clone(), GpuSpec::a100_40gb()));
             let mut model = Gcn::new(8, 16, 3, 23);
             let r = train_model(&mut model, &ctx, &x, &g.labels, &cfg);
             accs.push(r.test_accuracy);

@@ -119,9 +119,8 @@ impl WarpKernel for DaltonLaunch<'_> {
                 // Each round: read neighbor slot + row id, combine, store.
                 let _p: LaneArr<u32> =
                     ctx.shared_load(|l| (active(l) && l >= stride).then(|| l - stride));
-                let _r: LaneArr<u32> = ctx.shared_load(|l| {
-                    (active(l) && l >= stride).then(|| WARP_SIZE + l - stride)
-                });
+                let _r: LaneArr<u32> =
+                    ctx.shared_load(|l| (active(l) && l >= stride).then(|| WARP_SIZE + l - stride));
                 ctx.compute(2);
                 scan = LaneArr::from_fn(|l| {
                     if active(l) && l >= stride && rows.get(l - stride) == rows.get(l) {
@@ -138,8 +137,7 @@ impl WarpKernel for DaltonLaunch<'_> {
                 if !active(l) {
                     return None;
                 }
-                let tail =
-                    l + 1 >= WARP_SIZE || !active(l + 1) || rows.get(l + 1) != rows.get(l);
+                let tail = l + 1 >= WARP_SIZE || !active(l + 1) || rows.get(l + 1) != rows.get(l);
                 tail.then(|| (rows.get(l) as usize, scan.get(l)))
             });
         }

@@ -109,7 +109,9 @@ mod tests {
         let el = gen::rmat(7, 500, gen::GRAPH500_PROBS, 1).symmetrize();
         let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
         let f = 16;
-        let x: Vec<f32> = (0..g.coo.num_rows() * f).map(|i| (i % 9) as f32 * 0.1).collect();
+        let x: Vec<f32> = (0..g.coo.num_rows() * f)
+            .map(|i| (i % 9) as f32 * 0.1)
+            .collect();
         let dw = DeviceBuffer::<f32>::zeros(g.nnz());
         DglSddmm::new(Arc::clone(&g))
             .run(

@@ -145,7 +145,9 @@ impl WarpKernel for GeSpmmLaunch<'_> {
                 }
             }
             // Thread-local reduction finished: one coalesced store per tile.
-            ctx.store_f32(self.y, |l| (l < lanes).then(|| (row * f + fbase + l, acc.get(l))));
+            ctx.store_f32(self.y, |l| {
+                (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
+            });
         }
     }
 }

@@ -155,9 +155,8 @@ impl WarpKernel for MergeLaunch<'_> {
                     0
                 }
             });
-            let _boundary_probe = ctx.load_u32(self.offsets, |l| {
-                active(l).then(|| rows[l] as usize + 1)
-            });
+            let _boundary_probe =
+                ctx.load_u32(self.offsets, |l| active(l).then(|| rows[l] as usize + 1));
             ctx.use_loads();
             ctx.compute(2);
 

@@ -161,8 +161,7 @@ impl WarpKernel for NgLaunch<'_> {
             for i in 0..len {
                 let (col, val) = if self.params.stage_in_shared {
                     let col: LaneArr<u32> = ctx.shared_load(|l| (l < lanes).then_some(i));
-                    let val: LaneArr<f32> =
-                        ctx.shared_load(|l| (l < lanes).then_some(32 + i));
+                    let val: LaneArr<f32> = ctx.shared_load(|l| (l < lanes).then_some(32 + i));
                     (col.get(0) as usize, val.get(0))
                 } else {
                     // GNNAdvisor: broadcast global loads per NZE; the x
@@ -172,9 +171,7 @@ impl WarpKernel for NgLaunch<'_> {
                     ctx.use_loads();
                     (col.get(0) as usize, val.get(0))
                 };
-                let xv = ctx.load_f32(self.x, |l| {
-                    (l < lanes).then(|| col * f + fbase + l)
-                });
+                let xv = ctx.load_f32(self.x, |l| (l < lanes).then(|| col * f + fbase + l));
                 ctx.compute(1);
                 for l in 0..lanes {
                     acc.set(l, acc.get(l) + val * xv.get(l));

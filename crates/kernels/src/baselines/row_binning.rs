@@ -195,7 +195,11 @@ impl BinLaunch<'_> {
         });
         ctx.use_loads();
         let deg = |l: usize| (end.get(l) - start.get(l)) as usize;
-        let max_deg = (0..WARP_SIZE).filter(|&l| active0(l)).map(deg).max().unwrap_or(0);
+        let max_deg = (0..WARP_SIZE)
+            .filter(|&l| active0(l))
+            .map(deg)
+            .max()
+            .unwrap_or(0);
 
         for k in 0..f {
             let mut acc = LaneArr::<f32>::default();
@@ -208,9 +212,7 @@ impl BinLaunch<'_> {
                     active(l).then(|| start.get(l) as usize + step)
                 });
                 ctx.use_loads();
-                let xv = ctx.load_f32(self.x, |l| {
-                    active(l).then(|| col.get(l) as usize * f + k)
-                });
+                let xv = ctx.load_f32(self.x, |l| active(l).then(|| col.get(l) as usize * f + k));
                 ctx.compute(1);
                 for l in 0..WARP_SIZE {
                     if active(l) {

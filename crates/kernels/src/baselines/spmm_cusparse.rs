@@ -170,9 +170,7 @@ impl WarpKernel for CusparseSpmmLaunch<'_> {
                     })
                 });
                 let xv = ctx.load_f32(self.x, |l| {
-                    active(l).then(|| {
-                        col.get(l) as usize * f + fbase + l % lanes_per_chunk
-                    })
+                    active(l).then(|| col.get(l) as usize * f + fbase + l % lanes_per_chunk)
                 });
                 ctx.compute(1);
                 for l in 0..WARP_SIZE {

@@ -158,8 +158,7 @@ impl VpLaunch<'_> {
                 let fbase = pass * WARP_SIZE;
                 let lanes = geo.active_lanes(pass);
                 if !have_x || !self.params.reuse_row_features {
-                    let xv =
-                        ctx.load_f32(self.x, |l| (l < lanes).then(|| row * f + fbase + l));
+                    let xv = ctx.load_f32(self.x, |l| (l < lanes).then(|| row * f + fbase + l));
                     x_regs[pass] = xv;
                 }
                 let yv = ctx.load_f32(self.y, |l| (l < lanes).then(|| c * f + fbase + l));

@@ -200,7 +200,11 @@ mod tests {
                 shared_bytes_per_cta: 0,
             },
         );
-        assert!(occ.fraction(&spec) <= 0.5, "occupancy {}", occ.fraction(&spec));
+        assert!(
+            occ.fraction(&spec) <= 0.5,
+            "occupancy {}",
+            occ.fraction(&spec)
+        );
     }
 
     #[test]

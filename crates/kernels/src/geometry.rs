@@ -170,10 +170,7 @@ mod tests {
             assert!(g.group_size.is_power_of_two(), "f={f}");
             assert_eq!(g.groups_per_warp * g.group_size, 32, "f={f}");
             // Every feature is covered.
-            assert!(
-                g.passes * g.group_size * g.vec_width >= f,
-                "f={f}: {g:?}"
-            );
+            assert!(g.passes * g.group_size * g.vec_width >= f, "f={f}: {g:?}");
         }
     }
 }

@@ -137,9 +137,7 @@ impl WarpKernel for CsrLaunch<'_> {
         // but empty rows can inflate it — those chunks load extra).
         for off in (0..span + 1).step_by(WARP_SIZE) {
             let active = |l: usize| off + l < span + 1;
-            let o = ctx.load_u32(self.offsets, |l| {
-                active(l).then(|| row_first + off + l)
-            });
+            let o = ctx.load_u32(self.offsets, |l| active(l).then(|| row_first + off + l));
             ctx.shared_store(|l| {
                 active(l).then(|| (CACHE * 2 + ((off + l) % (CACHE + 2)), o.get(l)))
             });

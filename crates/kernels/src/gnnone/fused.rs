@@ -48,6 +48,7 @@ impl FusedGatAttention {
     /// attended aggregation (`|V| × f`, zeroed by the caller). Optionally
     /// writes the attention coefficients to `alpha_out` (`|E|`) for
     /// backward use.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         gpu: &Gpu,
@@ -126,9 +127,7 @@ impl WarpKernel for FusedLaunch<'_> {
             let chunk = (end - chunk_start).min(WARP_SIZE);
             let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
             ctx.use_loads();
-            let er_c = ctx.load_f32(self.er, |l| {
-                (l < chunk).then(|| cols_c.get(l) as usize)
-            });
+            let er_c = ctx.load_f32(self.er, |l| (l < chunk).then(|| cols_c.get(l) as usize));
             ctx.compute(2); // add + LeakyReLU
             let logit = LaneArr::from_fn(|l| {
                 if l < chunk {
@@ -185,14 +184,12 @@ impl WarpKernel for FusedLaunch<'_> {
             let mut acc = LaneArr::<f32>::default();
             for chunk_start in (start..end).step_by(WARP_SIZE) {
                 let chunk = (end - chunk_start).min(WARP_SIZE);
-                let cols_c =
-                    ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
+                let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
                 ctx.use_loads();
                 let logit =
                     self.logits_for_chunk(ctx, chunk_start, chunk, start, el_r, cache_logits);
                 ctx.compute(2); // exp + divide
-                let alpha =
-                    LaneArr::from_fn(|l| (logit.get(l) - row_max).exp() / row_sum);
+                let alpha = LaneArr::from_fn(|l| (logit.get(l) - row_max).exp() / row_sum);
                 if fbase == 0 {
                     if let Some(out) = self.alpha_out {
                         ctx.store_f32(out, |l| {
@@ -229,9 +226,8 @@ impl FusedLaunch<'_> {
         cached: bool,
     ) -> LaneArr<f32> {
         if cached {
-            let bits: LaneArr<u32> = ctx.shared_load(|l| {
-                (l < chunk).then(|| chunk_start - row_start + l)
-            });
+            let bits: LaneArr<u32> =
+                ctx.shared_load(|l| (l < chunk).then(|| chunk_start - row_start + l));
             LaneArr::from_fn(|l| {
                 if l < chunk {
                     f32::from_bits(bits.get(l))
@@ -242,9 +238,7 @@ impl FusedLaunch<'_> {
         } else {
             let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
             ctx.use_loads();
-            let er_c = ctx.load_f32(self.er, |l| {
-                (l < chunk).then(|| cols_c.get(l) as usize)
-            });
+            let er_c = ctx.load_f32(self.er, |l| (l < chunk).then(|| cols_c.get(l) as usize));
             ctx.compute(2);
             LaneArr::from_fn(|l| {
                 if l < chunk {

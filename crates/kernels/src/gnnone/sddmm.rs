@@ -207,8 +207,7 @@ impl WarpKernel for SddmmLaunch<'_> {
                     if !group_active(g) || k >= f {
                         continue;
                     }
-                    reload[l] =
-                        !(reuse_possible && have_x[g] && prev_row[g] == rows_l.get(l));
+                    reload[l] = !(reuse_possible && have_x[g] && prev_row[g] == rows_l.get(l));
                 }
                 if reload.iter().any(|&b| b) {
                     let loaded = ctx.load_f32xw(vw, self.x, |l| {
@@ -227,8 +226,7 @@ impl WarpKernel for SddmmLaunch<'_> {
                 let yv = ctx.load_f32xw(vw, self.y, |l| {
                     let (g, t) = geo.split_lane(l);
                     let k = fbase + t * vw;
-                    (group_active(g) && k < f)
-                        .then(|| cols_l.get(l) as usize * f + k)
+                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
                 });
                 ctx.compute(vw as u64);
                 for l in 0..WARP_SIZE {
@@ -414,7 +412,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_ok() {
-        let g = Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(4, vec![]))));
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+            4,
+            vec![],
+        ))));
         let x = DeviceBuffer::from_slice(&[0.0f32; 4 * 8]);
         let dw = DeviceBuffer::<f32>::zeros(1);
         let r = GnnOneSddmm::new(g, GnnOneConfig::default())

@@ -266,8 +266,7 @@ impl WarpKernel for SpmmLaunch<'_> {
                 let xv = ctx.load_f32xw(vw, self.x, |l| {
                     let (g, t) = geo.split_lane(l);
                     let k = fbase + t * vw;
-                    (group_active(g) && k < f)
-                        .then(|| cols_l.get(l) as usize * f + k)
+                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
                 });
                 ctx.compute(vw as u64);
                 for l in 0..WARP_SIZE {
@@ -315,7 +314,9 @@ mod tests {
         let x: Vec<f32> = (0..g.coo.num_cols() * f)
             .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.25)
             .collect();
-        let w: Vec<f32> = (0..g.nnz()).map(|e| ((e * 13 % 7) as f32 - 3.0) * 0.5).collect();
+        let w: Vec<f32> = (0..g.nnz())
+            .map(|e| ((e * 13 % 7) as f32 - 3.0) * 0.5)
+            .collect();
         let dx = DeviceBuffer::from_slice(&x);
         let dw = DeviceBuffer::from_slice(&w);
         let dy = DeviceBuffer::<f32>::zeros(g.coo.num_rows() * f);

@@ -126,9 +126,8 @@ impl WarpKernel for SpmvLaunch<'_> {
                 if !active(l) {
                     return None;
                 }
-                let is_boundary = !active(l + 1)
-                    || l + 1 >= WARP_SIZE
-                    || rows.get(l + 1) != rows.get(l);
+                let is_boundary =
+                    !active(l + 1) || l + 1 >= WARP_SIZE || rows.get(l + 1) != rows.get(l);
                 is_boundary.then(|| (rows.get(l) as usize, scan.get(l)))
             });
         }

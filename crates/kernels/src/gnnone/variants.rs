@@ -96,17 +96,14 @@ impl WarpKernel for UAddVLaunch<'_> {
         // all: the variant's output is already edge-level).
         for off in (0..count).step_by(WARP_SIZE) {
             let active = |l: usize| off + l < count;
-            let r: gnnone_sim::LaneArr<u32> =
-                ctx.shared_load(|l| active(l).then(|| off + l));
+            let r: gnnone_sim::LaneArr<u32> = ctx.shared_load(|l| active(l).then(|| off + l));
             let c: gnnone_sim::LaneArr<u32> =
                 ctx.shared_load(|l| active(l).then(|| CACHE + off + l));
             let elv = ctx.load_f32(self.el, |l| active(l).then(|| r.get(l) as usize));
             let erv = ctx.load_f32(self.er, |l| active(l).then(|| c.get(l) as usize));
             ctx.compute(1);
             let sum = elv.zip_with(&erv, |a, b| a + b);
-            ctx.store_f32(self.w, |l| {
-                active(l).then(|| (base + off + l, sum.get(l)))
-            });
+            ctx.store_f32(self.w, |l| active(l).then(|| (base + off + l, sum.get(l))));
         }
     }
 }

@@ -97,12 +97,26 @@ mod tests {
         let sddmm: Vec<_> = sddmm_kernels(&g).iter().map(|k| k.name()).collect();
         assert_eq!(
             sddmm,
-            vec!["GnnOne", "dgSparse", "CuSparse", "Sputnik", "FeatGraph", "DGL"]
+            vec![
+                "GnnOne",
+                "dgSparse",
+                "CuSparse",
+                "Sputnik",
+                "FeatGraph",
+                "DGL"
+            ]
         );
         let spmm: Vec<_> = spmm_kernels(&g).iter().map(|k| k.name()).collect();
         assert_eq!(
             spmm,
-            vec!["GnnOne", "GE-SpMM", "CuSparse", "Huang et al.", "FeatGraph", "GNNAdvisor"]
+            vec![
+                "GnnOne",
+                "GE-SpMM",
+                "CuSparse",
+                "Huang et al.",
+                "FeatGraph",
+                "GNNAdvisor"
+            ]
         );
         let spmv: Vec<_> = spmv_kernels(&g).iter().map(|k| k.name()).collect();
         assert_eq!(spmv, vec!["GnnOne", "Merge-SpMV"]);

@@ -93,10 +93,7 @@ impl<T: Pod32> DeviceBuffer<T> {
 
     /// Allocates and copies from a host slice.
     pub fn from_slice(data: &[T]) -> Self {
-        let words: Box<[AtomicU32]> = data
-            .iter()
-            .map(|v| AtomicU32::new(v.to_bits32()))
-            .collect();
+        let words: Box<[AtomicU32]> = data.iter().map(|v| AtomicU32::new(v.to_bits32())).collect();
         Self {
             words,
             addr: alloc_addr((data.len() as u64) * 4),

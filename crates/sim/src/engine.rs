@@ -22,13 +22,17 @@
 //!
 //! Kernel time = max over SMs + a fixed launch overhead.
 
+use std::sync::{Arc, OnceLock};
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::kernel::{KernelResources, WarpKernel};
+use crate::metrics::MetricsRegistry;
 use crate::occupancy::{Limiter, Occupancy};
 use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
+use crate::trace::{CtaPlacement, TraceConfig, TraceSession, WarpSpan};
 use crate::warp::WarpCtx;
 
 /// Why a launch failed. Mirrors the real-world failures the paper reports
@@ -135,20 +139,84 @@ struct SmLoad {
 }
 
 /// The simulated GPU: owns a spec, launches kernels.
+///
+/// Observability attaches per-GPU: [`Gpu::enable_trace`] /
+/// [`Gpu::enable_metrics`] install a [`TraceSession`] /
+/// [`MetricsRegistry`] that every subsequent launch records into. Both
+/// slots are set-once (`&self`, no locking on the launch path) and shared
+/// by clones, so code holding an `Rc<Gpu>` or a clone observes the same
+/// session. An unattached GPU pays one atomic load per launch.
 #[derive(Debug, Clone)]
 pub struct Gpu {
     spec: GpuSpec,
+    trace: OnceLock<Arc<TraceSession>>,
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Gpu {
     /// Creates a GPU from a hardware spec.
     pub fn new(spec: GpuSpec) -> Self {
-        Self { spec }
+        Self {
+            spec,
+            trace: OnceLock::new(),
+            metrics: OnceLock::new(),
+        }
     }
 
     /// The hardware spec.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Installs a fresh [`TraceSession`] with `config` and returns it.
+    /// If a session is already attached, that one is returned instead
+    /// (the slot is set-once).
+    pub fn enable_trace(&self, config: TraceConfig) -> Arc<TraceSession> {
+        self.trace
+            .get_or_init(|| {
+                Arc::new(TraceSession::new(
+                    config,
+                    &self.spec.name,
+                    self.spec.clock_ghz,
+                ))
+            })
+            .clone()
+    }
+
+    /// Attaches an existing session (e.g. one shared with another GPU so
+    /// both record onto one timeline). Returns `false` if a session was
+    /// already attached (the existing one stays).
+    pub fn attach_trace(&self, session: Arc<TraceSession>) -> bool {
+        self.trace.set(session).is_ok()
+    }
+
+    /// The attached trace session, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceSession>> {
+        self.trace.get()
+    }
+
+    /// Installs a fresh [`MetricsRegistry`] and returns it; returns the
+    /// existing one if already attached.
+    pub fn enable_metrics(&self) -> Arc<MetricsRegistry> {
+        self.metrics
+            .get_or_init(|| {
+                let registry = MetricsRegistry::new();
+                registry.set_device(&self.spec.name, self.spec.clock_ghz);
+                Arc::new(registry)
+            })
+            .clone()
+    }
+
+    /// Attaches an existing registry. Returns `false` if one was already
+    /// attached (the existing one stays).
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) -> bool {
+        registry.set_device(&self.spec.name, self.spec.clock_ghz);
+        self.metrics.set(registry).is_ok()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.get()
     }
 
     /// Launches `kernel`, panicking on configuration errors. Use
@@ -184,13 +252,23 @@ impl Gpu {
         let timing = self.spec.timing;
         let shared_per_warp = res.shared_bytes_per_warp();
 
+        // Tracing gates, resolved once per launch. When no session is
+        // attached this is a single atomic load and all flags are false.
+        let trace = self.trace.get().filter(|t| t.is_enabled());
+        let want_ctas = trace.is_some_and(|t| t.config().cta_spans);
+        let want_warps = trace.is_some_and(|t| t.config().warp_spans);
+
         // Execute every CTA (warps within a CTA run back to back; CTAs in
-        // parallel on the host — they are independent).
-        let (costs, stats) = (0..num_ctas)
+        // parallel on the host — they are independent). The fold/reduce
+        // combines in encounter order (rayon's indexed-reduce guarantee),
+        // so CTA cost order — and therefore any trace built from it — is
+        // deterministic.
+        let (costs, warp_details, stats) = (0..num_ctas)
             .into_par_iter()
             .map(|cta| {
                 let mut cost = CtaCost::default();
                 let mut stats = KernelStats::default();
+                let mut warps = Vec::new();
                 for w in 0..warps_per_cta {
                     let warp_id = cta * warps_per_cta + w;
                     if warp_id >= grid_warps {
@@ -201,32 +279,48 @@ impl Gpu {
                     let ws = ctx.finish();
                     cost.solo_cycles += ws.solo_cycles;
                     cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
-                    cost.traffic_bytes += (ws.read_sectors + ws.write_sectors)
-                        * crate::coalesce::SECTOR_BYTES;
+                    cost.traffic_bytes +=
+                        (ws.read_sectors + ws.write_sectors) * crate::coalesce::SECTOR_BYTES;
                     cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
+                    if want_warps {
+                        warps.push(WarpSpan {
+                            solo_cycles: ws.solo_cycles,
+                            mem_stall_cycles: ws.mem_stall_cycles,
+                        });
+                    }
                     stats.absorb_warp(&ws);
                 }
-                (cost, stats)
+                (cost, warps, stats)
             })
             .fold(
-                || (Vec::<CtaCost>::new(), KernelStats::default()),
-                |(mut costs, mut acc), (cost, stats)| {
+                || {
+                    (
+                        Vec::<CtaCost>::new(),
+                        Vec::<Vec<WarpSpan>>::new(),
+                        KernelStats::default(),
+                    )
+                },
+                |(mut costs, mut details, mut acc), (cost, warps, stats)| {
                     costs.push(cost);
+                    if want_warps {
+                        details.push(warps);
+                    }
                     acc.merge(&stats);
-                    (costs, acc)
+                    (costs, details, acc)
                 },
             )
             .reduce(
-                || (Vec::new(), KernelStats::default()),
-                |(mut a, mut sa), (b, sb)| {
+                || (Vec::new(), Vec::new(), KernelStats::default()),
+                |(mut a, mut da, mut sa), (b, db, sb)| {
                     a.extend(b);
+                    da.extend(db);
                     sa.merge(&sb);
-                    (a, sa)
+                    (a, da, sa)
                 },
             );
 
-        let (cycles, bound) = self.schedule(&costs, &occ);
-        Ok(KernelReport {
+        let (cycles, bound, placements) = self.schedule(&costs, &occ, want_ctas);
+        let report = KernelReport {
             name: kernel.name().to_string(),
             cycles,
             time_ms: self.spec.cycles_to_ms(cycles),
@@ -235,11 +329,21 @@ impl Gpu {
             occupancy: occ.fraction(&self.spec),
             bound,
             stats,
-        })
+        };
+        if let Some(session) = trace {
+            let busy = cycles.saturating_sub(self.spec.timing.kernel_launch_overhead_cycles);
+            session.record_launch(&report, busy, &placements, &warp_details);
+        }
+        if let Some(registry) = self.metrics.get() {
+            registry.record(&report);
+        }
+        Ok(report)
     }
 
     fn validate(&self, res: &KernelResources) -> Result<(), LaunchError> {
-        if res.threads_per_cta == 0 || !res.threads_per_cta.is_multiple_of(32) || res.threads_per_cta > 1024
+        if res.threads_per_cta == 0
+            || !res.threads_per_cta.is_multiple_of(32)
+            || res.threads_per_cta > 1024
         {
             return Err(LaunchError::Unlaunchable {
                 reason: format!(
@@ -251,16 +355,32 @@ impl Gpu {
         Ok(())
     }
 
-    /// Greedy dynamic CTA scheduling + per-SM time model.
-    fn schedule(&self, costs: &[CtaCost], occ: &Occupancy) -> (u64, Bound) {
+    /// Greedy dynamic CTA scheduling + per-SM time model. When
+    /// `want_placements` is set, also returns each CTA's (SM, start, dur)
+    /// in solo-cycle space for the trace recorder — the heap's popped load
+    /// *is* the CTA's start offset on that SM.
+    fn schedule(
+        &self,
+        costs: &[CtaCost],
+        occ: &Occupancy,
+        want_placements: bool,
+    ) -> (u64, Bound, Vec<CtaPlacement>) {
         let num_sms = self.spec.num_sms;
         let mut sms = vec![SmLoad::default(); num_sms];
+        let mut placements = Vec::with_capacity(if want_placements { costs.len() } else { 0 });
         // Assign each CTA (in launch order) to the least-loaded SM, like the
         // hardware's dynamic work distributor.
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
             (0..num_sms).map(|i| std::cmp::Reverse((0u64, i))).collect();
         for cost in costs {
             let std::cmp::Reverse((load, sm)) = heap.pop().expect("heap has num_sms entries");
+            if want_placements {
+                placements.push(CtaPlacement {
+                    sm,
+                    start_cycles: load,
+                    dur_cycles: cost.solo_cycles,
+                });
+            }
             let s = &mut sms[sm];
             s.solo_cycles += cost.solo_cycles;
             s.work_cycles += cost.work_cycles;
@@ -276,8 +396,7 @@ impl Gpu {
         let max_warps = (self.spec.max_threads_per_sm / 32).max(1) as f64;
         let occ_fraction = occ.warps_per_sm as f64 / max_warps;
         let cap = self.spec.timing.latency_hiding_warps.max(1) as f64;
-        let warps = ((cap * occ_fraction).ceil() as u64)
-            .clamp(1, occ.warps_per_sm.max(1) as u64);
+        let warps = ((cap * occ_fraction).ceil() as u64).clamp(1, occ.warps_per_sm.max(1) as u64);
         let issue_width = self.spec.timing.issue_width_per_sm.max(1);
         let bpc = self.spec.bytes_per_cycle_per_sm();
         // An SM may burst past its fair DRAM share through the L2 when
@@ -321,6 +440,7 @@ impl Gpu {
         (
             worst + self.spec.timing.kernel_launch_overhead_cycles,
             bound,
+            placements,
         )
     }
 }

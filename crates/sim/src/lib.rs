@@ -70,23 +70,40 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+//! ## Observability
+//!
+//! Launches can be recorded without touching kernel code: attach a
+//! [`trace::TraceSession`] (Chrome-trace timeline of kernel launches, CTA
+//! placements, and optional warp spans) and/or a
+//! [`metrics::MetricsRegistry`] (per-kernel counter rollups with derived
+//! metrics) to a [`Gpu`] via [`Gpu::enable_trace`] /
+//! [`Gpu::enable_metrics`]. Both are zero-cost when not attached. See
+//! `docs/PROFILING.md` at the workspace root for every counter's
+//! definition and its Nsight Compute analogue.
+
+#![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
 
 pub mod buffer;
 pub mod coalesce;
 pub mod engine;
+pub mod jsonio;
 pub mod kernel;
 pub mod lanes;
+pub mod metrics;
 pub mod occupancy;
 pub mod spec;
 pub mod stats;
+pub mod trace;
 pub mod warp;
 
 pub use buffer::{DeviceBuffer, Pod32};
 pub use engine::{Gpu, KernelReport};
 pub use kernel::{KernelResources, WarpKernel};
 pub use lanes::{LaneArr, WARP_SIZE};
+pub use metrics::{KernelMetrics, MetricsRegistry, MetricsSnapshot};
 pub use occupancy::Occupancy;
 pub use spec::{GpuSpec, TimingParams};
-pub use stats::KernelStats;
+pub use stats::{KernelStats, WarpStats};
+pub use trace::{TraceConfig, TraceEvent, TraceSession};
 pub use warp::WarpCtx;

@@ -1,0 +1,606 @@
+//! Cross-launch metrics: per-kernel rollups of [`KernelStats`] with the
+//! derived quantities the paper's figures are built from.
+//!
+//! A [`MetricsRegistry`] attaches to a [`crate::Gpu`] (see
+//! [`crate::Gpu::enable_metrics`]) and accumulates every launch into one
+//! [`KernelMetrics`] entry per kernel name. A [`MetricsSnapshot`] is the
+//! serializable export — written by figure binaries via `--metrics <path>`
+//! and read back by `gnnone-prof` for summaries and A-vs-B diffs.
+//!
+//! Snapshots serialize two ways: through serde (the types derive
+//! `Serialize`/`Deserialize` like the rest of the workspace) and through
+//! the dependency-free [`crate::jsonio`] writer/parser, which is what the
+//! `--metrics` flag and `gnnone-prof` use.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Bound, KernelReport};
+use crate::jsonio::{self, Json};
+use crate::stats::KernelStats;
+
+/// All launches of one kernel name, rolled up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Kernel name (the [`crate::WarpKernel::name`] of the launches).
+    pub name: String,
+    /// Number of launches recorded.
+    pub launches: u64,
+    /// Total kernel cycles across launches (incl. launch overhead).
+    pub cycles: u64,
+    /// Total kernel time in milliseconds.
+    pub time_ms: f64,
+    /// Total CTAs launched.
+    pub ctas: u64,
+    /// Counters summed across launches ([`KernelStats::merge`] semantics:
+    /// `max_warp_cycles` is the max over launches).
+    pub stats: KernelStats,
+    /// Launches whose critical SM was latency-bound.
+    pub bound_latency: u64,
+    /// Launches whose critical SM was issue-bound.
+    pub bound_issue: u64,
+    /// Launches whose critical SM was bandwidth-bound.
+    pub bound_bandwidth: u64,
+    /// Launches whose critical SM was straggler-bound.
+    pub bound_straggler: u64,
+    /// Sum of per-launch fractional occupancy (divide by `launches`).
+    pub occupancy_sum: f64,
+    /// Smallest per-launch occupancy seen.
+    pub min_occupancy: f64,
+    /// Largest per-launch occupancy seen.
+    pub max_occupancy: f64,
+}
+
+impl KernelMetrics {
+    fn new(name: &str) -> Self {
+        KernelMetrics {
+            name: name.to_string(),
+            launches: 0,
+            cycles: 0,
+            time_ms: 0.0,
+            ctas: 0,
+            stats: KernelStats::default(),
+            bound_latency: 0,
+            bound_issue: 0,
+            bound_bandwidth: 0,
+            bound_straggler: 0,
+            occupancy_sum: 0.0,
+            min_occupancy: f64::INFINITY,
+            max_occupancy: 0.0,
+        }
+    }
+
+    /// Folds one launch report into the rollup.
+    pub fn record(&mut self, report: &KernelReport) {
+        self.launches += 1;
+        self.cycles += report.cycles;
+        self.time_ms += report.time_ms;
+        self.ctas += report.ctas;
+        self.stats.merge(&report.stats);
+        match report.bound {
+            Bound::Latency => self.bound_latency += 1,
+            Bound::Issue => self.bound_issue += 1,
+            Bound::Bandwidth => self.bound_bandwidth += 1,
+            Bound::Straggler => self.bound_straggler += 1,
+        }
+        self.occupancy_sum += report.occupancy;
+        self.min_occupancy = self.min_occupancy.min(report.occupancy);
+        self.max_occupancy = self.max_occupancy.max(report.occupancy);
+    }
+
+    /// Merges another rollup of the same kernel (used when combining
+    /// registries; associative like [`KernelStats::merge`]).
+    pub fn merge(&mut self, other: &KernelMetrics) {
+        self.launches += other.launches;
+        self.cycles += other.cycles;
+        self.time_ms += other.time_ms;
+        self.ctas += other.ctas;
+        self.stats.merge(&other.stats);
+        self.bound_latency += other.bound_latency;
+        self.bound_issue += other.bound_issue;
+        self.bound_bandwidth += other.bound_bandwidth;
+        self.bound_straggler += other.bound_straggler;
+        self.occupancy_sum += other.occupancy_sum;
+        self.min_occupancy = self.min_occupancy.min(other.min_occupancy);
+        self.max_occupancy = self.max_occupancy.max(other.max_occupancy);
+    }
+
+    /// Achieved DRAM bandwidth in GB/s: total traffic over total kernel
+    /// time. Compare against the spec's `dram_bandwidth_gbs` to see how
+    /// close the kernel runs to the roofline.
+    pub fn achieved_bandwidth_gbs(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.stats.read_bytes + self.stats.write_bytes) as f64 / 1e9 / (self.time_ms / 1e3)
+    }
+
+    /// Sector efficiency: useful bytes over transferred bytes on the read
+    /// path (1.0 = perfectly coalesced). Same as
+    /// [`KernelStats::coalescing_efficiency`].
+    pub fn sector_efficiency(&self) -> f64 {
+        self.stats.coalescing_efficiency()
+    }
+
+    /// Fraction of warp time stalled on memory.
+    pub fn stall_fraction(&self) -> f64 {
+        self.stats.mem_stall_fraction()
+    }
+
+    /// Extra serialization steps per atomic instruction (0 = conflict-free).
+    pub fn atomic_conflict_rate(&self) -> f64 {
+        if self.stats.atomics == 0 {
+            0.0
+        } else {
+            self.stats.atomic_conflicts as f64 / self.stats.atomics as f64
+        }
+    }
+
+    /// Mean fractional occupancy across launches.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum / self.launches as f64
+        }
+    }
+
+    /// Serializes to a [`Json`] object (raw fields plus a `derived` block
+    /// for human readers; parsing uses only the raw fields).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("launches", Json::U64(self.launches)),
+            ("cycles", Json::U64(self.cycles)),
+            ("time_ms", Json::F64(self.time_ms)),
+            ("ctas", Json::U64(self.ctas)),
+            ("stats", stats_to_json(&self.stats)),
+            ("bound_latency", Json::U64(self.bound_latency)),
+            ("bound_issue", Json::U64(self.bound_issue)),
+            ("bound_bandwidth", Json::U64(self.bound_bandwidth)),
+            ("bound_straggler", Json::U64(self.bound_straggler)),
+            ("occupancy_sum", Json::F64(self.occupancy_sum)),
+            (
+                "min_occupancy",
+                Json::F64(if self.min_occupancy.is_finite() {
+                    self.min_occupancy
+                } else {
+                    0.0
+                }),
+            ),
+            ("max_occupancy", Json::F64(self.max_occupancy)),
+            (
+                "derived",
+                Json::obj(vec![
+                    (
+                        "achieved_bandwidth_gbs",
+                        Json::F64(self.achieved_bandwidth_gbs()),
+                    ),
+                    ("sector_efficiency", Json::F64(self.sector_efficiency())),
+                    ("stall_fraction", Json::F64(self.stall_fraction())),
+                    (
+                        "atomic_conflict_rate",
+                        Json::F64(self.atomic_conflict_rate()),
+                    ),
+                    ("avg_occupancy", Json::F64(self.avg_occupancy())),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a value produced by [`KernelMetrics::to_json`].
+    pub fn from_json(v: &Json) -> Result<KernelMetrics, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("kernel entry missing 'name'")?;
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let f = |k: &str| v.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        Ok(KernelMetrics {
+            name: name.to_string(),
+            launches: u("launches"),
+            cycles: u("cycles"),
+            time_ms: f("time_ms"),
+            ctas: u("ctas"),
+            stats: v.get("stats").map(stats_from_json).unwrap_or_default(),
+            bound_latency: u("bound_latency"),
+            bound_issue: u("bound_issue"),
+            bound_bandwidth: u("bound_bandwidth"),
+            bound_straggler: u("bound_straggler"),
+            occupancy_sum: f("occupancy_sum"),
+            min_occupancy: f("min_occupancy"),
+            max_occupancy: f("max_occupancy"),
+        })
+    }
+}
+
+fn stats_to_json(s: &KernelStats) -> Json {
+    Json::obj(vec![
+        ("warps", Json::U64(s.warps)),
+        ("loads", Json::U64(s.loads)),
+        ("read_bytes", Json::U64(s.read_bytes)),
+        ("read_useful_bytes", Json::U64(s.read_useful_bytes)),
+        ("write_bytes", Json::U64(s.write_bytes)),
+        ("shared_accesses", Json::U64(s.shared_accesses)),
+        ("barriers", Json::U64(s.barriers)),
+        ("shfl_rounds", Json::U64(s.shfl_rounds)),
+        ("atomics", Json::U64(s.atomics)),
+        ("atomic_conflicts", Json::U64(s.atomic_conflicts)),
+        ("compute_instr", Json::U64(s.compute_instr)),
+        ("total_solo_cycles", Json::U64(s.total_solo_cycles)),
+        ("max_warp_cycles", Json::U64(s.max_warp_cycles)),
+        (
+            "total_mem_stall_cycles",
+            Json::U64(s.total_mem_stall_cycles),
+        ),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> KernelStats {
+    let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+    KernelStats {
+        warps: u("warps"),
+        loads: u("loads"),
+        read_bytes: u("read_bytes"),
+        read_useful_bytes: u("read_useful_bytes"),
+        write_bytes: u("write_bytes"),
+        shared_accesses: u("shared_accesses"),
+        barriers: u("barriers"),
+        shfl_rounds: u("shfl_rounds"),
+        atomics: u("atomics"),
+        atomic_conflicts: u("atomic_conflicts"),
+        compute_instr: u("compute_instr"),
+        total_solo_cycles: u("total_solo_cycles"),
+        max_warp_cycles: u("max_warp_cycles"),
+        total_mem_stall_cycles: u("total_mem_stall_cycles"),
+    }
+}
+
+/// A serializable point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Device name the metrics were collected on (spec name).
+    pub device: String,
+    /// Device clock in GHz, for cycle↔time conversions downstream.
+    pub clock_ghz: f64,
+    /// Per-kernel rollups, sorted by kernel name.
+    pub kernels: Vec<KernelMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes via [`crate::jsonio`].
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("clock_ghz", Json::F64(self.clock_ghz)),
+            (
+                "kernels",
+                Json::Arr(self.kernels.iter().map(KernelMetrics::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a document produced by [`MetricsSnapshot::to_json`].
+    pub fn from_json_str(text: &str) -> Result<MetricsSnapshot, String> {
+        let v = jsonio::parse(text).map_err(|e| e.to_string())?;
+        let kernels = v
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("metrics snapshot missing 'kernels' array")?
+            .iter()
+            .map(KernelMetrics::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MetricsSnapshot {
+            device: v
+                .get("device")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            clock_ghz: v.get("clock_ghz").and_then(Json::as_f64).unwrap_or(1.0),
+            kernels,
+        })
+    }
+
+    /// Looks up a kernel rollup by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelMetrics> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Writes the snapshot as pretty JSON to `path` (parent directories
+    /// created).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let p = std::path::Path::new(path);
+        if let Some(dir) = p.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(p, self.to_json().to_string_pretty())
+    }
+}
+
+/// Thread-safe accumulator of per-kernel metrics across launches.
+///
+/// # Examples
+///
+/// ```
+/// use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec};
+/// use gnnone_sim::{KernelResources, WarpCtx, WarpKernel};
+///
+/// struct Touch<'a>(&'a DeviceBuffer<f32>);
+/// impl WarpKernel for Touch<'_> {
+///     fn resources(&self) -> KernelResources {
+///         KernelResources { threads_per_cta: 32, regs_per_thread: 16, shared_bytes_per_cta: 0 }
+///     }
+///     fn grid_warps(&self) -> usize { 2 }
+///     fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+///         ctx.load_f32(self.0, |lane| Some(lane));
+///     }
+///     fn name(&self) -> &str { "touch" }
+/// }
+///
+/// let gpu = Gpu::new(GpuSpec::tiny());
+/// let registry = gpu.enable_metrics();
+/// let buf = DeviceBuffer::zeros(64);
+/// gpu.launch(&Touch(&buf));
+/// gpu.launch(&Touch(&buf));
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.kernel("touch").unwrap().launches, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    device: Mutex<Option<(String, f64)>>,
+    kernels: Mutex<BTreeMap<String, KernelMetrics>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the device identity (first caller wins; a registry shared
+    /// between two same-spec GPUs keeps the first attachment's identity).
+    pub fn set_device(&self, name: &str, clock_ghz: f64) {
+        let mut device = self.device.lock().expect("metrics lock");
+        if device.is_none() {
+            *device = Some((name.to_string(), clock_ghz));
+        }
+    }
+
+    /// Folds one launch report into the per-kernel rollup.
+    pub fn record(&self, report: &KernelReport) {
+        let mut kernels = self.kernels.lock().expect("metrics lock");
+        kernels
+            .entry(report.name.clone())
+            .or_insert_with(|| KernelMetrics::new(&report.name))
+            .record(report);
+    }
+
+    /// Number of distinct kernel names recorded.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.lock().expect("metrics lock").len()
+    }
+
+    /// A serializable snapshot (kernels sorted by name).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let device = self.device.lock().expect("metrics lock");
+        let (device, clock_ghz) = device
+            .clone()
+            .unwrap_or_else(|| ("unknown".to_string(), 1.0));
+        let kernels = self.kernels.lock().expect("metrics lock");
+        MetricsSnapshot {
+            device,
+            clock_ghz,
+            kernels: kernels.values().cloned().collect(),
+        }
+    }
+
+    /// Drops all recorded kernels (device identity is kept).
+    pub fn clear(&self) {
+        self.kernels.lock().expect("metrics lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+    use crate::engine::Gpu;
+    use crate::kernel::{KernelResources, WarpKernel};
+    use crate::spec::GpuSpec;
+    use crate::warp::WarpCtx;
+
+    struct Touch<'a> {
+        buf: &'a DeviceBuffer<f32>,
+        warps: usize,
+        name: &'static str,
+    }
+
+    impl WarpKernel for Touch<'_> {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 32,
+                regs_per_thread: 16,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            self.warps
+        }
+        fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+            let n = self.buf.len();
+            ctx.load_f32(self.buf, |lane| Some((warp_id * 7 + lane * 2) % n));
+        }
+        fn name(&self) -> &str {
+            self.name
+        }
+    }
+
+    fn sample_report(k: u64) -> KernelReport {
+        let mut stats = KernelStats::default();
+        stats.absorb_warp(&crate::WarpStats {
+            loads: k,
+            read_sectors: 4 * k,
+            read_useful_bytes: 100 * k,
+            atomics: k,
+            atomic_conflicts: k / 2,
+            solo_cycles: 1000 * k,
+            mem_stall_cycles: 400 * k,
+            ..Default::default()
+        });
+        KernelReport {
+            name: "sample".to_string(),
+            cycles: 10_000 * k,
+            // Dyadic step so sums are exact and merge order cannot perturb
+            // the float fields this test compares with `==`.
+            time_ms: 0.25 * k as f64,
+            ctas: k,
+            warps_per_sm: 8,
+            occupancy: 0.25 * (1 + k % 3) as f64,
+            bound: match k % 3 {
+                0 => Bound::Latency,
+                1 => Bound::Bandwidth,
+                _ => Bound::Straggler,
+            },
+            stats,
+        }
+    }
+
+    #[test]
+    fn registry_rolls_up_by_kernel_name() {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let registry = gpu.enable_metrics();
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        gpu.launch(&Touch {
+            buf: &buf,
+            warps: 8,
+            name: "alpha",
+        });
+        gpu.launch(&Touch {
+            buf: &buf,
+            warps: 8,
+            name: "alpha",
+        });
+        gpu.launch(&Touch {
+            buf: &buf,
+            warps: 4,
+            name: "beta",
+        });
+        assert_eq!(registry.kernel_count(), 2);
+        let snap = registry.snapshot();
+        // Sorted by name for deterministic output.
+        assert_eq!(snap.kernels[0].name, "alpha");
+        assert_eq!(snap.kernels[1].name, "beta");
+        assert_eq!(snap.kernels[0].launches, 2);
+        assert_eq!(snap.kernel("beta").unwrap().launches, 1);
+        assert_eq!(snap.kernels[0].stats.warps, 16);
+        registry.clear();
+        assert_eq!(registry.kernel_count(), 0);
+    }
+
+    #[test]
+    fn record_tracks_bounds_and_occupancy_extrema() {
+        let mut m = KernelMetrics::new("sample");
+        for k in 1..=6 {
+            m.record(&sample_report(k));
+        }
+        assert_eq!(m.launches, 6);
+        assert_eq!(m.bound_latency, 2);
+        assert_eq!(m.bound_bandwidth, 2);
+        assert_eq!(m.bound_straggler, 2);
+        assert_eq!(m.bound_issue, 0);
+        assert!((m.min_occupancy - 0.25).abs() < 1e-12);
+        assert!((m.max_occupancy - 0.75).abs() < 1e-12);
+        assert!((m.avg_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_metrics_match_formulas() {
+        let mut m = KernelMetrics::new("sample");
+        m.record(&sample_report(4));
+        let bytes = (m.stats.read_bytes + m.stats.write_bytes) as f64;
+        assert!((m.achieved_bandwidth_gbs() - bytes / 1e9 / (m.time_ms / 1e3)).abs() < 1e-9);
+        assert!((m.sector_efficiency() - 400.0 / (16.0 * 32.0)).abs() < 1e-12);
+        assert!((m.stall_fraction() - 0.4).abs() < 1e-12);
+        assert!((m.atomic_conflict_rate() - 0.5).abs() < 1e-12);
+        let empty = KernelMetrics::new("empty");
+        assert_eq!(empty.achieved_bandwidth_gbs(), 0.0);
+        assert_eq!(empty.atomic_conflict_rate(), 0.0);
+        assert_eq!(empty.avg_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |ks: &[u64]| {
+            let mut m = KernelMetrics::new("sample");
+            for &k in ks {
+                m.record(&sample_report(k));
+            }
+            m
+        };
+        let (a, b, c) = (mk(&[1, 2]), mk(&[3]), mk(&[4, 5]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Merging partials equals recording everything into one rollup.
+        assert_eq!(left, mk(&[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let registry = gpu.enable_metrics();
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        gpu.launch(&Touch {
+            buf: &buf,
+            warps: 8,
+            name: "alpha",
+        });
+        gpu.launch(&Touch {
+            buf: &buf,
+            warps: 4,
+            name: "beta",
+        });
+        let snap = registry.snapshot();
+        let text = snap.to_json().to_string_pretty();
+        let back = MetricsSnapshot::from_json_str(&text).expect("snapshot parses back");
+        assert_eq!(snap, back);
+        // A rollup that never launched keeps min_occupancy readable.
+        let empty = MetricsSnapshot {
+            device: "dev".to_string(),
+            clock_ghz: 1.0,
+            kernels: vec![KernelMetrics::new("idle")],
+        };
+        let back = MetricsSnapshot::from_json_str(&empty.to_json().to_string_compact()).unwrap();
+        assert_eq!(back.kernels[0].launches, 0);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(MetricsSnapshot::from_json_str("not json").is_err());
+        assert!(MetricsSnapshot::from_json_str("{}").is_err());
+        assert!(MetricsSnapshot::from_json_str(r#"{"device":"d","clock_ghz":1.0}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_registry_is_shared_by_clones() {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let registry = gpu.enable_metrics();
+        let clone = gpu.clone();
+        let buf = DeviceBuffer::<f32>::zeros(1024);
+        clone.launch(&Touch {
+            buf: &buf,
+            warps: 8,
+            name: "alpha",
+        });
+        assert_eq!(registry.kernel_count(), 1);
+    }
+}

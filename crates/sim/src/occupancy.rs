@@ -48,11 +48,10 @@ impl Occupancy {
         let by_threads = spec.max_threads_per_sm / threads;
         let by_slots = spec.max_ctas_per_sm;
         let by_regs = spec.regs_per_sm / (regs * threads);
-        let by_shared = if res.shared_bytes_per_cta == 0 {
-            usize::MAX
-        } else {
-            spec.shared_mem_per_sm / res.shared_bytes_per_cta
-        };
+        let by_shared = spec
+            .shared_mem_per_sm
+            .checked_div(res.shared_bytes_per_cta)
+            .unwrap_or(usize::MAX);
 
         let ctas = by_threads.min(by_slots).min(by_regs).min(by_shared);
         if ctas == 0 || res.shared_bytes_per_cta > spec.shared_mem_per_cta {

@@ -193,6 +193,86 @@ mod tests {
         assert_eq!(ks.mem_stall_fraction(), 0.0);
     }
 
+    fn sample_warp(k: u64) -> WarpStats {
+        WarpStats {
+            loads: k,
+            read_sectors: 3 * k + 1,
+            read_useful_bytes: 17 * k,
+            stores: k / 2,
+            write_sectors: k / 3,
+            shared_accesses: 5 * k,
+            barriers: k % 7,
+            shfl_rounds: k % 5,
+            atomics: k % 3,
+            atomic_conflicts: k % 2,
+            compute_instr: 11 * k,
+            solo_cycles: 100 * k + 13,
+            mem_stall_cycles: 40 * k,
+        }
+    }
+
+    fn sample_kernel(k: u64) -> KernelStats {
+        let mut ks = KernelStats::default();
+        ks.absorb_warp(&sample_warp(k));
+        ks.absorb_warp(&sample_warp(k + 3));
+        ks
+    }
+
+    #[test]
+    fn warp_merge_is_associative() {
+        let (a, b, c) = (sample_warp(2), sample_warp(9), sample_warp(31));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn kernel_merge_is_associative_and_commutative() {
+        let (a, b, c) = (sample_kernel(1), sample_kernel(4), sample_kernel(7));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Commutativity: the rayon reduce may pair partials in any
+        // grouping; order of merge must not matter either.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn rollup_equals_direct_absorb() {
+        // Absorbing warps one by one equals absorbing into partials and
+        // merging the partials — the invariant the parallel CTA reduce
+        // relies on.
+        let warps: Vec<WarpStats> = (0..10).map(sample_warp).collect();
+        let mut direct = KernelStats::default();
+        for w in &warps {
+            direct.absorb_warp(w);
+        }
+        let mut left = KernelStats::default();
+        for w in &warps[..4] {
+            left.absorb_warp(w);
+        }
+        let mut right = KernelStats::default();
+        for w in &warps[4..] {
+            right.absorb_warp(w);
+        }
+        left.merge(&right);
+        assert_eq!(direct, left);
+    }
+
     #[test]
     fn warp_stats_merge() {
         let mut a = WarpStats {

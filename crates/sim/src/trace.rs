@@ -1,0 +1,682 @@
+//! Structured execution tracing with Chrome-trace export.
+//!
+//! A [`TraceSession`] records what the simulated device did — kernel
+//! launches, CTA placements on SMs, optionally per-warp execution spans —
+//! on a single monotonically advancing device timeline. The recorded
+//! events export in Chrome trace-event format, loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev): the kernel
+//! track (tid 0) shows every launch and host-charged dense op back to
+//! back, and one track per SM shows how CTAs were placed by the greedy
+//! scheduler.
+//!
+//! Tracing is strictly opt-in and zero-cost when off: an unattached
+//! [`crate::Gpu`] pays one relaxed atomic load per launch, and a session
+//! whose config is [`TraceConfig::off`] returns before taking any lock.
+//!
+//! ## Timeline semantics
+//!
+//! The simulator executes kernels functionally, not cycle by cycle, so the
+//! trace is a *reconstruction*: spans are placed using the same quantities
+//! the time model computed. Kernel spans have exactly the reported kernel
+//! duration. CTA spans preserve launch order, relative cost, and SM
+//! assignment; each SM's CTA sequence is scaled to fit inside the kernel's
+//! busy window (CTA solo-cycle sums exceed wall time because resident
+//! warps interleave), so spans on one SM are monotone and non-overlapping
+//! by construction. Warp spans subdivide their CTA span proportionally to
+//! per-warp solo cycles.
+
+use std::sync::Mutex;
+
+use crate::engine::KernelReport;
+use crate::jsonio::Json;
+
+/// What a [`TraceSession`] records.
+///
+/// # Examples
+///
+/// ```
+/// use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec, TraceConfig};
+/// use gnnone_sim::{KernelResources, WarpCtx, WarpKernel};
+///
+/// struct Touch<'a>(&'a DeviceBuffer<f32>);
+/// impl WarpKernel for Touch<'_> {
+///     fn resources(&self) -> KernelResources {
+///         KernelResources { threads_per_cta: 32, regs_per_thread: 16, shared_bytes_per_cta: 0 }
+///     }
+///     fn grid_warps(&self) -> usize { 4 }
+///     fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+///         ctx.load_f32(self.0, |lane| Some(lane));
+///     }
+/// }
+///
+/// let gpu = Gpu::new(GpuSpec::tiny());
+/// let session = gpu.enable_trace(TraceConfig::on());
+/// let buf = DeviceBuffer::zeros(64);
+/// gpu.launch(&Touch(&buf));
+/// let trace = session.to_chrome_trace();
+/// let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+/// // Metadata + one kernel span + CTA placement spans.
+/// assert!(events.len() > 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; `false` makes every record call a no-op.
+    pub enabled: bool,
+    /// Record one span per CTA on its SM's track.
+    pub cta_spans: bool,
+    /// Subdivide each recorded CTA span into per-warp spans with a
+    /// stall/issue breakdown. Implies collecting per-warp timings during
+    /// execution, which costs memory proportional to the grid.
+    pub warp_spans: bool,
+    /// At most this many CTA spans per launch (`0` = unlimited). Keeps
+    /// traces of million-CTA sweeps loadable.
+    pub max_ctas_per_launch: usize,
+}
+
+impl TraceConfig {
+    /// Tracing disabled; every record call is a no-op.
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            cta_spans: false,
+            warp_spans: false,
+            max_ctas_per_launch: 0,
+        }
+    }
+
+    /// Kernel spans plus CTA placement spans, capped at 4096 CTAs per
+    /// launch — the right default for figure binaries.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            cta_spans: true,
+            warp_spans: false,
+            max_ctas_per_launch: 4096,
+        }
+    }
+
+    /// Everything, uncapped: kernel, CTA, and per-warp spans. Traces get
+    /// large; intended for single-kernel investigations.
+    pub fn full() -> Self {
+        TraceConfig {
+            enabled: true,
+            cta_spans: true,
+            warp_spans: true,
+            max_ctas_per_launch: 0,
+        }
+    }
+}
+
+/// One recorded span on the device timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span label (kernel name, `cta N`, `warp N.W`, dense-op name).
+    pub name: String,
+    /// Chrome-trace category: `"kernel"`, `"cta"`, `"warp"`, `"host"`, or
+    /// `"marker"` (zero-duration annotations such as epoch boundaries).
+    pub cat: &'static str,
+    /// Track id: 0 is the kernel/host track, SM `i` is track `i + 1`.
+    pub tid: u32,
+    /// Start, in microseconds of simulated device time.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Span arguments shown in the trace viewer's detail pane.
+    pub args: Vec<(String, Json)>,
+}
+
+/// Per-CTA placement computed by the SM scheduler, in solo-cycle space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtaPlacement {
+    /// SM the CTA ran on.
+    pub sm: usize,
+    /// The SM's accumulated load when this CTA started (its start offset
+    /// within the kernel, before latency-hiding rescaling).
+    pub start_cycles: u64,
+    /// The CTA's solo cycles (its extent before rescaling).
+    pub dur_cycles: u64,
+}
+
+/// Per-warp execution detail collected when
+/// [`TraceConfig::warp_spans`] is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpSpan {
+    /// Cycles the warp would take running alone.
+    pub solo_cycles: u64,
+    /// Portion of `solo_cycles` stalled on memory.
+    pub mem_stall_cycles: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    /// Device-timeline position in cycles; each recorded kernel or host
+    /// span advances it.
+    cursor_cycles: u64,
+    events: Vec<TraceEvent>,
+    /// Highest SM track id used, for thread-name metadata.
+    max_sm: Option<usize>,
+}
+
+/// An active trace recording; shared via `Arc` between the [`crate::Gpu`]
+/// and whoever exports the result.
+#[derive(Debug)]
+pub struct TraceSession {
+    config: TraceConfig,
+    device: String,
+    clock_ghz: f64,
+    inner: Mutex<TraceInner>,
+}
+
+impl TraceSession {
+    /// Creates a session for a device with the given clock (used to
+    /// convert cycles to trace microseconds).
+    pub fn new(config: TraceConfig, device: &str, clock_ghz: f64) -> Self {
+        TraceSession {
+            config,
+            device: device.to_string(),
+            clock_ghz: if clock_ghz > 0.0 { clock_ghz } else { 1.0 },
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// True when the session records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    fn us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e3)
+    }
+
+    fn us_f(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e3)
+    }
+
+    /// Records one kernel launch: a span on the kernel track, optionally
+    /// CTA placement spans on SM tracks and per-warp subdivisions.
+    ///
+    /// `busy_cycles` is the kernel time minus fixed launch overhead (the
+    /// window CTA spans are scaled into); `warp_spans` is indexed like
+    /// `placements` and may be empty when warp detail was not collected.
+    pub fn record_launch(
+        &self,
+        report: &KernelReport,
+        busy_cycles: u64,
+        placements: &[CtaPlacement],
+        warp_spans: &[Vec<WarpSpan>],
+    ) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace lock");
+        let t0 = inner.cursor_cycles;
+        inner.events.push(TraceEvent {
+            name: report.name.clone(),
+            cat: "kernel",
+            tid: 0,
+            ts_us: self.us(t0),
+            dur_us: self.us(report.cycles),
+            args: kernel_args(report),
+        });
+
+        if self.config.cta_spans && !placements.is_empty() {
+            let cap = match self.config.max_ctas_per_launch {
+                0 => placements.len(),
+                cap => cap.min(placements.len()),
+            };
+            // Each SM's CTA sequence is scaled independently into the busy
+            // window: relative CTA cost and ordering survive, and spans
+            // stay monotone and non-overlapping per SM.
+            let num_sms = placements.iter().map(|p| p.sm + 1).max().unwrap_or(0);
+            let mut sm_total = vec![0u64; num_sms];
+            for p in placements {
+                sm_total[p.sm] = sm_total[p.sm].max(p.start_cycles + p.dur_cycles);
+            }
+            let overhead = report.cycles.saturating_sub(busy_cycles);
+            let base = t0 + overhead;
+            inner.max_sm = inner.max_sm.max(Some(num_sms.saturating_sub(1)));
+            for (cta, p) in placements.iter().take(cap).enumerate() {
+                let scale = if sm_total[p.sm] > busy_cycles && sm_total[p.sm] > 0 {
+                    busy_cycles as f64 / sm_total[p.sm] as f64
+                } else {
+                    1.0
+                };
+                let ts = self.us(base) + self.us_f(p.start_cycles as f64 * scale);
+                let dur = self.us_f(p.dur_cycles as f64 * scale);
+                inner.events.push(TraceEvent {
+                    name: format!("cta {cta}"),
+                    cat: "cta",
+                    tid: (p.sm + 1) as u32,
+                    ts_us: ts,
+                    dur_us: dur,
+                    args: vec![
+                        ("solo_cycles".to_string(), Json::U64(p.dur_cycles)),
+                        ("sm".to_string(), Json::U64(p.sm as u64)),
+                    ],
+                });
+                if self.config.warp_spans {
+                    if let Some(warps) = warp_spans.get(cta) {
+                        let total: u64 = warps.iter().map(|w| w.solo_cycles).sum();
+                        if total > 0 {
+                            let mut prefix = 0u64;
+                            for (w, ws) in warps.iter().enumerate() {
+                                let w_ts = ts + dur * (prefix as f64 / total as f64);
+                                let w_dur = dur * (ws.solo_cycles as f64 / total as f64);
+                                prefix += ws.solo_cycles;
+                                inner.events.push(TraceEvent {
+                                    name: format!("warp {cta}.{w}"),
+                                    cat: "warp",
+                                    tid: (p.sm + 1) as u32,
+                                    ts_us: w_ts,
+                                    dur_us: w_dur,
+                                    args: vec![
+                                        ("solo_cycles".to_string(), Json::U64(ws.solo_cycles)),
+                                        (
+                                            "mem_stall_cycles".to_string(),
+                                            Json::U64(ws.mem_stall_cycles),
+                                        ),
+                                        (
+                                            "issue_cycles".to_string(),
+                                            Json::U64(ws.solo_cycles - ws.mem_stall_cycles),
+                                        ),
+                                    ],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        inner.cursor_cycles = t0 + report.cycles;
+    }
+
+    /// Records a host-charged span (dense ops, optimizer steps, epoch
+    /// markers) on the kernel track and advances the timeline by `cycles`.
+    pub fn record_host_span(&self, name: &str, cycles: u64, args: Vec<(String, Json)>) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace lock");
+        let t0 = inner.cursor_cycles;
+        inner.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: "host",
+            tid: 0,
+            ts_us: self.us(t0),
+            dur_us: self.us(cycles),
+            args,
+        });
+        inner.cursor_cycles = t0 + cycles;
+    }
+
+    /// Records an instantaneous marker (zero-duration span) on the kernel
+    /// track, e.g. an epoch boundary. Does not advance the timeline.
+    pub fn record_marker(&self, name: &str) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace lock");
+        let t0 = inner.cursor_cycles;
+        inner.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: "marker",
+            tid: 0,
+            ts_us: self.us(t0),
+            dur_us: 0.0,
+            args: Vec::new(),
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().expect("trace lock").events.len()
+    }
+
+    /// Current device-timeline position in cycles.
+    pub fn cursor_cycles(&self) -> u64 {
+        self.inner.lock().expect("trace lock").cursor_cycles
+    }
+
+    /// A copy of the recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("trace lock").events.clone()
+    }
+
+    /// Renders the session as a Chrome trace-event document
+    /// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+    /// Perfetto.
+    pub fn to_chrome_trace(&self) -> Json {
+        let inner = self.inner.lock().expect("trace lock");
+        let mut events = Vec::with_capacity(inner.events.len() + 8);
+        events.push(metadata_event(
+            "process_name",
+            0,
+            &format!("GNNOne simulator · {}", self.device),
+        ));
+        events.push(thread_name_event(0, "kernels + host ops"));
+        if let Some(max_sm) = inner.max_sm {
+            for sm in 0..=max_sm {
+                events.push(thread_name_event((sm + 1) as u32, &format!("SM {sm}")));
+            }
+        }
+        for e in &inner.events {
+            events.push(Json::obj(vec![
+                ("name", Json::Str(e.name.clone())),
+                ("cat", Json::Str(e.cat.to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("pid", Json::U64(0)),
+                ("tid", Json::U64(e.tid as u64)),
+                ("ts", Json::F64(e.ts_us)),
+                ("dur", Json::F64(e.dur_us)),
+                ("args", Json::Obj(e.args.clone())),
+            ]));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".to_string())),
+            (
+                "otherData",
+                Json::obj(vec![
+                    ("device", Json::Str(self.device.clone())),
+                    ("clock_ghz", Json::F64(self.clock_ghz)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Writes the Chrome trace to `path` (compact JSON, parent directories
+    /// created).
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        let p = std::path::Path::new(path);
+        if let Some(dir) = p.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut text = self.to_chrome_trace().to_string_compact();
+        text.push('\n');
+        std::fs::write(p, text)
+    }
+}
+
+fn kernel_args(report: &KernelReport) -> Vec<(String, Json)> {
+    let s = &report.stats;
+    vec![
+        ("cycles".to_string(), Json::U64(report.cycles)),
+        ("ctas".to_string(), Json::U64(report.ctas)),
+        ("warps".to_string(), Json::U64(s.warps)),
+        (
+            "warps_per_sm".to_string(),
+            Json::U64(report.warps_per_sm as u64),
+        ),
+        ("occupancy".to_string(), Json::F64(report.occupancy)),
+        (
+            "bound".to_string(),
+            Json::Str(format!("{:?}", report.bound)),
+        ),
+        ("read_bytes".to_string(), Json::U64(s.read_bytes)),
+        (
+            "read_useful_bytes".to_string(),
+            Json::U64(s.read_useful_bytes),
+        ),
+        ("write_bytes".to_string(), Json::U64(s.write_bytes)),
+        (
+            "coalescing_efficiency".to_string(),
+            Json::F64(s.coalescing_efficiency()),
+        ),
+        (
+            "mem_stall_fraction".to_string(),
+            Json::F64(s.mem_stall_fraction()),
+        ),
+        ("atomics".to_string(), Json::U64(s.atomics)),
+        (
+            "atomic_conflicts".to_string(),
+            Json::U64(s.atomic_conflicts),
+        ),
+        ("barriers".to_string(), Json::U64(s.barriers)),
+        ("shfl_rounds".to_string(), Json::U64(s.shfl_rounds)),
+    ]
+}
+
+fn metadata_event(name: &str, pid: u32, value: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::U64(pid as u64)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str(value.to_string()))]),
+        ),
+    ])
+}
+
+fn thread_name_event(tid: u32, value: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str("thread_name".to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(tid as u64)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str(value.to_string()))]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+    use crate::engine::Gpu;
+    use crate::kernel::{KernelResources, WarpKernel};
+    use crate::spec::GpuSpec;
+    use crate::warp::WarpCtx;
+
+    /// A deterministic kernel with skewed per-warp work (mixed coalesced
+    /// and strided loads) so CTA placements are non-trivial.
+    struct Skewed<'a> {
+        buf: &'a DeviceBuffer<f32>,
+        warps: usize,
+    }
+
+    impl WarpKernel for Skewed<'_> {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 64,
+                regs_per_thread: 32,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            self.warps
+        }
+        fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+            let n = self.buf.len();
+            let iters = 1 + warp_id % 5;
+            for i in 0..iters {
+                let stride = 1 + (warp_id + i) % 3;
+                ctx.load_f32(self.buf, |lane| Some((warp_id + lane * stride + i) % n));
+                if i % 2 == 1 {
+                    ctx.barrier();
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "skewed"
+        }
+    }
+
+    fn run_traced(config: TraceConfig) -> (Arc<TraceSession>, crate::engine::KernelReport) {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let session = gpu.enable_trace(config);
+        let buf = DeviceBuffer::<f32>::zeros(4096);
+        let report = gpu.launch(&Skewed {
+            buf: &buf,
+            warps: 64,
+        });
+        (session, report)
+    }
+
+    #[test]
+    fn off_records_nothing_and_changes_no_output() {
+        let buf = DeviceBuffer::<f32>::zeros(4096);
+        let plain = Gpu::new(GpuSpec::tiny()).launch(&Skewed {
+            buf: &buf,
+            warps: 64,
+        });
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let session = gpu.enable_trace(TraceConfig::off());
+        let traced = gpu.launch(&Skewed {
+            buf: &buf,
+            warps: 64,
+        });
+        assert_eq!(session.event_count(), 0);
+        assert_eq!(session.cursor_cycles(), 0);
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.bound, traced.bound);
+    }
+
+    #[test]
+    fn kernel_and_cta_spans_recorded() {
+        let (session, report) = run_traced(TraceConfig::on());
+        let events = session.events();
+        let kernels: Vec<_> = events.iter().filter(|e| e.cat == "kernel").collect();
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].name, "skewed");
+        assert!(kernels[0].dur_us > 0.0);
+        let ctas = events.iter().filter(|e| e.cat == "cta").count();
+        assert_eq!(ctas as u64, report.ctas);
+        assert_eq!(session.cursor_cycles(), report.cycles);
+    }
+
+    #[test]
+    fn cta_spans_monotone_and_non_overlapping_per_sm() {
+        let (session, report) = run_traced(TraceConfig::full());
+        let events = session.events();
+        let kernel = events.iter().find(|e| e.cat == "kernel").unwrap();
+        let mut per_sm: std::collections::BTreeMap<u32, Vec<&TraceEvent>> = Default::default();
+        for e in events.iter().filter(|e| e.cat == "cta") {
+            per_sm.entry(e.tid).or_default().push(e);
+        }
+        assert!(!per_sm.is_empty());
+        for (_, spans) in per_sm {
+            for pair in spans.windows(2) {
+                let end = pair[0].ts_us + pair[0].dur_us;
+                assert!(
+                    end <= pair[1].ts_us + 1e-9,
+                    "overlap: [{}, {}] then [{}, {}]",
+                    pair[0].ts_us,
+                    end,
+                    pair[1].ts_us,
+                    pair[1].ts_us + pair[1].dur_us,
+                );
+            }
+            // Every span stays inside the kernel window.
+            for e in &spans {
+                assert!(e.ts_us + 1e-9 >= kernel.ts_us);
+                assert!(e.ts_us + e.dur_us <= kernel.ts_us + kernel.dur_us + 1e-9);
+            }
+        }
+        // Warp spans subdivide their CTA spans.
+        let warps = events.iter().filter(|e| e.cat == "warp").count();
+        assert!(warps as u64 >= report.ctas);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_json() {
+        let (session, _) = run_traced(TraceConfig::on());
+        session.record_host_span(
+            "dense: matmul",
+            1000,
+            vec![("flops".to_string(), Json::U64(123))],
+        );
+        session.record_marker("epoch 0");
+        let text = session.to_chrome_trace().to_string_compact();
+        let parsed = crate::jsonio::parse(&text).expect("chrome trace must parse");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // Every event has the required chrome-trace fields.
+        for e in events {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("pid").is_some());
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "X" {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                assert!(e.get("name").is_some() && e.get("cat").is_some());
+            }
+        }
+        assert!(events
+            .iter()
+            .any(|e| { e.get("name").and_then(Json::as_str) == Some("thread_name") }));
+        assert!(events
+            .iter()
+            .any(|e| { e.get("cat").and_then(Json::as_str) == Some("host") }));
+    }
+
+    #[test]
+    fn traces_are_byte_identical_across_runs() {
+        let (a, _) = run_traced(TraceConfig::full());
+        let (b, _) = run_traced(TraceConfig::full());
+        assert_eq!(
+            a.to_chrome_trace().to_string_compact(),
+            b.to_chrome_trace().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn cta_cap_is_respected() {
+        let config = TraceConfig {
+            enabled: true,
+            cta_spans: true,
+            warp_spans: false,
+            max_ctas_per_launch: 3,
+        };
+        let (session, report) = run_traced(config);
+        assert!(report.ctas > 3);
+        let ctas = session.events().iter().filter(|e| e.cat == "cta").count();
+        assert_eq!(ctas, 3);
+    }
+
+    #[test]
+    fn timeline_accumulates_across_launches() {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let session = gpu.enable_trace(TraceConfig::on());
+        let buf = DeviceBuffer::<f32>::zeros(4096);
+        let r1 = gpu.launch(&Skewed {
+            buf: &buf,
+            warps: 8,
+        });
+        let r2 = gpu.launch(&Skewed {
+            buf: &buf,
+            warps: 16,
+        });
+        assert_eq!(session.cursor_cycles(), r1.cycles + r2.cycles);
+        let events = session.events();
+        let kernels: Vec<_> = events.iter().filter(|e| e.cat == "kernel").collect();
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels[1].ts_us >= kernels[0].ts_us + kernels[0].dur_us - 1e-9);
+    }
+
+    #[test]
+    fn attach_is_set_once_and_shared_by_clones() {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let first = gpu.enable_trace(TraceConfig::on());
+        let second = gpu.enable_trace(TraceConfig::off());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(!gpu.attach_trace(Arc::new(TraceSession::new(TraceConfig::on(), "other", 1.0))));
+        let clone = gpu.clone();
+        let buf = DeviceBuffer::<f32>::zeros(4096);
+        clone.launch(&Skewed {
+            buf: &buf,
+            warps: 8,
+        });
+        assert!(first.event_count() > 0, "clone records into shared session");
+    }
+}

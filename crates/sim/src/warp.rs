@@ -205,7 +205,12 @@ impl WarpCtx {
         match width {
             1 => {
                 let [a] = self.load_f32xn::<1>(buf, &mut base);
-                [a, LaneArr::default(), LaneArr::default(), LaneArr::default()]
+                [
+                    a,
+                    LaneArr::default(),
+                    LaneArr::default(),
+                    LaneArr::default(),
+                ]
             }
             2 => {
                 let [a, b] = self.load_f32xn::<2>(buf, &mut base);
@@ -238,8 +243,8 @@ impl WarpCtx {
         let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, 4))));
         self.stats.stores += 1;
         self.stats.write_sectors += access.sectors as u64;
-        self.clock += self.timing.issue_cycles
-            + access.sectors as u64 * self.timing.store_sector_cycles;
+        self.clock +=
+            self.timing.issue_cycles + access.sectors as u64 * self.timing.store_sector_cycles;
     }
 
     /// Warp-wide `f32` store.
@@ -333,8 +338,7 @@ impl WarpCtx {
         let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, w))));
         self.stats.atomics += width as u64;
         self.stats.write_sectors += access.sectors as u64;
-        self.clock +=
-            width as u64 * self.timing.issue_cycles + self.timing.atomic_cycles;
+        self.clock += width as u64 * self.timing.issue_cycles + self.timing.atomic_cycles;
         true
     }
 
@@ -416,7 +420,12 @@ impl WarpCtx {
     /// Shuffles synchronize the participating lanes, so the scoreboard
     /// treats each round as a drain point — the mechanism behind "reduction
     /// indirectly impacts data load" (§3.2).
-    pub fn shfl_down_f32(&mut self, vals: &LaneArr<f32>, delta: usize, width: usize) -> LaneArr<f32> {
+    pub fn shfl_down_f32(
+        &mut self,
+        vals: &LaneArr<f32>,
+        delta: usize,
+        width: usize,
+    ) -> LaneArr<f32> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
         self.drain();
         self.stats.shfl_rounds += 1;
@@ -696,7 +705,9 @@ mod vec_atomic_tests {
     fn vectored_atomic_partial_width() {
         let buf = DeviceBuffer::<f32>::zeros(64);
         let mut c = ctx();
-        c.atomic_add_f32_vec(2, &buf, |l| (l == 0).then_some((10, [5.0, 7.0, 99.0, 99.0])));
+        c.atomic_add_f32_vec(2, &buf, |l| {
+            (l == 0).then_some((10, [5.0, 7.0, 99.0, 99.0]))
+        });
         assert_eq!(buf.read(10), 5.0);
         assert_eq!(buf.read(11), 7.0);
         assert_eq!(buf.read(12), 0.0); // width 2: trailing lanes ignored

@@ -121,33 +121,195 @@ pub fn table1() -> Vec<DatasetSpec> {
         e_medium,
     };
     vec![
-        s("G0", "Cora", 2_708, 10_858, 1433, 7, true, Planted, 2_708, 10_858),
-        s("G1", "Citeseer", 3_327, 9_104, 3703, 6, true, Planted, 3_327, 9_104),
-        s("G2", "PubMed", 19_717, 88_648, 500, 3, true, Planted, 19_717, 88_648),
-        s("G3", "Amazon", 400_727, 6_400_880, 150, 6, false, PowerLaw, 25_000, 400_000),
-        s("G4", "wiki-Talk", 2_394_385, 10_042_820, 150, 6, false, PowerLaw, 60_000, 250_000),
-        s("G5", "roadNet-CA", 1_971_279, 11_066_420, 150, 6, false, Road, 62_500, 250_000),
-        s("G6", "Web-BerkStand", 685_230, 15_201_173, 150, 6, false, Web, 20_000, 440_000),
-        s("G7", "as-Skitter", 1_696_415, 22_190_596, 150, 6, false, PowerLaw, 26_000, 350_000),
-        s("G8", "cit-Patent", 3_774_768, 33_037_894, 150, 6, false, Citation, 59_000, 520_000),
-        s("G9", "sx-stackoverflow", 2_601_977, 95_806_532, 150, 6, false, PowerLaw, 16_000, 590_000),
-        s("G10", "Kron-21", 2_097_152, 67_108_864, 150, 6, false, Kron, 16_384, 524_288),
-        s("G11", "hollywood09", 1_069_127, 112_613_308, 150, 6, false, PowerLaw, 8_000, 840_000),
-        s("G12", "Ogb-product", 2_449_029, 123_718_280, 100, 47, true, Planted, 16_000, 800_000),
-        s("G13", "LiveJournal", 4_847_571, 137_987_546, 150, 6, false, PowerLaw, 19_000, 540_000),
-        s("G14", "Reddit", 232_965, 229_231_784, 602, 41, true, Planted, 6_000, 900_000),
-        s("G15", "orkut", 3_072_627, 234_370_166, 150, 6, false, PowerLaw, 12_000, 900_000),
-        s("G16", "kmer_P1a", 139_353_211, 297_829_982, 150, 6, false, LowDegree, 280_000, 600_000),
-        s("G17", "uk-2002", 18_520_486, 596_227_524, 150, 6, false, Web, 18_000, 580_000),
-        s("G18", "uk-2005", 39_459_925, 1_872_728_564, 150, 6, false, Web, 10_000, 460_000),
+        s(
+            "G0", "Cora", 2_708, 10_858, 1433, 7, true, Planted, 2_708, 10_858,
+        ),
+        s(
+            "G1", "Citeseer", 3_327, 9_104, 3703, 6, true, Planted, 3_327, 9_104,
+        ),
+        s(
+            "G2", "PubMed", 19_717, 88_648, 500, 3, true, Planted, 19_717, 88_648,
+        ),
+        s(
+            "G3", "Amazon", 400_727, 6_400_880, 150, 6, false, PowerLaw, 25_000, 400_000,
+        ),
+        s(
+            "G4",
+            "wiki-Talk",
+            2_394_385,
+            10_042_820,
+            150,
+            6,
+            false,
+            PowerLaw,
+            60_000,
+            250_000,
+        ),
+        s(
+            "G5",
+            "roadNet-CA",
+            1_971_279,
+            11_066_420,
+            150,
+            6,
+            false,
+            Road,
+            62_500,
+            250_000,
+        ),
+        s(
+            "G6",
+            "Web-BerkStand",
+            685_230,
+            15_201_173,
+            150,
+            6,
+            false,
+            Web,
+            20_000,
+            440_000,
+        ),
+        s(
+            "G7",
+            "as-Skitter",
+            1_696_415,
+            22_190_596,
+            150,
+            6,
+            false,
+            PowerLaw,
+            26_000,
+            350_000,
+        ),
+        s(
+            "G8",
+            "cit-Patent",
+            3_774_768,
+            33_037_894,
+            150,
+            6,
+            false,
+            Citation,
+            59_000,
+            520_000,
+        ),
+        s(
+            "G9",
+            "sx-stackoverflow",
+            2_601_977,
+            95_806_532,
+            150,
+            6,
+            false,
+            PowerLaw,
+            16_000,
+            590_000,
+        ),
+        s(
+            "G10", "Kron-21", 2_097_152, 67_108_864, 150, 6, false, Kron, 16_384, 524_288,
+        ),
+        s(
+            "G11",
+            "hollywood09",
+            1_069_127,
+            112_613_308,
+            150,
+            6,
+            false,
+            PowerLaw,
+            8_000,
+            840_000,
+        ),
+        s(
+            "G12",
+            "Ogb-product",
+            2_449_029,
+            123_718_280,
+            100,
+            47,
+            true,
+            Planted,
+            16_000,
+            800_000,
+        ),
+        s(
+            "G13",
+            "LiveJournal",
+            4_847_571,
+            137_987_546,
+            150,
+            6,
+            false,
+            PowerLaw,
+            19_000,
+            540_000,
+        ),
+        s(
+            "G14",
+            "Reddit",
+            232_965,
+            229_231_784,
+            602,
+            41,
+            true,
+            Planted,
+            6_000,
+            900_000,
+        ),
+        s(
+            "G15",
+            "orkut",
+            3_072_627,
+            234_370_166,
+            150,
+            6,
+            false,
+            PowerLaw,
+            12_000,
+            900_000,
+        ),
+        s(
+            "G16",
+            "kmer_P1a",
+            139_353_211,
+            297_829_982,
+            150,
+            6,
+            false,
+            LowDegree,
+            280_000,
+            600_000,
+        ),
+        s(
+            "G17",
+            "uk-2002",
+            18_520_486,
+            596_227_524,
+            150,
+            6,
+            false,
+            Web,
+            18_000,
+            580_000,
+        ),
+        s(
+            "G18",
+            "uk-2005",
+            39_459_925,
+            1_872_728_564,
+            150,
+            6,
+            false,
+            Web,
+            10_000,
+            460_000,
+        ),
     ]
 }
 
 /// Looks a spec up by its Table 1 ID (`"G7"`), case-insensitive.
 pub fn by_id(id: &str) -> Option<DatasetSpec> {
-    table1()
-        .into_iter()
-        .find(|s| s.id.eq_ignore_ascii_case(id))
+    table1().into_iter().find(|s| s.id.eq_ignore_ascii_case(id))
 }
 
 /// A realized dataset: the generated analogue in both standard formats.

@@ -163,8 +163,12 @@ impl Coo {
     /// Transposed copy (CSR-ordered). Used by backward passes: `∂(A·X)`
     /// needs `Aᵀ`.
     pub fn transpose(&self) -> Coo {
-        let mut pairs: Vec<(VertexId, VertexId)> =
-            self.cols.iter().copied().zip(self.rows.iter().copied()).collect();
+        let mut pairs: Vec<(VertexId, VertexId)> = self
+            .cols
+            .iter()
+            .copied()
+            .zip(self.rows.iter().copied())
+            .collect();
         pairs.sort_unstable();
         let (rows, cols) = pairs.into_iter().unzip();
         Coo {
@@ -265,7 +269,10 @@ impl Csr {
     /// Maximum row length — drives worst-case imbalance in vertex-parallel
     /// kernels.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_rows).map(|r| self.degree(r)).max().unwrap_or(0)
+        (0..self.num_rows)
+            .map(|r| self.degree(r))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -275,10 +282,7 @@ mod tests {
 
     fn small() -> Coo {
         // 4 vertices: 0→{1,2}, 1→{0}, 2→{3}, 3→{}
-        Coo::from_edge_list(&EdgeList::new(
-            4,
-            vec![(0, 1), (0, 2), (1, 0), (2, 3)],
-        ))
+        Coo::from_edge_list(&EdgeList::new(4, vec![(0, 1), (0, 2), (1, 0), (2, 3)]))
     }
 
     #[test]
@@ -291,10 +295,7 @@ mod tests {
 
     #[test]
     fn from_edge_list_dedups_and_sorts() {
-        let coo = Coo::from_edge_list(&EdgeList::new(
-            3,
-            vec![(2, 1), (0, 1), (2, 1), (0, 1)],
-        ));
+        let coo = Coo::from_edge_list(&EdgeList::new(3, vec![(2, 1), (0, 1), (2, 1), (0, 1)]));
         assert_eq!(coo.nnz(), 2);
         assert_eq!(coo.rows(), &[0, 2]);
     }

@@ -18,7 +18,10 @@ use rand_chacha::ChaCha8Rng;
 /// partition probabilities `(a, b, c, d)`, `a + b + c + d = 1`.
 pub fn rmat(scale: u32, num_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> EdgeList {
     let (a, b, c, d) = probs;
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "RMAT probs must sum to 1");
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "RMAT probs must sum to 1"
+    );
     let n = 1usize << scale;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_edges);

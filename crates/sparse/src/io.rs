@@ -89,7 +89,13 @@ fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, MtxEr
 /// Writes a COO as `matrix coordinate pattern general`.
 pub fn write_mtx(coo: &Coo, mut writer: impl Write) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
-    writeln!(writer, "{} {} {}", coo.num_rows(), coo.num_cols(), coo.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        coo.num_rows(),
+        coo.num_cols(),
+        coo.nnz()
+    )?;
     for e in 0..coo.nnz() {
         writeln!(writer, "{} {}", coo.rows()[e] + 1, coo.cols()[e] + 1)?;
     }

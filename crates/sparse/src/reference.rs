@@ -111,7 +111,10 @@ pub fn max_rel_error(a: &[f32], b: &[f32]) -> f32 {
 /// Asserts two tensors match within `tol` relative error.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
     let err = max_rel_error(a, b);
-    assert!(err <= tol, "tensors differ: max relative error {err} > {tol}");
+    assert!(
+        err <= tol,
+        "tensors differ: max relative error {err} > {tol}"
+    );
 }
 
 #[cfg(test)]
@@ -173,8 +176,12 @@ mod tests {
         let coo = Coo::from_edge_list(&el);
         let csr = Csr::from_coo(&coo);
         let f = 7;
-        let x: Vec<f32> = (0..coo.num_cols() * f).map(|i| (i % 13) as f32 * 0.5).collect();
-        let yv: Vec<f32> = (0..coo.num_rows() * f).map(|i| (i % 7) as f32 - 3.0).collect();
+        let x: Vec<f32> = (0..coo.num_cols() * f)
+            .map(|i| (i % 13) as f32 * 0.5)
+            .collect();
+        let yv: Vec<f32> = (0..coo.num_rows() * f)
+            .map(|i| (i % 7) as f32 - 3.0)
+            .collect();
         let w: Vec<f32> = (0..coo.nnz()).map(|e| (e % 5) as f32 * 0.1).collect();
         assert_close(
             &spmm_csr(&csr, &w, &x, f),

@@ -111,7 +111,9 @@ pub fn add_bias(tape: &mut Tape, x: VarId, bias: VarId) -> VarId {
 struct ReluOp;
 impl BackwardOp for ReluOp {
     fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
-        vec![Some(grad.zip(&inputs[0], |g, x| if x > 0.0 { g } else { 0.0 }))]
+        vec![Some(
+            grad.zip(&inputs[0], |g, x| if x > 0.0 { g } else { 0.0 }),
+        )]
     }
     fn name(&self) -> &'static str {
         "relu"
@@ -128,13 +130,16 @@ struct LeakyReluOp(f32);
 impl BackwardOp for LeakyReluOp {
     fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
         let s = self.0;
-        vec![Some(grad.zip(&inputs[0], move |g, x| {
-            if x > 0.0 {
-                g
-            } else {
-                g * s
-            }
-        }))]
+        vec![Some(grad.zip(
+            &inputs[0],
+            move |g, x| {
+                if x > 0.0 {
+                    g
+                } else {
+                    g * s
+                }
+            },
+        ))]
     }
     fn name(&self) -> &'static str {
         "leaky_relu"
@@ -273,7 +278,12 @@ impl BackwardOp for NllLossOp {
 
 /// Mean negative log-likelihood over (optionally masked) rows of
 /// log-probabilities.
-pub fn nll_loss(tape: &mut Tape, log_probs: VarId, targets: &[u32], mask: Option<&[bool]>) -> VarId {
+pub fn nll_loss(
+    tape: &mut Tape,
+    log_probs: VarId,
+    targets: &[u32],
+    mask: Option<&[bool]>,
+) -> VarId {
     let lp = tape.value(log_probs);
     assert_eq!(lp.rows(), targets.len());
     let count = mask
@@ -325,11 +335,7 @@ pub fn accuracy(log_probs: &Tensor, targets: &[u32], mask: Option<&[bool]>) -> f
 mod tests {
     use super::*;
 
-    fn finite_diff_check(
-        build: impl Fn(&mut Tape, VarId) -> VarId,
-        x0: Tensor,
-        tol: f32,
-    ) {
+    fn finite_diff_check(build: impl Fn(&mut Tape, VarId) -> VarId, x0: Tensor, tol: f32) {
         let f = |x: &Tensor| {
             let mut tape = Tape::new();
             let xid = tape.leaf(x.clone(), false);
@@ -408,7 +414,10 @@ mod tests {
     #[test]
     fn log_softmax_rows_normalize() {
         let mut tape = Tape::new();
-        let x = tape.leaf(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]), false);
+        let x = tape.leaf(
+            Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]),
+            false,
+        );
         let ls = log_softmax(&mut tape, x);
         for r in 0..2 {
             let p: f32 = tape.value(ls).row(r).iter().map(|&v| v.exp()).sum();
@@ -419,10 +428,7 @@ mod tests {
     #[test]
     fn nll_loss_respects_mask() {
         let mut tape = Tape::new();
-        let x = tape.leaf(
-            Tensor::from_vec(2, 2, vec![0.0, -10.0, -10.0, 0.0]),
-            false,
-        );
+        let x = tape.leaf(Tensor::from_vec(2, 2, vec![0.0, -10.0, -10.0, 0.0]), false);
         let ls = log_softmax(&mut tape, x);
         let mask = vec![true, false];
         let loss = nll_loss(&mut tape, ls, &[0, 0], Some(&mask));

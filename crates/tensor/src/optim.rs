@@ -108,7 +108,11 @@ mod tests {
             let g = quadratic_grad(&p);
             opt.step(&mut [&mut p], &[Some(&g)]);
         }
-        assert!((p.value.item() - 3.0).abs() < 1e-2, "got {}", p.value.item());
+        assert!(
+            (p.value.item() - 3.0).abs() < 1e-2,
+            "got {}",
+            p.value.item()
+        );
     }
 
     #[test]
@@ -137,6 +141,10 @@ mod tests {
         let g = Tensor::scalar(10.0);
         let mut opt = Adam::new(0.05);
         opt.step(&mut [&mut p], &[Some(&g)]);
-        assert!((p.value.item() + 0.05).abs() < 1e-3, "got {}", p.value.item());
+        assert!(
+            (p.value.item() + 0.05).abs() < 1e-3,
+            "got {}",
+            p.value.item()
+        );
     }
 }

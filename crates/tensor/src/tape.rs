@@ -99,9 +99,7 @@ impl Tape {
     /// optional gradient per node id.
     pub fn backward(&self, root: VarId) -> Vec<Option<Tensor>> {
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
-        let seed = self.nodes[root]
-            .value
-            .map(|_| 1.0);
+        let seed = self.nodes[root].value.map(|_| 1.0);
         grads[root] = Some(seed);
         for id in (0..=root).rev() {
             let Some(grad) = grads[id].take() else {

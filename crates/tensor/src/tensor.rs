@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn item_and_sum() {
         assert_eq!(Tensor::scalar(5.0).item(), 5.0);
-        assert_eq!(
-            Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).sum(),
-            10.0
-        );
+        assert_eq!(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).sum(), 10.0);
     }
 
     #[test]

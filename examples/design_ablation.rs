@@ -42,7 +42,11 @@ fn main() {
         let kernel = GnnOneSddmm::new(Arc::clone(&graph), cfg);
         let r = kernel.run(&gpu, &x, &y, f, &w).expect("launch");
         let b = *base_ms.get_or_insert(r.time_ms);
-        println!("  {label:<26} {:>8.3} ms  ({:.2}x over baseline)", r.time_ms, b / r.time_ms);
+        println!(
+            "  {label:<26} {:>8.3} ms  ({:.2}x over baseline)",
+            r.time_ms,
+            b / r.time_ms
+        );
     }
 
     // --- Fig. 9: Stage-1 cache size (SpMM, dim 16) ---

@@ -165,7 +165,9 @@ fn training_time_shape_gnnone_faster_than_dgl_on_large_graph() {
     let features = Tensor::from_vec(
         n,
         f_in,
-        (0..n * f_in).map(|i| ((i % 13) as f32 - 6.0) * 0.05).collect(),
+        (0..n * f_in)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.05)
+            .collect(),
     );
     let labels: Vec<u32> = (0..n as u32).map(|v| v % 6).collect();
     let cfg = TrainConfig {
