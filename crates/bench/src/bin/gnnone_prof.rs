@@ -1,9 +1,11 @@
-//! `gnnone-prof` — offline analysis of `--metrics` / `--trace` output.
+//! `gnnone-prof` — offline analysis of `--metrics` / `--trace` output,
+//! plus the registry-wide sanitizer sweep.
 //!
 //! ```text
-//! gnnone-prof show    metrics.json           per-kernel summary table
-//! gnnone-prof diff    a.json b.json          A-vs-B comparison by kernel
-//! gnnone-prof trace   trace.json             chrome-trace sanity summary
+//! gnnone-prof show     metrics.json           per-kernel summary table
+//! gnnone-prof diff     a.json b.json          A-vs-B comparison by kernel
+//! gnnone-prof trace    trace.json             chrome-trace sanity summary
+//! gnnone-prof sanitize [figure flags]         sweep every kernel under the sanitizer
 //! ```
 //!
 //! `show` and `diff` read [`MetricsSnapshot`] files written by any figure
@@ -11,11 +13,17 @@
 //! `trace` reads the Chrome-trace JSON written by `--trace`. See
 //! `docs/PROFILING.md` for the counter definitions and a worked diff
 //! example.
+//!
+//! `sanitize` takes the figure binaries' flags (`--scale`, `--dims`,
+//! `--datasets`, `--out`), runs every registered kernel on the selected
+//! graphs with the sanitizer attached, prints per-kernel verdicts, and
+//! exits non-zero when any finding fires. See `docs/SANITIZER.md`.
 
 use std::process::ExitCode;
 
+use gnnone_kernels::sanitize::{sweep_graph, total_findings};
 use gnnone_sim::jsonio::{self, Json};
-use gnnone_sim::{KernelMetrics, MetricsSnapshot};
+use gnnone_sim::{Gpu, KernelMetrics, MetricsSnapshot, SanitizeConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,16 +31,16 @@ fn main() -> ExitCode {
         Some("show") if args.len() == 2 => show(&args[1]),
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("trace") if args.len() == 2 => trace_summary(&args[1]),
+        Some("sanitize") => sanitize_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
         }
         _ => {
             usage();
-            Err(
-                "expected: show <metrics.json> | diff <a.json> <b.json> | trace <trace.json>"
-                    .to_string(),
-            )
+            Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
+                 trace <trace.json> | sanitize [flags]"
+                .to_string())
         }
     };
     match result {
@@ -48,8 +56,91 @@ fn usage() {
     eprintln!(
         "usage:\n  gnnone-prof show <metrics.json>\n  \
          gnnone-prof diff <a.json> <b.json>\n  \
-         gnnone-prof trace <trace.json>"
+         gnnone-prof trace <trace.json>\n  \
+         gnnone-prof sanitize [--scale tiny|small|medium] [--dims 6,16] \
+         [--datasets G0,G3] [--out report.json]"
     );
+}
+
+fn sanitize_cmd(args: &[String]) -> Result<(), String> {
+    let opts = gnnone_bench::cli::parse(args.iter().cloned());
+    let specs = gnnone_bench::runner::try_selected_specs(&opts)?;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut entries: Vec<Json> = Vec::new();
+    let mut total: u64 = 0;
+    for spec in &specs {
+        let ld = gnnone_bench::runner::load(spec, opts.scale);
+        for &f in &opts.dims {
+            // A fresh device per (dataset, f) keeps audits attributable.
+            let gpu = Gpu::new(gnnone_bench::figure_gpu_spec());
+            gpu.enable_sanitizer(SanitizeConfig::on());
+            let sweeps = sweep_graph(&gpu, &ld.graph, f);
+            total += total_findings(&sweeps);
+            for s in &sweeps {
+                rows.push(vec![
+                    spec.id.to_string(),
+                    f.to_string(),
+                    s.name.clone(),
+                    s.op.to_string(),
+                    s.format.to_string(),
+                    match &s.skipped {
+                        None => "ok".to_string(),
+                        Some(reason) => format!("skip ({reason})"),
+                    },
+                    s.findings.to_string(),
+                ]);
+            }
+            entries.push(Json::obj(vec![
+                ("dataset", Json::Str(spec.id.to_string())),
+                ("f", Json::U64(f as u64)),
+                (
+                    "kernels",
+                    Json::Arr(
+                        sweeps
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(s.name.clone())),
+                                    ("op", Json::Str(s.op.to_string())),
+                                    ("format", Json::Str(s.format.to_string())),
+                                    (
+                                        "skipped",
+                                        match &s.skipped {
+                                            None => Json::Null,
+                                            Some(r) => Json::Str(r.clone()),
+                                        },
+                                    ),
+                                    ("findings", Json::U64(s.findings)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+    let header = [
+        "dataset", "f", "kernel", "op", "format", "status", "findings",
+    ];
+    print_table(&header, &rows);
+    println!(
+        "\n{} kernel run(s), {total} finding(s){}",
+        rows.len(),
+        if total == 0 { " — clean" } else { "" }
+    );
+    if let Some(path) = &opts.out {
+        let report = Json::obj(vec![
+            ("total_findings", Json::U64(total)),
+            ("sweeps", Json::Arr(entries)),
+        ]);
+        std::fs::write(path, report.to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if total > 0 {
+        return Err(format!("{total} sanitizer finding(s) — see table above"));
+    }
+    Ok(())
 }
 
 fn load_snapshot(path: &str) -> Result<MetricsSnapshot, String> {

@@ -22,6 +22,9 @@ pub struct Options {
     /// Metrics-snapshot output path (`--metrics metrics.json`); `None`
     /// disables the metrics registry.
     pub metrics: Option<String>,
+    /// Sanitizer report output path (`--sanitize sanitize.json`); `None`
+    /// leaves the sanitizer detached (the default, zero-cost path).
+    pub sanitize: Option<String>,
 }
 
 impl Default for Options {
@@ -34,6 +37,7 @@ impl Default for Options {
             out: None,
             trace: None,
             metrics: None,
+            sanitize: None,
         }
     }
 }
@@ -78,11 +82,13 @@ pub fn parse(args: impl Iterator<Item = String>) -> Options {
             "--out" => opts.out = Some(take("--out")),
             "--trace" => opts.trace = Some(take("--trace")),
             "--metrics" => opts.metrics = Some(take("--metrics")),
+            "--sanitize" => opts.sanitize = Some(take("--sanitize")),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
                      --datasets G0,G3  --epochs N  --out results/fig.json  \
-                     --trace trace.json  --metrics metrics.json"
+                     --trace trace.json  --metrics metrics.json  \
+                     --sanitize sanitize.json"
                 );
                 std::process::exit(0);
             }
@@ -114,13 +120,14 @@ mod tests {
         assert_eq!(o.epochs, 200);
         assert!(o.trace.is_none());
         assert!(o.metrics.is_none());
+        assert!(o.sanitize.is_none());
     }
 
     #[test]
     fn full_flags() {
         let o = parse(argv(
             "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json \
-             --trace t.json --metrics m.json",
+             --trace t.json --metrics m.json --sanitize s.json",
         ));
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.dims, vec![16, 32]);
@@ -129,6 +136,7 @@ mod tests {
         assert_eq!(o.out.as_deref(), Some("x.json"));
         assert_eq!(o.trace.as_deref(), Some("t.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.sanitize.as_deref(), Some("s.json"));
     }
 
     #[test]

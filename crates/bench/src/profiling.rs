@@ -1,25 +1,32 @@
-//! `--trace` / `--metrics` plumbing shared by the figure binaries.
+//! `--trace` / `--metrics` / `--sanitize` plumbing shared by the figure
+//! binaries.
 //!
 //! A [`Profiler`] is built once from the parsed [`Options`], attached to
 //! every simulated device the binary creates (directly via
 //! [`Profiler::attach`], or through a training context with
 //! [`Profiler::attach_ctx`]), and written out at the end with
-//! [`Profiler::write`]. When neither `--trace` nor `--metrics` was given
-//! every method is a no-op, so binaries can call them unconditionally.
+//! [`Profiler::write`]. When none of `--trace`, `--metrics`, `--sanitize`
+//! was given every method is a no-op, so binaries can call them
+//! unconditionally — and the timing reports are identical either way (the
+//! sanitizer shadows accesses without touching the clock).
 
 use std::sync::Arc;
 
 use gnnone_gnn::systems::GnnContext;
-use gnnone_sim::{Gpu, GpuSpec, MetricsRegistry, TraceConfig, TraceSession};
+use gnnone_sim::{
+    Gpu, GpuSpec, MetricsRegistry, SanitizeConfig, Sanitizer, TraceConfig, TraceSession,
+};
 
 use crate::cli::Options;
 
-/// Collects trace/metrics output for one figure-binary run.
+/// Collects trace/metrics/sanitizer output for one figure-binary run.
 pub struct Profiler {
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    sanitize_path: Option<String>,
     session: Option<Arc<TraceSession>>,
     registry: Option<Arc<MetricsRegistry>>,
+    sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl Profiler {
@@ -38,11 +45,17 @@ impl Profiler {
             r.set_device(&spec.name, spec.clock_ghz);
             Arc::new(r)
         });
+        let sanitizer = opts
+            .sanitize
+            .as_ref()
+            .map(|_| Arc::new(Sanitizer::new(SanitizeConfig::on())));
         Profiler {
             trace_path: opts.trace.clone(),
             metrics_path: opts.metrics.clone(),
+            sanitize_path: opts.sanitize.clone(),
             session,
             registry,
+            sanitizer,
         }
     }
 
@@ -53,7 +66,7 @@ impl Profiler {
 
     /// True when the run records anything.
     pub fn enabled(&self) -> bool {
-        self.session.is_some() || self.registry.is_some()
+        self.session.is_some() || self.registry.is_some() || self.sanitizer.is_some()
     }
 
     /// The shared trace session, if `--trace` was given.
@@ -66,6 +79,11 @@ impl Profiler {
         self.registry.as_ref()
     }
 
+    /// The shared sanitizer, if `--sanitize` was given.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
+    }
+
     /// Attaches the profiler to a device. All launches on `gpu` (and its
     /// clones) are then recorded. Safe to call on any number of devices —
     /// they share one timeline and one registry.
@@ -75,6 +93,9 @@ impl Profiler {
         }
         if let Some(registry) = &self.registry {
             gpu.attach_metrics(Arc::clone(registry));
+        }
+        if let Some(sanitizer) = &self.sanitizer {
+            gpu.attach_sanitizer(Arc::clone(sanitizer));
         }
     }
 
@@ -86,6 +107,9 @@ impl Profiler {
         }
         if let Some(registry) = &self.registry {
             ctx.attach_metrics(Arc::clone(registry));
+        }
+        if let Some(sanitizer) = &self.sanitizer {
+            ctx.attach_sanitizer(Arc::clone(sanitizer));
         }
     }
 
@@ -109,6 +133,16 @@ impl Profiler {
                     snapshot.kernels.len()
                 ),
                 Err(e) => eprintln!("metrics: failed to write {path}: {e}"),
+            }
+        }
+        if let (Some(path), Some(sanitizer)) = (&self.sanitize_path, &self.sanitizer) {
+            match sanitizer.write(path) {
+                Ok(()) => println!(
+                    "sanitize: {path} ({} launches, {} findings)",
+                    sanitizer.launches().len(),
+                    sanitizer.finding_count()
+                ),
+                Err(e) => eprintln!("sanitize: failed to write {path}: {e}"),
             }
         }
     }
@@ -146,7 +180,28 @@ mod tests {
         gpu.launch(&Touch(&buf));
         assert!(gpu.trace().is_none());
         assert!(gpu.metrics().is_none());
+        assert!(gpu.sanitizer().is_none());
         p.write();
+    }
+
+    #[test]
+    fn sanitize_flag_attaches_a_shared_sanitizer() {
+        let opts = Options {
+            sanitize: Some("unused.json".to_string()),
+            ..Default::default()
+        };
+        let p = Profiler::new(&opts, &GpuSpec::tiny());
+        assert!(p.enabled());
+        let a = Gpu::new(GpuSpec::tiny());
+        let b = Gpu::new(GpuSpec::tiny());
+        p.attach(&a);
+        p.attach(&b);
+        let buf = DeviceBuffer::<f32>::zeros(128);
+        a.launch(&Touch(&buf));
+        b.launch(&Touch(&buf));
+        let san = p.sanitizer().unwrap();
+        assert_eq!(san.launches().len(), 2);
+        assert!(san.is_clean());
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! Table printing and JSON result records.
+//!
+//! Tables serialize two ways: [`write_json`] goes through serde for the
+//! figure binaries' result files (kept byte-for-byte stable), while
+//! [`Table::to_json`] / [`Table::from_json`] go through the
+//! dependency-free [`gnnone_sim::jsonio`] path so tooling (and tests) can
+//! round-trip result sets without serde at all.
 
+use gnnone_sim::jsonio::Json;
 use serde::Serialize;
 use std::io::Write;
 
@@ -20,6 +27,25 @@ impl Cell {
             Cell::Err(_) => None,
         }
     }
+
+    /// Serializes through the dependency-free JSON path.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Cell::Ms(v) => Json::obj(vec![("ms", Json::F64(*v))]),
+            Cell::Err(tag) => Json::obj(vec![("err", Json::Str(tag.clone()))]),
+        }
+    }
+
+    /// Inverse of [`Cell::to_json`].
+    pub fn from_json(j: &Json) -> Result<Cell, String> {
+        if let Some(ms) = j.get("ms").and_then(Json::as_f64) {
+            Ok(Cell::Ms(ms))
+        } else if let Some(tag) = j.get("err").and_then(Json::as_str) {
+            Ok(Cell::Err(tag.to_string()))
+        } else {
+            Err("cell must carry \"ms\" or \"err\"".to_string())
+        }
+    }
 }
 
 impl std::fmt::Display for Cell {
@@ -32,7 +58,7 @@ impl std::fmt::Display for Cell {
 }
 
 /// A figure's result set: rows = datasets, cols = systems.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct Table {
     /// Figure/table identifier ("fig3-dim32").
     pub title: String,
@@ -124,6 +150,68 @@ impl Table {
             }
         }
     }
+
+    /// Serializes through the dependency-free JSON path (same shape as the
+    /// serde output of [`write_json`]).
+    pub fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            ("systems", strs(&self.systems)),
+            ("rows", strs(&self.rows)),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(Cell::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Table::to_json`].
+    pub fn from_json(j: &Json) -> Result<Table, String> {
+        let str_arr = |key: &str| -> Result<Vec<String>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing array field {key}"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string entry in {key}"))
+                })
+                .collect()
+        };
+        let title = j
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or("missing string field title")?
+            .to_string();
+        let systems = str_arr("systems")?;
+        let rows = str_arr("rows")?;
+        let cells = j
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field cells")?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or("cells rows must be arrays".to_string())?
+                    .iter()
+                    .map(Cell::from_json)
+                    .collect()
+            })
+            .collect::<Result<Vec<Vec<Cell>>, String>>()?;
+        Ok(Table {
+            title,
+            systems,
+            rows,
+            cells,
+        })
+    }
 }
 
 /// Writes any serializable record as pretty JSON, creating parent dirs.
@@ -175,10 +263,22 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let t = table();
-        let path = std::env::temp_dir().join("gnnone_test_table.json");
-        write_json(path.to_str().unwrap(), &t).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
+        let text = t.to_json().to_string_pretty();
         assert!(text.contains("Slowpoke"));
-        std::fs::remove_file(path).ok();
+        assert!(text.contains("OOM"));
+        let parsed = gnnone_sim::jsonio::parse(&text).unwrap();
+        let back = Table::from_json(&parsed).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let j = gnnone_sim::jsonio::parse(r#"{"title": "x"}"#).unwrap();
+        let err = Table::from_json(&j).unwrap_err();
+        assert!(err.contains("systems"), "{err}");
+        assert_eq!(
+            Cell::from_json(&gnnone_sim::jsonio::parse("{}").unwrap()).unwrap_err(),
+            "cell must carry \"ms\" or \"err\""
+        );
     }
 }

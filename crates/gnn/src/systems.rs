@@ -19,7 +19,7 @@ use gnnone_kernels::baselines::{CusparseSpmm, DgSparseSddmm, DglSddmm};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm};
 use gnnone_kernels::graph::GraphData;
 use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
-use gnnone_sim::{Gpu, GpuSpec, MetricsRegistry, TraceSession};
+use gnnone_sim::{Gpu, GpuSpec, MetricsRegistry, Sanitizer, TraceSession};
 use gnnone_sparse::formats::Coo;
 
 use crate::timing::SimClock;
@@ -148,6 +148,13 @@ impl GnnContext {
     /// device already had a different registry attached.
     pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) -> bool {
         self.gpu.attach_metrics(registry)
+    }
+
+    /// Attaches a sanitizer to the device; every sparse-kernel launch of
+    /// the training run is then shadow-checked. Returns `false` if the
+    /// device already had a different sanitizer attached.
+    pub fn attach_sanitizer(&self, sanitizer: Arc<Sanitizer>) -> bool {
+        self.gpu.attach_sanitizer(sanitizer)
     }
 
     /// Number of vertices.

@@ -179,11 +179,6 @@ impl WarpKernel for CsrLaunch<'_> {
                 });
                 // Row resolution: one shared probe + search arithmetic per
                 // NZE (the staged offsets slice), vs COO's direct read.
-                let _probe: LaneArr<u32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| CACHE * 2 + (e_local(g) % (CACHE + 2)))
-                });
-                ctx.compute(4); // branchy search steps within the slice
                 let mut rows_l = [0u32; WARP_SIZE];
                 for l in 0..WARP_SIZE {
                     let (g, _) = geo.split_lane(l);
@@ -191,6 +186,16 @@ impl WarpKernel for CsrLaunch<'_> {
                         rows_l[l] = host_row_of(self.offsets, base + e_local(g)) as u32;
                     }
                 }
+                // Each lane probes its row's staged offset word. The row is
+                // inside [row_first, row_last], so the word is one the
+                // staging loop wrote (probing by raw NZE index could land
+                // past the staged span when the warp covers few rows).
+                let _probe: LaneArr<u32> = ctx.shared_load(|l| {
+                    let (g, _) = geo.split_lane(l);
+                    group_active(g)
+                        .then(|| CACHE * 2 + ((rows_l[l] as usize - row_first) % (CACHE + 2)))
+                });
+                ctx.compute(4); // branchy search steps within the slice
 
                 // Row-split flush, as in the COO kernel.
                 let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];

@@ -17,6 +17,8 @@
 //! * [`geometry`] — thread-group geometry shared by all kernels.
 //! * [`graph`] — device-resident graph tensors ([`GraphData`]).
 //! * [`registry`] — constructs every implementation by name.
+//! * [`sanitize`] — registry-wide sanitizer sweep (the simulator's
+//!   `compute-sanitizer` workflow over every shipped kernel).
 //!
 //! ## Example: run GNNOne SpMM against the CPU oracle
 //!
@@ -51,6 +53,7 @@ pub mod geometry;
 pub mod gnnone;
 pub mod graph;
 pub mod registry;
+pub mod sanitize;
 pub mod traits;
 
 pub use graph::GraphData;

@@ -1,0 +1,162 @@
+//! Registry-wide sanitizer sweep: run every shipped kernel under the
+//! `gnnone-sim` sanitizer on one graph and collect per-kernel verdicts.
+//!
+//! This is the simulator's `compute-sanitizer` workflow: the sweep attaches
+//! a [`Sanitizer`] to the [`Gpu`], drives every kernel in
+//! [`crate::registry`] (plus the CSR variant and the fused GAT kernel,
+//! which live outside the figure registries), and attributes findings to
+//! kernels by the change in [`Sanitizer::finding_count`] around each
+//! launch. Inputs are generated deterministically from the graph shape so
+//! two sweeps over the same graph audit identical executions.
+//!
+//! Kernels are allowed to decline a launch ([`LaunchError`], e.g. a CTA
+//! shape the spec cannot host) — that is recorded as a skip, not a finding.
+
+use std::sync::Arc;
+
+use gnnone_sim::engine::LaunchError;
+use gnnone_sim::{DeviceBuffer, Gpu, SanitizeConfig, Sanitizer};
+
+use crate::gnnone::{FusedGatAttention, GnnOneCsrSpmm, GnnOneUAddV};
+use crate::graph::GraphData;
+use crate::registry;
+use crate::traits::SpmmKernel;
+
+/// Outcome of sweeping one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSweep {
+    /// Kernel name (figure label, or the standalone kernel's name).
+    pub name: String,
+    /// Operation family: "sddmm", "spmm", "spmv", "fused", "u-add-v".
+    pub op: &'static str,
+    /// Storage format the kernel consumes.
+    pub format: &'static str,
+    /// `None` when the kernel launched; `Some(reason)` when it declined.
+    pub skipped: Option<String>,
+    /// Sanitizer findings attributed to this kernel's launches.
+    pub findings: u64,
+}
+
+impl KernelSweep {
+    /// `true` when the kernel launched and produced no findings.
+    pub fn clean(&self) -> bool {
+        self.skipped.is_none() && self.findings == 0
+    }
+}
+
+/// Total findings across a sweep.
+pub fn total_findings(sweeps: &[KernelSweep]) -> u64 {
+    sweeps.iter().map(|s| s.findings).sum()
+}
+
+/// Deterministic pseudo-feature vector: bounded, non-constant, seedless.
+fn features(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (((i * 37 + salt * 101) % 29) as f32 - 14.0) * 0.11)
+        .collect()
+}
+
+/// Sweeps every registered kernel over `graph` at feature length `f`,
+/// using the sanitizer already attached to `gpu` (attaching a fresh one
+/// when absent). Returns one [`KernelSweep`] per kernel driven.
+pub fn sweep_graph(gpu: &Gpu, graph: &Arc<GraphData>, f: usize) -> Vec<KernelSweep> {
+    let san: Arc<Sanitizer> = match gpu.sanitizer() {
+        Some(s) => Arc::clone(s),
+        None => gpu.enable_sanitizer(SanitizeConfig::on()),
+    };
+    let nv = graph.num_vertices();
+    let nnz = graph.nnz();
+    let dx = DeviceBuffer::from_slice(&features(nv * f, 1));
+    let dz = DeviceBuffer::from_slice(&features(nv * f, 2));
+    let dw = DeviceBuffer::from_slice(&features(nnz, 3));
+    let del = DeviceBuffer::from_slice(&features(nv, 4));
+    let der = DeviceBuffer::from_slice(&features(nv, 5));
+    let dy = DeviceBuffer::<f32>::zeros(nv * f);
+    let dwe = DeviceBuffer::<f32>::zeros(nnz);
+    let dyv = DeviceBuffer::<f32>::zeros(nv);
+    let dalpha = DeviceBuffer::<f32>::zeros(nnz);
+
+    let mut out = Vec::new();
+    let mut record = |name: &str,
+                      op: &'static str,
+                      format: &'static str,
+                      before: u64,
+                      result: Result<(), LaunchError>| {
+        out.push(KernelSweep {
+            name: name.to_string(),
+            op,
+            format,
+            skipped: result.err().map(|e| e.to_string()),
+            findings: san.finding_count() - before,
+        });
+    };
+
+    for k in registry::sddmm_kernels(graph) {
+        let before = san.finding_count();
+        let r = k.run(gpu, &dx, &dz, f, &dwe).map(drop);
+        record(k.name(), "sddmm", k.format(), before, r);
+    }
+
+    let spmm: Vec<Box<dyn SpmmKernel>> = registry::spmm_kernels(graph)
+        .into_iter()
+        .chain(registry::spmm_discussion_kernels(graph))
+        .chain(std::iter::once(
+            Box::new(GnnOneCsrSpmm::new(Arc::clone(graph))) as Box<dyn SpmmKernel>,
+        ))
+        .collect();
+    for k in spmm {
+        dy.fill_default();
+        let before = san.finding_count();
+        let r = k.run(gpu, &dw, &dx, f, &dy).map(drop);
+        record(k.name(), "spmm", k.format(), before, r);
+    }
+
+    for k in registry::spmv_class_kernels(graph) {
+        dyv.fill_default();
+        let before = san.finding_count();
+        let r = k.run(gpu, &dw, &del, &dyv).map(drop);
+        record(k.name(), "spmv", k.format(), before, r);
+    }
+
+    {
+        dy.fill_default();
+        let fused = FusedGatAttention::new(Arc::clone(graph), 0.2);
+        let before = san.finding_count();
+        let r = fused
+            .run(gpu, &dz, &del, &der, f, &dy, Some(&dalpha))
+            .map(drop);
+        record("FusedGAT", "fused", "CSR", before, r);
+    }
+    {
+        let uaddv = GnnOneUAddV::new(Arc::clone(graph));
+        let before = san.finding_count();
+        let r = uaddv.run(gpu, &del, &der, &dwe).map(drop);
+        record("GnnOne-UAddV", "u-add-v", "COO", before, r);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::gen;
+
+    #[test]
+    fn sweep_covers_every_family_and_is_deterministic() {
+        let el = gen::erdos_renyi(64, 256, 7).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let a = sweep_graph(&gpu, &g, 8);
+        for op in ["sddmm", "spmm", "spmv", "fused", "u-add-v"] {
+            assert!(a.iter().any(|s| s.op == op), "missing family {op}");
+        }
+        assert!(a.len() >= 12, "only {} kernels swept", a.len());
+        // A second sweep on a fresh GPU/sanitizer sees identical verdicts.
+        let gpu2 = Gpu::new(GpuSpec::tiny());
+        let b = sweep_graph(&gpu2, &g, 8);
+        assert_eq!(a, b);
+    }
+}

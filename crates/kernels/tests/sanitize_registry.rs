@@ -1,0 +1,50 @@
+//! Registry-wide sanitizer sweep: every shipped kernel must come up clean
+//! on Table 1 synthetic graphs — the acceptance gate behind
+//! `gnnone-prof sanitize`.
+
+use std::sync::Arc;
+
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::sanitize::{sweep_graph, total_findings};
+use gnnone_sim::{Gpu, GpuSpec, SanitizeConfig};
+use gnnone_sparse::datasets::{Dataset, Scale};
+
+fn sweep_dataset(id: &str, f: usize) {
+    let ds = Dataset::by_id(id, Scale::Tiny).expect("Table 1 id");
+    let g = Arc::new(GraphData::new(ds.coo));
+    let gpu = Gpu::new(GpuSpec::tiny());
+    let san = gpu.enable_sanitizer(SanitizeConfig::on());
+    let sweeps = sweep_graph(&gpu, &g, f);
+    assert!(
+        sweeps.len() >= 12,
+        "{id}: only {} kernels swept",
+        sweeps.len()
+    );
+    let dirty: Vec<_> = sweeps.iter().filter(|s| !s.clean()).collect();
+    let launched = sweeps.iter().filter(|s| s.skipped.is_none()).count();
+    assert!(
+        launched >= 12,
+        "{id}: only {launched} kernels actually launched"
+    );
+    assert!(
+        dirty.iter().all(|s| s.findings == 0),
+        "{id} f={f}: shipped kernels flagged: {:#?}\nreport: {}",
+        dirty,
+        san.report_json().to_string_pretty()
+    );
+    assert_eq!(total_findings(&sweeps), 0);
+    assert!(san.is_clean());
+}
+
+#[test]
+fn registry_is_clean_on_g0() {
+    // G0 at the paper's smallest feature length (float3 path) and a
+    // float4-friendly one.
+    sweep_dataset("G0", 6);
+    sweep_dataset("G0", 16);
+}
+
+#[test]
+fn registry_is_clean_on_g1() {
+    sweep_dataset("G1", 16);
+}

@@ -116,6 +116,15 @@ impl<T: Pod32> DeviceBuffer<T> {
         (self.len() as u64) * 4
     }
 
+    /// Base device address of the allocation. Stable for the buffer's
+    /// lifetime and unique across live buffers — the sanitizer uses it as
+    /// the buffer's identity when merging per-warp shadow state, and the
+    /// allowlist API keys intentional last-writer-wins buffers by it.
+    #[inline]
+    pub fn addr_base(&self) -> u64 {
+        self.addr
+    }
+
     /// Device address of element `idx` (for the coalescing model).
     #[inline]
     pub fn addr_of(&self, idx: usize) -> u64 {

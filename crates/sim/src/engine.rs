@@ -27,9 +27,11 @@ use std::sync::{Arc, OnceLock};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::jsonio::Json;
 use crate::kernel::{KernelResources, WarpKernel};
 use crate::metrics::MetricsRegistry;
 use crate::occupancy::{Limiter, Occupancy};
+use crate::sanitize::{SanitizeConfig, Sanitizer, WarpShadow};
 use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
 use crate::trace::{CtaPlacement, TraceConfig, TraceSession, WarpSpan};
@@ -90,8 +92,20 @@ pub enum Bound {
     Straggler,
 }
 
+impl Bound {
+    /// Stable lowercase name used in JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Bound::Latency => "latency",
+            Bound::Issue => "issue",
+            Bound::Bandwidth => "bandwidth",
+            Bound::Straggler => "straggler",
+        }
+    }
+}
+
 /// Result of a simulated kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelReport {
     /// Kernel name.
     pub name: String,
@@ -117,6 +131,21 @@ impl KernelReport {
     /// breakdown is derived from this plus a load-only kernel variant.
     pub fn load_time_fraction(&self) -> f64 {
         self.stats.mem_stall_fraction()
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path (the
+    /// serde derive remains for callers that have `serde_json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("cycles", Json::U64(self.cycles)),
+            ("time_ms", Json::F64(self.time_ms)),
+            ("ctas", Json::U64(self.ctas)),
+            ("warps_per_sm", Json::U64(self.warps_per_sm as u64)),
+            ("occupancy", Json::F64(self.occupancy)),
+            ("bound", Json::Str(self.bound.as_str().into())),
+            ("stats", self.stats.to_json()),
+        ])
     }
 }
 
@@ -151,6 +180,7 @@ pub struct Gpu {
     spec: GpuSpec,
     trace: OnceLock<Arc<TraceSession>>,
     metrics: OnceLock<Arc<MetricsRegistry>>,
+    sanitize: OnceLock<Arc<Sanitizer>>,
 }
 
 impl Gpu {
@@ -160,6 +190,7 @@ impl Gpu {
             spec,
             trace: OnceLock::new(),
             metrics: OnceLock::new(),
+            sanitize: OnceLock::new(),
         }
     }
 
@@ -219,6 +250,29 @@ impl Gpu {
         self.metrics.get()
     }
 
+    /// Installs a fresh [`Sanitizer`] with `config` and returns it; returns
+    /// the existing one if already attached (the slot is set-once). Every
+    /// subsequent launch on this GPU is audited. The shadow checks never
+    /// touch the timing model, so reports from clean kernels are identical
+    /// with and without a sanitizer attached.
+    pub fn enable_sanitizer(&self, config: SanitizeConfig) -> Arc<Sanitizer> {
+        self.sanitize
+            .get_or_init(|| Arc::new(Sanitizer::new(config)))
+            .clone()
+    }
+
+    /// Attaches an existing sanitizer (e.g. one shared across several GPUs
+    /// so all launches accumulate into one report). Returns `false` if one
+    /// was already attached (the existing one stays).
+    pub fn attach_sanitizer(&self, sanitizer: Arc<Sanitizer>) -> bool {
+        self.sanitize.set(sanitizer).is_ok()
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitize.get()
+    }
+
     /// Launches `kernel`, panicking on configuration errors. Use
     /// [`Gpu::try_launch`] when failure is an expected outcome (baseline
     /// pathologies).
@@ -257,26 +311,39 @@ impl Gpu {
         let trace = self.trace.get().filter(|t| t.is_enabled());
         let want_ctas = trace.is_some_and(|t| t.config().cta_spans);
         let want_warps = trace.is_some_and(|t| t.config().warp_spans);
+        // Sanitizer gate — same pattern, one atomic load when absent.
+        let san = self.sanitize.get();
 
         // Execute every CTA (warps within a CTA run back to back; CTAs in
         // parallel on the host — they are independent). The fold/reduce
         // combines in encounter order (rayon's indexed-reduce guarantee),
-        // so CTA cost order — and therefore any trace built from it — is
-        // deterministic.
-        let (costs, warp_details, stats) = (0..num_ctas)
+        // so CTA cost order — and therefore any trace built from it, and
+        // the warp order of sanitizer shadows — is deterministic.
+        let (costs, warp_details, stats, shadows) = (0..num_ctas)
             .into_par_iter()
             .map(|cta| {
                 let mut cost = CtaCost::default();
                 let mut stats = KernelStats::default();
                 let mut warps = Vec::new();
+                let mut shadows = Vec::new();
                 for w in 0..warps_per_cta {
                     let warp_id = cta * warps_per_cta + w;
                     if warp_id >= grid_warps {
                         break;
                     }
                     let mut ctx = WarpCtx::new(timing, shared_per_warp);
+                    if let Some(s) = san {
+                        ctx.attach_shadow(Box::new(WarpShadow::new(
+                            warp_id,
+                            s.config(),
+                            shared_per_warp / 4,
+                        )));
+                    }
                     kernel.run_warp(warp_id, &mut ctx);
                     let ws = ctx.finish();
+                    if let Some(sh) = ctx.take_shadow() {
+                        shadows.push(*sh);
+                    }
                     cost.solo_cycles += ws.solo_cycles;
                     cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
                     cost.traffic_bytes +=
@@ -290,7 +357,7 @@ impl Gpu {
                     }
                     stats.absorb_warp(&ws);
                 }
-                (cost, warps, stats)
+                (cost, warps, stats, shadows)
             })
             .fold(
                 || {
@@ -298,26 +365,33 @@ impl Gpu {
                         Vec::<CtaCost>::new(),
                         Vec::<Vec<WarpSpan>>::new(),
                         KernelStats::default(),
+                        Vec::<WarpShadow>::new(),
                     )
                 },
-                |(mut costs, mut details, mut acc), (cost, warps, stats)| {
+                |(mut costs, mut details, mut acc, mut shs), (cost, warps, stats, cta_shs)| {
                     costs.push(cost);
                     if want_warps {
                         details.push(warps);
                     }
                     acc.merge(&stats);
-                    (costs, details, acc)
+                    shs.extend(cta_shs);
+                    (costs, details, acc, shs)
                 },
             )
             .reduce(
-                || (Vec::new(), Vec::new(), KernelStats::default()),
-                |(mut a, mut da, mut sa), (b, db, sb)| {
+                || (Vec::new(), Vec::new(), KernelStats::default(), Vec::new()),
+                |(mut a, mut da, mut sa, mut sha), (b, db, sb, shb)| {
                     a.extend(b);
                     da.extend(db);
                     sa.merge(&sb);
-                    (a, da, sa)
+                    sha.extend(shb);
+                    (a, da, sa, sha)
                 },
             );
+
+        if let Some(s) = san {
+            s.audit_launch(kernel.name(), warps_per_cta, shadows);
+        }
 
         let (cycles, bound, placements) = self.schedule(&costs, &occ, want_ctas);
         let report = KernelReport {
@@ -341,18 +415,8 @@ impl Gpu {
     }
 
     fn validate(&self, res: &KernelResources) -> Result<(), LaunchError> {
-        if res.threads_per_cta == 0
-            || !res.threads_per_cta.is_multiple_of(32)
-            || res.threads_per_cta > 1024
-        {
-            return Err(LaunchError::Unlaunchable {
-                reason: format!(
-                    "threads_per_cta must be a positive multiple of 32 ≤ 1024, got {}",
-                    res.threads_per_cta
-                ),
-            });
-        }
-        Ok(())
+        res.validate()
+            .map_err(|reason| LaunchError::Unlaunchable { reason })
     }
 
     /// Greedy dynamic CTA scheduling + per-SM time model. When
@@ -664,7 +728,28 @@ mod tests {
             regs: 32,
             drain_every: None,
         });
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_string_compact();
         assert!(json.contains("\"stream\""));
+        // The document parses back and preserves the key fields.
+        let parsed = crate::jsonio::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("name").and_then(crate::jsonio::Json::as_str),
+            Some("stream")
+        );
+        assert_eq!(
+            parsed.get("cycles").and_then(crate::jsonio::Json::as_u64),
+            Some(r.cycles)
+        );
+        assert_eq!(
+            parsed.get("bound").and_then(crate::jsonio::Json::as_str),
+            Some(r.bound.as_str())
+        );
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("loads"))
+                .and_then(crate::jsonio::Json::as_u64),
+            Some(r.stats.loads)
+        );
     }
 }

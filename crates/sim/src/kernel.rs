@@ -17,6 +17,28 @@ pub struct KernelResources {
 }
 
 impl KernelResources {
+    /// Checks the declaration invariants that the doc comments promise:
+    /// `threads_per_cta` a positive multiple of 32 and at most 1024 (the
+    /// CUDA CTA limit). The engine calls this on every launch and turns a
+    /// violation into [`crate::engine::LaunchError::Unlaunchable`] — a
+    /// non-multiple-of-32 CTA would otherwise silently skew the occupancy
+    /// model (fractional warps are rounded away).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads_per_cta == 0
+            || !self.threads_per_cta.is_multiple_of(32)
+            || self.threads_per_cta > 1024
+        {
+            return Err(format!(
+                "threads_per_cta must be a positive multiple of 32 ≤ 1024, got {}",
+                self.threads_per_cta
+            ));
+        }
+        if self.regs_per_thread == 0 {
+            return Err("regs_per_thread must be positive (every kernel uses registers)".into());
+        }
+        Ok(())
+    }
+
     /// Warps per CTA.
     pub fn warps_per_cta(&self) -> usize {
         self.threads_per_cta / 32
@@ -63,6 +85,41 @@ mod tests {
         };
         assert_eq!(r.warps_per_cta(), 8);
         assert_eq!(r.shared_bytes_per_warp(), 1024);
+    }
+
+    #[test]
+    fn validate_accepts_documented_shapes() {
+        for threads in [32, 64, 256, 1024] {
+            let r = KernelResources {
+                threads_per_cta: threads,
+                regs_per_thread: 32,
+                shared_bytes_per_cta: 0,
+            };
+            assert!(r.validate().is_ok(), "{threads} threads rejected");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_contract_violations() {
+        let base = KernelResources {
+            threads_per_cta: 256,
+            regs_per_thread: 32,
+            shared_bytes_per_cta: 0,
+        };
+        for threads in [0, 33, 31, 1056] {
+            let r = KernelResources {
+                threads_per_cta: threads,
+                ..base
+            };
+            let err = r.validate().unwrap_err();
+            assert!(err.contains("threads_per_cta"), "{err}");
+            assert!(err.contains(&threads.to_string()), "{err}");
+        }
+        let r = KernelResources {
+            regs_per_thread: 0,
+            ..base
+        };
+        assert!(r.validate().unwrap_err().contains("regs_per_thread"));
     }
 
     #[test]

@@ -80,6 +80,17 @@
 //! [`Gpu::enable_metrics`]. Both are zero-cost when not attached. See
 //! `docs/PROFILING.md` at the workspace root for every counter's
 //! definition and its Nsight Compute analogue.
+//!
+//! ## Sanitizer
+//!
+//! The same attachment pattern carries the correctness oracle: a
+//! [`sanitize::Sanitizer`] installed via [`Gpu::enable_sanitizer`] shadows
+//! every global and shared access of every launch, checking for cross-warp
+//! races, reads of shared words not separated from their writes by a
+//! barrier, uninitialized shared reads, out-of-bounds indices, and
+//! misaligned vector accesses — the simulator's `compute-sanitizer`
+//! analogue. The shadow never touches the timing model; reports are
+//! identical with and without it. See `docs/SANITIZER.md`.
 
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
@@ -92,6 +103,7 @@ pub mod kernel;
 pub mod lanes;
 pub mod metrics;
 pub mod occupancy;
+pub mod sanitize;
 pub mod spec;
 pub mod stats;
 pub mod trace;
@@ -103,6 +115,7 @@ pub use kernel::{KernelResources, WarpKernel};
 pub use lanes::{LaneArr, WARP_SIZE};
 pub use metrics::{KernelMetrics, MetricsRegistry, MetricsSnapshot};
 pub use occupancy::Occupancy;
+pub use sanitize::{CheckKind, Finding, LaunchAudit, SanitizeConfig, Sanitizer};
 pub use spec::{GpuSpec, TimingParams};
 pub use stats::{KernelStats, WarpStats};
 pub use trace::{TraceConfig, TraceEvent, TraceSession};

@@ -1,0 +1,576 @@
+//! Kernel sanitizer: the simulator's `compute-sanitizer` analogue.
+//!
+//! A [`Sanitizer`] attaches to a [`crate::Gpu`] exactly like a
+//! [`crate::trace::TraceSession`] — one `Arc` in a `OnceLock`, one atomic
+//! load per launch when absent, zero cost when disabled. While attached it
+//! runs four families of checks over every launch:
+//!
+//! 1. **Global-memory racecheck** (`racecheck`, the `compute-sanitizer
+//!    --tool racecheck` analogue): per-element shadow cells record which
+//!    warps plainly read, plainly wrote, or atomically updated each device
+//!    word. After the launch the per-warp cells are merged; a plain write
+//!    that overlaps *any* access from a different warp — or a plain read /
+//!    atomic overlapping a foreign plain write — is a data race on real
+//!    hardware (last-writer-wins here). Buffers registered through
+//!    [`Sanitizer::allow_last_writer_wins`] are exempt.
+//! 2. **Shared-memory phase check** (`sharedcheck`, part racecheck, part
+//!    `initcheck`): every shared word carries a `(barrier epoch, writing
+//!    lane)` tag. A read of a word written by a *different* lane in the
+//!    *same* epoch means a missing `__syncwarp`; a read of a never-written
+//!    word is an uninitialized shared read.
+//! 3. **Bounds + alignment** (`boundscheck`, the `memcheck` analogue):
+//!    every `load*`/`store*`/`atomic_add*` is checked against the buffer's
+//!    element count, and vector accesses (`load_f32x2`/`load_f32x4`) against
+//!    their natural alignment. `float3` is deliberately unconstrained — it
+//!    is three scalar words on CUDA, which is why the paper's §4.4 picks it
+//!    for feature length 6.
+//! 4. **Barrier audit** (`synccheck`): `KernelResources` invariants are
+//!    validated at launch (see [`crate::KernelResources::validate`]), the
+//!    declared shared allocation must cover every word touched, and — when
+//!    [`SanitizeConfig::cta_scope_sync`] is set — all warps of a CTA must
+//!    execute the same number of barriers. That last check is off by
+//!    default because this simulator's `barrier()` is warp-scoped
+//!    (`__syncwarp`), under which per-warp-varying barrier counts are legal
+//!    and the shipped GE-SpMM-style chunk loops rely on exactly that.
+//!
+//! Findings are structured ([`Finding`]) and serialize through
+//! [`crate::jsonio`], so `gnnone-prof sanitize` and the `--sanitize` flags
+//! on the figure binaries can emit machine-readable reports.
+
+mod shadow;
+
+pub(crate) use shadow::{GlobalKind, WarpShadow};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use crate::buffer::{DeviceBuffer, Pod32};
+use crate::jsonio::Json;
+
+/// Which checks a [`Sanitizer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanitizeConfig {
+    /// Cross-warp global-memory race detection.
+    pub racecheck: bool,
+    /// Shared-memory epoch + initialization checking.
+    pub sharedcheck: bool,
+    /// Global bounds and vector-alignment checking.
+    pub boundscheck: bool,
+    /// Barrier-count divergence audit (requires `cta_scope_sync` to flag
+    /// anything beyond resource-declaration violations).
+    pub synccheck: bool,
+    /// Treat `barrier()` as CTA-scoped (`__syncthreads`) for the divergence
+    /// audit. Off by default: the reproduced kernels synchronize at warp
+    /// scope, where divergent per-warp barrier counts are legal.
+    pub cta_scope_sync: bool,
+    /// Cap on recorded findings per launch; the excess is counted in
+    /// [`LaunchAudit::suppressed`].
+    pub max_findings_per_launch: usize,
+}
+
+impl SanitizeConfig {
+    /// Every check on (except [`Self::cta_scope_sync`], which changes the
+    /// barrier semantics rather than adding a check), 64 findings per launch.
+    pub fn on() -> Self {
+        Self {
+            racecheck: true,
+            sharedcheck: true,
+            boundscheck: true,
+            synccheck: true,
+            cta_scope_sync: false,
+            max_findings_per_launch: 64,
+        }
+    }
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        Self::on()
+    }
+}
+
+/// The category of a [`Finding`] — one slug per failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Two warps accessed the same global word and at least one side was a
+    /// plain (non-atomic) write.
+    GlobalRace,
+    /// A global access past the end of its buffer.
+    GlobalOutOfBounds,
+    /// A vector access whose base element is not width-aligned.
+    MisalignedAccess,
+    /// A shared word read by one lane in the same barrier epoch another lane
+    /// wrote it (missing `__syncwarp`).
+    SharedReadInWriteEpoch,
+    /// A shared word read before any write.
+    SharedUninitialized,
+    /// A shared access beyond the words covered by the kernel's declared
+    /// `shared_bytes_per_cta`.
+    SharedOutOfBounds,
+    /// Warps of one CTA executed different barrier counts under
+    /// [`SanitizeConfig::cta_scope_sync`].
+    BarrierDivergence,
+}
+
+impl CheckKind {
+    /// Stable slug used in JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckKind::GlobalRace => "global-race",
+            CheckKind::GlobalOutOfBounds => "global-oob",
+            CheckKind::MisalignedAccess => "misaligned-access",
+            CheckKind::SharedReadInWriteEpoch => "shared-same-epoch",
+            CheckKind::SharedUninitialized => "shared-uninitialized",
+            CheckKind::SharedOutOfBounds => "shared-oob",
+            CheckKind::BarrierDivergence => "barrier-divergence",
+        }
+    }
+}
+
+/// One structured sanitizer diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which check fired.
+    pub kind: CheckKind,
+    /// Name of the kernel whose launch produced the finding.
+    pub kernel: String,
+    /// Warp that performed (or, for races, first performed) the access.
+    pub warp: usize,
+    /// Lane within [`Self::warp`], when attributable to one lane.
+    pub lane: Option<usize>,
+    /// The conflicting warp, for races and same-epoch findings.
+    pub other_warp: Option<usize>,
+    /// The conflicting lane within [`Self::other_warp`].
+    pub other_lane: Option<usize>,
+    /// Device byte address, for global findings.
+    pub addr: Option<u64>,
+    /// Element / word index into the buffer or shared allocation.
+    pub index: Option<u64>,
+    /// Barrier epoch at the moment of the access, for shared/barrier
+    /// findings.
+    pub epoch: Option<u64>,
+    /// Human-readable one-line description.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Serializes through [`crate::jsonio`]; absent optional fields are
+    /// omitted rather than null.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("check", Json::Str(self.kind.as_str().into())),
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("warp", Json::U64(self.warp as u64)),
+        ];
+        if let Some(l) = self.lane {
+            fields.push(("lane", Json::U64(l as u64)));
+        }
+        if let Some(w) = self.other_warp {
+            fields.push(("other_warp", Json::U64(w as u64)));
+        }
+        if let Some(l) = self.other_lane {
+            fields.push(("other_lane", Json::U64(l as u64)));
+        }
+        if let Some(a) = self.addr {
+            fields.push(("addr", Json::U64(a)));
+        }
+        if let Some(i) = self.index {
+            fields.push(("index", Json::U64(i)));
+        }
+        if let Some(e) = self.epoch {
+            fields.push(("epoch", Json::U64(e)));
+        }
+        fields.push(("detail", Json::Str(self.detail.clone())));
+        Json::obj(fields)
+    }
+}
+
+/// The sanitizer's verdict on one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchAudit {
+    /// Kernel name as reported by [`crate::WarpKernel::name`].
+    pub kernel: String,
+    /// Warps the launch executed.
+    pub warps: u64,
+    /// Findings, in warp order, capped per
+    /// [`SanitizeConfig::max_findings_per_launch`].
+    pub findings: Vec<Finding>,
+    /// Findings dropped by the cap.
+    pub suppressed: u64,
+}
+
+impl LaunchAudit {
+    /// Serializes through [`crate::jsonio`].
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("warps", Json::U64(self.warps)),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+            ("suppressed", Json::U64(self.suppressed)),
+        ])
+    }
+}
+
+/// The shadow-state checker. Attach with [`crate::Gpu::attach_sanitizer`]
+/// (or [`crate::Gpu::enable_sanitizer`]); thereafter every launch on that
+/// `Gpu` is audited and the results accumulate here.
+#[derive(Debug)]
+pub struct Sanitizer {
+    config: SanitizeConfig,
+    /// Base addresses of buffers where last-writer-wins races are intended.
+    allow: Mutex<BTreeSet<u64>>,
+    launches: Mutex<Vec<LaunchAudit>>,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer with the given check configuration.
+    pub fn new(config: SanitizeConfig) -> Self {
+        Self {
+            config,
+            allow: Mutex::new(BTreeSet::new()),
+            launches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SanitizeConfig {
+        self.config
+    }
+
+    /// Exempts `buf` from the global racecheck: concurrent plain stores to
+    /// it are declared intentional last-writer-wins (the allowlist API of
+    /// check 1). Bounds and alignment checks still apply.
+    pub fn allow_last_writer_wins<T: Pod32>(&self, buf: &DeviceBuffer<T>) {
+        self.allow.lock().unwrap().insert(buf.addr_base());
+    }
+
+    /// Audits of every launch since attachment, in launch order.
+    pub fn launches(&self) -> Vec<LaunchAudit> {
+        self.launches.lock().unwrap().clone()
+    }
+
+    /// Total recorded findings across all launches (suppressed ones not
+    /// included).
+    pub fn finding_count(&self) -> u64 {
+        self.launches
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|l| l.findings.len() as u64 + l.suppressed)
+            .sum()
+    }
+
+    /// `true` when no launch produced any finding.
+    pub fn is_clean(&self) -> bool {
+        self.finding_count() == 0
+    }
+
+    /// Full report as a [`crate::jsonio::Json`] document.
+    pub fn report_json(&self) -> Json {
+        let launches = self.launches.lock().unwrap();
+        Json::obj(vec![
+            ("launches", Json::U64(launches.len() as u64)),
+            (
+                "findings",
+                Json::U64(
+                    launches
+                        .iter()
+                        .map(|l| l.findings.len() as u64 + l.suppressed)
+                        .sum(),
+                ),
+            ),
+            (
+                "audits",
+                Json::Arr(launches.iter().map(LaunchAudit::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the pretty-printed report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.report_json().to_string_pretty())
+    }
+
+    /// Merges per-warp shadows into one launch audit. Called by the engine
+    /// after the reduce; `shadows` arrive in warp order.
+    pub(crate) fn audit_launch(
+        &self,
+        kernel: &str,
+        warps_per_cta: usize,
+        mut shadows: Vec<WarpShadow>,
+    ) {
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut suppressed: u64 = 0;
+        for sh in shadows.iter_mut() {
+            for mut f in sh.take_findings() {
+                f.kernel = kernel.to_string();
+                findings.push(f);
+            }
+            suppressed += sh.suppressed();
+        }
+
+        if self.config.racecheck {
+            let allow = self.allow.lock().unwrap();
+            // Merge per-warp cells in warp order so diagnostics are
+            // deterministic: the reported pair is always (first warp to
+            // touch the cell, first conflicting warp).
+            #[derive(Default)]
+            struct Owners {
+                read: Option<(usize, u8)>,
+                write: Option<(usize, u8)>,
+                atomic: Option<(usize, u8)>,
+            }
+            let mut cells: BTreeMap<(u64, u64), Owners> = BTreeMap::new();
+            let mut reported: BTreeSet<(u64, u64)> = BTreeSet::new();
+            for sh in shadows.iter() {
+                let warp = sh.warp_id();
+                for (&key, acc) in sh.global_cells() {
+                    if allow.contains(&key.0) {
+                        continue;
+                    }
+                    let owners = cells.entry(key).or_default();
+                    // A conflict needs a plain write on one side and any
+                    // access from a different warp on the other.
+                    let conflict = if acc.write.is_some() {
+                        [owners.write, owners.atomic, owners.read]
+                            .into_iter()
+                            .flatten()
+                            .find(|&(w, _)| w != warp)
+                    } else {
+                        owners.write.filter(|&(w, _)| w != warp)
+                    };
+                    if let Some((other_warp, other_lane)) = conflict {
+                        if reported.insert(key) {
+                            let lane = acc.write.or(acc.atomic).or(acc.read).unwrap_or(0);
+                            let this_kind = if acc.write.is_some() {
+                                "plain store"
+                            } else if acc.atomic.is_some() {
+                                "atomic"
+                            } else {
+                                "load"
+                            };
+                            let f = Finding {
+                                kind: CheckKind::GlobalRace,
+                                kernel: kernel.to_string(),
+                                warp: other_warp,
+                                lane: Some(usize::from(other_lane)),
+                                other_warp: Some(warp),
+                                other_lane: Some(usize::from(lane)),
+                                addr: Some(key.0 + key.1 * 4),
+                                index: Some(key.1),
+                                epoch: None,
+                                detail: format!(
+                                    "warps {other_warp} and {warp} both touch element {} \
+                                     (buffer base {:#x}) and at least one side is a plain \
+                                     store ({this_kind} from warp {warp}); on hardware this \
+                                     is last-writer-wins",
+                                    key.1, key.0
+                                ),
+                            };
+                            if findings.len() < self.config.max_findings_per_launch {
+                                findings.push(f);
+                            } else {
+                                suppressed += 1;
+                            }
+                        }
+                    }
+                    if owners.read.is_none() {
+                        owners.read = acc.read.map(|l| (warp, l));
+                    }
+                    if owners.write.is_none() {
+                        owners.write = acc.write.map(|l| (warp, l));
+                    }
+                    if owners.atomic.is_none() {
+                        owners.atomic = acc.atomic.map(|l| (warp, l));
+                    }
+                }
+            }
+        }
+
+        if self.config.synccheck && self.config.cta_scope_sync && warps_per_cta > 1 {
+            let mut ctas: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+            for sh in shadows.iter() {
+                ctas.entry(sh.warp_id() / warps_per_cta)
+                    .or_default()
+                    .push((sh.warp_id(), sh.barriers()));
+            }
+            for (cta, warps) in &ctas {
+                let expected = warps[0].1;
+                for &(warp, count) in &warps[1..] {
+                    if count != expected {
+                        let f = Finding {
+                            kind: CheckKind::BarrierDivergence,
+                            kernel: kernel.to_string(),
+                            warp,
+                            lane: None,
+                            other_warp: Some(warps[0].0),
+                            other_lane: None,
+                            addr: None,
+                            index: None,
+                            epoch: Some(count),
+                            detail: format!(
+                                "warp {warp} of CTA {cta} executed {count} barriers but \
+                                 warp {} executed {expected}; under CTA-scoped sync all \
+                                 warps must reach every barrier",
+                                warps[0].0
+                            ),
+                        };
+                        if findings.len() < self.config.max_findings_per_launch {
+                            findings.push(f);
+                        } else {
+                            suppressed += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.launches.lock().unwrap().push(LaunchAudit {
+            kernel: kernel.to_string(),
+            warps: shadows.len() as u64,
+            findings,
+            suppressed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_on_enables_checks() {
+        let c = SanitizeConfig::on();
+        assert!(c.racecheck && c.sharedcheck && c.boundscheck && c.synccheck);
+        assert!(!c.cta_scope_sync);
+        assert_eq!(c, SanitizeConfig::default());
+    }
+
+    #[test]
+    fn check_kind_slugs_are_stable() {
+        assert_eq!(CheckKind::GlobalRace.as_str(), "global-race");
+        assert_eq!(CheckKind::GlobalOutOfBounds.as_str(), "global-oob");
+        assert_eq!(
+            CheckKind::SharedReadInWriteEpoch.as_str(),
+            "shared-same-epoch"
+        );
+        assert_eq!(CheckKind::BarrierDivergence.as_str(), "barrier-divergence");
+    }
+
+    #[test]
+    fn finding_json_omits_absent_fields() {
+        let f = Finding {
+            kind: CheckKind::GlobalOutOfBounds,
+            kernel: "k".into(),
+            warp: 3,
+            lane: Some(4),
+            other_warp: None,
+            other_lane: None,
+            addr: Some(0x180),
+            index: Some(16),
+            epoch: None,
+            detail: "d".into(),
+        };
+        let j = f.to_json();
+        assert_eq!(j.get("check").and_then(Json::as_str), Some("global-oob"));
+        assert_eq!(j.get("warp").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("lane").and_then(Json::as_u64), Some(4));
+        assert!(j.get("other_warp").is_none());
+        assert!(j.get("epoch").is_none());
+    }
+
+    #[test]
+    fn empty_sanitizer_is_clean() {
+        let s = Sanitizer::new(SanitizeConfig::on());
+        assert!(s.is_clean());
+        assert_eq!(s.finding_count(), 0);
+        let j = s.report_json();
+        assert_eq!(j.get("launches").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn race_merge_attributes_both_warps() {
+        let cfg = SanitizeConfig::on();
+        let s = Sanitizer::new(cfg);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        let mut b = WarpShadow::new(1, cfg, 0);
+        // Both warps plain-store element 5 of the same buffer.
+        assert!(a.check_global(0x1000, 16, 5, 1, 2, GlobalKind::Write));
+        assert!(b.check_global(0x1000, 16, 5, 1, 7, GlobalKind::Write));
+        s.audit_launch("racy", 1, vec![a, b]);
+        let audits = s.launches();
+        assert_eq!(audits.len(), 1);
+        let f = &audits[0].findings[0];
+        assert_eq!(f.kind, CheckKind::GlobalRace);
+        assert_eq!(f.warp, 0);
+        assert_eq!(f.other_warp, Some(1));
+        assert_eq!(f.lane, Some(2));
+        assert_eq!(f.other_lane, Some(7));
+        assert_eq!(f.index, Some(5));
+    }
+
+    #[test]
+    fn allowlist_suppresses_race() {
+        let cfg = SanitizeConfig::on();
+        let s = Sanitizer::new(cfg);
+        let buf = DeviceBuffer::<f32>::zeros(16);
+        s.allow_last_writer_wins(&buf);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        let mut b = WarpShadow::new(1, cfg, 0);
+        a.check_global(buf.addr_base(), 16, 5, 1, 0, GlobalKind::Write);
+        b.check_global(buf.addr_base(), 16, 5, 1, 0, GlobalKind::Write);
+        s.audit_launch("allowed", 1, vec![a, b]);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn atomics_do_not_race_with_atomics() {
+        let cfg = SanitizeConfig::on();
+        let s = Sanitizer::new(cfg);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        let mut b = WarpShadow::new(1, cfg, 0);
+        a.check_global(0x2000, 8, 3, 1, 0, GlobalKind::Atomic);
+        b.check_global(0x2000, 8, 3, 1, 0, GlobalKind::Atomic);
+        s.audit_launch("atomic-only", 1, vec![a, b]);
+        assert!(s.is_clean(), "{:?}", s.launches());
+    }
+
+    #[test]
+    fn same_warp_accesses_never_race() {
+        let cfg = SanitizeConfig::on();
+        let s = Sanitizer::new(cfg);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        a.check_global(0x3000, 8, 1, 1, 0, GlobalKind::Write);
+        a.check_global(0x3000, 8, 1, 1, 5, GlobalKind::Read);
+        s.audit_launch("solo", 1, vec![a]);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn barrier_divergence_requires_cta_scope() {
+        let mut cfg = SanitizeConfig::on();
+        let s = Sanitizer::new(cfg);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        let b = WarpShadow::new(1, cfg, 0);
+        a.on_barrier();
+        s.audit_launch("warp-scope", 2, vec![a, b]);
+        assert!(s.is_clean(), "warp-scoped sync must tolerate divergence");
+
+        cfg.cta_scope_sync = true;
+        let s = Sanitizer::new(cfg);
+        let mut a = WarpShadow::new(0, cfg, 0);
+        let b = WarpShadow::new(1, cfg, 0);
+        a.on_barrier();
+        s.audit_launch("cta-scope", 2, vec![a, b]);
+        let audits = s.launches();
+        assert_eq!(audits[0].findings.len(), 1);
+        let f = &audits[0].findings[0];
+        assert_eq!(f.kind, CheckKind::BarrierDivergence);
+        assert_eq!(f.warp, 1);
+        assert_eq!(f.other_warp, Some(0));
+        assert_eq!(f.epoch, Some(0));
+    }
+}

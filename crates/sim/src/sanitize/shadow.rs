@@ -1,0 +1,283 @@
+//! Per-warp shadow state: what the sanitizer records while one warp runs.
+//!
+//! A [`WarpShadow`] is attached to a [`crate::WarpCtx`] by the engine when a
+//! [`super::Sanitizer`] is installed on the [`crate::Gpu`]. Every
+//! instrumented operation consults it *before* touching device or shared
+//! memory, so an out-of-bounds access becomes a structured finding (and the
+//! access is skipped) instead of a host panic. The shadow never touches the
+//! warp's clock or statistics — attaching a sanitizer cannot perturb the
+//! timing model.
+//!
+//! Shared-memory words carry a `(barrier epoch, writing lane)` tag; global
+//! cells are keyed by `(buffer base address, element index)` and remember
+//! the first lane of each access kind, which is all the cross-warp merge in
+//! [`super::Sanitizer::audit_launch`] needs.
+
+use std::collections::BTreeMap;
+
+use super::{CheckKind, Finding, SanitizeConfig};
+
+/// The kind of a global-memory access, for shadow cells and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GlobalKind {
+    /// A plain load.
+    Read,
+    /// A plain (fire-and-forget) store.
+    Write,
+    /// An `atomicAdd`.
+    Atomic,
+}
+
+impl GlobalKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            GlobalKind::Read => "load",
+            GlobalKind::Write => "store",
+            GlobalKind::Atomic => "atomic",
+        }
+    }
+}
+
+/// Per-kind first-accessor lanes of one global cell within one warp.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CellAccess {
+    /// First lane that plainly read the cell, if any.
+    pub read: Option<u8>,
+    /// First lane that plainly wrote the cell, if any.
+    pub write: Option<u8>,
+    /// First lane that atomically updated the cell, if any.
+    pub atomic: Option<u8>,
+}
+
+/// Tag on one word of per-warp shared memory.
+#[derive(Debug, Clone, Copy, Default)]
+struct SharedTag {
+    written: bool,
+    epoch: u64,
+    lane: u8,
+}
+
+/// Shadow state for one warp of one launch.
+#[derive(Debug)]
+pub(crate) struct WarpShadow {
+    warp_id: usize,
+    config: SanitizeConfig,
+    /// Barrier epoch: incremented by every `barrier()`.
+    epoch: u64,
+    /// Total barriers executed (for the divergence audit).
+    barriers: u64,
+    shared: Vec<SharedTag>,
+    /// Global cells touched: `(buffer base addr, element index)` → lanes.
+    global: BTreeMap<(u64, u64), CellAccess>,
+    findings: Vec<Finding>,
+    suppressed: u64,
+}
+
+impl WarpShadow {
+    pub(crate) fn new(warp_id: usize, config: SanitizeConfig, shared_words: usize) -> Self {
+        Self {
+            warp_id,
+            config,
+            epoch: 0,
+            barriers: 0,
+            shared: vec![SharedTag::default(); shared_words],
+            global: BTreeMap::new(),
+            findings: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    pub(crate) fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    pub(crate) fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    pub(crate) fn global_cells(&self) -> &BTreeMap<(u64, u64), CellAccess> {
+        &self.global
+    }
+
+    pub(crate) fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    pub(crate) fn take_findings(&mut self) -> Vec<Finding> {
+        std::mem::take(&mut self.findings)
+    }
+
+    fn push(&mut self, finding: Finding) {
+        if self.findings.len() >= self.config.max_findings_per_launch {
+            self.suppressed += 1;
+        } else {
+            self.findings.push(finding);
+        }
+    }
+
+    /// Checks one lane's global access of `width` consecutive elements at
+    /// `idx` into a buffer of `len` elements based at `base`. Returns
+    /// `false` when the access is out of bounds and must be skipped.
+    pub(crate) fn check_global(
+        &mut self,
+        base: u64,
+        len: usize,
+        idx: usize,
+        width: usize,
+        lane: usize,
+        kind: GlobalKind,
+    ) -> bool {
+        if self.config.boundscheck && idx + width > len {
+            let f = Finding {
+                kind: CheckKind::GlobalOutOfBounds,
+                kernel: String::new(),
+                warp: self.warp_id,
+                lane: Some(lane),
+                other_warp: None,
+                other_lane: None,
+                addr: Some(base + (idx as u64) * 4),
+                index: Some(idx as u64),
+                epoch: None,
+                detail: format!(
+                    "{} of element {idx}..{} beyond buffer of {len} elements",
+                    kind.as_str(),
+                    idx + width
+                ),
+            };
+            self.push(f);
+            return false;
+        }
+        // Vector alignment: float2 needs 8-byte (idx % 2), float4 needs
+        // 16-byte (idx % 4). float3 is three 4-byte-aligned scalar words on
+        // CUDA — no extra constraint; that is exactly why the paper's §4.4
+        // picks float3 for feature length 6.
+        if self.config.boundscheck && (width == 2 || width == 4) && !idx.is_multiple_of(width) {
+            let f = Finding {
+                kind: CheckKind::MisalignedAccess,
+                kernel: String::new(),
+                warp: self.warp_id,
+                lane: Some(lane),
+                other_warp: None,
+                other_lane: None,
+                addr: Some(base + (idx as u64) * 4),
+                index: Some(idx as u64),
+                epoch: None,
+                detail: format!(
+                    "vector {} of width {width} at element {idx}: base must be \
+                     {width}-element aligned",
+                    kind.as_str()
+                ),
+            };
+            self.push(f);
+            // Misalignment is diagnosed but the access still executes — the
+            // functional simulator has no alignment fault to model.
+        }
+        if self.config.racecheck {
+            let l = lane as u8;
+            for k in 0..width {
+                let cell = self.global.entry((base, (idx + k) as u64)).or_default();
+                let slot = match kind {
+                    GlobalKind::Read => &mut cell.read,
+                    GlobalKind::Write => &mut cell.write,
+                    GlobalKind::Atomic => &mut cell.atomic,
+                };
+                if slot.is_none() {
+                    *slot = Some(l);
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks one lane's shared-memory store of word `idx`. Returns `false`
+    /// when the word is outside the warp's declared allocation.
+    pub(crate) fn shared_write(&mut self, idx: usize, lane: usize, limit: usize) -> bool {
+        if idx >= limit {
+            let f = self.shared_oob(idx, lane, limit, "store");
+            self.push(f);
+            return false;
+        }
+        if self.config.sharedcheck {
+            self.shared[idx] = SharedTag {
+                written: true,
+                epoch: self.epoch,
+                lane: lane as u8,
+            };
+        }
+        true
+    }
+
+    /// Checks one lane's shared-memory load of word `idx`. Returns `false`
+    /// when the word is outside the warp's declared allocation.
+    pub(crate) fn shared_read(&mut self, idx: usize, lane: usize, limit: usize) -> bool {
+        if idx >= limit {
+            let f = self.shared_oob(idx, lane, limit, "load");
+            self.push(f);
+            return false;
+        }
+        if self.config.sharedcheck {
+            let tag = self.shared[idx];
+            if !tag.written {
+                let f = Finding {
+                    kind: CheckKind::SharedUninitialized,
+                    kernel: String::new(),
+                    warp: self.warp_id,
+                    lane: Some(lane),
+                    other_warp: None,
+                    other_lane: None,
+                    addr: None,
+                    index: Some(idx as u64),
+                    epoch: Some(self.epoch),
+                    detail: format!(
+                        "read of shared word {idx} never written by this warp \
+                         (shared memory is uninitialized on hardware)"
+                    ),
+                };
+                self.push(f);
+            } else if tag.epoch == self.epoch && usize::from(tag.lane) != lane {
+                let f = Finding {
+                    kind: CheckKind::SharedReadInWriteEpoch,
+                    kernel: String::new(),
+                    warp: self.warp_id,
+                    lane: Some(lane),
+                    other_warp: Some(self.warp_id),
+                    other_lane: Some(usize::from(tag.lane)),
+                    addr: None,
+                    index: Some(idx as u64),
+                    epoch: Some(self.epoch),
+                    detail: format!(
+                        "lane {lane} reads shared word {idx} written by lane {} in the \
+                         same barrier epoch {} — missing __syncwarp between them",
+                        tag.lane, self.epoch
+                    ),
+                };
+                self.push(f);
+            }
+        }
+        true
+    }
+
+    fn shared_oob(&self, idx: usize, lane: usize, limit: usize, what: &str) -> Finding {
+        Finding {
+            kind: CheckKind::SharedOutOfBounds,
+            kernel: String::new(),
+            warp: self.warp_id,
+            lane: Some(lane),
+            other_warp: None,
+            other_lane: None,
+            addr: None,
+            index: Some(idx as u64),
+            epoch: Some(self.epoch),
+            detail: format!(
+                "shared {what} of word {idx} beyond the {limit} words this warp's \
+                 KernelResources declaration covers"
+            ),
+        }
+    }
+
+    /// Called on every `barrier()`: advances the epoch.
+    pub(crate) fn on_barrier(&mut self) {
+        self.epoch += 1;
+        self.barriers += 1;
+    }
+}

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::jsonio::Json;
+
 /// Static hardware characteristics of the simulated GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuSpec {
@@ -176,6 +178,127 @@ impl GpuSpec {
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_ghz * 1e9) * 1e3
     }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("num_sms", Json::U64(self.num_sms as u64)),
+            (
+                "max_threads_per_sm",
+                Json::U64(self.max_threads_per_sm as u64),
+            ),
+            ("max_ctas_per_sm", Json::U64(self.max_ctas_per_sm as u64)),
+            ("regs_per_sm", Json::U64(self.regs_per_sm as u64)),
+            (
+                "max_regs_per_thread",
+                Json::U64(self.max_regs_per_thread as u64),
+            ),
+            (
+                "shared_mem_per_sm",
+                Json::U64(self.shared_mem_per_sm as u64),
+            ),
+            (
+                "shared_mem_per_cta",
+                Json::U64(self.shared_mem_per_cta as u64),
+            ),
+            ("device_mem_bytes", Json::U64(self.device_mem_bytes)),
+            ("clock_ghz", Json::F64(self.clock_ghz)),
+            ("dram_bandwidth_gbs", Json::F64(self.dram_bandwidth_gbs)),
+            ("max_grid_ctas", Json::U64(self.max_grid_ctas)),
+            ("timing", self.timing.to_json()),
+        ])
+    }
+
+    /// Reconstructs a spec from [`GpuSpec::to_json`] output.
+    pub fn from_json(j: &Json) -> Result<GpuSpec, String> {
+        Ok(GpuSpec {
+            name: j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing or non-string field name")?
+                .to_string(),
+            num_sms: get_usize(j, "num_sms")?,
+            max_threads_per_sm: get_usize(j, "max_threads_per_sm")?,
+            max_ctas_per_sm: get_usize(j, "max_ctas_per_sm")?,
+            regs_per_sm: get_usize(j, "regs_per_sm")?,
+            max_regs_per_thread: get_usize(j, "max_regs_per_thread")?,
+            shared_mem_per_sm: get_usize(j, "shared_mem_per_sm")?,
+            shared_mem_per_cta: get_usize(j, "shared_mem_per_cta")?,
+            device_mem_bytes: get_u64(j, "device_mem_bytes")?,
+            clock_ghz: get_f64(j, "clock_ghz")?,
+            dram_bandwidth_gbs: get_f64(j, "dram_bandwidth_gbs")?,
+            max_grid_ctas: get_u64(j, "max_grid_ctas")?,
+            timing: TimingParams::from_json(j.get("timing").ok_or("missing field timing")?)?,
+        })
+    }
+}
+
+impl TimingParams {
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dram_latency", Json::U64(self.dram_latency)),
+            (
+                "cycles_per_extra_sector",
+                Json::U64(self.cycles_per_extra_sector),
+            ),
+            (
+                "max_outstanding_loads",
+                Json::U64(self.max_outstanding_loads as u64),
+            ),
+            ("issue_cycles", Json::U64(self.issue_cycles)),
+            ("shared_latency", Json::U64(self.shared_latency)),
+            ("barrier_cycles", Json::U64(self.barrier_cycles)),
+            ("shfl_cycles", Json::U64(self.shfl_cycles)),
+            ("atomic_cycles", Json::U64(self.atomic_cycles)),
+            ("store_sector_cycles", Json::U64(self.store_sector_cycles)),
+            (
+                "kernel_launch_overhead_cycles",
+                Json::U64(self.kernel_launch_overhead_cycles),
+            ),
+            ("issue_width_per_sm", Json::U64(self.issue_width_per_sm)),
+            ("sm_bandwidth_burst", Json::F64(self.sm_bandwidth_burst)),
+            ("latency_hiding_warps", Json::U64(self.latency_hiding_warps)),
+            ("latency_bw_overlap", Json::F64(self.latency_bw_overlap)),
+        ])
+    }
+
+    /// Reconstructs timing parameters from [`TimingParams::to_json`] output.
+    pub fn from_json(j: &Json) -> Result<TimingParams, String> {
+        Ok(TimingParams {
+            dram_latency: get_u64(j, "dram_latency")?,
+            cycles_per_extra_sector: get_u64(j, "cycles_per_extra_sector")?,
+            max_outstanding_loads: get_usize(j, "max_outstanding_loads")?,
+            issue_cycles: get_u64(j, "issue_cycles")?,
+            shared_latency: get_u64(j, "shared_latency")?,
+            barrier_cycles: get_u64(j, "barrier_cycles")?,
+            shfl_cycles: get_u64(j, "shfl_cycles")?,
+            atomic_cycles: get_u64(j, "atomic_cycles")?,
+            store_sector_cycles: get_u64(j, "store_sector_cycles")?,
+            kernel_launch_overhead_cycles: get_u64(j, "kernel_launch_overhead_cycles")?,
+            issue_width_per_sm: get_u64(j, "issue_width_per_sm")?,
+            sm_bandwidth_burst: get_f64(j, "sm_bandwidth_burst")?,
+            latency_hiding_warps: get_u64(j, "latency_hiding_warps")?,
+            latency_bw_overlap: get_f64(j, "latency_bw_overlap")?,
+        })
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key}"))
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
+    get_u64(j, key).map(|v| v as usize)
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key}"))
 }
 
 #[cfg(test)]
@@ -206,10 +329,27 @@ mod tests {
 
     #[test]
     fn spec_serde_roundtrip() {
-        let spec = GpuSpec::tiny();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: GpuSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(spec, back);
+        // Round trip through the dependency-free jsonio path, so tier-1
+        // passes offline with a stubbed serde_json.
+        for spec in [
+            GpuSpec::tiny(),
+            GpuSpec::a100_40gb(),
+            GpuSpec::a100_scaled(8),
+        ] {
+            let json = spec.to_json().to_string_compact();
+            let back = GpuSpec::from_json(&crate::jsonio::parse(&json).unwrap()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn spec_from_json_reports_missing_field() {
+        let mut json = GpuSpec::tiny().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "num_sms");
+        }
+        let err = GpuSpec::from_json(&json).unwrap_err();
+        assert!(err.contains("num_sms"), "{err}");
     }
 }
 

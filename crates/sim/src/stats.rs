@@ -145,6 +145,30 @@ impl KernelStats {
             self.total_mem_stall_cycles as f64 / self.total_solo_cycles as f64
         }
     }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> crate::jsonio::Json {
+        use crate::jsonio::Json;
+        Json::obj(vec![
+            ("warps", Json::U64(self.warps)),
+            ("loads", Json::U64(self.loads)),
+            ("read_bytes", Json::U64(self.read_bytes)),
+            ("read_useful_bytes", Json::U64(self.read_useful_bytes)),
+            ("write_bytes", Json::U64(self.write_bytes)),
+            ("shared_accesses", Json::U64(self.shared_accesses)),
+            ("barriers", Json::U64(self.barriers)),
+            ("shfl_rounds", Json::U64(self.shfl_rounds)),
+            ("atomics", Json::U64(self.atomics)),
+            ("atomic_conflicts", Json::U64(self.atomic_conflicts)),
+            ("compute_instr", Json::U64(self.compute_instr)),
+            ("total_solo_cycles", Json::U64(self.total_solo_cycles)),
+            ("max_warp_cycles", Json::U64(self.max_warp_cycles)),
+            (
+                "total_mem_stall_cycles",
+                Json::U64(self.total_mem_stall_cycles),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]

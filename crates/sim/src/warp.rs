@@ -32,10 +32,18 @@ use std::collections::VecDeque;
 use crate::buffer::{DeviceBuffer, Pod32};
 use crate::coalesce::{coalesce, Access};
 use crate::lanes::{LaneArr, WARP_SIZE};
+use crate::sanitize::{GlobalKind, WarpShadow};
 use crate::spec::TimingParams;
 use crate::stats::WarpStats;
 
 /// Execution context handed to [`crate::WarpKernel::run_warp`].
+///
+/// When a [`crate::Sanitizer`] is attached to the launching [`crate::Gpu`],
+/// the context carries a per-warp shadow that every memory operation
+/// consults before executing. The shadow never reads or writes the clock,
+/// the scoreboard, or the statistics, so timing is bit-identical with and
+/// without it; an out-of-bounds access is recorded as a finding and skipped
+/// instead of panicking the host.
 pub struct WarpCtx {
     timing: TimingParams,
     clock: u64,
@@ -43,6 +51,7 @@ pub struct WarpCtx {
     shared: Vec<u32>,
     shared_limit_words: usize,
     stats: WarpStats,
+    san: Option<Box<WarpShadow>>,
 }
 
 impl WarpCtx {
@@ -56,7 +65,20 @@ impl WarpCtx {
             shared: vec![0u32; shared_limit_words],
             shared_limit_words,
             stats: WarpStats::default(),
+            san: None,
         }
+    }
+
+    /// Installs the sanitizer's per-warp shadow; called by the engine
+    /// before `run_warp`.
+    pub(crate) fn attach_shadow(&mut self, shadow: Box<WarpShadow>) {
+        self.san = Some(shadow);
+    }
+
+    /// Removes and returns the shadow; called by the engine after the warp
+    /// function returns.
+    pub(crate) fn take_shadow(&mut self) -> Option<Box<WarpShadow>> {
+        self.san.take()
     }
 
     /// Current warp-local clock (cycles since warp start).
@@ -127,6 +149,12 @@ impl WarpCtx {
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if let Some(idx) = addr(lane) {
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.check_global(buf.addr_base(), buf.len(), idx, 1, lane, GlobalKind::Read)
+                    {
+                        continue;
+                    }
+                }
                 out.set(lane, buf.read(idx));
                 lane_addrs[lane] = Some(buf.addr_of(idx));
             }
@@ -180,6 +208,12 @@ impl WarpCtx {
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if let Some(idx) = base(lane) {
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.check_global(buf.addr_base(), buf.len(), idx, N, lane, GlobalKind::Read)
+                    {
+                        continue;
+                    }
+                }
                 for (k, arr) in out.iter_mut().enumerate() {
                     arr.set(lane, buf.read(idx + k));
                 }
@@ -236,6 +270,12 @@ impl WarpCtx {
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.check_global(buf.addr_base(), buf.len(), idx, 1, lane, GlobalKind::Write)
+                    {
+                        continue;
+                    }
+                }
                 buf.write(idx, value);
                 lane_addrs[lane] = Some(buf.addr_of(idx));
             }
@@ -278,6 +318,18 @@ impl WarpCtx {
         let mut idxs: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.check_global(
+                        buf.addr_base(),
+                        buf.len(),
+                        idx,
+                        1,
+                        lane,
+                        GlobalKind::Atomic,
+                    ) {
+                        continue;
+                    }
+                }
                 buf.atomic_add(idx, value);
                 lane_addrs[lane] = Some(buf.addr_of(idx));
                 idxs.push(idx);
@@ -323,6 +375,18 @@ impl WarpCtx {
         let mut any = false;
         for lane in 0..WARP_SIZE {
             if let Some((idx, vals)) = write(lane) {
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.check_global(
+                        buf.addr_base(),
+                        buf.len(),
+                        idx,
+                        width,
+                        lane,
+                        GlobalKind::Atomic,
+                    ) {
+                        continue;
+                    }
+                }
                 for (k, &v) in vals.iter().enumerate().take(width) {
                     buf.atomic_add(idx + k, v);
                 }
@@ -357,13 +421,19 @@ impl WarpCtx {
 
     /// Stores one word per active lane into per-warp shared memory.
     pub fn shared_store<T: Pod32>(&mut self, mut write: impl FnMut(usize) -> Option<(usize, T)>) {
+        let limit = self.shared_limit_words;
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
-                assert!(
-                    idx < self.shared_limit_words,
-                    "shared memory overflow: word {idx} >= {} words",
-                    self.shared_limit_words
-                );
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.shared_write(idx, lane, limit) {
+                        continue;
+                    }
+                } else {
+                    assert!(
+                        idx < limit,
+                        "shared memory overflow: word {idx} >= {limit} words"
+                    );
+                }
                 self.shared[idx] = value.to_bits32();
             }
         }
@@ -380,13 +450,19 @@ impl WarpCtx {
         mut addr: impl FnMut(usize) -> Option<usize>,
     ) -> LaneArr<T> {
         let mut out = LaneArr::<T>::default();
+        let limit = self.shared_limit_words;
         for lane in 0..WARP_SIZE {
             if let Some(idx) = addr(lane) {
-                assert!(
-                    idx < self.shared_limit_words,
-                    "shared memory overflow: word {idx} >= {} words",
-                    self.shared_limit_words
-                );
+                if let Some(sh) = self.san.as_deref_mut() {
+                    if !sh.shared_read(idx, lane, limit) {
+                        continue;
+                    }
+                } else {
+                    assert!(
+                        idx < limit,
+                        "shared memory overflow: word {idx} >= {limit} words"
+                    );
+                }
                 out.set(lane, T::from_bits32(self.shared[idx]));
             }
         }
@@ -409,6 +485,9 @@ impl WarpCtx {
     /// data-load ILP (§3.2).
     pub fn barrier(&mut self) {
         self.drain();
+        if let Some(sh) = self.san.as_deref_mut() {
+            sh.on_barrier();
+        }
         self.stats.barriers += 1;
         self.clock += self.timing.barrier_cycles;
     }

@@ -1,0 +1,478 @@
+//! Seeded-bug tests for the kernel sanitizer: each deliberately broken
+//! kernel must produce a structured diagnostic naming the kernel, warp,
+//! lane, and failing address / epoch — and a clean kernel must report
+//! nothing while producing a timing report identical to an unsanitized run.
+
+use std::sync::Arc;
+
+use gnnone_sim::sanitize::SanitizeConfig;
+use gnnone_sim::{
+    CheckKind, DeviceBuffer, Gpu, GpuSpec, KernelResources, Sanitizer, WarpCtx, WarpKernel,
+};
+
+fn gpu_with_sanitizer(config: SanitizeConfig) -> (Gpu, Arc<Sanitizer>) {
+    let gpu = Gpu::new(GpuSpec::tiny());
+    let san = gpu.enable_sanitizer(config);
+    (gpu, san)
+}
+
+fn res_with_shared(shared_bytes_per_cta: usize) -> KernelResources {
+    KernelResources {
+        threads_per_cta: 32,
+        regs_per_thread: 32,
+        shared_bytes_per_cta,
+    }
+}
+
+/// Seeded bug 1: stage-1 stores NZEs to shared memory and stage-2 reads
+/// them cross-lane **without** the `__syncwarp` between the stages.
+struct MissingBarrier;
+
+impl WarpKernel for MissingBarrier {
+    fn resources(&self) -> KernelResources {
+        res_with_shared(32 * 4)
+    }
+    fn grid_warps(&self) -> usize {
+        1
+    }
+    fn run_warp(&self, _warp_id: usize, ctx: &mut WarpCtx) {
+        ctx.shared_store(|lane| Some((lane, lane as u32)));
+        // BUG: no ctx.barrier() here.
+        let _v: gnnone_sim::LaneArr<u32> = ctx.shared_load(|lane| Some(31 - lane));
+    }
+    fn name(&self) -> &str {
+        "missing-barrier"
+    }
+}
+
+/// Seeded bug 2: a malformed column index walks past the end of the buffer
+/// (the OOB edge-index case a corrupted dataset would produce).
+struct OobLoad<'a> {
+    buf: &'a DeviceBuffer<f32>,
+}
+
+impl WarpKernel for OobLoad<'_> {
+    fn resources(&self) -> KernelResources {
+        res_with_shared(0)
+    }
+    fn grid_warps(&self) -> usize {
+        1
+    }
+    fn run_warp(&self, _warp_id: usize, ctx: &mut WarpCtx) {
+        // Lanes 0..3 are fine (60..63); lane 4 reads element 64 of a
+        // 64-element buffer.
+        ctx.load_f32(self.buf, |lane| Some(60 + lane));
+    }
+    fn name(&self) -> &str {
+        "oob-load"
+    }
+}
+
+/// Seeded bug 3: two warps plain-store the same output element — the race
+/// an `atomic_add_f32` at a row split would have prevented.
+struct RacingStores<'a> {
+    out: &'a DeviceBuffer<f32>,
+}
+
+impl WarpKernel for RacingStores<'_> {
+    fn resources(&self) -> KernelResources {
+        res_with_shared(0)
+    }
+    fn grid_warps(&self) -> usize {
+        2
+    }
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        ctx.store_f32(self.out, |lane| (lane == 0).then_some((0, warp_id as f32)));
+    }
+    fn name(&self) -> &str {
+        "racing-stores"
+    }
+}
+
+/// A clean two-stage kernel: store, barrier, cross-lane read, row-owned
+/// output — the shape every shipped GNNOne kernel follows.
+struct CleanTwoStage<'a> {
+    input: &'a DeviceBuffer<f32>,
+    out: &'a DeviceBuffer<f32>,
+}
+
+impl WarpKernel for CleanTwoStage<'_> {
+    fn resources(&self) -> KernelResources {
+        res_with_shared(32 * 4)
+    }
+    fn grid_warps(&self) -> usize {
+        4
+    }
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let base = warp_id * 32;
+        let x = ctx.load_f32(self.input, |lane| Some(base + lane));
+        ctx.shared_store(|lane| Some((lane, x.get(lane))));
+        ctx.barrier();
+        let y: gnnone_sim::LaneArr<f32> = ctx.shared_load(|lane| Some(31 - lane));
+        ctx.atomic_add_f32(self.out, |lane| Some((base + lane, y.get(lane))));
+        ctx.store_f32(self.out, |lane| (lane == 0).then_some((base, 1.0)));
+    }
+    fn name(&self) -> &str {
+        "clean-two-stage"
+    }
+}
+
+#[test]
+fn missing_barrier_fires_shared_same_epoch() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.launch(&MissingBarrier);
+    let audits = san.launches();
+    assert_eq!(audits.len(), 1);
+    assert_eq!(audits[0].kernel, "missing-barrier");
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::SharedReadInWriteEpoch)
+        .expect("missing barrier must be detected");
+    assert_eq!(f.kernel, "missing-barrier");
+    assert_eq!(f.warp, 0);
+    // Lane 0 reads word 31, which lane 31 wrote in the same epoch 0.
+    assert_eq!(f.lane, Some(0));
+    assert_eq!(f.other_lane, Some(31));
+    assert_eq!(f.index, Some(31));
+    assert_eq!(f.epoch, Some(0));
+    // 31 - l == l has no integer solution, so every lane reads a word some
+    // other lane wrote: 32 findings, all under the cap.
+    assert!(audits[0].findings.len() <= SanitizeConfig::on().max_findings_per_launch);
+}
+
+#[test]
+fn barrier_clears_the_same_epoch_check() {
+    struct WithBarrier;
+    impl WarpKernel for WithBarrier {
+        fn resources(&self) -> KernelResources {
+            res_with_shared(32 * 4)
+        }
+        fn grid_warps(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            ctx.shared_store(|lane| Some((lane, lane as u32)));
+            ctx.barrier();
+            let _v: gnnone_sim::LaneArr<u32> = ctx.shared_load(|lane| Some(31 - lane));
+        }
+        fn name(&self) -> &str {
+            "with-barrier"
+        }
+    }
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.launch(&WithBarrier);
+    assert!(san.is_clean(), "{:?}", san.launches());
+}
+
+#[test]
+fn oob_load_names_lane_index_and_address() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let buf = DeviceBuffer::<f32>::zeros(64);
+    let base = buf.addr_base();
+    gpu.launch(&OobLoad { buf: &buf });
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::GlobalOutOfBounds)
+        .expect("OOB load must be detected");
+    assert_eq!(f.kernel, "oob-load");
+    assert_eq!(f.warp, 0);
+    assert_eq!(f.lane, Some(4)); // first lane past the end: 60 + 4 = 64
+    assert_eq!(f.index, Some(64));
+    assert_eq!(f.addr, Some(base + 64 * 4));
+    // Lanes 4..32 all trip the check: 28 findings.
+    assert_eq!(
+        audits[0]
+            .findings
+            .iter()
+            .filter(|f| f.kind == CheckKind::GlobalOutOfBounds)
+            .count(),
+        28
+    );
+}
+
+#[test]
+fn oob_access_is_skipped_not_fatal() {
+    // Without a sanitizer the same kernel would panic (index out of
+    // bounds); with one attached it must complete and report.
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let buf = DeviceBuffer::<f32>::zeros(64);
+    let report = gpu.launch(&OobLoad { buf: &buf });
+    assert_eq!(report.name, "oob-load");
+    assert!(!san.is_clean());
+}
+
+#[test]
+fn racing_plain_stores_attribute_both_warps() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let out = DeviceBuffer::<f32>::zeros(8);
+    gpu.launch(&RacingStores { out: &out });
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::GlobalRace)
+        .expect("cross-warp plain-store race must be detected");
+    assert_eq!(f.kernel, "racing-stores");
+    assert_eq!(f.warp, 0);
+    assert_eq!(f.other_warp, Some(1));
+    assert_eq!(f.lane, Some(0));
+    assert_eq!(f.other_lane, Some(0));
+    assert_eq!(f.index, Some(0));
+    assert_eq!(f.addr, Some(out.addr_base()));
+}
+
+#[test]
+fn allowlist_admits_intentional_last_writer_wins() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let out = DeviceBuffer::<f32>::zeros(8);
+    san.allow_last_writer_wins(&out);
+    gpu.launch(&RacingStores { out: &out });
+    assert!(san.is_clean(), "{:?}", san.launches());
+}
+
+#[test]
+fn misaligned_float4_is_flagged() {
+    struct MisalignedVec4<'a> {
+        buf: &'a DeviceBuffer<f32>,
+    }
+    impl WarpKernel for MisalignedVec4<'_> {
+        fn resources(&self) -> KernelResources {
+            res_with_shared(0)
+        }
+        fn grid_warps(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            // Base element 1 is not 4-element (16-byte) aligned.
+            ctx.load_f32x4(self.buf, |lane| (lane == 0).then_some(1));
+        }
+        fn name(&self) -> &str {
+            "misaligned-vec4"
+        }
+    }
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let buf = DeviceBuffer::<f32>::zeros(64);
+    gpu.launch(&MisalignedVec4 { buf: &buf });
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::MisalignedAccess)
+        .expect("misaligned float4 must be flagged");
+    assert_eq!(f.lane, Some(0));
+    assert_eq!(f.index, Some(1));
+    assert_eq!(f.addr, Some(buf.addr_base() + 4));
+}
+
+#[test]
+fn float3_alignment_is_unconstrained() {
+    // float3 is three scalar words on CUDA — the reason §4.4 uses it for
+    // f = 6. Base index 1 must NOT be flagged.
+    struct Vec3<'a> {
+        buf: &'a DeviceBuffer<f32>,
+    }
+    impl WarpKernel for Vec3<'_> {
+        fn resources(&self) -> KernelResources {
+            res_with_shared(0)
+        }
+        fn grid_warps(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            ctx.load_f32xw(3, self.buf, |lane| (lane == 0).then_some(1));
+        }
+        fn name(&self) -> &str {
+            "vec3"
+        }
+    }
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let buf = DeviceBuffer::<f32>::zeros(64);
+    gpu.launch(&Vec3 { buf: &buf });
+    assert!(san.is_clean(), "{:?}", san.launches());
+}
+
+#[test]
+fn uninitialized_shared_read_is_flagged() {
+    struct UninitShared;
+    impl WarpKernel for UninitShared {
+        fn resources(&self) -> KernelResources {
+            res_with_shared(32 * 4)
+        }
+        fn grid_warps(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            // Word 7 was never written by anyone.
+            let _v: gnnone_sim::LaneArr<u32> = ctx.shared_load(|lane| (lane == 3).then_some(7));
+        }
+        fn name(&self) -> &str {
+            "uninit-shared"
+        }
+    }
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.launch(&UninitShared);
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::SharedUninitialized)
+        .expect("uninitialized shared read must be flagged");
+    assert_eq!(f.lane, Some(3));
+    assert_eq!(f.index, Some(7));
+    assert_eq!(f.epoch, Some(0));
+}
+
+#[test]
+fn shared_oob_is_flagged_against_declared_resources() {
+    struct SharedOob;
+    impl WarpKernel for SharedOob {
+        fn resources(&self) -> KernelResources {
+            res_with_shared(16 * 4) // 16 words declared
+        }
+        fn grid_warps(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, _w: usize, ctx: &mut WarpCtx) {
+            // Touches word 20 > declared 16 — the resource-declaration
+            // audit: shared_bytes_per_cta does not cover this.
+            ctx.shared_store(|lane| (lane == 0).then_some((20, 1.0f32)));
+        }
+        fn name(&self) -> &str {
+            "shared-oob"
+        }
+    }
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.launch(&SharedOob);
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::SharedOutOfBounds)
+        .expect("undeclared shared word must be flagged");
+    assert_eq!(f.lane, Some(0));
+    assert_eq!(f.index, Some(20));
+}
+
+#[test]
+fn barrier_divergence_under_cta_scope() {
+    struct Divergent;
+    impl WarpKernel for Divergent {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 64, // two warps per CTA
+                regs_per_thread: 32,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            2
+        }
+        fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+            if warp_id == 0 {
+                ctx.barrier(); // warp 1 never reaches a barrier
+            }
+        }
+        fn name(&self) -> &str {
+            "divergent"
+        }
+    }
+    // Warp-scoped sync (the default): legal, no finding.
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.launch(&Divergent);
+    assert!(san.is_clean(), "{:?}", san.launches());
+
+    // CTA-scoped sync: a divergence.
+    let cfg = SanitizeConfig {
+        cta_scope_sync: true,
+        ..SanitizeConfig::on()
+    };
+    let (gpu, san) = gpu_with_sanitizer(cfg);
+    gpu.launch(&Divergent);
+    let audits = san.launches();
+    let f = audits[0]
+        .findings
+        .iter()
+        .find(|f| f.kind == CheckKind::BarrierDivergence)
+        .expect("CTA-scoped barrier divergence must be flagged");
+    assert_eq!(f.warp, 1);
+    assert_eq!(f.other_warp, Some(0));
+    assert_eq!(f.epoch, Some(0)); // warp 1 executed zero barriers
+}
+
+#[test]
+fn clean_kernel_reports_zero_findings() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let input = DeviceBuffer::<f32>::zeros(4 * 32);
+    let out = DeviceBuffer::<f32>::zeros(4 * 32);
+    // Each warp owns its output rows, so the trailing plain store only
+    // coexists with this warp's own atomic — never a cross-warp conflict.
+    gpu.launch(&CleanTwoStage {
+        input: &input,
+        out: &out,
+    });
+    assert!(san.is_clean(), "{:?}", san.launches());
+    let audits = san.launches();
+    assert_eq!(audits[0].warps, 4);
+    assert_eq!(audits[0].suppressed, 0);
+}
+
+#[test]
+fn sanitizer_does_not_perturb_timing() {
+    let input = DeviceBuffer::<f32>::zeros(4 * 32);
+    let out = DeviceBuffer::<f32>::zeros(4 * 32);
+    let kernel = CleanTwoStage {
+        input: &input,
+        out: &out,
+    };
+    let plain = Gpu::new(GpuSpec::tiny()).launch(&kernel);
+    out.fill_default();
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let sanitized = gpu.launch(&kernel);
+    assert!(san.is_clean());
+    assert_eq!(plain, sanitized, "attaching the sanitizer changed timing");
+    assert_eq!(
+        plain.to_json().to_string_compact(),
+        sanitized.to_json().to_string_compact(),
+        "serialized reports must be byte-identical"
+    );
+}
+
+#[test]
+fn report_json_carries_structured_findings() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let out = DeviceBuffer::<f32>::zeros(8);
+    gpu.launch(&RacingStores { out: &out });
+    let j = san.report_json();
+    use gnnone_sim::jsonio::Json;
+    assert_eq!(j.get("launches").and_then(Json::as_u64), Some(1));
+    assert!(j.get("findings").and_then(Json::as_u64).unwrap() >= 1);
+    let audits = j.get("audits").and_then(Json::as_arr).unwrap();
+    let findings = audits[0].get("findings").and_then(Json::as_arr).unwrap();
+    let f = &findings[0];
+    assert_eq!(f.get("check").and_then(Json::as_str), Some("global-race"));
+    assert_eq!(
+        f.get("kernel").and_then(Json::as_str),
+        Some("racing-stores")
+    );
+    assert!(f.get("warp").and_then(Json::as_u64).is_some());
+    assert!(f.get("addr").and_then(Json::as_u64).is_some());
+    // The whole report is valid JSON through the dependency-free writer.
+    let text = j.to_string_pretty();
+    gnnone_sim::jsonio::parse(&text).expect("report must parse");
+}
+
+#[test]
+fn enable_sanitizer_is_set_once_and_shared_by_clones() {
+    let gpu = Gpu::new(GpuSpec::tiny());
+    let a = gpu.enable_sanitizer(SanitizeConfig::on());
+    let b = gpu.enable_sanitizer(SanitizeConfig::on());
+    assert!(Arc::ptr_eq(&a, &b));
+    assert!(!gpu.attach_sanitizer(Arc::new(Sanitizer::new(SanitizeConfig::on()))));
+    let clone = gpu.clone();
+    let out = DeviceBuffer::<f32>::zeros(8);
+    clone.launch(&RacingStores { out: &out });
+    assert!(!a.is_clean(), "clone must record into the shared sanitizer");
+}
