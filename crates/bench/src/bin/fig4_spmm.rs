@@ -61,5 +61,9 @@ fn main() {
         .unwrap_or_else(|| "results/fig4_spmm.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    if let Some(p) = &opts.plain_out {
+        report::write_plain(p, &tables).expect("write plain results");
+        println!("wrote {p}");
+    }
     prof.write();
 }

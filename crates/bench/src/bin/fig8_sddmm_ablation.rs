@@ -6,11 +6,9 @@
 //! Expected shape (paper §5.4.1): +Data-reuse ≈ 2.78× over Baseline;
 //! +Float4 ≈ 1.80× more (≈ 4.59× total).
 
-use std::sync::Arc;
-
 use gnnone_bench::report::Table;
 use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
-use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm};
+use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
 fn main() {
@@ -30,17 +28,9 @@ fn main() {
         );
         for spec in runner::selected_specs(&opts) {
             let ld = runner::load(&spec, opts.scale);
-            let configs = [
-                GnnOneConfig::default(),
-                GnnOneConfig::ablation_data_reuse(),
-                GnnOneConfig::ablation_baseline(),
-            ];
-            let cells = configs
+            let cells = registry::sddmm_ablation_kernels(&ld.graph)
                 .iter()
-                .map(|cfg| {
-                    let k = GnnOneSddmm::new(Arc::clone(&ld.graph), *cfg);
-                    runner::run_sddmm(&gpu, &k, &ld, dim)
-                })
+                .map(|(_, k)| runner::run_sddmm(&gpu, k, &ld, dim))
                 .collect();
             table.push_row(spec.id, cells);
         }
@@ -56,5 +46,9 @@ fn main() {
         .unwrap_or_else(|| "results/fig8_sddmm_ablation.json".into());
     report::write_json(&out, &tables).expect("write results");
     println!("wrote {out}");
+    if let Some(p) = &opts.plain_out {
+        report::write_plain(p, &tables).expect("write plain results");
+        println!("wrote {p}");
+    }
     prof.write();
 }

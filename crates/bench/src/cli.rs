@@ -16,6 +16,10 @@ pub struct Options {
     pub epochs: usize,
     /// Output JSON path (`--out results/figN.json`).
     pub out: Option<String>,
+    /// Dependency-free table output (`--plain-out golden.json`): the same
+    /// tables as `--out`, serialized through `jsonio` so the bytes are
+    /// stable for golden-parity diffs.
+    pub plain_out: Option<String>,
     /// Chrome-trace output path (`--trace trace.json`); `None` disables
     /// tracing entirely.
     pub trace: Option<String>,
@@ -35,6 +39,7 @@ impl Default for Options {
             datasets: Vec::new(),
             epochs: 200,
             out: None,
+            plain_out: None,
             trace: None,
             metrics: None,
             sanitize: None,
@@ -80,6 +85,7 @@ pub fn parse(args: impl Iterator<Item = String>) -> Options {
                 opts.epochs = take("--epochs").parse().expect("epochs must be an integer");
             }
             "--out" => opts.out = Some(take("--out")),
+            "--plain-out" => opts.plain_out = Some(take("--plain-out")),
             "--trace" => opts.trace = Some(take("--trace")),
             "--metrics" => opts.metrics = Some(take("--metrics")),
             "--sanitize" => opts.sanitize = Some(take("--sanitize")),
@@ -87,8 +93,8 @@ pub fn parse(args: impl Iterator<Item = String>) -> Options {
                 eprintln!(
                     "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
                      --datasets G0,G3  --epochs N  --out results/fig.json  \
-                     --trace trace.json  --metrics metrics.json  \
-                     --sanitize sanitize.json"
+                     --plain-out golden.json  --trace trace.json  \
+                     --metrics metrics.json  --sanitize sanitize.json"
                 );
                 std::process::exit(0);
             }
@@ -127,13 +133,14 @@ mod tests {
     fn full_flags() {
         let o = parse(argv(
             "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json \
-             --trace t.json --metrics m.json --sanitize s.json",
+             --plain-out p.json --trace t.json --metrics m.json --sanitize s.json",
         ));
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.dims, vec![16, 32]);
         assert_eq!(o.datasets, vec!["G0", "G3"]);
         assert_eq!(o.epochs, 10);
         assert_eq!(o.out.as_deref(), Some("x.json"));
+        assert_eq!(o.plain_out.as_deref(), Some("p.json"));
         assert_eq!(o.trace.as_deref(), Some("t.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
         assert_eq!(o.sanitize.as_deref(), Some("s.json"));

@@ -225,6 +225,20 @@ pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
     file.write_all(b"\n")
 }
 
+/// Writes a table set through the dependency-free [`Table::to_json`] path,
+/// creating parent dirs. The output is byte-stable across platforms and
+/// toolchains (no float-formatting library in the loop beyond our own),
+/// which is what CI's golden-parity job diffs against.
+pub fn write_plain(path: &str, tables: &[Table]) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = Json::Arr(tables.iter().map(Table::to_json).collect());
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.to_string_pretty().as_bytes())?;
+    file.write_all(b"\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

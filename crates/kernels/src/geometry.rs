@@ -58,6 +58,14 @@ impl GroupGeometry {
         }
     }
 
+    /// Scalar edge-parallel geometry: 32 single-lane groups, one NZE per
+    /// lane. This is the shape of SDDMM *variants* whose per-edge work is
+    /// a scalar op (`u_add_v` and friends, §4.3) — every lane busy, no
+    /// reduction dimension at all.
+    pub fn scalar() -> Self {
+        Self::with_vec_width(1, 1)
+    }
+
     /// Geometry with an explicit vector width (for ablations).
     pub fn with_vec_width(f: usize, vec_width: usize) -> Self {
         assert!((1..=4).contains(&vec_width));
@@ -153,6 +161,20 @@ mod tests {
         let g = GroupGeometry::with_vec_width(5, 1);
         assert_eq!(g.group_size, 8);
         assert_eq!(g.active_lanes(0), 5);
+    }
+
+    #[test]
+    fn scalar_is_one_lane_per_nze() {
+        let g = GroupGeometry::scalar();
+        assert_eq!(g.group_size, 1);
+        assert_eq!(g.groups_per_warp, 32);
+        assert_eq!(g.vec_width, 1);
+        assert_eq!(g.passes, 1);
+        assert_eq!(g.reduction_rounds(), 0);
+        // Lane l is its own group.
+        for l in 0..32 {
+            assert_eq!(g.split_lane(l), (l, 0));
+        }
     }
 
     #[test]

@@ -10,19 +10,21 @@
 //! this search or extra metadata (which would make CSR a custom format) is
 //! exactly why the paper standardizes on COO. The `ext_format_tradeoff`
 //! bench quantifies the gap.
+//!
+//! The kernel is the [`CsrNzes`] × [`RowAccum`] instantiation of the
+//! shared [`TwoStagePipeline`] — the reduction is *identical* to the COO
+//! SpMM's; only the NZE source (and its row-derivation surcharge) differs,
+//! which is the unified design's format claim in code.
 
 use std::sync::Arc;
 
-use gnnone_sim::{
-    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
-    WarpKernel, WARP_SIZE,
-};
+use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{CsrNzes, TwoStagePipeline};
+use crate::gnnone::reduce::RowAccum;
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
-
-/// NZEs per warp, as in the COO kernel's default Stage 1.
-const CACHE: usize = 128;
 
 /// GNNOne-structured SpMM over plain CSR (feature-parallel Stage 2 with
 /// register accumulation per resolved row — the same running-reduction
@@ -55,237 +57,24 @@ impl SpmmKernel for GnnOneCsrSpmm {
         f: usize,
         y: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
-        let launch = CsrLaunch {
-            offsets: &self.graph.d_csr_offsets,
-            cols: &self.graph.d_csr_cols,
-            vals: edge_vals,
-            x,
-            y,
-            num_rows: self.graph.num_vertices(),
-            nnz: self.graph.nnz(),
+        // The paper's default knobs: 128-NZE cache, Consecutive, float4.
+        let cfg = GnnOneConfig::default();
+        let pipeline = TwoStagePipeline::new(
+            CsrNzes::new(
+                &self.graph.d_csr_offsets,
+                &self.graph.d_csr_cols,
+                edge_vals,
+                self.graph.num_vertices(),
+                self.graph.nnz(),
+            ),
+            RowAccum { x, y },
             f,
-        };
-        gpu.try_launch(&launch)
+            crate::geometry::GroupGeometry::gnnone(f),
+            cfg,
+            "GnnOne-CSR-SpMM",
+        );
+        gpu.try_launch(&pipeline)
     }
-}
-
-struct CsrLaunch<'a> {
-    offsets: &'a DeviceBuffer<u32>,
-    cols: &'a DeviceBuffer<u32>,
-    vals: &'a DeviceBuffer<f32>,
-    x: &'a DeviceBuffer<f32>,
-    y: &'a DeviceBuffer<f32>,
-    num_rows: usize,
-    nnz: usize,
-    f: usize,
-}
-
-impl CsrLaunch<'_> {
-    /// Charges one binary search over the offsets array: a serial chain of
-    /// `⌈log₂(rows)⌉` broadcast probes, each a dependent global load — the
-    /// cost COO's 4-byte row IDs avoid. Returns the functional result.
-    fn device_row_search(&self, ctx: &mut WarpCtx, nze: usize) -> usize {
-        let mut lo = 0usize;
-        let mut hi = self.num_rows;
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            let probe = ctx.load_u32(self.offsets, |l| (l == 0).then_some(mid));
-            ctx.use_loads(); // the next probe's address depends on this one
-            ctx.compute(2);
-            if probe.get(0) as usize <= nze {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
-    }
-}
-
-impl WarpKernel for CsrLaunch<'_> {
-    fn resources(&self) -> KernelResources {
-        KernelResources {
-            threads_per_cta: 256,
-            regs_per_thread: 42,
-            // Cols + vals (8 B/NZE) plus the staged offsets slice.
-            shared_bytes_per_cta: (256 / 32) * (CACHE * 8 + (CACHE + 2) * 4),
-        }
-    }
-
-    fn grid_warps(&self) -> usize {
-        self.nnz.div_ceil(CACHE)
-    }
-
-    fn name(&self) -> &str {
-        "GnnOne-CSR-SpMM"
-    }
-
-    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
-        let f = self.f;
-        let base = warp_id * CACHE;
-        let count = CACHE.min(self.nnz - base);
-
-        // ---- Row-ID derivation: the CSR surcharge --------------------
-        // Two dependent binary searches bracket the rows this warp's NZE
-        // span touches...
-        let row_first = self.device_row_search(ctx, base);
-        let row_last = self.device_row_search(ctx, base + count - 1);
-        let span = row_last - row_first + 1;
-        // ...then the offsets slice is staged in shared for per-NZE
-        // resolution (capped at the warp's NZE count by construction:
-        // a span of rows over `count` NZEs has at most `count` non-empties,
-        // but empty rows can inflate it — those chunks load extra).
-        for off in (0..span + 1).step_by(WARP_SIZE) {
-            let active = |l: usize| off + l < span + 1;
-            let o = ctx.load_u32(self.offsets, |l| active(l).then(|| row_first + off + l));
-            ctx.shared_store(|l| {
-                active(l).then(|| (CACHE * 2 + ((off + l) % (CACHE + 2)), o.get(l)))
-            });
-        }
-
-        // ---- Stage 1: cache cols + vals (8 B/NZE — less than COO's 12)
-        for off in (0..count).step_by(WARP_SIZE) {
-            let active = |l: usize| off + l < count;
-            let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
-            let v = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
-            ctx.shared_store(|l| active(l).then(|| (off + l, c.get(l))));
-            ctx.shared_store(|l| active(l).then(|| (CACHE + off + l, v.get(l))));
-        }
-        ctx.barrier();
-
-        // ---- Stage 2: thread groups with running reduction ----------
-        let geo = crate::geometry::GroupGeometry::gnnone(f);
-        let ng = geo.groups_per_warp;
-        let vw = geo.vec_width;
-        let per_group = CACHE / ng;
-
-        for pass in 0..geo.passes {
-            let fbase = pass * geo.group_size * vw;
-            let mut acc = [LaneArr::<f32>::default(); 4];
-            let mut open_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-            for j in 0..per_group {
-                let e_local = |g: usize| g * per_group + j;
-                let group_active = |g: usize| e_local(g) < count;
-                if (0..ng).all(|g| !group_active(g)) {
-                    break;
-                }
-                let cols_l: LaneArr<u32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| e_local(g))
-                });
-                let vals_l: LaneArr<f32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| CACHE + e_local(g))
-                });
-                // Row resolution: one shared probe + search arithmetic per
-                // NZE (the staged offsets slice), vs COO's direct read.
-                let mut rows_l = [0u32; WARP_SIZE];
-                for l in 0..WARP_SIZE {
-                    let (g, _) = geo.split_lane(l);
-                    if group_active(g) {
-                        rows_l[l] = host_row_of(self.offsets, base + e_local(g)) as u32;
-                    }
-                }
-                // Each lane probes its row's staged offset word. The row is
-                // inside [row_first, row_last], so the word is one the
-                // staging loop wrote (probing by raw NZE index could land
-                // past the staged span when the warp covers few rows).
-                let _probe: LaneArr<u32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g)
-                        .then(|| CACHE * 2 + ((rows_l[l] as usize - row_first) % (CACHE + 2)))
-                });
-                ctx.compute(4); // branchy search steps within the slice
-
-                // Row-split flush, as in the COO kernel.
-                let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-                let mut any = false;
-                for g in 0..ng {
-                    if !group_active(g) {
-                        continue;
-                    }
-                    let row = rows_l[g * geo.group_size];
-                    if let Some(open) = open_row[g] {
-                        if open != row {
-                            flush_row[g] = Some(open);
-                            any = true;
-                        }
-                    }
-                    open_row[g] = Some(row);
-                }
-                if any {
-                    flush(ctx, &geo, f, fbase, self.y, &flush_row, &mut acc);
-                }
-
-                let xv = ctx.load_f32xw(vw, self.x, |l| {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
-                });
-                ctx.compute(vw as u64);
-                for l in 0..WARP_SIZE {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    if group_active(g) && k < f {
-                        for kk in 0..vw {
-                            acc[kk].set(l, acc[kk].get(l) + vals_l.get(l) * xv[kk].get(l));
-                        }
-                    }
-                }
-            }
-            let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-            flush_row[..ng].copy_from_slice(&open_row[..ng]);
-            if flush_row.iter().any(|r| r.is_some()) {
-                flush(ctx, &geo, f, fbase, self.y, &flush_row, &mut acc);
-            }
-        }
-    }
-}
-
-fn flush(
-    ctx: &mut WarpCtx,
-    geo: &crate::geometry::GroupGeometry,
-    f: usize,
-    fbase: usize,
-    y: &DeviceBuffer<f32>,
-    flush_row: &[Option<u32>; WARP_SIZE],
-    acc: &mut [LaneArr<f32>; 4],
-) {
-    let vw = geo.vec_width;
-    ctx.atomic_add_f32_vec(vw, y, |l| {
-        let (g, t) = geo.split_lane(l);
-        let k0 = fbase + t * vw;
-        match flush_row[g] {
-            Some(row) if k0 < f => {
-                let vals = [acc[0].get(l), acc[1].get(l), acc[2].get(l), acc[3].get(l)];
-                Some((row as usize * f + k0, vals))
-            }
-            _ => None,
-        }
-    });
-    for a in acc.iter_mut() {
-        for l in 0..WARP_SIZE {
-            let (g, _) = geo.split_lane(l);
-            if flush_row[g].is_some() {
-                a.set(l, 0.0);
-            }
-        }
-    }
-}
-
-/// Host-side functional row lookup (device cost charged through the
-/// searches/probes above).
-fn host_row_of(offsets: &DeviceBuffer<u32>, nze: usize) -> usize {
-    let (mut lo, mut hi) = (0usize, offsets.len() - 1);
-    while lo + 1 < hi {
-        let mid = (lo + hi) / 2;
-        if offsets.read(mid) as usize <= nze {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
 }
 
 #[cfg(test)]

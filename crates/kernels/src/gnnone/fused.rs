@@ -16,15 +16,27 @@
 //! logits in shared memory when they fit); the unfused GNNOne pipeline
 //! keeps its edge-parallel balance but pays global round trips for the
 //! edge tensors. The `ext_fused_gat` bench binary quantifies the trade-off.
+//!
+//! In pipeline terms this is the [`CsrRows`] × [`RowSoftmaxGat`]
+//! instantiation of the shared [`TwoStagePipeline`]: the row-per-warp
+//! source resolves (and charges) the span load, and the reduction — the
+//! one reduction that cannot ride the edge-split scheduler — owns all
+//! three passes. [`RowSoftmaxGat`] lives here rather than in
+//! [`reduce`](crate::gnnone::reduce) because it is inseparable from this
+//! kernel's vertex-centric shape.
 
 use std::sync::Arc;
 
 use gnnone_sim::{
-    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
-    WarpKernel, WARP_SIZE,
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, LaneArr, WarpCtx, WARP_SIZE,
 };
 
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{CsrRows, Stage2Ctx, TwoStagePipeline};
+use crate::gnnone::reduce::Reduction;
 use crate::graph::GraphData;
+use crate::traits::FusedAttentionKernel;
 
 /// Maximum logits cached per row in shared memory; longer rows recompute
 /// logits in the aggregation pass.
@@ -59,62 +71,127 @@ impl FusedGatAttention {
         y: &DeviceBuffer<f32>,
         alpha_out: Option<&DeviceBuffer<f32>>,
     ) -> Result<KernelReport, LaunchError> {
-        let launch = FusedLaunch {
-            offsets: &self.graph.d_csr_offsets,
-            cols: &self.graph.d_csr_cols,
-            z,
-            el,
-            er,
-            y,
-            alpha_out,
-            num_rows: self.graph.num_vertices(),
+        let pipeline = TwoStagePipeline::new(
+            CsrRows::new(&self.graph.d_csr_offsets, self.graph.num_vertices()),
+            RowSoftmaxGat {
+                cols: &self.graph.d_csr_cols,
+                z,
+                el,
+                er,
+                y,
+                alpha_out,
+                slope: self.slope,
+            },
             f,
-            slope: self.slope,
-        };
-        gpu.try_launch(&launch)
+            GroupGeometry::feature_parallel(f),
+            GnnOneConfig::default(),
+            "GnnOne-FusedGAT",
+        );
+        gpu.try_launch(&pipeline)
     }
 }
 
-struct FusedLaunch<'a> {
-    offsets: &'a DeviceBuffer<u32>,
-    cols: &'a DeviceBuffer<u32>,
-    z: &'a DeviceBuffer<f32>,
-    el: &'a DeviceBuffer<f32>,
-    er: &'a DeviceBuffer<f32>,
-    y: &'a DeviceBuffer<f32>,
-    alpha_out: Option<&'a DeviceBuffer<f32>>,
-    num_rows: usize,
-    f: usize,
-    slope: f32,
+impl FusedAttentionKernel for FusedGatAttention {
+    fn name(&self) -> &'static str {
+        "FusedGAT"
+    }
+
+    fn format(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        z: &DeviceBuffer<f32>,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+        alpha_out: Option<&DeviceBuffer<f32>>,
+    ) -> Result<KernelReport, LaunchError> {
+        FusedGatAttention::run(self, gpu, z, el, er, f, y, alpha_out)
+    }
 }
 
-impl WarpKernel for FusedLaunch<'_> {
-    fn resources(&self) -> KernelResources {
-        KernelResources {
-            threads_per_cta: 256,
-            regs_per_thread: 48,
-            // Per-warp logit cache.
-            shared_bytes_per_cta: (256 / 32) * LOGIT_CACHE * 4,
+/// Row-wise softmax-attention aggregation: the fused kernel's three passes
+/// (logits + max, exp-sum, attended aggregation) over one warp's row span.
+pub struct RowSoftmaxGat<'a> {
+    /// CSR column ids (`|E|`).
+    pub cols: &'a DeviceBuffer<u32>,
+    /// Projected features (`|V| × f`).
+    pub z: &'a DeviceBuffer<f32>,
+    /// Per-vertex left attention term (`|V|`).
+    pub el: &'a DeviceBuffer<f32>,
+    /// Per-vertex right attention term (`|V|`).
+    pub er: &'a DeviceBuffer<f32>,
+    /// Output rows (`|V| × f`, zeroed by the caller).
+    pub y: &'a DeviceBuffer<f32>,
+    /// Optional attention-coefficient output (`|E|`).
+    pub alpha_out: Option<&'a DeviceBuffer<f32>>,
+    /// LeakyReLU negative slope.
+    pub slope: f32,
+}
+
+impl RowSoftmaxGat<'_> {
+    /// Logits of a chunk: from the shared cache or recomputed.
+    fn logits_for_chunk(
+        &self,
+        ctx: &mut WarpCtx,
+        chunk_start: usize,
+        chunk: usize,
+        row_start: usize,
+        el_r: f32,
+        cached: bool,
+    ) -> LaneArr<f32> {
+        if cached {
+            let bits: LaneArr<u32> =
+                ctx.shared_load(|l| (l < chunk).then(|| chunk_start - row_start + l));
+            LaneArr::from_fn(|l| {
+                if l < chunk {
+                    f32::from_bits(bits.get(l))
+                } else {
+                    f32::NEG_INFINITY
+                }
+            })
+        } else {
+            let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
+            ctx.use_loads();
+            let er_c = ctx.load_f32(self.er, |l| (l < chunk).then(|| cols_c.get(l) as usize));
+            ctx.compute(2);
+            LaneArr::from_fn(|l| {
+                if l < chunk {
+                    let raw = el_r + er_c.get(l);
+                    if raw > 0.0 {
+                        raw
+                    } else {
+                        raw * self.slope
+                    }
+                } else {
+                    f32::NEG_INFINITY
+                }
+            })
         }
     }
+}
 
-    fn grid_warps(&self) -> usize {
-        self.num_rows
+impl<'s> Reduction<CsrRows<'s>> for RowSoftmaxGat<'_> {
+    const NEEDS_EDGE_VALUES: bool = false;
+
+    fn regs_per_thread(&self, _cfg: &GnnOneConfig) -> usize {
+        48
     }
 
-    fn name(&self) -> &str {
-        "GnnOne-FusedGAT"
+    fn shared_words_per_warp(&self, _cfg: &GnnOneConfig) -> usize {
+        // Per-warp logit cache.
+        LOGIT_CACHE
     }
 
-    fn run_warp(&self, row: usize, ctx: &mut WarpCtx) {
-        let f = self.f;
-        let off = ctx.load_u32(self.offsets, |l| (l < 2).then_some(row + l));
-        ctx.use_loads();
-        let (start, end) = (off.get(0) as usize, off.get(1) as usize);
-        if start == end {
-            return;
-        }
-        let deg = end - start;
+    fn stage2(&self, pipe: &Stage2Ctx<'_, CsrRows<'s>>, ctx: &mut WarpCtx) {
+        let f = pipe.f;
+        let row = pipe.warp_id;
+        let (start, end) = (pipe.span.base, pipe.span.base + pipe.span.count);
+        let deg = pipe.span.count;
         let el_v = ctx.load_f32(self.el, |l| (l == 0).then_some(row));
         ctx.use_loads();
         let el_r = el_v.get(0);
@@ -210,48 +287,6 @@ impl WarpKernel for FusedLaunch<'_> {
             ctx.store_f32(self.y, |l| {
                 (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
             });
-        }
-    }
-}
-
-impl FusedLaunch<'_> {
-    /// Logits of a chunk: from the shared cache or recomputed.
-    fn logits_for_chunk(
-        &self,
-        ctx: &mut WarpCtx,
-        chunk_start: usize,
-        chunk: usize,
-        row_start: usize,
-        el_r: f32,
-        cached: bool,
-    ) -> LaneArr<f32> {
-        if cached {
-            let bits: LaneArr<u32> =
-                ctx.shared_load(|l| (l < chunk).then(|| chunk_start - row_start + l));
-            LaneArr::from_fn(|l| {
-                if l < chunk {
-                    f32::from_bits(bits.get(l))
-                } else {
-                    f32::NEG_INFINITY
-                }
-            })
-        } else {
-            let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
-            ctx.use_loads();
-            let er_c = ctx.load_f32(self.er, |l| (l < chunk).then(|| cols_c.get(l) as usize));
-            ctx.compute(2);
-            LaneArr::from_fn(|l| {
-                if l < chunk {
-                    let raw = el_r + er_c.get(l);
-                    if raw > 0.0 {
-                        raw
-                    } else {
-                        raw * self.slope
-                    }
-                } else {
-                    f32::NEG_INFINITY
-                }
-            })
         }
     }
 }

@@ -1,16 +1,29 @@
 //! The GNNOne kernels (paper §4): a unified two-stage data-load design on
 //! the standard COO format.
 //!
+//! The design is one engine, not a family of lookalike kernels:
+//! [`pipeline`] owns both stages —
+//!
 //! * Stage 1 — edge-parallel, fully balanced load of `CACHE_SIZE` NZEs
-//!   (+ edge features for SpMM) per warp into shared memory ([`config`]).
+//!   (+ edge features for SpMM) per warp into shared memory (Listing 1);
 //! * Stage 2 — the symbiotic thread scheduler: thread groups sized by the
 //!   feature length, `float4`/`float3` vector loads, and the Consecutive
 //!   NZE-assignment policy enabling row-feature reuse (SDDMM) and a running
-//!   thread-local reduction (SpMM).
+//!   thread-local reduction (SpMM) (Listing 2);
+//!
+//! and [`reduce`] holds the per-kernel reductions. Each kernel module
+//! ([`sddmm`], [`spmm`], [`csr_spmm`], [`variants`], [`fused`]) is a thin
+//! source × reduction instantiation of
+//! [`pipeline::TwoStagePipeline`]; `docs/UNIFIED.md` maps the pieces back
+//! to the paper's listings and figures. [`spmv`] stays outside the
+//! pipeline: SpMV is the paper's §5.4.4 *discussion* workload (f = 1
+//! starves the thread groups), not a GNNOne kernel.
 
 pub mod config;
 pub mod csr_spmm;
 pub mod fused;
+pub mod pipeline;
+pub mod reduce;
 pub mod sddmm;
 pub mod spmm;
 pub mod spmv;
@@ -19,7 +32,8 @@ pub mod variants;
 pub use config::{GnnOneConfig, Schedule};
 pub use csr_spmm::GnnOneCsrSpmm;
 pub use fused::FusedGatAttention;
+pub use pipeline::TwoStagePipeline;
 pub use sddmm::GnnOneSddmm;
 pub use spmm::GnnOneSpmm;
 pub use spmv::GnnOneSpmv;
-pub use variants::GnnOneUAddV;
+pub use variants::{GnnOneLoadOnly, GnnOneUAddV};

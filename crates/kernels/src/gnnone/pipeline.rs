@@ -1,0 +1,711 @@
+//! The unified two-stage data-load pipeline (paper §4, Listings 1–2) as a
+//! shared engine.
+//!
+//! The paper's central claim is that SDDMM, SpMM, and their variants
+//! "differ fundamentally only in their reduction stage". This module makes
+//! that claim structural: [`TwoStagePipeline`] owns
+//!
+//! * **Stage 1** — the balanced, edge-parallel NZE load into shared memory
+//!   (Listing 1), supplied by an [`NzeSource`]: COO ids ([`CooNzes`]),
+//!   derived-row CSR ([`CsrNzes`]), or row-per-warp CSR spans
+//!   ([`CsrRows`]);
+//! * **Stage 2** — the symbiotic thread scheduler (Listing 2): thread
+//!   groups sized by the feature length, `float4`/`float3` vector loads,
+//!   and Consecutive/Round-robin NZE assignment,
+//!
+//! and is parameterized by a [`Reduction`] — the only part that differs
+//! between kernels. Every GNNOne kernel and every Fig. 8–11 ablation
+//! variant in this crate is a thin instantiation of this pipeline; each
+//! ablation toggle ([`GnnOneConfig`]) lives in exactly one place.
+//!
+//! The simulated instruction streams are bit-for-bit those of the original
+//! per-kernel implementations: sources and reductions replay the exact
+//! [`WarpCtx`] call sequences, so cycle, sector, and atomic statistics are
+//! unchanged (CI's golden-parity job enforces this on the Table 1 smoke
+//! graphs).
+
+use gnnone_sim::{DeviceBuffer, KernelResources, LaneArr, WarpCtx, WarpKernel, WARP_SIZE};
+
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::{GnnOneConfig, Schedule};
+use crate::gnnone::reduce::Reduction;
+
+/// Stage-2 geometry selection shared by every pipeline instantiation:
+/// vector loads and feature-sized thread groups under `vectorize` (the
+/// "+Float4" step of Fig. 8), the vanilla feature-parallel layout
+/// otherwise.
+pub fn stage2_geometry(cfg: &GnnOneConfig, f: usize) -> GroupGeometry {
+    if cfg.vectorize {
+        GroupGeometry::gnnone(f)
+    } else {
+        GroupGeometry::feature_parallel(f)
+    }
+}
+
+/// The contiguous run of NZEs one warp owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpSpan {
+    /// Global index of the first NZE.
+    pub base: usize,
+    /// NZEs in the span (> 0 whenever the warp runs).
+    pub count: usize,
+}
+
+/// One Stage-2 fetch: the NZE ids (and edge values, when the reduction
+/// asked for them) assigned to every lane's thread group this iteration.
+#[derive(Clone, Copy, Default)]
+pub struct NzeBatch {
+    /// Row id per lane (all lanes of a group see the group's NZE).
+    pub rows: LaneArr<u32>,
+    /// Column id per lane.
+    pub cols: LaneArr<u32>,
+    /// Edge value per lane; default-zero unless `needs_vals` was set.
+    pub vals: LaneArr<f32>,
+}
+
+/// Where Stage 1 gets its NZEs from and how it stages them.
+///
+/// A source knows how to partition the matrix across warps (`grid_warps` /
+/// `span`), how many shared-memory words its staging uses, and how to run
+/// the Stage-1 staging loop itself. Sources that also resolve per-NZE ids
+/// for Stage 2 implement [`FetchNzes`].
+pub trait NzeSource {
+    /// Per-warp bookkeeping produced by Stage 1 and consumed by fetches
+    /// (e.g. the first row bracketing a CSR warp's span).
+    type State: Copy;
+
+    /// Warps needed to cover the source.
+    fn grid_warps(&self, cfg: &GnnOneConfig) -> usize;
+
+    /// Resolves the warp's NZE span. Edge-split sources compute it
+    /// arithmetically; row-split sources load it (charged to `ctx`).
+    /// `None` skips the warp (an empty row).
+    fn span(&self, warp_id: usize, cfg: &GnnOneConfig, ctx: &mut WarpCtx) -> Option<WarpSpan>;
+
+    /// Shared-memory words one warp's staging occupies.
+    fn shared_words_per_warp(&self, cfg: &GnnOneConfig, needs_vals: bool) -> usize;
+
+    /// Stage 1: the balanced, coalesced staging loop (Listing 1).
+    fn stage1(
+        &self,
+        ctx: &mut WarpCtx,
+        cfg: &GnnOneConfig,
+        span: WarpSpan,
+        needs_vals: bool,
+    ) -> Self::State;
+}
+
+/// Sources whose Stage 2 walks individual NZEs through the symbiotic
+/// scheduler (edge-split sources). Row-per-warp sources like [`CsrRows`]
+/// skip this: their reduction iterates the span directly.
+pub trait FetchNzes: NzeSource + Sized {
+    /// Fetches the NZE ids (and values) for Stage-2 iteration `j` — from
+    /// the shared-memory cache under `data_reuse`, or straight from global
+    /// memory (the hidden re-fetch cost DGL pays) otherwise.
+    fn fetch(
+        &self,
+        pipe: &Stage2Ctx<'_, Self>,
+        ctx: &mut WarpCtx,
+        j: usize,
+        needs_vals: bool,
+    ) -> NzeBatch;
+}
+
+/// Everything a [`Reduction`] needs to run Stage 2 for one warp.
+pub struct Stage2Ctx<'a, S: NzeSource> {
+    source: &'a S,
+    /// Warp id of this launch slot (for row-split sources, the row).
+    pub warp_id: usize,
+    /// Warp bookkeeping produced by Stage 1.
+    pub state: S::State,
+    /// Thread-group geometry (from [`stage2_geometry`]).
+    pub geo: GroupGeometry,
+    /// The instantiation's configuration.
+    pub cfg: GnnOneConfig,
+    /// Feature length.
+    pub f: usize,
+    /// The warp's NZE span.
+    pub span: WarpSpan,
+}
+
+impl<S: NzeSource> Stage2Ctx<'_, S> {
+    /// NZEs each thread group iterates (`cache_size / groups`).
+    #[inline]
+    pub fn per_group(&self) -> usize {
+        self.cfg.cache_size / self.geo.groups_per_warp
+    }
+
+    /// Local NZE index assigned to group `g` on iteration `j` under the
+    /// configured schedule (Listing 2's assignment policy, Fig. 10).
+    #[inline]
+    pub fn e_local(&self, g: usize, j: usize) -> usize {
+        match self.cfg.schedule {
+            Schedule::Consecutive => g * self.per_group() + j,
+            Schedule::RoundRobin => j * self.geo.groups_per_warp + g,
+        }
+    }
+
+    /// Whether group `g` has an NZE on iteration `j`.
+    #[inline]
+    pub fn group_active(&self, g: usize, j: usize) -> bool {
+        self.e_local(g, j) < self.span.count
+    }
+
+    /// Whether lane `l`'s group has an NZE on iteration `j`.
+    #[inline]
+    pub fn lane_active(&self, l: usize, j: usize) -> bool {
+        self.group_active(self.geo.split_lane(l).0, j)
+    }
+
+    /// Whether every group ran out of NZEs (the Stage-2 loop's early exit).
+    pub fn all_idle(&self, j: usize) -> bool {
+        (0..self.geo.groups_per_warp).all(|g| !self.group_active(g, j))
+    }
+}
+
+impl<S: FetchNzes> Stage2Ctx<'_, S> {
+    /// Fetches iteration `j`'s NZE batch from the source.
+    pub fn fetch(&self, ctx: &mut WarpCtx, j: usize, needs_vals: bool) -> NzeBatch {
+        self.source.fetch(self, ctx, j, needs_vals)
+    }
+}
+
+/// The unified two-stage kernel: Stage 1 from an [`NzeSource`], Stage 2
+/// driven by a [`Reduction`]. Implements [`WarpKernel`], so a pipeline
+/// value *is* the launchable kernel.
+pub struct TwoStagePipeline<S, R> {
+    source: S,
+    reduction: R,
+    f: usize,
+    geo: GroupGeometry,
+    cfg: GnnOneConfig,
+    name: &'static str,
+}
+
+impl<S: NzeSource, R: Reduction<S>> TwoStagePipeline<S, R> {
+    /// Assembles a pipeline. `name` is the simulator-visible kernel name
+    /// (figure label); `geo` usually comes from [`stage2_geometry`].
+    pub fn new(
+        source: S,
+        reduction: R,
+        f: usize,
+        geo: GroupGeometry,
+        cfg: GnnOneConfig,
+        name: &'static str,
+    ) -> Self {
+        cfg.validate();
+        Self {
+            source,
+            reduction,
+            f,
+            geo,
+            cfg,
+            name,
+        }
+    }
+}
+
+impl<S: NzeSource + Sync, R: Reduction<S> + Sync> WarpKernel for TwoStagePipeline<S, R> {
+    fn resources(&self) -> KernelResources {
+        let threads_per_cta = 256;
+        let warps_per_cta = threads_per_cta / 32;
+        KernelResources {
+            threads_per_cta,
+            regs_per_thread: self.reduction.regs_per_thread(&self.cfg),
+            shared_bytes_per_cta: warps_per_cta
+                * 4
+                * (self
+                    .source
+                    .shared_words_per_warp(&self.cfg, R::NEEDS_EDGE_VALUES)
+                    + self.reduction.shared_words_per_warp(&self.cfg)),
+        }
+    }
+
+    fn grid_warps(&self) -> usize {
+        self.source.grid_warps(&self.cfg)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
+        let Some(span) = self.source.span(warp_id, &self.cfg, ctx) else {
+            return;
+        };
+        let state = self
+            .source
+            .stage1(ctx, &self.cfg, span, R::NEEDS_EDGE_VALUES);
+        let pipe = Stage2Ctx {
+            source: &self.source,
+            warp_id,
+            state,
+            geo: self.geo,
+            cfg: self.cfg,
+            f: self.f,
+            span,
+        };
+        self.reduction.stage2(&pipe, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// COO source
+// ---------------------------------------------------------------------------
+
+/// COO NZEs: row and column ids are direct 4-byte loads (the format the
+/// paper standardizes on). Stage 1 caches ids (and edge values when the
+/// reduction needs them) under `data_reuse`; without it Stage 2 re-fetches
+/// from global memory per thread group.
+///
+/// Shared layout per warp: rows at `0`, cols at `cache_size`, values (if
+/// staged) at `2 * cache_size`.
+pub struct CooNzes<'a> {
+    rows: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: Option<&'a DeviceBuffer<f32>>,
+    nnz: usize,
+}
+
+impl<'a> CooNzes<'a> {
+    /// Source over COO ids only (SDDMM-family reductions).
+    pub fn new(rows: &'a DeviceBuffer<u32>, cols: &'a DeviceBuffer<u32>, nnz: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            vals: None,
+            nnz,
+        }
+    }
+
+    /// Source over COO ids plus per-NZE edge values (SpMM-family
+    /// reductions, which set [`Reduction::NEEDS_EDGE_VALUES`]).
+    pub fn with_vals(
+        rows: &'a DeviceBuffer<u32>,
+        cols: &'a DeviceBuffer<u32>,
+        vals: &'a DeviceBuffer<f32>,
+        nnz: usize,
+    ) -> Self {
+        Self {
+            rows,
+            cols,
+            vals: Some(vals),
+            nnz,
+        }
+    }
+}
+
+impl NzeSource for CooNzes<'_> {
+    type State = ();
+
+    fn grid_warps(&self, cfg: &GnnOneConfig) -> usize {
+        self.nnz.div_ceil(cfg.cache_size)
+    }
+
+    fn span(&self, warp_id: usize, cfg: &GnnOneConfig, _ctx: &mut WarpCtx) -> Option<WarpSpan> {
+        let base = warp_id * cfg.cache_size;
+        Some(WarpSpan {
+            base,
+            count: cfg.cache_size.min(self.nnz - base),
+        })
+    }
+
+    fn shared_words_per_warp(&self, cfg: &GnnOneConfig, needs_vals: bool) -> usize {
+        if cfg.data_reuse {
+            cfg.cache_size * if needs_vals { 3 } else { 2 }
+        } else {
+            0
+        }
+    }
+
+    fn stage1(&self, ctx: &mut WarpCtx, cfg: &GnnOneConfig, span: WarpSpan, needs_vals: bool) {
+        if !cfg.data_reuse {
+            return;
+        }
+        let cache = cfg.cache_size;
+        let (base, count) = (span.base, span.count);
+        // All loads of the stage are independent: they overlap freely
+        // before the single barrier (the CACHE_SIZE effect of Fig. 9).
+        let chunks = count.div_ceil(WARP_SIZE);
+        for ch in 0..chunks {
+            let off = ch * WARP_SIZE;
+            let active = |l: usize| off + l < count;
+            let r = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
+            let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+            let v = self
+                .vals
+                .filter(|_| needs_vals)
+                .map(|vals| ctx.load_f32(vals, |l| active(l).then(|| base + off + l)));
+            ctx.shared_store(|l| active(l).then(|| (off + l, r.get(l))));
+            ctx.shared_store(|l| active(l).then(|| (cache + off + l, c.get(l))));
+            if let Some(v) = v {
+                ctx.shared_store(|l| active(l).then(|| (2 * cache + off + l, v.get(l))));
+            }
+        }
+        ctx.barrier();
+    }
+}
+
+impl FetchNzes for CooNzes<'_> {
+    fn fetch(
+        &self,
+        pipe: &Stage2Ctx<'_, Self>,
+        ctx: &mut WarpCtx,
+        j: usize,
+        needs_vals: bool,
+    ) -> NzeBatch {
+        let cache = pipe.cfg.cache_size;
+        let geo = pipe.geo;
+        let stage_vals = needs_vals && self.vals.is_some();
+        if pipe.cfg.data_reuse {
+            let rows: LaneArr<u32> = ctx.shared_load(|l| {
+                let (g, _) = geo.split_lane(l);
+                pipe.group_active(g, j).then(|| pipe.e_local(g, j))
+            });
+            let cols: LaneArr<u32> = ctx.shared_load(|l| {
+                let (g, _) = geo.split_lane(l);
+                pipe.group_active(g, j).then(|| cache + pipe.e_local(g, j))
+            });
+            let vals: LaneArr<f32> = if stage_vals {
+                ctx.shared_load(|l| {
+                    let (g, _) = geo.split_lane(l);
+                    pipe.group_active(g, j)
+                        .then(|| 2 * cache + pipe.e_local(g, j))
+                })
+            } else {
+                LaneArr::default()
+            };
+            NzeBatch { rows, cols, vals }
+        } else {
+            // No caching: broadcast global loads per group, and the
+            // feature loads that follow *depend* on their result, so the
+            // pipeline must drain (the hidden cost DGL pays).
+            let base = pipe.span.base;
+            let rows = ctx.load_u32(self.rows, |l| {
+                let (g, _) = geo.split_lane(l);
+                pipe.group_active(g, j).then(|| base + pipe.e_local(g, j))
+            });
+            let cols = ctx.load_u32(self.cols, |l| {
+                let (g, _) = geo.split_lane(l);
+                pipe.group_active(g, j).then(|| base + pipe.e_local(g, j))
+            });
+            let vals: LaneArr<f32> = match self.vals.filter(|_| needs_vals) {
+                Some(vbuf) => ctx.load_f32(vbuf, |l| {
+                    let (g, _) = geo.split_lane(l);
+                    pipe.group_active(g, j).then(|| base + pipe.e_local(g, j))
+                }),
+                None => LaneArr::default(),
+            };
+            ctx.use_loads();
+            NzeBatch { rows, cols, vals }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived-row CSR source
+// ---------------------------------------------------------------------------
+
+/// Plain-CSR NZEs with *derived* row ids — the format-selection trade-off
+/// of §4.3/§5.4.5 made executable. Each warp binary-searches the offsets
+/// array for the rows its span touches (a serial chain of dependent
+/// loads), stages that offsets slice in shared memory, and resolves every
+/// NZE's row against it in Stage 2. Avoiding either this search or extra
+/// metadata is exactly why the paper standardizes on COO.
+///
+/// Shared layout per warp: cols at `0`, values at `cache_size`, the staged
+/// offsets slice (a `cache_size + 2`-word ring) at `2 * cache_size`.
+/// Staging is unconditional — the derived rows only exist in shared
+/// memory, so this source ignores `data_reuse`.
+pub struct CsrNzes<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    num_rows: usize,
+    nnz: usize,
+}
+
+/// Stage-1 bookkeeping of [`CsrNzes`]: the first row bracketing the span.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrWarpState {
+    /// First row whose NZEs intersect the warp's span.
+    pub row_first: usize,
+}
+
+impl<'a> CsrNzes<'a> {
+    /// Source over a CSR matrix with per-NZE edge values.
+    pub fn new(
+        offsets: &'a DeviceBuffer<u32>,
+        cols: &'a DeviceBuffer<u32>,
+        vals: &'a DeviceBuffer<f32>,
+        num_rows: usize,
+        nnz: usize,
+    ) -> Self {
+        Self {
+            offsets,
+            cols,
+            vals,
+            num_rows,
+            nnz,
+        }
+    }
+
+    /// Charges one binary search over the offsets array: a serial chain of
+    /// `⌈log₂(rows)⌉` broadcast probes, each a dependent global load — the
+    /// cost COO's 4-byte row IDs avoid. Returns the functional result.
+    fn device_row_search(&self, ctx: &mut WarpCtx, nze: usize) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.num_rows;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let probe = ctx.load_u32(self.offsets, |l| (l == 0).then_some(mid));
+            ctx.use_loads(); // the next probe's address depends on this one
+            ctx.compute(2);
+            if probe.get(0) as usize <= nze {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl NzeSource for CsrNzes<'_> {
+    type State = CsrWarpState;
+
+    fn grid_warps(&self, cfg: &GnnOneConfig) -> usize {
+        self.nnz.div_ceil(cfg.cache_size)
+    }
+
+    fn span(&self, warp_id: usize, cfg: &GnnOneConfig, _ctx: &mut WarpCtx) -> Option<WarpSpan> {
+        let base = warp_id * cfg.cache_size;
+        Some(WarpSpan {
+            base,
+            count: cfg.cache_size.min(self.nnz - base),
+        })
+    }
+
+    fn shared_words_per_warp(&self, cfg: &GnnOneConfig, _needs_vals: bool) -> usize {
+        // Cols + vals (8 B/NZE) plus the staged offsets slice.
+        cfg.cache_size * 2 + (cfg.cache_size + 2)
+    }
+
+    fn stage1(
+        &self,
+        ctx: &mut WarpCtx,
+        cfg: &GnnOneConfig,
+        span: WarpSpan,
+        _needs_vals: bool,
+    ) -> CsrWarpState {
+        let cache = cfg.cache_size;
+        let (base, count) = (span.base, span.count);
+
+        // ---- Row-ID derivation: the CSR surcharge --------------------
+        // Two dependent binary searches bracket the rows this warp's NZE
+        // span touches...
+        let row_first = self.device_row_search(ctx, base);
+        let row_last = self.device_row_search(ctx, base + count - 1);
+        let rspan = row_last - row_first + 1;
+        // ...then the offsets slice is staged in shared for per-NZE
+        // resolution (capped at the warp's NZE count by construction:
+        // a span of rows over `count` NZEs has at most `count` non-empties,
+        // but empty rows can inflate it — those chunks load extra).
+        for off in (0..rspan + 1).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < rspan + 1;
+            let o = ctx.load_u32(self.offsets, |l| active(l).then(|| row_first + off + l));
+            ctx.shared_store(|l| {
+                active(l).then(|| (cache * 2 + ((off + l) % (cache + 2)), o.get(l)))
+            });
+        }
+
+        // ---- Stage 1 proper: cache cols + vals (8 B/NZE vs COO's 12) -
+        for off in (0..count).step_by(WARP_SIZE) {
+            let active = |l: usize| off + l < count;
+            let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
+            let v = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
+            ctx.shared_store(|l| active(l).then(|| (off + l, c.get(l))));
+            ctx.shared_store(|l| active(l).then(|| (cache + off + l, v.get(l))));
+        }
+        ctx.barrier();
+        CsrWarpState { row_first }
+    }
+}
+
+impl FetchNzes for CsrNzes<'_> {
+    fn fetch(
+        &self,
+        pipe: &Stage2Ctx<'_, Self>,
+        ctx: &mut WarpCtx,
+        j: usize,
+        _needs_vals: bool,
+    ) -> NzeBatch {
+        let cache = pipe.cfg.cache_size;
+        let geo = pipe.geo;
+        let cols: LaneArr<u32> = ctx.shared_load(|l| {
+            let (g, _) = geo.split_lane(l);
+            pipe.group_active(g, j).then(|| pipe.e_local(g, j))
+        });
+        let vals: LaneArr<f32> = ctx.shared_load(|l| {
+            let (g, _) = geo.split_lane(l);
+            pipe.group_active(g, j).then(|| cache + pipe.e_local(g, j))
+        });
+        // Row resolution: one shared probe + search arithmetic per NZE
+        // (the staged offsets slice), vs COO's direct read.
+        let mut rows = [0u32; WARP_SIZE];
+        for (l, slot) in rows.iter_mut().enumerate() {
+            let (g, _) = geo.split_lane(l);
+            if pipe.group_active(g, j) {
+                *slot = host_row_of(self.offsets, pipe.span.base + pipe.e_local(g, j)) as u32;
+            }
+        }
+        // Each lane probes its row's staged offset word. The row is inside
+        // [row_first, row_last], so the word is one the staging loop wrote
+        // (probing by raw NZE index could land past the staged span when
+        // the warp covers few rows).
+        let row_first = pipe.state.row_first;
+        let _probe: LaneArr<u32> = ctx.shared_load(|l| {
+            let (g, _) = geo.split_lane(l);
+            pipe.group_active(g, j)
+                .then(|| cache * 2 + ((rows[l] as usize - row_first) % (cache + 2)))
+        });
+        ctx.compute(4); // branchy search steps within the slice
+
+        NzeBatch {
+            rows: LaneArr::from_fn(|l| rows[l]),
+            cols,
+            vals,
+        }
+    }
+}
+
+/// Host-side functional row lookup (device cost charged through the
+/// searches/probes above).
+fn host_row_of(offsets: &DeviceBuffer<u32>, nze: usize) -> usize {
+    let (mut lo, mut hi) = (0usize, offsets.len() - 1);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if offsets.read(mid) as usize <= nze {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+// ---------------------------------------------------------------------------
+// Row-per-warp CSR source
+// ---------------------------------------------------------------------------
+
+/// Row-split CSR spans: one warp owns one row's NZE run. This is the
+/// vertex-centric shape row-wise reductions (the fused GAT softmax) force;
+/// the span is *loaded* (two offset words, a dependent drain) rather than
+/// computed, and empty rows skip the warp. No Stage-1 staging: the owning
+/// reduction passes over the span itself.
+pub struct CsrRows<'a> {
+    offsets: &'a DeviceBuffer<u32>,
+    num_rows: usize,
+}
+
+impl<'a> CsrRows<'a> {
+    /// Source over a CSR offsets array.
+    pub fn new(offsets: &'a DeviceBuffer<u32>, num_rows: usize) -> Self {
+        Self { offsets, num_rows }
+    }
+}
+
+impl NzeSource for CsrRows<'_> {
+    type State = ();
+
+    fn grid_warps(&self, _cfg: &GnnOneConfig) -> usize {
+        self.num_rows
+    }
+
+    fn span(&self, warp_id: usize, _cfg: &GnnOneConfig, ctx: &mut WarpCtx) -> Option<WarpSpan> {
+        let off = ctx.load_u32(self.offsets, |l| (l < 2).then_some(warp_id + l));
+        ctx.use_loads();
+        let (start, end) = (off.get(0) as usize, off.get(1) as usize);
+        (start != end).then(|| WarpSpan {
+            base: start,
+            count: end - start,
+        })
+    }
+
+    fn shared_words_per_warp(&self, _cfg: &GnnOneConfig, _needs_vals: bool) -> usize {
+        0
+    }
+
+    fn stage1(&self, _ctx: &mut WarpCtx, _cfg: &GnnOneConfig, _span: WarpSpan, _needs_vals: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coo_grid_covers_every_nze() {
+        let rows = DeviceBuffer::from_slice(&vec![0u32; 300]);
+        let cols = DeviceBuffer::from_slice(&vec![0u32; 300]);
+        let src = CooNzes::new(&rows, &cols, 300);
+        let cfg = GnnOneConfig::default();
+        // 300 NZEs at 128 per warp → 3 warps; the tail warp is ragged.
+        assert_eq!(src.grid_warps(&cfg), 3);
+        let small = GnnOneConfig {
+            cache_size: 32,
+            ..Default::default()
+        };
+        assert_eq!(src.grid_warps(&small), 10);
+    }
+
+    #[test]
+    fn shared_words_match_paper_layouts() {
+        let rows = DeviceBuffer::from_slice(&vec![0u32; 32]);
+        let cols = DeviceBuffer::from_slice(&vec![0u32; 32]);
+        let vals = DeviceBuffer::from_slice(&vec![0.0f32; 32]);
+        let cfg = GnnOneConfig::default();
+        // SDDMM stages ids only (8 B/NZE), SpMM adds edge values (12 B/NZE).
+        let coo = CooNzes::new(&rows, &cols, 32);
+        assert_eq!(coo.shared_words_per_warp(&cfg, false), 256);
+        let coo_v = CooNzes::with_vals(&rows, &cols, &vals, 32);
+        assert_eq!(coo_v.shared_words_per_warp(&cfg, true), 384);
+        // No caching at all without data-reuse.
+        let no_reuse = GnnOneConfig::ablation_baseline();
+        assert_eq!(coo.shared_words_per_warp(&no_reuse, false), 0);
+        // CSR: cols + vals + the offsets ring, regardless of data_reuse.
+        let offsets = DeviceBuffer::from_slice(&vec![0u32; 33]);
+        let csr = CsrNzes::new(&offsets, &cols, &vals, 32, 32);
+        assert_eq!(csr.shared_words_per_warp(&cfg, true), 128 * 3 + 2);
+    }
+
+    #[test]
+    fn schedule_assignment_matches_listing2() {
+        let rows = DeviceBuffer::from_slice(&vec![0u32; 128]);
+        let cols = DeviceBuffer::from_slice(&vec![0u32; 128]);
+        let src = CooNzes::new(&rows, &cols, 128);
+        let mk = |schedule| Stage2Ctx {
+            source: &src,
+            warp_id: 0,
+            state: (),
+            geo: GroupGeometry::gnnone(32), // 4 groups
+            cfg: GnnOneConfig {
+                schedule,
+                ..Default::default()
+            },
+            f: 32,
+            span: WarpSpan {
+                base: 0,
+                count: 128,
+            },
+        };
+        let cons = mk(Schedule::Consecutive);
+        assert_eq!(cons.per_group(), 32);
+        assert_eq!(cons.e_local(0, 0), 0);
+        assert_eq!(cons.e_local(1, 0), 32); // contiguous block per group
+        assert_eq!(cons.e_local(1, 1), 33);
+        let rr = mk(Schedule::RoundRobin);
+        assert_eq!(rr.e_local(0, 0), 0);
+        assert_eq!(rr.e_local(1, 0), 1); // dealt round-robin
+        assert_eq!(rr.e_local(0, 1), 4);
+    }
+}

@@ -1,0 +1,410 @@
+//! Reduction stages of the unified pipeline — the *only* part in which the
+//! GNNOne kernels differ (paper §4.3: SDDMM and SpMM "differ fundamentally
+//! only in their reduction stage").
+//!
+//! Each [`Reduction`] consumes the NZE batches a
+//! [`pipeline`](crate::gnnone::pipeline) source fetches and owns whatever
+//! the operator does with them:
+//!
+//! * [`EdgeDot`] — per-edge dot product with group-tree shuffles and a
+//!   register row-feature cache (SDDMM);
+//! * [`RowAccum`] — running thread-local accumulation flushed by
+//!   `atomicAdd` only at row splits (SpMM, both COO and derived-row CSR);
+//! * [`ScalarGather`] — scalar `el[row] + er[col]` gathers, no reduction
+//!   at all (the `u_add_v` SDDMM variant GAT logits need);
+//! * [`NoReduce`] — fetch + feature loads with the compute and output
+//!   dropped (the load-only prototype behind Fig. 11's data-load
+//!   fraction).
+//!
+//! The fused GAT kernel's row-softmax reduction lives with its kernel in
+//! [`fused`](crate::gnnone::fused) — it is the one reduction that forces a
+//! row-per-warp source instead of an edge-split one.
+
+use gnnone_sim::{DeviceBuffer, LaneArr, WarpCtx, WARP_SIZE};
+
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{FetchNzes, NzeSource, Stage2Ctx};
+
+/// A Stage-2 reduction: what a kernel does with each fetched NZE.
+pub trait Reduction<S: NzeSource> {
+    /// Whether Stage 1 must additionally stage each NZE's edge value.
+    const NEEDS_EDGE_VALUES: bool;
+
+    /// Register footprint of one thread running this reduction.
+    fn regs_per_thread(&self, cfg: &GnnOneConfig) -> usize;
+
+    /// Shared-memory words per warp the reduction itself needs (beyond the
+    /// source's staging) — e.g. the fused kernel's logit cache.
+    fn shared_words_per_warp(&self, _cfg: &GnnOneConfig) -> usize {
+        0
+    }
+
+    /// Runs Stage 2 for one warp.
+    fn stage2(&self, pipe: &Stage2Ctx<'_, S>, ctx: &mut WarpCtx);
+}
+
+// ---------------------------------------------------------------------------
+// EdgeDot (SDDMM)
+// ---------------------------------------------------------------------------
+
+/// Per-edge dot product: `w[e] = x[row(e)] · y[col(e)]`.
+///
+/// Each lane loads `vec_width` consecutive features of both operands with
+/// one vector instruction and the group tree-reduces via shuffles
+/// (`log2(group)` rounds — 3 instead of 5 for `f = 32`, §4.2.1). Under the
+/// Consecutive policy consecutive NZEs in a group usually share a row (COO
+/// is CSR-ordered), so the row's features are **reused** from registers
+/// until a row split — the data-reuse the paper credits with a 2.78×
+/// ablation speedup (Fig. 8).
+pub struct EdgeDot<'a> {
+    /// Row-operand features (`|V| × f`).
+    pub x: &'a DeviceBuffer<f32>,
+    /// Column-operand features (`|V| × f`).
+    pub y: &'a DeviceBuffer<f32>,
+    /// Per-edge output (`|E|`).
+    pub w: &'a DeviceBuffer<f32>,
+}
+
+impl<S: FetchNzes> Reduction<S> for EdgeDot<'_> {
+    const NEEDS_EDGE_VALUES: bool = false;
+
+    fn regs_per_thread(&self, cfg: &GnnOneConfig) -> usize {
+        // x/y vector registers + NZE ids + loop state.
+        if cfg.vectorize {
+            40
+        } else {
+            34
+        }
+    }
+
+    fn stage2(&self, pipe: &Stage2Ctx<'_, S>, ctx: &mut WarpCtx) {
+        let geo = pipe.geo;
+        let f = pipe.f;
+        let ng = geo.groups_per_warp;
+        let vw = geo.vec_width;
+
+        // Per-group row-feature register cache (Consecutive reuse).
+        let mut prev_row = [u32::MAX; WARP_SIZE];
+        let mut have_x = [false; WARP_SIZE];
+        let mut x_regs = [LaneArr::<f32>::default(); 4];
+        let reuse_possible = pipe.cfg.data_reuse && geo.passes == 1;
+
+        for j in 0..pipe.per_group() {
+            if pipe.all_idle(j) {
+                break;
+            }
+
+            // Fetch the NZE ids for every group.
+            let nze = pipe.fetch(ctx, j, false);
+
+            let mut partial = LaneArr::<f32>::default();
+            for pass in 0..geo.passes {
+                let fbase = pass * geo.group_size * vw;
+                // Which lanes must (re)load x-row features this iteration?
+                let mut reload = [false; WARP_SIZE];
+                for (l, slot) in reload.iter_mut().enumerate() {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    if !pipe.group_active(g, j) || k >= f {
+                        continue;
+                    }
+                    *slot = !(reuse_possible && have_x[g] && prev_row[g] == nze.rows.get(l));
+                }
+                if reload.iter().any(|&b| b) {
+                    let loaded = ctx.load_f32xw(vw, self.x, |l| {
+                        let (_, t) = geo.split_lane(l);
+                        reload[l].then(|| nze.rows.get(l) as usize * f + fbase + t * vw)
+                    });
+                    for l in 0..WARP_SIZE {
+                        if reload[l] {
+                            for k in 0..vw {
+                                x_regs[k].set(l, loaded[k].get(l));
+                            }
+                        }
+                    }
+                }
+                // Column features change every NZE: always loaded.
+                let yv = ctx.load_f32xw(vw, self.y, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (pipe.group_active(g, j) && k < f).then(|| nze.cols.get(l) as usize * f + k)
+                });
+                ctx.compute(vw as u64);
+                for l in 0..WARP_SIZE {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    if pipe.group_active(g, j) && k < f {
+                        let mut acc = partial.get(l);
+                        for kk in 0..vw {
+                            acc += x_regs[kk].get(l) * yv[kk].get(l);
+                        }
+                        partial.set(l, acc);
+                    }
+                }
+            }
+
+            // Tree reduction within each thread group.
+            let reduced = ctx.shfl_reduce_sum_f32(&partial, geo.group_size);
+            ctx.store_f32(self.w, |l| {
+                let (g, t) = geo.split_lane(l);
+                (t == 0 && pipe.group_active(g, j))
+                    .then(|| (pipe.span.base + pipe.e_local(g, j), reduced.get(l)))
+            });
+
+            // Update the register cache bookkeeping.
+            for g in 0..ng {
+                if pipe.group_active(g, j) {
+                    prev_row[g] = nze.rows.get(g * geo.group_size);
+                    have_x[g] = reuse_possible;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RowAccum (SpMM)
+// ---------------------------------------------------------------------------
+
+/// Running row accumulation: `y[r] += Σ_{(r,c)} val · x[c]`.
+///
+/// Under the Consecutive policy each group walks a contiguous run of NZEs,
+/// so the reduction along the neighborhood dimension is a **running,
+/// thread-local accumulation** — registers hold one partial vector per
+/// lane, flushed with `atomicAdd` only when a row split is observed
+/// (§4.3). This is what frees GNNOne from the register materialization
+/// that sinks Yang et al.'s nonzero-split SpMM. The same reduction serves
+/// COO and derived-row CSR: the source is what differs.
+pub struct RowAccum<'a> {
+    /// Dense operand features (`|V| × f`).
+    pub x: &'a DeviceBuffer<f32>,
+    /// Output rows (`|V| × f`, zeroed by the caller).
+    pub y: &'a DeviceBuffer<f32>,
+}
+
+impl RowAccum<'_> {
+    /// Flush one group's running accumulator to `y[row]` via atomicAdd —
+    /// `vec_width` atomic instructions, one per feature slot per lane.
+    fn flush(
+        &self,
+        ctx: &mut WarpCtx,
+        geo: &GroupGeometry,
+        f: usize,
+        fbase: usize,
+        flush_row: &[Option<u32>; WARP_SIZE],
+        acc: &mut [LaneArr<f32>; 4],
+    ) {
+        let vw = geo.vec_width;
+        // One vectored atomic per lane: `vw` consecutive element-atomics
+        // whose sector traffic the L2 combines (§4.3's atomicAdd flush).
+        ctx.atomic_add_f32_vec(vw, self.y, |l| {
+            let (g, t) = geo.split_lane(l);
+            let k0 = fbase + t * vw;
+            match flush_row[g] {
+                Some(row) if k0 < f => {
+                    let vals = [acc[0].get(l), acc[1].get(l), acc[2].get(l), acc[3].get(l)];
+                    Some((row as usize * f + k0, vals))
+                }
+                _ => None,
+            }
+        });
+        for a in acc.iter_mut() {
+            for l in 0..WARP_SIZE {
+                let (g, _) = geo.split_lane(l);
+                if flush_row[g].is_some() {
+                    a.set(l, 0.0);
+                }
+            }
+        }
+    }
+}
+
+impl<S: FetchNzes> Reduction<S> for RowAccum<'_> {
+    const NEEDS_EDGE_VALUES: bool = true;
+
+    fn regs_per_thread(&self, cfg: &GnnOneConfig) -> usize {
+        // Running reduction keeps register pressure flat: accumulator +
+        // loaded vector + ids (§4.3) — contrast Yang et al.
+        if cfg.vectorize {
+            42
+        } else {
+            36
+        }
+    }
+
+    fn stage2(&self, pipe: &Stage2Ctx<'_, S>, ctx: &mut WarpCtx) {
+        let geo = pipe.geo;
+        let f = pipe.f;
+        let ng = geo.groups_per_warp;
+        let vw = geo.vec_width;
+
+        for pass in 0..geo.passes {
+            let fbase = pass * geo.group_size * vw;
+            let mut acc = [LaneArr::<f32>::default(); 4];
+            let mut open_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+
+            for j in 0..pipe.per_group() {
+                if pipe.all_idle(j) {
+                    break;
+                }
+
+                let nze = pipe.fetch(ctx, j, true);
+
+                // Row split detection: flush groups whose open row differs
+                // from the incoming NZE's row (§4.3, "discovering a
+                // row-split is easy because every NZE carries its row ID").
+                let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+                let mut any_flush = false;
+                for g in 0..ng {
+                    if !pipe.group_active(g, j) {
+                        continue;
+                    }
+                    let row = nze.rows.get(g * geo.group_size);
+                    if let Some(open) = open_row[g] {
+                        if open != row {
+                            flush_row[g] = Some(open);
+                            any_flush = true;
+                        }
+                    }
+                    open_row[g] = Some(row);
+                }
+                if any_flush {
+                    self.flush(ctx, &geo, f, fbase, &flush_row, &mut acc);
+                }
+
+                // Load the column's vertex features and accumulate.
+                let xv = ctx.load_f32xw(vw, self.x, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (pipe.group_active(g, j) && k < f).then(|| nze.cols.get(l) as usize * f + k)
+                });
+                ctx.compute(vw as u64);
+                for l in 0..WARP_SIZE {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    if pipe.group_active(g, j) && k < f {
+                        for kk in 0..vw {
+                            acc[kk].set(l, acc[kk].get(l) + nze.vals.get(l) * xv[kk].get(l));
+                        }
+                    }
+                }
+            }
+
+            // Final flush of every open accumulator.
+            let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
+            flush_row[..ng].copy_from_slice(&open_row[..ng]);
+            if flush_row.iter().any(|r| r.is_some()) {
+                self.flush(ctx, &geo, f, fbase, &flush_row, &mut acc);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScalarGather (u_add_v)
+// ---------------------------------------------------------------------------
+
+/// Scalar edge apply: `w[e] = el[row(e)] + er[col(e)]`.
+///
+/// One lane per NZE (scalar geometry: 32 single-lane groups), all 32 lanes
+/// busy, loads pipeline freely — no reduction barrier at all: the
+/// variant's output is already edge-level (§4.3's SDDMM-variant family).
+pub struct ScalarGather<'a> {
+    /// Per-vertex left term (`|V|`).
+    pub el: &'a DeviceBuffer<f32>,
+    /// Per-vertex right term (`|V|`).
+    pub er: &'a DeviceBuffer<f32>,
+    /// Per-edge output (`|E|`).
+    pub w: &'a DeviceBuffer<f32>,
+}
+
+impl<S: FetchNzes> Reduction<S> for ScalarGather<'_> {
+    const NEEDS_EDGE_VALUES: bool = false;
+
+    fn regs_per_thread(&self, _cfg: &GnnOneConfig) -> usize {
+        28
+    }
+
+    fn stage2(&self, pipe: &Stage2Ctx<'_, S>, ctx: &mut WarpCtx) {
+        let geo = pipe.geo;
+        for j in 0..pipe.per_group() {
+            if pipe.all_idle(j) {
+                break;
+            }
+            let nze = pipe.fetch(ctx, j, false);
+            let elv = ctx.load_f32(self.el, |l| {
+                pipe.lane_active(l, j).then(|| nze.rows.get(l) as usize)
+            });
+            let erv = ctx.load_f32(self.er, |l| {
+                pipe.lane_active(l, j).then(|| nze.cols.get(l) as usize)
+            });
+            ctx.compute(1);
+            let sum = elv.zip_with(&erv, |a, b| a + b);
+            ctx.store_f32(self.w, |l| {
+                let (g, _) = geo.split_lane(l);
+                pipe.group_active(g, j)
+                    .then(|| (pipe.span.base + pipe.e_local(g, j), sum.get(l)))
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NoReduce (load-only ablation)
+// ---------------------------------------------------------------------------
+
+/// Load-only ablation: the full two-stage data load of an SDDMM-shaped
+/// kernel with the compute and output stages removed.
+///
+/// §5.1's breakdown attributes most of kernel time to the data load; this
+/// reduction makes that a *measured* quantity (fig11's "load-only" rows)
+/// rather than one derived from stall counters. Loads stream with no
+/// dependent consumers, exactly like a prototype kernel whose arithmetic
+/// was commented out.
+pub struct NoReduce<'a> {
+    /// Row-operand features (`|V| × f`).
+    pub x: &'a DeviceBuffer<f32>,
+    /// Column-operand features (`|V| × f`).
+    pub y: &'a DeviceBuffer<f32>,
+}
+
+impl<S: FetchNzes> Reduction<S> for NoReduce<'_> {
+    const NEEDS_EDGE_VALUES: bool = false;
+
+    fn regs_per_thread(&self, cfg: &GnnOneConfig) -> usize {
+        // No accumulators, no reduction state — only the load pipeline.
+        if cfg.vectorize {
+            36
+        } else {
+            30
+        }
+    }
+
+    fn stage2(&self, pipe: &Stage2Ctx<'_, S>, ctx: &mut WarpCtx) {
+        let geo = pipe.geo;
+        let f = pipe.f;
+        let vw = geo.vec_width;
+        for j in 0..pipe.per_group() {
+            if pipe.all_idle(j) {
+                break;
+            }
+            let nze = pipe.fetch(ctx, j, false);
+            for pass in 0..geo.passes {
+                let fbase = pass * geo.group_size * vw;
+                let _xv = ctx.load_f32xw(vw, self.x, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (pipe.group_active(g, j) && k < f).then(|| nze.rows.get(l) as usize * f + k)
+                });
+                let _yv = ctx.load_f32xw(vw, self.y, |l| {
+                    let (g, t) = geo.split_lane(l);
+                    let k = fbase + t * vw;
+                    (pipe.group_active(g, j) && k < f).then(|| nze.cols.get(l) as usize * f + k)
+                });
+            }
+        }
+        // Drain the tail so every issued load is charged before exit.
+        ctx.use_loads();
+    }
+}

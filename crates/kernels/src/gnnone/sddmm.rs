@@ -9,16 +9,20 @@
 //! (COO is CSR-ordered), so the row's features are **reused** from
 //! registers until a row split — the data-reuse the paper credits with a
 //! 2.78× ablation speedup (Fig. 8).
+//!
+//! The kernel is the [`CooNzes`] × [`EdgeDot`] instantiation of the shared
+//! [`TwoStagePipeline`]; both stages live in
+//! [`pipeline`](crate::gnnone::pipeline) /
+//! [`reduce`](crate::gnnone::reduce), and this file only binds the
+//! operands.
 
 use std::sync::Arc;
 
-use gnnone_sim::{
-    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
-    WarpKernel, WARP_SIZE,
-};
+use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
-use crate::geometry::GroupGeometry;
-use crate::gnnone::config::{GnnOneConfig, Schedule};
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
+use crate::gnnone::reduce::EdgeDot;
 use crate::graph::GraphData;
 use crate::traits::SddmmKernel;
 
@@ -68,202 +72,26 @@ impl SddmmKernel for GnnOneSddmm {
         f: usize,
         w: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
-        let geo = if self.config.vectorize {
-            GroupGeometry::gnnone(f)
-        } else {
-            GroupGeometry::feature_parallel(f)
-        };
-        let launch = SddmmLaunch {
-            rows: &self.graph.d_coo_rows,
-            cols: &self.graph.d_coo_cols,
-            x,
-            y,
-            w,
-            nnz: self.graph.nnz(),
+        let pipeline = TwoStagePipeline::new(
+            CooNzes::new(
+                &self.graph.d_coo_rows,
+                &self.graph.d_coo_cols,
+                self.graph.nnz(),
+            ),
+            EdgeDot { x, y, w },
             f,
-            geo,
-            cfg: self.config,
-            name: self.name,
-        };
-        gpu.try_launch(&launch)
-    }
-}
-
-struct SddmmLaunch<'a> {
-    rows: &'a DeviceBuffer<u32>,
-    cols: &'a DeviceBuffer<u32>,
-    x: &'a DeviceBuffer<f32>,
-    y: &'a DeviceBuffer<f32>,
-    w: &'a DeviceBuffer<f32>,
-    nnz: usize,
-    f: usize,
-    geo: GroupGeometry,
-    cfg: GnnOneConfig,
-    name: &'static str,
-}
-
-impl WarpKernel for SddmmLaunch<'_> {
-    fn resources(&self) -> KernelResources {
-        let threads_per_cta = 256;
-        let warps_per_cta = threads_per_cta / 32;
-        KernelResources {
-            threads_per_cta,
-            // x/y vector registers + NZE ids + loop state.
-            regs_per_thread: if self.cfg.vectorize { 40 } else { 34 },
-            shared_bytes_per_cta: if self.cfg.data_reuse {
-                warps_per_cta * self.cfg.cache_size * 8
-            } else {
-                0
-            },
-        }
-    }
-
-    fn grid_warps(&self) -> usize {
-        self.nnz.div_ceil(self.cfg.cache_size)
-    }
-
-    fn name(&self) -> &str {
-        self.name
-    }
-
-    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
-        let cache = self.cfg.cache_size;
-        let base = warp_id * cache;
-        let count = cache.min(self.nnz - base);
-        let geo = self.geo;
-        let f = self.f;
-        let ng = geo.groups_per_warp;
-        let vw = geo.vec_width;
-
-        // ---- Stage 1: balanced coalesced NZE load + shared caching ----
-        if self.cfg.data_reuse {
-            // All loads of the stage are independent: they overlap freely
-            // before the single barrier (the CACHE_SIZE effect of Fig. 9).
-            let chunks = count.div_ceil(WARP_SIZE);
-            for ch in 0..chunks {
-                let off = ch * WARP_SIZE;
-                let r = ctx.load_u32(self.rows, |l| (off + l < count).then(|| base + off + l));
-                let c = ctx.load_u32(self.cols, |l| (off + l < count).then(|| base + off + l));
-                ctx.shared_store(|l| (off + l < count).then(|| (off + l, r.get(l))));
-                ctx.shared_store(|l| (off + l < count).then(|| (cache + off + l, c.get(l))));
-            }
-            ctx.barrier();
-        }
-
-        // ---- Stage 2: symbiotic thread scheduler ----
-        let per_group = cache / ng;
-        let e_local = |g: usize, j: usize| match self.cfg.schedule {
-            Schedule::Consecutive => g * per_group + j,
-            Schedule::RoundRobin => j * ng + g,
-        };
-
-        // Per-group row-feature register cache (Consecutive reuse).
-        let mut prev_row = [u32::MAX; WARP_SIZE];
-        let mut have_x = [false; WARP_SIZE];
-        let mut x_regs = [LaneArr::<f32>::default(); 4];
-        let reuse_possible = self.cfg.data_reuse && geo.passes == 1;
-
-        for j in 0..per_group {
-            let group_active = |g: usize| e_local(g, j) < count;
-            if (0..ng).all(|g| !group_active(g)) {
-                break;
-            }
-
-            // Fetch the NZE ids for every group.
-            let (rows_l, cols_l) = if self.cfg.data_reuse {
-                let r: LaneArr<u32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| e_local(g, j))
-                });
-                let c: LaneArr<u32> = ctx.shared_load(|l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| cache + e_local(g, j))
-                });
-                (r, c)
-            } else {
-                // No caching: broadcast global loads per group, and the
-                // feature loads below *depend* on their result, so the
-                // pipeline must drain (the hidden cost DGL pays).
-                let r = ctx.load_u32(self.rows, |l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| base + e_local(g, j))
-                });
-                let c = ctx.load_u32(self.cols, |l| {
-                    let (g, _) = geo.split_lane(l);
-                    group_active(g).then(|| base + e_local(g, j))
-                });
-                ctx.use_loads();
-                (r, c)
-            };
-
-            let mut partial = LaneArr::<f32>::default();
-            for pass in 0..geo.passes {
-                let fbase = pass * geo.group_size * vw;
-                // Which lanes must (re)load x-row features this iteration?
-                let mut reload = [false; WARP_SIZE];
-                for l in 0..WARP_SIZE {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    if !group_active(g) || k >= f {
-                        continue;
-                    }
-                    reload[l] = !(reuse_possible && have_x[g] && prev_row[g] == rows_l.get(l));
-                }
-                if reload.iter().any(|&b| b) {
-                    let loaded = ctx.load_f32xw(vw, self.x, |l| {
-                        let (_, t) = geo.split_lane(l);
-                        reload[l].then(|| rows_l.get(l) as usize * f + fbase + t * vw)
-                    });
-                    for l in 0..WARP_SIZE {
-                        if reload[l] {
-                            for k in 0..vw {
-                                x_regs[k].set(l, loaded[k].get(l));
-                            }
-                        }
-                    }
-                }
-                // Column features change every NZE: always loaded.
-                let yv = ctx.load_f32xw(vw, self.y, |l| {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
-                });
-                ctx.compute(vw as u64);
-                for l in 0..WARP_SIZE {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    if group_active(g) && k < f {
-                        let mut acc = partial.get(l);
-                        for kk in 0..vw {
-                            acc += x_regs[kk].get(l) * yv[kk].get(l);
-                        }
-                        partial.set(l, acc);
-                    }
-                }
-            }
-
-            // Tree reduction within each thread group (log2(group) rounds —
-            // 3 instead of 5 for f = 32, §4.2.1).
-            let reduced = ctx.shfl_reduce_sum_f32(&partial, geo.group_size);
-            ctx.store_f32(self.w, |l| {
-                let (g, t) = geo.split_lane(l);
-                (t == 0 && group_active(g)).then(|| (base + e_local(g, j), reduced.get(l)))
-            });
-
-            // Update the register cache bookkeeping.
-            for g in 0..ng {
-                if group_active(g) {
-                    prev_row[g] = rows_l.get(g * geo.group_size);
-                    have_x[g] = reuse_possible;
-                }
-            }
-        }
+            stage2_geometry(&self.config, f),
+            self.config,
+            self.name,
+        );
+        gpu.try_launch(&pipeline)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gnnone::config::Schedule;
     use gnnone_sim::GpuSpec;
     use gnnone_sparse::formats::{Coo, EdgeList};
     use gnnone_sparse::gen;

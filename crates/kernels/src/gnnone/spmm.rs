@@ -8,16 +8,19 @@
 //! with `atomicAdd` only when a row split is observed (§4.3). This is what
 //! frees GNNOne from the register materialization that sinks Yang et al.'s
 //! nonzero-split SpMM.
+//!
+//! The kernel is the [`CooNzes`] × [`RowAccum`] instantiation of the
+//! shared [`TwoStagePipeline`] — the *same* Stage 1 and scheduler as
+//! SDDMM, differing only in the reduction, which is the paper's unifying
+//! claim made structural.
 
 use std::sync::Arc;
 
-use gnnone_sim::{
-    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, LaneArr, WarpCtx,
-    WarpKernel, WARP_SIZE,
-};
+use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
-use crate::geometry::GroupGeometry;
-use crate::gnnone::config::{GnnOneConfig, Schedule};
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
+use crate::gnnone::reduce::RowAccum;
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -67,234 +70,27 @@ impl SpmmKernel for GnnOneSpmm {
         f: usize,
         y: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
-        let geo = if self.config.vectorize {
-            GroupGeometry::gnnone(f)
-        } else {
-            GroupGeometry::feature_parallel(f)
-        };
-        let launch = SpmmLaunch {
-            rows: &self.graph.d_coo_rows,
-            cols: &self.graph.d_coo_cols,
-            vals: edge_vals,
-            x,
-            y,
-            nnz: self.graph.nnz(),
+        let pipeline = TwoStagePipeline::new(
+            CooNzes::with_vals(
+                &self.graph.d_coo_rows,
+                &self.graph.d_coo_cols,
+                edge_vals,
+                self.graph.nnz(),
+            ),
+            RowAccum { x, y },
             f,
-            geo,
-            cfg: self.config,
-            name: self.name,
-        };
-        gpu.try_launch(&launch)
-    }
-}
-
-struct SpmmLaunch<'a> {
-    rows: &'a DeviceBuffer<u32>,
-    cols: &'a DeviceBuffer<u32>,
-    vals: &'a DeviceBuffer<f32>,
-    x: &'a DeviceBuffer<f32>,
-    y: &'a DeviceBuffer<f32>,
-    nnz: usize,
-    f: usize,
-    geo: GroupGeometry,
-    cfg: GnnOneConfig,
-    name: &'static str,
-}
-
-impl SpmmLaunch<'_> {
-    /// Flush one group's running accumulator to `y[row]` via atomicAdd —
-    /// `vec_width` atomic instructions, one per feature slot per lane.
-    #[allow(clippy::too_many_arguments)]
-    fn flush(
-        &self,
-        ctx: &mut WarpCtx,
-        geo: &GroupGeometry,
-        flush_row: &[Option<u32>; WARP_SIZE],
-        acc: &mut [LaneArr<f32>; 4],
-        pass: usize,
-    ) {
-        let f = self.f;
-        let vw = geo.vec_width;
-        let fbase = pass * geo.group_size * vw;
-        // One vectored atomic per lane: `vw` consecutive element-atomics
-        // whose sector traffic the L2 combines (§4.3's atomicAdd flush).
-        ctx.atomic_add_f32_vec(vw, self.y, |l| {
-            let (g, t) = geo.split_lane(l);
-            let k0 = fbase + t * vw;
-            match flush_row[g] {
-                Some(row) if k0 < f => {
-                    let vals = [acc[0].get(l), acc[1].get(l), acc[2].get(l), acc[3].get(l)];
-                    Some((row as usize * f + k0, vals))
-                }
-                _ => None,
-            }
-        });
-        for k in 0..vw {
-            for l in 0..WARP_SIZE {
-                let (g, _) = geo.split_lane(l);
-                if flush_row[g].is_some() {
-                    acc[k].set(l, 0.0);
-                }
-            }
-        }
-    }
-}
-
-impl WarpKernel for SpmmLaunch<'_> {
-    fn resources(&self) -> KernelResources {
-        let threads_per_cta = 256;
-        let warps_per_cta = threads_per_cta / 32;
-        KernelResources {
-            threads_per_cta,
-            // Running reduction keeps register pressure flat: accumulator +
-            // loaded vector + ids (§4.3) — contrast Yang et al.
-            regs_per_thread: if self.cfg.vectorize { 42 } else { 36 },
-            shared_bytes_per_cta: if self.cfg.data_reuse {
-                // rows + cols + edge features: 12 bytes per cached NZE.
-                warps_per_cta * self.cfg.cache_size * 12
-            } else {
-                0
-            },
-        }
-    }
-
-    fn grid_warps(&self) -> usize {
-        self.nnz.div_ceil(self.cfg.cache_size)
-    }
-
-    fn name(&self) -> &str {
-        self.name
-    }
-
-    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
-        let cache = self.cfg.cache_size;
-        let base = warp_id * cache;
-        let count = cache.min(self.nnz - base);
-        let geo = self.geo;
-        let f = self.f;
-        let ng = geo.groups_per_warp;
-        let vw = geo.vec_width;
-
-        // ---- Stage 1: cache NZEs + edge features ----
-        if self.cfg.data_reuse {
-            let chunks = count.div_ceil(WARP_SIZE);
-            for ch in 0..chunks {
-                let off = ch * WARP_SIZE;
-                let active = |l: usize| off + l < count;
-                let r = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
-                let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
-                let v = ctx.load_f32(self.vals, |l| active(l).then(|| base + off + l));
-                ctx.shared_store(|l| active(l).then(|| (off + l, r.get(l))));
-                ctx.shared_store(|l| active(l).then(|| (cache + off + l, c.get(l))));
-                ctx.shared_store(|l| active(l).then(|| (2 * cache + off + l, v.get(l))));
-            }
-            ctx.barrier();
-        }
-
-        // ---- Stage 2: running thread-local reduction ----
-        let per_group = cache / ng;
-        let e_local = |g: usize, j: usize| match self.cfg.schedule {
-            Schedule::Consecutive => g * per_group + j,
-            Schedule::RoundRobin => j * ng + g,
-        };
-
-        for pass in 0..geo.passes {
-            let fbase = pass * geo.group_size * vw;
-            let mut acc = [LaneArr::<f32>::default(); 4];
-            let mut open_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-
-            for j in 0..per_group {
-                let group_active = |g: usize| e_local(g, j) < count;
-                if (0..ng).all(|g| !group_active(g)) {
-                    break;
-                }
-
-                let (rows_l, cols_l, vals_l) = if self.cfg.data_reuse {
-                    let r: LaneArr<u32> = ctx.shared_load(|l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| e_local(g, j))
-                    });
-                    let c: LaneArr<u32> = ctx.shared_load(|l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| cache + e_local(g, j))
-                    });
-                    let v: LaneArr<f32> = ctx.shared_load(|l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| 2 * cache + e_local(g, j))
-                    });
-                    (r, c, v)
-                } else {
-                    let r = ctx.load_u32(self.rows, |l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| base + e_local(g, j))
-                    });
-                    let c = ctx.load_u32(self.cols, |l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| base + e_local(g, j))
-                    });
-                    let v = ctx.load_f32(self.vals, |l| {
-                        let (g, _) = geo.split_lane(l);
-                        group_active(g).then(|| base + e_local(g, j))
-                    });
-                    ctx.use_loads();
-                    (r, c, v)
-                };
-
-                // Row split detection: flush groups whose open row differs
-                // from the incoming NZE's row (§4.3, "discovering a
-                // row-split is easy because every NZE carries its row ID").
-                let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-                let mut any_flush = false;
-                for g in 0..ng {
-                    if !group_active(g) {
-                        continue;
-                    }
-                    let row = rows_l.get(g * geo.group_size);
-                    if let Some(open) = open_row[g] {
-                        if open != row {
-                            flush_row[g] = Some(open);
-                            any_flush = true;
-                        }
-                    }
-                    open_row[g] = Some(row);
-                }
-                if any_flush {
-                    self.flush(ctx, &geo, &flush_row, &mut acc, pass);
-                }
-
-                // Load the column's vertex features and accumulate.
-                let xv = ctx.load_f32xw(vw, self.x, |l| {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    (group_active(g) && k < f).then(|| cols_l.get(l) as usize * f + k)
-                });
-                ctx.compute(vw as u64);
-                for l in 0..WARP_SIZE {
-                    let (g, t) = geo.split_lane(l);
-                    let k = fbase + t * vw;
-                    if group_active(g) && k < f {
-                        for kk in 0..vw {
-                            acc[kk].set(l, acc[kk].get(l) + vals_l.get(l) * xv[kk].get(l));
-                        }
-                    }
-                }
-            }
-
-            // Final flush of every open accumulator.
-            let mut flush_row: [Option<u32>; WARP_SIZE] = [None; WARP_SIZE];
-            for (g, item) in flush_row.iter_mut().enumerate().take(ng) {
-                *item = open_row[g];
-            }
-            if flush_row.iter().any(|r| r.is_some()) {
-                self.flush(ctx, &geo, &flush_row, &mut acc, pass);
-            }
-        }
+            stage2_geometry(&self.config, f),
+            self.config,
+            self.name,
+        );
+        gpu.try_launch(&pipeline)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gnnone::config::Schedule;
     use gnnone_sim::GpuSpec;
     use gnnone_sparse::formats::{Coo, EdgeList};
     use gnnone_sparse::gen;

@@ -5,19 +5,26 @@
 //! [`GnnOneUAddV`] is the variant GAT's attention logits need:
 //! `w[e] = el[row(e)] + er[col(e)]` — the same unified two-stage shape as
 //! the dot-product SDDMM (Stage-1 NZE caching, edge-parallel balance),
-//! with scalar gathers instead of feature-vector loads.
+//! with scalar gathers instead of feature-vector loads. It is the
+//! [`CooNzes`] × [`ScalarGather`] instantiation of the shared
+//! [`TwoStagePipeline`] under the scalar geometry (32 single-lane groups)
+//! and Round-robin assignment, which together make each Stage-2 step a
+//! full 32-NZE stride.
+//!
+//! [`GnnOneLoadOnly`] is the Fig. 11 load-only prototype: the SDDMM data
+//! load with the compute and output dropped ([`NoReduce`]), turning the
+//! paper's "data load dominates" claim into a directly measured kernel.
 
 use std::sync::Arc;
 
-use gnnone_sim::{
-    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, KernelResources, WarpCtx, WarpKernel,
-    WARP_SIZE,
-};
+use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::{GnnOneConfig, Schedule};
+use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
+use crate::gnnone::reduce::{NoReduce, ScalarGather};
 use crate::graph::GraphData;
-
-/// NZEs cached per warp (Stage 1), as in the main kernels.
-const CACHE: usize = 128;
+use crate::traits::EdgeApplyKernel;
 
 /// The `u_add_v` SDDMM variant over COO.
 pub struct GnnOneUAddV {
@@ -38,73 +45,88 @@ impl GnnOneUAddV {
         er: &DeviceBuffer<f32>,
         w: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
-        let launch = UAddVLaunch {
-            rows: &self.graph.d_coo_rows,
-            cols: &self.graph.d_coo_cols,
-            el,
-            er,
-            w,
-            nnz: self.graph.nnz(),
+        // Round-robin over 32 single-lane groups walks the cache in
+        // coalesced 32-NZE strides — the natural shape for a scalar op.
+        let cfg = GnnOneConfig {
+            cache_size: 128,
+            schedule: Schedule::RoundRobin,
+            vectorize: false,
+            data_reuse: true,
         };
-        gpu.try_launch(&launch)
+        let pipeline = TwoStagePipeline::new(
+            CooNzes::new(
+                &self.graph.d_coo_rows,
+                &self.graph.d_coo_cols,
+                self.graph.nnz(),
+            ),
+            ScalarGather { el, er, w },
+            1,
+            GroupGeometry::scalar(),
+            cfg,
+            "GnnOne-u_add_v",
+        );
+        gpu.try_launch(&pipeline)
     }
 }
 
-struct UAddVLaunch<'a> {
-    rows: &'a DeviceBuffer<u32>,
-    cols: &'a DeviceBuffer<u32>,
-    el: &'a DeviceBuffer<f32>,
-    er: &'a DeviceBuffer<f32>,
-    w: &'a DeviceBuffer<f32>,
-    nnz: usize,
+impl EdgeApplyKernel for GnnOneUAddV {
+    fn name(&self) -> &'static str {
+        "GnnOne-UAddV"
+    }
+
+    fn format(&self) -> &'static str {
+        "COO"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        GnnOneUAddV::run(self, gpu, el, er, w)
+    }
 }
 
-impl WarpKernel for UAddVLaunch<'_> {
-    fn resources(&self) -> KernelResources {
-        KernelResources {
-            threads_per_cta: 256,
-            regs_per_thread: 28,
-            // Row + col IDs cached per warp.
-            shared_bytes_per_cta: (256 / 32) * CACHE * 8,
-        }
+/// Load-only SDDMM prototype over COO: Stage 1 + Stage 2 fetch + both
+/// feature-vector gathers, no compute, no output — the measured
+/// counterpart of Fig. 11's data-load fraction.
+pub struct GnnOneLoadOnly {
+    graph: Arc<GraphData>,
+    config: GnnOneConfig,
+}
+
+impl GnnOneLoadOnly {
+    /// Creates the kernel for `graph` with `config` (the same knobs as the
+    /// full SDDMM, so load-only and full kernels stay comparable).
+    pub fn new(graph: Arc<GraphData>, config: GnnOneConfig) -> Self {
+        config.validate();
+        Self { graph, config }
     }
 
-    fn grid_warps(&self) -> usize {
-        self.nnz.div_ceil(CACHE)
-    }
-
-    fn name(&self) -> &str {
-        "GnnOne-u_add_v"
-    }
-
-    fn run_warp(&self, warp_id: usize, ctx: &mut WarpCtx) {
-        let base = warp_id * CACHE;
-        let count = CACHE.min(self.nnz - base);
-
-        // Stage 1: balanced, coalesced NZE load into shared memory.
-        for off in (0..count).step_by(WARP_SIZE) {
-            let active = |l: usize| off + l < count;
-            let r = ctx.load_u32(self.rows, |l| active(l).then(|| base + off + l));
-            let c = ctx.load_u32(self.cols, |l| active(l).then(|| base + off + l));
-            ctx.shared_store(|l| active(l).then(|| (off + l, r.get(l))));
-            ctx.shared_store(|l| active(l).then(|| (CACHE + off + l, c.get(l))));
-        }
-        ctx.barrier();
-
-        // Stage 2: scalar gathers of el/er per NZE — one lane per NZE, all
-        // 32 lanes busy, loads pipeline freely (no reduction barrier at
-        // all: the variant's output is already edge-level).
-        for off in (0..count).step_by(WARP_SIZE) {
-            let active = |l: usize| off + l < count;
-            let r: gnnone_sim::LaneArr<u32> = ctx.shared_load(|l| active(l).then(|| off + l));
-            let c: gnnone_sim::LaneArr<u32> =
-                ctx.shared_load(|l| active(l).then(|| CACHE + off + l));
-            let elv = ctx.load_f32(self.el, |l| active(l).then(|| r.get(l) as usize));
-            let erv = ctx.load_f32(self.er, |l| active(l).then(|| c.get(l) as usize));
-            ctx.compute(1);
-            let sum = elv.zip_with(&erv, |a, b| a + b);
-            ctx.store_f32(self.w, |l| active(l).then(|| (base + off + l, sum.get(l))));
-        }
+    /// Streams the full SDDMM data load for feature length `f` without
+    /// producing output.
+    pub fn run(
+        &self,
+        gpu: &Gpu,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+        f: usize,
+    ) -> Result<KernelReport, LaunchError> {
+        let pipeline = TwoStagePipeline::new(
+            CooNzes::new(
+                &self.graph.d_coo_rows,
+                &self.graph.d_coo_cols,
+                self.graph.nnz(),
+            ),
+            NoReduce { x, y },
+            f,
+            stage2_geometry(&self.config, f),
+            self.config,
+            "GnnOne-LoadOnly",
+        );
+        gpu.try_launch(&pipeline)
     }
 }
 
@@ -169,5 +191,37 @@ mod tests {
             "edge-parallel variant must be balanced: max {} mean {mean}",
             r.stats.max_warp_cycles
         );
+    }
+
+    #[test]
+    fn load_only_is_cheaper_than_full_sddmm_and_writes_nothing() {
+        use crate::gnnone::GnnOneSddmm;
+        use crate::traits::SddmmKernel;
+        let el = gen::rmat(8, 1500, gen::GRAPH500_PROBS, 133).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let n = g.num_vertices();
+        let f = 32;
+        let x = DeviceBuffer::from_slice(&vec![1.0f32; n * f]);
+        let y = DeviceBuffer::from_slice(&vec![1.0f32; n * f]);
+        let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let load_only = GnnOneLoadOnly::new(Arc::clone(&g), GnnOneConfig::default())
+            .run(&gpu, &x, &y, f)
+            .unwrap();
+        let full = GnnOneSddmm::new(Arc::clone(&g), GnnOneConfig::default())
+            .run(&gpu, &x, &y, f, &dw)
+            .unwrap();
+        // The load stream is the kernel: no shuffles, no stores at all.
+        assert_eq!(load_only.stats.shfl_rounds, 0);
+        assert_eq!(load_only.stats.write_bytes, 0);
+        // Dropping compute + reduction can only shrink the kernel.
+        assert!(
+            load_only.cycles <= full.cycles,
+            "load-only {} !<= full {}",
+            load_only.cycles,
+            full.cycles
+        );
+        // But it still performs the full data load.
+        assert!(load_only.stats.loads > 0);
     }
 }

@@ -3,11 +3,12 @@
 //!
 //! This is the simulator's `compute-sanitizer` workflow: the sweep attaches
 //! a [`Sanitizer`] to the [`Gpu`], drives every kernel in
-//! [`crate::registry`] (plus the CSR variant and the fused GAT kernel,
-//! which live outside the figure registries), and attributes findings to
-//! kernels by the change in [`Sanitizer::finding_count`] around each
-//! launch. Inputs are generated deterministically from the graph shape so
-//! two sweeps over the same graph audit identical executions.
+//! [`crate::registry`] — the figure registries plus the format-study,
+//! edge-apply, and fused-attention registries, so every shipped kernel is
+//! reachable by name — and attributes findings to kernels by the change in
+//! [`Sanitizer::finding_count`] around each launch. Inputs are generated
+//! deterministically from the graph shape so two sweeps over the same
+//! graph audit identical executions.
 //!
 //! Kernels are allowed to decline a launch ([`LaunchError`], e.g. a CTA
 //! shape the spec cannot host) — that is recorded as a skip, not a finding.
@@ -17,10 +18,8 @@ use std::sync::Arc;
 use gnnone_sim::engine::LaunchError;
 use gnnone_sim::{DeviceBuffer, Gpu, SanitizeConfig, Sanitizer};
 
-use crate::gnnone::{FusedGatAttention, GnnOneCsrSpmm, GnnOneUAddV};
 use crate::graph::GraphData;
 use crate::registry;
-use crate::traits::SpmmKernel;
 
 /// Outcome of sweeping one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,14 +96,11 @@ pub fn sweep_graph(gpu: &Gpu, graph: &Arc<GraphData>, f: usize) -> Vec<KernelSwe
         record(k.name(), "sddmm", k.format(), before, r);
     }
 
-    let spmm: Vec<Box<dyn SpmmKernel>> = registry::spmm_kernels(graph)
+    for k in registry::spmm_kernels(graph)
         .into_iter()
         .chain(registry::spmm_discussion_kernels(graph))
-        .chain(std::iter::once(
-            Box::new(GnnOneCsrSpmm::new(Arc::clone(graph))) as Box<dyn SpmmKernel>,
-        ))
-        .collect();
-    for k in spmm {
+        .chain(registry::spmm_format_kernels(graph))
+    {
         dy.fill_default();
         let before = san.finding_count();
         let r = k.run(gpu, &dw, &dx, f, &dy).map(drop);
@@ -118,20 +114,17 @@ pub fn sweep_graph(gpu: &Gpu, graph: &Arc<GraphData>, f: usize) -> Vec<KernelSwe
         record(k.name(), "spmv", k.format(), before, r);
     }
 
-    {
+    for k in registry::fused_kernels(graph) {
         dy.fill_default();
-        let fused = FusedGatAttention::new(Arc::clone(graph), 0.2);
         let before = san.finding_count();
-        let r = fused
-            .run(gpu, &dz, &del, &der, f, &dy, Some(&dalpha))
-            .map(drop);
-        record("FusedGAT", "fused", "CSR", before, r);
+        let r = k.run(gpu, &dz, &del, &der, f, &dy, Some(&dalpha)).map(drop);
+        record(k.name(), "fused", k.format(), before, r);
     }
-    {
-        let uaddv = GnnOneUAddV::new(Arc::clone(graph));
+
+    for k in registry::edge_apply_kernels(graph) {
         let before = san.finding_count();
-        let r = uaddv.run(gpu, &del, &der, &dwe).map(drop);
-        record("GnnOne-UAddV", "u-add-v", "COO", before, r);
+        let r = k.run(gpu, &del, &der, &dwe).map(drop);
+        record(k.name(), "u-add-v", k.format(), before, r);
     }
 
     out

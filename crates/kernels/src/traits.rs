@@ -50,6 +50,51 @@ pub trait SddmmKernel: Send + Sync {
     ) -> Result<KernelReport, LaunchError>;
 }
 
+/// Edge-apply SDDMM variants (§4.3): per-NZE outputs computed from scalar
+/// per-vertex operands, e.g. GAT's `u_add_v` attention logits.
+pub trait EdgeApplyKernel: Send + Sync {
+    /// System name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Storage format consumed.
+    fn format(&self) -> &'static str;
+
+    /// Launches the kernel: reads `el` and `er` (`|V|`), writes `w`
+    /// (`|E|`).
+    fn run(
+        &self,
+        gpu: &Gpu,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError>;
+}
+
+/// Fused attention: logits + edge softmax + attended aggregation in one
+/// launch (§5.3.2's future-work direction).
+pub trait FusedAttentionKernel: Send + Sync {
+    /// System name.
+    fn name(&self) -> &'static str;
+
+    /// Storage format consumed.
+    fn format(&self) -> &'static str;
+
+    /// Launches the kernel: reads `z` (`|V| × f`), `el`/`er` (`|V|`),
+    /// writes `y` (`|V| × f`, zeroed by the caller) and optionally the
+    /// attention coefficients `alpha_out` (`|E|`).
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        gpu: &Gpu,
+        z: &DeviceBuffer<f32>,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+        alpha_out: Option<&DeviceBuffer<f32>>,
+    ) -> Result<KernelReport, LaunchError>;
+}
+
 /// SpMV: `y ← A·x` with scalar features.
 pub trait SpmvKernel: Send + Sync {
     /// System name.
