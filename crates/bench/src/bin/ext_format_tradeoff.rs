@@ -15,7 +15,11 @@ use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneCsrSpmm, GnnOneSpmm};
 use gnnone_kernels::traits::SpmmKernel;
 use gnnone_sim::Gpu;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("ext_format_tradeoff", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
@@ -24,6 +28,7 @@ fn main() {
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Extension: GNNOne SpMM format trade-off, dim={dim}"),
@@ -38,7 +43,7 @@ fn main() {
             let csr: Box<dyn SpmmKernel> = Box::new(GnnOneCsrSpmm::new(Arc::clone(&ld.graph)));
             let cells = [coo, csr]
                 .iter()
-                .map(|k| runner::run_spmm(&gpu, k.as_ref(), &ld, dim))
+                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }
@@ -50,7 +55,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/ext_format_tradeoff.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

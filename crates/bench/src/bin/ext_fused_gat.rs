@@ -15,7 +15,11 @@ use gnnone_kernels::gnnone::{FusedGatAttention, GnnOneConfig, GnnOneSpmm};
 use gnnone_kernels::traits::SpmmKernel;
 use gnnone_sim::{DeviceBuffer, Gpu};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("ext_fused_gat", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
@@ -69,9 +73,10 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/ext_fused_gat.json".into());
-    report::write_json(&out, &table).expect("write results");
+    report::write_json(&out, &table).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }
 
 /// Host-side attention coefficients for the unfused SpMM input (their

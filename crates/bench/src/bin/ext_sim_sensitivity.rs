@@ -21,7 +21,11 @@ struct SensitivityRow {
     spmm_geomean_vs_best: f64,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("ext_sim_sensitivity", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.datasets.is_empty() {
         // A skewed, a uniform and a dense dataset.
@@ -123,7 +127,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/ext_sim_sensitivity.json".into());
-    report::write_json(&out, &rows).expect("write results");
+    report::write_json(&out, &rows).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }

@@ -12,7 +12,11 @@ use gnnone_kernels::registry;
 use gnnone_kernels::traits::SpmmKernel;
 use gnnone_sim::Gpu;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("ext_spmm_extras", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
@@ -21,6 +25,7 @@ fn main() {
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Extension: discussed-but-unplotted SpMM systems, dim={dim}"),
@@ -34,7 +39,7 @@ fn main() {
             ));
             let cells = std::iter::once(gnnone)
                 .chain(registry::spmm_discussion_kernels(&ld.graph))
-                .map(|k| runner::run_spmm(&gpu, k.as_ref(), &ld, dim))
+                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }
@@ -46,7 +51,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/ext_spmm_extras.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

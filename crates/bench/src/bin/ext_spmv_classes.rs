@@ -9,11 +9,16 @@ use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("ext_spmv_classes", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
+    let mut guard = runner::SweepGuard::new();
     let mut table = Table::new(
         "Extension: nonzero-split SpMV classes (§4.4)",
         &["GnnOne", "Merge-SpMV", "Dalton et al."],
@@ -22,7 +27,7 @@ fn main() {
         let ld = runner::load(&spec, opts.scale);
         let cells = registry::spmv_class_kernels(&ld.graph)
             .iter()
-            .map(|k| runner::run_spmv(&gpu, k.as_ref(), &ld))
+            .map(|k| runner::run_spmv_guarded(&gpu, k.as_ref(), &ld, &mut guard))
             .collect();
         table.push_row(spec.id, cells);
     }
@@ -32,7 +37,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/ext_spmv_classes.json".into());
-    report::write_json(&out, &table).expect("write results");
+    report::write_json(&out, &table).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

@@ -13,7 +13,11 @@ use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm, Schedule};
 use gnnone_sim::Gpu;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig10_schedule", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
@@ -22,6 +26,7 @@ fn main() {
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
@@ -40,7 +45,7 @@ fn main() {
                             ..Default::default()
                         },
                     );
-                    runner::run_spmm(&gpu, &k, &ld, dim)
+                    runner::run_spmm_guarded(&gpu, &k, &ld, dim, &mut guard)
                 })
                 .collect();
             table.push_row(spec.id, cells);
@@ -53,7 +58,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig10_schedule.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

@@ -37,7 +37,11 @@ fn load_fraction(report: &KernelReport) -> f64 {
     (stats.total_mem_stall_cycles + load_issue) as f64 / stats.total_solo_cycles as f64
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig11_breakdown", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
@@ -62,11 +66,11 @@ fn main() {
         let w = DeviceBuffer::from_slice(&runner::edge_values(ld.graph.nnz(), 7));
         let out = DeviceBuffer::<f32>::zeros(n * dim);
         let spmm = GnnOneSpmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
-        let r = spmm.run(&gpu, &w, &x, dim, &out).expect("spmm");
+        let r = spmm.run(&gpu, &w, &x, dim, &out)?;
         for (kernel, r) in [("SpMM", r)].into_iter().chain({
             let wout = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
             let sddmm = GnnOneSddmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
-            let r2 = sddmm.run(&gpu, &x, &y, dim, &wout).expect("sddmm");
+            let r2 = sddmm.run(&gpu, &x, &y, dim, &wout)?;
             [("SDDMM", r2)]
         }) {
             let frac = load_fraction(&r);
@@ -92,9 +96,9 @@ fn main() {
         // (same config, reduction deleted), measured like any kernel.
         let full = GnnOneSddmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
         let wout = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
-        let full_r = full.run(&gpu, &x, &y, dim, &wout).expect("sddmm");
+        let full_r = full.run(&gpu, &x, &y, dim, &wout)?;
         let load_only = GnnOneLoadOnly::new(Arc::clone(&ld.graph), GnnOneConfig::default());
-        let lo_r = load_only.run(&gpu, &x, &y, dim).expect("load-only");
+        let lo_r = load_only.run(&gpu, &x, &y, dim)?;
         let frac = lo_r.time_ms / full_r.time_ms.max(f64::MIN_POSITIVE);
         let row = BreakdownRow {
             dataset: spec.id.to_string(),
@@ -122,7 +126,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig11_breakdown.json".into());
-    report::write_json(&out, &rows).expect("write results");
+    report::write_json(&out, &rows).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }

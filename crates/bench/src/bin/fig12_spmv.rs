@@ -9,22 +9,29 @@
 //! reimplementation completes it — recorded as a known deviation in
 //! EXPERIMENTS.md.
 
-use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
-use gnnone_kernels::registry;
-use gnnone_sim::Gpu;
+use std::process::ExitCode;
 
-fn main() {
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, io_error, profiling, report, runner};
+use gnnone_kernels::registry;
+use gnnone_sim::{GnnOneError, Gpu};
+
+fn main() -> ExitCode {
+    gnnone_bench::figure_main("fig12_spmv", run)
+}
+
+fn run() -> Result<(), GnnOneError> {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
+    let mut guard = runner::SweepGuard::new();
     let mut table = Table::new("Fig 12: SpMV", &["GnnOne", "Merge-SpMV"]);
     for spec in runner::selected_specs(&opts) {
         let ld = runner::load(&spec, opts.scale);
         let cells = registry::spmv_kernels(&ld.graph)
             .iter()
-            .map(|k| runner::run_spmv(&gpu, k.as_ref(), &ld))
+            .map(|k| runner::run_spmv_guarded(&gpu, k.as_ref(), &ld, &mut guard))
             .collect();
         table.push_row(spec.id, cells);
     }
@@ -34,7 +41,8 @@ fn main() {
     );
 
     let out = opts.out.unwrap_or_else(|| "results/fig12_spmv.json".into());
-    report::write_json(&out, &table).expect("write results");
+    report::write_json(&out, &table).map_err(|e| io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

@@ -6,18 +6,27 @@
 //! idle warp lanes; CuSparse and Sputnik are one to two orders slower and
 //! error out on datasets whose paper-scale |V| exceeds ~2M.
 
-use gnnone_bench::report::{Cell, Table};
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD};
-use gnnone_kernels::registry;
-use gnnone_sim::Gpu;
+use std::process::ExitCode;
 
-fn main() {
+use gnnone_bench::report::{Cell, Table};
+use gnnone_bench::{
+    cli, figure_gpu_spec, io_error, profiling, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD,
+};
+use gnnone_kernels::registry;
+use gnnone_sim::{GnnOneError, Gpu};
+
+fn main() -> ExitCode {
+    gnnone_bench::figure_main("fig3_sddmm", run)
+}
+
+fn run() -> Result<(), GnnOneError> {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
@@ -44,7 +53,7 @@ fn main() {
                 let cell = if fails_at_paper_scale {
                     Cell::Err("ERR".into())
                 } else {
-                    runner::run_sddmm(&gpu, kernel.as_ref(), &ld, dim)
+                    runner::run_sddmm_guarded(&gpu, kernel.as_ref(), &ld, dim, &mut guard)
                 };
                 cells.push(cell);
             }
@@ -76,7 +85,8 @@ fn main() {
         .out
         .clone()
         .unwrap_or_else(|| "results/fig3_sddmm.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    guard.finish()
 }

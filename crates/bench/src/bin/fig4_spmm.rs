@@ -6,18 +6,25 @@
 //! Huang et al. is the closest baseline (~1.3–1.7×); GE-SpMM degrades
 //! sharply below f = 32 where it drops caching; FeatGraph is the worst.
 
-use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
-use gnnone_kernels::registry;
-use gnnone_sim::Gpu;
+use std::process::ExitCode;
 
-fn main() {
+use gnnone_bench::report::Table;
+use gnnone_bench::{cli, figure_gpu_spec, io_error, profiling, report, runner};
+use gnnone_kernels::registry;
+use gnnone_sim::{GnnOneError, Gpu};
+
+fn main() -> ExitCode {
+    gnnone_bench::figure_main("fig4_spmm", run)
+}
+
+fn run() -> Result<(), GnnOneError> {
     let opts = cli::from_env();
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
@@ -35,7 +42,7 @@ fn main() {
             let ld = runner::load(spec, opts.scale);
             let cells = registry::spmm_kernels(&ld.graph)
                 .iter()
-                .map(|k| runner::run_spmm(&gpu, k.as_ref(), &ld, dim))
+                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }
@@ -59,11 +66,12 @@ fn main() {
         .out
         .clone()
         .unwrap_or_else(|| "results/fig4_spmm.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| io_error(&out, e))?;
     println!("wrote {out}");
     if let Some(p) = &opts.plain_out {
-        report::write_plain(p, &tables).expect("write plain results");
+        report::write_plain(p, &tables).map_err(|e| io_error(p, e))?;
         println!("wrote {p}");
     }
     prof.write();
+    guard.finish()
 }

@@ -24,7 +24,11 @@ struct AccuracyRow {
     train_accuracy: f64,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig5_accuracy", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.datasets.is_empty() {
         opts.datasets = ["G0", "G1", "G2", "G12", "G14"]
@@ -53,12 +57,23 @@ fn main() {
             continue;
         }
         let ld = runner::load(&spec, scale);
-        let labels = ld.dataset.labels.clone().expect("labelled dataset");
+        let labels = ld
+            .dataset
+            .labels
+            .clone()
+            .ok_or_else(|| gnnone_sim::GnnOneError::Config {
+                detail: format!("dataset {} is marked labeled but has no labels", spec.id),
+            })?;
         let fdim = ld.dataset.feature_dim;
         let features = Tensor::from_vec(
             ld.graph.num_vertices(),
             fdim,
-            ld.dataset.features.clone().expect("features"),
+            ld.dataset
+                .features
+                .clone()
+                .ok_or_else(|| gnnone_sim::GnnOneError::Config {
+                    detail: format!("dataset {} has no generated features", spec.id),
+                })?,
         );
         for system in [SystemKind::GnnOne, SystemKind::Dgl] {
             let ctx = Rc::new(GnnContext::new(
@@ -115,7 +130,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig5_accuracy.json".into());
-    report::write_json(&out, &rows).expect("write results");
+    report::write_json(&out, &rows).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }

@@ -19,7 +19,11 @@ use gnnone_tensor::Tensor;
 /// Epochs actually simulated before extrapolation.
 const MEASURED_EPOCHS: usize = 2;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig6_gat_training", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.datasets.is_empty() {
         opts.datasets = ["G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15"]
@@ -79,7 +83,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig6_gat_training.json".into());
-    report::write_json(&out, &table).expect("write results");
+    report::write_json(&out, &table).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }

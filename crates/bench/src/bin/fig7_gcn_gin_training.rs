@@ -14,7 +14,11 @@ use gnnone_tensor::Tensor;
 
 const MEASURED_EPOCHS: usize = 2;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig7_gcn_gin_training", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.datasets.is_empty() {
         opts.datasets = [
@@ -91,7 +95,8 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig7_gcn_gin_training.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     prof.write();
+    Ok(())
 }

@@ -11,7 +11,11 @@ use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
 use gnnone_kernels::registry;
 use gnnone_sim::Gpu;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig8_sddmm_ablation", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32]; // the figure's dimension
@@ -20,6 +24,7 @@ fn main() {
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
 
     for &dim in &opts.dims {
         let mut table = Table::new(
@@ -30,7 +35,7 @@ fn main() {
             let ld = runner::load(&spec, opts.scale);
             let cells = registry::sddmm_ablation_kernels(&ld.graph)
                 .iter()
-                .map(|(_, k)| runner::run_sddmm(&gpu, k, &ld, dim))
+                .map(|(_, k)| runner::run_sddmm_guarded(&gpu, k, &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }
@@ -44,11 +49,12 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig8_sddmm_ablation.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
     if let Some(p) = &opts.plain_out {
-        report::write_plain(p, &tables).expect("write plain results");
+        report::write_plain(p, &tables).map_err(|e| gnnone_bench::io_error(p, e))?;
         println!("wrote {p}");
     }
     prof.write();
+    guard.finish()
 }

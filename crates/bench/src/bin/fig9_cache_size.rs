@@ -25,7 +25,11 @@ fn variant_path(path: &str, variant: &str) -> String {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("fig9_cache_size", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env();
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![16]; // the figure's dimension
@@ -60,6 +64,7 @@ fn main() {
     });
 
     let mut tables = Vec::new();
+    let mut guard = runner::SweepGuard::new();
     for &dim in &opts.dims {
         let mut table = Table::new(
             &format!("Fig 9: SpMM cache size, dim={dim}"),
@@ -77,7 +82,7 @@ fn main() {
                             ..Default::default()
                         },
                     );
-                    runner::run_spmm(gpu, &k, &ld, dim)
+                    runner::run_spmm_guarded(gpu, &k, &ld, dim, &mut guard)
                 })
                 .collect();
             table.push_row(spec.id, cells);
@@ -90,11 +95,13 @@ fn main() {
     let out = opts
         .out
         .unwrap_or_else(|| "results/fig9_cache_size.json".into());
-    report::write_json(&out, &tables).expect("write results");
+    report::write_json(&out, &tables).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("wrote {out}");
 
     if let (Some(path), Some(session)) = (&opts.trace, &session) {
-        session.write_chrome_trace(path).expect("write trace");
+        session
+            .write_chrome_trace(path)
+            .map_err(|e| gnnone_bench::io_error(path, e))?;
         println!(
             "trace: {path} ({} events; load in chrome://tracing or ui.perfetto.dev)",
             session.event_count()
@@ -106,8 +113,12 @@ fn main() {
             variant_path(path, "cache128"),
             variant_path(path, "cache32"),
         );
-        snap128.write(&p128).expect("write metrics");
-        snap32.write(&p32).expect("write metrics");
+        snap128
+            .write(&p128)
+            .map_err(|e| gnnone_bench::io_error(&p128, e))?;
+        snap32
+            .write(&p32)
+            .map_err(|e| gnnone_bench::io_error(&p32, e))?;
         // Combined snapshot: variant-prefixed kernel names keep both
         // rollups distinguishable in one file.
         let mut combined = MetricsSnapshot {
@@ -122,8 +133,11 @@ fn main() {
                 combined.kernels.push(k);
             }
         }
-        combined.write(path).expect("write metrics");
+        combined
+            .write(path)
+            .map_err(|e| gnnone_bench::io_error(path, e))?;
         println!("metrics: {path} (+ per-variant {p128}, {p32})");
         println!("compare: gnnone-prof diff {p128} {p32}");
     }
+    guard.finish()
 }

@@ -18,6 +18,13 @@
 //! `--datasets`, `--out`), runs every registered kernel on the selected
 //! graphs with the sanitizer attached, prints per-kernel verdicts, and
 //! exits non-zero when any finding fires. See `docs/SANITIZER.md`.
+//!
+//! `fuzz` drives every registered kernel through the watchdog (and, with
+//! `--sanitize`, the sanitizer) over the adversarial corpus from
+//! `gnnone_sparse::gen::adversarial` plus any `--datasets` Table 1 graphs
+//! at tiny scale. Malformed inputs must be rejected with typed errors;
+//! valid-extreme inputs must run clean. Exits non-zero on any panic,
+//! abort, sanitizer finding, or validation hole. See `docs/ROBUSTNESS.md`.
 
 use std::process::ExitCode;
 
@@ -32,6 +39,7 @@ fn main() -> ExitCode {
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("trace") if args.len() == 2 => trace_summary(&args[1]),
         Some("sanitize") => sanitize_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
@@ -39,7 +47,7 @@ fn main() -> ExitCode {
         _ => {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
-                 trace <trace.json> | sanitize [flags]"
+                 trace <trace.json> | sanitize [flags] | fuzz [flags]"
                 .to_string())
         }
     };
@@ -58,8 +66,89 @@ fn usage() {
          gnnone-prof diff <a.json> <b.json>\n  \
          gnnone-prof trace <trace.json>\n  \
          gnnone-prof sanitize [--scale tiny|small|medium] [--dims 6,16] \
-         [--datasets G0,G3] [--out report.json]"
+         [--datasets G0,G3] [--out report.json]\n  \
+         gnnone-prof fuzz [--seed N|0xHEX] [--sanitize] [--datasets G0,G3] \
+         [--f 8] [--out report.json]"
     );
+}
+
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("bad --seed `{text}` (expected decimal or 0x-hex)"))
+}
+
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    let mut opts = gnnone_bench::fuzz::FuzzOpts {
+        sanitize: false,
+        dataset_ids: Vec::new(),
+        ..Default::default()
+    };
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_seed(&value("--seed")?)?,
+            "--sanitize" => opts.sanitize = true,
+            "--datasets" => {
+                opts.dataset_ids = value("--datasets")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--f" => {
+                opts.f = value("--f")?
+                    .parse()
+                    .map_err(|_| "bad --f (expected a positive integer)".to_string())?;
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown fuzz flag `{other}`")),
+        }
+    }
+
+    println!(
+        "fuzz: seed {:#x}, sanitizer {}, control datasets [{}]",
+        opts.seed,
+        if opts.sanitize { "on" } else { "off" },
+        opts.dataset_ids.join(", ")
+    );
+    let report = gnnone_bench::fuzz::run_fuzz(&opts)?;
+    println!(
+        "{} case(s), {} kernel launch(es), {} structured rejection(s), {} finding(s)",
+        report.cases_run,
+        report.kernels_driven,
+        report.rejected.len(),
+        report.findings.len()
+    );
+    for (case, err) in &report.rejected {
+        println!("  rejected {case}: {err}");
+    }
+    for finding in &report.findings {
+        println!("  FINDING {finding}");
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if !report.clean() {
+        return Err(format!(
+            "{} fuzz finding(s) — reproduce with --seed {:#x}",
+            report.findings.len(),
+            report.seed
+        ));
+    }
+    println!("fuzz sweep clean");
+    Ok(())
 }
 
 fn sanitize_cmd(args: &[String]) -> Result<(), String> {
@@ -328,5 +417,14 @@ mod tests {
     fn ratio_handles_zero_denominator() {
         assert_eq!(ratio(1.0, 0.0), "-");
         assert_eq!(ratio(3.0, 2.0), "1.50x");
+    }
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xC0FFEE").unwrap(), 0xC0FFEE);
+        assert_eq!(parse_seed("0Xff").unwrap(), 255);
+        assert!(parse_seed("zzz").is_err());
+        assert!(parse_seed("0x").is_err());
     }
 }

@@ -21,7 +21,11 @@ struct Row {
     analogue_degree_gini: f64,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    gnnone_bench::figure_main("table1", run)
+}
+
+fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env();
     let prof = profiling::Profiler::from_opts(&opts);
     println!(
@@ -76,7 +80,8 @@ fn main() {
         rows.push(row);
     }
     let out = opts.out.unwrap_or_else(|| "results/table1.json".into());
-    report::write_json(&out, &rows).expect("write results");
+    report::write_json(&out, &rows).map_err(|e| gnnone_bench::io_error(&out, e))?;
     println!("\nwrote {out}");
     prof.write();
+    Ok(())
 }

@@ -22,15 +22,56 @@
 //! paper's 100M-edge graphs put the real A100 in. See DESIGN.md.
 
 pub mod cli;
+pub mod fuzz;
 pub mod profiling;
 pub mod report;
 pub mod runner;
 
-use gnnone_sim::GpuSpec;
+use gnnone_sim::{GnnOneError, GpuSpec};
 
 /// Device spec used by all figure binaries.
 pub fn figure_gpu_spec() -> GpuSpec {
     GpuSpec::a100_scaled(4)
+}
+
+/// Wraps a figure binary's fallible body into a process exit code.
+///
+/// On failure — a structured [`GnnOneError`] *or* an uncaught panic — the
+/// binary prints one machine-parseable line
+/// (`<name>: error: {"kind": ...}`) to stderr and exits non-zero instead
+/// of dying mid-table with a backtrace as its only output.
+pub fn figure_main(
+    name: &str,
+    run: impl FnOnce() -> Result<(), GnnOneError>,
+) -> std::process::ExitCode {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+    let error = match outcome {
+        Ok(Ok(())) => return std::process::ExitCode::SUCCESS,
+        Ok(Err(e)) => e,
+        Err(payload) => {
+            let detail = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            GnnOneError::Panic {
+                context: name.to_string(),
+                detail,
+            }
+        }
+    };
+    eprintln!("{name}: error: {}", error.to_json().to_string_compact());
+    std::process::ExitCode::FAILURE
+}
+
+/// Maps an I/O failure to a [`GnnOneError::Io`] with the path attached.
+pub fn io_error(path: &str, e: std::io::Error) -> GnnOneError {
+    GnnOneError::Io {
+        path: path.to_string(),
+        detail: e.to_string(),
+    }
 }
 
 /// Paper-scale vertex threshold past which Sputnik and cuSPARSE SDDMM

@@ -43,6 +43,10 @@ struct VpParams {
 /// per-edge, so splitting needs no combine step.
 const ROW_CHUNK: usize = 256;
 
+/// Warp-wide feature passes the fixed `x_regs` register file can hold;
+/// features wider than `MAX_PASSES * 32` make the kernel decline.
+const MAX_PASSES: usize = 8;
+
 /// One warp's work: a contiguous chunk of one row.
 #[derive(Debug, Clone, Copy)]
 struct RowChunk {
@@ -101,6 +105,20 @@ impl VpSddmm {
                 });
             }
         }
+        let geo = GroupGeometry::feature_parallel(f);
+        if geo.passes > MAX_PASSES {
+            // The row-feature register file is fixed at MAX_PASSES warp-wide
+            // passes; wider features exceed this baseline's register budget,
+            // so it declines the launch (matching the paper's observation
+            // that vertex-parallel baselines error out at scale).
+            return Err(LaunchError::Unlaunchable {
+                reason: format!(
+                    "feature length {f} needs {} register passes; this \
+                     vertex-parallel baseline supports {MAX_PASSES}",
+                    geo.passes
+                ),
+            });
+        }
         let launch = VpLaunch {
             offsets: &self.graph.d_csr_offsets,
             cols: &self.graph.d_csr_cols,
@@ -110,7 +128,7 @@ impl VpSddmm {
             num_rows: self.graph.num_vertices(),
             chunks: &self.chunks,
             f,
-            geo: GroupGeometry::feature_parallel(f),
+            geo,
             params: self.params,
         };
         gpu.try_launch(&launch)

@@ -27,6 +27,7 @@ use std::sync::{Arc, OnceLock};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::error::{AbortSignal, KernelAbort};
 use crate::jsonio::Json;
 use crate::kernel::{KernelResources, WarpKernel};
 use crate::metrics::MetricsRegistry;
@@ -60,6 +61,9 @@ pub enum LaunchError {
         /// Bytes available.
         available: u64,
     },
+    /// The kernel was stopped while running: the watchdog tripped or an
+    /// unsanitized buffer access went out of bounds. See [`KernelAbort`].
+    Aborted(KernelAbort),
 }
 
 impl std::fmt::Display for LaunchError {
@@ -73,11 +77,81 @@ impl std::fmt::Display for LaunchError {
                 requested,
                 available,
             } => write!(f, "out of memory: need {requested} B, have {available} B"),
+            LaunchError::Aborted(a) => write!(f, "{a}"),
         }
     }
 }
 
 impl std::error::Error for LaunchError {}
+
+/// Per-launch execution policy: watchdog arming and instruction budget.
+///
+/// The watchdog bounds each warp's warp-wide instruction count. When no
+/// explicit budget is given, one is derived from the launch's geometry: a
+/// grid's total legitimate work scales with its warp count (every shipped
+/// kernel's fair per-warp share is bounded by a constant), and workload
+/// skew can route all of that work through a single warp (a mega-row on a
+/// row-per-warp kernel), so each warp is granted the *whole grid's*
+/// allowance — `grid_warps ×` [`LaunchSpec::OPS_PER_GRID_WARP`] — clamped
+/// to [`LaunchSpec::MIN_DERIVED_OPS`]..=[`LaunchSpec::MAX_DERIVED_OPS`].
+/// A kernel that exceeds the budget is not hung forever: the launch
+/// returns [`LaunchError::Aborted`] with a structured [`KernelAbort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchSpec {
+    /// Arms the watchdog (default `true`).
+    pub watchdog: bool,
+    /// Explicit per-warp instruction budget; `None` derives one from the
+    /// grid geometry.
+    pub ops_per_warp: Option<u64>,
+}
+
+impl Default for LaunchSpec {
+    fn default() -> Self {
+        Self {
+            watchdog: true,
+            ops_per_warp: None,
+        }
+    }
+}
+
+impl LaunchSpec {
+    /// Floor of the derived per-warp budget (small grids still get room
+    /// for skewed work).
+    pub const MIN_DERIVED_OPS: u64 = 1 << 22;
+    /// Ceiling of the derived per-warp budget.
+    pub const MAX_DERIVED_OPS: u64 = 1 << 28;
+    /// Per-grid-warp allowance feeding the derived budget.
+    pub const OPS_PER_GRID_WARP: u64 = 1 << 16;
+
+    /// A spec with an explicit per-warp budget.
+    pub fn with_budget(ops_per_warp: u64) -> Self {
+        Self {
+            watchdog: true,
+            ops_per_warp: Some(ops_per_warp),
+        }
+    }
+
+    /// A spec with the watchdog disarmed.
+    pub fn no_watchdog() -> Self {
+        Self {
+            watchdog: false,
+            ops_per_warp: None,
+        }
+    }
+
+    /// The per-warp budget in force for a grid of `grid_warps` warps
+    /// (`u64::MAX` when the watchdog is disarmed).
+    pub fn budget(&self, grid_warps: usize) -> u64 {
+        if !self.watchdog {
+            return u64::MAX;
+        }
+        self.ops_per_warp.unwrap_or_else(|| {
+            (grid_warps as u64)
+                .saturating_mul(Self::OPS_PER_GRID_WARP)
+                .clamp(Self::MIN_DERIVED_OPS, Self::MAX_DERIVED_OPS)
+        })
+    }
+}
 
 /// Which lower bound dominated the critical SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -281,7 +355,21 @@ impl Gpu {
     }
 
     /// Launches `kernel`, returning configuration failures as errors.
+    /// Runs under the default [`LaunchSpec`] (watchdog armed with a
+    /// geometry-derived budget).
     pub fn try_launch(&self, kernel: &dyn WarpKernel) -> Result<KernelReport, LaunchError> {
+        self.try_launch_with(kernel, &LaunchSpec::default())
+    }
+
+    /// Launches `kernel` under an explicit [`LaunchSpec`]. Preflight
+    /// failures (resources, grid, memory) and mid-run aborts (watchdog,
+    /// unsanitized out-of-bounds) both come back as [`LaunchError`]s;
+    /// panics that are not structured aborts propagate unchanged.
+    pub fn try_launch_with(
+        &self,
+        kernel: &dyn WarpKernel,
+        launch: &LaunchSpec,
+    ) -> Result<KernelReport, LaunchError> {
         let res = kernel.resources();
         self.validate(&res)?;
         let occ = Occupancy::compute(&self.spec, &res);
@@ -313,81 +401,106 @@ impl Gpu {
         let want_warps = trace.is_some_and(|t| t.config().warp_spans);
         // Sanitizer gate — same pattern, one atomic load when absent.
         let san = self.sanitize.get();
+        let budget = launch.budget(grid_warps);
 
         // Execute every CTA (warps within a CTA run back to back; CTAs in
         // parallel on the host — they are independent). The fold/reduce
         // combines in encounter order (rayon's indexed-reduce guarantee),
         // so CTA cost order — and therefore any trace built from it, and
         // the warp order of sanitizer shadows — is deterministic.
-        let (costs, warp_details, stats, shadows) = (0..num_ctas)
-            .into_par_iter()
-            .map(|cta| {
-                let mut cost = CtaCost::default();
-                let mut stats = KernelStats::default();
-                let mut warps = Vec::new();
-                let mut shadows = Vec::new();
-                for w in 0..warps_per_cta {
-                    let warp_id = cta * warps_per_cta + w;
-                    if warp_id >= grid_warps {
-                        break;
+        //
+        // The whole execution runs inside `catch_unwind`: a warp that trips
+        // the watchdog or an unsanitized bounds check unwinds with an
+        // [`AbortSignal`] (rayon propagates worker panics to the caller),
+        // which is converted into `LaunchError::Aborted` below. Any other
+        // panic payload resumes unchanged.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (0..num_ctas)
+                .into_par_iter()
+                .map(|cta| {
+                    let mut cost = CtaCost::default();
+                    let mut stats = KernelStats::default();
+                    let mut warps = Vec::new();
+                    let mut shadows = Vec::new();
+                    for w in 0..warps_per_cta {
+                        let warp_id = cta * warps_per_cta + w;
+                        if warp_id >= grid_warps {
+                            break;
+                        }
+                        let mut ctx = WarpCtx::new(timing, shared_per_warp);
+                        ctx.set_watchdog(warp_id, budget);
+                        if let Some(s) = san {
+                            ctx.attach_shadow(Box::new(WarpShadow::new(
+                                warp_id,
+                                s.config(),
+                                shared_per_warp / 4,
+                            )));
+                        }
+                        kernel.run_warp(warp_id, &mut ctx);
+                        let ws = ctx.finish();
+                        if let Some(sh) = ctx.take_shadow() {
+                            shadows.push(*sh);
+                        }
+                        cost.solo_cycles += ws.solo_cycles;
+                        cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
+                        cost.traffic_bytes +=
+                            (ws.read_sectors + ws.write_sectors) * crate::coalesce::SECTOR_BYTES;
+                        cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
+                        if want_warps {
+                            warps.push(WarpSpan {
+                                solo_cycles: ws.solo_cycles,
+                                mem_stall_cycles: ws.mem_stall_cycles,
+                            });
+                        }
+                        stats.absorb_warp(&ws);
                     }
-                    let mut ctx = WarpCtx::new(timing, shared_per_warp);
-                    if let Some(s) = san {
-                        ctx.attach_shadow(Box::new(WarpShadow::new(
-                            warp_id,
-                            s.config(),
-                            shared_per_warp / 4,
-                        )));
-                    }
-                    kernel.run_warp(warp_id, &mut ctx);
-                    let ws = ctx.finish();
-                    if let Some(sh) = ctx.take_shadow() {
-                        shadows.push(*sh);
-                    }
-                    cost.solo_cycles += ws.solo_cycles;
-                    cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
-                    cost.traffic_bytes +=
-                        (ws.read_sectors + ws.write_sectors) * crate::coalesce::SECTOR_BYTES;
-                    cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
-                    if want_warps {
-                        warps.push(WarpSpan {
-                            solo_cycles: ws.solo_cycles,
-                            mem_stall_cycles: ws.mem_stall_cycles,
-                        });
-                    }
-                    stats.absorb_warp(&ws);
+                    (cost, warps, stats, shadows)
+                })
+                .fold(
+                    || {
+                        (
+                            Vec::<CtaCost>::new(),
+                            Vec::<Vec<WarpSpan>>::new(),
+                            KernelStats::default(),
+                            Vec::<WarpShadow>::new(),
+                        )
+                    },
+                    |(mut costs, mut details, mut acc, mut shs), (cost, warps, stats, cta_shs)| {
+                        costs.push(cost);
+                        if want_warps {
+                            details.push(warps);
+                        }
+                        acc.merge(&stats);
+                        shs.extend(cta_shs);
+                        (costs, details, acc, shs)
+                    },
+                )
+                .reduce(
+                    || (Vec::new(), Vec::new(), KernelStats::default(), Vec::new()),
+                    |(mut a, mut da, mut sa, mut sha), (b, db, sb, shb)| {
+                        a.extend(b);
+                        da.extend(db);
+                        sa.merge(&sb);
+                        sha.extend(shb);
+                        (a, da, sa, sha)
+                    },
+                )
+        }));
+        let (costs, warp_details, stats, shadows) = match run {
+            Ok(executed) => executed,
+            Err(payload) => match payload.downcast::<AbortSignal>() {
+                Ok(sig) => {
+                    return Err(LaunchError::Aborted(KernelAbort {
+                        kernel: kernel.name().to_string(),
+                        warp_id: sig.warp_id,
+                        ops: sig.ops,
+                        budget: sig.budget,
+                        reason: sig.reason,
+                    }))
                 }
-                (cost, warps, stats, shadows)
-            })
-            .fold(
-                || {
-                    (
-                        Vec::<CtaCost>::new(),
-                        Vec::<Vec<WarpSpan>>::new(),
-                        KernelStats::default(),
-                        Vec::<WarpShadow>::new(),
-                    )
-                },
-                |(mut costs, mut details, mut acc, mut shs), (cost, warps, stats, cta_shs)| {
-                    costs.push(cost);
-                    if want_warps {
-                        details.push(warps);
-                    }
-                    acc.merge(&stats);
-                    shs.extend(cta_shs);
-                    (costs, details, acc, shs)
-                },
-            )
-            .reduce(
-                || (Vec::new(), Vec::new(), KernelStats::default(), Vec::new()),
-                |(mut a, mut da, mut sa, mut sha), (b, db, sb, shb)| {
-                    a.extend(b);
-                    da.extend(db);
-                    sa.merge(&sb);
-                    sha.extend(shb);
-                    (a, da, sa, sha)
-                },
-            );
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        };
 
         if let Some(s) = san {
             s.audit_launch(kernel.name(), warps_per_cta, shadows);
@@ -716,6 +829,115 @@ mod tests {
         }
         let r = gpu().launch(&Nop);
         assert!(r.cycles >= GpuSpec::a100_40gb().timing.kernel_launch_overhead_cycles);
+    }
+
+    /// Deliberately non-terminating kernel: run_warp loops forever. Only
+    /// the watchdog gets a launch of this to return.
+    struct Runaway;
+    impl WarpKernel for Runaway {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_cta: 32,
+                regs_per_thread: 16,
+                shared_bytes_per_cta: 0,
+            }
+        }
+        fn grid_warps(&self) -> usize {
+            2
+        }
+        fn run_warp(&self, _: usize, ctx: &mut WarpCtx) {
+            loop {
+                ctx.compute(1);
+            }
+        }
+        fn name(&self) -> &str {
+            "runaway"
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_non_terminating_kernel() {
+        let err = gpu()
+            .try_launch_with(&Runaway, &LaunchSpec::with_budget(10_000))
+            .unwrap_err();
+        match err {
+            LaunchError::Aborted(a) => {
+                assert_eq!(a.kernel, "runaway");
+                assert_eq!(a.budget, 10_000);
+                assert!(a.ops > 10_000);
+                assert_eq!(a.reason, crate::error::AbortReason::Watchdog);
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_budget_scales_with_grid_and_clamps() {
+        let spec = LaunchSpec::default();
+        assert_eq!(spec.budget(1), LaunchSpec::MIN_DERIVED_OPS);
+        assert_eq!(
+            spec.budget(1 << 10),
+            (1 << 10) * LaunchSpec::OPS_PER_GRID_WARP
+        );
+        assert_eq!(spec.budget(usize::MAX), LaunchSpec::MAX_DERIVED_OPS);
+        assert_eq!(LaunchSpec::no_watchdog().budget(1), u64::MAX);
+        assert_eq!(LaunchSpec::with_budget(42).budget(1 << 20), 42);
+    }
+
+    #[test]
+    fn unsanitized_oob_launch_aborts_structured() {
+        struct Oob<'a> {
+            buf: &'a DeviceBuffer<f32>,
+        }
+        impl WarpKernel for Oob<'_> {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_cta: 32,
+                    regs_per_thread: 16,
+                    shared_bytes_per_cta: 0,
+                }
+            }
+            fn grid_warps(&self) -> usize {
+                1
+            }
+            fn run_warp(&self, _: usize, ctx: &mut WarpCtx) {
+                ctx.load_f32(self.buf, |lane| Some(self.buf.len() + lane));
+            }
+            fn name(&self) -> &str {
+                "oob"
+            }
+        }
+        let buf = DeviceBuffer::<f32>::zeros(64);
+        let g = gpu();
+        let err = g.try_launch(&Oob { buf: &buf }).unwrap_err();
+        assert!(matches!(
+            err,
+            LaunchError::Aborted(KernelAbort {
+                reason: crate::error::AbortReason::GlobalOutOfBounds { .. },
+                ..
+            })
+        ));
+        // With a sanitizer attached the same kernel completes: the access
+        // is recorded as a finding and skipped instead of aborting.
+        let g2 = gpu();
+        let san = g2.enable_sanitizer(crate::SanitizeConfig::on());
+        assert!(g2.try_launch(&Oob { buf: &buf }).is_ok());
+        assert!(san.finding_count() > 0);
+    }
+
+    #[test]
+    fn watchdog_default_budget_leaves_real_kernels_alone() {
+        // The derived budget must sit far above any legitimate launch in
+        // the workspace; a plain streaming kernel doesn't come close.
+        let buf = DeviceBuffer::<f32>::zeros(1 << 12);
+        let k = Stream {
+            buf: &buf,
+            warps: 64,
+            loads_per_warp: 64,
+            regs: 32,
+            drain_every: None,
+        };
+        assert!(gpu().try_launch(&k).is_ok());
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Workspace-wide error taxonomy: every data-path failure in the GNNOne
+//! reproduction is expressed as a [`GnnOneError`].
+//!
+//! The paper's claim rests on one engine serving every kernel and every
+//! graph shape, so the system needs a *unified failure model* to match its
+//! unified execution model: a malformed CSR, a NaN feature, a runaway
+//! kernel, and an unlaunchable CTA shape all surface as typed, serializable
+//! findings instead of panics. The taxonomy lives in `gnnone-sim` (the
+//! dependency root of the workspace) so every crate above it — `sparse`,
+//! `kernels`, `bench`, `gnn` — can return it without new dependencies, and
+//! serializes through [`crate::jsonio`] so findings survive offline
+//! environments that stub out `serde_json`.
+//!
+//! Taxonomy:
+//!
+//! * [`GnnOneError::Validation`] — a structural invariant of an input graph
+//!   or feature matrix is broken ([`ValidationError`] pinpoints the
+//!   structure, field, and offending index).
+//! * [`GnnOneError::Io`] / [`GnnOneError::Parse`] — loading external data
+//!   failed, with the path / line context attached.
+//! * [`GnnOneError::Launch`] — the simulator declined a launch
+//!   ([`crate::engine::LaunchError`]: resources, grid, memory).
+//! * [`GnnOneError::Abort`] — the watchdog or a buffer-bounds check stopped
+//!   a running kernel ([`KernelAbort`]).
+//! * [`GnnOneError::Panic`] — a panic caught at an isolation boundary
+//!   (`bench::runner`'s per-cell `catch_unwind`), preserved as context.
+//! * [`GnnOneError::Config`] — a request the system cannot satisfy (unknown
+//!   dataset id, bad CLI value).
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::LaunchError;
+use crate::jsonio::Json;
+
+/// A broken structural invariant in an input (graph topology or features).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationError {
+    /// Which structure failed: `"Coo"`, `"Csr"`, `"CsrRows"`, `"EdgeList"`,
+    /// `"features"`, ...
+    pub structure: String,
+    /// Which field broke the invariant: `"offsets"`, `"cols"`, `"rows"`,
+    /// `"values"`, ...
+    pub field: String,
+    /// Offending element index within the field, when one exists.
+    pub index: Option<u64>,
+    /// Human-readable statement of the violated invariant.
+    pub detail: String,
+}
+
+impl ValidationError {
+    /// Convenience constructor.
+    pub fn new(
+        structure: &str,
+        field: &str,
+        index: Option<u64>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            structure: structure.to_string(),
+            field: field.to_string(),
+            index,
+            detail: detail.into(),
+        }
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("structure", Json::Str(self.structure.clone())),
+            ("field", Json::Str(self.field.clone())),
+            (
+                "index",
+                match self.index {
+                    Some(i) => Json::U64(i),
+                    None => Json::Null,
+                },
+            ),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Reads back a value written by [`ValidationError::to_json`].
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            structure: v.get("structure")?.as_str()?.to_string(),
+            field: v.get("field")?.as_str()?.to_string(),
+            index: v.get("index").and_then(Json::as_u64),
+            detail: v.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: field `{}`", self.structure, self.field)?;
+        if let Some(i) = self.index {
+            write!(f, "[{i}]")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Why a running kernel was stopped mid-launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The warp exceeded its instruction budget (runaway / non-terminating
+    /// kernel).
+    Watchdog,
+    /// A global-memory access fell outside its [`crate::DeviceBuffer`]
+    /// while no sanitizer was attached to record it as a finding.
+    GlobalOutOfBounds {
+        /// Element index requested.
+        index: u64,
+        /// Buffer length in elements.
+        len: u64,
+    },
+    /// A shared-memory access fell outside the warp's slice while no
+    /// sanitizer was attached.
+    SharedOutOfBounds {
+        /// Word index requested.
+        word: u64,
+        /// Per-warp shared-memory limit in words.
+        limit: u64,
+    },
+}
+
+impl AbortReason {
+    /// Stable lowercase slug used in JSON findings.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AbortReason::Watchdog => "watchdog",
+            AbortReason::GlobalOutOfBounds { .. } => "global-oob",
+            AbortReason::SharedOutOfBounds { .. } => "shared-oob",
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Watchdog => write!(f, "instruction budget exceeded"),
+            AbortReason::GlobalOutOfBounds { index, len } => {
+                write!(f, "global access at element {index} >= buffer length {len}")
+            }
+            AbortReason::SharedOutOfBounds { word, limit } => {
+                write!(f, "shared access at word {word} >= warp limit {limit}")
+            }
+        }
+    }
+}
+
+/// A structured finding produced when the engine stops a running kernel:
+/// the watchdog tripped, or an unsanitized buffer access went out of
+/// bounds. Carried inside [`crate::engine::LaunchError::Aborted`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelAbort {
+    /// Kernel name ([`crate::WarpKernel::name`]).
+    pub kernel: String,
+    /// The warp whose abort the engine observed first.
+    pub warp_id: u64,
+    /// Warp-wide instructions the warp had executed when stopped.
+    pub ops: u64,
+    /// The instruction budget in force (from [`crate::LaunchSpec`]).
+    pub budget: u64,
+    /// What tripped.
+    pub reason: AbortReason,
+}
+
+impl KernelAbort {
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("warp_id", Json::U64(self.warp_id)),
+            ("ops", Json::U64(self.ops)),
+            ("budget", Json::U64(self.budget)),
+            ("reason", Json::Str(self.reason.as_str().into())),
+        ];
+        match self.reason {
+            AbortReason::Watchdog => {}
+            AbortReason::GlobalOutOfBounds { index, len } => {
+                fields.push(("index", Json::U64(index)));
+                fields.push(("len", Json::U64(len)));
+            }
+            AbortReason::SharedOutOfBounds { word, limit } => {
+                fields.push(("word", Json::U64(word)));
+                fields.push(("limit", Json::U64(limit)));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Reads back a value written by [`KernelAbort::to_json`].
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let reason = match v.get("reason")?.as_str()? {
+            "watchdog" => AbortReason::Watchdog,
+            "global-oob" => AbortReason::GlobalOutOfBounds {
+                index: v.get("index")?.as_u64()?,
+                len: v.get("len")?.as_u64()?,
+            },
+            "shared-oob" => AbortReason::SharedOutOfBounds {
+                word: v.get("word")?.as_u64()?,
+                limit: v.get("limit")?.as_u64()?,
+            },
+            _ => return None,
+        };
+        Some(Self {
+            kernel: v.get("kernel")?.as_str()?.to_string(),
+            warp_id: v.get("warp_id")?.as_u64()?,
+            ops: v.get("ops")?.as_u64()?,
+            budget: v.get("budget")?.as_u64()?,
+            reason,
+        })
+    }
+}
+
+impl std::fmt::Display for KernelAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel `{}` aborted in warp {}: {} (after {} ops, budget {})",
+            self.kernel, self.warp_id, self.reason, self.ops, self.budget
+        )
+    }
+}
+
+impl std::error::Error for KernelAbort {}
+
+/// The unwind payload the warp context throws when it must stop a kernel;
+/// [`crate::Gpu::try_launch`] catches it and converts it into a
+/// [`KernelAbort`]. Delivered via `std::panic::resume_unwind`, which skips
+/// the panic hook — aborts make no stderr noise on their way out.
+#[derive(Debug, Clone, Copy)]
+pub struct AbortSignal {
+    /// Warp that aborted.
+    pub warp_id: u64,
+    /// Warp-wide instructions executed so far.
+    pub ops: u64,
+    /// Instruction budget in force.
+    pub budget: u64,
+    /// What tripped.
+    pub reason: AbortReason,
+}
+
+/// The workspace-wide error type: every data-path failure in the
+/// reproduction, from load to launch, as one serializable taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GnnOneError {
+    /// An input graph or feature matrix broke a structural invariant.
+    Validation(ValidationError),
+    /// A filesystem operation failed.
+    Io {
+        /// File involved.
+        path: String,
+        /// Underlying error text.
+        detail: String,
+    },
+    /// External data failed to parse.
+    Parse {
+        /// What was being parsed (file path or format name).
+        source: String,
+        /// 1-based line number; 0 when no line applies.
+        line: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The simulator declined the launch at preflight.
+    Launch(LaunchError),
+    /// The watchdog or a bounds check stopped a running kernel.
+    Abort(KernelAbort),
+    /// A panic caught at an isolation boundary, preserved as context.
+    Panic {
+        /// Which isolated unit panicked (e.g. `"spmm/GnnOne/G3"`).
+        context: String,
+        /// The panic message, when it carried one.
+        detail: String,
+    },
+    /// A request the system cannot satisfy (unknown dataset, bad option).
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl GnnOneError {
+    /// Short error class used by reports: `"validation"`, `"io"`,
+    /// `"parse"`, `"launch"`, `"abort"`, `"panic"`, `"config"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GnnOneError::Validation(_) => "validation",
+            GnnOneError::Io { .. } => "io",
+            GnnOneError::Parse { .. } => "parse",
+            GnnOneError::Launch(_) => "launch",
+            GnnOneError::Abort(_) => "abort",
+            GnnOneError::Panic { .. } => "panic",
+            GnnOneError::Config { .. } => "config",
+        }
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path. The
+    /// object always carries a `"kind"` discriminator.
+    pub fn to_json(&self) -> Json {
+        let kind = ("kind", Json::Str(self.kind().into()));
+        match self {
+            GnnOneError::Validation(v) => Json::obj(vec![kind, ("validation", v.to_json())]),
+            GnnOneError::Io { path, detail } => Json::obj(vec![
+                kind,
+                ("path", Json::Str(path.clone())),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            GnnOneError::Parse {
+                source,
+                line,
+                detail,
+            } => Json::obj(vec![
+                kind,
+                ("source", Json::Str(source.clone())),
+                ("line", Json::U64(*line)),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            GnnOneError::Launch(e) => Json::obj(vec![
+                kind,
+                ("launch", Json::Str(launch_error_slug(e).into())),
+                ("detail", Json::Str(e.to_string())),
+            ]),
+            GnnOneError::Abort(a) => Json::obj(vec![kind, ("abort", a.to_json())]),
+            GnnOneError::Panic { context, detail } => Json::obj(vec![
+                kind,
+                ("context", Json::Str(context.clone())),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            GnnOneError::Config { detail } => {
+                Json::obj(vec![kind, ("detail", Json::Str(detail.clone()))])
+            }
+        }
+    }
+
+    /// Reads back a value written by [`GnnOneError::to_json`]. Lossy for
+    /// [`GnnOneError::Launch`] (the structured variant collapses to
+    /// [`LaunchError::Unlaunchable`] carrying the display string), exact
+    /// for every other variant.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(match v.get("kind")?.as_str()? {
+            "validation" => {
+                GnnOneError::Validation(ValidationError::from_json(v.get("validation")?)?)
+            }
+            "io" => GnnOneError::Io {
+                path: v.get("path")?.as_str()?.to_string(),
+                detail: v.get("detail")?.as_str()?.to_string(),
+            },
+            "parse" => GnnOneError::Parse {
+                source: v.get("source")?.as_str()?.to_string(),
+                line: v.get("line")?.as_u64()?,
+                detail: v.get("detail")?.as_str()?.to_string(),
+            },
+            "launch" => GnnOneError::Launch(LaunchError::Unlaunchable {
+                reason: v.get("detail")?.as_str()?.to_string(),
+            }),
+            "abort" => GnnOneError::Abort(KernelAbort::from_json(v.get("abort")?)?),
+            "panic" => GnnOneError::Panic {
+                context: v.get("context")?.as_str()?.to_string(),
+                detail: v.get("detail")?.as_str()?.to_string(),
+            },
+            "config" => GnnOneError::Config {
+                detail: v.get("detail")?.as_str()?.to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Stable slug for a [`LaunchError`] variant.
+fn launch_error_slug(e: &LaunchError) -> &'static str {
+    match e {
+        LaunchError::Unlaunchable { .. } => "unlaunchable",
+        LaunchError::GridTooLarge { .. } => "grid-too-large",
+        LaunchError::OutOfMemory { .. } => "out-of-memory",
+        LaunchError::Aborted(_) => "aborted",
+    }
+}
+
+impl std::fmt::Display for GnnOneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GnnOneError::Validation(v) => write!(f, "{v}"),
+            GnnOneError::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+            GnnOneError::Parse {
+                source,
+                line,
+                detail,
+            } => {
+                if *line > 0 {
+                    write!(f, "parse error in {source}:{line}: {detail}")
+                } else {
+                    write!(f, "parse error in {source}: {detail}")
+                }
+            }
+            GnnOneError::Launch(e) => write!(f, "{e}"),
+            GnnOneError::Abort(a) => write!(f, "{a}"),
+            GnnOneError::Panic { context, detail } => {
+                write!(f, "panic isolated in {context}: {detail}")
+            }
+            GnnOneError::Config { detail } => write!(f, "config error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GnnOneError {}
+
+impl From<ValidationError> for GnnOneError {
+    fn from(v: ValidationError) -> Self {
+        GnnOneError::Validation(v)
+    }
+}
+
+impl From<KernelAbort> for GnnOneError {
+    fn from(a: KernelAbort) -> Self {
+        GnnOneError::Abort(a)
+    }
+}
+
+impl From<LaunchError> for GnnOneError {
+    /// Routes [`LaunchError::Aborted`] to [`GnnOneError::Abort`] so reports
+    /// distinguish "declined at preflight" from "stopped while running".
+    fn from(e: LaunchError) -> Self {
+        match e {
+            LaunchError::Aborted(a) => GnnOneError::Abort(a),
+            other => GnnOneError::Launch(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_roundtrip_and_display() {
+        let v = ValidationError::new("Csr", "offsets", Some(17), "offsets[17] > offsets[18]");
+        let e = GnnOneError::from(v.clone());
+        assert_eq!(e.kind(), "validation");
+        let json = e.to_json().to_string_compact();
+        assert!(json.contains("\"offsets\""));
+        let back = GnnOneError::from_json(&crate::jsonio::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert!(v.to_string().contains("offsets[17]"));
+    }
+
+    #[test]
+    fn abort_roundtrip_carries_reason_payload() {
+        let a = KernelAbort {
+            kernel: "GnnOne".into(),
+            warp_id: 3,
+            ops: 1 << 22,
+            budget: 1 << 22,
+            reason: AbortReason::GlobalOutOfBounds { index: 99, len: 64 },
+        };
+        let e: GnnOneError = a.clone().into();
+        let back = GnnOneError::from_json(
+            &crate::jsonio::parse(&e.to_json().to_string_compact()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, e);
+        assert!(a.to_string().contains("element 99"));
+    }
+
+    #[test]
+    fn launch_error_conversion_routes_aborts() {
+        let abort = LaunchError::Aborted(KernelAbort {
+            kernel: "k".into(),
+            warp_id: 0,
+            ops: 10,
+            budget: 5,
+            reason: AbortReason::Watchdog,
+        });
+        assert_eq!(GnnOneError::from(abort).kind(), "abort");
+        let oom = LaunchError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert_eq!(GnnOneError::from(oom).kind(), "launch");
+    }
+
+    #[test]
+    fn every_variant_serializes_with_kind() {
+        let cases = vec![
+            GnnOneError::Io {
+                path: "a.mtx".into(),
+                detail: "missing".into(),
+            },
+            GnnOneError::Parse {
+                source: "a.mtx".into(),
+                line: 7,
+                detail: "bad token".into(),
+            },
+            GnnOneError::Panic {
+                context: "spmm/G3".into(),
+                detail: "index out of bounds".into(),
+            },
+            GnnOneError::Config {
+                detail: "unknown dataset".into(),
+            },
+        ];
+        for e in cases {
+            let json = e.to_json().to_string_compact();
+            let back = GnnOneError::from_json(&crate::jsonio::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, e, "roundtrip failed for {json}");
+            assert!(json.contains(&format!("\"{}\"", e.kind())));
+        }
+    }
+}

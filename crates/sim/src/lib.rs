@@ -98,6 +98,7 @@
 pub mod buffer;
 pub mod coalesce;
 pub mod engine;
+pub mod error;
 pub mod jsonio;
 pub mod kernel;
 pub mod lanes;
@@ -110,7 +111,8 @@ pub mod trace;
 pub mod warp;
 
 pub use buffer::{DeviceBuffer, Pod32};
-pub use engine::{Gpu, KernelReport};
+pub use engine::{Gpu, KernelReport, LaunchSpec};
+pub use error::{AbortReason, GnnOneError, KernelAbort, ValidationError};
 pub use kernel::{KernelResources, WarpKernel};
 pub use lanes::{LaneArr, WARP_SIZE};
 pub use metrics::{KernelMetrics, MetricsRegistry, MetricsSnapshot};

@@ -42,10 +42,20 @@ mod shadow;
 pub(crate) use shadow::{GlobalKind, WarpShadow};
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::buffer::{DeviceBuffer, Pod32};
 use crate::jsonio::Json;
+
+/// Locks a mutex, recovering the data from a poisoned lock. The sanitizer
+/// is shared across launches that the sweep layer isolates with
+/// `catch_unwind`; a panic while a guard was held must not turn every
+/// later audit into a second panic — the protected state (findings,
+/// allowlist) stays internally consistent under any interleaving of the
+/// operations that take these locks.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Which checks a [`Sanitizer`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,20 +254,18 @@ impl Sanitizer {
     /// it are declared intentional last-writer-wins (the allowlist API of
     /// check 1). Bounds and alignment checks still apply.
     pub fn allow_last_writer_wins<T: Pod32>(&self, buf: &DeviceBuffer<T>) {
-        self.allow.lock().unwrap().insert(buf.addr_base());
+        lock_unpoisoned(&self.allow).insert(buf.addr_base());
     }
 
     /// Audits of every launch since attachment, in launch order.
     pub fn launches(&self) -> Vec<LaunchAudit> {
-        self.launches.lock().unwrap().clone()
+        lock_unpoisoned(&self.launches).clone()
     }
 
     /// Total recorded findings across all launches (suppressed ones not
     /// included).
     pub fn finding_count(&self) -> u64 {
-        self.launches
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.launches)
             .iter()
             .map(|l| l.findings.len() as u64 + l.suppressed)
             .sum()
@@ -270,7 +278,7 @@ impl Sanitizer {
 
     /// Full report as a [`crate::jsonio::Json`] document.
     pub fn report_json(&self) -> Json {
-        let launches = self.launches.lock().unwrap();
+        let launches = lock_unpoisoned(&self.launches);
         Json::obj(vec![
             ("launches", Json::U64(launches.len() as u64)),
             (
@@ -313,7 +321,7 @@ impl Sanitizer {
         }
 
         if self.config.racecheck {
-            let allow = self.allow.lock().unwrap();
+            let allow = lock_unpoisoned(&self.allow);
             // Merge per-warp cells in warp order so diagnostics are
             // deterministic: the reported pair is always (first warp to
             // touch the cell, first conflicting warp).
@@ -428,7 +436,7 @@ impl Sanitizer {
             }
         }
 
-        self.launches.lock().unwrap().push(LaunchAudit {
+        lock_unpoisoned(&self.launches).push(LaunchAudit {
             kernel: kernel.to_string(),
             warps: shadows.len() as u64,
             findings,

@@ -31,6 +31,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::{DeviceBuffer, Pod32};
 use crate::coalesce::{coalesce, Access};
+use crate::error::{AbortReason, AbortSignal};
 use crate::lanes::{LaneArr, WARP_SIZE};
 use crate::sanitize::{GlobalKind, WarpShadow};
 use crate::spec::TimingParams;
@@ -52,10 +53,16 @@ pub struct WarpCtx {
     shared_limit_words: usize,
     stats: WarpStats,
     san: Option<Box<WarpShadow>>,
+    warp_id: usize,
+    ops: u64,
+    budget: u64,
 }
 
 impl WarpCtx {
     /// Creates a context with `shared_bytes` of per-warp shared memory.
+    /// The watchdog is disabled until [`WarpCtx::set_watchdog`] arms it
+    /// (the engine does, per launch), so directly-driven contexts in tests
+    /// behave as before.
     pub fn new(timing: TimingParams, shared_bytes: usize) -> Self {
         let shared_limit_words = shared_bytes / 4;
         Self {
@@ -66,7 +73,46 @@ impl WarpCtx {
             shared_limit_words,
             stats: WarpStats::default(),
             san: None,
+            warp_id: 0,
+            ops: 0,
+            budget: u64::MAX,
         }
+    }
+
+    /// Arms the watchdog: the context aborts the launch (via a structured
+    /// unwind the engine converts into a
+    /// [`crate::engine::LaunchError::Aborted`]) once the warp has issued
+    /// more than `budget` warp-wide instructions. Called by the engine with
+    /// the budget from the launch's [`crate::LaunchSpec`].
+    pub fn set_watchdog(&mut self, warp_id: usize, budget: u64) {
+        self.warp_id = warp_id;
+        self.budget = budget;
+    }
+
+    /// Warp-wide instructions issued so far (the watchdog's counter).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Charges `n` warp-wide instructions against the watchdog budget.
+    #[inline]
+    fn charge(&mut self, n: u64) {
+        self.ops += n;
+        if self.ops > self.budget {
+            self.abort(AbortReason::Watchdog);
+        }
+    }
+
+    /// Stops the launch with a structured abort. `resume_unwind` skips the
+    /// panic hook, so aborts make no stderr noise; the engine catches the
+    /// payload and converts it into a [`crate::KernelAbort`].
+    fn abort(&self, reason: AbortReason) -> ! {
+        std::panic::resume_unwind(Box::new(AbortSignal {
+            warp_id: self.warp_id as u64,
+            ops: self.ops,
+            budget: self.budget,
+            reason,
+        }))
     }
 
     /// Installs the sanitizer's per-warp shadow; called by the engine
@@ -102,6 +148,7 @@ impl WarpCtx {
     // ---- scoreboard internals ------------------------------------------
 
     fn issue_load_access(&mut self, access: Access) {
+        self.charge(1);
         self.stats.loads += 1;
         self.stats.read_sectors += access.sectors as u64;
         self.stats.read_useful_bytes += access.useful_bytes;
@@ -154,6 +201,8 @@ impl WarpCtx {
                     {
                         continue;
                     }
+                } else {
+                    self.check_global_bounds(buf.len(), idx, 1);
                 }
                 out.set(lane, buf.read(idx));
                 lane_addrs[lane] = Some(buf.addr_of(idx));
@@ -162,6 +211,19 @@ impl WarpCtx {
         let access = coalesce(lane_addrs.iter().filter_map(|a| a.map(|a| (a, 4))));
         self.issue_load_access(access);
         out
+    }
+
+    /// Unsanitized bounds check: with no sanitizer shadow to record an
+    /// out-of-bounds access as a finding, stop the launch with a structured
+    /// abort instead of letting the slice index panic the host.
+    #[inline]
+    fn check_global_bounds(&self, len: usize, idx: usize, width: usize) {
+        if idx + width > len {
+            self.abort(AbortReason::GlobalOutOfBounds {
+                index: idx as u64,
+                len: len as u64,
+            });
+        }
     }
 
     /// Warp-wide scalar `f32` load.
@@ -213,6 +275,8 @@ impl WarpCtx {
                     {
                         continue;
                     }
+                } else {
+                    self.check_global_bounds(buf.len(), idx, N);
                 }
                 for (k, arr) in out.iter_mut().enumerate() {
                     arr.set(lane, buf.read(idx + k));
@@ -267,6 +331,7 @@ impl WarpCtx {
         buf: &DeviceBuffer<T>,
         mut write: impl FnMut(usize) -> Option<(usize, T)>,
     ) {
+        self.charge(1);
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
@@ -275,6 +340,8 @@ impl WarpCtx {
                     {
                         continue;
                     }
+                } else {
+                    self.check_global_bounds(buf.len(), idx, 1);
                 }
                 buf.write(idx, value);
                 lane_addrs[lane] = Some(buf.addr_of(idx));
@@ -314,6 +381,7 @@ impl WarpCtx {
         buf: &DeviceBuffer<f32>,
         mut write: impl FnMut(usize) -> Option<(usize, f32)>,
     ) {
+        self.charge(1);
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         let mut idxs: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         for lane in 0..WARP_SIZE {
@@ -329,6 +397,8 @@ impl WarpCtx {
                     ) {
                         continue;
                     }
+                } else {
+                    self.check_global_bounds(buf.len(), idx, 1);
                 }
                 buf.atomic_add(idx, value);
                 lane_addrs[lane] = Some(buf.addr_of(idx));
@@ -371,6 +441,7 @@ impl WarpCtx {
         mut write: impl FnMut(usize) -> Option<(usize, [f32; 4])>,
     ) -> bool {
         assert!((1..=4).contains(&width));
+        self.charge(width as u64);
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         let mut any = false;
         for lane in 0..WARP_SIZE {
@@ -386,6 +457,8 @@ impl WarpCtx {
                     ) {
                         continue;
                     }
+                } else {
+                    self.check_global_bounds(buf.len(), idx, width);
                 }
                 for (k, &v) in vals.iter().enumerate().take(width) {
                     buf.atomic_add(idx + k, v);
@@ -421,6 +494,7 @@ impl WarpCtx {
 
     /// Stores one word per active lane into per-warp shared memory.
     pub fn shared_store<T: Pod32>(&mut self, mut write: impl FnMut(usize) -> Option<(usize, T)>) {
+        self.charge(1);
         let limit = self.shared_limit_words;
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
@@ -428,11 +502,11 @@ impl WarpCtx {
                     if !sh.shared_write(idx, lane, limit) {
                         continue;
                     }
-                } else {
-                    assert!(
-                        idx < limit,
-                        "shared memory overflow: word {idx} >= {limit} words"
-                    );
+                } else if idx >= limit {
+                    self.abort(AbortReason::SharedOutOfBounds {
+                        word: idx as u64,
+                        limit: limit as u64,
+                    });
                 }
                 self.shared[idx] = value.to_bits32();
             }
@@ -449,6 +523,7 @@ impl WarpCtx {
         &mut self,
         mut addr: impl FnMut(usize) -> Option<usize>,
     ) -> LaneArr<T> {
+        self.charge(1);
         let mut out = LaneArr::<T>::default();
         let limit = self.shared_limit_words;
         for lane in 0..WARP_SIZE {
@@ -457,11 +532,11 @@ impl WarpCtx {
                     if !sh.shared_read(idx, lane, limit) {
                         continue;
                     }
-                } else {
-                    assert!(
-                        idx < limit,
-                        "shared memory overflow: word {idx} >= {limit} words"
-                    );
+                } else if idx >= limit {
+                    self.abort(AbortReason::SharedOutOfBounds {
+                        word: idx as u64,
+                        limit: limit as u64,
+                    });
                 }
                 out.set(lane, T::from_bits32(self.shared[idx]));
             }
@@ -484,6 +559,7 @@ impl WarpCtx {
     /// the ordering constraint the paper identifies as the hidden enemy of
     /// data-load ILP (§3.2).
     pub fn barrier(&mut self) {
+        self.charge(1);
         self.drain();
         if let Some(sh) = self.san.as_deref_mut() {
             sh.on_barrier();
@@ -506,6 +582,7 @@ impl WarpCtx {
         width: usize,
     ) -> LaneArr<f32> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.charge(1);
         self.drain();
         self.stats.shfl_rounds += 1;
         self.clock += self.timing.shfl_cycles;
@@ -539,6 +616,7 @@ impl WarpCtx {
 
     /// Charges `n` warp-wide FMA-equivalent instructions.
     pub fn compute(&mut self, n: u64) {
+        self.charge(n);
         self.stats.compute_instr += n;
         self.clock += n * self.timing.issue_cycles;
     }
@@ -693,10 +771,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared memory overflow")]
-    fn shared_overflow_panics() {
-        let mut c = WarpCtx::new(TimingParams::default(), 16);
-        c.shared_store(|lane| Some((lane, 0u32)));
+    fn shared_overflow_aborts_with_structure() {
+        // 16 bytes = 4 words; lanes 4.. overflow. The unsanitized path
+        // unwinds with an AbortSignal (not a plain panic) so the engine can
+        // report a typed KernelAbort.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = WarpCtx::new(TimingParams::default(), 16);
+            c.shared_store(|lane| Some((lane, 0u32)));
+        }))
+        .unwrap_err();
+        let sig = payload.downcast::<AbortSignal>().expect("structured abort");
+        assert!(matches!(
+            sig.reason,
+            AbortReason::SharedOutOfBounds { word: 4, limit: 4 }
+        ));
+    }
+
+    #[test]
+    fn watchdog_charges_and_aborts_at_budget() {
+        let mut c = ctx();
+        c.set_watchdog(7, 4);
+        c.compute(3);
+        assert_eq!(c.ops(), 3);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.compute(2); // 5 > 4: trips
+        }))
+        .unwrap_err();
+        let sig = payload.downcast::<AbortSignal>().expect("structured abort");
+        assert_eq!(sig.warp_id, 7);
+        assert_eq!(sig.budget, 4);
+        assert!(matches!(sig.reason, AbortReason::Watchdog));
+    }
+
+    #[test]
+    fn unsanitized_global_oob_aborts_with_structure() {
+        let buf = DeviceBuffer::<f32>::zeros(8);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = ctx();
+            c.load_f32(&buf, |lane| Some(lane * 100));
+        }))
+        .unwrap_err();
+        let sig = payload.downcast::<AbortSignal>().expect("structured abort");
+        assert!(matches!(
+            sig.reason,
+            AbortReason::GlobalOutOfBounds { index: 100, len: 8 }
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::formats::{Coo, Csr};
 use crate::gen;
+use gnnone_sim::GnnOneError;
 use serde::{Deserialize, Serialize};
 
 /// Scale profile for the synthetic analogues.
@@ -335,7 +336,18 @@ pub struct Dataset {
 impl Dataset {
     /// Generates the analogue for `spec` at `scale`. Deterministic in
     /// (`spec.id`, `scale`).
+    ///
+    /// Panics if the generated graph fails validation — that would be a bug
+    /// in a generator, not user input; fallible callers should use
+    /// [`Dataset::try_generate`].
     pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
+        Self::try_generate(spec, scale)
+            .unwrap_or_else(|e| panic!("generator produced invalid dataset {}: {e}", spec.id))
+    }
+
+    /// Generates the analogue for `spec` at `scale`, validating the
+    /// resulting topology and features before returning.
+    pub fn try_generate(spec: &DatasetSpec, scale: Scale) -> Result<Dataset, GnnOneError> {
         let (v, e) = spec.targets(scale);
         let seed = fxhash_seed(spec.id, scale);
         let mut labels = None;
@@ -379,7 +391,12 @@ impl Dataset {
         };
         let coo = Coo::from_edge_list(&edge_list);
         let csr = Csr::from_coo(&coo);
-        Dataset {
+        crate::validate::coo(&coo)?;
+        crate::validate::csr(&csr)?;
+        if let Some(feats) = &features {
+            crate::validate::features(feats, coo.num_rows(), feature_dim)?;
+        }
+        Ok(Dataset {
             spec: spec.clone(),
             scale,
             coo,
@@ -387,12 +404,21 @@ impl Dataset {
             labels,
             features,
             feature_dim,
-        }
+        })
     }
 
     /// Convenience: generate by Table 1 ID.
     pub fn by_id(id: &str, scale: Scale) -> Option<Dataset> {
         by_id(id).map(|spec| Dataset::generate(&spec, scale))
+    }
+
+    /// Fallible lookup-and-generate: unknown IDs are a typed
+    /// [`GnnOneError::Config`], generation failures propagate.
+    pub fn try_by_id(id: &str, scale: Scale) -> Result<Dataset, GnnOneError> {
+        let spec = by_id(id).ok_or_else(|| GnnOneError::Config {
+            detail: format!("unknown Table 1 dataset id `{id}` (expected G0..G18)"),
+        })?;
+        Dataset::try_generate(&spec, scale)
     }
 }
 
@@ -484,6 +510,20 @@ mod tests {
         assert!(d.csr.max_degree() <= 10, "max {}", d.csr.max_degree());
         let avg = d.csr.nnz() as f64 / d.csr.num_rows() as f64;
         assert!((3.0..5.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn try_by_id_rejects_unknown_dataset() {
+        let err = Dataset::try_by_id("G99", Scale::Tiny).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("G99"), "{err}");
+    }
+
+    #[test]
+    fn try_generate_validates_cleanly() {
+        // A labelled dataset exercises topology + feature validation.
+        let d = Dataset::try_by_id("G0", Scale::Tiny).unwrap();
+        assert!(d.features.is_some());
     }
 
     #[test]

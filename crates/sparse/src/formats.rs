@@ -8,6 +8,7 @@
 //! systems that, like DGL, keep *both* formats alive (the memory cost the
 //! paper calls out).
 
+use gnnone_sim::ValidationError;
 use serde::{Deserialize, Serialize};
 
 /// Vertex identifier. 32-bit, as in the paper's 4-bytes-per-row-ID
@@ -26,17 +27,25 @@ pub struct EdgeList {
 
 impl EdgeList {
     /// Creates an edge list, checking vertex bounds.
+    ///
+    /// # Panics
+    /// If any edge references an out-of-bounds vertex. Use
+    /// [`EdgeList::try_new`] when the edges come from external input.
     pub fn new(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
-        for &(u, v) in &edges {
-            assert!(
-                (u as usize) < num_vertices && (v as usize) < num_vertices,
-                "edge ({u},{v}) out of bounds for {num_vertices} vertices"
-            );
-        }
-        Self {
+        Self::try_new(num_vertices, edges).unwrap_or_else(|e| panic!("{}", e.detail))
+    }
+
+    /// Creates an edge list, returning a typed [`ValidationError`] when an
+    /// edge references an out-of-bounds vertex.
+    pub fn try_new(
+        num_vertices: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<Self, ValidationError> {
+        crate::validate::edge_list_parts(num_vertices, &edges)?;
+        Ok(Self {
             num_vertices,
             edges,
-        }
+        })
     }
 
     /// Adds the reverse of every edge, removes self-loops and duplicates —
@@ -94,30 +103,35 @@ impl Coo {
     ///
     /// # Panics
     /// If the arrays differ in length, are not CSR-ordered, or reference
-    /// out-of-bounds vertices.
+    /// out-of-bounds vertices. Use [`Coo::try_from_sorted`] when the
+    /// arrays come from external input.
     pub fn from_sorted(
         num_rows: usize,
         num_cols: usize,
         rows: Vec<VertexId>,
         cols: Vec<VertexId>,
     ) -> Self {
-        assert_eq!(rows.len(), cols.len(), "row/col arrays must align");
-        for i in 0..rows.len() {
-            assert!((rows[i] as usize) < num_rows, "row {} OOB", rows[i]);
-            assert!((cols[i] as usize) < num_cols, "col {} OOB", cols[i]);
-            if i > 0 {
-                assert!(
-                    (rows[i - 1], cols[i - 1]) < (rows[i], cols[i]),
-                    "COO must be strictly CSR-ordered at position {i}"
-                );
-            }
-        }
-        Self {
+        Self::try_from_sorted(num_rows, num_cols, rows, cols)
+            .unwrap_or_else(|e| panic!("{}", e.detail))
+    }
+
+    /// Builds from sorted, deduplicated row/col arrays, returning a typed
+    /// [`ValidationError`] on misaligned arrays, out-of-bounds vertices, or
+    /// ordering violations (which include duplicate edges: strict CSR order
+    /// admits no repeats).
+    pub fn try_from_sorted(
+        num_rows: usize,
+        num_cols: usize,
+        rows: Vec<VertexId>,
+        cols: Vec<VertexId>,
+    ) -> Result<Self, ValidationError> {
+        crate::validate::coo_parts(num_rows, num_cols, &rows, &cols)?;
+        Ok(Self {
             num_rows,
             num_cols,
             rows,
             cols,
-        }
+        })
     }
 
     /// Number of rows (vertices).
@@ -190,6 +204,27 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Builds from raw offset/column arrays, returning a typed
+    /// [`ValidationError`] on truncated or non-monotone offsets, an
+    /// nnz/offsets mismatch, out-of-bounds columns, or unsorted/duplicate
+    /// columns within a row. This is the entry point for externally
+    /// supplied CSR data (the panicking constructors are reserved for
+    /// internally generated topology).
+    pub fn try_from_parts(
+        num_rows: usize,
+        num_cols: usize,
+        offsets: Vec<u32>,
+        cols: Vec<VertexId>,
+    ) -> Result<Self, ValidationError> {
+        crate::validate::csr_parts(num_rows, num_cols, &offsets, &cols)?;
+        Ok(Self {
+            num_rows,
+            num_cols,
+            offsets,
+            cols,
+        })
+    }
+
     /// Converts from CSR-ordered COO.
     pub fn from_coo(coo: &Coo) -> Self {
         let mut offsets = vec![0u32; coo.num_rows() + 1];
@@ -273,6 +308,112 @@ impl Csr {
             .map(|r| self.degree(r))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Converts to per-row adjacency lists.
+    pub fn to_rows(&self) -> CsrRows {
+        CsrRows::from_csr(self)
+    }
+}
+
+/// Per-row adjacency lists — the host-side mirror of the `CsrRows`
+/// nonzero source the GNNOne pipeline can be re-hosted on (§5.4.5 format
+/// study). One `Vec` of sorted column IDs per row; no offset array.
+///
+/// This is the third corner of the `Coo ↔ Csr ↔ CsrRows` conversion
+/// triangle the validation property tests walk: every conversion into or
+/// out of it preserves the strict CSR ordering invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrRows {
+    num_cols: usize,
+    rows: Vec<Vec<VertexId>>,
+}
+
+impl CsrRows {
+    /// Builds from raw per-row adjacency, returning a typed
+    /// [`ValidationError`] on out-of-bounds or unsorted/duplicate columns.
+    pub fn try_from_rows(
+        num_cols: usize,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<Self, ValidationError> {
+        for (r, adj) in rows.iter().enumerate() {
+            for (k, &c) in adj.iter().enumerate() {
+                if (c as usize) >= num_cols {
+                    return Err(ValidationError::new(
+                        "CsrRows",
+                        "rows",
+                        Some(r as u64),
+                        format!("col {c} out of bounds for {num_cols} columns"),
+                    ));
+                }
+                if k > 0 && adj[k - 1] >= c {
+                    return Err(ValidationError::new(
+                        "CsrRows",
+                        "rows",
+                        Some(r as u64),
+                        format!("columns of row {r} not strictly increasing at slot {k}"),
+                    ));
+                }
+            }
+        }
+        Ok(Self { num_cols, rows })
+    }
+
+    /// Converts from CSR (infallible: the invariants carry over).
+    pub fn from_csr(csr: &Csr) -> Self {
+        Self {
+            num_cols: csr.num_cols(),
+            rows: (0..csr.num_rows())
+                .map(|r| csr.row_cols(r).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Converts from CSR-ordered COO.
+    pub fn from_coo(coo: &Coo) -> Self {
+        Self::from_csr(&Csr::from_coo(coo))
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut offsets = Vec::with_capacity(self.rows.len() + 1);
+        offsets.push(0u32);
+        let mut cols = Vec::new();
+        for adj in &self.rows {
+            cols.extend_from_slice(adj);
+            offsets.push(cols.len() as u32);
+        }
+        Csr {
+            num_rows: self.rows.len(),
+            num_cols: self.num_cols,
+            offsets,
+            cols,
+        }
+    }
+
+    /// Converts back to CSR-ordered COO.
+    pub fn to_coo(&self) -> Coo {
+        self.to_csr().to_coo()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Column IDs of `row`.
+    pub fn row(&self, row: usize) -> &[VertexId] {
+        &self.rows[row]
     }
 }
 

@@ -6,6 +6,12 @@
 //! (workload imbalance), near-uniform low degree for road networks, dense
 //! hubs for Reddit/hollywood. All generators take an explicit seed and use
 //! `ChaCha8Rng`, so every experiment is reproducible bit-for-bit.
+//!
+//! The [`adversarial`] submodule generates the hostile corpus for the fuzz
+//! sweep: valid-but-pathological topologies plus malformed inputs that must
+//! be rejected with typed errors.
+
+pub mod adversarial;
 
 use crate::formats::{EdgeList, VertexId};
 use rand::prelude::*;

@@ -1,0 +1,540 @@
+//! Adversarial graph corpus for the fuzz sweep.
+//!
+//! Each case is either a *valid-extreme* graph (legal by every CSR
+//! invariant but pathological for the kernels: empty rows, one mega-row,
+//! dense diagonals of self-loops) or a *malformed* input (duplicate edges,
+//! truncated offset arrays, out-of-range columns, non-finite features,
+//! unusable feature widths). The contract the fuzz driver enforces:
+//!
+//! * valid-extreme cases must resolve cleanly and then survive every
+//!   registry kernel without a panic, sanitizer finding, or watchdog abort;
+//! * malformed cases must be rejected by [`AdversarialCase::resolve`] with a
+//!   typed [`ValidationError`] — acceptance is a validation hole, a panic is
+//!   a robustness bug. Either way, no process ever dies.
+//!
+//! The corpus is deterministic in its seed (sizes and random payloads come
+//! from `ChaCha8Rng`), so failures reproduce from the seed printed by
+//! `gnnone-prof fuzz`.
+
+use crate::formats::{Coo, Csr, VertexId};
+use gnnone_sim::ValidationError;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Feature-width ceiling for corpus cases. Legal widths go far higher
+/// (`validate::MAX_FEATURE_DIM`), but fuzz runs every kernel on every case —
+/// this keeps the "huge f" probe meaningful without unbounded runtime.
+pub const MAX_CORPUS_F: usize = 512;
+
+/// Raw, unvalidated parts of one corpus case.
+#[derive(Debug, Clone)]
+enum CaseKind {
+    /// CSR parts, possibly violating the format invariants.
+    RawCsr {
+        num_rows: usize,
+        num_cols: usize,
+        offsets: Vec<u32>,
+        cols: Vec<VertexId>,
+    },
+    /// COO parts, possibly unsorted or duplicated.
+    RawCoo {
+        num_rows: usize,
+        num_cols: usize,
+        rows: Vec<VertexId>,
+        cols: Vec<VertexId>,
+    },
+}
+
+/// One adversarial input: raw topology parts + a raw feature buffer.
+#[derive(Debug, Clone)]
+pub struct AdversarialCase {
+    /// Stable case name, printed in fuzz findings.
+    pub name: &'static str,
+    /// `true` for valid-extreme cases (must resolve and run clean); `false`
+    /// for malformed ones (must be rejected with a typed error).
+    pub expect_valid: bool,
+    /// Feature width the case claims.
+    pub f: usize,
+    /// Raw feature buffer (`num_rows * f` when well-formed).
+    pub features: Vec<f32>,
+    kind: CaseKind,
+}
+
+/// A corpus case that passed validation, ready to launch kernels on.
+#[derive(Debug, Clone)]
+pub struct ResolvedGraph {
+    /// Validated CSR topology.
+    pub csr: Csr,
+    /// The same topology in COO (kernels are format-split).
+    pub coo: Coo,
+    /// Validated finite features, row-major `num_rows x f`.
+    pub features: Vec<f32>,
+    /// Feature width.
+    pub f: usize,
+}
+
+impl AdversarialCase {
+    /// Runs the full validation preflight: non-empty graph, usable feature
+    /// width, format invariants, finite features. Malformed cases come back
+    /// as typed errors — never panics.
+    pub fn resolve(&self) -> Result<ResolvedGraph, ValidationError> {
+        let (num_rows, structure) = match &self.kind {
+            CaseKind::RawCsr { num_rows, .. } => (*num_rows, "Csr"),
+            CaseKind::RawCoo { num_rows, .. } => (*num_rows, "Coo"),
+        };
+        if num_rows == 0 {
+            return Err(ValidationError::new(
+                structure,
+                "num_rows",
+                None,
+                "empty graph: kernels need at least one row".to_string(),
+            ));
+        }
+        crate::validate::feature_dim(self.f)?;
+        let csr = match &self.kind {
+            CaseKind::RawCsr {
+                num_rows,
+                num_cols,
+                offsets,
+                cols,
+            } => Csr::try_from_parts(*num_rows, *num_cols, offsets.clone(), cols.clone())?,
+            CaseKind::RawCoo {
+                num_rows,
+                num_cols,
+                rows,
+                cols,
+            } => {
+                let coo = Coo::try_from_sorted(*num_rows, *num_cols, rows.clone(), cols.clone())?;
+                Csr::from_coo(&coo)
+            }
+        };
+        crate::validate::features(&self.features, csr.num_rows(), self.f)?;
+        let coo = csr.to_coo();
+        Ok(ResolvedGraph {
+            coo,
+            features: self.features.clone(),
+            f: self.f,
+            csr,
+        })
+    }
+}
+
+fn finite_features(rng: &mut ChaCha8Rng, rows: usize, f: usize) -> Vec<f32> {
+    (0..rows * f).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn csr_case(
+    name: &'static str,
+    expect_valid: bool,
+    num_rows: usize,
+    num_cols: usize,
+    offsets: Vec<u32>,
+    cols: Vec<VertexId>,
+    f: usize,
+    features: Vec<f32>,
+) -> AdversarialCase {
+    AdversarialCase {
+        name,
+        expect_valid,
+        f,
+        features,
+        kind: CaseKind::RawCsr {
+            num_rows,
+            num_cols,
+            offsets,
+            cols,
+        },
+    }
+}
+
+/// Builds the full adversarial corpus, deterministic in `seed`.
+pub fn corpus(seed: u64) -> Vec<AdversarialCase> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cases = Vec::new();
+
+    // --- valid-extreme topologies ---------------------------------------
+
+    // Control: an ordinary small random graph. If this fails, the harness
+    // itself is broken, not the kernels.
+    {
+        let n = 64;
+        let (offsets, cols) = random_csr(&mut rng, n, 4);
+        let feats = finite_features(&mut rng, n, 16);
+        cases.push(csr_case(
+            "random-sparse",
+            true,
+            n,
+            n,
+            offsets,
+            cols,
+            16,
+            feats,
+        ));
+    }
+
+    // Every row empty: nnz = 0. Exercises zero-work launches and guards
+    // against divide-by-degree assumptions.
+    {
+        let n = 32;
+        let feats = finite_features(&mut rng, n, 8);
+        cases.push(csr_case(
+            "all-empty-rows",
+            true,
+            n,
+            n,
+            vec![0; n + 1],
+            vec![],
+            8,
+            feats,
+        ));
+    }
+
+    // One mega-row owning every nonzero; all other rows empty. The skew
+    // extreme that row-splitting exists for — also the case that routes all
+    // work through few warps, probing the watchdog's derived budget.
+    {
+        let n = 96;
+        let mut offsets = vec![0u32; n + 1];
+        for o in offsets.iter_mut().skip(1) {
+            *o = n as u32;
+        }
+        let cols: Vec<VertexId> = (0..n as VertexId).collect();
+        let feats = finite_features(&mut rng, n, 16);
+        cases.push(csr_case(
+            "single-mega-row",
+            true,
+            n,
+            n,
+            offsets,
+            cols,
+            16,
+            feats,
+        ));
+    }
+
+    // Pure diagonal of self-loops: legal CSR, degenerate aggregation.
+    {
+        let n = 48;
+        let offsets: Vec<u32> = (0..=n as u32).collect();
+        let cols: Vec<VertexId> = (0..n as VertexId).collect();
+        let feats = finite_features(&mut rng, n, 8);
+        cases.push(csr_case(
+            "diagonal-self-loops",
+            true,
+            n,
+            n,
+            offsets,
+            cols,
+            8,
+            feats,
+        ));
+    }
+
+    // Single vertex with a self loop: the smallest legal graph.
+    {
+        let feats = finite_features(&mut rng, 1, 4);
+        cases.push(csr_case(
+            "one-vertex-self-loop",
+            true,
+            1,
+            1,
+            vec![0, 1],
+            vec![0],
+            4,
+            feats,
+        ));
+    }
+
+    // Fully dense tiny graph: every row touches every column.
+    {
+        let n = 16;
+        let offsets: Vec<u32> = (0..=n as u32).map(|i| i * n as u32).collect();
+        let cols: Vec<VertexId> = (0..n)
+            .flat_map(|_| (0..n as VertexId).collect::<Vec<_>>())
+            .collect();
+        let feats = finite_features(&mut rng, n, 8);
+        cases.push(csr_case("dense-tiny", true, n, n, offsets, cols, 8, feats));
+    }
+
+    // Huge (but capped) feature width on a small graph.
+    {
+        let n = 8;
+        let (offsets, cols) = random_csr(&mut rng, n, 3);
+        let feats = finite_features(&mut rng, n, MAX_CORPUS_F);
+        cases.push(csr_case(
+            "huge-f",
+            true,
+            n,
+            n,
+            offsets,
+            cols,
+            MAX_CORPUS_F,
+            feats,
+        ));
+    }
+
+    // --- malformed inputs: must be rejected with a typed error ----------
+
+    // Zero-vertex graph.
+    cases.push(csr_case(
+        "empty-graph",
+        false,
+        0,
+        0,
+        vec![0],
+        vec![],
+        8,
+        vec![],
+    ));
+
+    // Duplicate edge in COO (strict CSR ordering rejects).
+    {
+        let feats = finite_features(&mut rng, 4, 4);
+        cases.push(AdversarialCase {
+            name: "duplicate-edges",
+            expect_valid: false,
+            f: 4,
+            features: feats,
+            kind: CaseKind::RawCoo {
+                num_rows: 4,
+                num_cols: 4,
+                rows: vec![0, 1, 1, 2],
+                cols: vec![1, 2, 2, 3],
+            },
+        });
+    }
+
+    // Unsorted COO.
+    {
+        let feats = finite_features(&mut rng, 4, 4);
+        cases.push(AdversarialCase {
+            name: "unsorted-coo",
+            expect_valid: false,
+            f: 4,
+            features: feats,
+            kind: CaseKind::RawCoo {
+                num_rows: 4,
+                num_cols: 4,
+                rows: vec![2, 0, 1, 1],
+                cols: vec![3, 1, 2, 0],
+            },
+        });
+    }
+
+    // Truncated offsets: final offset overruns the column array.
+    {
+        let feats = finite_features(&mut rng, 4, 4);
+        cases.push(csr_case(
+            "truncated-offsets",
+            false,
+            4,
+            4,
+            vec![0, 2, 4, 6, 9],
+            vec![0, 1, 1, 2, 2, 3],
+            4,
+            feats,
+        ));
+    }
+
+    // Offset array of the wrong length for num_rows.
+    {
+        let feats = finite_features(&mut rng, 4, 4);
+        cases.push(csr_case(
+            "offsets-wrong-length",
+            false,
+            4,
+            4,
+            vec![0, 1, 2],
+            vec![0, 1],
+            4,
+            feats,
+        ));
+    }
+
+    // Non-monotone offsets.
+    {
+        let feats = finite_features(&mut rng, 3, 4);
+        cases.push(csr_case(
+            "non-monotone-offsets",
+            false,
+            3,
+            3,
+            vec![0, 2, 1, 3],
+            vec![0, 1, 2],
+            4,
+            feats,
+        ));
+    }
+
+    // Out-of-range column id.
+    {
+        let feats = finite_features(&mut rng, 3, 4);
+        cases.push(csr_case(
+            "oob-column",
+            false,
+            3,
+            3,
+            vec![0, 1, 2, 3],
+            vec![0, 7, 2],
+            4,
+            feats,
+        ));
+    }
+
+    // NaN poisoning one feature of a well-formed graph.
+    {
+        let n = 16;
+        let (offsets, cols) = random_csr(&mut rng, n, 3);
+        let mut feats = finite_features(&mut rng, n, 8);
+        let idx = rng.gen_range(0..feats.len());
+        feats[idx] = f32::NAN;
+        cases.push(csr_case(
+            "nan-features",
+            false,
+            n,
+            n,
+            offsets,
+            cols,
+            8,
+            feats,
+        ));
+    }
+
+    // Infinity in features.
+    {
+        let n = 16;
+        let (offsets, cols) = random_csr(&mut rng, n, 3);
+        let mut feats = finite_features(&mut rng, n, 8);
+        let idx = rng.gen_range(0..feats.len());
+        feats[idx] = f32::NEG_INFINITY;
+        cases.push(csr_case(
+            "inf-features",
+            false,
+            n,
+            n,
+            offsets,
+            cols,
+            8,
+            feats,
+        ));
+    }
+
+    // Feature buffer of the wrong length.
+    {
+        let n = 8;
+        let (offsets, cols) = random_csr(&mut rng, n, 2);
+        let feats = finite_features(&mut rng, n, 4);
+        cases.push(csr_case(
+            "short-feature-buffer",
+            false,
+            n,
+            n,
+            offsets,
+            cols,
+            8, // claims f = 8 but the buffer holds n * 4
+            feats,
+        ));
+    }
+
+    // Unusable feature widths.
+    {
+        let n = 8;
+        let (offsets, cols) = random_csr(&mut rng, n, 2);
+        cases.push(csr_case(
+            "zero-f",
+            false,
+            n,
+            n,
+            offsets.clone(),
+            cols.clone(),
+            0,
+            vec![],
+        ));
+        cases.push(csr_case(
+            "absurd-f",
+            false,
+            n,
+            n,
+            offsets,
+            cols,
+            crate::validate::MAX_FEATURE_DIM + 1,
+            vec![],
+        ));
+    }
+
+    cases
+}
+
+/// Well-formed random CSR parts: `n x n`, about `avg_degree` nonzeros per
+/// row, strictly increasing columns.
+fn random_csr(rng: &mut ChaCha8Rng, n: usize, avg_degree: usize) -> (Vec<u32>, Vec<VertexId>) {
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut cols: Vec<VertexId> = Vec::new();
+    for _ in 0..n {
+        let deg = rng.gen_range(0..=(2 * avg_degree).min(n));
+        let mut row: Vec<VertexId> = (0..n as VertexId).collect();
+        // Partial Fisher–Yates: first `deg` entries become a random sample.
+        for k in 0..deg {
+            let j = rng.gen_range(k..n);
+            row.swap(k, j);
+        }
+        let mut picked: Vec<VertexId> = row[..deg].to_vec();
+        picked.sort_unstable();
+        cols.extend_from_slice(&picked);
+        offsets.push(cols.len() as u32);
+    }
+    (offsets, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_in_seed() {
+        let a = corpus(0xC0FFEE);
+        let b = corpus(0xC0FFEE);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            // Bitwise feature comparison: the nan-features case would fail
+            // a float compare (NaN != NaN) despite identical payloads.
+            let xb: Vec<u32> = x.features.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u32> = y.features.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "case `{}` differs between runs", x.name);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_both_expectations() {
+        let c = corpus(1);
+        assert!(c.iter().filter(|k| k.expect_valid).count() >= 5);
+        assert!(c.iter().filter(|k| !k.expect_valid).count() >= 8);
+        let mut names: Vec<_> = c.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len(), "case names must be unique");
+    }
+
+    #[test]
+    fn every_case_resolves_or_rejects_as_expected() {
+        for case in corpus(42) {
+            match case.resolve() {
+                Ok(g) => {
+                    assert!(case.expect_valid, "malformed case `{}` accepted", case.name);
+                    assert_eq!(g.features.len(), g.csr.num_rows() * g.f);
+                    assert_eq!(g.coo.nnz(), g.csr.nnz());
+                }
+                Err(e) => {
+                    assert!(
+                        !case.expect_valid,
+                        "valid case `{}` rejected: {e}",
+                        case.name
+                    );
+                }
+            }
+        }
+    }
+}

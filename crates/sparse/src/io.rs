@@ -6,22 +6,42 @@
 //! expanded to both triangles as the paper's undirected treatment requires.
 
 use crate::formats::{Coo, EdgeList, VertexId};
+use gnnone_sim::GnnOneError;
 use std::io::{BufRead, Write};
 
-/// Errors from Matrix Market parsing.
+/// Errors from Matrix Market parsing. Parse failures carry the 1-based line
+/// number and the offending field so a bad download is diagnosable without
+/// opening the file.
 #[derive(Debug)]
 pub enum MtxError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem with the file.
-    Parse(String),
+    /// Structural problem with the file at `line` (1-based; 0 when the
+    /// problem is not tied to a single line, e.g. a missing size header).
+    Parse {
+        /// 1-based line number of the offending record.
+        line: u64,
+        /// What went wrong, naming the offending field.
+        detail: String,
+    },
+}
+
+impl MtxError {
+    fn parse(line: u64, detail: impl Into<String>) -> Self {
+        MtxError::Parse {
+            line,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for MtxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MtxError::Io(e) => write!(f, "mtx io error: {e}"),
-            MtxError::Parse(m) => write!(f, "mtx parse error: {m}"),
+            MtxError::Parse { line, detail } => {
+                write!(f, "mtx parse error at line {line}: {detail}")
+            }
         }
     }
 }
@@ -34,17 +54,38 @@ impl From<std::io::Error> for MtxError {
     }
 }
 
+/// Attaches a source name (path or stream label) to an [`MtxError`],
+/// producing the workspace-wide [`GnnOneError`].
+pub fn with_source(err: MtxError, source: &str) -> GnnOneError {
+    match err {
+        MtxError::Io(e) => GnnOneError::Io {
+            path: source.to_string(),
+            detail: e.to_string(),
+        },
+        MtxError::Parse { line, detail } => GnnOneError::Parse {
+            source: source.to_string(),
+            line,
+            detail,
+        },
+    }
+}
+
 /// Reads a `matrix coordinate {pattern|real|integer} {general|symmetric}`
 /// Matrix Market stream into an edge list (values are discarded — sparse
 /// kernel topology only). Indices are converted from 1-based to 0-based.
 pub fn read_mtx(reader: impl BufRead) -> Result<EdgeList, MtxError> {
+    let mut lineno: u64 = 0;
     let mut lines = reader.lines();
     let header = lines
         .next()
-        .ok_or_else(|| MtxError::Parse("empty file".into()))??;
+        .ok_or_else(|| MtxError::parse(0, "empty file"))??;
+    lineno += 1;
     let head = header.to_ascii_lowercase();
     if !head.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(MtxError::Parse(format!("unsupported header: {header}")));
+        return Err(MtxError::parse(
+            lineno,
+            format!("unsupported header: {header}"),
+        ));
     }
     let symmetric = head.contains("symmetric");
 
@@ -52,38 +93,65 @@ pub fn read_mtx(reader: impl BufRead) -> Result<EdgeList, MtxError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     for line in lines {
         let line = line?;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_ascii_whitespace();
         if dims.is_none() {
-            let r: usize = parse(it.next(), "rows")?;
-            let c: usize = parse(it.next(), "cols")?;
-            let nnz: usize = parse(it.next(), "nnz")?;
+            let r: usize = parse(it.next(), lineno, "rows")?;
+            let c: usize = parse(it.next(), lineno, "cols")?;
+            let nnz: usize = parse(it.next(), lineno, "nnz")?;
             dims = Some((r, c, nnz));
             edges.reserve(if symmetric { nnz * 2 } else { nnz });
             continue;
         }
-        let r: usize = parse(it.next(), "row index")?;
-        let c: usize = parse(it.next(), "col index")?;
+        let r: usize = parse(it.next(), lineno, "row index")?;
+        let c: usize = parse(it.next(), lineno, "col index")?;
         let (dims_r, dims_c, _) = dims.expect("dims parsed before entries");
         if r == 0 || c == 0 || r > dims_r || c > dims_c {
-            return Err(MtxError::Parse(format!("index ({r},{c}) out of bounds")));
+            return Err(MtxError::parse(
+                lineno,
+                format!("index ({r},{c}) out of bounds for {dims_r}x{dims_c}"),
+            ));
         }
         edges.push(((r - 1) as VertexId, (c - 1) as VertexId));
         if symmetric && r != c {
             edges.push(((c - 1) as VertexId, (r - 1) as VertexId));
         }
     }
-    let (r, c, _) = dims.ok_or_else(|| MtxError::Parse("missing size line".into()))?;
-    Ok(EdgeList::new(r.max(c), edges))
+    let (r, c, declared_nnz) = dims.ok_or_else(|| MtxError::parse(lineno, "missing size line"))?;
+    // Symmetric expansion makes an exact nnz check ambiguous (diagonal
+    // entries expand to one edge, off-diagonal to two), so only the
+    // non-symmetric case is held to the declared count.
+    let parsed = edges.len();
+    if !symmetric && parsed != declared_nnz {
+        return Err(MtxError::parse(
+            lineno,
+            format!("size line declared {declared_nnz} entries but file has {parsed}"),
+        ));
+    }
+    EdgeList::try_new(r.max(c), edges)
+        .map_err(|e| MtxError::parse(lineno, format!("invalid edge list: {}", e.detail)))
 }
 
-fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, MtxError> {
-    tok.ok_or_else(|| MtxError::Parse(format!("missing {what}")))?
-        .parse()
-        .map_err(|_| MtxError::Parse(format!("bad {what}")))
+/// Reads a Matrix Market file from `path`, attaching the path to any
+/// failure as a [`GnnOneError`].
+pub fn read_mtx_path(path: impl AsRef<std::path::Path>) -> Result<EdgeList, GnnOneError> {
+    let path = path.as_ref();
+    let source = path.display().to_string();
+    let file = std::fs::File::open(path).map_err(|e| GnnOneError::Io {
+        path: source.clone(),
+        detail: e.to_string(),
+    })?;
+    read_mtx(std::io::BufReader::new(file)).map_err(|e| with_source(e, &source))
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, line: u64, what: &str) -> Result<T, MtxError> {
+    let tok = tok.ok_or_else(|| MtxError::parse(line, format!("missing {what}")))?;
+    tok.parse()
+        .map_err(|_| MtxError::parse(line, format!("bad {what}: `{tok}`")))
 }
 
 /// Writes a COO as `matrix coordinate pattern general`.
@@ -150,5 +218,59 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n";
         let el = read_mtx(Cursor::new(text)).unwrap();
         assert_eq!(el.edges[0], (1, 0));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_field() {
+        // Bad col index on the 4th line (header, size, good entry, bad entry).
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 x\n";
+        match read_mtx(Cursor::new(text)).unwrap_err() {
+            MtxError::Parse { line, detail } => {
+                assert_eq!(line, 4);
+                assert!(detail.contains("col index"), "{detail}");
+                assert!(detail.contains('x'), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_entry_count_rejected() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n2 3\n";
+        match read_mtx(Cursor::new(text)).unwrap_err() {
+            MtxError::Parse { detail, .. } => {
+                assert!(detail.contains("declared 5"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_reader_attaches_source_context() {
+        let err = read_mtx_path("/nonexistent/graph.mtx").unwrap_err();
+        match &err {
+            gnnone_sim::GnnOneError::Io { path, .. } => {
+                assert!(path.contains("graph.mtx"), "{path}");
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "io");
+    }
+
+    #[test]
+    fn with_source_maps_parse_line() {
+        let e = with_source(MtxError::parse(7, "bad nnz: `q`"), "g.mtx");
+        match e {
+            gnnone_sim::GnnOneError::Parse {
+                source,
+                line,
+                detail,
+            } => {
+                assert_eq!(source, "g.mtx");
+                assert_eq!(line, 7);
+                assert!(detail.contains("nnz"));
+            }
+            other => panic!("expected parse, got {other:?}"),
+        }
     }
 }

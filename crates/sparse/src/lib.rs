@@ -22,6 +22,10 @@
 //!   dropped in where available.
 //! * [`stats`] — degree-distribution summaries (Gini, skew) characterizing
 //!   the workload-imbalance risk each kernel strategy faces.
+//! * [`validate`] — structural invariant checks (monotone CSR offsets,
+//!   in-range strictly-increasing column IDs, finite features) run at load
+//!   and after every format conversion; failures are typed
+//!   [`gnnone_sim::ValidationError`]s rather than panics.
 
 pub mod custom;
 pub mod datasets;
@@ -30,6 +34,7 @@ pub mod gen;
 pub mod io;
 pub mod reference;
 pub mod stats;
+pub mod validate;
 
 pub use datasets::{Dataset, DatasetSpec, Scale};
-pub use formats::{Coo, Csr, EdgeList, VertexId};
+pub use formats::{Coo, Csr, CsrRows, EdgeList, VertexId};

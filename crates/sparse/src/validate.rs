@@ -1,0 +1,339 @@
+//! Structural validation for sparse formats and feature tensors.
+//!
+//! Every loader and format conversion in the workspace funnels through these
+//! checks so malformed graphs surface as typed [`ValidationError`]s instead
+//! of panics (or worse, silent out-of-bounds launches on the simulator).
+//! The invariants enforced here are exactly the ones the GNNOne kernels
+//! assume:
+//!
+//! * CSR offsets are monotone non-decreasing, start at 0, and the final
+//!   offset equals `nnz`.
+//! * Column IDs are in `[0, num_cols)` and strictly increasing within a row
+//!   (strictness rejects duplicate edges, which would double-count in SpMM).
+//! * COO is stored in strict CSR order, matching the cuSPARSE convention the
+//!   paper standardizes on.
+//! * Feature matrices are finite (no NaN/Inf poisoning reductions) and have
+//!   a usable width `0 < f <= MAX_FEATURE_DIM`.
+
+use crate::formats::{Coo, Csr, CsrRows, EdgeList, VertexId};
+use gnnone_sim::ValidationError;
+
+/// Upper bound on the feature dimension `f` accepted by validation. Wide
+/// enough for every configuration in the paper (max 512) with head-room, but
+/// small enough to catch corrupted widths before they drive an allocation.
+pub const MAX_FEATURE_DIM: usize = 65_536;
+
+/// Validates raw edge-list parts: every endpoint in `[0, num_vertices)`.
+pub fn edge_list_parts(
+    num_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+) -> Result<(), ValidationError> {
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if (u as usize) >= num_vertices || (v as usize) >= num_vertices {
+            return Err(ValidationError::new(
+                "EdgeList",
+                "edges",
+                Some(i as u64),
+                format!("edge ({u},{v}) out of bounds for {num_vertices} vertices"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates raw COO parts: aligned lengths, in-range indices, and strict
+/// CSR ordering (row-major, strictly increasing columns within a row — so
+/// duplicate edges are rejected too).
+pub fn coo_parts(
+    num_rows: usize,
+    num_cols: usize,
+    rows: &[VertexId],
+    cols: &[VertexId],
+) -> Result<(), ValidationError> {
+    if rows.len() != cols.len() {
+        return Err(ValidationError::new(
+            "Coo",
+            "cols",
+            None,
+            format!(
+                "row/col arrays misaligned: {} rows vs {} cols",
+                rows.len(),
+                cols.len()
+            ),
+        ));
+    }
+    for i in 0..rows.len() {
+        let (r, c) = (rows[i], cols[i]);
+        if (r as usize) >= num_rows {
+            return Err(ValidationError::new(
+                "Coo",
+                "rows",
+                Some(i as u64),
+                format!("row {r} out of bounds for {num_rows} rows"),
+            ));
+        }
+        if (c as usize) >= num_cols {
+            return Err(ValidationError::new(
+                "Coo",
+                "cols",
+                Some(i as u64),
+                format!("col {c} out of bounds for {num_cols} columns"),
+            ));
+        }
+        if i > 0 {
+            let (pr, pc) = (rows[i - 1], cols[i - 1]);
+            if pr > r || (pr == r && pc >= c) {
+                return Err(ValidationError::new(
+                    "Coo",
+                    "rows",
+                    Some(i as u64),
+                    format!(
+                        "edges not strictly CSR-ordered at position {i}: \
+                         ({pr},{pc}) then ({r},{c})"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates raw CSR parts: offset-array shape, monotone offsets consistent
+/// with `nnz`, in-range column IDs strictly increasing within each row.
+pub fn csr_parts(
+    num_rows: usize,
+    num_cols: usize,
+    offsets: &[u32],
+    cols: &[VertexId],
+) -> Result<(), ValidationError> {
+    if offsets.len() != num_rows + 1 {
+        return Err(ValidationError::new(
+            "Csr",
+            "offsets",
+            None,
+            format!(
+                "offsets length {} does not match num_rows + 1 = {}",
+                offsets.len(),
+                num_rows + 1
+            ),
+        ));
+    }
+    if offsets[0] != 0 {
+        return Err(ValidationError::new(
+            "Csr",
+            "offsets",
+            Some(0),
+            format!("first offset is {}, expected 0", offsets[0]),
+        ));
+    }
+    for i in 1..offsets.len() {
+        if offsets[i] < offsets[i - 1] {
+            return Err(ValidationError::new(
+                "Csr",
+                "offsets",
+                Some(i as u64),
+                format!(
+                    "offsets not monotone: offsets[{}] = {} < offsets[{}] = {}",
+                    i,
+                    offsets[i],
+                    i - 1,
+                    offsets[i - 1]
+                ),
+            ));
+        }
+    }
+    let last = offsets[num_rows] as usize;
+    if last != cols.len() {
+        return Err(ValidationError::new(
+            "Csr",
+            "offsets",
+            Some(num_rows as u64),
+            format!(
+                "final offset {} does not match nnz = {} (truncated or padded cols)",
+                last,
+                cols.len()
+            ),
+        ));
+    }
+    for r in 0..num_rows {
+        let (lo, hi) = (offsets[r] as usize, offsets[r + 1] as usize);
+        for k in lo..hi {
+            let c = cols[k];
+            if (c as usize) >= num_cols {
+                return Err(ValidationError::new(
+                    "Csr",
+                    "cols",
+                    Some(k as u64),
+                    format!("col {c} out of bounds for {num_cols} columns in row {r}"),
+                ));
+            }
+            if k > lo && cols[k - 1] >= c {
+                return Err(ValidationError::new(
+                    "Csr",
+                    "cols",
+                    Some(k as u64),
+                    format!(
+                        "columns of row {r} not strictly increasing at nnz {k}: \
+                         {} then {c}",
+                        cols[k - 1]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a built [`EdgeList`] (re-checks the construction invariants —
+/// cheap insurance after deserialization or external construction).
+pub fn edge_list(el: &EdgeList) -> Result<(), ValidationError> {
+    edge_list_parts(el.num_vertices, &el.edges)
+}
+
+/// Validates a built [`Coo`].
+pub fn coo(m: &Coo) -> Result<(), ValidationError> {
+    coo_parts(m.num_rows(), m.num_cols(), m.rows(), m.cols())
+}
+
+/// Validates a built [`Csr`].
+pub fn csr(m: &Csr) -> Result<(), ValidationError> {
+    csr_parts(m.num_rows(), m.num_cols(), m.offsets(), m.cols())
+}
+
+/// Validates a built [`CsrRows`].
+pub fn csr_rows(m: &CsrRows) -> Result<(), ValidationError> {
+    for r in 0..m.num_rows() {
+        let adj = m.row(r);
+        for (k, &c) in adj.iter().enumerate() {
+            if (c as usize) >= m.num_cols() {
+                return Err(ValidationError::new(
+                    "CsrRows",
+                    "rows",
+                    Some(r as u64),
+                    format!("col {c} out of bounds for {} columns", m.num_cols()),
+                ));
+            }
+            if k > 0 && adj[k - 1] >= c {
+                return Err(ValidationError::new(
+                    "CsrRows",
+                    "rows",
+                    Some(r as u64),
+                    format!("columns of row {r} not strictly increasing at slot {k}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a feature dimension: `0 < f <= MAX_FEATURE_DIM`.
+pub fn feature_dim(f: usize) -> Result<(), ValidationError> {
+    if f == 0 {
+        return Err(ValidationError::new(
+            "Features",
+            "f",
+            None,
+            "feature dimension f = 0: kernels require at least one feature".to_string(),
+        ));
+    }
+    if f > MAX_FEATURE_DIM {
+        return Err(ValidationError::new(
+            "Features",
+            "f",
+            None,
+            format!("feature dimension f = {f} exceeds MAX_FEATURE_DIM = {MAX_FEATURE_DIM}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a dense feature matrix of logical shape `rows × f`: dimension
+/// bounds, exact length, and finiteness of every entry (NaN or Inf would
+/// silently poison every downstream reduction).
+pub fn features(data: &[f32], rows: usize, f: usize) -> Result<(), ValidationError> {
+    feature_dim(f)?;
+    let expect = rows.checked_mul(f).ok_or_else(|| {
+        ValidationError::new(
+            "Features",
+            "shape",
+            None,
+            format!("feature shape {rows} x {f} overflows usize"),
+        )
+    })?;
+    if data.len() != expect {
+        return Err(ValidationError::new(
+            "Features",
+            "data",
+            None,
+            format!(
+                "feature buffer length {} does not match {rows} x {f} = {expect}",
+                data.len()
+            ),
+        ));
+    }
+    for (i, &x) in data.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(ValidationError::new(
+                "Features",
+                "data",
+                Some(i as u64),
+                format!("non-finite feature value {x} at flat index {i}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coo_rejects_duplicate_edges() {
+        // Same (row, col) twice — strict ordering must refuse it.
+        let err = coo_parts(2, 2, &[0, 0], &[1, 1]).unwrap_err();
+        assert!(err.detail.contains("strictly CSR-ordered"), "{err}");
+        assert_eq!(err.index, Some(1));
+    }
+
+    #[test]
+    fn coo_rejects_misaligned_arrays() {
+        let err = coo_parts(2, 2, &[0, 1], &[1]).unwrap_err();
+        assert!(err.detail.contains("misaligned"), "{err}");
+    }
+
+    #[test]
+    fn csr_rejects_truncated_offsets() {
+        // offsets claims 3 nnz but cols only has 2.
+        let err = csr_parts(2, 4, &[0, 1, 3], &[1, 2][..].as_ref()).unwrap_err();
+        assert!(err.detail.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn csr_rejects_non_monotone_offsets() {
+        let err = csr_parts(2, 4, &[0, 3, 1], &[1, 2, 3]).unwrap_err();
+        assert!(err.detail.contains("monotone"), "{err}");
+        assert_eq!(err.field, "offsets");
+    }
+
+    #[test]
+    fn csr_rejects_oob_columns() {
+        let err = csr_parts(1, 2, &[0, 1], &[5]).unwrap_err();
+        assert!(err.detail.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn csr_accepts_empty_rows() {
+        csr_parts(3, 3, &[0, 0, 2, 2], &[0, 2]).unwrap();
+    }
+
+    #[test]
+    fn features_rejects_nan_inf_and_bad_shape() {
+        assert!(features(&[0.0, f32::NAN], 1, 2).is_err());
+        assert!(features(&[0.0, f32::INFINITY], 1, 2).is_err());
+        assert!(features(&[0.0], 1, 2).is_err());
+        assert!(feature_dim(0).is_err());
+        assert!(feature_dim(MAX_FEATURE_DIM + 1).is_err());
+        features(&[1.0, -2.0], 1, 2).unwrap();
+    }
+}

@@ -1,9 +1,11 @@
 //! Property-based tests of format conversions and custom-format builders.
 
 use gnnone_sparse::custom::{MergePath, NeighborGroups, RowSwizzle};
-use gnnone_sparse::formats::{Coo, Csr, EdgeList, VertexId};
+use gnnone_sparse::formats::{Coo, Csr, CsrRows, EdgeList, VertexId};
+use gnnone_sparse::gen::adversarial;
 use gnnone_sparse::io;
 use gnnone_sparse::reference;
+use gnnone_sparse::validate;
 use proptest::prelude::*;
 
 /// Strategy: a random directed graph as (num_vertices, edges).
@@ -144,5 +146,170 @@ proptest! {
         let rhs: f32 = x.iter().zip(&spmm).map(|(a, b)| a * b).sum();
         prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs().max(rhs.abs())),
             "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    /// Coo ↔ Csr ↔ CsrRows conversions round-trip and every intermediate
+    /// passes the strict validators.
+    #[test]
+    fn csr_rows_roundtrip((n, edges) in arb_graph()) {
+        check_csr_rows_roundtrip(n, edges);
+    }
+
+    /// The CSR validator is total on arbitrary raw parts — it never panics,
+    /// and `Csr::try_from_parts` accepts exactly what it accepts.
+    #[test]
+    fn csr_validator_total_on_raw_parts(
+        num_rows in 0usize..12,
+        num_cols in 0usize..12,
+        offsets in prop::collection::vec(0u32..24, 0..14),
+        cols in prop::collection::vec(0u32..16, 0..24),
+    ) {
+        check_csr_validator_agreement(num_rows, num_cols, offsets, cols);
+    }
+
+    /// The COO validator is total on arbitrary raw parts and agrees with
+    /// `Coo::try_from_sorted`.
+    #[test]
+    fn coo_validator_total_on_raw_parts(
+        num_rows in 0usize..12,
+        num_cols in 0usize..12,
+        rows in prop::collection::vec(0u32..16, 0..24),
+        cols in prop::collection::vec(0u32..16, 0..24),
+    ) {
+        check_coo_validator_agreement(num_rows, num_cols, rows, cols);
+    }
+
+    /// Every adversarial-corpus case — at any seed — either resolves to a
+    /// graph that passes all validators and survives the Coo↔Csr↔CsrRows
+    /// conversion cycle, or is rejected with a typed `ValidationError`;
+    /// it never panics and never crosses its expect-valid label.
+    #[test]
+    fn adversarial_corpus_resolves_or_rejects_typed(seed in any::<u64>()) {
+        check_adversarial_corpus(seed);
+    }
+}
+
+/// Shared body of `csr_rows_roundtrip`: asserts the conversion cycle is
+/// lossless and every intermediate representation validates.
+fn check_csr_rows_roundtrip(n: usize, edges: Vec<(VertexId, VertexId)>) {
+    let coo = Coo::from_edge_list(&EdgeList::new(n, edges));
+    let csr = Csr::from_coo(&coo);
+    assert!(validate::coo(&coo).is_ok());
+    assert!(validate::csr(&csr).is_ok());
+    let rows = csr.to_rows();
+    assert!(validate::csr_rows(&rows).is_ok());
+    assert_eq!(rows.to_csr(), csr);
+    assert_eq!(rows.to_coo(), coo);
+    assert_eq!(CsrRows::from_coo(&coo).to_coo(), coo);
+    assert_eq!(CsrRows::from_csr(&csr).to_csr(), csr);
+}
+
+/// Shared body of `csr_validator_total_on_raw_parts`.
+fn check_csr_validator_agreement(
+    num_rows: usize,
+    num_cols: usize,
+    offsets: Vec<u32>,
+    cols: Vec<VertexId>,
+) {
+    let verdict = validate::csr_parts(num_rows, num_cols, &offsets, &cols);
+    let built = Csr::try_from_parts(num_rows, num_cols, offsets, cols);
+    assert_eq!(verdict.is_ok(), built.is_ok());
+    if let Err(e) = built {
+        assert!(!e.to_string().is_empty());
+    }
+}
+
+/// Shared body of `coo_validator_total_on_raw_parts`.
+fn check_coo_validator_agreement(
+    num_rows: usize,
+    num_cols: usize,
+    rows: Vec<VertexId>,
+    cols: Vec<VertexId>,
+) {
+    let verdict = validate::coo_parts(num_rows, num_cols, &rows, &cols);
+    let built = Coo::try_from_sorted(num_rows, num_cols, rows, cols);
+    assert_eq!(verdict.is_ok(), built.is_ok());
+}
+
+/// Shared body of `adversarial_corpus_resolves_or_rejects_typed`.
+fn check_adversarial_corpus(seed: u64) {
+    for case in adversarial::corpus(seed) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case.resolve()));
+        let resolved = outcome.unwrap_or_else(|_| {
+            panic!(
+                "adversarial case `{}` panicked instead of returning a typed error",
+                case.name
+            )
+        });
+        match resolved {
+            Ok(g) => {
+                assert!(
+                    case.expect_valid,
+                    "malformed case `{}` was accepted by validation",
+                    case.name
+                );
+                assert!(validate::csr(&g.csr).is_ok());
+                assert!(validate::coo(&g.coo).is_ok());
+                assert!(validate::features(&g.features, g.csr.num_rows(), g.f).is_ok());
+                let rows = g.csr.to_rows();
+                assert!(validate::csr_rows(&rows).is_ok());
+                assert_eq!(rows.to_csr(), g.csr);
+                assert_eq!(g.coo, Csr::from_coo(&g.coo).to_coo());
+            }
+            Err(e) => {
+                assert!(
+                    !case.expect_valid,
+                    "valid case `{}` was rejected: {e}",
+                    case.name
+                );
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+/// Deterministic instantiations of the properties above — these run even
+/// where the real `proptest` crate is unavailable (the offline build stubs
+/// the `proptest!` macro out), so the robustness invariants always have
+/// executed coverage.
+mod deterministic {
+    use super::*;
+
+    #[test]
+    fn csr_rows_roundtrip_fixed_graphs() {
+        check_csr_rows_roundtrip(1, vec![]);
+        check_csr_rows_roundtrip(1, vec![(0, 0)]);
+        check_csr_rows_roundtrip(4, vec![(0, 1), (0, 3), (2, 0), (3, 3)]);
+        // Duplicates and unsorted input: from_edge_list sorts + dedups.
+        check_csr_rows_roundtrip(5, vec![(4, 0), (1, 2), (1, 2), (0, 4), (4, 0)]);
+    }
+
+    #[test]
+    fn csr_validator_agreement_fixed_parts() {
+        // Valid 3×3.
+        check_csr_validator_agreement(3, 3, vec![0, 1, 1, 3], vec![2, 0, 1]);
+        // Truncated offsets, non-monotone offsets, OOB column, dup column.
+        check_csr_validator_agreement(3, 3, vec![0, 1, 3], vec![2, 0, 1]);
+        check_csr_validator_agreement(3, 3, vec![0, 2, 1, 3], vec![2, 0, 1]);
+        check_csr_validator_agreement(3, 3, vec![0, 1, 1, 3], vec![2, 0, 9]);
+        check_csr_validator_agreement(3, 3, vec![0, 1, 1, 3], vec![2, 1, 1]);
+        check_csr_validator_agreement(0, 0, vec![], vec![]);
+    }
+
+    #[test]
+    fn coo_validator_agreement_fixed_parts() {
+        check_coo_validator_agreement(3, 3, vec![0, 0, 2], vec![1, 2, 0]);
+        // Misaligned, OOB, unsorted, duplicate.
+        check_coo_validator_agreement(3, 3, vec![0, 0], vec![1, 2, 0]);
+        check_coo_validator_agreement(3, 3, vec![0, 5, 2], vec![1, 2, 0]);
+        check_coo_validator_agreement(3, 3, vec![2, 0, 0], vec![0, 1, 2]);
+        check_coo_validator_agreement(3, 3, vec![0, 0, 2], vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn adversarial_corpus_fixed_seeds() {
+        for seed in [0u64, 1, 0xC0FFEE, u64::MAX] {
+            check_adversarial_corpus(seed);
+        }
     }
 }
