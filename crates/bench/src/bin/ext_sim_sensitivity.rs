@@ -26,7 +26,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let mut opts = cli::from_env();
+    let mut opts = cli::from_env()?;
     if opts.datasets.is_empty() {
         // A skewed, a uniform and a dense dataset.
         opts.datasets = vec!["G5".into(), "G10".into(), "G14".into()];

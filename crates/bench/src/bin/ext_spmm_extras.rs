@@ -17,7 +17,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let mut opts = cli::from_env();
+    let mut opts = cli::from_env()?;
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }

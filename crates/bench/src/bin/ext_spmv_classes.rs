@@ -14,7 +14,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let opts = cli::from_env();
+    let opts = cli::from_env()?;
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);

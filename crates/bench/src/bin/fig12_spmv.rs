@@ -21,7 +21,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), GnnOneError> {
-    let opts = cli::from_env();
+    let opts = cli::from_env()?;
     let gpu = Gpu::new(figure_gpu_spec());
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach(&gpu);

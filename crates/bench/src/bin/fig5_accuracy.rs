@@ -29,7 +29,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let mut opts = cli::from_env();
+    let mut opts = cli::from_env()?;
     if opts.datasets.is_empty() {
         opts.datasets = ["G0", "G1", "G2", "G12", "G14"]
             .iter()

@@ -24,7 +24,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let mut opts = cli::from_env();
+    let mut opts = cli::from_env()?;
     if opts.datasets.is_empty() {
         opts.datasets = ["G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15"]
             .iter()

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("trace") if args.len() == 2 => trace_summary(&args[1]),
         Some("sanitize") => sanitize_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
+        Some("chaos") => chaos_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
@@ -47,7 +48,8 @@ fn main() -> ExitCode {
         _ => {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
-                 trace <trace.json> | sanitize [flags] | fuzz [flags]"
+                 trace <trace.json> | sanitize [flags] | fuzz [flags] | \
+                 chaos [flags]"
                 .to_string())
         }
     };
@@ -68,7 +70,9 @@ fn usage() {
          gnnone-prof sanitize [--scale tiny|small|medium] [--dims 6,16] \
          [--datasets G0,G3] [--out report.json]\n  \
          gnnone-prof fuzz [--seed N|0xHEX] [--sanitize] [--datasets G0,G3] \
-         [--f 8] [--out report.json]"
+         [--f 8] [--out report.json]\n  \
+         gnnone-prof chaos [--seed N|0xHEX] [--datasets G0,G5] [--f 8] \
+         [--schedule-seeds 8] [--out report.json]"
     );
 }
 
@@ -151,8 +155,96 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn chaos_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_bench::chaos::{run_chaos, ChaosOpts};
+    use gnnone_sim::Verdict;
+
+    let mut opts = ChaosOpts::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_seed(&value("--seed")?)?,
+            "--datasets" => {
+                opts.dataset_ids = value("--datasets")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--f" => {
+                opts.f = value("--f")?
+                    .parse()
+                    .map_err(|_| "bad --f (expected a positive integer)".to_string())?;
+            }
+            "--schedule-seeds" => {
+                opts.schedule_seeds = value("--schedule-seeds")?.parse().map_err(|_| {
+                    "bad --schedule-seeds (expected a non-negative integer)".to_string()
+                })?;
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown chaos flag `{other}`")),
+        }
+    }
+
+    println!(
+        "chaos: fault seed {:#x}, datasets [{}], f {}, {} schedule seed(s)",
+        opts.seed,
+        opts.dataset_ids.join(", "),
+        opts.f,
+        opts.schedule_seeds
+    );
+    let report = run_chaos(&opts)?;
+    print!("{}", report.resilience_matrix());
+    println!(
+        "{} run(s): {} detected, {} aborted, {} declined, {} masked, \
+         {} not-injected, {} SILENT",
+        report.cells.len(),
+        report.verdict_count(Verdict::DetectedBySanitizer),
+        report.verdict_count(Verdict::AbortedByWatchdog),
+        report.verdict_count(Verdict::StructuredDecline),
+        report.verdict_count(Verdict::Masked),
+        report.verdict_count(Verdict::NotInjected),
+        report.verdict_count(Verdict::SilentDataCorruption),
+    );
+    let schedule_ok = report.schedule.iter().filter(|s| s.identical).count();
+    println!(
+        "schedule determinism: {}/{} kernels bit-identical across {} seeds",
+        schedule_ok,
+        report.schedule.len(),
+        report.schedule.first().map_or(0, |s| s.seeds_checked)
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if !report.clean() {
+        for c in report.silent_corruptions() {
+            eprintln!("  SDC {c}");
+        }
+        for s in report.schedule.iter().filter(|s| !s.identical) {
+            eprintln!(
+                "  NONDETERMINISTIC {} on {}: {}",
+                s.kernel, s.dataset, s.detail
+            );
+        }
+        return Err(format!(
+            "chaos sweep failed — reproduce with --seed {:#x}",
+            report.seed
+        ));
+    }
+    println!("chaos sweep clean — every injected fault detected, masked, or declined");
+    Ok(())
+}
+
 fn sanitize_cmd(args: &[String]) -> Result<(), String> {
-    let opts = gnnone_bench::cli::parse(args.iter().cloned());
+    let opts = gnnone_bench::cli::parse(args.iter().cloned()).map_err(|e| e.to_string())?;
     let specs = gnnone_bench::runner::try_selected_specs(&opts)?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut entries: Vec<Json> = Vec::new();

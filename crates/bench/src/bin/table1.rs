@@ -26,7 +26,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
-    let opts = cli::from_env();
+    let opts = cli::from_env()?;
     let prof = profiling::Profiler::from_opts(&opts);
     println!(
         "Table 1: datasets (paper scale → generated analogue at {:?})",

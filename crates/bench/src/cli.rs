@@ -1,6 +1,10 @@
 //! Minimal command-line parsing shared by the figure binaries (kept
-//! dependency-free on purpose — the binaries take four well-known flags).
+//! dependency-free on purpose — the binaries take a handful of well-known
+//! flags). Parsing is fallible: malformed flags come back as
+//! [`GnnOneError::Config`] so `figure_main` emits its one machine-parseable
+//! error line instead of a raw panic backtrace.
 
+use gnnone_sim::GnnOneError;
 use gnnone_sparse::datasets::Scale;
 
 /// Parsed common options.
@@ -29,6 +33,11 @@ pub struct Options {
     /// Sanitizer report output path (`--sanitize sanitize.json`); `None`
     /// leaves the sanitizer detached (the default, zero-cost path).
     pub sanitize: Option<String>,
+    /// Schedule-chaos seed (`--chaos 7`): every launch executes under a
+    /// seeded permutation of CTA and warp order. Outputs and reports must
+    /// be byte-identical to a detached run — that is the determinism
+    /// contract the flag exists to exercise. `None` leaves chaos detached.
+    pub chaos: Option<u64>,
 }
 
 impl Default for Options {
@@ -43,69 +52,93 @@ impl Default for Options {
             trace: None,
             metrics: None,
             sanitize: None,
+            chaos: None,
         }
     }
 }
 
+fn config_error(detail: impl Into<String>) -> GnnOneError {
+    GnnOneError::Config {
+        detail: detail.into(),
+    }
+}
+
 /// Parses `std::env::args`-style flags (everything after the binary name).
-///
-/// # Panics
-/// On malformed flag values — these binaries are developer tools and fail
-/// loudly.
-pub fn parse(args: impl Iterator<Item = String>) -> Options {
+/// Malformed values come back as [`GnnOneError::Config`] — never a panic.
+pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError> {
     let mut opts = Options::default();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
-        let mut take = |what: &str| -> String {
+        let mut take = |what: &str| -> Result<String, GnnOneError> {
             args.next()
-                .unwrap_or_else(|| panic!("missing value for {what}"))
+                .ok_or_else(|| config_error(format!("missing value for {what}")))
         };
         match arg.as_str() {
             "--scale" => {
-                opts.scale = match take("--scale").to_ascii_lowercase().as_str() {
+                let v = take("--scale")?;
+                opts.scale = match v.to_ascii_lowercase().as_str() {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "medium" => Scale::Medium,
-                    other => panic!("unknown scale {other} (tiny|small|medium)"),
+                    other => {
+                        return Err(config_error(format!(
+                            "unknown scale `{other}` (tiny|small|medium)"
+                        )))
+                    }
                 }
             }
             "--dims" => {
-                opts.dims = take("--dims")
+                let v = take("--dims")?;
+                opts.dims = v
                     .split(',')
-                    .map(|d| d.trim().parse().expect("dims must be integers"))
-                    .collect();
+                    .map(|d| {
+                        d.trim().parse().map_err(|_| {
+                            config_error(format!("--dims expects integers, got `{d}`"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "--datasets" => {
-                opts.datasets = take("--datasets")
+                opts.datasets = take("--datasets")?
                     .split(',')
                     .map(|s| s.trim().to_string())
                     .collect();
             }
             "--epochs" => {
-                opts.epochs = take("--epochs").parse().expect("epochs must be an integer");
+                let v = take("--epochs")?;
+                opts.epochs = v
+                    .parse()
+                    .map_err(|_| config_error(format!("--epochs expects an integer, got `{v}`")))?;
             }
-            "--out" => opts.out = Some(take("--out")),
-            "--plain-out" => opts.plain_out = Some(take("--plain-out")),
-            "--trace" => opts.trace = Some(take("--trace")),
-            "--metrics" => opts.metrics = Some(take("--metrics")),
-            "--sanitize" => opts.sanitize = Some(take("--sanitize")),
+            "--chaos" => {
+                let v = take("--chaos")?;
+                opts.chaos = Some(v.parse().map_err(|_| {
+                    config_error(format!("--chaos expects an integer seed, got `{v}`"))
+                })?);
+            }
+            "--out" => opts.out = Some(take("--out")?),
+            "--plain-out" => opts.plain_out = Some(take("--plain-out")?),
+            "--trace" => opts.trace = Some(take("--trace")?),
+            "--metrics" => opts.metrics = Some(take("--metrics")?),
+            "--sanitize" => opts.sanitize = Some(take("--sanitize")?),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
                      --datasets G0,G3  --epochs N  --out results/fig.json  \
                      --plain-out golden.json  --trace trace.json  \
-                     --metrics metrics.json  --sanitize sanitize.json"
+                     --metrics metrics.json  --sanitize sanitize.json  \
+                     --chaos SEED"
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown flag {other} (see --help)"),
+            other => return Err(config_error(format!("unknown flag {other} (see --help)"))),
         }
     }
-    opts
+    Ok(opts)
 }
 
 /// Parses the process arguments (skipping the binary name).
-pub fn from_env() -> Options {
+pub fn from_env() -> Result<Options, GnnOneError> {
     parse(std::env::args().skip(1))
 }
 
@@ -119,7 +152,7 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let o = parse(argv(""));
+        let o = parse(argv("")).unwrap();
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.dims, vec![6, 16, 32, 64]);
         assert!(o.datasets.is_empty());
@@ -127,14 +160,17 @@ mod tests {
         assert!(o.trace.is_none());
         assert!(o.metrics.is_none());
         assert!(o.sanitize.is_none());
+        assert!(o.chaos.is_none());
     }
 
     #[test]
     fn full_flags() {
         let o = parse(argv(
             "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json \
-             --plain-out p.json --trace t.json --metrics m.json --sanitize s.json",
-        ));
+             --plain-out p.json --trace t.json --metrics m.json --sanitize s.json \
+             --chaos 99",
+        ))
+        .unwrap();
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.dims, vec![16, 32]);
         assert_eq!(o.datasets, vec!["G0", "G3"]);
@@ -144,17 +180,45 @@ mod tests {
         assert_eq!(o.trace.as_deref(), Some("t.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
         assert_eq!(o.sanitize.as_deref(), Some("s.json"));
+        assert_eq!(o.chaos, Some(99));
+    }
+
+    fn expect_config(r: Result<Options, GnnOneError>, needle: &str) {
+        match r {
+            Err(GnnOneError::Config { detail }) => {
+                assert!(detail.contains(needle), "{detail}");
+            }
+            other => panic!("expected config error mentioning `{needle}`, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "unknown scale")]
-    fn bad_scale_panics() {
-        parse(argv("--scale huge"));
+    fn bad_scale_is_config_error() {
+        expect_config(parse(argv("--scale huge")), "unknown scale");
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        parse(argv("--frobnicate"));
+    fn unknown_flag_is_config_error() {
+        expect_config(parse(argv("--frobnicate")), "unknown flag");
+    }
+
+    #[test]
+    fn malformed_dims_is_config_error() {
+        expect_config(parse(argv("--dims 16,teapot,64")), "--dims");
+    }
+
+    #[test]
+    fn malformed_epochs_is_config_error() {
+        expect_config(parse(argv("--epochs many")), "--epochs");
+    }
+
+    #[test]
+    fn malformed_chaos_seed_is_config_error() {
+        expect_config(parse(argv("--chaos lucky")), "--chaos");
+    }
+
+    #[test]
+    fn missing_value_is_config_error() {
+        expect_config(parse(argv("--dims")), "missing value");
     }
 }

@@ -21,6 +21,7 @@
 //! from the paper's. This keeps the device in the saturated regime the
 //! paper's 100M-edge graphs put the real A100 in. See DESIGN.md.
 
+pub mod chaos;
 pub mod cli;
 pub mod fuzz;
 pub mod profiling;

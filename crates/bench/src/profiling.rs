@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use gnnone_gnn::systems::GnnContext;
 use gnnone_sim::{
-    Gpu, GpuSpec, MetricsRegistry, SanitizeConfig, Sanitizer, TraceConfig, TraceSession,
+    ChaosConfig, ChaosEngine, Gpu, GpuSpec, MetricsRegistry, SanitizeConfig, Sanitizer,
+    TraceConfig, TraceSession,
 };
 
 use crate::cli::Options;
@@ -27,6 +28,7 @@ pub struct Profiler {
     session: Option<Arc<TraceSession>>,
     registry: Option<Arc<MetricsRegistry>>,
     sanitizer: Option<Arc<Sanitizer>>,
+    chaos: Option<Arc<ChaosEngine>>,
 }
 
 impl Profiler {
@@ -49,6 +51,12 @@ impl Profiler {
             .sanitize
             .as_ref()
             .map(|_| Arc::new(Sanitizer::new(SanitizeConfig::on())));
+        // `--chaos SEED` is schedule-chaos only: launches execute under a
+        // seeded CTA/warp permutation, with no fault injected, so every
+        // table and report must stay byte-identical to a detached run.
+        let chaos = opts
+            .chaos
+            .map(|seed| Arc::new(ChaosEngine::new(ChaosConfig::schedule(seed))));
         Profiler {
             trace_path: opts.trace.clone(),
             metrics_path: opts.metrics.clone(),
@@ -56,6 +64,7 @@ impl Profiler {
             session,
             registry,
             sanitizer,
+            chaos,
         }
     }
 
@@ -64,9 +73,12 @@ impl Profiler {
         Self::new(opts, &crate::figure_gpu_spec())
     }
 
-    /// True when the run records anything.
+    /// True when the run records anything or perturbs the schedule.
     pub fn enabled(&self) -> bool {
-        self.session.is_some() || self.registry.is_some() || self.sanitizer.is_some()
+        self.session.is_some()
+            || self.registry.is_some()
+            || self.sanitizer.is_some()
+            || self.chaos.is_some()
     }
 
     /// The shared trace session, if `--trace` was given.
@@ -84,6 +96,11 @@ impl Profiler {
         self.sanitizer.as_ref()
     }
 
+    /// The shared schedule-chaos engine, if `--chaos` was given.
+    pub fn chaos(&self) -> Option<&Arc<ChaosEngine>> {
+        self.chaos.as_ref()
+    }
+
     /// Attaches the profiler to a device. All launches on `gpu` (and its
     /// clones) are then recorded. Safe to call on any number of devices —
     /// they share one timeline and one registry.
@@ -97,10 +114,15 @@ impl Profiler {
         if let Some(sanitizer) = &self.sanitizer {
             gpu.attach_sanitizer(Arc::clone(sanitizer));
         }
+        if let Some(chaos) = &self.chaos {
+            gpu.attach_chaos(Arc::clone(chaos));
+        }
     }
 
     /// Attaches the profiler to a training context: the device for sparse
-    /// kernels plus the training clock for dense-op spans.
+    /// kernels plus the training clock for dense-op spans. Schedule chaos
+    /// is a device-level concern and is attached through
+    /// [`Profiler::attach`] only.
     pub fn attach_ctx(&self, ctx: &GnnContext) {
         if let Some(session) = &self.session {
             ctx.attach_trace(Arc::clone(session));
@@ -202,6 +224,26 @@ mod tests {
         let san = p.sanitizer().unwrap();
         assert_eq!(san.launches().len(), 2);
         assert!(san.is_clean());
+    }
+
+    #[test]
+    fn chaos_flag_attaches_schedule_chaos_without_changing_output() {
+        let opts = Options {
+            chaos: Some(7),
+            ..Default::default()
+        };
+        let p = Profiler::new(&opts, &GpuSpec::tiny());
+        assert!(p.enabled());
+        let chaotic = Gpu::new(GpuSpec::tiny());
+        p.attach(&chaotic);
+        assert!(chaotic.chaos().is_some());
+        let plain = Gpu::new(GpuSpec::tiny());
+        let a = DeviceBuffer::<f32>::from_slice(&[1.0; 128]);
+        let b = DeviceBuffer::<f32>::from_slice(&[1.0; 128]);
+        let ra = chaotic.launch(&Touch(&a));
+        let rb = plain.launch(&Touch(&b));
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_eq!(ra.cycles, rb.cycles, "permuted schedule changed the clock");
     }
 
     #[test]

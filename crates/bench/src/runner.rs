@@ -2,10 +2,11 @@
 //!
 //! The guarded entry points ([`SweepGuard`] and the `run_*_guarded`
 //! functions) give every (kernel, dataset) cell crash isolation: a panic or
-//! watchdog abort in one cell is caught, retried once (aborts can be
-//! transient under a tight budget), annotated with a CPU-reference fallback
-//! where one exists, and quarantined — the figure completes and reports the
-//! failure instead of dying mid-table. Expected structural failures (OOM,
+//! watchdog abort in one cell is caught, retried under a bounded
+//! deterministic policy (aborts can be transient under a tight budget),
+//! annotated with a CPU-reference fallback where one exists, and
+//! quarantined with its attempt count — the figure completes and reports
+//! the failure instead of dying mid-table. Expected structural failures (OOM,
 //! grid overflow) are *not* quarantined: those are results the paper itself
 //! reports, and their cells are unchanged.
 
@@ -168,30 +169,37 @@ fn short_error(e: &gnnone_sim::engine::LaunchError) -> String {
     }
 }
 
-/// One quarantined sweep cell: the failure survived a retry (or was a
-/// panic) and was isolated instead of killing the figure run.
+/// One quarantined sweep cell: the failure survived every bounded retry
+/// (or was a panic) and was isolated instead of killing the figure run.
 #[derive(Debug)]
 pub struct Quarantine {
     /// Kernel (system) name of the failed cell.
     pub kernel: String,
     /// Dataset ID of the failed cell.
     pub dataset: String,
-    /// The structured failure.
+    /// The structured failure (from the final attempt).
     pub error: GnnOneError,
-    /// Whether the cell was retried before being quarantined.
-    pub retried: bool,
+    /// Total attempts made before quarantining (≥ 1); the cell was retried
+    /// when this exceeds 1.
+    pub attempts: u32,
     /// Note from the CPU-reference fallback, when one was available —
     /// proof the figure's data could still be produced without the kernel.
     pub fallback: Option<String>,
 }
 
 impl Quarantine {
+    /// Whether the cell was retried before being quarantined.
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
+
     /// Serializes for machine consumption (fuzz findings, CI logs).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("kernel", Json::Str(self.kernel.clone())),
             ("dataset", Json::Str(self.dataset.clone())),
-            ("retried", Json::Bool(self.retried)),
+            ("attempts", Json::U64(self.attempts as u64)),
+            ("retried", Json::Bool(self.retried())),
             (
                 "fallback",
                 match &self.fallback {
@@ -213,7 +221,11 @@ impl std::fmt::Display for Quarantine {
             self.dataset,
             self.error.kind(),
             self.error,
-            if self.retried { " (after retry)" } else { "" },
+            if self.retried() {
+                format!(" (after {} attempts)", self.attempts)
+            } else {
+                String::new()
+            },
             match &self.fallback {
                 Some(s) => format!("; fallback: {s}"),
                 None => String::new(),
@@ -224,25 +236,54 @@ impl std::fmt::Display for Quarantine {
 
 /// Collects quarantined cells across a figure sweep so binaries can finish
 /// the table, then print (and exit non-zero on) what failed.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SweepGuard {
     quarantined: Vec<Quarantine>,
+    max_attempts: u32,
+    backoff_base_ms: u64,
+}
+
+impl Default for SweepGuard {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SweepGuard {
-    /// Creates an empty guard.
+    /// Default retry bound: panics/aborts get up to three attempts per
+    /// cell before quarantine (one initial run + two retries).
+    pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+    /// Creates a guard with the default policy (three attempts, no
+    /// backoff sleep — the simulator has no external contention to wait
+    /// out, so the default keeps sweeps fast and fully deterministic).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_policy(Self::DEFAULT_MAX_ATTEMPTS, 0)
     }
 
-    /// Runs one cell attempt with panic isolation and retry-once-on-abort
-    /// semantics. `attempt` returns simulated milliseconds or a
-    /// [`LaunchError`]; `fallback` (if given) runs only when the cell is
-    /// quarantined, and its note is stored alongside the failure.
+    /// Creates a guard with an explicit retry policy: up to
+    /// `max_attempts` runs per cell (clamped to ≥ 1) with a deterministic
+    /// exponential backoff of `backoff_base_ms << (attempt - 1)`
+    /// milliseconds before each retry. The schedule depends only on the
+    /// attempt number, so a quarantined record reproduces exactly.
+    pub fn with_policy(max_attempts: u32, backoff_base_ms: u64) -> Self {
+        Self {
+            quarantined: Vec::new(),
+            max_attempts: max_attempts.max(1),
+            backoff_base_ms,
+        }
+    }
+
+    /// Runs one cell attempt with panic isolation and bounded retry.
+    /// `attempt` returns simulated milliseconds or a [`LaunchError`];
+    /// `fallback` (if given) runs only when the cell is quarantined, and
+    /// its note is stored alongside the failure.
     ///
     /// Failure routing:
-    /// * panic or [`LaunchError::Aborted`] → retry once, then quarantine
-    ///   with tag `PANIC` / `ABORT`;
+    /// * panic or [`LaunchError::Aborted`] → retry up to the policy's
+    ///   attempt bound (deterministic exponential backoff between
+    ///   attempts), then quarantine with tag `PANIC` / `ABORT` and the
+    ///   attempt count in the [`Quarantine`] record;
     /// * any other [`LaunchError`] → plain `Err` cell exactly as the
     ///   unguarded runners produce (expected, paper-reported failures).
     pub fn guard_cell<A, F>(
@@ -256,8 +297,9 @@ impl SweepGuard {
         A: FnMut() -> Result<f64, LaunchError>,
         F: FnOnce() -> String,
     {
-        let mut retried = false;
+        let mut attempts = 0u32;
         loop {
+            attempts += 1;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut attempt));
             let (error, tag) = match outcome {
                 Ok(Ok(ms)) => return Cell::Ms(ms),
@@ -271,8 +313,11 @@ impl SweepGuard {
                     "PANIC",
                 ),
             };
-            if !retried {
-                retried = true;
+            if attempts < self.max_attempts {
+                let backoff_ms = self.backoff_base_ms << (attempts - 1);
+                if backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                }
                 continue;
             }
             let fallback = fallback.map(|f| f());
@@ -280,7 +325,7 @@ impl SweepGuard {
                 kernel: kernel.to_string(),
                 dataset: dataset.to_string(),
                 error,
-                retried,
+                attempts,
                 fallback,
             });
             return Cell::Err(tag.to_string());
@@ -489,11 +534,57 @@ mod tests {
         );
         assert_eq!(cell, Cell::Err("PANIC".into()));
         let q = &guard.quarantined()[0];
-        assert!(q.retried);
+        assert_eq!(q.attempts, SweepGuard::DEFAULT_MAX_ATTEMPTS);
+        assert!(q.retried());
         assert_eq!(q.fallback.as_deref(), Some("cpu ok"));
         assert_eq!(q.error.kind(), "panic");
         assert!(q.to_string().contains("boom"), "{q}");
+        assert!(q.to_string().contains("after 3 attempts"), "{q}");
+        let j = q.to_json().to_string_compact();
+        assert!(j.contains("\"attempts\":3"), "{j}");
         assert!(guard.report());
+    }
+
+    #[test]
+    fn guard_policy_bounds_attempts() {
+        // A cell that always aborts burns exactly `max_attempts` tries.
+        use gnnone_sim::{AbortReason, KernelAbort};
+        let mut guard = SweepGuard::with_policy(5, 0);
+        let mut calls = 0u32;
+        let cell = guard.guard_cell(
+            "K",
+            "G1",
+            || {
+                calls += 1;
+                Err(LaunchError::Aborted(KernelAbort {
+                    kernel: "K".into(),
+                    warp_id: 0,
+                    ops: 100,
+                    budget: 10,
+                    reason: AbortReason::Watchdog,
+                }))
+            },
+            None::<fn() -> String>,
+        );
+        assert_eq!(cell, Cell::Err("ABORT".into()));
+        assert_eq!(calls, 5);
+        assert_eq!(guard.quarantined()[0].attempts, 5);
+    }
+
+    #[test]
+    fn guard_single_attempt_policy_never_retries() {
+        let mut guard = SweepGuard::with_policy(1, 0);
+        let cell = guard.guard_cell(
+            "K",
+            "G0",
+            || -> Result<f64, LaunchError> { panic!("boom") },
+            None::<fn() -> String>,
+        );
+        assert_eq!(cell, Cell::Err("PANIC".into()));
+        let q = &guard.quarantined()[0];
+        assert_eq!(q.attempts, 1);
+        assert!(!q.retried());
+        assert!(!q.to_string().contains("attempts"), "{q}");
     }
 
     #[test]

@@ -660,9 +660,9 @@ mod tests {
 
     #[test]
     fn shared_words_match_paper_layouts() {
-        let rows = DeviceBuffer::from_slice(&vec![0u32; 32]);
-        let cols = DeviceBuffer::from_slice(&vec![0u32; 32]);
-        let vals = DeviceBuffer::from_slice(&vec![0.0f32; 32]);
+        let rows = DeviceBuffer::from_slice(&[0u32; 32]);
+        let cols = DeviceBuffer::from_slice(&[0u32; 32]);
+        let vals = DeviceBuffer::from_slice(&[0.0f32; 32]);
         let cfg = GnnOneConfig::default();
         // SDDMM stages ids only (8 B/NZE), SpMM adds edge values (12 B/NZE).
         let coo = CooNzes::new(&rows, &cols, 32);
@@ -673,7 +673,7 @@ mod tests {
         let no_reuse = GnnOneConfig::ablation_baseline();
         assert_eq!(coo.shared_words_per_warp(&no_reuse, false), 0);
         // CSR: cols + vals + the offsets ring, regardless of data_reuse.
-        let offsets = DeviceBuffer::from_slice(&vec![0u32; 33]);
+        let offsets = DeviceBuffer::from_slice(&[0u32; 33]);
         let csr = CsrNzes::new(&offsets, &cols, &vals, 32, 32);
         assert_eq!(csr.shared_words_per_warp(&cfg, true), 128 * 3 + 2);
     }

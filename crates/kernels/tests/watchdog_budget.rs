@@ -1,0 +1,96 @@
+//! Watchdog budget edge cases: degenerate launches — zero-edge graphs,
+//! `f = 1` features, single-warp grids — must still receive a nonzero
+//! instruction budget, and the default (armed) watchdog must never abort a
+//! healthy kernel on them.
+//!
+//! The derived budget formula clamps to [`LaunchSpec::MIN_DERIVED_OPS`]
+//! from below precisely so that tiny grids keep room for skewed work; these
+//! tests pin that behaviour at the kernel-registry level, where a
+//! regression would surface as a spurious `AbortReason::Watchdog` on a
+//! legitimate launch.
+
+use std::sync::Arc;
+
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::sanitize::sweep_graph;
+use gnnone_sim::{Gpu, GpuSpec, LaunchSpec};
+use gnnone_sparse::formats::{Coo, EdgeList};
+use gnnone_sparse::gen;
+
+/// Sweeps the whole registry over `coo` at feature length `f` with the
+/// default launch policy (watchdog armed, derived budget) and asserts no
+/// kernel was stopped by the watchdog. Kernels may still *decline* a
+/// degenerate shape with a structured error — that is a skip, not an abort.
+fn assert_no_spurious_aborts(coo: Coo, f: usize) {
+    let g = Arc::new(GraphData::new(coo));
+    let gpu = Gpu::new(GpuSpec::tiny());
+    let sweeps = sweep_graph(&gpu, &g, f);
+    assert!(sweeps.len() >= 12, "only {} kernels swept", sweeps.len());
+    for s in &sweeps {
+        if let Some(reason) = &s.skipped {
+            assert!(
+                !reason.to_lowercase().contains("watchdog"),
+                "{} ({}) spuriously aborted by the watchdog: {reason}",
+                s.name,
+                s.op
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_grids_still_get_a_nonzero_budget() {
+    let spec = LaunchSpec::default();
+    // A zero-warp grid (e.g. a zero-edge launch rounded down) and a
+    // single-warp grid both land on the floor, never zero.
+    assert_eq!(spec.budget(0), LaunchSpec::MIN_DERIVED_OPS);
+    assert_eq!(spec.budget(1), LaunchSpec::MIN_DERIVED_OPS);
+    assert!(spec.budget(1) > 0);
+    // The floor is generous enough for every shipped kernel's per-warp
+    // share plus full-grid skew (see LaunchSpec docs).
+    const { assert!(LaunchSpec::MIN_DERIVED_OPS >= LaunchSpec::OPS_PER_GRID_WARP) };
+}
+
+#[test]
+fn zero_edge_graph_does_not_trip_the_watchdog() {
+    // |V| = 16, |E| = 0: edge-parallel kernels get an empty grid,
+    // vertex-parallel ones get all-empty rows.
+    assert_no_spurious_aborts(Coo::from_edge_list(&EdgeList::new(16, vec![])), 8);
+}
+
+#[test]
+fn single_vertex_graph_does_not_trip_the_watchdog() {
+    // The smallest possible launch: one vertex, no edges — at most a
+    // single warp of real work anywhere in the registry.
+    assert_no_spurious_aborts(Coo::from_edge_list(&EdgeList::new(1, vec![])), 8);
+}
+
+#[test]
+fn f1_features_do_not_trip_the_watchdog() {
+    // f = 1 defeats every vectorized (float2/float4) path and minimizes
+    // per-warp work; budgets derived from warp counts must still cover it.
+    let el = gen::erdos_renyi(64, 256, 11).symmetrize();
+    assert_no_spurious_aborts(Coo::from_edge_list(&el), 1);
+}
+
+#[test]
+fn healthy_kernels_complete_under_the_default_watchdog() {
+    // A skewed graph (star: one mega-row) routes most of the grid's work
+    // through few warps — the case the whole-grid allowance exists for.
+    let hub: Vec<(u32, u32)> = (1..128u32).map(|v| (0, v)).collect();
+    let el = EdgeList::new(128, hub).symmetrize();
+    let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+    let gpu = Gpu::new(GpuSpec::tiny());
+    let sweeps = sweep_graph(&gpu, &g, 8);
+    let launched = sweeps.iter().filter(|s| s.skipped.is_none()).count();
+    assert!(launched >= 12, "only {launched} kernels launched");
+    for s in &sweeps {
+        if let Some(reason) = &s.skipped {
+            assert!(
+                !reason.to_lowercase().contains("watchdog"),
+                "{} aborted on the star graph: {reason}",
+                s.name
+            );
+        }
+    }
+}

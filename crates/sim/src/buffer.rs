@@ -27,6 +27,11 @@ fn alloc_addr(bytes: u64) -> u64 {
 /// Element types storable in device memory: 32-bit plain-old-data with a
 /// lossless round trip through `u32` bits.
 pub trait Pod32: Copy + Default + Send + Sync + 'static {
+    /// Whether values of this type are used as indices/topology (`u32`).
+    /// The chaos engine directs memory bit flips at index loads, where a
+    /// high-bit upset is maximally destructive (and must be *caught*);
+    /// low-bit flips in `f32` payloads are a documented known-silent class.
+    const IS_INDEX: bool = false;
     /// Reinterpret as raw bits.
     fn to_bits32(self) -> u32;
     /// Reinterpret from raw bits.
@@ -45,6 +50,7 @@ impl Pod32 for f32 {
 }
 
 impl Pod32 for u32 {
+    const IS_INDEX: bool = true;
     #[inline]
     fn to_bits32(self) -> u32 {
         self

@@ -1,0 +1,602 @@
+//! Deterministic fault-injection and schedule-chaos engine.
+//!
+//! PR 2 (sanitizer) and PR 4 (validation, watchdog, panic isolation) built
+//! *detection* layers; this module builds the *attacker* that proves they
+//! work. A [`ChaosEngine`] attaches per-[`crate::Gpu`] exactly like the
+//! profiler and sanitizer (set-once slot, one atomic load per launch when
+//! absent, zero cost detached) and perturbs execution in two orthogonal
+//! ways:
+//!
+//! * **Fault injection** — a single seeded fault from the lattice in
+//!   [`FaultKind`] is armed for one target warp per launch: bit flips in
+//!   values returned by global/shared index loads, an `atomicAdd` silently
+//!   downgraded to a plain store (the "dropped atomic at a row split"
+//!   failure), an elided `__syncwarp`, a killed or stalled warp, or a
+//!   transient launch failure at preflight.
+//! * **Schedule chaos** — a seeded permutation of CTA execution order and
+//!   of warp order within each CTA. The engine then executes sequentially
+//!   in the permuted order and restores canonical order before cost
+//!   aggregation, making the simulator's determinism contract *testable*:
+//!   outputs and reports must be bit-identical across schedule seeds.
+//!
+//! Every fault is reproducible from its `(kernel, graph, fault, seed)`
+//! tuple alone: the target warp and the index of the op the fault fires at
+//! are derived from the seed with a splitmix64 hash — never from device
+//! addresses (which come from a process-global bump allocator) or host
+//! state. Each injected run is classified into a [`Verdict`] by the chaos
+//! sweep in `gnnone-bench` (with a CPU-reference cross-check for the
+//! silent-data-corruption case); the taxonomy lives here so the slugs are
+//! shared by every report.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::jsonio::Json;
+
+/// One injectable execution-level fault. The lattice mirrors the failure
+/// classes a misbehaving GPU exposes: memory corruption, lost
+/// synchronization, and control faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip `flips` high-order bits (starting at bit 28) of a value
+    /// returned by a **global** `u32` load — index/topology corruption.
+    /// A flipped NZE id becomes a far-out-of-bounds index on its next use,
+    /// which the bounds layer must catch; with a sanitizer attached the
+    /// firing flip is *also* reported at load time as a
+    /// [`crate::CheckKind::MemoryEcc`] finding — the SECDED-ECC analogue
+    /// that covers kernels whose defensive guards would otherwise turn the
+    /// corrupted index into silently skipped work. (Low-order flips in
+    /// `f32` payloads are a *known-silent* class — excluded from the
+    /// default lattice and documented in `docs/ROBUSTNESS.md`.)
+    GlobalBitFlip {
+        /// Number of high bits flipped (1 = single-event upset).
+        flips: u32,
+    },
+    /// The same high-bit flip on a value returned by a **shared-memory**
+    /// `u32` load — corruption of the Stage-1 NZE cache. ECC-reported like
+    /// [`FaultKind::GlobalBitFlip`] (A100 shared memory is SECDED too).
+    SharedBitFlip {
+        /// Number of high bits flipped.
+        flips: u32,
+    },
+    /// One `atomicAdd` executes as a plain store of the addend — the
+    /// lost-update failure at SpMM row splits. The shadow records the op
+    /// as a plain write, so the sanitizer's racecheck fires wherever a
+    /// second warp touches the same cell.
+    AtomicDrop,
+    /// One `__syncwarp` is skipped entirely: no scoreboard drain and no
+    /// shadow epoch bump, so shared reads land in their writers' epoch.
+    BarrierElide,
+    /// The target warp dies mid-flight (a fatal hardware trap): the launch
+    /// aborts with [`crate::AbortReason::ChaosKill`].
+    WarpKill,
+    /// The target warp stops making progress: its instruction counter is
+    /// inflated so an armed watchdog trips on the next charge.
+    WarpStall,
+    /// The launch itself fails once at preflight with a structured
+    /// [`crate::engine::LaunchError`]; the next attempt succeeds —
+    /// exercising bounded retry in sweep guards.
+    LaunchTransient,
+}
+
+impl FaultKind {
+    /// The default sweep lattice: every fault class, with single- and
+    /// double-bit memory flips.
+    pub fn lattice() -> Vec<FaultKind> {
+        vec![
+            FaultKind::GlobalBitFlip { flips: 1 },
+            FaultKind::GlobalBitFlip { flips: 2 },
+            FaultKind::SharedBitFlip { flips: 1 },
+            FaultKind::AtomicDrop,
+            FaultKind::BarrierElide,
+            FaultKind::WarpKill,
+            FaultKind::WarpStall,
+            FaultKind::LaunchTransient,
+        ]
+    }
+
+    /// Stable lowercase slug used in JSON reports and seed derivation.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::GlobalBitFlip { .. } => "global-bit-flip",
+            FaultKind::SharedBitFlip { .. } => "shared-bit-flip",
+            FaultKind::AtomicDrop => "atomic-drop",
+            FaultKind::BarrierElide => "barrier-elide",
+            FaultKind::WarpKill => "warp-kill",
+            FaultKind::WarpStall => "warp-stall",
+            FaultKind::LaunchTransient => "launch-transient",
+        }
+    }
+
+    /// Reads back a value written by [`FaultKind::to_json`].
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let flips = || v.get("flips").and_then(Json::as_u64).unwrap_or(1) as u32;
+        Some(match v.get("kind")?.as_str()? {
+            "global-bit-flip" => FaultKind::GlobalBitFlip { flips: flips() },
+            "shared-bit-flip" => FaultKind::SharedBitFlip { flips: flips() },
+            "atomic-drop" => FaultKind::AtomicDrop,
+            "barrier-elide" => FaultKind::BarrierElide,
+            "warp-kill" => FaultKind::WarpKill,
+            "warp-stall" => FaultKind::WarpStall,
+            "launch-transient" => FaultKind::LaunchTransient,
+            _ => return None,
+        })
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind", Json::Str(self.as_str().into()))];
+        match self {
+            FaultKind::GlobalBitFlip { flips } | FaultKind::SharedBitFlip { flips } => {
+                fields.push(("flips", Json::U64(u64::from(*flips))));
+            }
+            _ => {}
+        }
+        Json::obj(fields)
+    }
+
+    /// Salt mixed into the seed so each fault kind targets a different
+    /// (warp, op) point under the same sweep seed.
+    fn salt(&self) -> u64 {
+        self.as_str()
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::GlobalBitFlip { flips } => write!(f, "global-bit-flip(x{flips})"),
+            FaultKind::SharedBitFlip { flips } => write!(f, "shared-bit-flip(x{flips})"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
+/// Resilience verdict of one injected run, assigned by the chaos sweep in
+/// `gnnone-bench`. Precedence (first match wins): sanitizer finding →
+/// structured abort → structured decline → output cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The attached sanitizer recorded at least one finding for the run.
+    DetectedBySanitizer,
+    /// The launch stopped mid-run with a structured
+    /// [`crate::KernelAbort`] — the watchdog, a bounds check, or the
+    /// injected fatal trap itself surfacing as a typed abort.
+    AbortedByWatchdog,
+    /// The launch was declined at preflight with a typed
+    /// [`crate::engine::LaunchError`].
+    StructuredDecline,
+    /// The fault fired but the output still matches the CPU reference
+    /// within tolerance — absorbed by the kernel's structure.
+    Masked,
+    /// The fault fired, nothing detected it, and the output is wrong.
+    /// The verdict the whole layer exists to prove impossible.
+    SilentDataCorruption,
+    /// The armed fault never found an eligible op in the target warp
+    /// (e.g. an atomic fault on a kernel with no atomics); the run is
+    /// excluded from resilience accounting but still reported.
+    NotInjected,
+}
+
+impl Verdict {
+    /// Every verdict, in severity-report order (for tabulating counts).
+    pub const ALL: [Verdict; 6] = [
+        Verdict::DetectedBySanitizer,
+        Verdict::AbortedByWatchdog,
+        Verdict::StructuredDecline,
+        Verdict::Masked,
+        Verdict::SilentDataCorruption,
+        Verdict::NotInjected,
+    ];
+
+    /// Stable lowercase slug used in JSON reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::DetectedBySanitizer => "detected-by-sanitizer",
+            Verdict::AbortedByWatchdog => "aborted-by-watchdog",
+            Verdict::StructuredDecline => "structured-decline",
+            Verdict::Masked => "masked",
+            Verdict::SilentDataCorruption => "silent-data-corruption",
+            Verdict::NotInjected => "not-injected",
+        }
+    }
+
+    /// Reads a verdict back from its slug.
+    pub fn from_slug(s: &str) -> Option<Self> {
+        Some(match s {
+            "detected-by-sanitizer" => Verdict::DetectedBySanitizer,
+            "aborted-by-watchdog" => Verdict::AbortedByWatchdog,
+            "structured-decline" => Verdict::StructuredDecline,
+            "masked" => Verdict::Masked,
+            "silent-data-corruption" => Verdict::SilentDataCorruption,
+            "not-injected" => Verdict::NotInjected,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Chaos configuration: an optional fault and/or an optional schedule
+/// permutation. The two compose — a fault can be injected under a
+/// permuted schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for fault targeting (which warp, which op).
+    pub seed: u64,
+    /// The fault to arm, if any.
+    pub fault: Option<FaultKind>,
+    /// When set, execute CTAs (and warps within each CTA) sequentially in
+    /// a permutation of this seed instead of in parallel canonical order.
+    pub schedule_seed: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// A fault-injection config.
+    pub fn fault(kind: FaultKind, seed: u64) -> Self {
+        Self {
+            seed,
+            fault: Some(kind),
+            schedule_seed: None,
+        }
+    }
+
+    /// A schedule-chaos-only config (no fault armed).
+    pub fn schedule(seed: u64) -> Self {
+        Self {
+            seed,
+            fault: None,
+            schedule_seed: Some(seed),
+        }
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::U64(self.seed)),
+            (
+                "fault",
+                match &self.fault {
+                    Some(k) => k.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "schedule_seed",
+                match self.schedule_seed {
+                    Some(s) => Json::U64(s),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// splitmix64 — the seed expander used for all chaos targeting. Chosen for
+/// its guarantee that distinct inputs produce well-distributed outputs
+/// even for sequential seeds.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+pub(crate) fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut s = mix(seed) | 1; // xorshift state must be nonzero
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = (s % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// The per-GPU chaos engine. Attach with [`crate::Gpu::enable_chaos`] /
+/// [`crate::Gpu::attach_chaos`]; every subsequent launch on that GPU is
+/// subject to the configured fault and/or schedule permutation. Thread-safe
+/// — the engine only carries atomics, so it is shared freely across the
+/// engine's parallel CTA execution.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    config: ChaosConfig,
+    /// Count of faults that actually fired (reached an eligible op).
+    injected: AtomicU64,
+    /// Remaining transient launch failures to inject.
+    transient_left: AtomicU32,
+}
+
+impl ChaosEngine {
+    /// Creates an engine. A [`FaultKind::LaunchTransient`] fault arms
+    /// exactly one preflight failure.
+    pub fn new(config: ChaosConfig) -> Self {
+        let transient = match config.fault {
+            Some(FaultKind::LaunchTransient) => 1,
+            _ => 0,
+        };
+        Self {
+            config,
+            injected: AtomicU64::new(0),
+            transient_left: AtomicU32::new(transient),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Number of faults that actually fired across all launches so far.
+    /// Zero after a run means the armed fault never found an eligible op
+    /// (reported as [`Verdict::NotInjected`] by the sweep).
+    pub fn injections(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Schedule-permutation seed, when schedule chaos is on.
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.config.schedule_seed
+    }
+
+    /// Consumes one armed transient launch failure; the engine's preflight
+    /// declines the launch when this returns `true`. Counted as an
+    /// injection (the fault observably fired).
+    pub(crate) fn take_transient_failure(&self) -> bool {
+        if self
+            .transient_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The warp the armed fault targets for a grid of `grid_warps` warps,
+    /// derived from the seed. `None` when no per-warp fault is armed.
+    pub(crate) fn fault_target(&self, grid_warps: usize) -> Option<usize> {
+        let kind = self.config.fault?;
+        if matches!(kind, FaultKind::LaunchTransient) || grid_warps == 0 {
+            return None;
+        }
+        Some((mix(self.config.seed ^ kind.salt()) % grid_warps as u64) as usize)
+    }
+
+    /// Builds the per-warp fault hook for the target warp.
+    pub(crate) fn warp_fault(&self) -> WarpChaos {
+        let kind = self.config.fault.expect("warp_fault needs an armed fault");
+        // Fire at the 1st or 2nd eligible op — kept small so faults land
+        // even on tiny launches; still seed-dependent.
+        let remaining = (mix(self.config.seed ^ kind.salt() ^ 0x5eed) % 2) as u32;
+        WarpChaos {
+            kind,
+            remaining,
+            fired: false,
+        }
+    }
+
+    /// Records that a warp fault fired (called by the launch engine after
+    /// collecting the warp's hook).
+    pub(crate) fn note_injection(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// What a firing charge-point fault does to the warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChargeFault {
+    /// Abort the launch with [`crate::AbortReason::ChaosKill`].
+    Kill,
+    /// Inflate the instruction counter so an armed watchdog trips.
+    Stall,
+}
+
+/// Per-warp fault hook, attached by the launch engine to the single target
+/// warp of a launch (every other warp pays nothing). Each consult either
+/// skips (counting down to the seeded firing point) or fires exactly once.
+#[derive(Debug)]
+pub struct WarpChaos {
+    kind: FaultKind,
+    remaining: u32,
+    fired: bool,
+}
+
+impl WarpChaos {
+    /// Whether the fault has fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Counts one eligible op; `true` exactly once, at the seeded point.
+    fn fire(&mut self) -> bool {
+        if self.fired {
+            return false;
+        }
+        if self.remaining == 0 {
+            self.fired = true;
+            true
+        } else {
+            self.remaining -= 1;
+            false
+        }
+    }
+
+    /// High-bit XOR mask for `flips` flips: bit 28 first (far-OOB on any
+    /// realistic buffer), then 27, 26, … for multi-bit upsets.
+    fn flip_mask(flips: u32) -> u32 {
+        let mut mask = 0u32;
+        for k in 0..flips.clamp(1, 8) {
+            mask |= 1 << (28 - k);
+        }
+        mask
+    }
+
+    /// Consulted per active lane of a global `u32` load: returns the
+    /// corrupted value when this lane-load is the firing point.
+    pub(crate) fn corrupt_global_u32(&mut self, value: u32) -> Option<u32> {
+        let FaultKind::GlobalBitFlip { flips } = self.kind else {
+            return None;
+        };
+        self.fire().then(|| value ^ Self::flip_mask(flips))
+    }
+
+    /// Consulted per active lane of a shared `u32` load.
+    pub(crate) fn corrupt_shared_u32(&mut self, value: u32) -> Option<u32> {
+        let FaultKind::SharedBitFlip { flips } = self.kind else {
+            return None;
+        };
+        self.fire().then(|| value ^ Self::flip_mask(flips))
+    }
+
+    /// Consulted per atomic instruction: `true` downgrades the whole
+    /// warp-wide `atomicAdd` to plain stores of the addends.
+    pub(crate) fn drop_atomic(&mut self) -> bool {
+        matches!(self.kind, FaultKind::AtomicDrop) && self.fire()
+    }
+
+    /// Consulted per barrier: `true` elides it (no drain, no epoch bump).
+    pub(crate) fn elide_barrier(&mut self) -> bool {
+        matches!(self.kind, FaultKind::BarrierElide) && self.fire()
+    }
+
+    /// Consulted per watchdog charge: a control fault at the firing point.
+    pub(crate) fn on_charge(&mut self) -> Option<ChargeFault> {
+        let fault = match self.kind {
+            FaultKind::WarpKill => ChargeFault::Kill,
+            FaultKind::WarpStall => ChargeFault::Stall,
+            _ => return None,
+        };
+        self.fire().then_some(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_slugs_are_unique_and_roundtrip() {
+        let lattice = FaultKind::lattice();
+        let slugs: std::collections::BTreeSet<_> = lattice
+            .iter()
+            .map(|k| k.to_json().to_string_compact())
+            .collect();
+        assert_eq!(slugs.len(), lattice.len());
+        for k in &lattice {
+            let j = k.to_json().to_string_compact();
+            let back = FaultKind::from_json(&crate::jsonio::parse(&j).unwrap()).unwrap();
+            assert_eq!(back, *k, "{j}");
+        }
+    }
+
+    #[test]
+    fn verdict_slugs_roundtrip() {
+        for v in [
+            Verdict::DetectedBySanitizer,
+            Verdict::AbortedByWatchdog,
+            Verdict::StructuredDecline,
+            Verdict::Masked,
+            Verdict::SilentDataCorruption,
+            Verdict::NotInjected,
+        ] {
+            assert_eq!(Verdict::from_slug(v.as_str()), Some(v));
+        }
+        assert_eq!(Verdict::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn targeting_is_deterministic_and_seed_sensitive() {
+        let a = ChaosEngine::new(ChaosConfig::fault(FaultKind::WarpKill, 7));
+        let b = ChaosEngine::new(ChaosConfig::fault(FaultKind::WarpKill, 7));
+        assert_eq!(a.fault_target(1000), b.fault_target(1000));
+        let targets: std::collections::BTreeSet<_> = (0..32)
+            .map(|s| {
+                ChaosEngine::new(ChaosConfig::fault(FaultKind::WarpKill, s))
+                    .fault_target(1 << 20)
+                    .unwrap()
+            })
+            .collect();
+        assert!(targets.len() > 16, "seeds must spread targets");
+    }
+
+    #[test]
+    fn permutation_is_a_seeded_bijection() {
+        let p = permutation(100, 3);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert_eq!(p, permutation(100, 3));
+        assert_ne!(p, permutation(100, 4));
+        assert_ne!(p, (0..100).collect::<Vec<_>>());
+        assert!(permutation(0, 9).is_empty());
+        assert_eq!(permutation(1, 9), vec![0]);
+    }
+
+    #[test]
+    fn warp_fault_fires_exactly_once() {
+        let mut wc = WarpChaos {
+            kind: FaultKind::GlobalBitFlip { flips: 1 },
+            remaining: 1,
+            fired: false,
+        };
+        assert_eq!(wc.corrupt_global_u32(5), None); // skipped op 0
+        assert_eq!(wc.corrupt_global_u32(5), Some(5 | (1 << 28)));
+        assert_eq!(wc.corrupt_global_u32(5), None); // already fired
+        assert!(wc.fired());
+        // Wrong-kind consults never count down or fire.
+        let mut kill = WarpChaos {
+            kind: FaultKind::WarpKill,
+            remaining: 0,
+            fired: false,
+        };
+        assert_eq!(kill.corrupt_global_u32(5), None);
+        assert!(!kill.drop_atomic());
+        assert_eq!(kill.on_charge(), Some(ChargeFault::Kill));
+        assert!(kill.fired());
+    }
+
+    #[test]
+    fn transient_failure_fires_once_per_engine() {
+        let ch = ChaosEngine::new(ChaosConfig::fault(FaultKind::LaunchTransient, 1));
+        assert!(ch.take_transient_failure());
+        assert!(!ch.take_transient_failure());
+        assert_eq!(ch.injections(), 1);
+        // No per-warp target for a preflight fault.
+        assert_eq!(ch.fault_target(64), None);
+        // Other faults never fail preflight.
+        let bf = ChaosEngine::new(ChaosConfig::fault(FaultKind::AtomicDrop, 1));
+        assert!(!bf.take_transient_failure());
+    }
+
+    #[test]
+    fn multi_bit_mask_extends_downward() {
+        assert_eq!(WarpChaos::flip_mask(1), 1 << 28);
+        assert_eq!(WarpChaos::flip_mask(2), (1 << 28) | (1 << 27));
+        assert_eq!(WarpChaos::flip_mask(3), (1 << 28) | (1 << 27) | (1 << 26));
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ChaosConfig::fault(FaultKind::GlobalBitFlip { flips: 2 }, 0xBEEF);
+        let j = c.to_json().to_string_compact();
+        assert!(j.contains("global-bit-flip"), "{j}");
+        assert!(j.contains("\"flips\":2"), "{j}");
+        let s = ChaosConfig::schedule(9).to_json().to_string_compact();
+        assert!(s.contains("\"schedule_seed\":9"), "{s}");
+    }
+}

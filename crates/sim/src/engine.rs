@@ -27,6 +27,7 @@ use std::sync::{Arc, OnceLock};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::{permutation, ChaosConfig, ChaosEngine};
 use crate::error::{AbortSignal, KernelAbort};
 use crate::jsonio::Json;
 use crate::kernel::{KernelResources, WarpKernel};
@@ -255,6 +256,7 @@ pub struct Gpu {
     trace: OnceLock<Arc<TraceSession>>,
     metrics: OnceLock<Arc<MetricsRegistry>>,
     sanitize: OnceLock<Arc<Sanitizer>>,
+    chaos: OnceLock<Arc<ChaosEngine>>,
 }
 
 impl Gpu {
@@ -265,6 +267,7 @@ impl Gpu {
             trace: OnceLock::new(),
             metrics: OnceLock::new(),
             sanitize: OnceLock::new(),
+            chaos: OnceLock::new(),
         }
     }
 
@@ -347,6 +350,28 @@ impl Gpu {
         self.sanitize.get()
     }
 
+    /// Installs a fresh [`ChaosEngine`] with `config` and returns it;
+    /// returns the existing one if already attached (the slot is set-once,
+    /// like the other attachments). Every subsequent launch on this GPU is
+    /// subject to the configured fault and/or schedule permutation. With no
+    /// engine attached a launch pays a single atomic load.
+    pub fn enable_chaos(&self, config: ChaosConfig) -> Arc<ChaosEngine> {
+        self.chaos
+            .get_or_init(|| Arc::new(ChaosEngine::new(config)))
+            .clone()
+    }
+
+    /// Attaches an existing chaos engine. Returns `false` if one was
+    /// already attached (the existing one stays).
+    pub fn attach_chaos(&self, engine: Arc<ChaosEngine>) -> bool {
+        self.chaos.set(engine).is_ok()
+    }
+
+    /// The attached chaos engine, if any.
+    pub fn chaos(&self) -> Option<&Arc<ChaosEngine>> {
+        self.chaos.get()
+    }
+
     /// Launches `kernel`, panicking on configuration errors. Use
     /// [`Gpu::try_launch`] when failure is an expected outcome (baseline
     /// pathologies).
@@ -391,6 +416,20 @@ impl Gpu {
             });
         }
 
+        // Chaos gate — one atomic load when absent, like trace/sanitize.
+        let chaos = self.chaos.get();
+        if let Some(ch) = chaos {
+            // Transient launch failure: the launch is declined at preflight
+            // (after validation, so retrying is the correct response) while
+            // the engine still has an armed failure.
+            if ch.take_transient_failure() {
+                return Err(LaunchError::Unlaunchable {
+                    reason: "transient launch failure (chaos-injected)".to_string(),
+                });
+            }
+        }
+        let fault_target = chaos.and_then(|ch| ch.fault_target(grid_warps));
+
         let timing = self.spec.timing;
         let shared_per_warp = res.shared_bytes_per_warp();
 
@@ -403,88 +442,157 @@ impl Gpu {
         let san = self.sanitize.get();
         let budget = launch.budget(grid_warps);
 
-        // Execute every CTA (warps within a CTA run back to back; CTAs in
-        // parallel on the host — they are independent). The fold/reduce
-        // combines in encounter order (rayon's indexed-reduce guarantee),
-        // so CTA cost order — and therefore any trace built from it, and
-        // the warp order of sanitizer shadows — is deterministic.
+        // One warp's execution, shared by the parallel path and the
+        // schedule-chaos path so both produce identical per-warp results.
+        // Only the single fault-target warp gets a chaos hook attached;
+        // every other warp runs exactly as with no chaos engine.
+        let exec_warp = |warp_id: usize| -> (crate::stats::WarpStats, Option<WarpShadow>) {
+            let mut ctx = WarpCtx::new(timing, shared_per_warp);
+            ctx.set_watchdog(warp_id, budget);
+            if let Some(s) = san {
+                ctx.attach_shadow(Box::new(WarpShadow::new(
+                    warp_id,
+                    s.config(),
+                    shared_per_warp / 4,
+                )));
+            }
+            if fault_target == Some(warp_id) {
+                let ch = chaos.expect("fault target implies chaos engine");
+                ctx.attach_chaos(Box::new(ch.warp_fault()));
+                // ECC analogue: a bit flip that fires under an attached
+                // sanitizer is reported straight to it at corruption time
+                // (not via the shadow), so the finding survives a kernel
+                // that traps on the corrupted value.
+                if let Some(s) = san {
+                    ctx.attach_ecc_sink(Arc::clone(s), kernel.name());
+                }
+            }
+            kernel.run_warp(warp_id, &mut ctx);
+            let ws = ctx.finish();
+            if let Some(hook) = ctx.take_chaos() {
+                if hook.fired() {
+                    chaos.expect("hook implies chaos engine").note_injection();
+                }
+            }
+            (ws, ctx.take_shadow().map(|sh| *sh))
+        };
+
+        // Folds one CTA's per-warp results — given in *canonical* warp
+        // order — into the cost/trace/stats/shadow summary. Shared by both
+        // execution paths so their outputs are bit-identical.
+        let assemble_cta = |results: Vec<(crate::stats::WarpStats, Option<WarpShadow>)>| {
+            let mut cost = CtaCost::default();
+            let mut stats = KernelStats::default();
+            let mut warps = Vec::new();
+            let mut shadows = Vec::new();
+            for (ws, shadow) in results {
+                if let Some(sh) = shadow {
+                    shadows.push(sh);
+                }
+                cost.solo_cycles += ws.solo_cycles;
+                cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
+                cost.traffic_bytes +=
+                    (ws.read_sectors + ws.write_sectors) * crate::coalesce::SECTOR_BYTES;
+                cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
+                if want_warps {
+                    warps.push(WarpSpan {
+                        solo_cycles: ws.solo_cycles,
+                        mem_stall_cycles: ws.mem_stall_cycles,
+                    });
+                }
+                stats.absorb_warp(&ws);
+            }
+            (cost, warps, stats, shadows)
+        };
+        let cta_warp_ids = |cta: usize| {
+            (0..warps_per_cta)
+                .map(move |w| cta * warps_per_cta + w)
+                .filter(move |&id| id < grid_warps)
+        };
+
+        // Execute every CTA. Normally warps within a CTA run back to back
+        // and CTAs in parallel on the host (they are independent); the
+        // fold/reduce combines in encounter order (rayon's indexed-reduce
+        // guarantee), so CTA cost order — and therefore any trace built
+        // from it, and the warp order of sanitizer shadows — is
+        // deterministic. Under schedule chaos the same warps execute
+        // sequentially in a seeded permutation of CTA order (and of warp
+        // order within each CTA) — modelling an adversarial CTA→SM
+        // placement and warp interleave — and the results are restored to
+        // canonical order before aggregation, so a deterministic kernel
+        // must produce bit-identical output and reports across seeds.
         //
         // The whole execution runs inside `catch_unwind`: a warp that trips
         // the watchdog or an unsanitized bounds check unwinds with an
         // [`AbortSignal`] (rayon propagates worker panics to the caller),
         // which is converted into `LaunchError::Aborted` below. Any other
         // panic payload resumes unchanged.
+        let schedule_seed = chaos.and_then(|ch| ch.schedule_seed());
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            (0..num_ctas)
-                .into_par_iter()
-                .map(|cta| {
-                    let mut cost = CtaCost::default();
-                    let mut stats = KernelStats::default();
-                    let mut warps = Vec::new();
-                    let mut shadows = Vec::new();
-                    for w in 0..warps_per_cta {
-                        let warp_id = cta * warps_per_cta + w;
-                        if warp_id >= grid_warps {
-                            break;
-                        }
-                        let mut ctx = WarpCtx::new(timing, shared_per_warp);
-                        ctx.set_watchdog(warp_id, budget);
-                        if let Some(s) = san {
-                            ctx.attach_shadow(Box::new(WarpShadow::new(
-                                warp_id,
-                                s.config(),
-                                shared_per_warp / 4,
-                            )));
-                        }
-                        kernel.run_warp(warp_id, &mut ctx);
-                        let ws = ctx.finish();
-                        if let Some(sh) = ctx.take_shadow() {
-                            shadows.push(*sh);
-                        }
-                        cost.solo_cycles += ws.solo_cycles;
-                        cost.work_cycles += ws.solo_cycles - ws.mem_stall_cycles;
-                        cost.traffic_bytes +=
-                            (ws.read_sectors + ws.write_sectors) * crate::coalesce::SECTOR_BYTES;
-                        cost.max_warp_cycles = cost.max_warp_cycles.max(ws.solo_cycles);
-                        if want_warps {
-                            warps.push(WarpSpan {
-                                solo_cycles: ws.solo_cycles,
-                                mem_stall_cycles: ws.mem_stall_cycles,
-                            });
-                        }
-                        stats.absorb_warp(&ws);
+            if let Some(seed) = schedule_seed {
+                let mut per_cta: Vec<Option<_>> = (0..num_ctas).map(|_| None).collect();
+                for &cta in &permutation(num_ctas, seed) {
+                    let ids: Vec<usize> = cta_warp_ids(cta).collect();
+                    let mut results: Vec<Option<_>> = (0..ids.len()).map(|_| None).collect();
+                    for &w in &permutation(ids.len(), seed ^ crate::chaos::mix(cta as u64)) {
+                        results[w] = Some(exec_warp(ids[w]));
                     }
-                    (cost, warps, stats, shadows)
-                })
-                .fold(
-                    || {
-                        (
-                            Vec::<CtaCost>::new(),
-                            Vec::<Vec<WarpSpan>>::new(),
-                            KernelStats::default(),
-                            Vec::<WarpShadow>::new(),
-                        )
-                    },
-                    |(mut costs, mut details, mut acc, mut shs), (cost, warps, stats, cta_shs)| {
-                        costs.push(cost);
-                        if want_warps {
-                            details.push(warps);
-                        }
-                        acc.merge(&stats);
-                        shs.extend(cta_shs);
-                        (costs, details, acc, shs)
-                    },
-                )
-                .reduce(
-                    || (Vec::new(), Vec::new(), KernelStats::default(), Vec::new()),
-                    |(mut a, mut da, mut sa, mut sha), (b, db, sb, shb)| {
-                        a.extend(b);
-                        da.extend(db);
-                        sa.merge(&sb);
-                        sha.extend(shb);
-                        (a, da, sa, sha)
-                    },
-                )
+                    per_cta[cta] = Some(assemble_cta(
+                        results
+                            .into_iter()
+                            .map(|r| r.expect("all warps ran"))
+                            .collect(),
+                    ));
+                }
+                let mut costs = Vec::with_capacity(num_ctas);
+                let mut details = Vec::new();
+                let mut stats = KernelStats::default();
+                let mut shadows = Vec::new();
+                for out in per_cta {
+                    let (cost, warps, cta_stats, cta_shs) = out.expect("all CTAs ran");
+                    costs.push(cost);
+                    if want_warps {
+                        details.push(warps);
+                    }
+                    stats.merge(&cta_stats);
+                    shadows.extend(cta_shs);
+                }
+                (costs, details, stats, shadows)
+            } else {
+                (0..num_ctas)
+                    .into_par_iter()
+                    .map(|cta| assemble_cta(cta_warp_ids(cta).map(exec_warp).collect()))
+                    .fold(
+                        || {
+                            (
+                                Vec::<CtaCost>::new(),
+                                Vec::<Vec<WarpSpan>>::new(),
+                                KernelStats::default(),
+                                Vec::<WarpShadow>::new(),
+                            )
+                        },
+                        |(mut costs, mut details, mut acc, mut shs),
+                         (cost, warps, stats, cta_shs)| {
+                            costs.push(cost);
+                            if want_warps {
+                                details.push(warps);
+                            }
+                            acc.merge(&stats);
+                            shs.extend(cta_shs);
+                            (costs, details, acc, shs)
+                        },
+                    )
+                    .reduce(
+                        || (Vec::new(), Vec::new(), KernelStats::default(), Vec::new()),
+                        |(mut a, mut da, mut sa, mut sha), (b, db, sb, shb)| {
+                            a.extend(b);
+                            da.extend(db);
+                            sa.merge(&sb);
+                            sha.extend(shb);
+                            (a, da, sa, sha)
+                        },
+                    )
+            }
         }));
         let (costs, warp_details, stats, shadows) = match run {
             Ok(executed) => executed,

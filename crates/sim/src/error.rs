@@ -124,6 +124,10 @@ pub enum AbortReason {
         /// Per-warp shared-memory limit in words.
         limit: u64,
     },
+    /// A chaos-injected fatal warp trap ([`crate::chaos::FaultKind::WarpKill`]):
+    /// the attached chaos engine killed the warp mid-flight to prove the
+    /// abort path stays structured under hardware-style failures.
+    ChaosKill,
 }
 
 impl AbortReason {
@@ -133,6 +137,7 @@ impl AbortReason {
             AbortReason::Watchdog => "watchdog",
             AbortReason::GlobalOutOfBounds { .. } => "global-oob",
             AbortReason::SharedOutOfBounds { .. } => "shared-oob",
+            AbortReason::ChaosKill => "chaos-kill",
         }
     }
 }
@@ -147,6 +152,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::SharedOutOfBounds { word, limit } => {
                 write!(f, "shared access at word {word} >= warp limit {limit}")
             }
+            AbortReason::ChaosKill => write!(f, "chaos-injected fatal warp trap"),
         }
     }
 }
@@ -179,7 +185,7 @@ impl KernelAbort {
             ("reason", Json::Str(self.reason.as_str().into())),
         ];
         match self.reason {
-            AbortReason::Watchdog => {}
+            AbortReason::Watchdog | AbortReason::ChaosKill => {}
             AbortReason::GlobalOutOfBounds { index, len } => {
                 fields.push(("index", Json::U64(index)));
                 fields.push(("len", Json::U64(len)));
@@ -196,6 +202,7 @@ impl KernelAbort {
     pub fn from_json(v: &Json) -> Option<Self> {
         let reason = match v.get("reason")?.as_str()? {
             "watchdog" => AbortReason::Watchdog,
+            "chaos-kill" => AbortReason::ChaosKill,
             "global-oob" => AbortReason::GlobalOutOfBounds {
                 index: v.get("index")?.as_u64()?,
                 len: v.get("len")?.as_u64()?,

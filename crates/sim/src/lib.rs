@@ -91,11 +91,23 @@
 //! misaligned vector accesses — the simulator's `compute-sanitizer`
 //! analogue. The shadow never touches the timing model; reports are
 //! identical with and without it. See `docs/SANITIZER.md`.
+//!
+//! ## Chaos
+//!
+//! The fourth attachment is the adversary that proves the other layers
+//! work: a [`chaos::ChaosEngine`] installed via [`Gpu::enable_chaos`]
+//! injects one seeded fault per launch (memory bit flips, dropped atomics,
+//! elided barriers, killed/stalled warps, transient launch failures) and/or
+//! executes the launch under a seeded permutation of CTA and warp order —
+//! making the engine's determinism contract testable. Everything is
+//! reproducible from the seed alone, and zero-cost when detached. See
+//! `docs/ROBUSTNESS.md`.
 
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
 
 pub mod buffer;
+pub mod chaos;
 pub mod coalesce;
 pub mod engine;
 pub mod error;
@@ -111,6 +123,7 @@ pub mod trace;
 pub mod warp;
 
 pub use buffer::{DeviceBuffer, Pod32};
+pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, Verdict};
 pub use engine::{Gpu, KernelReport, LaunchSpec};
 pub use error::{AbortReason, GnnOneError, KernelAbort, ValidationError};
 pub use kernel::{KernelResources, WarpKernel};

@@ -120,6 +120,12 @@ pub enum CheckKind {
     /// Warps of one CTA executed different barrier counts under
     /// [`SanitizeConfig::cta_scope_sync`].
     BarrierDivergence,
+    /// A chaos-injected memory bit flip (see [`crate::chaos::FaultKind`])
+    /// observed by a load — the simulator's analogue of the SECDED ECC
+    /// with which datacenter GPUs detect single-event upsets in DRAM and
+    /// on-chip SRAM. Recorded at corruption time, so the finding survives
+    /// even when the kernel later traps on the corrupted value.
+    MemoryEcc,
 }
 
 impl CheckKind {
@@ -133,6 +139,7 @@ impl CheckKind {
             CheckKind::SharedUninitialized => "shared-uninitialized",
             CheckKind::SharedOutOfBounds => "shared-oob",
             CheckKind::BarrierDivergence => "barrier-divergence",
+            CheckKind::MemoryEcc => "memory-ecc",
         }
     }
 }
@@ -233,6 +240,10 @@ pub struct Sanitizer {
     /// Base addresses of buffers where last-writer-wins races are intended.
     allow: Mutex<BTreeSet<u64>>,
     launches: Mutex<Vec<LaunchAudit>>,
+    /// ECC events, recorded at corruption time rather than through a warp
+    /// shadow so they survive a launch that subsequently panics or aborts
+    /// on the corrupted value.
+    ecc_events: Mutex<Vec<Finding>>,
 }
 
 impl Sanitizer {
@@ -242,7 +253,40 @@ impl Sanitizer {
             config,
             allow: Mutex::new(BTreeSet::new()),
             launches: Mutex::new(Vec::new()),
+            ecc_events: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records a chaos-injected bit flip observed by an index load — the
+    /// [`CheckKind::MemoryEcc`] analogue of SECDED detection. Flushed
+    /// immediately (not via the warp shadow) so the event is preserved even
+    /// when the kernel traps on the corrupted value before its launch
+    /// audit is assembled.
+    pub(crate) fn record_ecc(
+        &self,
+        kernel: &str,
+        warp: usize,
+        lane: usize,
+        index: u64,
+        detail: String,
+    ) {
+        lock_unpoisoned(&self.ecc_events).push(Finding {
+            kind: CheckKind::MemoryEcc,
+            kernel: kernel.to_string(),
+            warp,
+            lane: Some(lane),
+            other_warp: None,
+            other_lane: None,
+            addr: None,
+            index: Some(index),
+            epoch: None,
+            detail,
+        });
+    }
+
+    /// ECC events recorded so far, in corruption order.
+    pub fn ecc_events(&self) -> Vec<Finding> {
+        lock_unpoisoned(&self.ecc_events).clone()
     }
 
     /// The active configuration.
@@ -265,10 +309,11 @@ impl Sanitizer {
     /// Total recorded findings across all launches (suppressed ones not
     /// included).
     pub fn finding_count(&self) -> u64 {
-        lock_unpoisoned(&self.launches)
+        let launch_findings: u64 = lock_unpoisoned(&self.launches)
             .iter()
             .map(|l| l.findings.len() as u64 + l.suppressed)
-            .sum()
+            .sum();
+        launch_findings + lock_unpoisoned(&self.ecc_events).len() as u64
     }
 
     /// `true` when no launch produced any finding.
@@ -279,20 +324,21 @@ impl Sanitizer {
     /// Full report as a [`crate::jsonio::Json`] document.
     pub fn report_json(&self) -> Json {
         let launches = lock_unpoisoned(&self.launches);
+        let ecc = lock_unpoisoned(&self.ecc_events);
+        let launch_findings: u64 = launches
+            .iter()
+            .map(|l| l.findings.len() as u64 + l.suppressed)
+            .sum();
         Json::obj(vec![
             ("launches", Json::U64(launches.len() as u64)),
-            (
-                "findings",
-                Json::U64(
-                    launches
-                        .iter()
-                        .map(|l| l.findings.len() as u64 + l.suppressed)
-                        .sum(),
-                ),
-            ),
+            ("findings", Json::U64(launch_findings + ecc.len() as u64)),
             (
                 "audits",
                 Json::Arr(launches.iter().map(LaunchAudit::to_json).collect()),
+            ),
+            (
+                "ecc_events",
+                Json::Arr(ecc.iter().map(Finding::to_json).collect()),
             ),
         ])
     }

@@ -30,10 +30,11 @@
 use std::collections::VecDeque;
 
 use crate::buffer::{DeviceBuffer, Pod32};
+use crate::chaos::{ChargeFault, WarpChaos};
 use crate::coalesce::{coalesce, Access};
 use crate::error::{AbortReason, AbortSignal};
 use crate::lanes::{LaneArr, WARP_SIZE};
-use crate::sanitize::{GlobalKind, WarpShadow};
+use crate::sanitize::{GlobalKind, Sanitizer, WarpShadow};
 use crate::spec::TimingParams;
 use crate::stats::WarpStats;
 
@@ -53,6 +54,11 @@ pub struct WarpCtx {
     shared_limit_words: usize,
     stats: WarpStats,
     san: Option<Box<WarpShadow>>,
+    chaos: Option<Box<WarpChaos>>,
+    /// ECC sink `(sanitizer, kernel name)` — attached by the engine to the
+    /// fault-target warp of a sanitized chaos launch; consulted only when a
+    /// bit flip actually fires.
+    ecc: Option<(std::sync::Arc<Sanitizer>, String)>,
     warp_id: usize,
     ops: u64,
     budget: u64,
@@ -73,6 +79,8 @@ impl WarpCtx {
             shared_limit_words,
             stats: WarpStats::default(),
             san: None,
+            chaos: None,
+            ecc: None,
             warp_id: 0,
             ops: 0,
             budget: u64::MAX,
@@ -95,8 +103,17 @@ impl WarpCtx {
     }
 
     /// Charges `n` warp-wide instructions against the watchdog budget.
+    /// When a chaos fault is attached this is also the control-fault
+    /// injection point: a killed warp aborts here, a stalled warp inflates
+    /// its counter so the watchdog (when armed) trips on this very charge.
     #[inline]
     fn charge(&mut self, n: u64) {
+        if let Some(fault) = self.chaos.as_deref_mut().and_then(WarpChaos::on_charge) {
+            match fault {
+                ChargeFault::Kill => self.abort(AbortReason::ChaosKill),
+                ChargeFault::Stall => self.ops = self.ops.saturating_add(1 << 40),
+            }
+        }
         self.ops += n;
         if self.ops > self.budget {
             self.abort(AbortReason::Watchdog);
@@ -125,6 +142,25 @@ impl WarpCtx {
     /// function returns.
     pub(crate) fn take_shadow(&mut self) -> Option<Box<WarpShadow>> {
         self.san.take()
+    }
+
+    /// Installs a chaos fault hook; the engine attaches one to the single
+    /// target warp of a fault-injecting launch.
+    pub(crate) fn attach_chaos(&mut self, chaos: Box<WarpChaos>) {
+        self.chaos = Some(chaos);
+    }
+
+    /// Removes and returns the chaos hook so the engine can record whether
+    /// the fault actually fired.
+    pub(crate) fn take_chaos(&mut self) -> Option<Box<WarpChaos>> {
+        self.chaos.take()
+    }
+
+    /// Installs the ECC sink: a firing chaos bit flip is reported straight
+    /// to the sanitizer (not through the warp shadow), so the event
+    /// survives even if the kernel traps on the corrupted value.
+    pub(crate) fn attach_ecc_sink(&mut self, san: std::sync::Arc<Sanitizer>, kernel: &str) {
+        self.ecc = Some((san, kernel.to_string()));
     }
 
     /// Current warp-local clock (cycles since warp start).
@@ -204,7 +240,32 @@ impl WarpCtx {
                 } else {
                     self.check_global_bounds(buf.len(), idx, 1);
                 }
-                out.set(lane, buf.read(idx));
+                let mut value = buf.read(idx);
+                if T::IS_INDEX {
+                    if let Some(bits) = self
+                        .chaos
+                        .as_deref_mut()
+                        .and_then(|ch| ch.corrupt_global_u32(value.to_bits32()))
+                    {
+                        value = T::from_bits32(bits);
+                        // ECC analogue: with a sanitizer attached, the flip
+                        // is detected at load time, before the corrupted
+                        // value can misroute or trap the kernel.
+                        if let Some((san, kernel)) = self.ecc.as_ref() {
+                            san.record_ecc(
+                                kernel,
+                                self.warp_id,
+                                lane,
+                                idx as u64,
+                                format!(
+                                    "chaos-injected bit flip on a global index \
+                                     load at element {idx} (ECC analogue)"
+                                ),
+                            );
+                        }
+                    }
+                }
+                out.set(lane, value);
                 lane_addrs[lane] = Some(buf.addr_of(idx));
             }
         }
@@ -382,25 +443,35 @@ impl WarpCtx {
         mut write: impl FnMut(usize) -> Option<(usize, f32)>,
     ) {
         self.charge(1);
+        // A chaos AtomicDrop downgrades this whole warp instruction to plain
+        // stores of the addends — the lost-update fault. The shadow sees the
+        // ops as plain writes, so the racecheck fires wherever another warp
+        // legitimately contributes to the same cell.
+        let dropped = self
+            .chaos
+            .as_deref_mut()
+            .is_some_and(WarpChaos::drop_atomic);
+        let kind = if dropped {
+            GlobalKind::Write
+        } else {
+            GlobalKind::Atomic
+        };
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         let mut idxs: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         for lane in 0..WARP_SIZE {
             if let Some((idx, value)) = write(lane) {
                 if let Some(sh) = self.san.as_deref_mut() {
-                    if !sh.check_global(
-                        buf.addr_base(),
-                        buf.len(),
-                        idx,
-                        1,
-                        lane,
-                        GlobalKind::Atomic,
-                    ) {
+                    if !sh.check_global(buf.addr_base(), buf.len(), idx, 1, lane, kind) {
                         continue;
                     }
                 } else {
                     self.check_global_bounds(buf.len(), idx, 1);
                 }
-                buf.atomic_add(idx, value);
+                if dropped {
+                    buf.write(idx, value);
+                } else {
+                    buf.atomic_add(idx, value);
+                }
                 lane_addrs[lane] = Some(buf.addr_of(idx));
                 idxs.push(idx);
             }
@@ -442,26 +513,33 @@ impl WarpCtx {
     ) -> bool {
         assert!((1..=4).contains(&width));
         self.charge(width as u64);
+        // Chaos AtomicDrop: same lost-update downgrade as the scalar path.
+        let dropped = self
+            .chaos
+            .as_deref_mut()
+            .is_some_and(WarpChaos::drop_atomic);
+        let kind = if dropped {
+            GlobalKind::Write
+        } else {
+            GlobalKind::Atomic
+        };
         let mut lane_addrs: [Option<u64>; WARP_SIZE] = [None; WARP_SIZE];
         let mut any = false;
         for lane in 0..WARP_SIZE {
             if let Some((idx, vals)) = write(lane) {
                 if let Some(sh) = self.san.as_deref_mut() {
-                    if !sh.check_global(
-                        buf.addr_base(),
-                        buf.len(),
-                        idx,
-                        width,
-                        lane,
-                        GlobalKind::Atomic,
-                    ) {
+                    if !sh.check_global(buf.addr_base(), buf.len(), idx, width, lane, kind) {
                         continue;
                     }
                 } else {
                     self.check_global_bounds(buf.len(), idx, width);
                 }
                 for (k, &v) in vals.iter().enumerate().take(width) {
-                    buf.atomic_add(idx + k, v);
+                    if dropped {
+                        buf.write(idx + k, v);
+                    } else {
+                        buf.atomic_add(idx + k, v);
+                    }
                 }
                 lane_addrs[lane] = Some(buf.addr_of(idx));
                 any = true;
@@ -538,7 +616,31 @@ impl WarpCtx {
                         limit: limit as u64,
                     });
                 }
-                out.set(lane, T::from_bits32(self.shared[idx]));
+                let mut bits = self.shared[idx];
+                if T::IS_INDEX {
+                    if let Some(corrupted) = self
+                        .chaos
+                        .as_deref_mut()
+                        .and_then(|ch| ch.corrupt_shared_u32(bits))
+                    {
+                        bits = corrupted;
+                        // ECC analogue, as on the global load path: A100
+                        // shared memory is SECDED-protected too.
+                        if let Some((san, kernel)) = self.ecc.as_ref() {
+                            san.record_ecc(
+                                kernel,
+                                self.warp_id,
+                                lane,
+                                idx as u64,
+                                format!(
+                                    "chaos-injected bit flip on a shared index \
+                                     load at word {idx} (ECC analogue)"
+                                ),
+                            );
+                        }
+                    }
+                }
+                out.set(lane, T::from_bits32(bits));
             }
         }
         self.stats.shared_accesses += 1;
@@ -560,6 +662,16 @@ impl WarpCtx {
     /// data-load ILP (§3.2).
     pub fn barrier(&mut self) {
         self.charge(1);
+        // Chaos BarrierElide: the sync simply doesn't happen — no drain, no
+        // shadow epoch bump, no cost. Subsequent shared reads land in their
+        // writers' epoch, which the sanitizer's epoch check must flag.
+        if self
+            .chaos
+            .as_deref_mut()
+            .is_some_and(WarpChaos::elide_barrier)
+        {
+            return;
+        }
         self.drain();
         if let Some(sh) = self.san.as_deref_mut() {
             sh.on_barrier();

@@ -476,3 +476,95 @@ fn enable_sanitizer_is_set_once_and_shared_by_clones() {
     clone.launch(&RacingStores { out: &out });
     assert!(!a.is_clean(), "clone must record into the shared sanitizer");
 }
+
+/// Reads `u32` indices from a buffer; when `trap_on_corrupt` is set it
+/// panics the moment a value exceeds the buffer's index range — modelling
+/// kernel arithmetic (e.g. `end - start`) blowing up on a corrupted index
+/// before any memory access the bounds layer could catch.
+struct IndexReader<'a> {
+    idx: &'a DeviceBuffer<u32>,
+    trap_on_corrupt: bool,
+}
+
+impl WarpKernel for IndexReader<'_> {
+    fn resources(&self) -> KernelResources {
+        res_with_shared(0)
+    }
+    fn grid_warps(&self) -> usize {
+        1
+    }
+    fn run_warp(&self, _warp_id: usize, ctx: &mut WarpCtx) {
+        for base in 0..4 {
+            let v = ctx.load_u32(self.idx, |lane| Some((base * 32 + lane) % self.idx.len()));
+            if self.trap_on_corrupt {
+                for lane in 0..gnnone_sim::WARP_SIZE {
+                    assert!(
+                        (v.get(lane) as usize) < self.idx.len(),
+                        "corrupted index reached kernel arithmetic"
+                    );
+                }
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "index-reader"
+    }
+}
+
+#[test]
+fn chaos_bit_flip_is_reported_as_an_ecc_event() {
+    use gnnone_sim::{ChaosConfig, FaultKind};
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.enable_chaos(ChaosConfig::fault(FaultKind::GlobalBitFlip { flips: 1 }, 3));
+    let idx = DeviceBuffer::from_slice(&[1u32; 128]);
+    gpu.launch(&IndexReader {
+        idx: &idx,
+        trap_on_corrupt: false,
+    });
+    let ecc = san.ecc_events();
+    assert_eq!(ecc.len(), 1, "one flip fires exactly once");
+    assert_eq!(ecc[0].kind, CheckKind::MemoryEcc);
+    assert_eq!(ecc[0].kernel, "index-reader");
+    assert!(ecc[0].detail.contains("global index"), "{}", ecc[0].detail);
+    assert!(san.finding_count() >= 1);
+    assert!(!san.is_clean());
+    let j = san.report_json();
+    assert!(
+        j.to_string_compact().contains("memory-ecc"),
+        "report must carry the ECC event"
+    );
+}
+
+#[test]
+fn ecc_event_survives_a_kernel_that_traps_on_the_corrupted_value() {
+    use gnnone_sim::{ChaosConfig, FaultKind};
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    gpu.enable_chaos(ChaosConfig::fault(FaultKind::GlobalBitFlip { flips: 1 }, 3));
+    let idx = DeviceBuffer::from_slice(&[1u32; 128]);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gpu.try_launch(&IndexReader {
+            idx: &idx,
+            trap_on_corrupt: true,
+        })
+    }));
+    assert!(
+        outcome.is_err(),
+        "the kernel must trap on the flipped index"
+    );
+    // The flip was still detected: the ECC event was flushed at corruption
+    // time, before the kernel's arithmetic saw the value.
+    assert_eq!(san.ecc_events().len(), 1);
+    assert!(san.finding_count() >= 1);
+}
+
+#[test]
+fn ecc_events_are_not_recorded_without_a_fired_flip() {
+    let (gpu, san) = gpu_with_sanitizer(SanitizeConfig::on());
+    let idx = DeviceBuffer::from_slice(&[1u32; 128]);
+    gpu.launch(&IndexReader {
+        idx: &idx,
+        trap_on_corrupt: true,
+    });
+    assert!(san.ecc_events().is_empty());
+    assert!(san.is_clean());
+}

@@ -466,6 +466,57 @@ pub fn corpus(seed: u64) -> Vec<AdversarialCase> {
     cases
 }
 
+/// One adversarial Matrix Market text: a byte stream the `.mtx` importer
+/// must either parse cleanly or reject with a typed [`crate::io::MtxError`].
+/// Panics on any of these are import-robustness bugs.
+#[derive(Debug, Clone)]
+pub struct MtxCase {
+    /// Stable case name, printed in fuzz findings.
+    pub name: &'static str,
+    /// `true` when the text must parse; `false` when it must be rejected.
+    pub expect_valid: bool,
+    /// The raw `.mtx` stream.
+    pub text: &'static str,
+}
+
+/// Malformed (and one control) `.mtx` streams for the import path: headers
+/// that are not Matrix Market, entry records arriving before the size line,
+/// and files that end without ever declaring dimensions.
+pub fn mtx_corpus() -> Vec<MtxCase> {
+    vec![
+        MtxCase {
+            name: "mtx-control",
+            expect_valid: true,
+            text: "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n",
+        },
+        MtxCase {
+            name: "mtx-malformed-header",
+            expect_valid: false,
+            text: "%%NotMatrixMarket graph something\n2 2 1\n1 2\n",
+        },
+        MtxCase {
+            name: "mtx-dense-header",
+            expect_valid: false,
+            text: "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+        },
+        MtxCase {
+            name: "mtx-entries-before-size-line",
+            expect_valid: false,
+            text: "%%MatrixMarket matrix coordinate pattern general\n1 2\n2 1\n",
+        },
+        MtxCase {
+            name: "mtx-missing-size-line",
+            expect_valid: false,
+            text: "%%MatrixMarket matrix coordinate pattern general\n% nothing else\n",
+        },
+        MtxCase {
+            name: "mtx-empty-file",
+            expect_valid: false,
+            text: "",
+        },
+    ]
+}
+
 /// Well-formed random CSR parts: `n x n`, about `avg_degree` nonzeros per
 /// row, strictly increasing columns.
 fn random_csr(rng: &mut ChaCha8Rng, n: usize, avg_degree: usize) -> (Vec<u32>, Vec<VertexId>) {
@@ -516,6 +567,21 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), c.len(), "case names must be unique");
+    }
+
+    #[test]
+    fn mtx_corpus_parses_or_rejects_as_expected() {
+        for case in mtx_corpus() {
+            let got = crate::io::read_mtx(std::io::Cursor::new(case.text));
+            match got {
+                Ok(_) => assert!(case.expect_valid, "malformed `{}` accepted", case.name),
+                Err(e) => assert!(
+                    !case.expect_valid,
+                    "valid mtx case `{}` rejected: {e}",
+                    case.name
+                ),
+            }
+        }
     }
 
     #[test]

@@ -99,17 +99,35 @@ pub fn read_mtx(reader: impl BufRead) -> Result<EdgeList, MtxError> {
             continue;
         }
         let mut it = t.split_ascii_whitespace();
-        if dims.is_none() {
-            let r: usize = parse(it.next(), lineno, "rows")?;
-            let c: usize = parse(it.next(), lineno, "cols")?;
-            let nnz: usize = parse(it.next(), lineno, "nnz")?;
-            dims = Some((r, c, nnz));
-            edges.reserve(if symmetric { nnz * 2 } else { nnz });
-            continue;
-        }
+        let (dims_r, dims_c) = match dims {
+            None => {
+                // The size line must carry exactly three integer fields
+                // (`rows cols nnz`). An entry record here — a pattern
+                // entry's two fields, or a real entry's non-integer value
+                // field — means the size line is missing, which must be a
+                // diagnosable parse error, never a panic downstream.
+                let fields: Vec<&str> = t.split_ascii_whitespace().collect();
+                if fields.len() != 3 {
+                    return Err(MtxError::parse(
+                        lineno,
+                        format!(
+                            "expected size line `rows cols nnz` but found {} field(s) \
+                             (`{t}`) — entry records before the size line?",
+                            fields.len()
+                        ),
+                    ));
+                }
+                let r: usize = parse(it.next(), lineno, "rows")?;
+                let c: usize = parse(it.next(), lineno, "cols")?;
+                let nnz: usize = parse(it.next(), lineno, "nnz")?;
+                dims = Some((r, c, nnz));
+                edges.reserve(if symmetric { nnz * 2 } else { nnz });
+                continue;
+            }
+            Some((r, c, _)) => (r, c),
+        };
         let r: usize = parse(it.next(), lineno, "row index")?;
         let c: usize = parse(it.next(), lineno, "col index")?;
-        let (dims_r, dims_c, _) = dims.expect("dims parsed before entries");
         if r == 0 || c == 0 || r > dims_r || c > dims_c {
             return Err(MtxError::parse(
                 lineno,
@@ -240,6 +258,44 @@ mod tests {
         match read_mtx(Cursor::new(text)).unwrap_err() {
             MtxError::Parse { detail, .. } => {
                 assert!(detail.contains("declared 5"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_before_size_line_is_a_parse_error() {
+        // A pattern entry (two fields) where the size line should be.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n1 2\n2 3\n";
+        match read_mtx(Cursor::new(text)).unwrap_err() {
+            MtxError::Parse { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("size line"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_entry_before_size_line_is_a_parse_error() {
+        // A real entry (three fields, non-integer value) where the size
+        // line should be: caught as a bad nnz field, not misread as dims.
+        let text = "%%MatrixMarket matrix coordinate real general\n1 2 3.5\n";
+        match read_mtx(Cursor::new(text)).unwrap_err() {
+            MtxError::Parse { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("nnz"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_size_line_is_a_parse_error() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% only comments\n";
+        match read_mtx(Cursor::new(text)).unwrap_err() {
+            MtxError::Parse { detail, .. } => {
+                assert!(detail.contains("missing size line"), "{detail}");
             }
             other => panic!("expected parse error, got {other:?}"),
         }

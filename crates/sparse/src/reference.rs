@@ -93,6 +93,18 @@ pub fn spmv_csr(csr: &Csr, edge_vals: &[f32], x: &[f32]) -> Vec<f32> {
     spmm_csr(csr, edge_vals, x, 1)
 }
 
+/// Reference u-add-v edge apply: `w[e] = el[row(e)] + er[col(e)]` — the
+/// GAT attention-logit pattern (edge score from source and destination
+/// scalar projections). The chaos harness cross-checks the edge-apply
+/// kernel against this.
+pub fn u_add_v_coo(coo: &Coo, el: &[f32], er: &[f32]) -> Vec<f32> {
+    assert_eq!(el.len(), coo.num_rows());
+    assert_eq!(er.len(), coo.num_cols());
+    (0..coo.nnz())
+        .map(|e| el[coo.rows()[e] as usize] + er[coo.cols()[e] as usize])
+        .collect()
+}
+
 /// Maximum relative error between two tensors (for tolerant comparison of
 /// float reductions whose association order differs). The denominator is
 /// floored at 1e-2 so that near-zero sums — where different association
@@ -193,6 +205,17 @@ mod tests {
             &sddmm_coo_par(&coo, &x, &yv, f),
             1e-5,
         );
+    }
+
+    #[test]
+    fn u_add_v_hand_computed() {
+        let (coo, _) = fixture();
+        let el = vec![1.0, 2.0, 3.0];
+        let er = vec![10.0, 20.0, 30.0];
+        let w = u_add_v_coo(&coo, &el, &er);
+        // e0 = (0,1): 1+20; e1 = (0,2): 1+30; e2 = (1,0): 2+10;
+        // e3 = (1,2): 2+30; e4 = (2,1): 3+20.
+        assert_eq!(w, vec![21.0, 31.0, 12.0, 32.0, 23.0]);
     }
 
     #[test]

@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn csr_rejects_truncated_offsets() {
         // offsets claims 3 nnz but cols only has 2.
-        let err = csr_parts(2, 4, &[0, 1, 3], &[1, 2][..].as_ref()).unwrap_err();
+        let err = csr_parts(2, 4, &[0, 1, 3], [1, 2][..].as_ref()).unwrap_err();
         assert!(err.detail.contains("truncated"), "{err}");
     }
 
