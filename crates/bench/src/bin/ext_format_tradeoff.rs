@@ -10,10 +10,9 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
+use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneCsrSpmm, GnnOneSpmm};
 use gnnone_kernels::traits::SpmmKernel;
-use gnnone_sim::Gpu;
 
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("ext_format_tradeoff", run)
@@ -24,9 +23,9 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
     for &dim in &opts.dims {
@@ -43,7 +42,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
             let csr: Box<dyn SpmmKernel> = Box::new(GnnOneCsrSpmm::new(Arc::clone(&ld.graph)));
             let cells = [coo, csr]
                 .iter()
-                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
+                .map(|k| runner::run_spmm_guarded(&backend, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }

@@ -21,12 +21,28 @@ struct SensitivityRow {
     spmm_geomean_vs_best: f64,
 }
 
+impl report::ToJson for SensitivityRow {
+    fn to_json(&self) -> gnnone_sim::jsonio::Json {
+        use gnnone_sim::jsonio::Json;
+        Json::obj(vec![
+            ("knob", Json::Str(self.knob.clone())),
+            ("value", Json::Str(self.value.clone())),
+            (
+                "sddmm_geomean_vs_best",
+                Json::F64(self.sddmm_geomean_vs_best),
+            ),
+            ("spmm_geomean_vs_best", Json::F64(self.spmm_geomean_vs_best)),
+        ])
+    }
+}
+
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("ext_sim_sensitivity", run)
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env()?;
+    runner::require_sim_backend(&opts, "ext_sim_sensitivity")?;
     if opts.datasets.is_empty() {
         // A skewed, a uniform and a dense dataset.
         opts.datasets = vec!["G5".into(), "G10".into(), "G14".into()];

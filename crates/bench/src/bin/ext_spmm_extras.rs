@@ -6,11 +6,10 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
+use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
 use gnnone_kernels::registry;
 use gnnone_kernels::traits::SpmmKernel;
-use gnnone_sim::Gpu;
 
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("ext_spmm_extras", run)
@@ -21,9 +20,9 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
     for &dim in &opts.dims {
@@ -39,7 +38,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
             ));
             let cells = std::iter::once(gnnone)
                 .chain(registry::spmm_discussion_kernels(&ld.graph))
-                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
+                .map(|k| runner::run_spmm_guarded(&backend, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }

@@ -5,9 +5,8 @@
 //! reduction) — against GNNOne's COO nonzero-split.
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
+use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::registry;
-use gnnone_sim::Gpu;
 
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("ext_spmv_classes", run)
@@ -15,9 +14,9 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env()?;
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let mut guard = runner::SweepGuard::new();
     let mut table = Table::new(
         "Extension: nonzero-split SpMV classes (§4.4)",
@@ -27,7 +26,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
         let ld = runner::load(&spec, opts.scale);
         let cells = registry::spmv_class_kernels(&ld.graph)
             .iter()
-            .map(|k| runner::run_spmv_guarded(&gpu, k.as_ref(), &ld, &mut guard))
+            .map(|k| runner::run_spmv_guarded(&backend, k.as_ref(), &ld, &mut guard))
             .collect();
         table.push_row(spec.id, cells);
     }

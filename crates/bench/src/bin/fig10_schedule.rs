@@ -9,9 +9,8 @@
 use std::sync::Arc;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
+use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm, Schedule};
-use gnnone_sim::Gpu;
 
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("fig10_schedule", run)
@@ -22,9 +21,9 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
 
@@ -45,7 +44,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
                             ..Default::default()
                         },
                     );
-                    runner::run_spmm_guarded(&gpu, &k, &ld, dim, &mut guard)
+                    runner::run_spmm_guarded(&backend, &k, &ld, dim, &mut guard)
                 })
                 .collect();
             table.push_row(spec.id, cells);

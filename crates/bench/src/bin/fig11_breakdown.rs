@@ -28,6 +28,19 @@ struct BreakdownRow {
     load_fraction: f64,
 }
 
+impl report::ToJson for BreakdownRow {
+    fn to_json(&self) -> gnnone_sim::jsonio::Json {
+        use gnnone_sim::jsonio::Json;
+        Json::obj(vec![
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("kernel", Json::Str(self.kernel.to_string())),
+            ("total_ms", Json::F64(self.total_ms)),
+            ("load_ms", Json::F64(self.load_ms)),
+            ("load_fraction", Json::F64(self.load_fraction)),
+        ])
+    }
+}
+
 fn load_fraction(report: &KernelReport) -> f64 {
     let stats = &report.stats;
     if stats.total_solo_cycles == 0 {
@@ -43,6 +56,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env()?;
+    runner::require_sim_backend(&opts, "fig11_breakdown")?;
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }

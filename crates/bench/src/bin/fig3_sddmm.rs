@@ -9,11 +9,9 @@
 use std::process::ExitCode;
 
 use gnnone_bench::report::{Cell, Table};
-use gnnone_bench::{
-    cli, figure_gpu_spec, io_error, profiling, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD,
-};
+use gnnone_bench::{cli, io_error, profiling, report, runner, SDDMM_VERTEX_ERROR_THRESHOLD};
 use gnnone_kernels::registry;
-use gnnone_sim::{GnnOneError, Gpu};
+use gnnone_sim::GnnOneError;
 
 fn main() -> ExitCode {
     gnnone_bench::figure_main("fig3_sddmm", run)
@@ -21,9 +19,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), GnnOneError> {
     let opts = cli::from_env()?;
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
@@ -53,7 +51,7 @@ fn run() -> Result<(), GnnOneError> {
                 let cell = if fails_at_paper_scale {
                     Cell::Err("ERR".into())
                 } else {
-                    runner::run_sddmm_guarded(&gpu, kernel.as_ref(), &ld, dim, &mut guard)
+                    runner::run_sddmm_guarded(&backend, kernel.as_ref(), &ld, dim, &mut guard)
                 };
                 cells.push(cell);
             }

@@ -9,9 +9,9 @@
 use std::process::ExitCode;
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, io_error, profiling, report, runner};
+use gnnone_bench::{cli, io_error, profiling, report, runner};
 use gnnone_kernels::registry;
-use gnnone_sim::{GnnOneError, Gpu};
+use gnnone_sim::GnnOneError;
 
 fn main() -> ExitCode {
     gnnone_bench::figure_main("fig4_spmm", run)
@@ -19,9 +19,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), GnnOneError> {
     let opts = cli::from_env()?;
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let specs = runner::selected_specs(&opts);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
@@ -42,7 +42,7 @@ fn run() -> Result<(), GnnOneError> {
             let ld = runner::load(spec, opts.scale);
             let cells = registry::spmm_kernels(&ld.graph)
                 .iter()
-                .map(|k| runner::run_spmm_guarded(&gpu, k.as_ref(), &ld, dim, &mut guard))
+                .map(|k| runner::run_spmm_guarded(&backend, k.as_ref(), &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }

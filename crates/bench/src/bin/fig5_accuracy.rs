@@ -24,12 +24,26 @@ struct AccuracyRow {
     train_accuracy: f64,
 }
 
+impl report::ToJson for AccuracyRow {
+    fn to_json(&self) -> gnnone_sim::jsonio::Json {
+        use gnnone_sim::jsonio::Json;
+        Json::obj(vec![
+            ("dataset", Json::Str(self.dataset.to_string())),
+            ("model", Json::Str(self.model.to_string())),
+            ("system", Json::Str(self.system.to_string())),
+            ("test_accuracy", Json::F64(self.test_accuracy)),
+            ("train_accuracy", Json::F64(self.train_accuracy)),
+        ])
+    }
+}
+
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("fig5_accuracy", run)
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env()?;
+    runner::require_sim_backend(&opts, "fig5_accuracy")?;
     if opts.datasets.is_empty() {
         opts.datasets = ["G0", "G1", "G2", "G12", "G14"]
             .iter()

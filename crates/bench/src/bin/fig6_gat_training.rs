@@ -25,6 +25,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env()?;
+    runner::require_sim_backend(&opts, "fig6_gat_training")?;
     if opts.datasets.is_empty() {
         opts.datasets = ["G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15"]
             .iter()

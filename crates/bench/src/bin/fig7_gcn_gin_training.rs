@@ -20,6 +20,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let mut opts = cli::from_env()?;
+    runner::require_sim_backend(&opts, "fig7_gcn_gin_training")?;
     if opts.datasets.is_empty() {
         opts.datasets = [
             "G3", "G7", "G9", "G10", "G11", "G12", "G13", "G14", "G15", "G16", "G17", "G18",

@@ -7,9 +7,8 @@
 //! +Float4 ≈ 1.80× more (≈ 4.59× total).
 
 use gnnone_bench::report::Table;
-use gnnone_bench::{cli, figure_gpu_spec, profiling, report, runner};
+use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::registry;
-use gnnone_sim::Gpu;
 
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("fig8_sddmm_ablation", run)
@@ -20,9 +19,9 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32]; // the figure's dimension
     }
-    let gpu = Gpu::new(figure_gpu_spec());
+    let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
-    prof.attach(&gpu);
+    prof.attach_backend(&backend);
     let mut tables = Vec::new();
     let mut guard = runner::SweepGuard::new();
 
@@ -35,7 +34,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
             let ld = runner::load(&spec, opts.scale);
             let cells = registry::sddmm_ablation_kernels(&ld.graph)
                 .iter()
-                .map(|(_, k)| runner::run_sddmm_guarded(&gpu, k, &ld, dim, &mut guard))
+                .map(|(_, k)| runner::run_sddmm_guarded(&backend, k, &ld, dim, &mut guard))
                 .collect();
             table.push_row(spec.id, cells);
         }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use gnnone_bench::report::Table;
 use gnnone_bench::{cli, figure_gpu_spec, report, runner};
 use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSpmm};
-use gnnone_sim::{Gpu, MetricsRegistry, MetricsSnapshot, TraceConfig, TraceSession};
+use gnnone_sim::{MetricsRegistry, MetricsSnapshot, TraceConfig, TraceSession};
 
 /// `results/m.json` → `results/m.cache128.json`.
 fn variant_path(path: &str, variant: &str) -> String {
@@ -36,10 +36,12 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     }
     let spec_gpu = figure_gpu_spec();
 
-    // One device per cache variant so kernel metrics roll up separately
+    // One backend per cache variant so kernel metrics roll up separately
     // (the A and B of a `gnnone-prof diff`); one shared trace timeline.
-    let gpu128 = Gpu::new(spec_gpu.clone());
-    let gpu32 = Gpu::new(spec_gpu.clone());
+    // The observability flags are sim-only (CLI validation rejects them
+    // with `--backend native`), so the attach sites can assume a device.
+    let backend128 = runner::backend_from_options(&opts)?;
+    let backend32 = runner::backend_from_options(&opts)?;
     let session = opts.trace.as_ref().map(|_| {
         Arc::new(TraceSession::new(
             TraceConfig::on(),
@@ -48,19 +50,23 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
         ))
     });
     if let Some(session) = &session {
-        gpu128.attach_trace(Arc::clone(session));
-        gpu32.attach_trace(Arc::clone(session));
+        for backend in [&backend128, &backend32] {
+            if let Some(gpu) = backend.as_gpu() {
+                gpu.attach_trace(Arc::clone(session));
+            }
+        }
     }
     let registries = opts.metrics.as_ref().map(|_| {
-        let mk = || {
+        let mk = |backend: &gnnone_kernels::backend::Backend| {
             let r = MetricsRegistry::new();
             r.set_device(&spec_gpu.name, spec_gpu.clock_ghz);
-            Arc::new(r)
+            let r = Arc::new(r);
+            if let Some(gpu) = backend.as_gpu() {
+                gpu.attach_metrics(Arc::clone(&r));
+            }
+            r
         };
-        let (a, b) = (mk(), mk());
-        gpu128.attach_metrics(Arc::clone(&a));
-        gpu32.attach_metrics(Arc::clone(&b));
-        (a, b)
+        (mk(&backend128), mk(&backend32))
     });
 
     let mut tables = Vec::new();
@@ -72,9 +78,9 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
         );
         for spec in runner::selected_specs(&opts) {
             let ld = runner::load(&spec, opts.scale);
-            let cells = [(128usize, &gpu128), (32, &gpu32)]
+            let cells = [(128usize, &backend128), (32, &backend32)]
                 .iter()
-                .map(|&(cache, gpu)| {
+                .map(|&(cache, backend)| {
                     let k = GnnOneSpmm::new(
                         Arc::clone(&ld.graph),
                         GnnOneConfig {
@@ -82,7 +88,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
                             ..Default::default()
                         },
                     );
-                    runner::run_spmm_guarded(gpu, &k, &ld, dim, &mut guard)
+                    runner::run_spmm_guarded(backend, &k, &ld, dim, &mut guard)
                 })
                 .collect();
             table.push_row(spec.id, cells);

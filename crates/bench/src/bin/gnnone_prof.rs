@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Some("sanitize") => sanitize_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
+        Some("bench") => bench_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
@@ -49,7 +50,7 @@ fn main() -> ExitCode {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
                  trace <trace.json> | sanitize [flags] | fuzz [flags] | \
-                 chaos [flags]"
+                 chaos [flags] | bench [flags]"
                 .to_string())
         }
     };
@@ -72,7 +73,10 @@ fn usage() {
          gnnone-prof fuzz [--seed N|0xHEX] [--sanitize] [--datasets G0,G3] \
          [--f 8] [--out report.json]\n  \
          gnnone-prof chaos [--seed N|0xHEX] [--datasets G0,G5] [--f 8] \
-         [--schedule-seeds 8] [--out report.json]"
+         [--schedule-seeds 8] [--out report.json]\n  \
+         gnnone-prof bench [--scale tiny|small|medium] [--datasets G0,G5] \
+         [--f 32] [--threads N] [--warmup 2] [--repeats 5] \
+         [--out BENCH_NATIVE.json]"
     );
 }
 
@@ -243,8 +247,116 @@ fn chaos_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench` — the native-backend performance sweep behind
+/// `BENCH_NATIVE.json`.
+fn bench_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_bench::native::{run_native_bench, NativeBenchOpts, REGISTRY_KERNEL_COUNT};
+    use gnnone_sparse::datasets::Scale;
+
+    let mut opts = NativeBenchOpts::default();
+    let mut out = "BENCH_NATIVE.json".to_string();
+    let mut it = args.iter();
+    let int = |flag: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|_| format!("bad {flag} (expected a positive integer)"))
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = match value("--scale")?.to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => return Err(format!("unknown scale `{other}` (tiny|small|medium)")),
+                }
+            }
+            "--datasets" => {
+                opts.dataset_ids = value("--datasets")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--f" => opts.f = int("--f", &value("--f")?)?,
+            "--threads" => {
+                let t = int("--threads", &value("--threads")?)?;
+                if t == 0 {
+                    return Err("--threads must be >= 1".to_string());
+                }
+                opts.threads = Some(t);
+            }
+            "--warmup" => opts.warmup = int("--warmup", &value("--warmup")?)?,
+            "--repeats" => {
+                let r = int("--repeats", &value("--repeats")?)?;
+                if r == 0 {
+                    return Err("--repeats must be >= 1".to_string());
+                }
+                opts.repeats = r;
+            }
+            "--out" => out = value("--out")?,
+            other => return Err(format!("unknown bench flag `{other}`")),
+        }
+    }
+
+    let report = run_native_bench(&opts)?;
+    println!(
+        "native bench: {} thread(s), {} warmup + {} timed run(s) per cell, f={}",
+        report.threads, report.warmup, report.repeats, report.f
+    );
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.dataset.clone(),
+                e.op.to_string(),
+                e.name.clone(),
+                e.format.clone(),
+                format!("{:.3}", e.best_ms),
+                format!("{:.3}", e.median_ms),
+                format!("{:.3e}", e.edges_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "dataset",
+            "op",
+            "kernel",
+            "format",
+            "best_ms",
+            "median_ms",
+            "edges/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\n{} cell(s) over {} kernel(s) on {} dataset(s)",
+        report.entries.len(),
+        report.distinct_kernels(),
+        report.datasets.len()
+    );
+    if report.distinct_kernels() != REGISTRY_KERNEL_COUNT {
+        return Err(format!(
+            "sweep covered {} kernels, registry has {REGISTRY_KERNEL_COUNT}",
+            report.distinct_kernels()
+        ));
+    }
+    std::fs::write(&out, report.to_json().to_string_pretty() + "\n")
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn sanitize_cmd(args: &[String]) -> Result<(), String> {
     let opts = gnnone_bench::cli::parse(args.iter().cloned()).map_err(|e| e.to_string())?;
+    gnnone_bench::runner::require_sim_backend(&opts, "gnnone-prof sanitize")
+        .map_err(|e| e.to_string())?;
     let specs = gnnone_bench::runner::try_selected_specs(&opts)?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut entries: Vec<Json> = Vec::new();

@@ -21,12 +21,38 @@ struct Row {
     analogue_degree_gini: f64,
 }
 
+impl report::ToJson for Row {
+    fn to_json(&self) -> gnnone_sim::jsonio::Json {
+        use gnnone_sim::jsonio::Json;
+        Json::obj(vec![
+            ("id", Json::Str(self.id.to_string())),
+            ("name", Json::Str(self.name.to_string())),
+            ("paper_vertices", Json::U64(self.paper_vertices)),
+            ("paper_edges", Json::U64(self.paper_edges)),
+            ("feature_len", Json::U64(self.feature_len as u64)),
+            ("classes", Json::U64(self.classes as u64)),
+            ("labeled", Json::Bool(self.labeled)),
+            (
+                "analogue_vertices",
+                Json::U64(self.analogue_vertices as u64),
+            ),
+            ("analogue_edges", Json::U64(self.analogue_edges as u64)),
+            (
+                "analogue_max_degree",
+                Json::U64(self.analogue_max_degree as u64),
+            ),
+            ("analogue_degree_gini", Json::F64(self.analogue_degree_gini)),
+        ])
+    }
+}
+
 fn main() -> std::process::ExitCode {
     gnnone_bench::figure_main("table1", run)
 }
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env()?;
+    gnnone_bench::runner::require_sim_backend(&opts, "table1")?;
     let prof = profiling::Profiler::from_opts(&opts);
     println!(
         "Table 1: datasets (paper scale → generated analogue at {:?})",

@@ -4,12 +4,21 @@
 //! [`GnnOneError::Config`] so `figure_main` emits its one machine-parseable
 //! error line instead of a raw panic backtrace.
 
+use gnnone_kernels::backend::BackendKind;
 use gnnone_sim::GnnOneError;
 use gnnone_sparse::datasets::Scale;
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
 pub struct Options {
+    /// Execution backend (`--backend sim|native`, default sim). The
+    /// observability flags (`--trace`, `--metrics`, `--sanitize`,
+    /// `--chaos`) are sim-only and rejected with a config error when
+    /// combined with `native`; `--threads` is native-only.
+    pub backend: BackendKind,
+    /// Native worker thread count (`--threads N`, native backend only);
+    /// `None` uses every available core.
+    pub threads: Option<usize>,
     /// Dataset scale (`--scale tiny|small|medium`, default small).
     pub scale: Scale,
     /// Feature lengths to sweep (`--dims 6,16,32,64`).
@@ -43,6 +52,8 @@ pub struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
+            backend: BackendKind::Sim,
+            threads: None,
             scale: Scale::Small,
             dims: vec![6, 16, 32, 64],
             datasets: Vec::new(),
@@ -74,6 +85,20 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
                 .ok_or_else(|| config_error(format!("missing value for {what}")))
         };
         match arg.as_str() {
+            "--backend" => {
+                let v = take("--backend")?;
+                opts.backend = v.parse().map_err(config_error)?;
+            }
+            "--threads" => {
+                let v = take("--threads")?;
+                let threads: usize = v.parse().map_err(|_| {
+                    config_error(format!("--threads expects an integer, got `{v}`"))
+                })?;
+                if threads == 0 {
+                    return Err(config_error("--threads must be >= 1"));
+                }
+                opts.threads = Some(threads);
+            }
             "--scale" => {
                 let v = take("--scale")?;
                 opts.scale = match v.to_ascii_lowercase().as_str() {
@@ -123,18 +148,47 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
             "--sanitize" => opts.sanitize = Some(take("--sanitize")?),
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --scale tiny|small|medium  --dims 6,16,32,64  \
+                    "flags: --backend sim|native  --threads N (native only)  \
+                     --scale tiny|small|medium  --dims 6,16,32,64  \
                      --datasets G0,G3  --epochs N  --out results/fig.json  \
-                     --plain-out golden.json  --trace trace.json  \
-                     --metrics metrics.json  --sanitize sanitize.json  \
-                     --chaos SEED"
+                     --plain-out golden.json  --trace trace.json (sim only)  \
+                     --metrics metrics.json (sim only)  \
+                     --sanitize sanitize.json (sim only)  --chaos SEED (sim only)"
                 );
                 std::process::exit(0);
             }
             other => return Err(config_error(format!("unknown flag {other} (see --help)"))),
         }
     }
+    validate(&opts)?;
     Ok(opts)
+}
+
+/// Cross-flag validation: the observability layers attach to the
+/// simulator only, and `--threads` sizes the native pool only. Invalid
+/// combinations are structured config errors, not silent no-ops.
+fn validate(opts: &Options) -> Result<(), GnnOneError> {
+    if opts.backend == BackendKind::Native {
+        let sim_only = [
+            ("--trace", opts.trace.is_some()),
+            ("--metrics", opts.metrics.is_some()),
+            ("--sanitize", opts.sanitize.is_some()),
+            ("--chaos", opts.chaos.is_some()),
+        ];
+        for (flag, given) in sim_only {
+            if given {
+                return Err(config_error(format!(
+                    "{flag} attaches to the simulator and cannot be combined \
+                     with --backend native"
+                )));
+            }
+        }
+    } else if opts.threads.is_some() {
+        return Err(config_error(
+            "--threads sizes the native worker pool; it requires --backend native",
+        ));
+    }
+    Ok(())
 }
 
 /// Parses the process arguments (skipping the binary name).
@@ -220,5 +274,59 @@ mod tests {
     #[test]
     fn missing_value_is_config_error() {
         expect_config(parse(argv("--dims")), "missing value");
+    }
+
+    #[test]
+    fn backend_flag_parses_both_kinds() {
+        assert_eq!(parse(argv("")).unwrap().backend, BackendKind::Sim);
+        assert_eq!(
+            parse(argv("--backend sim")).unwrap().backend,
+            BackendKind::Sim
+        );
+        let o = parse(argv("--backend native --threads 4")).unwrap();
+        assert_eq!(o.backend, BackendKind::Native);
+        assert_eq!(o.threads, Some(4));
+    }
+
+    #[test]
+    fn unknown_backend_is_config_error() {
+        expect_config(parse(argv("--backend cuda")), "unknown backend");
+    }
+
+    #[test]
+    fn sim_only_flags_reject_native_backend() {
+        expect_config(
+            parse(argv("--backend native --trace t.json")),
+            "--trace attaches to the simulator",
+        );
+        expect_config(
+            parse(argv("--backend native --metrics m.json")),
+            "--metrics attaches to the simulator",
+        );
+        expect_config(
+            parse(argv("--backend native --sanitize s.json")),
+            "--sanitize attaches to the simulator",
+        );
+        expect_config(
+            parse(argv("--backend native --chaos 7")),
+            "--chaos attaches to the simulator",
+        );
+    }
+
+    #[test]
+    fn threads_requires_native_backend() {
+        expect_config(parse(argv("--threads 4")), "requires --backend native");
+        expect_config(
+            parse(argv("--backend sim --threads 4")),
+            "requires --backend native",
+        );
+        expect_config(
+            parse(argv("--backend native --threads 0")),
+            "--threads must be >= 1",
+        );
+        expect_config(
+            parse(argv("--backend native --threads lots")),
+            "--threads expects an integer",
+        );
     }
 }

@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod fuzz;
+pub mod native;
 pub mod profiling;
 pub mod report;
 pub mod runner;

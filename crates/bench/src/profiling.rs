@@ -119,6 +119,19 @@ impl Profiler {
         }
     }
 
+    /// Attaches the profiler to whatever device a [`Backend`] wraps. The
+    /// observability layers are simulator-only, so this is [`Profiler::attach`]
+    /// on the sim backend and a no-op on native — CLI validation already
+    /// rejects `--trace`/`--metrics`/`--sanitize`/`--chaos` with
+    /// `--backend native`, so nothing is silently dropped here.
+    ///
+    /// [`Backend`]: gnnone_kernels::backend::Backend
+    pub fn attach_backend(&self, backend: &gnnone_kernels::backend::Backend) {
+        if let Some(gpu) = backend.as_gpu() {
+            self.attach(gpu);
+        }
+    }
+
     /// Attaches the profiler to a training context: the device for sparse
     /// kernels plus the training clock for dense-op spans. Schedule chaos
     /// is a device-level concern and is attached through

@@ -1,14 +1,36 @@
 //! Table printing and JSON result records.
 //!
-//! Tables serialize two ways: [`write_json`] goes through serde for the
-//! figure binaries' result files (kept byte-for-byte stable), while
-//! [`Table::to_json`] / [`Table::from_json`] go through the
-//! dependency-free [`gnnone_sim::jsonio`] path so tooling (and tests) can
-//! round-trip result sets without serde at all.
+//! All serialization goes through the dependency-free
+//! [`gnnone_sim::jsonio`] path: [`write_json`] accepts anything
+//! implementing [`ToJson`] (tables, or a figure binary's own row records),
+//! and [`Table::to_json`] / [`Table::from_json`] round-trip result sets so
+//! tooling and tests never need an external JSON crate. The serde derives
+//! on [`Table`] / [`Cell`] remain as compatibility markers only.
 
 use gnnone_sim::jsonio::Json;
 use serde::Serialize;
 use std::io::Write;
+
+/// Types that serialize through the dependency-free [`jsonio`] path —
+/// the bound [`write_json`] writes through.
+///
+/// [`jsonio`]: gnnone_sim::jsonio
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
 
 /// One measurement cell: simulated milliseconds or a failure tag.
 #[derive(Debug, Clone, Serialize, PartialEq)]
@@ -151,8 +173,8 @@ impl Table {
         }
     }
 
-    /// Serializes through the dependency-free JSON path (same shape as the
-    /// serde output of [`write_json`]).
+    /// Serializes through the dependency-free JSON path (the shape
+    /// [`write_json`] and [`write_plain`] emit).
     pub fn to_json(&self) -> Json {
         let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
         Json::obj(vec![
@@ -214,14 +236,25 @@ impl Table {
     }
 }
 
-/// Writes any serializable record as pretty JSON, creating parent dirs.
-pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Cell::to_json(self)
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Table::to_json(self)
+    }
+}
+
+/// Writes any [`ToJson`] record as pretty JSON, creating parent dirs.
+pub fn write_json<T: ToJson + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
     let mut file = std::fs::File::create(path)?;
-    let json = serde_json::to_string_pretty(value).expect("serialization cannot fail");
-    file.write_all(json.as_bytes())?;
+    file.write_all(value.to_json().to_string_pretty().as_bytes())?;
     file.write_all(b"\n")
 }
 

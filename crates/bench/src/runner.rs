@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use gnnone_kernels::backend::{Backend, BackendKind, NativeEngine};
 use gnnone_kernels::graph::GraphData;
 use gnnone_sim::engine::LaunchError;
 use gnnone_sim::jsonio::Json;
@@ -20,7 +21,40 @@ use gnnone_sparse::datasets::{table1, Dataset, DatasetSpec, Scale};
 use gnnone_sparse::reference;
 
 use crate::cli::Options;
+use crate::figure_gpu_spec;
 use crate::report::Cell;
+
+/// Builds the execution backend the options ask for: the figure-standard
+/// simulator device for `--backend sim` (the default), or a
+/// [`NativeEngine`] sized by `--threads` for `--backend native`.
+pub fn backend_from_options(opts: &Options) -> Result<Backend, GnnOneError> {
+    match opts.backend {
+        BackendKind::Sim => Ok(Backend::Sim(Gpu::new(figure_gpu_spec()))),
+        BackendKind::Native => {
+            let eng = match opts.threads {
+                Some(n) => NativeEngine::with_threads(n)
+                    .map_err(|detail| GnnOneError::Config { detail })?,
+                None => NativeEngine::new(),
+            };
+            Ok(Backend::Native(eng))
+        }
+    }
+}
+
+/// Rejects `--backend native` for figures whose measurement only exists on
+/// the simulator (training curves, cycle breakdowns, GPU-spec sweeps).
+/// The error names the binary so `figure_main`'s one-line report reads well.
+pub fn require_sim_backend(opts: &Options, figure: &str) -> Result<(), GnnOneError> {
+    if opts.backend == BackendKind::Native {
+        return Err(GnnOneError::Config {
+            detail: format!(
+                "{figure} measures simulator state (cycles/accuracy) and \
+                 only supports --backend sim"
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Datasets selected by the options, in Table 1 order.
 ///
@@ -111,7 +145,7 @@ pub fn edge_values(nnz: usize, seed: u64) -> Vec<f32> {
 
 /// Runs one SDDMM system on a loaded dataset, returning a [`Cell`].
 pub fn run_sddmm(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SddmmKernel,
     ld: &LoadedDataset,
     f: usize,
@@ -120,7 +154,7 @@ pub fn run_sddmm(
     let x = DeviceBuffer::from_slice(&vertex_features(n, f, 11));
     let y = DeviceBuffer::from_slice(&vertex_features(n, f, 13));
     let w = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
-    match kernel.run(gpu, &x, &y, f, &w) {
+    match backend.run_sddmm(kernel, &x, &y, f, &w) {
         Ok(report) => Cell::Ms(report.time_ms),
         Err(e) => Cell::Err(short_error(&e)),
     }
@@ -128,7 +162,7 @@ pub fn run_sddmm(
 
 /// Runs one SpMM system on a loaded dataset.
 pub fn run_spmm(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SpmmKernel,
     ld: &LoadedDataset,
     f: usize,
@@ -137,7 +171,7 @@ pub fn run_spmm(
     let x = DeviceBuffer::from_slice(&vertex_features(n, f, 17));
     let w = DeviceBuffer::from_slice(&edge_values(ld.graph.nnz(), 19));
     let y = DeviceBuffer::<f32>::zeros(n * f);
-    match kernel.run(gpu, &w, &x, f, &y) {
+    match backend.run_spmm(kernel, &w, &x, f, &y) {
         Ok(report) => Cell::Ms(report.time_ms),
         Err(e) => Cell::Err(short_error(&e)),
     }
@@ -145,7 +179,7 @@ pub fn run_spmm(
 
 /// Runs one SpMV system on a loaded dataset.
 pub fn run_spmv(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SpmvKernel,
     ld: &LoadedDataset,
 ) -> Cell {
@@ -153,7 +187,7 @@ pub fn run_spmv(
     let x = DeviceBuffer::from_slice(&vertex_features(n, 1, 23));
     let w = DeviceBuffer::from_slice(&edge_values(ld.graph.nnz(), 29));
     let y = DeviceBuffer::<f32>::zeros(n);
-    match kernel.run(gpu, &w, &x, &y) {
+    match backend.run_spmv(kernel, &w, &x, &y) {
         Ok(report) => Cell::Ms(report.time_ms),
         Err(e) => Cell::Err(short_error(&e)),
     }
@@ -388,7 +422,7 @@ fn checksum(values: &[f32]) -> f64 {
 /// Guarded variant of [`run_sddmm`]: panic/abort isolation with a
 /// CPU-reference fallback annotation.
 pub fn run_sddmm_guarded(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SddmmKernel,
     ld: &LoadedDataset,
     f: usize,
@@ -404,7 +438,7 @@ pub fn run_sddmm_guarded(
     guard.guard_cell(
         kernel.name(),
         ld.spec.id,
-        || kernel.run(gpu, &x, &y, f, &w).map(|r| r.time_ms),
+        || backend.run_sddmm(kernel, &x, &y, f, &w).map(|r| r.time_ms),
         Some(|| {
             let out = reference::sddmm_coo_par(coo, &xh, &yh, f);
             format!(
@@ -418,7 +452,7 @@ pub fn run_sddmm_guarded(
 
 /// Guarded variant of [`run_spmm`].
 pub fn run_spmm_guarded(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SpmmKernel,
     ld: &LoadedDataset,
     f: usize,
@@ -434,7 +468,7 @@ pub fn run_spmm_guarded(
     guard.guard_cell(
         kernel.name(),
         ld.spec.id,
-        || kernel.run(gpu, &w, &x, f, &y).map(|r| r.time_ms),
+        || backend.run_spmm(kernel, &w, &x, f, &y).map(|r| r.time_ms),
         Some(|| {
             let out = reference::spmm_csr_par(csr, &wh, &xh, f);
             format!(
@@ -448,7 +482,7 @@ pub fn run_spmm_guarded(
 
 /// Guarded variant of [`run_spmv`].
 pub fn run_spmv_guarded(
-    gpu: &Gpu,
+    backend: &Backend,
     kernel: &dyn gnnone_kernels::traits::SpmvKernel,
     ld: &LoadedDataset,
     guard: &mut SweepGuard,
@@ -463,7 +497,7 @@ pub fn run_spmv_guarded(
     guard.guard_cell(
         kernel.name(),
         ld.spec.id,
-        || kernel.run(gpu, &w, &x, &y).map(|r| r.time_ms),
+        || backend.run_spmv(kernel, &w, &x, &y).map(|r| r.time_ms),
         Some(|| {
             let out = reference::spmv_csr(csr, &wh, &xh);
             format!(
@@ -638,11 +672,11 @@ mod tests {
     fn guarded_runners_match_unguarded_on_healthy_kernels() {
         let spec = by_id("G0").unwrap();
         let ld = load(&spec, Scale::Tiny);
-        let gpu = Gpu::new(figure_gpu_spec());
+        let backend = Backend::Sim(Gpu::new(figure_gpu_spec()));
         let mut guard = SweepGuard::new();
         for k in registry::spmm_kernels(&ld.graph) {
-            let plain = run_spmm(&gpu, k.as_ref(), &ld, 8);
-            let guarded = run_spmm_guarded(&gpu, k.as_ref(), &ld, 8, &mut guard);
+            let plain = run_spmm(&backend, k.as_ref(), &ld, 8);
+            let guarded = run_spmm_guarded(&backend, k.as_ref(), &ld, 8, &mut guard);
             assert_eq!(plain, guarded, "{} diverged under guard", k.name());
         }
         assert!(guard.is_clean());
@@ -652,18 +686,55 @@ mod tests {
     fn end_to_end_sweep_cell() {
         let spec = by_id("G0").unwrap();
         let ld = load(&spec, Scale::Tiny);
-        let gpu = Gpu::new(figure_gpu_spec());
-        for k in registry::sddmm_kernels(&ld.graph) {
-            let cell = run_sddmm(&gpu, k.as_ref(), &ld, 16);
-            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+        for backend in [
+            Backend::Sim(Gpu::new(figure_gpu_spec())),
+            Backend::Native(NativeEngine::with_threads(2).unwrap()),
+        ] {
+            for k in registry::sddmm_kernels(&ld.graph) {
+                let cell = run_sddmm(&backend, k.as_ref(), &ld, 16);
+                assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+            }
+            for k in registry::spmm_kernels(&ld.graph) {
+                let cell = run_spmm(&backend, k.as_ref(), &ld, 16);
+                assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+            }
+            for k in registry::spmv_kernels(&ld.graph) {
+                let cell = run_spmv(&backend, k.as_ref(), &ld);
+                assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+            }
         }
-        for k in registry::spmm_kernels(&ld.graph) {
-            let cell = run_spmm(&gpu, k.as_ref(), &ld, 16);
-            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
+    }
+
+    #[test]
+    fn backend_from_options_builds_what_the_flags_ask_for() {
+        let sim = backend_from_options(&Options::default()).unwrap();
+        assert_eq!(sim.kind(), BackendKind::Sim);
+        assert!(sim.as_gpu().is_some());
+
+        let native = backend_from_options(&Options {
+            backend: BackendKind::Native,
+            threads: Some(3),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(native.kind(), BackendKind::Native);
+        assert!(native.as_gpu().is_none());
+        match &native {
+            Backend::Native(eng) => assert_eq!(eng.threads(), 3),
+            Backend::Sim(_) => unreachable!(),
         }
-        for k in registry::spmv_kernels(&ld.graph) {
-            let cell = run_spmv(&gpu, k.as_ref(), &ld);
-            assert!(cell.ms().is_some(), "{} failed on tiny G0", k.name());
-        }
+    }
+
+    #[test]
+    fn require_sim_backend_rejects_native_only() {
+        let sim = Options::default();
+        assert!(require_sim_backend(&sim, "table1").is_ok());
+        let native = Options {
+            backend: BackendKind::Native,
+            ..Default::default()
+        };
+        let err = require_sim_backend(&native, "table1").unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("table1"), "{err}");
     }
 }

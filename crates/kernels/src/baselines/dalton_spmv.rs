@@ -36,6 +36,10 @@ impl DaltonSpmv {
 }
 
 impl SpmvKernel for DaltonSpmv {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "Dalton et al."
     }

@@ -40,6 +40,10 @@ impl DglSddmm {
 }
 
 impl SddmmKernel for DglSddmm {
+    fn graph(&self) -> &GraphData {
+        self.inner.graph()
+    }
+
     fn name(&self) -> &'static str {
         "DGL"
     }
@@ -76,6 +80,10 @@ impl DglSpmm {
 }
 
 impl SpmmKernel for DglSpmm {
+    fn graph(&self) -> &GraphData {
+        self.inner.graph()
+    }
+
     fn name(&self) -> &'static str {
         "DGL"
     }

@@ -35,6 +35,10 @@ impl FeatGraphSpmm {
 }
 
 impl SpmmKernel for FeatGraphSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "FeatGraph"
     }

@@ -31,6 +31,10 @@ impl GeSpmm {
 }
 
 impl SpmmKernel for GeSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "GE-SpMM"
     }

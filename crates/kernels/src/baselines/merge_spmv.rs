@@ -56,6 +56,10 @@ impl MergeSpmv {
 }
 
 impl SpmvKernel for MergeSpmv {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "Merge-SpMV"
     }

@@ -204,6 +204,10 @@ macro_rules! ng_system {
         }
 
         impl SpmmKernel for $ty {
+            fn graph(&self) -> &GraphData {
+                &self.0.graph
+            }
+
             fn name(&self) -> &'static str {
                 self.0.params.name
             }

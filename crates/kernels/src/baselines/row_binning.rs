@@ -72,6 +72,10 @@ impl RowBinningSpmm {
 }
 
 impl SpmmKernel for RowBinningSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "Row-binning"
     }

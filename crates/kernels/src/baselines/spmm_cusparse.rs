@@ -72,6 +72,10 @@ impl CusparseSpmm {
 }
 
 impl SpmmKernel for CusparseSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "CuSparse"
     }

@@ -34,6 +34,10 @@ impl SputnikSpmm {
 }
 
 impl SpmmKernel for SputnikSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "Sputnik"
     }

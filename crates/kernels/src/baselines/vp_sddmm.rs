@@ -278,6 +278,10 @@ macro_rules! vp_system {
         }
 
         impl SddmmKernel for $ty {
+            fn graph(&self) -> &GraphData {
+                &self.0.graph
+            }
+
             fn name(&self) -> &'static str {
                 self.0.params.name
             }

@@ -38,6 +38,10 @@ impl YangSpmm {
 }
 
 impl SpmmKernel for YangSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "Yang et al."
     }

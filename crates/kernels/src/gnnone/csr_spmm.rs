@@ -41,6 +41,10 @@ impl GnnOneCsrSpmm {
 }
 
 impl SpmmKernel for GnnOneCsrSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "GnnOne-CSR"
     }

@@ -92,6 +92,10 @@ impl FusedGatAttention {
 }
 
 impl FusedAttentionKernel for FusedGatAttention {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "FusedGAT"
     }
@@ -111,6 +115,30 @@ impl FusedAttentionKernel for FusedGatAttention {
         alpha_out: Option<&DeviceBuffer<f32>>,
     ) -> Result<KernelReport, LaunchError> {
         FusedGatAttention::run(self, gpu, z, el, er, f, y, alpha_out)
+    }
+
+    fn run_native(
+        &self,
+        eng: &crate::backend::NativeEngine,
+        z: &DeviceBuffer<f32>,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+        alpha_out: Option<&DeviceBuffer<f32>>,
+    ) -> Result<crate::backend::NativeReport, LaunchError> {
+        Ok(crate::backend::native::fused_gat_rows(
+            eng,
+            &self.graph,
+            self.slope,
+            z,
+            el,
+            er,
+            f,
+            y,
+            alpha_out,
+            self.name(),
+        ))
     }
 }
 

@@ -56,6 +56,10 @@ impl GnnOneSddmm {
 }
 
 impl SddmmKernel for GnnOneSddmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -85,6 +89,29 @@ impl SddmmKernel for GnnOneSddmm {
             self.name,
         );
         gpu.try_launch(&pipeline)
+    }
+
+    /// Config-aware native path: the `cache_size`, `schedule`,
+    /// `vectorize` and `data_reuse` knobs steer the CPU schedule exactly
+    /// as they steer the simulated one.
+    fn run_native(
+        &self,
+        eng: &crate::backend::NativeEngine,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+        f: usize,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<crate::backend::NativeReport, LaunchError> {
+        Ok(crate::backend::native::sddmm_edges(
+            eng,
+            &self.graph,
+            &self.config,
+            x,
+            y,
+            f,
+            w,
+            self.name,
+        ))
     }
 }
 

@@ -54,6 +54,10 @@ impl GnnOneSpmm {
 }
 
 impl SpmmKernel for GnnOneSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -84,6 +88,28 @@ impl SpmmKernel for GnnOneSpmm {
             self.name,
         );
         gpu.try_launch(&pipeline)
+    }
+
+    /// Config-aware native path: `cache_size` sizes the nnz-balanced row
+    /// blocks and `vectorize` selects chunked vs scalar accumulation.
+    fn run_native(
+        &self,
+        eng: &crate::backend::NativeEngine,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<crate::backend::NativeReport, LaunchError> {
+        Ok(crate::backend::native::spmm_rows(
+            eng,
+            &self.graph,
+            &self.config,
+            edge_vals,
+            x,
+            f,
+            y,
+            self.name,
+        ))
     }
 }
 

@@ -34,6 +34,10 @@ impl GnnOneSpmv {
 }
 
 impl SpmvKernel for GnnOneSpmv {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "GnnOne"
     }

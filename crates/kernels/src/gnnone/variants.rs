@@ -70,6 +70,10 @@ impl GnnOneUAddV {
 }
 
 impl EdgeApplyKernel for GnnOneUAddV {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
     fn name(&self) -> &'static str {
         "GnnOne-UAddV"
     }

@@ -8,6 +8,9 @@
 //! * [`gnnone`] — the proposed kernels: Stage-1 balanced NZE caching,
 //!   Stage-2 symbiotic thread scheduler (thread groups, `float4` loads,
 //!   Consecutive/Round-robin policies), running reduction.
+//! * [`backend`] — pluggable execution backends: the cycle-accurate
+//!   simulator and the native multithreaded CPU engine (wall-clock
+//!   timing, rayon CTAs, `f32x4`-chunked loops); see `docs/BACKENDS.md`.
 //! * [`baselines`] — DGL, dgSparse, cuSPARSE, Sputnik, FeatGraph (SDDMM);
 //!   GE-SpMM, cuSPARSE, GNNAdvisor, Huang et al., Yang et al., FeatGraph
 //!   (SpMM); Merge-SpMV (SpMV) — each with its published storage format,
@@ -47,7 +50,9 @@
 //! ```
 
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
+#![warn(missing_docs)]
 
+pub mod backend;
 pub mod baselines;
 pub mod geometry;
 pub mod gnnone;
@@ -56,5 +61,6 @@ pub mod registry;
 pub mod sanitize;
 pub mod traits;
 
+pub use backend::{Backend, BackendKind, ExecReport, NativeEngine, NativeReport};
 pub use graph::GraphData;
 pub use traits::{SddmmKernel, SpmmKernel, SpmvKernel};

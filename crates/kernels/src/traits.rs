@@ -6,8 +6,20 @@
 //! launch for a given feature length. Pre-processing cost is therefore a
 //! one-time cost outside the timed launch, matching how the paper treats
 //! custom formats (§5.4.5).
+//!
+//! Every trait is **backend-portable**: `run` executes on the simulator,
+//! `run_native` executes the same operands on the native CPU engine
+//! ([`NativeEngine`]), and `graph` exposes the captured graph tensors so
+//! a backend can schedule the launch itself. `run_native` has a provided
+//! implementation that routes to the shared native routines in
+//! [`crate::backend::native`] (picking the edge- or row-parallel path
+//! from the kernel's declared format); kernels with their own schedule
+//! knobs (the GNNOne family) override it to honour their config.
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
+
+use crate::backend::native::{self, NativeEngine, NativeReport};
+use crate::graph::GraphData;
 
 /// SpMM: `y ← A·x` with per-NZE edge values.
 pub trait SpmmKernel: Send + Sync {
@@ -16,6 +28,10 @@ pub trait SpmmKernel: Send + Sync {
 
     /// Storage format consumed ("COO", "CSR", "custom").
     fn format(&self) -> &'static str;
+
+    /// Graph tensors the kernel was constructed over — what a backend
+    /// schedules the launch against.
+    fn graph(&self) -> &GraphData;
 
     /// Launches the kernel: reads `edge_vals` (`|E|`), `x`
     /// (`|V| × f` row-major), accumulates into `y` (`|V| × f`, must be
@@ -28,6 +44,28 @@ pub trait SpmmKernel: Send + Sync {
         f: usize,
         y: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError>;
+
+    /// Executes the same launch on the native CPU backend: row-split
+    /// over nnz-balanced row blocks, bit-identical across thread counts.
+    fn run_native(
+        &self,
+        eng: &NativeEngine,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<NativeReport, LaunchError> {
+        Ok(native::spmm_rows(
+            eng,
+            self.graph(),
+            &crate::gnnone::GnnOneConfig::default(),
+            edge_vals,
+            x,
+            f,
+            y,
+            self.name(),
+        ))
+    }
 }
 
 /// SDDMM: `w ← A ⊙ (X·Yᵀ)`.
@@ -37,6 +75,9 @@ pub trait SddmmKernel: Send + Sync {
 
     /// Storage format consumed.
     fn format(&self) -> &'static str;
+
+    /// Graph tensors the kernel was constructed over.
+    fn graph(&self) -> &GraphData;
 
     /// Launches the kernel: reads `x` and `y` (`|V| × f` row-major),
     /// writes `w` (`|E|`).
@@ -48,6 +89,33 @@ pub trait SddmmKernel: Send + Sync {
         f: usize,
         w: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError>;
+
+    /// Executes the same launch on the native CPU backend. COO kernels
+    /// take the edge-parallel path; CSR/custom (vertex-parallel) kernels
+    /// take the row-parallel path, matching their launch geometry.
+    fn run_native(
+        &self,
+        eng: &NativeEngine,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+        f: usize,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<NativeReport, LaunchError> {
+        Ok(if self.format() == "COO" {
+            native::sddmm_edges(
+                eng,
+                self.graph(),
+                &crate::gnnone::GnnOneConfig::default(),
+                x,
+                y,
+                f,
+                w,
+                self.name(),
+            )
+        } else {
+            native::sddmm_rows(eng, self.graph(), x, y, f, w, self.name())
+        })
+    }
 }
 
 /// Edge-apply SDDMM variants (§4.3): per-NZE outputs computed from scalar
@@ -59,6 +127,9 @@ pub trait EdgeApplyKernel: Send + Sync {
     /// Storage format consumed.
     fn format(&self) -> &'static str;
 
+    /// Graph tensors the kernel was constructed over.
+    fn graph(&self) -> &GraphData;
+
     /// Launches the kernel: reads `el` and `er` (`|V|`), writes `w`
     /// (`|E|`).
     fn run(
@@ -68,6 +139,25 @@ pub trait EdgeApplyKernel: Send + Sync {
         er: &DeviceBuffer<f32>,
         w: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError>;
+
+    /// Executes the same launch on the native CPU backend
+    /// (edge-parallel over contiguous NZE blocks).
+    fn run_native(
+        &self,
+        eng: &NativeEngine,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        w: &DeviceBuffer<f32>,
+    ) -> Result<NativeReport, LaunchError> {
+        Ok(native::u_add_v_edges(
+            eng,
+            self.graph(),
+            el,
+            er,
+            w,
+            self.name(),
+        ))
+    }
 }
 
 /// Fused attention: logits + edge softmax + attended aggregation in one
@@ -78,6 +168,9 @@ pub trait FusedAttentionKernel: Send + Sync {
 
     /// Storage format consumed.
     fn format(&self) -> &'static str;
+
+    /// Graph tensors the kernel was constructed over.
+    fn graph(&self) -> &GraphData;
 
     /// Launches the kernel: reads `z` (`|V| × f`), `el`/`er` (`|V|`),
     /// writes `y` (`|V| × f`, zeroed by the caller) and optionally the
@@ -93,6 +186,22 @@ pub trait FusedAttentionKernel: Send + Sync {
         y: &DeviceBuffer<f32>,
         alpha_out: Option<&DeviceBuffer<f32>>,
     ) -> Result<KernelReport, LaunchError>;
+
+    /// Executes the same launch on the native CPU backend. No provided
+    /// implementation: fused attention carries kernel-specific state
+    /// (e.g. the LeakyReLU slope), so each implementation routes to the
+    /// native routine itself.
+    #[allow(clippy::too_many_arguments)]
+    fn run_native(
+        &self,
+        eng: &NativeEngine,
+        z: &DeviceBuffer<f32>,
+        el: &DeviceBuffer<f32>,
+        er: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+        alpha_out: Option<&DeviceBuffer<f32>>,
+    ) -> Result<NativeReport, LaunchError>;
 }
 
 /// SpMV: `y ← A·x` with scalar features.
@@ -103,6 +212,9 @@ pub trait SpmvKernel: Send + Sync {
     /// Storage format consumed.
     fn format(&self) -> &'static str;
 
+    /// Graph tensors the kernel was constructed over.
+    fn graph(&self) -> &GraphData;
+
     /// Launches the kernel: reads `edge_vals` (`|E|`) and `x` (`|V|`),
     /// accumulates into `y` (`|V|`, zeroed by the caller).
     fn run(
@@ -112,4 +224,23 @@ pub trait SpmvKernel: Send + Sync {
         x: &DeviceBuffer<f32>,
         y: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError>;
+
+    /// Executes the same launch on the native CPU backend (row-split,
+    /// scalar features).
+    fn run_native(
+        &self,
+        eng: &NativeEngine,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<NativeReport, LaunchError> {
+        Ok(native::spmv_rows(
+            eng,
+            self.graph(),
+            edge_vals,
+            x,
+            y,
+            self.name(),
+        ))
+    }
 }

@@ -1,0 +1,290 @@
+//! Backend parity: the native CPU backend computes the same function as
+//! the CPU references and the simulator, for every kernel in the registry,
+//! across the full GNNOne configuration lattice — and its output is
+//! bitwise identical at every worker-thread count.
+//!
+//! This is the portability contract of `docs/BACKENDS.md` in executable
+//! form: a kernel object describes *what* to compute; switching the
+//! backend must never change it.
+
+use std::sync::Arc;
+
+use gnnone_kernels::backend::NativeEngine;
+use gnnone_kernels::gnnone::{GnnOneConfig, GnnOneSddmm, GnnOneSpmm, Schedule};
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::registry;
+use gnnone_kernels::traits::{SddmmKernel, SpmmKernel};
+use gnnone_sim::{DeviceBuffer, Gpu, GpuSpec};
+use gnnone_sparse::formats::{Coo, EdgeList};
+use gnnone_sparse::reference;
+
+/// A power-law graph and a ragged one (empty tail row, nnz far from any
+/// block multiple) — the same shapes the sim-parity lattice test uses.
+fn graphs() -> Vec<Arc<GraphData>> {
+    vec![
+        Arc::new(GraphData::new(Coo::from_edge_list(
+            &gnnone_sparse::gen::rmat(6, 220, gnnone_sparse::gen::GRAPH500_PROBS, 77).symmetrize(),
+        ))),
+        Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+            50,
+            (0..137u32).map(|e| (e % 49, (e * 7 + 1) % 49)).collect(),
+        )))),
+    ]
+}
+
+fn features(n: usize, f: usize, salt: usize) -> Vec<f32> {
+    (0..n * f)
+        .map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) * 0.1)
+        .collect()
+}
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuSpec::a100_40gb())
+}
+
+fn eng(threads: usize) -> NativeEngine {
+    NativeEngine::with_threads(threads).unwrap()
+}
+
+/// The 24-point lattice: Fig. 9 cache sizes × both Listing-2 schedules ×
+/// vector loads on/off × data reuse on/off.
+fn config_lattice() -> Vec<GnnOneConfig> {
+    let mut out = Vec::new();
+    for cache_size in [32usize, 64, 128] {
+        for schedule in [Schedule::Consecutive, Schedule::RoundRobin] {
+            for vectorize in [false, true] {
+                for data_reuse in [false, true] {
+                    out.push(GnnOneConfig {
+                        cache_size,
+                        schedule,
+                        vectorize,
+                        data_reuse,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every registry kernel, every family: native ≡ CPU reference ≡ sim.
+#[test]
+fn native_matches_reference_and_sim_for_every_registry_kernel() {
+    let gp = gpu();
+    let ng = eng(4);
+    for g in graphs() {
+        let nv = g.num_vertices();
+        let nnz = g.nnz();
+        for f in [3usize, 16, 33] {
+            let x = features(nv, f, 21);
+            let y = features(nv, f, 22);
+            let w = features(nnz, 1, 23);
+            let dx = DeviceBuffer::from_slice(&x);
+            let dyv = DeviceBuffer::from_slice(&y);
+            let dwv = DeviceBuffer::from_slice(&w);
+
+            let sddmm_ref = reference::sddmm_coo(&g.coo, &x, &y, f);
+            for k in registry::sddmm_kernels(&g) {
+                let w_nat = DeviceBuffer::<f32>::zeros(nnz);
+                k.run_native(&ng, &dx, &dyv, f, &w_nat).unwrap();
+                reference::assert_close(&w_nat.to_vec(), &sddmm_ref, 1e-3);
+                let w_sim = DeviceBuffer::<f32>::zeros(nnz);
+                k.run(&gp, &dx, &dyv, f, &w_sim).unwrap();
+                reference::assert_close(&w_nat.to_vec(), &w_sim.to_vec(), 1e-3);
+            }
+
+            let spmm_ref = reference::spmm_csr(&g.csr, &w, &x, f);
+            let spmm_all = registry::spmm_kernels(&g)
+                .into_iter()
+                .chain(registry::spmm_discussion_kernels(&g))
+                .chain(registry::spmm_format_kernels(&g));
+            for k in spmm_all {
+                let y_nat = DeviceBuffer::<f32>::zeros(nv * f);
+                k.run_native(&ng, &dwv, &dx, f, &y_nat).unwrap();
+                reference::assert_close(&y_nat.to_vec(), &spmm_ref, 1e-3);
+                let y_sim = DeviceBuffer::<f32>::zeros(nv * f);
+                k.run(&gp, &dwv, &dx, f, &y_sim).unwrap();
+                reference::assert_close(&y_nat.to_vec(), &y_sim.to_vec(), 1e-3);
+            }
+        }
+
+        let xs = features(nv, 1, 9);
+        let ws = features(nnz, 1, 10);
+        let dxs = DeviceBuffer::from_slice(&xs);
+        let dws = DeviceBuffer::from_slice(&ws);
+        let spmv_ref = reference::spmv_csr(&g.csr, &ws, &xs);
+        for k in registry::spmv_class_kernels(&g) {
+            let y_nat = DeviceBuffer::<f32>::zeros(nv);
+            k.run_native(&ng, &dws, &dxs, &y_nat).unwrap();
+            reference::assert_close(&y_nat.to_vec(), &spmv_ref, 1e-3);
+            let y_sim = DeviceBuffer::<f32>::zeros(nv);
+            k.run(&gp, &dws, &dxs, &y_sim).unwrap();
+            reference::assert_close(&y_nat.to_vec(), &y_sim.to_vec(), 1e-3);
+        }
+
+        let el = features(nv, 1, 24);
+        let er = features(nv, 1, 25);
+        let del = DeviceBuffer::from_slice(&el);
+        let der = DeviceBuffer::from_slice(&er);
+        for k in registry::edge_apply_kernels(&g) {
+            let w_nat = DeviceBuffer::<f32>::zeros(nnz);
+            k.run_native(&ng, &del, &der, &w_nat).unwrap();
+            let got = w_nat.to_vec();
+            for e in 0..nnz {
+                let expect = el[g.coo.rows()[e] as usize] + er[g.coo.cols()[e] as usize];
+                assert!((got[e] - expect).abs() < 1e-5, "u_add_v edge {e}");
+            }
+            let w_sim = DeviceBuffer::<f32>::zeros(nnz);
+            k.run(&gp, &del, &der, &w_sim).unwrap();
+            reference::assert_close(&got, &w_sim.to_vec(), 1e-5);
+        }
+
+        let f = 16usize;
+        let z = features(nv, f, 41);
+        let dz = DeviceBuffer::from_slice(&z);
+        for k in registry::fused_kernels(&g) {
+            let alpha_nat = DeviceBuffer::<f32>::zeros(nnz);
+            let y_nat = DeviceBuffer::<f32>::zeros(nv * f);
+            k.run_native(&ng, &dz, &del, &der, f, &y_nat, Some(&alpha_nat))
+                .unwrap();
+            let alpha_sim = DeviceBuffer::<f32>::zeros(nnz);
+            let y_sim = DeviceBuffer::<f32>::zeros(nv * f);
+            k.run(&gp, &dz, &del, &der, f, &y_sim, Some(&alpha_sim))
+                .unwrap();
+            reference::assert_close(&y_nat.to_vec(), &y_sim.to_vec(), 1e-3);
+            reference::assert_close(&alpha_nat.to_vec(), &alpha_sim.to_vec(), 1e-3);
+        }
+    }
+}
+
+/// The GNNOne kernels honour their config on native too: every point of
+/// the 24-point lattice computes the reference answer.
+#[test]
+fn native_lattice_matches_reference() {
+    let ng = eng(3);
+    for g in graphs() {
+        let nv = g.num_vertices();
+        for f in [3usize, 16, 33] {
+            let x = features(nv, f, 21);
+            let y = features(nv, f, 22);
+            let w = features(g.nnz(), 1, 23);
+            let sddmm_ref = reference::sddmm_coo(&g.coo, &x, &y, f);
+            let spmm_ref = reference::spmm_csr(&g.csr, &w, &x, f);
+            let dx = DeviceBuffer::from_slice(&x);
+            let dyv = DeviceBuffer::from_slice(&y);
+            let dwv = DeviceBuffer::from_slice(&w);
+            for cfg in config_lattice() {
+                let dw = DeviceBuffer::<f32>::zeros(g.nnz());
+                GnnOneSddmm::new(Arc::clone(&g), cfg)
+                    .run_native(&ng, &dx, &dyv, f, &dw)
+                    .unwrap();
+                reference::assert_close(&dw.to_vec(), &sddmm_ref, 1e-3);
+                let dy = DeviceBuffer::<f32>::zeros(nv * f);
+                GnnOneSpmm::new(Arc::clone(&g), cfg)
+                    .run_native(&ng, &dwv, &dx, f, &dy)
+                    .unwrap();
+                reference::assert_close(&dy.to_vec(), &spmm_ref, 1e-3);
+            }
+        }
+    }
+}
+
+/// Worker-thread count is invisible in the bits: every registry kernel
+/// produces byte-identical output at 1, 2 and 4 threads. No atomics, no
+/// reduction-order dependence on the split.
+#[test]
+fn native_output_is_bitwise_deterministic_across_thread_counts() {
+    let engines = [eng(1), eng(2), eng(4)];
+    for g in graphs() {
+        let nv = g.num_vertices();
+        let nnz = g.nnz();
+        let f = 16usize;
+        let x = features(nv, f, 21);
+        let y = features(nv, f, 22);
+        let w = features(nnz, 1, 23);
+        let dx = DeviceBuffer::from_slice(&x);
+        let dyv = DeviceBuffer::from_slice(&y);
+        let dwv = DeviceBuffer::from_slice(&w);
+        let el = DeviceBuffer::from_slice(&features(nv, 1, 24));
+        let er = DeviceBuffer::from_slice(&features(nv, 1, 25));
+        let z = DeviceBuffer::from_slice(&features(nv, f, 41));
+
+        let sddmm_outs: Vec<Vec<Vec<f32>>> = engines
+            .iter()
+            .map(|ng| {
+                registry::sddmm_kernels(&g)
+                    .iter()
+                    .map(|k| {
+                        let dw = DeviceBuffer::<f32>::zeros(nnz);
+                        k.run_native(ng, &dx, &dyv, f, &dw).unwrap();
+                        dw.to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(sddmm_outs[0], sddmm_outs[1], "sddmm: 1 vs 2 threads");
+        assert_eq!(sddmm_outs[0], sddmm_outs[2], "sddmm: 1 vs 4 threads");
+
+        let spmm_outs: Vec<Vec<Vec<f32>>> = engines
+            .iter()
+            .map(|ng| {
+                registry::spmm_kernels(&g)
+                    .into_iter()
+                    .chain(registry::spmm_discussion_kernels(&g))
+                    .chain(registry::spmm_format_kernels(&g))
+                    .map(|k| {
+                        let dy = DeviceBuffer::<f32>::zeros(nv * f);
+                        k.run_native(ng, &dwv, &dx, f, &dy).unwrap();
+                        dy.to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(spmm_outs[0], spmm_outs[1], "spmm: 1 vs 2 threads");
+        assert_eq!(spmm_outs[0], spmm_outs[2], "spmm: 1 vs 4 threads");
+
+        let rest_outs: Vec<Vec<Vec<f32>>> = engines
+            .iter()
+            .map(|ng| {
+                let mut outs = Vec::new();
+                for k in registry::spmv_class_kernels(&g) {
+                    let dy = DeviceBuffer::<f32>::zeros(nv);
+                    k.run_native(ng, &dwv, &dx, &dy).unwrap();
+                    outs.push(dy.to_vec());
+                }
+                for k in registry::edge_apply_kernels(&g) {
+                    let dw = DeviceBuffer::<f32>::zeros(nnz);
+                    k.run_native(ng, &el, &er, &dw).unwrap();
+                    outs.push(dw.to_vec());
+                }
+                for k in registry::fused_kernels(&g) {
+                    let alpha = DeviceBuffer::<f32>::zeros(nnz);
+                    let dy = DeviceBuffer::<f32>::zeros(nv * f);
+                    k.run_native(ng, &z, &el, &er, f, &dy, Some(&alpha))
+                        .unwrap();
+                    outs.push(dy.to_vec());
+                    outs.push(alpha.to_vec());
+                }
+                outs
+            })
+            .collect();
+        assert_eq!(rest_outs[0], rest_outs[1], "spmv/edge/fused: 1 vs 2");
+        assert_eq!(rest_outs[0], rest_outs[2], "spmv/edge/fused: 1 vs 4");
+    }
+}
+
+/// The registry exposes exactly the 21 kernels `BENCH_NATIVE.json` and
+/// the CI `native-smoke` job assert coverage of. Growing the registry
+/// must grow this count (and the committed baseline) deliberately.
+#[test]
+fn registry_exposes_twenty_one_kernels() {
+    let g = &graphs()[0];
+    let count = registry::sddmm_kernels(g).len()
+        + registry::spmm_kernels(g).len()
+        + registry::spmm_discussion_kernels(g).len()
+        + registry::spmm_format_kernels(g).len()
+        + registry::spmv_class_kernels(g).len()
+        + registry::edge_apply_kernels(g).len()
+        + registry::fused_kernels(g).len();
+    assert_eq!(count, 21);
+}

@@ -158,6 +158,23 @@ impl<T: Pod32> DeviceBuffer<T> {
             .collect()
     }
 
+    /// Bulk host→device copy: overwrites the whole buffer from `data`
+    /// (which must match the buffer length). Element-wise relaxed stores,
+    /// the bulk form of [`DeviceBuffer::write`] — used by the native
+    /// backend to publish results computed outside the simulator.
+    pub fn copy_from_slice(&self, data: &[T]) {
+        assert_eq!(
+            data.len(),
+            self.len(),
+            "copy_from_slice length mismatch: {} != {}",
+            data.len(),
+            self.len()
+        );
+        for (w, v) in self.words.iter().zip(data) {
+            w.store(v.to_bits32(), Ordering::Relaxed);
+        }
+    }
+
     /// Resets every element to `T::default()`.
     pub fn fill_default(&self) {
         let bits = T::default().to_bits32();

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Drift check: every CLI flag and subcommand that docs/BACKENDS.md's code
+# blocks mention must exist in the bench sources, and the flags the
+# backend feature actually ships must be documented. Pure grep — no build
+# needed — so the docs job stays fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/BACKENDS.md
+CLI=crates/bench/src/cli.rs
+PROF=crates/bench/src/bin/gnnone_prof.rs
+fail=0
+
+err() {
+  echo "check_backends_docs: $*" >&2
+  fail=1
+}
+
+[ -f "$DOC" ] || { err "$DOC is missing"; exit 1; }
+
+# 1. Every --flag named inside the doc's fenced code blocks must appear
+#    in the CLI parser or the gnnone-prof bench parser. awk extracts the
+#    code blocks; grep pulls the flags.
+doc_flags=$(awk '/^```/{in_block=!in_block; next} in_block' "$DOC" \
+  | grep -oE '\-\-[a-z][a-z-]*' | sort -u)
+for flag in $doc_flags; do
+  case "$flag" in
+    # cargo's own flags, not ours
+    --release|--bin|--example|--workspace) continue ;;
+  esac
+  if ! grep -qF -- "\"$flag\"" "$CLI" && ! grep -qF -- "\"$flag\"" "$PROF"; then
+    err "$DOC references $flag but neither $CLI nor $PROF parses it"
+  fi
+done
+
+# 2. The backend surface the code ships must be documented: flags,
+#    accepted values, the bench subcommand, and the committed baseline.
+for needed in "--backend" "--threads" "sim" "native" "gnnone-prof" \
+  "bench" "BENCH_NATIVE.json" "ExecReport" "NativeEngine" "require_sim_backend"; do
+  if ! grep -qF -- "$needed" "$DOC"; then
+    err "$DOC never mentions $needed"
+  fi
+done
+
+# 3. The error-message contracts quoted in the doc must match the code.
+grep -qF 'unknown backend' crates/kernels/src/backend/mod.rs \
+  || err "BackendKind parse error moved; update $DOC"
+grep -qF 'attaches to the simulator and cannot be combined' "$CLI" \
+  || err "sim-only flag rejection message moved; update $DOC"
+grep -qF 'requires --backend native' "$CLI" \
+  || err "--threads rejection message moved; update $DOC"
+
+# 4. Docs that cross-reference the backend docs must still exist and
+#    point at real files.
+for ref in docs/BACKENDS.md EXPERIMENTS.md BENCH_NATIVE.json \
+  crates/kernels/tests/backend_parity.rs; do
+  [ -e "$ref" ] || err "referenced artifact $ref does not exist"
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_backends_docs: OK"

@@ -1,0 +1,334 @@
+//! Offline vendored subset of `rand` 0.8.
+//!
+//! Every sampling path used by this workspace reproduces upstream's exact
+//! algorithm **and randomness consumption**, so a generator shared between
+//! call sites stays stream-aligned with the real crate:
+//!
+//! * `Standard` floats: high-bit multiply (`u32 >> 8` / `u64 >> 11`).
+//! * `gen_range` on integers: widening-multiply rejection with the
+//!   `leading_zeros` zone (one `u32` per `u32` draw, one `u64` per
+//!   `usize`/`u64` draw per attempt).
+//! * `gen_range` on floats: the `[1, 2)` mantissa-fill path
+//!   (`value0_1 * scale + low` with retry on `res >= high`).
+//! * `gen_bool`: Bernoulli via 64-bit integer threshold (`p == 1.0`
+//!   consumes nothing).
+//! * `Open01`: mantissa fill minus `1 - ε/2`.
+
+pub use rand_core;
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    //! Sampling distributions (the subset the workspace samples from).
+
+    use crate::RngCore;
+
+    /// Types which can produce values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "default" distribution: uniform over the value range for
+    /// integers, `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    /// Uniform over the **open** interval `(0, 1)`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Open01;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Upstream: sign-bit test on one u32.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 mantissa-ish bits: (u >> 8) * 2^-24.
+            let fraction = rng.next_u32() >> 8;
+            fraction as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 bits: (u >> 11) * 2^-53.
+            let fraction = rng.next_u64() >> 11;
+            fraction as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f64> for Open01 {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Mantissa fill into [1, 2), then shift to (0, 1).
+            let fraction = rng.next_u64() >> 12;
+            f64::from_bits((1023u64 << 52) | fraction) - (1.0 - f64::EPSILON / 2.0)
+        }
+    }
+    impl Distribution<f32> for Open01 {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let fraction = rng.next_u32() >> 9;
+            f32::from_bits((127u32 << 23) | fraction) - (1.0 - f32::EPSILON / 2.0)
+        }
+    }
+
+    pub mod uniform {
+        //! `gen_range` backing: upstream's `UniformSampler::sample_single`.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges which can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        #[inline]
+        fn wmul64(a: u64, b: u64) -> (u64, u64) {
+            let t = (a as u128) * (b as u128);
+            ((t >> 64) as u64, t as u64)
+        }
+
+        #[inline]
+        fn wmul32(a: u32, b: u32) -> (u32, u32) {
+            let t = (a as u64) * (b as u64);
+            ((t >> 32) as u32, t as u32)
+        }
+
+        macro_rules! uniform_int_64 {
+            ($ty:ty) => {
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let range = (self.end as u64).wrapping_sub(self.start as u64);
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = rng.next_u64();
+                            let (hi, lo) = wmul64(v, range);
+                            if lo <= zone {
+                                return self.start.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (low, high) = (*self.start(), *self.end());
+                        assert!(low <= high, "cannot sample empty range");
+                        let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                        if range == 0 {
+                            // Full type span: any value.
+                            return rng.next_u64() as $ty;
+                        }
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = rng.next_u64();
+                            let (hi, lo) = wmul64(v, range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        macro_rules! uniform_int_32 {
+            ($ty:ty) => {
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let range = (self.end as u32).wrapping_sub(self.start as u32);
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = rng.next_u32();
+                            let (hi, lo) = wmul32(v, range);
+                            if lo <= zone {
+                                return self.start.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (low, high) = (*self.start(), *self.end());
+                        assert!(low <= high, "cannot sample empty range");
+                        let range = (high as u32).wrapping_sub(low as u32).wrapping_add(1);
+                        if range == 0 {
+                            return rng.next_u32() as $ty;
+                        }
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = rng.next_u32();
+                            let (hi, lo) = wmul32(v, range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_64!(u64);
+        uniform_int_64!(usize);
+        uniform_int_64!(i64);
+        uniform_int_32!(u32);
+        uniform_int_32!(i32);
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let scale = self.end - self.start;
+                loop {
+                    // value1_2 in [1, 2): 23 mantissa bits (discard 9).
+                    let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let scale = self.end - self.start;
+                loop {
+                    // value1_2 in [1, 2): 52 mantissa bits (discard 12).
+                    let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                }
+            }
+        }
+    }
+
+    pub use uniform::SampleRange;
+}
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Convenience extension over [`RngCore`] — the user-facing sampling API.
+pub trait Rng: RngCore {
+    /// Samples via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if !(0.0..=1.0).contains(&p) {
+            panic!("p={p} is outside range [0.0, 1.0]");
+        }
+        if p == 1.0 {
+            return true; // upstream ALWAYS_TRUE: consumes no randomness
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    //! The traits a sampling call site needs in scope.
+    pub use crate::distributions::Distribution;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    /// Deterministic counting RNG for consumption tests.
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 += 1;
+            (self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(0);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let c = rng.gen_range(0u32..5);
+            assert!(c < 5);
+            let i = rng.gen_range(2usize..=4);
+            assert!((2..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn standard_floats_are_half_open_unit() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let a: f64 = rng.gen();
+            let b: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            let o: f64 = rng.sample(crate::distributions::Open01);
+            assert!(o > 0.0 && o < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = Counter(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        // p = 1.0 must not consume randomness (upstream semantics).
+        let mut a = Counter(5);
+        let mut b = Counter(5);
+        a.gen_bool(1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,11 @@
+use rand_chacha::ChaCha8Rng;
+use rand_core::{RngCore, SeedableRng};
+fn main() {
+    let mut r = ChaCha8Rng::from_seed([0u8; 32]);
+    let mut bytes = [0u8; 32];
+    r.fill_bytes(&mut bytes);
+    for b in bytes {
+        print!("{b:02X}");
+    }
+    println!();
+}

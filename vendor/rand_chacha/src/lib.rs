@@ -1,0 +1,173 @@
+//! Offline vendored `ChaCha8Rng`, **stream-compatible** with
+//! `rand_chacha` 0.3 + `rand_core` 0.6.
+//!
+//! Upstream wraps the ChaCha block function in `BlockRng`: blocks are
+//! generated four at a time into a 64-word buffer, `next_u32` consumes one
+//! word, and `next_u64` consumes two with a special case when only one word
+//! remains. All of that — including the 64-bit block counter spanning state
+//! words 12–13 and the zero nonce — is reproduced here so that every seeded
+//! stream (and therefore every committed golden file) is bit-identical.
+
+pub use rand_core;
+use rand_core::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+const ROUNDS: usize = 8;
+
+/// The ChaCha8 block cipher as a deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the ChaCha state).
+    counter: u64,
+    results: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // words 14–15: stream id, always zero for seed_from_u64/from_seed
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = state[i].wrapping_add(initial[i]);
+        }
+    }
+
+    /// Refills the 4-block buffer and positions the read index at
+    /// `offset`, mirroring `BlockRng::generate_and_set`.
+    fn generate_and_set(&mut self, offset: usize) {
+        debug_assert!(offset < BUF_WORDS);
+        let mut out = [0u32; BUF_WORDS];
+        for b in 0..4 {
+            let (lo, hi) = (b * 16, b * 16 + 16);
+            let mut blk = [0u32; 16];
+            self.block(self.counter + b as u64, &mut blk);
+            out[lo..hi].copy_from_slice(&blk);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.results = out;
+        self.index = offset;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        Self {
+            key,
+            counter: 0,
+            results: [0u32; BUF_WORDS],
+            index: BUF_WORDS, // buffer starts exhausted
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    // BlockRng::next_u64 semantics: normally two words (lo, hi); when
+    // exactly one word remains it becomes the low half and the first word
+    // of the next buffer the high half.
+    fn next_u64(&mut self) -> u64 {
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index = index + 2;
+            (self.results[index] as u64) | ((self.results[index + 1] as u64) << 32)
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            (self.results[0] as u64) | ((self.results[1] as u64) << 32)
+        } else {
+            let lo = self.results[BUF_WORDS - 1] as u64;
+            self.generate_and_set(1);
+            let hi = self.results[0] as u64;
+            (hi << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector, adapted: the ChaCha20 reference state
+    /// check can't apply to ChaCha8, so instead pin the *structure*:
+    /// deterministic refills, counter stepping, and the one-word-left
+    /// `next_u64` splice.
+    #[test]
+    fn word_stream_is_deterministic_and_splices() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let words: Vec<u32> = (0..130).map(|_| a.next_u32()).collect();
+        let again: Vec<u32> = (0..130).map(|_| b.next_u32()).collect();
+        assert_eq!(words, again);
+
+        // Drain 63 words, then next_u64 must splice word 63 (lo) with the
+        // first word of the next refill (hi).
+        let mut c = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..63 {
+            c.next_u32();
+        }
+        let spliced = c.next_u64();
+        assert_eq!(spliced as u32, words[63]);
+        assert_eq!((spliced >> 32) as u32, words[64]);
+        // And the read index sits at 1 afterwards.
+        assert_eq!(c.next_u32(), words[65]);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,701 @@
+//! Offline vendored subset of `rayon`, backed by `std::thread::scope`.
+//!
+//! This is **real parallelism**, not a sequential stub: every combinator
+//! statically partitions its index space into one contiguous block per
+//! worker and runs the blocks on scoped OS threads. Two properties the
+//! workspace depends on are preserved from real rayon:
+//!
+//! * **Encounter-order combining** — `collect`, `fold`/`reduce` and
+//!   `enumerate` observe items in index order regardless of the thread
+//!   count, so deterministic kernels stay bit-identical across pools.
+//! * **Panic propagation with payload** — a panicking worker's payload is
+//!   resumed on the caller (the simulator downcasts it to its abort
+//!   signal), not replaced with a generic message.
+//!
+//! `ThreadPool::install` scopes an override of the worker count via a
+//! thread-local, which is all `num_threads` controls here.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn effective_threads() -> usize {
+    POOL_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// Worker count of the current pool (the global default, or the pool
+/// whose `install` scope we are inside).
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+/// Error building a [`ThreadPool`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize, // 0 = default
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the exact worker count (0 means the global default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A pool with a fixed worker count. Workers are scoped threads spawned
+/// per parallel call rather than persistent OS threads; `install` only
+/// scopes the worker-count override.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count in effect.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Splits `n` items into at most `t` non-empty contiguous blocks.
+fn block_bounds(n: usize, t: usize) -> Vec<(usize, usize)> {
+    let t = t.min(n).max(1);
+    let (base, extra) = (n / t, n % t);
+    let mut out = Vec::with_capacity(t);
+    let mut start = 0;
+    for b in 0..t {
+        let len = base + usize::from(b < extra);
+        if len > 0 {
+            out.push((start, start + len));
+            start += len;
+        }
+    }
+    out
+}
+
+/// Runs `f(start, end)` for each block of `0..n` on scoped threads (block
+/// 0 on the calling thread), returning per-block results in block order.
+/// The first worker panic is resumed on the caller with its payload.
+fn run_blocks<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let bounds = block_bounds(n, effective_threads());
+    if bounds.len() <= 1 {
+        let (a, b) = *bounds.first().unwrap_or(&(0, 0));
+        return if n == 0 { Vec::new() } else { vec![f(a, b)] };
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(a, b)| s.spawn(move || f(a, b)))
+            .collect();
+        let mut payload = None;
+        let mut results = Vec::with_capacity(bounds.len());
+        match catch_unwind(AssertUnwindSafe(|| f(bounds[0].0, bounds[0].1))) {
+            Ok(r) => results.push(r),
+            Err(p) => payload = Some(p),
+        }
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(p) => {
+                    if payload.is_none() {
+                        payload = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        results
+    })
+}
+
+/// Like [`run_blocks`] but hands each worker an owned per-block payload.
+fn run_owned_blocks<T, F>(parts: Vec<(usize, T)>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    if parts.len() <= 1 {
+        for (base, part) in parts {
+            f(base, part);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("non-empty");
+        let handles: Vec<_> = iter
+            .map(|(base, part)| s.spawn(move || f(base, part)))
+            .collect();
+        let mut payload = None;
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(first.0, first.1))) {
+            payload = Some(p);
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                if payload.is_none() {
+                    payload = Some(p);
+                }
+            }
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// into_par_iter: ranges and vectors
+// ---------------------------------------------------------------------
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f`.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` for every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let s = self.range.start;
+        run_blocks(self.range.len(), |a, b| {
+            for i in a..b {
+                f(s + i);
+            }
+        });
+    }
+}
+
+/// Mapped parallel range.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collects mapped values in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromParallelOutput<R>,
+    {
+        let s = self.range.start;
+        let f = &self.f;
+        let blocks = run_blocks(self.range.len(), |a, b| {
+            (a..b).map(|i| f(s + i)).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(self.range.len());
+        for block in blocks {
+            out.extend(block);
+        }
+        C::from_parallel_output(out)
+    }
+
+    /// Runs the mapped closure for every index, discarding results.
+    pub fn for_each<R>(self, g: impl Fn(R) + Sync)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let s = self.range.start;
+        let f = &self.f;
+        run_blocks(self.range.len(), |a, b| {
+            for i in a..b {
+                g(f(s + i));
+            }
+        });
+    }
+
+    /// Per-worker fold in index order (terminal: [`ParRangeFold::reduce`]).
+    pub fn fold<A, ID, FF, R>(self, identity: ID, fold_op: FF) -> ParRangeFold<F, ID, FF>
+    where
+        R: Send,
+        A: Send,
+        F: Fn(usize) -> R + Sync,
+        ID: Fn() -> A + Sync,
+        FF: Fn(A, R) -> A + Sync,
+    {
+        ParRangeFold {
+            range: self.range,
+            f: self.f,
+            identity,
+            fold_op,
+        }
+    }
+}
+
+/// Folded parallel range awaiting its reduce step.
+pub struct ParRangeFold<F, ID, FF> {
+    range: Range<usize>,
+    f: F,
+    identity: ID,
+    fold_op: FF,
+}
+
+impl<F, ID, FF> ParRangeFold<F, ID, FF> {
+    /// Combines per-worker fold results **in encounter order** — the
+    /// indexed-reduce determinism real rayon guarantees.
+    pub fn reduce<A, R, RID, RF>(self, reduce_identity: RID, reduce_op: RF) -> A
+    where
+        A: Send,
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        ID: Fn() -> A + Sync,
+        FF: Fn(A, R) -> A + Sync,
+        RID: Fn() -> A + Sync,
+        RF: Fn(A, A) -> A + Sync,
+    {
+        let s = self.range.start;
+        let (f, id, ff) = (&self.f, &self.identity, &self.fold_op);
+        let parts = run_blocks(self.range.len(), |a, b| {
+            let mut acc = id();
+            for i in a..b {
+                acc = ff(acc, f(s + i));
+            }
+            acc
+        });
+        let mut out = reduce_identity();
+        for p in parts {
+            out = reduce_op(out, p);
+        }
+        out
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Runs `f` on every element (elements move to workers by block).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let n = self.items.len();
+        let bounds = block_bounds(n, effective_threads());
+        let mut iter = self.items.into_iter();
+        let parts: Vec<(usize, Vec<T>)> = bounds
+            .iter()
+            .map(|&(a, b)| (a, iter.by_ref().take(b - a).collect()))
+            .collect();
+        run_owned_blocks(parts, |_base, part| {
+            for item in part {
+                f(item);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// par_iter over shared slices
+// ---------------------------------------------------------------------
+
+/// `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel shared-slice iterator.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element reference.
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParIterMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Pairs with a same-length slice.
+    pub fn zip<'b, U: Sync>(self, other: &'b [U]) -> ParZip<'a, 'b, T, U> {
+        ParZip {
+            a: self.slice,
+            b: other,
+        }
+    }
+}
+
+/// Mapped shared-slice iterator.
+pub struct ParIterMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParIterMap<'a, T, F> {
+    /// Collects mapped values in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelOutput<R>,
+    {
+        let (slice, f) = (self.slice, &self.f);
+        let blocks = run_blocks(slice.len(), |a, b| {
+            slice[a..b].iter().map(f).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(slice.len());
+        for block in blocks {
+            out.extend(block);
+        }
+        C::from_parallel_output(out)
+    }
+}
+
+/// Zipped pair of shared slices.
+pub struct ParZip<'a, 'b, T, U> {
+    a: &'a [T],
+    b: &'b [U],
+}
+
+impl<'a, 'b, T: Sync, U: Sync> ParZip<'a, 'b, T, U> {
+    /// Maps each pair of element references.
+    pub fn map<R, F>(self, f: F) -> ParZipMap<'a, 'b, T, U, F>
+    where
+        R: Send,
+        F: Fn((&'a T, &'b U)) -> R + Sync,
+    {
+        ParZipMap {
+            a: self.a,
+            b: self.b,
+            f,
+        }
+    }
+}
+
+/// Mapped zip of two shared slices.
+pub struct ParZipMap<'a, 'b, T, U, F> {
+    a: &'a [T],
+    b: &'b [U],
+    f: F,
+}
+
+impl<'a, 'b, T: Sync, U: Sync, F> ParZipMap<'a, 'b, T, U, F> {
+    /// Collects mapped values in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn((&'a T, &'b U)) -> R + Sync,
+        C: FromParallelOutput<R>,
+    {
+        let n = self.a.len().min(self.b.len());
+        let (xs, ys, f) = (self.a, self.b, &self.f);
+        let blocks = run_blocks(n, |a, b| {
+            (a..b).map(|i| f((&xs[i], &ys[i]))).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for block in blocks {
+            out.extend(block);
+        }
+        C::from_parallel_output(out)
+    }
+}
+
+/// Collection target of a parallel `collect` (only `Vec` is needed).
+pub trait FromParallelOutput<T> {
+    /// Builds the collection from items in encounter order.
+    fn from_parallel_output(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelOutput<T> for Vec<T> {
+    fn from_parallel_output(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+// ---------------------------------------------------------------------
+// par_chunks_mut over mutable slices
+// ---------------------------------------------------------------------
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel mutable-chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attaches chunk indices.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Runs `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'b> Fn(&'b mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair. Workers receive disjoint
+    /// sub-slices split at chunk boundaries, so indices match the
+    /// sequential `chunks_mut(..).enumerate()` exactly.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'b> Fn((usize, &'b mut [T])) + Sync,
+    {
+        let size = self.size;
+        let n_chunks = self.slice.len().div_ceil(size);
+        let bounds = block_bounds(n_chunks, effective_threads());
+        let mut rest = self.slice;
+        let mut parts = Vec::with_capacity(bounds.len());
+        for &(a, b) in &bounds {
+            let take = ((b - a) * size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            parts.push((a, head));
+            rest = tail;
+        }
+        run_owned_blocks(parts, |base, part| {
+            for (j, chunk) in part.chunks_mut(size).enumerate() {
+                f((base + j, chunk));
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn blocks_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 8, 200] {
+                let b = block_bounds(n, t);
+                let mut next = 0;
+                for &(a, e) in &b {
+                    assert_eq!(a, next);
+                    assert!(e > a);
+                    next = e;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn range_map_collect_in_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total: usize = (0..1000)
+            .into_par_iter()
+            .map(|i| i)
+            .fold(|| 0usize, |a, b| a + b)
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_indices() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k / 10);
+        }
+    }
+
+    #[test]
+    fn par_iter_zip_map() {
+        let a: Vec<f32> = (0..513).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..513).map(|i| (i * 2) as f32).collect();
+        let sums: Vec<f32> = a.par_iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        assert!(sums.iter().enumerate().all(|(i, &s)| s == (i * 3) as f32));
+        let doubled: Vec<f32> = a.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled[512], 1024.0);
+    }
+
+    #[test]
+    fn vec_into_par_iter_for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..777).collect();
+        items.into_par_iter().for_each(|i| {
+            seen.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 777 * 776 / 2);
+    }
+
+    #[test]
+    fn panic_payload_propagates() {
+        struct Marker(u32);
+        let caught = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 40 {
+                    std::panic::panic_any(Marker(7));
+                }
+            });
+        });
+        let payload = caught.expect_err("must panic");
+        let marker = payload.downcast::<Marker>().expect("payload preserved");
+        assert_eq!(marker.0, 7);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace's on-disk formats all go through the dependency-free
+//! `jsonio` modules; the serde derives on its types are declarative
+//! compatibility markers (kept so the code builds unchanged against the
+//! real crate). This stub therefore provides exactly that: two marker
+//! traits and the matching name-only derive macros.
+
+/// Marker for serializable types (no-op in the offline stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op in the offline stub).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}

@@ -1,0 +1,38 @@
+//! Offline vendored `serde_derive`: emits **empty marker impls** for the
+//! stubbed `serde` facade. No `syn`/`quote` — the input is scanned for the
+//! `struct`/`enum` keyword and the following identifier; attributes
+//! (including `#[serde(...)]`) are accepted and ignored. Generic types are
+//! unsupported (none of the workspace's derived types are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let word = id.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
