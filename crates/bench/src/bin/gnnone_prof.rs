@@ -25,6 +25,13 @@
 //! at tiny scale. Malformed inputs must be rejected with typed errors;
 //! valid-extreme inputs must run clean. Exits non-zero on any panic,
 //! abort, sanitizer finding, or validation hole. See `docs/ROBUSTNESS.md`.
+//!
+//! `verify` runs the static kernel verifier: every registry kernel's
+//! symbolic access summary is checked (race freedom, bounds, barrier
+//! epochs, watchdog budget) under both execution models on the selected
+//! graphs, plus the 24-point config lattice for the tunable GNNOne
+//! kernels. Exits non-zero unless every obligation is `Proved` — a kernel
+//! without a summary is a coverage failure. See `docs/STATIC_ANALYSIS.md`.
 
 use std::process::ExitCode;
 
@@ -39,6 +46,7 @@ fn main() -> ExitCode {
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("trace") if args.len() == 2 => trace_summary(&args[1]),
         Some("sanitize") => sanitize_cmd(&args[1..]),
+        Some("verify") => verify_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
@@ -49,8 +57,8 @@ fn main() -> ExitCode {
         _ => {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
-                 trace <trace.json> | sanitize [flags] | fuzz [flags] | \
-                 chaos [flags] | bench [flags]"
+                 trace <trace.json> | sanitize [flags] | verify [flags] | \
+                 fuzz [flags] | chaos [flags] | bench [flags]"
                 .to_string())
         }
     };
@@ -70,6 +78,8 @@ fn usage() {
          gnnone-prof trace <trace.json>\n  \
          gnnone-prof sanitize [--scale tiny|small|medium] [--dims 6,16] \
          [--datasets G0,G3] [--out report.json]\n  \
+         gnnone-prof verify [--scale tiny|small|medium] [--dims 6,16] \
+         [--datasets G0,G3] [--out verdicts.json]\n  \
          gnnone-prof fuzz [--seed N|0xHEX] [--sanitize] [--datasets G0,G3] \
          [--f 8] [--out report.json]\n  \
          gnnone-prof chaos [--seed N|0xHEX] [--datasets G0,G5] [--f 8] \
@@ -432,6 +442,62 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
     }
     if total > 0 {
         return Err(format!("{total} sanitizer finding(s) — see table above"));
+    }
+    Ok(())
+}
+
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_kernels::analysis::ExecModel;
+    let opts = gnnone_bench::cli::parse(args.iter().cloned()).map_err(|e| e.to_string())?;
+    let cells =
+        gnnone_bench::verify::verify_datasets(&opts, &[ExecModel::Sim, ExecModel::Native], true)
+            .map_err(|e| e.to_string())?;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &cells {
+        for v in &c.verdicts {
+            rows.push(vec![
+                c.dataset.clone(),
+                c.f.to_string(),
+                v.kernel.clone(),
+                v.op.to_string(),
+                v.model.as_str().to_string(),
+                v.verdict.as_str().to_string(),
+            ]);
+        }
+    }
+    print_table(&["dataset", "f", "kernel", "op", "model", "verdict"], &rows);
+    let lattice_total: usize = cells.iter().map(|c| c.lattice.len()).sum();
+    let failures: Vec<(String, String)> = cells
+        .iter()
+        .flat_map(|c| {
+            c.failures()
+                .into_iter()
+                .map(move |(label, _)| (format!("{} f={}", c.dataset, c.f), label))
+        })
+        .collect();
+    println!(
+        "\n{} registry obligation(s) + {lattice_total} lattice obligation(s): {}",
+        rows.len(),
+        if failures.is_empty() {
+            "all proved".to_string()
+        } else {
+            format!("{} FAILED", failures.len())
+        }
+    );
+    for (cell, label) in &failures {
+        println!("  {cell}: {label}");
+    }
+    if let Some(path) = &opts.out {
+        let report = gnnone_bench::verify::sweep_to_json(&cells);
+        std::fs::write(path, report.to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} verification obligation(s) not proved — see list above",
+            failures.len()
+        ));
     }
     Ok(())
 }

@@ -12,9 +12,12 @@ use gnnone_sparse::datasets::Scale;
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Execution backend (`--backend sim|native`, default sim). The
-    /// observability flags (`--trace`, `--metrics`, `--sanitize`,
-    /// `--chaos`) are sim-only and rejected with a config error when
-    /// combined with `native`; `--threads` is native-only.
+    /// dynamic observability flags (`--trace`, `--metrics`, `--chaos`)
+    /// attach to the simulator and are rejected with a config error when
+    /// combined with `native` — their static alternative is `--verify`.
+    /// `--sanitize` works on both backends: dynamic shadow auditing on
+    /// sim, the static pre-launch verifier on native. `--threads` is
+    /// native-only.
     pub backend: BackendKind,
     /// Native worker thread count (`--threads N`, native backend only);
     /// `None` uses every available core.
@@ -40,8 +43,17 @@ pub struct Options {
     /// disables the metrics registry.
     pub metrics: Option<String>,
     /// Sanitizer report output path (`--sanitize sanitize.json`); `None`
-    /// leaves the sanitizer detached (the default, zero-cost path).
+    /// leaves the sanitizer detached (the default, zero-cost path). On
+    /// `--backend native` the report holds the static verifier's verdicts
+    /// instead of dynamic shadow findings.
     pub sanitize: Option<String>,
+    /// Static pre-launch verification (`--verify`): before the sweep, run
+    /// the symbolic access-summary verifier over every registry kernel on
+    /// the selected datasets and refuse to launch unless every obligation
+    /// is `Proved`. Works on both backends; the report goes to stderr so
+    /// figure tables and `--out`/`--plain-out` files are byte-identical
+    /// with and without the flag.
+    pub verify: bool,
     /// Schedule-chaos seed (`--chaos 7`): every launch executes under a
     /// seeded permutation of CTA and warp order. Outputs and reports must
     /// be byte-identical to a detached run — that is the determinism
@@ -63,6 +75,7 @@ impl Default for Options {
             trace: None,
             metrics: None,
             sanitize: None,
+            verify: false,
             chaos: None,
         }
     }
@@ -146,6 +159,7 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
             "--trace" => opts.trace = Some(take("--trace")?),
             "--metrics" => opts.metrics = Some(take("--metrics")?),
             "--sanitize" => opts.sanitize = Some(take("--sanitize")?),
+            "--verify" => opts.verify = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --backend sim|native  --threads N (native only)  \
@@ -153,7 +167,9 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
                      --datasets G0,G3  --epochs N  --out results/fig.json  \
                      --plain-out golden.json  --trace trace.json (sim only)  \
                      --metrics metrics.json (sim only)  \
-                     --sanitize sanitize.json (sim only)  --chaos SEED (sim only)"
+                     --sanitize sanitize.json (dynamic on sim, static on native)  \
+                     --verify (static pre-launch verification, both backends)  \
+                     --chaos SEED (sim only)"
                 );
                 std::process::exit(0);
             }
@@ -164,22 +180,24 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
     Ok(opts)
 }
 
-/// Cross-flag validation: the observability layers attach to the
-/// simulator only, and `--threads` sizes the native pool only. Invalid
+/// Cross-flag validation: the dynamic observability layers attach to the
+/// simulator only (`--sanitize` degrades to the static verifier on
+/// native), and `--threads` sizes the native pool only. Invalid
 /// combinations are structured config errors, not silent no-ops.
 fn validate(opts: &Options) -> Result<(), GnnOneError> {
     if opts.backend == BackendKind::Native {
         let sim_only = [
             ("--trace", opts.trace.is_some()),
             ("--metrics", opts.metrics.is_some()),
-            ("--sanitize", opts.sanitize.is_some()),
             ("--chaos", opts.chaos.is_some()),
         ];
         for (flag, given) in sim_only {
             if given {
                 return Err(config_error(format!(
                     "{flag} attaches to the simulator and cannot be combined \
-                     with --backend native"
+                     with --backend native; the static alternative is \
+                     --verify (symbolic access-summary verification before \
+                     launch)"
                 )));
             }
         }
@@ -214,6 +232,7 @@ mod tests {
         assert!(o.trace.is_none());
         assert!(o.metrics.is_none());
         assert!(o.sanitize.is_none());
+        assert!(!o.verify);
         assert!(o.chaos.is_none());
     }
 
@@ -222,7 +241,7 @@ mod tests {
         let o = parse(argv(
             "--scale tiny --dims 16,32 --datasets G0,G3 --epochs 10 --out x.json \
              --plain-out p.json --trace t.json --metrics m.json --sanitize s.json \
-             --chaos 99",
+             --verify --chaos 99",
         ))
         .unwrap();
         assert_eq!(o.scale, Scale::Tiny);
@@ -234,6 +253,7 @@ mod tests {
         assert_eq!(o.trace.as_deref(), Some("t.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
         assert_eq!(o.sanitize.as_deref(), Some("s.json"));
+        assert!(o.verify);
         assert_eq!(o.chaos, Some(99));
     }
 
@@ -304,13 +324,33 @@ mod tests {
             "--metrics attaches to the simulator",
         );
         expect_config(
-            parse(argv("--backend native --sanitize s.json")),
-            "--sanitize attaches to the simulator",
-        );
-        expect_config(
             parse(argv("--backend native --chaos 7")),
             "--chaos attaches to the simulator",
         );
+    }
+
+    #[test]
+    fn rejections_name_the_static_alternative() {
+        for flags in [
+            "--backend native --trace t.json",
+            "--backend native --chaos 7",
+        ] {
+            match parse(argv(flags)) {
+                Err(GnnOneError::Config { detail }) => {
+                    assert!(detail.contains("--verify"), "{detail}");
+                }
+                other => panic!("expected config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_and_verify_accept_native_backend() {
+        let o = parse(argv("--backend native --sanitize s.json")).unwrap();
+        assert_eq!(o.backend, BackendKind::Native);
+        assert_eq!(o.sanitize.as_deref(), Some("s.json"));
+        let o = parse(argv("--backend native --verify")).unwrap();
+        assert!(o.verify);
     }
 
     #[test]

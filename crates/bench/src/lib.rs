@@ -11,7 +11,9 @@
 //! * [`report`] — fixed-width table printing and JSON output;
 //! * [`profiling`] — `--trace` / `--metrics` wiring (see
 //!   `docs/PROFILING.md`); results are inspected with the `gnnone-prof`
-//!   binary.
+//!   binary;
+//! * [`verify`] — `--verify` static pre-launch verification wiring (see
+//!   `docs/STATIC_ANALYSIS.md`).
 //!
 //! ## Device scaling
 //!
@@ -21,6 +23,9 @@
 //! from the paper's. This keeps the device in the saturated regime the
 //! paper's 100M-edge graphs put the real A100 in. See DESIGN.md.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod cli;
 pub mod fuzz;
@@ -28,6 +33,7 @@ pub mod native;
 pub mod profiling;
 pub mod report;
 pub mod runner;
+pub mod verify;
 
 use gnnone_sim::{GnnOneError, GpuSpec};
 

@@ -47,9 +47,12 @@ impl Profiler {
             r.set_device(&spec.name, spec.clock_ghz);
             Arc::new(r)
         });
-        let sanitizer = opts
-            .sanitize
-            .as_ref()
+        // The dynamic shadow sanitizer exists only on the simulator; with
+        // `--backend native`, `--sanitize` means the static verifier and
+        // the report path belongs to the preflight in `crate::verify`.
+        let sanitizer = (opts.backend == gnnone_kernels::backend::BackendKind::Sim)
+            .then_some(opts.sanitize.as_ref())
+            .flatten()
             .map(|_| Arc::new(Sanitizer::new(SanitizeConfig::on())));
         // `--chaos SEED` is schedule-chaos only: launches execute under a
         // seeded CTA/warp permutation, with no fault injected, so every
@@ -120,10 +123,11 @@ impl Profiler {
     }
 
     /// Attaches the profiler to whatever device a [`Backend`] wraps. The
-    /// observability layers are simulator-only, so this is [`Profiler::attach`]
-    /// on the sim backend and a no-op on native — CLI validation already
-    /// rejects `--trace`/`--metrics`/`--sanitize`/`--chaos` with
-    /// `--backend native`, so nothing is silently dropped here.
+    /// dynamic observability layers are simulator-only, so this is
+    /// [`Profiler::attach`] on the sim backend and a no-op on native —
+    /// CLI validation rejects `--trace`/`--metrics`/`--chaos` with
+    /// `--backend native`, and native `--sanitize` is served statically by
+    /// the verifier preflight, so nothing is silently dropped here.
     ///
     /// [`Backend`]: gnnone_kernels::backend::Backend
     pub fn attach_backend(&self, backend: &gnnone_kernels::backend::Backend) {

@@ -27,7 +27,13 @@ use crate::report::Cell;
 /// Builds the execution backend the options ask for: the figure-standard
 /// simulator device for `--backend sim` (the default), or a
 /// [`NativeEngine`] sized by `--threads` for `--backend native`.
+///
+/// When `--verify` is set (or `--sanitize` rides on the native backend),
+/// the static pre-launch verifier runs first over every registry kernel
+/// on the selected datasets — the backend is only handed out once every
+/// obligation is `Proved`.
 pub fn backend_from_options(opts: &Options) -> Result<Backend, GnnOneError> {
+    crate::verify::static_preflight(opts)?;
     match opts.backend {
         BackendKind::Sim => Ok(Backend::Sim(Gpu::new(figure_gpu_spec()))),
         BackendKind::Native => {
@@ -44,6 +50,8 @@ pub fn backend_from_options(opts: &Options) -> Result<Backend, GnnOneError> {
 /// Rejects `--backend native` for figures whose measurement only exists on
 /// the simulator (training curves, cycle breakdowns, GPU-spec sweeps).
 /// The error names the binary so `figure_main`'s one-line report reads well.
+/// Honours `--verify` the same way [`backend_from_options`] does, so
+/// sim-only figures get the static preflight too.
 pub fn require_sim_backend(opts: &Options, figure: &str) -> Result<(), GnnOneError> {
     if opts.backend == BackendKind::Native {
         return Err(GnnOneError::Config {
@@ -53,7 +61,7 @@ pub fn require_sim_backend(opts: &Options, figure: &str) -> Result<(), GnnOneErr
             ),
         });
     }
-    Ok(())
+    crate::verify::static_preflight(opts)
 }
 
 /// Datasets selected by the options, in Table 1 order.

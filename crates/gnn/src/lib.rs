@@ -19,6 +19,9 @@
 //! * [`memory`] — the paper-scale device-memory model behind the Fig. 7
 //!   OOM results.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod graphops;
 pub mod memory;
 pub mod models;

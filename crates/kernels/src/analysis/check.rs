@@ -1,0 +1,659 @@
+//! The abstract-interpretation pass: instantiate a summary at one concrete
+//! lattice point and prove (or refute, with a witness) the four safety
+//! obligations.
+//!
+//! 1. **Race freedom** — all `Exclusive` write intervals are pairwise
+//!    disjoint across warps.
+//! 2. **Bounds safety** — every access interval lies inside its buffer's
+//!    declared extent.
+//! 3. **Barrier/epoch consistency** — the shared-memory phase script never
+//!    reads a word that is pending (stored since the last barrier),
+//!    uninitialized (never stored), or outside the declared window.
+//! 4. **Budget feasibility** — the static per-warp instruction bound fits
+//!    the default [`LaunchSpec`] watchdog budget, so a healthy kernel can
+//!    never be aborted spuriously.
+//!
+//! Checks run in that order and the first failure wins, so verdicts are
+//! deterministic.
+
+use gnnone_sim::jsonio::Json;
+use gnnone_sim::LaunchSpec;
+
+use crate::analysis::summary::{
+    AccessSummary, BufferAccess, ExecModel, LaunchSummary, Mode, Pattern, SharedStep,
+};
+use crate::analysis::sym::Env;
+
+/// Grids larger than this are not enumerated warp-by-warp; affine
+/// summaries over them come back [`Verdict::Unknown`]. Far above any
+/// graph the repo instantiates (the largest scaled dataset is ~2M edges
+/// → ~16K warps at cache 128).
+const MAX_ENUMERATED_WARPS: u64 = 1 << 22;
+
+/// Shared windows larger than this (words) are not simulated step by
+/// step. Every shipped kernel declares ≤ `3·cache + 2 ≤ 386` words
+/// (CSR staging) or 512 (fused GAT logit cache).
+const MAX_SHARED_WORDS: u64 = 1 << 20;
+
+/// A concrete counterexample: the exact index (and warps) a refuted
+/// obligation fails at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// Which obligation failed (`"race"`, `"bounds"`, `"shared-epoch"`,
+    /// `"shared-uninit"`, `"shared-oob"`, `"budget"`).
+    pub check: &'static str,
+    /// Label of the failing launch.
+    pub launch: String,
+    /// Buffer name, or `"shared"` / `"watchdog"` for non-global checks.
+    pub buffer: String,
+    /// Failing element index (for `"budget"`: the ops bound itself).
+    pub index: u64,
+    /// First involved warp.
+    pub warp_a: usize,
+    /// Second involved warp (equals `warp_a` for single-warp checks).
+    pub warp_b: usize,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Witness {
+    /// JSON form (jsonio).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("check", Json::Str(self.check.to_string())),
+            ("launch", Json::Str(self.launch.clone())),
+            ("buffer", Json::Str(self.buffer.clone())),
+            ("index", Json::U64(self.index)),
+            ("warp_a", Json::U64(self.warp_a as u64)),
+            ("warp_b", Json::U64(self.warp_b as u64)),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// Outcome of checking one kernel summary at one lattice point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// All four obligations hold.
+    Proved,
+    /// An obligation fails, with a concrete witness index.
+    Refuted(Witness),
+    /// The summary is outside the checker's decidable fragment (e.g. an
+    /// exclusive write set given only as a bounds envelope).
+    Unknown {
+        /// Why the checker could not decide.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+
+    /// True for [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+
+    /// Stable lowercase tag (`"proved"` / `"refuted"` / `"unknown"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Proved => "proved",
+            Verdict::Refuted(_) => "refuted",
+            Verdict::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// JSON form (jsonio): `{"verdict": tag, ...payload}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Verdict::Proved => Json::obj(vec![("verdict", Json::Str("proved".into()))]),
+            Verdict::Refuted(w) => Json::obj(vec![
+                ("verdict", Json::Str("refuted".into())),
+                ("witness", w.to_json()),
+            ]),
+            Verdict::Unknown { reason } => Json::obj(vec![
+                ("verdict", Json::Str("unknown".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Proved => f.write_str("proved"),
+            Verdict::Refuted(w) => write!(
+                f,
+                "refuted[{} {} @{} w{}/w{}]",
+                w.check, w.buffer, w.index, w.warp_a, w.warp_b
+            ),
+            Verdict::Unknown { reason } => write!(f, "unknown[{reason}]"),
+        }
+    }
+}
+
+/// Checks every launch of `summary` against its base environment. The
+/// first non-`Proved` launch verdict is the kernel verdict.
+pub fn check_summary(summary: &AccessSummary) -> Verdict {
+    for launch in &summary.launches {
+        let mut env = summary.base_env;
+        env.warp_id = 0;
+        env.grid_warps = launch.grid_warps.eval(&env);
+        let v = check_launch(launch, &env, summary.model);
+        if !v.is_proved() {
+            return v;
+        }
+    }
+    Verdict::Proved
+}
+
+fn check_launch(launch: &LaunchSummary, env: &Env, model: ExecModel) -> Verdict {
+    if let Some(v) = check_races(launch, env) {
+        return v;
+    }
+    if let Some(v) = check_bounds(launch, env) {
+        return v;
+    }
+    if let Some(v) = check_shared(launch, env) {
+        return v;
+    }
+    if model == ExecModel::Sim {
+        if let Some(v) = check_budget(launch, env) {
+            return v;
+        }
+    }
+    Verdict::Proved
+}
+
+/// Concrete per-warp access intervals: `(warp, lo, hi)`, `hi` exclusive.
+type WarpIntervals = Vec<(usize, u64, u64)>;
+
+/// Expands one access into concrete `(warp, lo, hi)` intervals (empty
+/// intervals dropped). `None` when the pattern carries no per-warp
+/// structure (`Bounded`).
+fn expand(access: &BufferAccess, env: &Env) -> Option<Result<WarpIntervals, String>> {
+    match &access.pattern {
+        Pattern::Affine { start, len } => {
+            if env.grid_warps > MAX_ENUMERATED_WARPS {
+                return Some(Err(format!(
+                    "grid of {} warps exceeds the {} enumeration cap",
+                    env.grid_warps, MAX_ENUMERATED_WARPS
+                )));
+            }
+            let mut out = Vec::new();
+            let mut e = *env;
+            for w in 0..env.grid_warps {
+                e.warp_id = w;
+                let lo = start.eval(&e);
+                let n = len.eval(&e);
+                if n > 0 {
+                    out.push((w as usize, lo, lo.saturating_add(n)));
+                }
+            }
+            Some(Ok(out))
+        }
+        Pattern::Table(rows) => Some(Ok(rows
+            .iter()
+            .filter(|(_, lo, hi)| hi > lo)
+            .copied()
+            .collect())),
+        Pattern::Bounded { .. } => None,
+    }
+}
+
+fn check_races(launch: &LaunchSummary, env: &Env) -> Option<Verdict> {
+    // Collect all exclusive write intervals per buffer.
+    let mut per_buffer: Vec<(&str, WarpIntervals)> = Vec::new();
+    for access in &launch.accesses {
+        if access.mode != Mode::Exclusive {
+            continue;
+        }
+        let expanded = match expand(access, env) {
+            Some(Ok(iv)) => iv,
+            Some(Err(reason)) => return Some(Verdict::Unknown { reason }),
+            None => {
+                return Some(Verdict::Unknown {
+                    reason: format!(
+                        "exclusive writes to `{}` summarized as a bounds envelope only; \
+                         disjointness is undecidable without per-warp structure",
+                        access.buffer
+                    ),
+                })
+            }
+        };
+        match per_buffer.iter_mut().find(|(b, _)| *b == access.buffer) {
+            Some((_, iv)) => iv.extend(expanded),
+            None => per_buffer.push((access.buffer, expanded)),
+        }
+    }
+    for (buffer, mut intervals) in per_buffer {
+        intervals.sort_by_key(|&(_, lo, hi)| (lo, hi));
+        // Sweep with the two highest end-points seen so far, owned by
+        // *different* warps. Any earlier interval overlapping the current
+        // one ends past its start, so it is dominated by one of the two
+        // maxima; tracking two (distinct-warp) maxima makes the sweep
+        // complete even when same-warp intervals nest.
+        let mut best: Option<(usize, u64, u64)> = None;
+        let mut best_other: Option<(usize, u64, u64)> = None;
+        for &(w, lo, hi) in &intervals {
+            for prev in [best, best_other].into_iter().flatten() {
+                let (pw, plo, phi) = prev;
+                if pw != w && lo < phi {
+                    return Some(Verdict::Refuted(Witness {
+                        check: "race",
+                        launch: launch.label.to_string(),
+                        buffer: buffer.to_string(),
+                        index: lo,
+                        warp_a: pw,
+                        warp_b: w,
+                        detail: format!(
+                            "warps {pw} and {w} both plain-store `{buffer}[{lo}]` \
+                             (intervals [{plo},{phi}) and [{lo},{hi}) overlap)"
+                        ),
+                    }));
+                }
+            }
+            match best {
+                Some((bw, _, bhi)) => {
+                    if bw == w {
+                        if hi > bhi {
+                            best = Some((w, lo, hi));
+                        }
+                    } else if hi > bhi {
+                        // The dethroned max becomes the other-warp max
+                        // (ties included: its warp is known to differ from
+                        // the new best's, the incumbent's may not).
+                        if best_other.is_none_or(|(_, _, ohi)| bhi >= ohi) {
+                            best_other = best;
+                        }
+                        best = Some((w, lo, hi));
+                    } else if best_other.is_none_or(|(_, _, ohi)| hi > ohi) {
+                        best_other = Some((w, lo, hi));
+                    }
+                }
+                None => best = Some((w, lo, hi)),
+            }
+        }
+    }
+    None
+}
+
+fn check_bounds(launch: &LaunchSummary, env: &Env) -> Option<Verdict> {
+    for access in &launch.accesses {
+        let extent = access.extent.eval(env);
+        match &access.pattern {
+            Pattern::Bounded { lo, hi } => {
+                let (l, h) = (lo.eval(env), hi.eval(env));
+                if h > extent {
+                    return Some(Verdict::Refuted(Witness {
+                        check: "bounds",
+                        launch: launch.label.to_string(),
+                        buffer: access.buffer.to_string(),
+                        index: h - 1,
+                        warp_a: 0,
+                        warp_b: 0,
+                        detail: format!(
+                            "{} envelope [{l},{h}) of `{}` exceeds extent {extent}",
+                            access.mode.as_str(),
+                            access.buffer
+                        ),
+                    }));
+                }
+            }
+            _ => match expand(access, env) {
+                Some(Ok(intervals)) => {
+                    for (w, _, hi) in intervals {
+                        if hi > extent {
+                            return Some(Verdict::Refuted(Witness {
+                                check: "bounds",
+                                launch: launch.label.to_string(),
+                                buffer: access.buffer.to_string(),
+                                index: hi - 1,
+                                warp_a: w,
+                                warp_b: w,
+                                detail: format!(
+                                    "warp {w} {}s `{}[{}]` past extent {extent}",
+                                    access.mode.as_str(),
+                                    access.buffer,
+                                    hi - 1
+                                ),
+                            }));
+                        }
+                    }
+                }
+                Some(Err(reason)) => return Some(Verdict::Unknown { reason }),
+                None => unreachable!("Bounded handled above"),
+            },
+        }
+    }
+    None
+}
+
+fn check_shared(launch: &LaunchSummary, env: &Env) -> Option<Verdict> {
+    if launch.shared_steps.is_empty() {
+        return None;
+    }
+    let words = launch.shared_words.eval(env);
+    if words > MAX_SHARED_WORDS {
+        return Some(Verdict::Unknown {
+            reason: format!("shared window of {words} words exceeds the simulation cap"),
+        });
+    }
+    let witness = |check, index: u64, detail: String| {
+        Some(Verdict::Refuted(Witness {
+            check,
+            launch: launch.label.to_string(),
+            buffer: "shared".to_string(),
+            index,
+            warp_a: 0,
+            warp_b: 0,
+            detail,
+        }))
+    };
+    let mut committed = vec![false; words as usize];
+    let mut pending = vec![false; words as usize];
+    for step in &launch.shared_steps {
+        match step {
+            SharedStep::Store { lo, hi } => {
+                let (l, h) = (lo.eval(env), hi.eval(env));
+                if h > words {
+                    return witness(
+                        "shared-oob",
+                        h.saturating_sub(1),
+                        format!("store [{l},{h}) past the {words}-word shared window"),
+                    );
+                }
+                for i in l..h {
+                    pending[i as usize] = true;
+                }
+            }
+            SharedStep::Barrier => {
+                for (c, p) in committed.iter_mut().zip(pending.iter_mut()) {
+                    *c |= std::mem::replace(p, false);
+                }
+            }
+            SharedStep::Load { lo, hi } => {
+                let (l, h) = (lo.eval(env), hi.eval(env));
+                if h > words {
+                    return witness(
+                        "shared-oob",
+                        h.saturating_sub(1),
+                        format!("load [{l},{h}) past the {words}-word shared window"),
+                    );
+                }
+                for i in l..h {
+                    if pending[i as usize] {
+                        return witness(
+                            "shared-epoch",
+                            i,
+                            format!(
+                                "shared word {i} is read in the same epoch it was \
+                                 written (missing barrier between store and load)"
+                            ),
+                        );
+                    }
+                    if !committed[i as usize] {
+                        return witness(
+                            "shared-uninit",
+                            i,
+                            format!("shared word {i} is read but never stored"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_budget(launch: &LaunchSummary, env: &Env) -> Option<Verdict> {
+    let bound = launch.ops_per_warp.eval(env);
+    let budget = LaunchSpec::default().budget(env.grid_warps as usize);
+    if bound > budget {
+        return Some(Verdict::Refuted(Witness {
+            check: "budget",
+            launch: launch.label.to_string(),
+            buffer: "watchdog".to_string(),
+            index: bound,
+            warp_a: 0,
+            warp_b: 0,
+            detail: format!(
+                "static per-warp instruction bound {bound} exceeds the \
+                 watchdog budget {budget} for a {}-warp grid",
+                env.grid_warps
+            ),
+        }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summary::base_env;
+    use crate::analysis::sym::Sym;
+
+    fn summary_with(launch: LaunchSummary) -> AccessSummary {
+        AccessSummary::single(
+            "toy",
+            "spmm",
+            ExecModel::Sim,
+            base_env(128, 16, 8, 32, 9),
+            launch,
+        )
+    }
+
+    fn affine_launch(start: Sym, len: Sym, extent: Sym) -> LaunchSummary {
+        LaunchSummary {
+            grid_warps: Sym::nnz().ceil_div(Sym::cache()),
+            accesses: vec![BufferAccess {
+                buffer: "w",
+                extent,
+                pattern: Pattern::Affine { start, len },
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        }
+    }
+
+    #[test]
+    fn disjoint_affine_proves() {
+        let launch = affine_launch(
+            Sym::warp_id().mul(Sym::cache()),
+            Sym::cache().min(Sym::nnz().sub(Sym::warp_id().mul(Sym::cache()))),
+            Sym::nnz(),
+        );
+        assert!(check_summary(&summary_with(launch)).is_proved());
+    }
+
+    #[test]
+    fn overlapping_affine_refutes_with_witness() {
+        // Off-by-one: every warp writes cache+1 elements.
+        let launch = affine_launch(
+            Sym::warp_id().mul(Sym::cache()),
+            Sym::cache().add(Sym::lit(1)),
+            Sym::nnz().add(Sym::lit(1)),
+        );
+        match check_summary(&summary_with(launch)) {
+            Verdict::Refuted(w) => {
+                assert_eq!(w.check, "race");
+                assert_eq!(w.index, 32, "first overlap is warp 1's base");
+                assert_eq!((w.warp_a, w.warp_b), (0, 1));
+            }
+            other => panic!("expected refuted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_same_warp_intervals_do_not_mask_races() {
+        // Sorted order is (w0,[0,100)), (w0,[1,2)), (w1,[90,95)): the
+        // cross-warp overlap pairs the *first* interval with the *third* —
+        // an adjacent-pair scan misses it, the two-maxima sweep must not.
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(2),
+            accesses: vec![BufferAccess {
+                buffer: "w",
+                extent: Sym::nnz(),
+                pattern: Pattern::Table(vec![(0, 0, 100), (0, 1, 2), (1, 90, 95)]),
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        };
+        match check_summary(&summary_with(launch)) {
+            Verdict::Refuted(w) => {
+                assert_eq!(w.check, "race");
+                assert_eq!((w.warp_a, w.warp_b), (0, 1));
+            }
+            other => panic!("expected refuted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn table_entries_of_the_same_warp_may_overlap() {
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(2),
+            accesses: vec![BufferAccess {
+                buffer: "w",
+                extent: Sym::nnz(),
+                pattern: Pattern::Table(vec![(0, 0, 50), (0, 10, 60), (1, 60, 90)]),
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        };
+        assert!(check_summary(&summary_with(launch)).is_proved());
+    }
+
+    #[test]
+    fn unclamped_tail_refutes_bounds() {
+        // Missing `min(cache, nnz - base)`: the last warp runs past nnz
+        // whenever cache does not divide nnz.
+        let launch = affine_launch(Sym::warp_id().mul(Sym::cache()), Sym::cache(), Sym::nnz());
+        let s = AccessSummary::single(
+            "toy",
+            "spmm",
+            ExecModel::Sim,
+            base_env(100, 16, 8, 32, 9),
+            launch,
+        );
+        let v = check_summary(&s);
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "bounds"));
+    }
+
+    #[test]
+    fn bounded_exclusive_is_unknown() {
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(4),
+            accesses: vec![BufferAccess {
+                buffer: "y",
+                extent: Sym::rows(),
+                pattern: Pattern::Bounded {
+                    lo: Sym::lit(0),
+                    hi: Sym::rows(),
+                },
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        };
+        assert!(matches!(
+            check_summary(&summary_with(launch)),
+            Verdict::Unknown { .. }
+        ));
+    }
+
+    #[test]
+    fn table_overlap_between_warps_refutes() {
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(2),
+            accesses: vec![BufferAccess {
+                buffer: "y",
+                extent: Sym::lit(100),
+                pattern: Pattern::Table(vec![(0, 0, 10), (1, 8, 20)]),
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        };
+        let v = check_summary(&summary_with(launch));
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "race" && w.index == 8));
+    }
+
+    #[test]
+    fn same_warp_overlap_is_not_a_race() {
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(1),
+            accesses: vec![BufferAccess {
+                buffer: "y",
+                extent: Sym::lit(100),
+                pattern: Pattern::Table(vec![(0, 0, 10), (0, 5, 15)]),
+                mode: Mode::Exclusive,
+            }],
+            ..LaunchSummary::new("main")
+        };
+        assert!(check_summary(&summary_with(launch)).is_proved());
+    }
+
+    #[test]
+    fn shared_epoch_checks() {
+        let store = |lo, hi| SharedStep::Store {
+            lo: Sym::lit(lo),
+            hi: Sym::lit(hi),
+        };
+        let load = |lo, hi| SharedStep::Load {
+            lo: Sym::lit(lo),
+            hi: Sym::lit(hi),
+        };
+        let mk = |steps: Vec<SharedStep>| {
+            summary_with(LaunchSummary {
+                grid_warps: Sym::lit(1),
+                shared_words: Sym::lit(64),
+                shared_steps: steps,
+                ..LaunchSummary::new("main")
+            })
+        };
+        // Clean: store, barrier, load.
+        assert!(
+            check_summary(&mk(vec![store(0, 32), SharedStep::Barrier, load(0, 32)])).is_proved()
+        );
+        // Missing barrier.
+        let v = check_summary(&mk(vec![store(0, 32), load(0, 32)]));
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "shared-epoch"));
+        // Uninitialized read.
+        let v = check_summary(&mk(vec![store(0, 16), SharedStep::Barrier, load(0, 32)]));
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "shared-uninit" && w.index == 16));
+        // Out of window.
+        let v = check_summary(&mk(vec![store(0, 65)]));
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "shared-oob"));
+    }
+
+    #[test]
+    fn budget_overrun_refutes_on_sim_only() {
+        let launch = LaunchSummary {
+            grid_warps: Sym::lit(4),
+            ops_per_warp: Sym::lit(u64::MAX / 2),
+            ..LaunchSummary::new("main")
+        };
+        let mut s = summary_with(launch);
+        let v = check_summary(&s);
+        assert!(matches!(&v, Verdict::Refuted(w) if w.check == "budget"));
+        s.model = ExecModel::Native;
+        assert!(check_summary(&s).is_proved(), "native has no watchdog");
+    }
+
+    #[test]
+    fn verdict_json_round_shape() {
+        let v = Verdict::Refuted(Witness {
+            check: "race",
+            launch: "main".into(),
+            buffer: "w".into(),
+            index: 7,
+            warp_a: 1,
+            warp_b: 2,
+            detail: "overlap".into(),
+        });
+        let s = v.to_json().to_string_compact();
+        assert!(s.contains("\"verdict\":\"refuted\"") && s.contains("\"index\":7"));
+    }
+}

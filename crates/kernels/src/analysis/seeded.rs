@@ -1,0 +1,667 @@
+//! Differential-validation corpus: deliberately broken kernels whose
+//! honest summaries the static checker must *refute* — and whose dynamic
+//! executions the sanitizer / watchdog must catch.
+//!
+//! Each [`SeededBug`] pairs (a) a faithful access summary of the broken
+//! behaviour with (b) a runnable [`WarpKernel`] exhibiting it. The test
+//! suite checks both directions agree: `check_summary` returns
+//! [`Refuted`](crate::analysis::Verdict::Refuted) with the expected
+//! obligation, and a sanitized launch produces the matching dynamic
+//! diagnostic. A bug the static pass misses but the sanitizer catches
+//! (or vice versa) is a soundness hole in one of the two layers.
+
+use gnnone_sim::engine::LaunchError;
+use gnnone_sim::sanitize::SanitizeConfig;
+use gnnone_sim::{
+    CheckKind, DeviceBuffer, Gpu, GpuSpec, KernelResources, LaunchSpec, WarpCtx, WarpKernel,
+};
+
+use crate::analysis::summary::{
+    base_env, AccessSummary, BufferAccess, ExecModel, LaunchSummary, Mode, Pattern, SharedStep,
+};
+use crate::analysis::sym::Sym;
+
+/// What the dynamic layer is expected to report for a seeded bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicCatch {
+    /// The sanitizer records a finding of this kind.
+    Finding(CheckKind),
+    /// The watchdog aborts the launch.
+    Watchdog,
+}
+
+/// One seeded bug: name, expected static witness, expected dynamic catch,
+/// and the two artifacts (summary + runnable kernel) that must disagree
+/// with the safety obligations in the same way.
+pub struct SeededBug {
+    /// Stable corpus name.
+    pub name: &'static str,
+    /// The [`crate::analysis::Witness::check`] tag the static refutation
+    /// must carry.
+    pub expect_check: &'static str,
+    /// What the dynamic layer must report.
+    pub expect_dynamic: DynamicCatch,
+    summary: fn() -> AccessSummary,
+    run: fn(&Gpu) -> Result<(), LaunchError>,
+}
+
+impl SeededBug {
+    /// The honest summary of the broken kernel.
+    pub fn summary(&self) -> AccessSummary {
+        (self.summary)()
+    }
+
+    /// Executes the bug on a sanitized tiny GPU and reports whether the
+    /// dynamic layer caught it as expected.
+    pub fn dynamically_caught(&self) -> bool {
+        let gpu = Gpu::new(GpuSpec::tiny());
+        let san = gpu.enable_sanitizer(SanitizeConfig::on());
+        let result = (self.run)(&gpu);
+        match self.expect_dynamic {
+            DynamicCatch::Finding(kind) => san
+                .launches()
+                .iter()
+                .any(|audit| audit.findings.iter().any(|f| f.kind == kind)),
+            DynamicCatch::Watchdog => matches!(
+                result,
+                Err(LaunchError::Aborted(ref a))
+                    if a.reason == gnnone_sim::AbortReason::Watchdog
+            ),
+        }
+    }
+}
+
+fn res(shared_bytes_per_cta: usize) -> KernelResources {
+    KernelResources {
+        threads_per_cta: 32,
+        regs_per_thread: 32,
+        shared_bytes_per_cta,
+    }
+}
+
+/// One-launch summary over a synthetic environment.
+fn bug_summary(name: &str, launch: LaunchSummary) -> AccessSummary {
+    AccessSummary::single(
+        name,
+        "seeded",
+        ExecModel::Sim,
+        base_env(100, 64, 16, 32, 8),
+        launch,
+    )
+}
+
+fn exclusive(buffer: &'static str, extent: Sym, pattern: Pattern) -> BufferAccess {
+    BufferAccess {
+        buffer,
+        extent,
+        pattern,
+        mode: Mode::Exclusive,
+    }
+}
+
+macro_rules! warp_kernel {
+    ($ty:ident, $name:literal, $shared:expr, $grid:expr,
+     |$this:ident, $warp:ident, $ctx:ident| $body:block) => {
+        struct $ty {
+            bufs: Vec<DeviceBuffer<f32>>,
+        }
+        impl WarpKernel for $ty {
+            fn resources(&self) -> KernelResources {
+                res($shared)
+            }
+            fn grid_warps(&self) -> usize {
+                $grid
+            }
+            fn run_warp(&self, $warp: usize, $ctx: &mut WarpCtx) {
+                let $this = self;
+                let _ = &$this.bufs;
+                $body
+            }
+            fn name(&self) -> &str {
+                $name
+            }
+        }
+    };
+}
+
+// --- race bugs --------------------------------------------------------
+
+warp_kernel!(RacingStores, "racing-stores", 0, 2, |this, warp_id, ctx| {
+    ctx.store_f32(&this.bufs[0], |lane| {
+        (lane == 0).then_some((0, warp_id as f32))
+    });
+});
+
+warp_kernel!(
+    OverlappingTails,
+    "overlapping-tails",
+    0,
+    2,
+    |this, warp_id, ctx| {
+        // Each warp writes 33 elements from base w*32: tails collide.
+        ctx.store_f32(&this.bufs[0], |lane| Some((warp_id * 32 + lane, 1.0)));
+        ctx.store_f32(&this.bufs[0], |lane| {
+            (lane == 0).then_some((warp_id * 32 + 32, 2.0))
+        });
+    }
+);
+
+warp_kernel!(
+    SwizzleCollision,
+    "swizzle-collision",
+    0,
+    2,
+    |this, warp_id, ctx| {
+        // A broken row swizzle maps both warps to row 0.
+        let order = [0usize, 0usize];
+        let base = order[warp_id] * 16;
+        ctx.store_f32(&this.bufs[0], |lane| {
+            (lane < 16).then_some((base + lane, 1.0))
+        });
+    }
+);
+
+warp_kernel!(ChunkOverlap, "chunk-overlap", 0, 2, |this, warp_id, ctx| {
+    // Mis-split row chunks: warp 0 owns [0,40), warp 1 owns [32,64).
+    if warp_id == 0 {
+        ctx.store_f32(&this.bufs[0], |lane| Some((lane, 1.0)));
+        ctx.store_f32(&this.bufs[0], |lane| (lane < 8).then_some((32 + lane, 1.0)));
+    } else {
+        ctx.store_f32(&this.bufs[0], |lane| Some((32 + lane, 2.0)));
+    }
+});
+
+// --- bounds bugs ------------------------------------------------------
+
+warp_kernel!(OobStore, "oob-store", 0, 1, |this, _w, ctx| {
+    // Lanes 4..32 run past the 64-element buffer.
+    ctx.store_f32(&this.bufs[0], |lane| Some((60 + lane, 1.0)));
+});
+
+warp_kernel!(OobLoad, "oob-load", 0, 1, |this, _w, ctx| {
+    ctx.load_f32(&this.bufs[0], |lane| Some(60 + lane));
+    ctx.use_loads();
+});
+
+warp_kernel!(OobLastWarp, "oob-last-warp", 0, 4, |this, warp_id, ctx| {
+    // Unclamped NZE window: warp 3 stores [96,128) into a 100-element
+    // buffer.
+    ctx.store_f32(&this.bufs[0], |lane| Some((warp_id * 32 + lane, 1.0)));
+});
+
+warp_kernel!(AtomicOob, "atomic-oob", 0, 1, |this, _w, ctx| {
+    ctx.atomic_add_f32(&this.bufs[0], |lane| (lane == 0).then_some((10, 1.0)));
+});
+
+// --- shared-memory bugs ----------------------------------------------
+
+warp_kernel!(
+    MissingBarrier,
+    "missing-barrier",
+    32 * 4,
+    1,
+    |this, _w, ctx| {
+        ctx.shared_store(|lane| Some((lane, lane as u32)));
+        // BUG: no ctx.barrier() between the stages.
+        let _: gnnone_sim::LaneArr<u32> = ctx.shared_load(|lane| Some(31 - lane));
+    }
+);
+
+warp_kernel!(
+    UninitSharedRead,
+    "uninit-shared-read",
+    32 * 4,
+    1,
+    |this, _w, ctx| {
+        let _: gnnone_sim::LaneArr<u32> = ctx.shared_load(Some);
+    }
+);
+
+warp_kernel!(SharedOob, "shared-oob", 32 * 4, 1, |this, _w, ctx| {
+    // Stores words 32..64 of a 32-word window.
+    ctx.shared_store(|lane| Some((32 + lane, lane as u32)));
+});
+
+warp_kernel!(
+    PartialCommit,
+    "partial-commit",
+    32 * 4,
+    1,
+    |this, _w, ctx| {
+        // Only half the window is staged; stage 2 reads all of it.
+        ctx.shared_store(|lane| (lane < 16).then_some((lane, lane as u32)));
+        ctx.barrier();
+        let _: gnnone_sim::LaneArr<u32> = ctx.shared_load(Some);
+    }
+);
+
+warp_kernel!(
+    BarrierAfterRead,
+    "barrier-after-read",
+    32 * 4,
+    1,
+    |this, _w, ctx| {
+        // The barrier is sequenced after the read it was meant to order.
+        let _: gnnone_sim::LaneArr<u32> = ctx.shared_load(Some);
+        ctx.barrier();
+        ctx.shared_store(|lane| Some((lane, lane as u32)));
+    }
+);
+
+// --- budget bugs ------------------------------------------------------
+
+warp_kernel!(RunawayLoop, "runaway-loop", 0, 1, |this, _w, ctx| {
+    loop {
+        ctx.compute(1024);
+    }
+});
+
+warp_kernel!(BudgetCliff, "budget-cliff", 0, 1, |this, _w, ctx| {
+    // Work quadratic in the input: feasible on toy graphs, guaranteed to
+    // trip the derived budget at scale. 20k ops against a 10k budget.
+    for _ in 0..20 {
+        ctx.compute(1024);
+    }
+});
+
+fn zeros(n: usize) -> Vec<DeviceBuffer<f32>> {
+    vec![DeviceBuffer::<f32>::zeros(n)]
+}
+
+/// The 15-bug corpus.
+pub fn corpus() -> Vec<SeededBug> {
+    vec![
+        SeededBug {
+            name: "racing-stores",
+            expect_check: "race",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalRace),
+            summary: || {
+                bug_summary(
+                    "racing-stores",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(2),
+                        accesses: vec![exclusive(
+                            "out",
+                            Sym::lit(8),
+                            Pattern::Affine {
+                                start: Sym::lit(0),
+                                len: Sym::lit(1),
+                            },
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| gpu.try_launch(&RacingStores { bufs: zeros(8) }).map(|_| ()),
+        },
+        SeededBug {
+            name: "overlapping-tails",
+            expect_check: "race",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalRace),
+            summary: || {
+                bug_summary(
+                    "overlapping-tails",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(2),
+                        accesses: vec![exclusive(
+                            "out",
+                            Sym::lit(128),
+                            Pattern::Affine {
+                                start: Sym::warp_id().mul(Sym::lit(32)),
+                                len: Sym::lit(33),
+                            },
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&OverlappingTails { bufs: zeros(128) })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "swizzle-collision",
+            expect_check: "race",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalRace),
+            summary: || {
+                bug_summary(
+                    "swizzle-collision",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(2),
+                        accesses: vec![exclusive(
+                            "y",
+                            Sym::lit(32),
+                            // The same broken order table the kernel uses.
+                            Pattern::Table(vec![(0, 0, 16), (1, 0, 16)]),
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&SwizzleCollision { bufs: zeros(32) })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "chunk-overlap",
+            expect_check: "race",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalRace),
+            summary: || {
+                bug_summary(
+                    "chunk-overlap",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(2),
+                        accesses: vec![exclusive(
+                            "y",
+                            Sym::lit(64),
+                            Pattern::Table(vec![(0, 0, 40), (1, 32, 64)]),
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&ChunkOverlap { bufs: zeros(64) })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "oob-store",
+            expect_check: "bounds",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalOutOfBounds),
+            summary: || {
+                bug_summary(
+                    "oob-store",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        accesses: vec![exclusive(
+                            "buf",
+                            Sym::lit(64),
+                            Pattern::Affine {
+                                start: Sym::lit(60),
+                                len: Sym::lit(32),
+                            },
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| gpu.try_launch(&OobStore { bufs: zeros(64) }).map(|_| ()),
+        },
+        SeededBug {
+            name: "oob-load",
+            expect_check: "bounds",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalOutOfBounds),
+            summary: || {
+                bug_summary(
+                    "oob-load",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        accesses: vec![BufferAccess {
+                            buffer: "buf",
+                            extent: Sym::lit(64),
+                            pattern: Pattern::Bounded {
+                                lo: Sym::lit(60),
+                                hi: Sym::lit(92),
+                            },
+                            mode: Mode::Read,
+                        }],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| gpu.try_launch(&OobLoad { bufs: zeros(64) }).map(|_| ()),
+        },
+        SeededBug {
+            name: "oob-last-warp",
+            expect_check: "bounds",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalOutOfBounds),
+            summary: || {
+                // Unclamped `min(cache, nnz - base)`: the canonical stage-1
+                // tail bug at nnz = 100, cache = 32.
+                bug_summary(
+                    "oob-last-warp",
+                    LaunchSummary {
+                        grid_warps: Sym::nnz().ceil_div(Sym::cache()),
+                        accesses: vec![exclusive(
+                            "w",
+                            Sym::nnz(),
+                            Pattern::Affine {
+                                start: Sym::warp_id().mul(Sym::cache()),
+                                len: Sym::cache(),
+                            },
+                        )],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&OobLastWarp { bufs: zeros(100) })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "atomic-oob",
+            expect_check: "bounds",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::GlobalOutOfBounds),
+            summary: || {
+                bug_summary(
+                    "atomic-oob",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        accesses: vec![BufferAccess {
+                            buffer: "y",
+                            extent: Sym::lit(10),
+                            pattern: Pattern::Bounded {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(11),
+                            },
+                            mode: Mode::Atomic,
+                        }],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| gpu.try_launch(&AtomicOob { bufs: zeros(10) }).map(|_| ()),
+        },
+        SeededBug {
+            name: "missing-barrier",
+            expect_check: "shared-epoch",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::SharedReadInWriteEpoch),
+            summary: || {
+                bug_summary(
+                    "missing-barrier",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        shared_words: Sym::lit(32),
+                        shared_steps: vec![
+                            SharedStep::Store {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(32),
+                            },
+                            SharedStep::Load {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(32),
+                            },
+                        ],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&MissingBarrier { bufs: Vec::new() })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "uninit-shared-read",
+            expect_check: "shared-uninit",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::SharedUninitialized),
+            summary: || {
+                bug_summary(
+                    "uninit-shared-read",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        shared_words: Sym::lit(32),
+                        shared_steps: vec![SharedStep::Load {
+                            lo: Sym::lit(0),
+                            hi: Sym::lit(32),
+                        }],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&UninitSharedRead { bufs: Vec::new() })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "shared-oob",
+            expect_check: "shared-oob",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::SharedOutOfBounds),
+            summary: || {
+                bug_summary(
+                    "shared-oob",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        shared_words: Sym::lit(32),
+                        shared_steps: vec![SharedStep::Store {
+                            lo: Sym::lit(32),
+                            hi: Sym::lit(64),
+                        }],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| gpu.try_launch(&SharedOob { bufs: Vec::new() }).map(|_| ()),
+        },
+        SeededBug {
+            name: "partial-commit",
+            expect_check: "shared-uninit",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::SharedUninitialized),
+            summary: || {
+                bug_summary(
+                    "partial-commit",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        shared_words: Sym::lit(32),
+                        shared_steps: vec![
+                            SharedStep::Store {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(16),
+                            },
+                            SharedStep::Barrier,
+                            SharedStep::Load {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(32),
+                            },
+                        ],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&PartialCommit { bufs: Vec::new() })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "barrier-after-read",
+            expect_check: "shared-uninit",
+            expect_dynamic: DynamicCatch::Finding(CheckKind::SharedUninitialized),
+            summary: || {
+                bug_summary(
+                    "barrier-after-read",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        shared_words: Sym::lit(32),
+                        shared_steps: vec![
+                            SharedStep::Load {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(32),
+                            },
+                            SharedStep::Barrier,
+                            SharedStep::Store {
+                                lo: Sym::lit(0),
+                                hi: Sym::lit(32),
+                            },
+                        ],
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch(&BarrierAfterRead { bufs: Vec::new() })
+                    .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "runaway-loop",
+            expect_check: "budget",
+            expect_dynamic: DynamicCatch::Watchdog,
+            summary: || {
+                bug_summary(
+                    "runaway-loop",
+                    LaunchSummary {
+                        grid_warps: Sym::lit(1),
+                        // No static bound exists; an honest summary says so
+                        // with a bound above every reachable budget.
+                        ops_per_warp: Sym::lit(u64::MAX / 2),
+                        ..LaunchSummary::new("main")
+                    },
+                )
+            },
+            run: |gpu| {
+                gpu.try_launch_with(
+                    &RunawayLoop { bufs: Vec::new() },
+                    &LaunchSpec::with_budget(10_000),
+                )
+                .map(|_| ())
+            },
+        },
+        SeededBug {
+            name: "budget-cliff",
+            expect_check: "budget",
+            expect_dynamic: DynamicCatch::Watchdog,
+            summary: || {
+                // Ops grow as nnz·f·64: fine on toys, over every derived
+                // budget at scale. Summarized at the scaled point.
+                let mut s = bug_summary(
+                    "budget-cliff",
+                    LaunchSummary {
+                        grid_warps: Sym::nnz().ceil_div(Sym::cache()),
+                        ops_per_warp: Sym::nnz().mul(Sym::f()).mul(Sym::lit(64)),
+                        ..LaunchSummary::new("main")
+                    },
+                );
+                s.base_env = base_env(1 << 20, 1 << 16, 256, 32, 64);
+                s
+            },
+            run: |gpu| {
+                gpu.try_launch_with(
+                    &BudgetCliff { bufs: Vec::new() },
+                    &LaunchSpec::with_budget(10_000),
+                )
+                .map(|_| ())
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_fifteen_distinct_bugs() {
+        let bugs = corpus();
+        assert_eq!(bugs.len(), 15);
+        let mut names: Vec<_> = bugs.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "names must be unique");
+    }
+}

@@ -1,0 +1,270 @@
+//! Symbolic index expressions over launch parameters.
+//!
+//! Access summaries describe read/write sets as interval expressions over
+//! the quantities a launch is parameterized by — NZE count, vertex count,
+//! feature length, `CACHE_SIZE`, grid geometry — rather than concrete
+//! numbers, so one summary covers every point of the config lattice. A
+//! [`Sym`] is a tiny arithmetic expression tree over those [`Param`]s;
+//! the checker instantiates it against a concrete [`Env`] (one graph ×
+//! config × feature length × lattice point) with [`Sym::eval`].
+//!
+//! All arithmetic is saturating and unsigned: summaries describe index
+//! spaces, which never go negative and must not wrap.
+
+use std::fmt;
+
+/// A launch parameter a summary expression may reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Param {
+    /// Number of non-zero elements (edges) in the graph.
+    Nnz,
+    /// Number of vertices (square graphs: rows == cols).
+    Rows,
+    /// Dense feature length `f`.
+    F,
+    /// Stage-1 `CACHE_SIZE` (NZEs cached per warp).
+    Cache,
+    /// Number of warps (or native tasks) in the launch grid.
+    GridWarps,
+    /// The warp (or native task) index the expression is evaluated for.
+    WarpId,
+    /// Maximum row degree of the graph (the longest Stage-2 span a
+    /// row-per-warp kernel can see).
+    MaxDegree,
+}
+
+impl Param {
+    /// Stable lowercase name used in rendered summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Param::Nnz => "nnz",
+            Param::Rows => "rows",
+            Param::F => "f",
+            Param::Cache => "cache",
+            Param::GridWarps => "grid_warps",
+            Param::WarpId => "w",
+            Param::MaxDegree => "max_degree",
+        }
+    }
+}
+
+/// Concrete values for every [`Param`] — one point of the config lattice
+/// applied to one graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Env {
+    /// Non-zero (edge) count.
+    pub nnz: u64,
+    /// Vertex count.
+    pub rows: u64,
+    /// Feature length.
+    pub f: u64,
+    /// Stage-1 cache size.
+    pub cache: u64,
+    /// Launch grid warp/task count (filled per launch by the checker).
+    pub grid_warps: u64,
+    /// Warp index under evaluation (filled per warp by the checker).
+    pub warp_id: u64,
+    /// Maximum row degree.
+    pub max_degree: u64,
+}
+
+impl Env {
+    /// The value of one parameter in this environment.
+    pub fn get(&self, p: Param) -> u64 {
+        match p {
+            Param::Nnz => self.nnz,
+            Param::Rows => self.rows,
+            Param::F => self.f,
+            Param::Cache => self.cache,
+            Param::GridWarps => self.grid_warps,
+            Param::WarpId => self.warp_id,
+            Param::MaxDegree => self.max_degree,
+        }
+    }
+}
+
+/// A symbolic index expression: constants, parameters, and saturating
+/// unsigned arithmetic over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sym {
+    /// A literal value.
+    Const(u64),
+    /// A launch parameter.
+    Param(Param),
+    /// Saturating sum.
+    Add(Box<Sym>, Box<Sym>),
+    /// Saturating difference (clamps at zero).
+    Sub(Box<Sym>, Box<Sym>),
+    /// Saturating product.
+    Mul(Box<Sym>, Box<Sym>),
+    /// Integer (floor) division; division by zero evaluates to zero.
+    Div(Box<Sym>, Box<Sym>),
+    /// Ceiling division; division by zero evaluates to zero.
+    CeilDiv(Box<Sym>, Box<Sym>),
+    /// Minimum.
+    Min(Box<Sym>, Box<Sym>),
+    /// Maximum.
+    Max(Box<Sym>, Box<Sym>),
+}
+
+impl Sym {
+    /// Shorthand: the NZE count.
+    pub fn nnz() -> Sym {
+        Sym::Param(Param::Nnz)
+    }
+    /// Shorthand: the vertex count.
+    pub fn rows() -> Sym {
+        Sym::Param(Param::Rows)
+    }
+    /// Shorthand: the feature length.
+    pub fn f() -> Sym {
+        Sym::Param(Param::F)
+    }
+    /// Shorthand: the Stage-1 cache size.
+    pub fn cache() -> Sym {
+        Sym::Param(Param::Cache)
+    }
+    /// Shorthand: the grid warp count.
+    pub fn grid_warps() -> Sym {
+        Sym::Param(Param::GridWarps)
+    }
+    /// Shorthand: the warp index.
+    pub fn warp_id() -> Sym {
+        Sym::Param(Param::WarpId)
+    }
+    /// Shorthand: the maximum row degree.
+    pub fn max_degree() -> Sym {
+        Sym::Param(Param::MaxDegree)
+    }
+    /// Shorthand: a literal.
+    pub fn lit(v: u64) -> Sym {
+        Sym::Const(v)
+    }
+
+    /// `self + rhs` (saturating).
+    // Not `std::ops`: these take `impl Into<Sym>` so literals compose
+    // (`x.add(1)`), and the saturating semantics differ from `u64` math.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Add(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `self - rhs` (saturating at zero).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Sub(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `self * rhs` (saturating).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Mul(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `self / rhs` (floor; zero divisor yields zero).
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Div(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `ceil(self / rhs)` (zero divisor yields zero).
+    pub fn ceil_div(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::CeilDiv(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Min(Box::new(self), Box::new(rhs.into()))
+    }
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: impl Into<Sym>) -> Sym {
+        Sym::Max(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// Evaluates the expression against a concrete environment.
+    pub fn eval(&self, env: &Env) -> u64 {
+        match self {
+            Sym::Const(v) => *v,
+            Sym::Param(p) => env.get(*p),
+            Sym::Add(a, b) => a.eval(env).saturating_add(b.eval(env)),
+            Sym::Sub(a, b) => a.eval(env).saturating_sub(b.eval(env)),
+            Sym::Mul(a, b) => a.eval(env).saturating_mul(b.eval(env)),
+            Sym::Div(a, b) => a.eval(env).checked_div(b.eval(env)).unwrap_or(0),
+            Sym::CeilDiv(a, b) => {
+                let d = b.eval(env);
+                if d == 0 {
+                    0
+                } else {
+                    a.eval(env).div_ceil(d)
+                }
+            }
+            Sym::Min(a, b) => a.eval(env).min(b.eval(env)),
+            Sym::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+}
+
+impl From<u64> for Sym {
+    fn from(v: u64) -> Sym {
+        Sym::Const(v)
+    }
+}
+
+impl From<Param> for Sym {
+    fn from(p: Param) -> Sym {
+        Sym::Param(p)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Const(v) => write!(out, "{v}"),
+            Sym::Param(p) => out.write_str(p.as_str()),
+            Sym::Add(a, b) => write!(out, "({a} + {b})"),
+            Sym::Sub(a, b) => write!(out, "({a} - {b})"),
+            Sym::Mul(a, b) => write!(out, "({a}*{b})"),
+            Sym::Div(a, b) => write!(out, "({a}/{b})"),
+            Sym::CeilDiv(a, b) => write!(out, "ceil({a}/{b})"),
+            Sym::Min(a, b) => write!(out, "min({a}, {b})"),
+            Sym::Max(a, b) => write!(out, "max({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Env {
+        Env {
+            nnz: 100,
+            rows: 10,
+            f: 16,
+            cache: 32,
+            grid_warps: 4,
+            warp_id: 3,
+            max_degree: 7,
+        }
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = env();
+        assert_eq!(Sym::warp_id().mul(Sym::cache()).eval(&e), 96);
+        assert_eq!(
+            Sym::cache()
+                .min(Sym::nnz().sub(Sym::warp_id().mul(Sym::cache())))
+                .eval(&e),
+            4
+        );
+        assert_eq!(Sym::nnz().ceil_div(Sym::cache()).eval(&e), 4);
+        assert_eq!(
+            Sym::lit(3).sub(Sym::lit(5)).eval(&e),
+            0,
+            "saturates at zero"
+        );
+        assert_eq!(Sym::nnz().div(Sym::lit(0)).eval(&e), 0, "zero divisor");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Sym::warp_id().mul(Sym::cache()).add(Sym::f());
+        assert_eq!(s.to_string(), "((w*cache) + f)");
+    }
+}

@@ -184,8 +184,10 @@ fn axpy(out: &mut [f32], s: f32, x: &[f32]) {
     }
 }
 
-/// NZEs one rayon task stages and processes — the CTA analogue.
-fn cta_edges(cache_size: usize) -> usize {
+/// NZEs one rayon task stages and processes — the CTA analogue. Public
+/// so the static verifier (`crate::analysis`) can reproduce the exact
+/// task partition a native launch will use.
+pub fn cta_edges(cache_size: usize) -> usize {
     (WARPS_PER_CTA * cache_size.max(1)).max(1)
 }
 
@@ -193,7 +195,8 @@ fn cta_edges(cache_size: usize) -> usize {
 /// `target_nnz` NZEs each (always ≥ 1 row per block). The boundaries
 /// depend only on the CSR offsets and the target, never on the thread
 /// count — the native Stage-1 balance rule for row-output kernels.
-fn row_blocks(offsets: &[u32], num_rows: usize, target_nnz: usize) -> Vec<(usize, usize)> {
+/// Public for the same reason as [`cta_edges`].
+pub fn row_blocks(offsets: &[u32], num_rows: usize, target_nnz: usize) -> Vec<(usize, usize)> {
     let target = target_nnz.max(1) as u32;
     let mut blocks = Vec::new();
     let mut start = 0usize;

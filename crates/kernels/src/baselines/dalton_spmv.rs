@@ -17,6 +17,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmvKernel;
 
@@ -64,6 +65,17 @@ impl SpmvKernel for DaltonSpmv {
             nnz: self.graph.nnz(),
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self) -> Option<AccessSummary> {
+        // Inter-thread reduction materializes products + row IDs in shared
+        // memory; row segments may straddle warp boundaries, so the output
+        // envelope is atomic-only.
+        Some(summaries::dalton_spmv(
+            self.name(),
+            &self.graph,
+            NZE_PER_WARP as u64,
+        ))
     }
 }
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{AccessSummary, ExecModel};
 use crate::baselines::spmm_cusparse::CusparseSpmm;
 use crate::gnnone::{GnnOneConfig, GnnOneSddmm};
 use crate::graph::GraphData;
@@ -62,6 +63,14 @@ impl SddmmKernel for DglSddmm {
     ) -> Result<KernelReport, LaunchError> {
         self.inner.run(gpu, x, y, f, w)
     }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Delegate to the configured GNNOne launch the kernel wraps,
+        // re-labelled under the DGL system name.
+        let mut s = self.inner.access_summary(f, ExecModel::Sim)?;
+        s.kernel = self.name().to_string();
+        Some(s)
+    }
 }
 
 /// DGL SpMM: DGL "uses CuSparse for its SpMM" (§5.3) — same kernel, second
@@ -101,6 +110,13 @@ impl SpmmKernel for DglSpmm {
         y: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
         self.inner.run(gpu, edge_vals, x, f, y)
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Delegate to the wrapped cuSPARSE launch, re-labelled.
+        let mut s = self.inner.access_summary(f, ExecModel::Sim)?;
+        s.kernel = self.name().to_string();
+        Some(s)
     }
 }
 

@@ -16,6 +16,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -93,6 +94,18 @@ impl SpmmKernel for FeatGraphSpmm {
                 reason: "all FeatGraph schedules crashed".into(),
             })
         })
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Every CTA candidate in the tuning sweep shares the same
+        // warp-per-row access shape (only resources differ), so a single
+        // launch summary covers the whole sweep. No shared-memory caching.
+        Some(summaries::warp_per_row_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            false,
+        ))
     }
 }
 

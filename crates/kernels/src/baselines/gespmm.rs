@@ -15,6 +15,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -62,6 +63,17 @@ impl SpmmKernel for GeSpmm {
             use_caching: f >= 32,
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Caching (and its shared rounds) engages only at f ≥ 32 — the
+        // same predicate `run` uses.
+        Some(summaries::warp_per_row_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            f >= 32,
+        ))
     }
 }
 

@@ -15,6 +15,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmvKernel;
 use gnnone_sparse::custom::MergePath;
@@ -85,6 +86,17 @@ impl SpmvKernel for MergeSpmv {
             num_spans: self.spans.spans.len(),
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self) -> Option<AccessSummary> {
+        // Span boundaries cut rows anywhere, so every output write is an
+        // atomic combine (bounds-only envelope); the carry-out exchange
+        // performs no shared stores in the model, only a barrier.
+        Some(summaries::merge_spmv(
+            self.name(),
+            &self.graph,
+            self.spans.spans.len(),
+        ))
     }
 }
 

@@ -24,6 +24,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 use gnnone_sparse::custom::NeighborGroups;
@@ -223,6 +224,19 @@ macro_rules! ng_system {
                 y: &DeviceBuffer<f32>,
             ) -> Result<KernelReport, LaunchError> {
                 self.0.run(gpu, edge_vals, x, f, y)
+            }
+
+            fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+                // Every group ends in an atomicAdd per feature, so the
+                // output envelope is atomic-only; Huang additionally stages
+                // the group's NZEs in shared memory.
+                Some(summaries::neighbor_group_spmm(
+                    self.name(),
+                    &self.0.graph,
+                    f,
+                    self.0.num_groups,
+                    self.0.params.stage_in_shared,
+                ))
             }
         }
     };

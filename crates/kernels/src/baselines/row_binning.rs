@@ -14,6 +14,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -129,6 +130,20 @@ impl SpmmKernel for RowBinningSpmm {
         total.ok_or(LaunchError::Unlaunchable {
             reason: "empty matrix".into(),
         })
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // One launch summary per non-empty bin, each proved from the
+        // concrete binning output: small packs 32 rows per warp, medium
+        // is warp-per-row, large combines atomically (4 warps per row).
+        Some(summaries::row_binning_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            &self.small,
+            &self.medium,
+            &self.large,
+        ))
     }
 }
 

@@ -21,6 +21,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -104,6 +105,31 @@ impl SpmmKernel for CusparseSpmm {
             chunks_per_warp,
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Non-split chunks plain-store their whole row slice; split chunks
+        // combine atomically (bounds-only envelope). Chunk batching maps
+        // chunk ci to warp ci / chunks_per_warp — entries sharing a warp
+        // never race by construction.
+        let cpw = (WARP_SIZE / f.next_power_of_two().min(WARP_SIZE)).max(1);
+        let table = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.split)
+            .map(|(ci, c)| {
+                let base = c.row as usize * f;
+                (ci / cpw, base as u64, (base + f) as u64)
+            })
+            .collect();
+        Some(summaries::chunked_row_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            table,
+            self.chunks.len().div_ceil(cpw) as u64,
+        ))
     }
 }
 

@@ -14,6 +14,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 use gnnone_sparse::custom::RowSwizzle;
@@ -65,6 +66,18 @@ impl SpmmKernel for SputnikSpmm {
             f,
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // Warp w writes the swizzled row order[w] — the write table is the
+        // permutation itself, so disjointness is proved from the concrete
+        // pre-processing output.
+        Some(summaries::swizzled_row_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            &self.d_order.to_vec(),
+        ))
     }
 }
 

@@ -14,6 +14,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::geometry::GroupGeometry;
 use crate::graph::GraphData;
 use crate::traits::SddmmKernel;
@@ -297,6 +298,21 @@ macro_rules! vp_system {
                 w: &DeviceBuffer<f32>,
             ) -> Result<KernelReport, LaunchError> {
                 self.0.run(gpu, x, y, f, w)
+            }
+
+            fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+                Some(if self.0.params.thread_per_row {
+                    summaries::vp_thread_row_sddmm(self.name(), &self.0.graph, f)
+                } else {
+                    let table = self
+                        .0
+                        .chunks
+                        .iter()
+                        .enumerate()
+                        .map(|(t, c)| (t, c.start as u64, c.end as u64))
+                        .collect();
+                    summaries::vp_chunk_sddmm(self.name(), &self.0.graph, f, table)
+                })
             }
         }
     };

@@ -19,6 +19,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary};
 use crate::graph::GraphData;
 use crate::traits::SpmmKernel;
 
@@ -68,6 +69,17 @@ impl SpmmKernel for YangSpmm {
             f,
         };
         gpu.try_launch(&launch)
+    }
+
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        // All output traffic is atomic (segment boundaries land anywhere),
+        // so the summary carries no exclusive write set at all.
+        Some(summaries::nonzero_split_spmm(
+            self.name(),
+            &self.graph,
+            f,
+            TILE as u64,
+        ))
     }
 }
 

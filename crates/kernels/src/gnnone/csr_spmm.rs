@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::gnnone::config::GnnOneConfig;
 use crate::gnnone::pipeline::{CsrNzes, TwoStagePipeline};
 use crate::gnnone::reduce::RowAccum;
@@ -78,6 +79,21 @@ impl SpmmKernel for GnnOneCsrSpmm {
             "GnnOne-CSR-SpMM",
         );
         gpu.try_launch(&pipeline)
+    }
+
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        let cfg = GnnOneConfig::default();
+        Some(match model {
+            ExecModel::Sim => summaries::gnnone_csr_spmm(self.name(), &self.graph, &cfg, f),
+            ExecModel::Native => summaries::native_row_out(
+                self.name(),
+                "spmm",
+                &self.graph,
+                &cfg,
+                f,
+                summaries::spmm_reads(),
+            ),
+        })
     }
 }
 

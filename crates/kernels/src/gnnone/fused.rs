@@ -31,6 +31,7 @@ use gnnone_sim::{
     engine::LaunchError, DeviceBuffer, Gpu, KernelReport, LaneArr, WarpCtx, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::geometry::GroupGeometry;
 use crate::gnnone::config::GnnOneConfig;
 use crate::gnnone::pipeline::{CsrRows, Stage2Ctx, TwoStagePipeline};
@@ -139,6 +140,13 @@ impl FusedAttentionKernel for FusedGatAttention {
             alpha_out,
             self.name(),
         ))
+    }
+
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        Some(match model {
+            ExecModel::Sim => summaries::fused_gat(self.name(), &self.graph, f, LOGIT_CACHE as u64),
+            ExecModel::Native => summaries::native_fused_gat(self.name(), &self.graph, f),
+        })
     }
 }
 

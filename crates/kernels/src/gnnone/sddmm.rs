@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::gnnone::config::GnnOneConfig;
 use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
 use crate::gnnone::reduce::EdgeDot;
@@ -112,6 +113,20 @@ impl SddmmKernel for GnnOneSddmm {
             w,
             self.name,
         ))
+    }
+
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        Some(match model {
+            ExecModel::Sim => summaries::gnnone_coo_sddmm(self.name, &self.graph, &self.config, f),
+            ExecModel::Native => summaries::native_edge_out(
+                self.name,
+                "sddmm",
+                &self.graph,
+                &self.config,
+                f,
+                summaries::sddmm_edge_reads(),
+            ),
+        })
     }
 }
 

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::gnnone::config::GnnOneConfig;
 use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
 use crate::gnnone::reduce::RowAccum;
@@ -110,6 +111,20 @@ impl SpmmKernel for GnnOneSpmm {
             y,
             self.name,
         ))
+    }
+
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        Some(match model {
+            ExecModel::Sim => summaries::gnnone_coo_spmm(self.name, &self.graph, &self.config, f),
+            ExecModel::Native => summaries::native_row_out(
+                self.name,
+                "spmm",
+                &self.graph,
+                &self.config,
+                f,
+                summaries::spmm_reads(),
+            ),
+        })
     }
 }
 

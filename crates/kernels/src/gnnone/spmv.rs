@@ -15,6 +15,7 @@ use gnnone_sim::{
     WarpKernel, WARP_SIZE,
 };
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::graph::GraphData;
 use crate::traits::SpmvKernel;
 
@@ -62,6 +63,20 @@ impl SpmvKernel for GnnOneSpmv {
             nnz: self.graph.nnz(),
         };
         gpu.try_launch(&launch)
+    }
+
+    fn access_summary(&self, model: ExecModel) -> Option<AccessSummary> {
+        Some(match model {
+            ExecModel::Sim => summaries::gnnone_spmv(self.name(), &self.graph, NZE_PER_WARP as u64),
+            ExecModel::Native => summaries::native_row_out(
+                self.name(),
+                "spmv",
+                &self.graph,
+                &crate::gnnone::GnnOneConfig::default(),
+                1,
+                summaries::spmm_reads(),
+            ),
+        })
     }
 }
 

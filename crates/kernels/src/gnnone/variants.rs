@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::geometry::GroupGeometry;
 use crate::gnnone::config::{GnnOneConfig, Schedule};
 use crate::gnnone::pipeline::{stage2_geometry, CooNzes, TwoStagePipeline};
@@ -90,6 +91,27 @@ impl EdgeApplyKernel for GnnOneUAddV {
         w: &DeviceBuffer<f32>,
     ) -> Result<KernelReport, LaunchError> {
         GnnOneUAddV::run(self, gpu, el, er, w)
+    }
+
+    fn access_summary(&self, model: ExecModel) -> Option<AccessSummary> {
+        // The same fixed config `run` launches with.
+        let cfg = GnnOneConfig {
+            cache_size: 128,
+            schedule: Schedule::RoundRobin,
+            vectorize: false,
+            data_reuse: true,
+        };
+        Some(match model {
+            ExecModel::Sim => summaries::gnnone_uaddv(self.name(), &self.graph, &cfg),
+            ExecModel::Native => summaries::native_edge_out(
+                self.name(),
+                "u-add-v",
+                &self.graph,
+                &GnnOneConfig::default(),
+                1,
+                summaries::uaddv_reads(),
+            ),
+        })
     }
 }
 

@@ -22,6 +22,11 @@
 //! * [`registry`] — constructs every implementation by name.
 //! * [`sanitize`] — registry-wide sanitizer sweep (the simulator's
 //!   `compute-sanitizer` workflow over every shipped kernel).
+//! * [`analysis`] — the static kernel verifier: symbolic access
+//!   summaries per kernel plus the abstract-interpretation pass that
+//!   proves race freedom, bounds safety, barrier consistency and
+//!   watchdog feasibility across the whole config lattice; see
+//!   `docs/STATIC_ANALYSIS.md`.
 //!
 //! ## Example: run GNNOne SpMM against the CPU oracle
 //!
@@ -51,7 +56,9 @@
 
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod backend;
 pub mod baselines;
 pub mod geometry;

@@ -18,6 +18,7 @@
 
 use gnnone_sim::{engine::LaunchError, DeviceBuffer, Gpu, KernelReport};
 
+use crate::analysis::{summaries, AccessSummary, ExecModel};
 use crate::backend::native::{self, NativeEngine, NativeReport};
 use crate::graph::GraphData;
 
@@ -65,6 +66,34 @@ pub trait SpmmKernel: Send + Sync {
             y,
             self.name(),
         ))
+    }
+
+    /// Symbolic access summary under one execution model, or `None` when
+    /// the kernel has none registered (the registry-wide verify gate turns
+    /// that into a coverage failure). The provided implementation mirrors
+    /// the provided `run_native` — the native row-split path under the
+    /// default config — so kernels overriding `run_native` must override
+    /// this too; the sim-model summary is always kernel-specific.
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        match model {
+            ExecModel::Sim => self.sim_access_summary(f),
+            ExecModel::Native => Some(summaries::native_row_out(
+                self.name(),
+                "spmm",
+                self.graph(),
+                &crate::gnnone::GnnOneConfig::default(),
+                f,
+                summaries::spmm_reads(),
+            )),
+        }
+    }
+
+    /// Simulator-model hook for [`Self::access_summary`]: kernels whose
+    /// simulator launch differs from the shared native partition override
+    /// only this method and keep the provided native summary.
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        let _ = f;
+        None
     }
 }
 
@@ -116,6 +145,40 @@ pub trait SddmmKernel: Send + Sync {
             native::sddmm_rows(eng, self.graph(), x, y, f, w, self.name())
         })
     }
+
+    /// Symbolic access summary under one execution model, or `None` when
+    /// the kernel has none registered. The provided implementation mirrors
+    /// the provided `run_native` format branch under the default config.
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        match model {
+            ExecModel::Sim => self.sim_access_summary(f),
+            ExecModel::Native => Some(if self.format() == "COO" {
+                summaries::native_edge_out(
+                    self.name(),
+                    "sddmm",
+                    self.graph(),
+                    &crate::gnnone::GnnOneConfig::default(),
+                    f,
+                    summaries::sddmm_edge_reads(),
+                )
+            } else {
+                summaries::native_sddmm_rows(
+                    self.name(),
+                    self.graph(),
+                    &crate::gnnone::GnnOneConfig::default(),
+                    f,
+                )
+            }),
+        }
+    }
+
+    /// Simulator-model hook for [`Self::access_summary`]: kernels whose
+    /// simulator launch differs from the shared native partition override
+    /// only this method and keep the provided native summary.
+    fn sim_access_summary(&self, f: usize) -> Option<AccessSummary> {
+        let _ = f;
+        None
+    }
 }
 
 /// Edge-apply SDDMM variants (§4.3): per-NZE outputs computed from scalar
@@ -157,6 +220,29 @@ pub trait EdgeApplyKernel: Send + Sync {
             w,
             self.name(),
         ))
+    }
+
+    /// Symbolic access summary under one execution model (scalar operands,
+    /// so no feature-length argument), or `None` when the kernel has none
+    /// registered. The provided implementation mirrors the provided
+    /// `run_native` edge-parallel path.
+    fn access_summary(&self, model: ExecModel) -> Option<AccessSummary> {
+        match model {
+            ExecModel::Sim => self.sim_access_summary(),
+            ExecModel::Native => Some(summaries::native_edge_out(
+                self.name(),
+                "u-add-v",
+                self.graph(),
+                &crate::gnnone::GnnOneConfig::default(),
+                1,
+                summaries::uaddv_reads(),
+            )),
+        }
+    }
+
+    /// Simulator-model hook for [`Self::access_summary`].
+    fn sim_access_summary(&self) -> Option<AccessSummary> {
+        None
     }
 }
 
@@ -202,6 +288,15 @@ pub trait FusedAttentionKernel: Send + Sync {
         y: &DeviceBuffer<f32>,
         alpha_out: Option<&DeviceBuffer<f32>>,
     ) -> Result<NativeReport, LaunchError>;
+
+    /// Symbolic access summary under one execution model, or `None` when
+    /// the kernel has none registered. No provided implementation is
+    /// possible: like `run_native`, fused kernels carry kernel-specific
+    /// scheduling state.
+    fn access_summary(&self, f: usize, model: ExecModel) -> Option<AccessSummary> {
+        let _ = (f, model);
+        None
+    }
 }
 
 /// SpMV: `y ← A·x` with scalar features.
@@ -242,5 +337,27 @@ pub trait SpmvKernel: Send + Sync {
             y,
             self.name(),
         ))
+    }
+
+    /// Symbolic access summary under one execution model (`f = 1`), or
+    /// `None` when the kernel has none registered. The provided
+    /// implementation mirrors the provided `run_native` row-split path.
+    fn access_summary(&self, model: ExecModel) -> Option<AccessSummary> {
+        match model {
+            ExecModel::Sim => self.sim_access_summary(),
+            ExecModel::Native => Some(summaries::native_row_out(
+                self.name(),
+                "spmv",
+                self.graph(),
+                &crate::gnnone::GnnOneConfig::default(),
+                1,
+                summaries::spmm_reads(),
+            )),
+        }
+    }
+
+    /// Simulator-model hook for [`Self::access_summary`].
+    fn sim_access_summary(&self) -> Option<AccessSummary> {
+        None
     }
 }

@@ -22,6 +22,7 @@
 //!
 //! Kernel time = max over SMs + a fixed launch overhead.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
@@ -257,6 +258,12 @@ pub struct Gpu {
     metrics: OnceLock<Arc<MetricsRegistry>>,
     sanitize: OnceLock<Arc<Sanitizer>>,
     chaos: OnceLock<Arc<ChaosEngine>>,
+    /// Watermark of warp-wide instructions charged by any single warp of
+    /// the most recent launch — the dynamic ground truth the static
+    /// verifier's symbolic ops bounds are differentially tested against.
+    /// Shared by clones (an `Arc`, like the attachments) and overwritten
+    /// at the start of every launch; never serialized into reports.
+    max_warp_ops: Arc<AtomicU64>,
 }
 
 impl Gpu {
@@ -268,7 +275,15 @@ impl Gpu {
             metrics: OnceLock::new(),
             sanitize: OnceLock::new(),
             chaos: OnceLock::new(),
+            max_warp_ops: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Warp-wide instruction watermark of the most recent launch on this
+    /// GPU (or any clone): the maximum watchdog counter any warp reached.
+    /// Zero before the first launch.
+    pub fn last_max_warp_ops(&self) -> u64 {
+        self.max_warp_ops.load(Ordering::Relaxed)
     }
 
     /// The hardware spec.
@@ -441,6 +456,9 @@ impl Gpu {
         // Sanitizer gate — same pattern, one atomic load when absent.
         let san = self.sanitize.get();
         let budget = launch.budget(grid_warps);
+        // Reset the per-launch ops watermark; warps race to raise it below.
+        self.max_warp_ops.store(0, Ordering::Relaxed);
+        let max_warp_ops = &self.max_warp_ops;
 
         // One warp's execution, shared by the parallel path and the
         // schedule-chaos path so both produce identical per-warp results.
@@ -468,6 +486,7 @@ impl Gpu {
                 }
             }
             kernel.run_warp(warp_id, &mut ctx);
+            max_warp_ops.fetch_max(ctx.ops(), Ordering::Relaxed);
             let ws = ctx.finish();
             if let Some(hook) = ctx.take_chaos() {
                 if hook.fired() {

@@ -104,6 +104,7 @@
 //! `docs/ROBUSTNESS.md`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // SIMT lane loops index parallel per-lane arrays
 
 pub mod buffer;

@@ -27,6 +27,9 @@
 //!   and after every format conversion; failures are typed
 //!   [`gnnone_sim::ValidationError`]s rather than panics.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod custom;
 pub mod datasets;
 pub mod formats;

@@ -20,6 +20,9 @@
 //! assert_eq!(grads[x].as_ref().unwrap().data(), &[1.0, 0.0, 1.0, 0.0]);
 //! ```
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod ops;
 pub mod optim;

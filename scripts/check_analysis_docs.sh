@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Drift check: docs/STATIC_ANALYSIS.md must match the verifier the code
+# actually ships — every CLI flag its code blocks mention must be parsed,
+# the verdict/witness vocabulary it documents must exist in the analysis
+# sources, and the error-message contracts it quotes must match the code.
+# Pure grep — no build needed — mirroring check_backends_docs.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/STATIC_ANALYSIS.md
+CLI=crates/bench/src/cli.rs
+PROF=crates/bench/src/bin/gnnone_prof.rs
+CHECK=crates/kernels/src/analysis/check.rs
+fail=0
+
+err() {
+  echo "check_analysis_docs: $*" >&2
+  fail=1
+}
+
+[ -f "$DOC" ] || { err "$DOC is missing"; exit 1; }
+
+# 1. Every --flag named inside the doc's fenced code blocks must appear
+#    in the CLI parser or the gnnone-prof parser.
+doc_flags=$(awk '/^```/{in_block=!in_block; next} in_block' "$DOC" \
+  | grep -oE '\-\-[a-z][a-z-]*' | sort -u)
+for flag in $doc_flags; do
+  case "$flag" in
+    # cargo's own flags, not ours
+    --release|--bin|--example|--workspace) continue ;;
+  esac
+  if ! grep -qF -- "\"$flag\"" "$CLI" && ! grep -qF -- "\"$flag\"" "$PROF"; then
+    err "$DOC references $flag but neither $CLI nor $PROF parses it"
+  fi
+done
+
+# 2. The verifier surface the code ships must be documented: the
+#    subcommand, the pre-launch flag, the verdict vocabulary, and the
+#    entry points.
+for needed in "gnnone-prof verify" "--verify" "--sanitize" \
+  "AccessSummary" "access_summary" "check_summary" "Proved" "Refuted" \
+  "Unknown" "ops_per_warp" "last_max_warp_ops" "static_verdicts" \
+  "seeded" "24-point"; do
+  if ! grep -qF -- "$needed" "$DOC"; then
+    err "$DOC never mentions $needed"
+  fi
+done
+
+# 3. The witness tags the doc lists must be the ones the checker emits.
+for tag in "race" "bounds" "shared-epoch" "shared-uninit" "shared-oob" \
+  "budget"; do
+  grep -qF -- "\`$tag\`" "$DOC" || err "$DOC never lists witness tag $tag"
+  grep -qF -- "\"$tag\"" "$CHECK" || err "$CHECK no longer emits witness tag $tag"
+done
+
+# 4. The error-message contracts quoted in the doc must match the code.
+grep -qF 'the static alternative is' "$CLI" \
+  || err "sim-only rejection no longer names the static alternative; update $DOC"
+grep -qF 'static verification failed' crates/bench/src/verify.rs \
+  || err "preflight refusal message moved; update $DOC"
+
+# 5. Docs that cross-reference the verifier must point at real files.
+for ref in docs/STATIC_ANALYSIS.md docs/BACKENDS.md \
+  crates/kernels/src/analysis/mod.rs crates/kernels/src/analysis/check.rs \
+  crates/kernels/src/analysis/seeded.rs \
+  crates/kernels/src/analysis/summaries.rs \
+  crates/kernels/tests/static_verdicts.rs crates/bench/src/verify.rs; do
+  [ -e "$ref" ] || err "referenced artifact $ref does not exist"
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_analysis_docs: OK"

@@ -11,6 +11,9 @@
 //! * [`tensor`] — dense tensors with reverse-mode autograd;
 //! * [`gnn`] — GCN/GIN/GAT models, training, and system configurations.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use gnnone_gnn as gnn;
 pub use gnnone_kernels as kernels;
 pub use gnnone_sim as sim;
