@@ -12,6 +12,7 @@ use std::sync::Arc;
 use gnnone_bench::report::{Cell, Table};
 use gnnone_bench::{cli, profiling, report, runner};
 use gnnone_kernels::gnnone::{FusedGatAttention, GnnOneConfig, GnnOneSpmm, GnnOneUAddV};
+use gnnone_kernels::ir::IrFusedGat;
 use gnnone_sim::DeviceBuffer;
 
 fn main() -> std::process::ExitCode {
@@ -37,24 +38,51 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
         let el = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 43));
         let er = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 47));
 
+        // Every buffer and kernel instance is built up front, outside the
+        // measured launches, so fused-vs-unfused deltas reflect kernel
+        // time rather than allocator traffic.
+        let y_fused = DeviceBuffer::<f32>::zeros(n * f);
+        let y_lowered = DeviceBuffer::<f32>::zeros(n * f);
+        let y_unfused = DeviceBuffer::<f32>::zeros(n * f);
+        let logits = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
+        let fused = FusedGatAttention::new(Arc::clone(&ld.graph), 0.2);
+        let lowered = IrFusedGat::new(Arc::clone(&ld.graph), 0.2);
+        let uv = GnnOneUAddV::new(Arc::clone(&ld.graph));
+        let spmm = GnnOneSpmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
+        let alpha_host = unfused_alpha(&ld, &el.to_vec(), &er.to_vec());
+        let alpha = DeviceBuffer::from_slice(&alpha_host);
+
         // Fused: one launch, α never leaves the SM (backward-less
         // inference shape; training keeps α via `alpha_out`).
-        let y_fused = DeviceBuffer::<f32>::zeros(n * f);
-        let fused = FusedGatAttention::new(Arc::clone(&ld.graph), 0.2);
         let fused_cell = match backend.run_fused(&fused, &z, &el, &er, f, &y_fused, None) {
             Ok(r) => Cell::Ms(r.time_ms),
             Err(e) => Cell::Err(format!("{e}")),
         };
+
+        // Golden check: the IR-lowered fused kernel must reproduce the
+        // hand-built one byte for byte on every dataset it is timed on.
+        backend
+            .run_fused(&lowered, &z, &el, &er, f, &y_lowered, None)
+            .map_err(|e| gnnone_sim::GnnOneError::Panic {
+                context: "ext_fused_gat".to_string(),
+                detail: format!("IR-lowered fused launch failed on {}: {e}", spec.id),
+            })?;
+        let handwritten = y_fused.to_vec();
+        let via_ir = y_lowered.to_vec();
+        assert!(
+            handwritten
+                .iter()
+                .zip(&via_ir)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{}: IR-lowered fused GAT diverged from the hand-built kernel",
+            spec.id
+        );
 
         // Unfused: SpMM launch + the edge-parallel passes (u_add_v +
         // 3-pass softmax, 4 edge passes total). On the simulator the
         // edge passes are costed analytically as in the training stack
         // (16 B/NZE each plus 2 extra launch overheads); on native, one
         // real edge pass (u_add_v) is measured and charged 4×.
-        let alpha_host = unfused_alpha(&ld, &el.to_vec(), &er.to_vec());
-        let alpha = DeviceBuffer::from_slice(&alpha_host);
-        let y_unfused = DeviceBuffer::<f32>::zeros(n * f);
-        let spmm = GnnOneSpmm::new(Arc::clone(&ld.graph), GnnOneConfig::default());
         let unfused_cell = match backend.run_spmm(&spmm, &alpha, &z, f, &y_unfused) {
             Ok(r) => {
                 let extra_ms = match backend.as_gpu() {
@@ -66,14 +94,10 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
                             + (edge_pass_bytes as f64 / bw) as u64;
                         spec_gpu.cycles_to_ms(extra_cycles)
                     }
-                    None => {
-                        let logits = DeviceBuffer::<f32>::zeros(ld.graph.nnz());
-                        let uv = GnnOneUAddV::new(Arc::clone(&ld.graph));
-                        backend
-                            .run_edge_apply(&uv, &el, &er, &logits)
-                            .map(|r| 4.0 * r.time_ms)
-                            .unwrap_or(0.0)
-                    }
+                    None => backend
+                        .run_edge_apply(&uv, &el, &er, &logits)
+                        .map(|r| 4.0 * r.time_ms)
+                        .unwrap_or(0.0),
                 };
                 Cell::Ms(r.time_ms + extra_ms)
             }

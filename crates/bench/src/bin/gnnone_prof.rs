@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
+        Some("fuse") => fuse_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
@@ -58,7 +59,7 @@ fn main() -> ExitCode {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
                  trace <trace.json> | sanitize [flags] | verify [flags] | \
-                 fuzz [flags] | chaos [flags] | bench [flags]"
+                 fuzz [flags] | chaos [flags] | bench [flags] | fuse [flags]"
                 .to_string())
         }
     };
@@ -86,7 +87,10 @@ fn usage() {
          [--schedule-seeds 8] [--out report.json]\n  \
          gnnone-prof bench [--scale tiny|small|medium] [--datasets G0,G5] \
          [--f 32] [--threads N] [--warmup 2] [--repeats 5] \
-         [--out BENCH_NATIVE.json]"
+         [--kernels FusedGAT,GnnOne-UAddV] [--out BENCH_NATIVE.json]\n  \
+         gnnone-prof fuse [--scale tiny|small|medium] [--datasets G0,G5] \
+         [--f 8] [--threads N] [--warmup 2] [--repeats 5] \
+         [--out fusion.json] [--append BENCH_NATIVE.json]"
     );
 }
 
@@ -308,6 +312,13 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
                 }
                 opts.repeats = r;
             }
+            "--kernels" => {
+                opts.kernels = value("--kernels")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--out" => out = value("--out")?,
             other => return Err(format!("unknown bench flag `{other}`")),
         }
@@ -351,7 +362,9 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         report.distinct_kernels(),
         report.datasets.len()
     );
-    if report.distinct_kernels() != REGISTRY_KERNEL_COUNT {
+    // A filtered sweep deliberately covers fewer kernels; only a full
+    // sweep must account for the whole registry.
+    if opts.kernels.is_empty() && report.distinct_kernels() != REGISTRY_KERNEL_COUNT {
         return Err(format!(
             "sweep covered {} kernels, registry has {REGISTRY_KERNEL_COUNT}",
             report.distinct_kernels()
@@ -360,6 +373,123 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     std::fs::write(&out, report.to_json().to_string_pretty() + "\n")
         .map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    Ok(())
+}
+
+/// `fuse` — the fusion-IR match/lower report plus fused-vs-unfused GAT
+/// timings (the `fusion` section of `BENCH_NATIVE.json`).
+fn fuse_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_bench::fuse::{append_fusion_section, run_fuse, FuseOpts};
+    use gnnone_sparse::datasets::Scale;
+
+    let mut opts = FuseOpts::default();
+    let mut out: Option<String> = None;
+    let mut append: Option<String> = None;
+    let mut it = args.iter();
+    let int = |flag: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|_| format!("bad {flag} (expected a positive integer)"))
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = match value("--scale")?.to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => return Err(format!("unknown scale `{other}` (tiny|small|medium)")),
+                }
+            }
+            "--datasets" => {
+                opts.dataset_ids = value("--datasets")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--f" => opts.f = int("--f", &value("--f")?)?,
+            "--threads" => {
+                let t = int("--threads", &value("--threads")?)?;
+                if t == 0 {
+                    return Err("--threads must be >= 1".to_string());
+                }
+                opts.threads = Some(t);
+            }
+            "--warmup" => opts.warmup = int("--warmup", &value("--warmup")?)?,
+            "--repeats" => {
+                let r = int("--repeats", &value("--repeats")?)?;
+                if r == 0 {
+                    return Err("--repeats must be >= 1".to_string());
+                }
+                opts.repeats = r;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--append" => append = Some(value("--append")?),
+            other => return Err(format!("unknown fuse flag `{other}`")),
+        }
+    }
+
+    let report = run_fuse(&opts)?;
+    println!("fusion IR match/lower report:");
+    for m in &report.matches {
+        println!("\n== {} ==", m.graph);
+        println!("{}", m.report.trim_end());
+    }
+    println!(
+        "\nfused-vs-unfused GAT chain (end-to-end plan wall-clock; *_launch = \
+         launch+host medians): {} thread(s), {} warmup + {} timed run(s), f={}",
+        report.threads, report.warmup, report.repeats, report.f
+    );
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.dataset.clone(),
+                c.nnz.to_string(),
+                format!("{:.3}", c.fused_best_ms),
+                format!("{:.3}", c.fused_median_ms),
+                format!("{:.3}", c.fused_launch_ms),
+                format!("{:.3}", c.unfused_best_ms),
+                format!("{:.3}", c.unfused_median_ms),
+                format!("{:.3}", c.unfused_launch_ms),
+                format!("{:.2}x", c.speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "dataset",
+            "nnz",
+            "fused_best",
+            "fused_med",
+            "fused_launch",
+            "unfused_best",
+            "unfused_med",
+            "unfused_launch",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json().to_string_pretty() + "\n")
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &append {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let doc = gnnone_sim::jsonio::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        let doc = append_fusion_section(doc, &report)?;
+        std::fs::write(path, doc.to_string_pretty() + "\n")
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("appended fusion section to {path}");
+    }
     Ok(())
 }
 

@@ -1,0 +1,413 @@
+//! `gnnone-prof fuse` — the fusion-IR match/lower report plus
+//! fused-vs-unfused timings on the native backend.
+//!
+//! Two halves:
+//!
+//! 1. **Match report**: every prebuilt IR chain is lowered and its plan
+//!    printed — which pattern matched, which pipeline each step launches,
+//!    how many launches survive. The GAT chain is lowered twice (fused
+//!    and `fuse: false`) so the report shows exactly what the pattern
+//!    matcher buys.
+//! 2. **Timing sweep**: the GAT chain (inference shape) is executed
+//!    through [`gnnone_kernels::ir::execute`] under both plans on the
+//!    selected Table 1 graphs, warmup/repeat policy as in the native
+//!    bench. The headline columns are end-to-end plan wall-clock —
+//!    launches, host fallback steps, and the device↔host movement of
+//!    every value between steps. That movement is the object of study:
+//!    the unfused chain round-trips its logits and α edge tensors
+//!    through device buffers between launches, which is exactly the
+//!    traffic the fused launch eliminates (§5.3.2's conjecture).
+//!    Launch-region-only medians
+//!    ([`ExecResult::plan_ms`](gnnone_kernels::ir::ExecResult::plan_ms))
+//!    ride along as `*_launch_ms` diagnostics, matching the per-kernel
+//!    bench cell accounting. The fused plan must win end-to-end — that
+//!    result is what the `fusion` section of `BENCH_NATIVE.json`
+//!    records.
+
+use std::time::Instant;
+
+use gnnone_kernels::backend::{Backend, NativeEngine};
+use gnnone_kernels::ir::{self, lower::LowerOptions, lower::Plan};
+use gnnone_sim::jsonio::Json;
+use gnnone_sparse::datasets::Scale;
+
+use crate::cli::Options;
+use crate::runner;
+
+/// Options for one `fuse` sweep (mirrors the native bench policy).
+#[derive(Debug, Clone)]
+pub struct FuseOpts {
+    /// Dataset scale for the Table 1 analogues.
+    pub scale: Scale,
+    /// Table 1 ids to sweep; empty = all 19.
+    pub dataset_ids: Vec<String>,
+    /// Feature length for the GAT chain's `z`. Defaults to 8 — the
+    /// classic GAT per-head feature width (8 heads × 8 features), which
+    /// is what a fused attention launch processes per head.
+    pub f: usize,
+    /// Worker threads; `None` = every available core.
+    pub threads: Option<usize>,
+    /// Untimed warmup runs per plan.
+    pub warmup: usize,
+    /// Timed runs per plan.
+    pub repeats: usize,
+}
+
+impl Default for FuseOpts {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            dataset_ids: Vec::new(),
+            f: 8,
+            threads: None,
+            warmup: 2,
+            repeats: 5,
+        }
+    }
+}
+
+/// One (graph, plan) row of the match report.
+#[derive(Debug, Clone)]
+pub struct MatchRow {
+    /// IR graph name (plus the lowering mode for the GAT chain).
+    pub graph: String,
+    /// Number of pipeline launches in the lowered plan.
+    pub launches: usize,
+    /// Whether the fused GAT pattern matched.
+    pub fused: bool,
+    /// `Plan::describe` output.
+    pub report: String,
+}
+
+/// Fused-vs-unfused timings for one dataset.
+///
+/// The headline `*_best_ms`/`*_median_ms` columns are **end-to-end plan
+/// executions** ([`gnnone_kernels::ir::execute`] wall-clock): launches,
+/// host fallback steps, *and* the device↔host movement of every value
+/// between steps. That movement is the object of study — the unfused
+/// chain round-trips its logits and α edge tensors through device
+/// buffers between launches, which is exactly the traffic the fused
+/// launch eliminates (§5.3.2's conjecture). Launch-region-only timing
+/// would credit the unfused chain with free round trips.
+///
+/// The `*_launch_ms` columns record the narrower launch + host-step
+/// accounting ([`gnnone_kernels::ir::ExecResult::plan_ms`]) as a
+/// diagnostic: it matches the per-kernel bench cell methodology, so the
+/// fused number here lines up with the `fused` family row of the sweep.
+#[derive(Debug, Clone)]
+pub struct FuseCell {
+    /// Table 1 dataset id.
+    pub dataset: String,
+    /// Nonzeros of the swept graph.
+    pub nnz: usize,
+    /// Fastest fused plan execution, end-to-end milliseconds.
+    pub fused_best_ms: f64,
+    /// Median fused plan execution, end-to-end milliseconds.
+    pub fused_median_ms: f64,
+    /// Fastest unfused plan execution, end-to-end milliseconds.
+    pub unfused_best_ms: f64,
+    /// Median unfused plan execution, end-to-end milliseconds.
+    pub unfused_median_ms: f64,
+    /// Median fused launch + host-step milliseconds (staging excluded).
+    pub fused_launch_ms: f64,
+    /// Median unfused launch + host-step milliseconds (staging excluded).
+    pub unfused_launch_ms: f64,
+}
+
+impl FuseCell {
+    /// `unfused_median / fused_median` (end-to-end) — > 1 means fusion
+    /// wins.
+    pub fn speedup(&self) -> f64 {
+        if self.fused_median_ms > 0.0 {
+            self.unfused_median_ms / self.fused_median_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("nnz", Json::U64(self.nnz as u64)),
+            ("fused_best_ms", Json::F64(self.fused_best_ms)),
+            ("fused_median_ms", Json::F64(self.fused_median_ms)),
+            ("unfused_best_ms", Json::F64(self.unfused_best_ms)),
+            ("unfused_median_ms", Json::F64(self.unfused_median_ms)),
+            ("fused_launch_ms", Json::F64(self.fused_launch_ms)),
+            ("unfused_launch_ms", Json::F64(self.unfused_launch_ms)),
+            ("speedup", Json::F64(self.speedup())),
+        ])
+    }
+}
+
+/// The full `fuse` result: match report + timing cells.
+#[derive(Debug)]
+pub struct FuseReport {
+    /// Worker threads the engine actually used.
+    pub threads: usize,
+    /// Feature length of the GAT chain's `z`.
+    pub f: usize,
+    /// Untimed runs per plan.
+    pub warmup: usize,
+    /// Timed runs per plan.
+    pub repeats: usize,
+    /// One row per lowered prebuilt chain.
+    pub matches: Vec<MatchRow>,
+    /// One timing cell per dataset.
+    pub cells: Vec<FuseCell>,
+}
+
+impl FuseReport {
+    /// The `fusion` section appended to `BENCH_NATIVE.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threads", Json::U64(self.threads as u64)),
+            ("f", Json::U64(self.f as u64)),
+            ("warmup", Json::U64(self.warmup as u64)),
+            ("repeats", Json::U64(self.repeats as u64)),
+            (
+                "plans",
+                Json::Arr(
+                    self.matches
+                        .iter()
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("graph", Json::Str(m.graph.clone())),
+                                ("launches", Json::U64(m.launches as u64)),
+                                ("fused", Json::Bool(m.fused)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gat_fused_vs_unfused",
+                Json::Arr(self.cells.iter().map(FuseCell::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn match_row(name: &str, plan: &Plan) -> MatchRow {
+    MatchRow {
+        graph: name.to_string(),
+        launches: plan.launches(),
+        fused: plan.fused(),
+        report: plan.describe(),
+    }
+}
+
+/// Lowers every prebuilt chain and collects the match report.
+pub fn match_report() -> Result<Vec<MatchRow>, String> {
+    let lower = |g: &ir::IrGraph, opts: LowerOptions| {
+        ir::lower(g, opts).map_err(|e| format!("{}: {e}", g.name()))
+    };
+    let fused = LowerOptions::default();
+    let unfused = LowerOptions { fuse: false };
+    Ok(vec![
+        match_row(
+            "gat_attention (fuse)",
+            &lower(&ir::gat_attention_graph(0.2), fused)?,
+        ),
+        match_row(
+            "gat_attention (no-fuse)",
+            &lower(&ir::gat_attention_graph(0.2), unfused)?,
+        ),
+        match_row(
+            "gat_attention_inference",
+            &lower(&ir::gat_attention_inference_graph(0.2), fused)?,
+        ),
+        match_row("spmm", &lower(&ir::spmm_graph(), fused)?),
+        match_row("copy_u_sum", &lower(&ir::copy_u_sum_graph(), fused)?),
+        match_row("sddmm", &lower(&ir::sddmm_graph(), fused)?),
+        match_row("u_add_v", &lower(&ir::u_add_v_graph(), fused)?),
+        match_row("dot_attention", &lower(&ir::dot_attention_graph(), fused)?),
+    ])
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Runs the full fuse sweep: lowers the prebuilt chains, then times the
+/// GAT chain fused vs unfused through the IR executor per dataset.
+pub fn run_fuse(opts: &FuseOpts) -> Result<FuseReport, String> {
+    let cli = Options {
+        datasets: opts.dataset_ids.clone(),
+        scale: opts.scale,
+        ..Default::default()
+    };
+    let specs = runner::try_selected_specs(&cli)?;
+    let eng = match opts.threads {
+        Some(t) => NativeEngine::with_threads(t)?,
+        None => NativeEngine::new(),
+    };
+    let threads = eng.threads();
+    let backend = Backend::Native(eng);
+
+    let matches = match_report()?;
+    // Inference shape: the fused launch keeps α in-launch while the
+    // unfused chain still materializes it as the aggregation operand —
+    // the exact round trip the fusion conjecture (§5.3.2) is about.
+    let g = ir::gat_attention_inference_graph(0.2);
+    let fused_plan =
+        ir::lower(&g, LowerOptions::default()).map_err(|e| format!("lower fused: {e}"))?;
+    let unfused_plan =
+        ir::lower(&g, LowerOptions { fuse: false }).map_err(|e| format!("lower unfused: {e}"))?;
+    if !fused_plan.fused() || fused_plan.launches() != 1 {
+        return Err("GAT chain did not lower to a single fused launch".to_string());
+    }
+
+    let mut cells = Vec::new();
+    for spec in &specs {
+        let ld = runner::load(spec, opts.scale);
+        let n = ld.graph.num_vertices();
+        // Same operand seeds as the native bench, so the fused cell here
+        // and the `fused` family cell there describe the same launch.
+        let el = runner::vertex_features(n, 1, 43);
+        let er = runner::vertex_features(n, 1, 47);
+        let z = runner::vertex_features(n, opts.f, 41);
+        let binds: Vec<(ir::ValueId, &[f32])> = vec![
+            (g.find_input("att_src").expect("att_src"), &er),
+            (g.find_input("att_dst").expect("att_dst"), &el),
+            (g.find_input("z").expect("z"), &z),
+        ];
+        // Each run yields (end-to-end wall ms, launch+host ms).
+        let run = |plan: &Plan| -> Result<(f64, f64), String> {
+            let t = Instant::now();
+            let res = ir::execute(&backend, &ld.graph, &g, plan, opts.f, &binds)
+                .map_err(|e| format!("{}: {e}", spec.id))?;
+            Ok((t.elapsed().as_secs_f64() * 1e3, res.plan_ms()))
+        };
+        // Repeats are interleaved so load and cache drift hit both plans
+        // equally instead of biasing whichever ran last.
+        for _ in 0..opts.warmup {
+            run(&fused_plan)?;
+            run(&unfused_plan)?;
+        }
+        let mut fused_wall = Vec::with_capacity(opts.repeats);
+        let mut fused_launch = Vec::with_capacity(opts.repeats);
+        let mut unfused_wall = Vec::with_capacity(opts.repeats);
+        let mut unfused_launch = Vec::with_capacity(opts.repeats);
+        for _ in 0..opts.repeats.max(1) {
+            let (w, l) = run(&fused_plan)?;
+            fused_wall.push(w);
+            fused_launch.push(l);
+            let (w, l) = run(&unfused_plan)?;
+            unfused_wall.push(w);
+            unfused_launch.push(l);
+        }
+        let stats = |mut times: Vec<f64>| {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            (times[0], median(&times))
+        };
+        let (fb, fm) = stats(fused_wall);
+        let (ub, um) = stats(unfused_wall);
+        let (_, fl) = stats(fused_launch);
+        let (_, ul) = stats(unfused_launch);
+        cells.push(FuseCell {
+            dataset: spec.id.to_string(),
+            nnz: ld.graph.nnz(),
+            fused_best_ms: fb,
+            fused_median_ms: fm,
+            unfused_best_ms: ub,
+            unfused_median_ms: um,
+            fused_launch_ms: fl,
+            unfused_launch_ms: ul,
+        });
+    }
+
+    Ok(FuseReport {
+        threads,
+        f: opts.f,
+        warmup: opts.warmup,
+        repeats: opts.repeats,
+        matches,
+        cells,
+    })
+}
+
+/// Inserts (or replaces) the `fusion` section of an existing
+/// `BENCH_NATIVE.json` document.
+pub fn append_fusion_section(doc: Json, report: &FuseReport) -> Result<Json, String> {
+    let Json::Obj(mut fields) = doc else {
+        return Err("BENCH_NATIVE.json root is not an object".to_string());
+    };
+    fields.retain(|(k, _)| k != "fusion");
+    fields.push(("fusion".to_string(), report.to_json()));
+    Ok(Json::Obj(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> FuseOpts {
+        FuseOpts {
+            scale: Scale::Tiny,
+            dataset_ids: vec!["G0".into()],
+            f: 8,
+            threads: Some(2),
+            warmup: 1,
+            repeats: 3,
+        }
+    }
+
+    #[test]
+    fn match_report_covers_every_prebuilt_chain() {
+        let rows = match_report().unwrap();
+        assert_eq!(rows.len(), 8);
+        let gat = &rows[0];
+        assert!(gat.fused);
+        assert_eq!(gat.launches, 1);
+        let unfused = &rows[1];
+        assert!(!unfused.fused);
+        assert_eq!(unfused.launches, 2);
+        let inference = &rows[2];
+        assert!(inference.fused);
+        assert_eq!(inference.launches, 1);
+        assert!(!inference.report.contains("+alpha"));
+        // Every non-GAT chain lowers without the fused pattern.
+        assert!(rows[3..].iter().all(|r| !r.fused));
+    }
+
+    #[test]
+    fn fuse_sweep_times_both_plans() {
+        let report = run_fuse(&tiny_opts()).unwrap();
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.cells.len(), 1);
+        let c = &report.cells[0];
+        assert_eq!(c.dataset, "G0");
+        assert!(c.fused_best_ms <= c.fused_median_ms);
+        assert!(c.unfused_best_ms <= c.unfused_median_ms);
+        assert!(c.speedup() > 0.0);
+    }
+
+    #[test]
+    fn fusion_section_appends_and_replaces() {
+        let report = FuseReport {
+            threads: 2,
+            f: 8,
+            warmup: 1,
+            repeats: 3,
+            matches: match_report().unwrap(),
+            cells: Vec::new(),
+        };
+        let doc = Json::obj(vec![("backend", Json::Str("native".to_string()))]);
+        let doc = append_fusion_section(doc, &report).unwrap();
+        assert!(doc.get("fusion").is_some());
+        assert_eq!(doc.get("backend").and_then(Json::as_str), Some("native"));
+        // Re-appending replaces rather than duplicates.
+        let doc = append_fusion_section(doc, &report).unwrap();
+        let fields = doc.as_obj().unwrap();
+        assert_eq!(fields.iter().filter(|(k, _)| k == "fusion").count(), 1);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod fuse;
 pub mod fuzz;
 pub mod native;
 pub mod profiling;

@@ -37,6 +37,9 @@ pub struct NativeBenchOpts {
     pub warmup: usize,
     /// Timed runs per cell (best/median are taken over these).
     pub repeats: usize,
+    /// Kernel-name filter (case-insensitive, validated against the
+    /// registry `*_by_name` lookups); empty = every registry kernel.
+    pub kernels: Vec<String>,
 }
 
 impl Default for NativeBenchOpts {
@@ -48,6 +51,7 @@ impl Default for NativeBenchOpts {
             threads: None,
             warmup: 2,
             repeats: 5,
+            kernels: Vec::new(),
         }
     }
 }
@@ -204,6 +208,10 @@ fn sweep_dataset(
     let f = opts.f;
     let id = ld.spec.id.to_string();
 
+    let selected = |name: &str| {
+        opts.kernels.is_empty() || opts.kernels.iter().any(|k| k.eq_ignore_ascii_case(name))
+    };
+
     let mut push = |name: &str, op: &'static str, format: &str, stats: (f64, f64, f64)| {
         entries.push(NativeBenchEntry {
             name: name.to_string(),
@@ -221,6 +229,9 @@ fn sweep_dataset(
     let x_sddmm = DeviceBuffer::from_slice(&runner::vertex_features(n, f, 11));
     let y_sddmm = DeviceBuffer::from_slice(&runner::vertex_features(n, f, 13));
     for k in registry::sddmm_kernels(graph) {
+        if !selected(k.name()) {
+            continue;
+        }
         let stats = time_cell(opts, nnz, || {
             let w = DeviceBuffer::<f32>::zeros(nnz);
             backend
@@ -237,6 +248,9 @@ fn sweep_dataset(
         .chain(registry::spmm_discussion_kernels(graph))
         .chain(registry::spmm_format_kernels(graph))
     {
+        if !selected(k.name()) {
+            continue;
+        }
         let stats = time_cell(opts, nnz, || {
             let y = DeviceBuffer::<f32>::zeros(n * f);
             backend
@@ -249,6 +263,9 @@ fn sweep_dataset(
     let x_spmv = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 23));
     let w_spmv = DeviceBuffer::from_slice(&runner::edge_values(nnz, 29));
     for k in registry::spmv_class_kernels(graph) {
+        if !selected(k.name()) {
+            continue;
+        }
         let stats = time_cell(opts, nnz, || {
             let y = DeviceBuffer::<f32>::zeros(n);
             backend
@@ -261,6 +278,9 @@ fn sweep_dataset(
     let el = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 43));
     let er = DeviceBuffer::from_slice(&runner::vertex_features(n, 1, 47));
     for k in registry::edge_apply_kernels(graph) {
+        if !selected(k.name()) {
+            continue;
+        }
         let stats = time_cell(opts, nnz, || {
             let w = DeviceBuffer::<f32>::zeros(nnz);
             backend
@@ -272,6 +292,9 @@ fn sweep_dataset(
 
     let z = DeviceBuffer::from_slice(&runner::vertex_features(n, f, 41));
     for k in registry::fused_kernels(graph) {
+        if !selected(k.name()) {
+            continue;
+        }
         let stats = time_cell(opts, nnz, || {
             let y = DeviceBuffer::<f32>::zeros(n * f);
             backend
@@ -281,6 +304,29 @@ fn sweep_dataset(
         push(k.name(), "fused", k.format(), stats);
     }
 
+    Ok(())
+}
+
+/// Checks every requested kernel name against the registry's `*_by_name`
+/// lookups (SpMV classes have no lookup; their names are matched against
+/// the class list directly) so a typo fails fast instead of silently
+/// producing an empty sweep.
+fn validate_kernel_filter(
+    graph: &std::sync::Arc<gnnone_kernels::graph::GraphData>,
+    names: &[String],
+) -> Result<(), String> {
+    for name in names {
+        let known = registry::sddmm_by_name(graph, name).is_some()
+            || registry::spmm_by_name(graph, name).is_some()
+            || registry::edge_apply_by_name(graph, name).is_some()
+            || registry::fused_by_name(graph, name).is_some()
+            || registry::spmv_class_kernels(graph)
+                .iter()
+                .any(|k| k.name().eq_ignore_ascii_case(name));
+        if !known {
+            return Err(format!("unknown kernel name in --kernels: {name}"));
+        }
+    }
     Ok(())
 }
 
@@ -302,8 +348,13 @@ pub fn run_native_bench(opts: &NativeBenchOpts) -> Result<NativeBenchReport, Str
 
     let mut datasets = Vec::new();
     let mut entries = Vec::new();
+    let mut filter_checked = opts.kernels.is_empty();
     for spec in &specs {
         let ld = runner::load(spec, opts.scale);
+        if !filter_checked {
+            validate_kernel_filter(&ld.graph, &opts.kernels)?;
+            filter_checked = true;
+        }
         datasets.push((spec.id.to_string(), ld.graph.num_vertices(), ld.graph.nnz()));
         sweep_dataset(&backend, opts, &ld, &mut entries)
             .map_err(|e| format!("native sweep failed on {}: {e}", spec.id))?;
@@ -337,6 +388,7 @@ mod tests {
             threads: Some(2),
             warmup: 1,
             repeats: 3,
+            kernels: Vec::new(),
         }
     }
 
@@ -377,6 +429,29 @@ mod tests {
                 assert!(k.get(key).is_some(), "missing kernel field {key}");
             }
         }
+    }
+
+    #[test]
+    fn kernel_filter_restricts_the_sweep() {
+        let opts = NativeBenchOpts {
+            kernels: vec!["fusedgat".into(), "GnnOne-UAddV".into()],
+            ..tiny_opts()
+        };
+        let report = run_native_bench(&opts).unwrap();
+        assert_eq!(report.distinct_kernels(), 2);
+        let names: Vec<&str> = report.entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"FusedGAT"), "{names:?}");
+        assert!(names.contains(&"GnnOne-UAddV"), "{names:?}");
+    }
+
+    #[test]
+    fn unknown_kernel_name_is_an_error() {
+        let opts = NativeBenchOpts {
+            kernels: vec!["NoSuchKernel".into()],
+            ..tiny_opts()
+        };
+        let err = run_native_bench(&opts).unwrap_err();
+        assert!(err.contains("NoSuchKernel"), "{err}");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Autograd graph ops backed by the simulated sparse kernels.
+//! Autograd graph ops backed by the simulated sparse kernels, routed
+//! through the fusion IR.
 //!
 //! The paper's observation that SDDMM and SpMM are *the* basic building
 //! blocks (§1, §2) is realized here literally:
@@ -6,17 +7,28 @@
 //! * `spmm` forward launches the system's SpMM kernel;
 //! * its backward launches **SpMM over `Aᵀ`** (for `∂X`) and **SDDMM**
 //!   (for `∂W` when edge weights are trainable, e.g. GAT's attention);
-//! * `u_add_v` and `edge_softmax` are the edge-level SDDMM *variants*
-//!   attention GNNs add (§4.3, *Format Selection*); they execute on the
-//!   host with their device cost charged as edge-parallel passes (fused
-//!   into the attention pipeline under dgNN).
+//! * `u_add_v`, `u_dot_v` and `edge_softmax` are the edge-level SDDMM
+//!   *variants* attention GNNs add (§4.3, *Format Selection*).
+//!
+//! Since the fusion-IR refactor, the multi-op entry points do not pick
+//! kernels by hand: [`gat_attention`], [`dot_attention`],
+//! [`sage_aggregate`], [`spmm`] and [`u_dot_v`] build
+//! [`gnnone_kernels::ir`] dataflow graphs, run the pattern-matching
+//! lowering pass, and replay the lowered [`Step`]s onto the autograd
+//! tape (the private `run_plan`) — the GAT chain executes as the single IR-lowered
+//! fused launch under dgNN and as the lowered unfused launches under
+//! GNNOne/DGL, and new model variants (GraphSAGE mean aggregation,
+//! dot-product attention) ship as IR graphs with zero new kernels.
 //!
 //! Every simulated launch adds its `KernelReport` cycles to the context's
 //! [`crate::timing::SimClock`], which is what the Fig. 6/7 end-to-end
 //! timings read out.
 
+use std::collections::HashMap;
 use std::rc::Rc;
 
+use gnnone_kernels::ir::lower::{lower, LowerOptions, Plan, Step};
+use gnnone_kernels::ir::{self, ValueId};
 use gnnone_sim::DeviceBuffer;
 use gnnone_tensor::{BackwardOp, Tape, Tensor, VarId};
 
@@ -93,43 +105,49 @@ impl BackwardOp for SpmmBackward {
     }
 }
 
-/// `y = A · x` with trainable edge weights `w` (a `|E| × 1` variable, e.g.
-/// GAT attention coefficients).
-pub fn spmm(ctx: &Rc<GnnContext>, tape: &mut Tape, w: VarId, x: VarId) -> VarId {
+/// SpMM tape op: forward launch plus the SDDMM/SpMM(Aᵀ) backward
+/// pairing. The backward SDDMM is launched only when the weights
+/// variable requires a gradient (read off the tape).
+fn spmm_step(ctx: &Rc<GnnContext>, tape: &mut Tape, w: VarId, x: VarId) -> VarId {
     let f = tape.value(x).cols();
-    assert_eq!(
-        tape.value(w).rows(),
-        ctx.nnz(),
-        "edge weights must be |E|×1"
-    );
     let value = launch_spmm(ctx, tape.value(w), tape.value(x), f);
+    let weights_need_grad = tape.requires_grad(w);
     tape.push_op(
         value,
         vec![w, x],
         Box::new(SpmmBackward {
             ctx: Rc::clone(ctx),
             f,
-            weights_need_grad: true,
+            weights_need_grad,
         }),
     )
 }
 
+/// `y = A · x` with trainable edge weights `w` (a `|E| × 1` variable, e.g.
+/// GAT attention coefficients). Lowered from [`ir::spmm_graph`] — the
+/// `u_mul_e → aggregate_sum` fold — to a single `RowAccum` launch.
+pub fn spmm(ctx: &Rc<GnnContext>, tape: &mut Tape, w: VarId, x: VarId) -> VarId {
+    assert_eq!(
+        tape.value(w).rows(),
+        ctx.nnz(),
+        "edge weights must be |E|×1"
+    );
+    let g = ir::spmm_graph();
+    let plan = lower(&g, LowerOptions::default()).expect("spmm graph must lower");
+    let binds = [
+        (g.find_input("w").unwrap(), w),
+        (g.find_input("x").unwrap(), x),
+    ];
+    let vars = run_plan(ctx, tape, &plan, &binds);
+    vars[&g.outputs()[0].0]
+}
+
 /// `y = A · x` with constant edge weights (GCN's symmetric normalization,
-/// GIN's all-ones adjacency). The weights are registered as a no-grad leaf.
+/// GIN's all-ones adjacency). The weights are registered as a no-grad
+/// leaf, so the IR-lowered backward skips the ∂W SDDMM.
 pub fn spmm_const(ctx: &Rc<GnnContext>, tape: &mut Tape, w: &Tensor, x: VarId) -> VarId {
-    let f = tape.value(x).cols();
-    assert_eq!(w.rows(), ctx.nnz(), "edge weights must be |E|×1");
     let w_leaf = tape.leaf(w.clone(), false);
-    let value = launch_spmm(ctx, w, tape.value(x), f);
-    tape.push_op(
-        value,
-        vec![w_leaf, x],
-        Box::new(SpmmBackward {
-            ctx: Rc::clone(ctx),
-            f,
-            weights_need_grad: false,
-        }),
-    )
+    spmm(ctx, tape, w_leaf, x)
 }
 
 /// Charges one edge-parallel host-modelled pass (`u_add_v`, softmax steps).
@@ -164,23 +182,25 @@ fn launch_edge_reduce(
     Tensor::from_vec(graph.num_vertices(), 1, dy.to_vec())
 }
 
+/// Reduces an edge gradient to both vertex sides: `∂el[r] = Σ_{row(e)=r}
+/// g[e]` and `∂er[c] = Σ_{col(e)=c} g[e]` — two edge→vertex reductions =
+/// simulated SpMVs over `A` and `Aᵀ` with the gradient as edge values and
+/// `x ≡ 1`. Shared by the unfused `u_add_v` backward and the fused GAT
+/// backward so the two tapes stay bitwise identical.
+fn edge_grad_to_vertices(ctx: &GnnContext, grad: &[f32]) -> (Tensor, Tensor) {
+    let del = launch_edge_reduce(ctx, &ctx.graph, grad);
+    let gt: Vec<f32> = ctx.t_perm.iter().map(|&i| grad[i as usize]).collect();
+    let der = launch_edge_reduce(ctx, &ctx.graph_t, &gt);
+    (del, der)
+}
+
 struct UAddVBackward {
     ctx: Rc<GnnContext>,
 }
 
 impl BackwardOp for UAddVBackward {
     fn backward(&self, grad: &Tensor, _inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
-        // ∂el[r] = Σ_{row(e)=r} g[e] and ∂er[c] = Σ_{col(e)=c} g[e]: two
-        // edge→vertex reductions = simulated SpMVs over A and Aᵀ with the
-        // incoming gradient as edge values and x ≡ 1.
-        let del = launch_edge_reduce(&self.ctx, &self.ctx.graph, grad.data());
-        let gt: Vec<f32> = self
-            .ctx
-            .t_perm
-            .iter()
-            .map(|&i| grad.data()[i as usize])
-            .collect();
-        let der = launch_edge_reduce(&self.ctx, &self.ctx.graph_t, &gt);
+        let (del, der) = edge_grad_to_vertices(&self.ctx, grad.data());
         vec![Some(del), Some(der)]
     }
 
@@ -200,7 +220,8 @@ pub fn u_add_v(ctx: &Rc<GnnContext>, tape: &mut Tape, el: VarId, er: VarId) -> V
     let d_el = DeviceBuffer::from_slice(elv.data());
     let d_er = DeviceBuffer::from_slice(erv.data());
     let dw = DeviceBuffer::<f32>::zeros(ctx.nnz());
-    let kernel = gnnone_kernels::gnnone::GnnOneUAddV::new(std::sync::Arc::clone(&ctx.graph));
+    // The IR-lowered launch (identical pipeline to the hand-built kernel).
+    let kernel = ir::IrUAddV::new(std::sync::Arc::clone(&ctx.graph));
     let report = kernel
         .run(&ctx.gpu, &d_el, &d_er, &dw)
         .expect("u_add_v launch failed");
@@ -214,6 +235,22 @@ pub fn u_add_v(ctx: &Rc<GnnContext>, tape: &mut Tape, el: VarId, er: VarId) -> V
     )
 }
 
+/// Softmax backward over CSR rows: `out[e] = α[e]·(g[e] − Σ_row α·g)`.
+/// Shared by the unfused tape op and the fused GAT backward so both
+/// paths run the exact same float sequence.
+fn edge_softmax_backward_host(ctx: &GnnContext, alpha: &[f32], grad: &[f32]) -> Tensor {
+    let csr = &ctx.graph.csr;
+    let mut out = Tensor::zeros(grad.len(), 1);
+    for r in 0..csr.num_rows() {
+        let range = csr.row_range(r);
+        let dot: f32 = range.clone().map(|e| alpha[e] * grad[e]).sum();
+        for e in range {
+            out.data_mut()[e] = alpha[e] * (grad[e] - dot);
+        }
+    }
+    out
+}
+
 struct EdgeSoftmaxBackward {
     ctx: Rc<GnnContext>,
     alpha: Tensor,
@@ -221,18 +258,7 @@ struct EdgeSoftmaxBackward {
 
 impl BackwardOp for EdgeSoftmaxBackward {
     fn backward(&self, grad: &Tensor, _inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
-        let csr = &self.ctx.graph.csr;
-        let mut out = Tensor::zeros(grad.rows(), 1);
-        for r in 0..csr.num_rows() {
-            let range = csr.row_range(r);
-            let dot: f32 = range
-                .clone()
-                .map(|e| self.alpha.data()[e] * grad.data()[e])
-                .sum();
-            for e in range {
-                out.data_mut()[e] = self.alpha.data()[e] * (grad.data()[e] - dot);
-            }
-        }
+        let out = edge_softmax_backward_host(&self.ctx, self.alpha.data(), grad.data());
         charge_edge_pass(&self.ctx, 2);
         vec![Some(out)]
     }
@@ -244,30 +270,14 @@ impl BackwardOp for EdgeSoftmaxBackward {
 
 /// Row-wise softmax over each vertex's incident edges — GAT's attention
 /// normalization. Input and output are `|E| × 1` in `A`'s NZE order.
+/// Runs the same host routine the IR executor uses for
+/// `HostEdgeSoftmax` steps, so the tape and the executor agree bit for
+/// bit.
 pub fn edge_softmax(ctx: &Rc<GnnContext>, tape: &mut Tape, logits: VarId) -> VarId {
-    let csr = &ctx.graph.csr;
     let lv = tape.value(logits);
     assert_eq!(lv.rows(), ctx.nnz());
     let mut alpha = Tensor::zeros(ctx.nnz(), 1);
-    for r in 0..csr.num_rows() {
-        let range = csr.row_range(r);
-        if range.is_empty() {
-            continue;
-        }
-        let max = range
-            .clone()
-            .map(|e| lv.data()[e])
-            .fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for e in range.clone() {
-            let v = (lv.data()[e] - max).exp();
-            alpha.data_mut()[e] = v;
-            sum += v;
-        }
-        for e in range {
-            alpha.data_mut()[e] /= sum;
-        }
-    }
+    ir::exec::host_edge_softmax(&ctx.graph, lv.data(), alpha.data_mut());
     charge_edge_pass(ctx, 3);
     let alpha_saved = alpha.clone();
     tape.push_op(
@@ -280,60 +290,60 @@ pub fn edge_softmax(ctx: &Rc<GnnContext>, tape: &mut Tape, logits: VarId) -> Var
     )
 }
 
-// ---------------------------------------------------------------- GAT
+// ------------------------------------------------- SDDMM (`u_dot_v`)
 
-/// The full GAT attention step:
-/// `y[r] = Σ_c softmax_r(LeakyReLU(el[r] + er[c])) · z[c]`.
-///
-/// Dispatches on the system: GNNOne/DGL compose the unfused pipeline
-/// (`u_add_v` → LeakyReLU → `edge_softmax` → SpMM, each a launch); dgNN
-/// runs the **fused attention kernel** — one launch, no edge tensors in
-/// device memory — which is how the real dgNN earns its Fig. 6 standing.
-pub fn gat_attention(
-    ctx: &Rc<GnnContext>,
-    tape: &mut Tape,
-    el: VarId,
-    er: VarId,
-    z: VarId,
-    slope: f32,
-) -> VarId {
-    if !ctx.fused_edge_ops {
-        let raw = u_add_v(ctx, tape, el, er);
-        let logits = gnnone_tensor::ops::leaky_relu(tape, raw, slope);
-        let alpha = edge_softmax(ctx, tape, logits);
-        return spmm(ctx, tape, alpha, z);
+struct UDotVBackward {
+    ctx: Rc<GnnContext>,
+    f: usize,
+}
+
+impl BackwardOp for UDotVBackward {
+    fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
+        // w[e] = Σ_k x[row(e),k]·y[col(e),k], so
+        // ∂x[r,k] += g[e]·y[c,k] and ∂y[c,k] += g[e]·x[r,k].
+        let (x, y) = (&inputs[0], &inputs[1]);
+        let coo = &self.ctx.graph.coo;
+        let f = self.f;
+        let n = self.ctx.num_vertices();
+        let mut dx = Tensor::zeros(n, f);
+        let mut dy = Tensor::zeros(n, f);
+        for e in 0..coo.nnz() {
+            let r = coo.rows()[e] as usize;
+            let c = coo.cols()[e] as usize;
+            let g = grad.data()[e];
+            for k in 0..f {
+                dx.data_mut()[r * f + k] += g * y.data()[c * f + k];
+                dy.data_mut()[c * f + k] += g * x.data()[r * f + k];
+            }
+        }
+        charge_edge_pass(&self.ctx, 2);
+        vec![Some(dx), Some(dy)]
     }
-    // Fused path: one simulated launch produces y and keeps α for backward.
-    let f = tape.value(z).cols();
-    let n = ctx.num_vertices();
-    let dz = DeviceBuffer::from_slice(tape.value(z).data());
-    let del = DeviceBuffer::from_slice(tape.value(el).data());
-    let der = DeviceBuffer::from_slice(tape.value(er).data());
-    let dy = DeviceBuffer::<f32>::zeros(n * f);
-    let dalpha = DeviceBuffer::<f32>::zeros(ctx.nnz());
-    let kernel =
-        gnnone_kernels::gnnone::FusedGatAttention::new(std::sync::Arc::clone(&ctx.graph), slope);
-    let report = kernel
-        .run(&ctx.gpu, &dz, &del, &der, f, &dy, Some(&dalpha))
-        .expect("fused GAT launch failed");
-    ctx.clock.borrow_mut().add_kernel(&report);
-    let alpha = Tensor::from_vec(ctx.nnz(), 1, dalpha.to_vec());
-    let value = Tensor::from_vec(n, f, dy.to_vec());
+
+    fn name(&self) -> &'static str {
+        "u_dot_v"
+    }
+}
+
+/// SDDMM tape op in the `Step::Sddmm` orientation: `x` is the
+/// destination-side operand (indexed by COO rows), `y` the source side.
+fn sddmm_step(ctx: &Rc<GnnContext>, tape: &mut Tape, x: VarId, y: VarId) -> VarId {
+    let f = tape.value(x).cols();
+    let value = launch_sddmm(ctx, tape.value(x), tape.value(y), f);
     tape.push_op(
         value,
-        vec![el, er, z],
-        Box::new(FusedGatBackward {
+        vec![x, y],
+        Box::new(UDotVBackward {
             ctx: Rc::clone(ctx),
-            alpha,
-            slope,
             f,
         }),
     )
 }
 
+// ---------------------------------------------------------------- GAT
+
 struct FusedGatBackward {
     ctx: Rc<GnnContext>,
-    alpha: Tensor,
     slope: f32,
     f: usize,
 }
@@ -342,35 +352,41 @@ impl BackwardOp for FusedGatBackward {
     fn backward(&self, grad: &Tensor, inputs: &[Rc<Tensor>]) -> Vec<Option<Tensor>> {
         let (el, er, z) = (&inputs[0], &inputs[1], &inputs[2]);
         let coo = &self.ctx.graph.coo;
-        let csr = &self.ctx.graph.csr;
-        // ∂z from the aggregation: SpMM(Aᵀ, α, grad) — a simulated launch
-        // (dgNN's backward aggregation kernel).
-        let dz = launch_spmm_t(&self.ctx, &self.alpha, grad, self.f);
-        // ∂α = SDDMM(A, grad, z) — the other simulated launch.
-        let dalpha = launch_sddmm(&self.ctx, grad, z, self.f);
-        // Softmax + LeakyReLU backward, fused as edge passes.
-        let mut dlogit = Tensor::zeros(coo.nnz(), 1);
-        for r in 0..csr.num_rows() {
-            let range = csr.row_range(r);
-            let dot: f32 = range
-                .clone()
-                .map(|e| self.alpha.data()[e] * dalpha.data()[e])
-                .sum();
-            for e in range {
-                dlogit.data_mut()[e] = self.alpha.data()[e] * (dalpha.data()[e] - dot);
-            }
-        }
-        let n = self.ctx.num_vertices();
-        let mut del = Tensor::zeros(n, 1);
-        let mut der = Tensor::zeros(n, 1);
-        for e in 0..coo.nnz() {
+        let nnz = coo.nnz();
+        // Rematerialize the unfused intermediates on the host, bit for
+        // bit: the raw logit is one f32 add (exactly what the `u_add_v`
+        // kernel computes per edge), LeakyReLU takes the same `> 0.0`
+        // branch as `ops::leaky_relu`, and the softmax is the shared
+        // [`ir::exec::host_edge_softmax`] routine the unfused tape runs.
+        // The kernel's α output is *not* reusable here: its shuffle-tree
+        // reduction order differs from the host softmax, which would
+        // break fused-vs-unfused gradient equality.
+        let mut raw = vec![0.0f32; nnz];
+        let mut logits = vec![0.0f32; nnz];
+        for e in 0..nnz {
             let r = coo.rows()[e] as usize;
             let c = coo.cols()[e] as usize;
-            let raw = el.data()[r] + er.data()[c];
-            let g = dlogit.data()[e] * if raw > 0.0 { 1.0 } else { self.slope };
-            del.data_mut()[r] += g;
-            der.data_mut()[c] += g;
+            let v = el.data()[r] + er.data()[c];
+            raw[e] = v;
+            logits[e] = if v > 0.0 { v } else { v * self.slope };
         }
+        let mut alpha = vec![0.0f32; nnz];
+        ir::exec::host_edge_softmax(&self.ctx.graph, &logits, &mut alpha);
+        let alpha_t = Tensor::from_vec(nnz, 1, alpha);
+        // ∂z from the aggregation: SpMM(Aᵀ, α, grad) — a simulated launch
+        // (dgNN's backward aggregation kernel).
+        let dz = launch_spmm_t(&self.ctx, &alpha_t, grad, self.f);
+        // ∂α = SDDMM(A, grad, z) — the other simulated launch.
+        let dalpha = launch_sddmm(&self.ctx, grad, z, self.f);
+        // Softmax and LeakyReLU backward via the same helpers the
+        // unfused tape ops call.
+        let dlogit = edge_softmax_backward_host(&self.ctx, alpha_t.data(), dalpha.data());
+        let mut draw = vec![0.0f32; nnz];
+        for e in 0..nnz {
+            let g = dlogit.data()[e];
+            draw[e] = if raw[e] > 0.0 { g } else { g * self.slope };
+        }
+        let (del, der) = edge_grad_to_vertices(&self.ctx, &draw);
         charge_edge_pass(&self.ctx, 3);
         vec![Some(del), Some(der), Some(dz)]
     }
@@ -378,6 +394,198 @@ impl BackwardOp for FusedGatBackward {
     fn name(&self) -> &'static str {
         "fused_gat"
     }
+}
+
+/// Launches the IR-lowered fused GAT kernel and registers its backward.
+fn fused_gat_step(
+    ctx: &Rc<GnnContext>,
+    tape: &mut Tape,
+    el: VarId,
+    er: VarId,
+    z: VarId,
+    slope: f32,
+) -> VarId {
+    let f = tape.value(z).cols();
+    let n = ctx.num_vertices();
+    let dz = DeviceBuffer::from_slice(tape.value(z).data());
+    let del = DeviceBuffer::from_slice(tape.value(el).data());
+    let der = DeviceBuffer::from_slice(tape.value(er).data());
+    let dy = DeviceBuffer::<f32>::zeros(n * f);
+    let kernel = ir::IrFusedGat::new(std::sync::Arc::clone(&ctx.graph), slope);
+    // α is rematerialized on the host in backward (see FusedGatBackward),
+    // so the launch skips the α write-back entirely.
+    let report = kernel
+        .run(&ctx.gpu, &dz, &del, &der, f, &dy, None)
+        .expect("fused GAT launch failed");
+    ctx.clock.borrow_mut().add_kernel(&report);
+    tape.push_op(
+        Tensor::from_vec(n, f, dy.to_vec()),
+        vec![el, er, z],
+        Box::new(FusedGatBackward {
+            ctx: Rc::clone(ctx),
+            slope,
+            f,
+        }),
+    )
+}
+
+// ------------------------------------------------------- plan replay
+
+/// Replays a lowered [`Plan`] onto the autograd tape: every launch step
+/// becomes the corresponding tape op with its backward rule, and host
+/// fallback steps become the matching host tape ops. `inputs` binds IR
+/// input values to tape variables. Returns the tape variable of every
+/// value the plan materializes, keyed by `ValueId` index.
+fn run_plan(
+    ctx: &Rc<GnnContext>,
+    tape: &mut Tape,
+    plan: &Plan,
+    inputs: &[(ValueId, VarId)],
+) -> HashMap<usize, VarId> {
+    let mut vars: HashMap<usize, VarId> = inputs.iter().map(|&(v, id)| (v.0, id)).collect();
+    for step in &plan.steps {
+        match *step {
+            Step::FusedGat {
+                slope,
+                z,
+                el,
+                er,
+                y,
+                alpha: _,
+            } => {
+                let var = fused_gat_step(ctx, tape, vars[&el.0], vars[&er.0], vars[&z.0], slope);
+                vars.insert(y.0, var);
+            }
+            Step::UAddV { el, er, out } => {
+                let var = u_add_v(ctx, tape, vars[&el.0], vars[&er.0]);
+                vars.insert(out.0, var);
+            }
+            Step::HostLeakyRelu { slope, x, out } => {
+                let var = gnnone_tensor::ops::leaky_relu(tape, vars[&x.0], slope);
+                vars.insert(out.0, var);
+            }
+            Step::HostEdgeSoftmax { x, out } => {
+                let var = edge_softmax(ctx, tape, vars[&x.0]);
+                vars.insert(out.0, var);
+            }
+            Step::Spmm { w, x, out } => {
+                let var = spmm_step(ctx, tape, vars[&w.0], vars[&x.0]);
+                vars.insert(out.0, var);
+            }
+            Step::SpmmOnes { x, out } => {
+                let ones = tape.leaf(ones_weights(ctx), false);
+                let var = spmm_step(ctx, tape, ones, vars[&x.0]);
+                vars.insert(out.0, var);
+            }
+            Step::Sddmm { x, y, out } => {
+                let var = sddmm_step(ctx, tape, vars[&x.0], vars[&y.0]);
+                vars.insert(out.0, var);
+            }
+            ref other => panic!(
+                "no autograd rule for lowered step {other:?}; training graphs must \
+                 lower to launches plus host LeakyReLU/softmax"
+            ),
+        }
+    }
+    vars
+}
+
+/// The full GAT attention step with an explicit fusion switch:
+/// `y[r] = Σ_c softmax_r(LeakyReLU(el[r] + er[c])) · z[c]`.
+///
+/// Builds the [`ir::gat_attention_graph`] chain, lowers it with
+/// `LowerOptions { fuse }`, and replays the plan on the tape. With
+/// `fuse: true` the chain pattern-matches into the **single IR-lowered
+/// fused launch**; with `fuse: false` it runs the unfused pipeline
+/// (`u_add_v` launch → host LeakyReLU → host softmax → SpMM launch).
+/// Both variants produce the same gradients bitwise (the fused backward
+/// rematerializes the unfused intermediates with the shared host
+/// helpers).
+pub fn gat_attention_plan(
+    ctx: &Rc<GnnContext>,
+    tape: &mut Tape,
+    el: VarId,
+    er: VarId,
+    z: VarId,
+    slope: f32,
+    fuse: bool,
+) -> VarId {
+    let g = ir::gat_attention_graph(slope);
+    let plan = lower(&g, LowerOptions { fuse }).expect("GAT chain must lower");
+    // graphops orientation: logits[e] = el[row(e)] + er[col(e)], so `el`
+    // is the destination-side term (IR `att_dst`) and `er` the source
+    // side (`att_src`).
+    let binds = [
+        (g.find_input("att_src").unwrap(), er),
+        (g.find_input("att_dst").unwrap(), el),
+        (g.find_input("z").unwrap(), z),
+    ];
+    let vars = run_plan(ctx, tape, &plan, &binds);
+    vars[&g.outputs()[0].0]
+}
+
+/// The full GAT attention step, dispatching on the system: GNNOne/DGL
+/// lower to the unfused pipeline (each op a launch or host pass); dgNN
+/// lowers to the **fused attention kernel** — one launch, no edge
+/// tensors in device memory — which is how the real dgNN earns its
+/// Fig. 6 standing.
+pub fn gat_attention(
+    ctx: &Rc<GnnContext>,
+    tape: &mut Tape,
+    el: VarId,
+    er: VarId,
+    z: VarId,
+    slope: f32,
+) -> VarId {
+    gat_attention_plan(ctx, tape, el, er, z, slope, ctx.fused_edge_ops)
+}
+
+// ------------------------------------------------- IR-only model ops
+
+/// Dot-product edge scores `w[e] = Σ_k x[col(e),k]·y[row(e),k]` — the
+/// `u_dot_v` SDDMM variant (§4.3), lowered from [`ir::sddmm_graph`] to
+/// the `EdgeDot` launch. `x` is the source-side operand, `y` the
+/// destination side.
+pub fn u_dot_v(ctx: &Rc<GnnContext>, tape: &mut Tape, x: VarId, y: VarId) -> VarId {
+    let g = ir::sddmm_graph();
+    let plan = lower(&g, LowerOptions::default()).expect("u_dot_v graph must lower");
+    let binds = [
+        (g.find_input("x").unwrap(), x),
+        (g.find_input("y").unwrap(), y),
+    ];
+    let vars = run_plan(ctx, tape, &plan, &binds);
+    vars[&g.outputs()[0].0]
+}
+
+/// Transformer-style dot-product attention:
+/// `y[r] = Σ_c softmax_r(k[c]·q[r]) · v[c]`.
+///
+/// Lowered from [`ir::dot_attention_graph`] — no fused pipeline matches
+/// dot-product logits, so the plan is the unfused fallback (`EdgeDot`
+/// launch → host softmax → `RowAccum` launch). A whole new attention
+/// variant with zero new hand-written kernels.
+pub fn dot_attention(ctx: &Rc<GnnContext>, tape: &mut Tape, q: VarId, k: VarId, v: VarId) -> VarId {
+    let g = ir::dot_attention_graph();
+    let plan = lower(&g, LowerOptions::default()).expect("dot_attention graph must lower");
+    let binds = [
+        (g.find_input("k").unwrap(), k),
+        (g.find_input("q").unwrap(), q),
+        (g.find_input("v").unwrap(), v),
+    ];
+    let vars = run_plan(ctx, tape, &plan, &binds);
+    vars[&g.outputs()[0].0]
+}
+
+/// GraphSAGE's neighbour sum `y[r] = Σ_{c ∈ N(r)} x[c]` (divide by the
+/// degree for the mean aggregator). Lowered from
+/// [`ir::copy_u_sum_graph`] — the `copy_u → aggregate_sum` fold — to a
+/// single `RowAccum` launch with unit edge values.
+pub fn sage_aggregate(ctx: &Rc<GnnContext>, tape: &mut Tape, x: VarId) -> VarId {
+    let g = ir::copy_u_sum_graph();
+    let plan = lower(&g, LowerOptions::default()).expect("sage graph must lower");
+    let binds = [(g.find_input("x").unwrap(), x)];
+    let vars = run_plan(ctx, tape, &plan, &binds);
+    vars[&g.outputs()[0].0]
 }
 
 /// GCN symmetric normalization weights `1/√(d_u · d_v)` per edge, with

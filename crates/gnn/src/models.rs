@@ -381,6 +381,192 @@ impl GnnModel for Gat {
     }
 }
 
+// ------------------------------------------------------------- GraphSAGE
+
+/// GraphSAGE (Hamilton et al.) with the mean aggregator — an **IR-only
+/// model variant**: the neighbour sum is [`graphops::sage_aggregate`],
+/// whose `copy_u → aggregate_sum` IR chain the lowering pass folds into a
+/// single `RowAccum` launch with unit edge values. No hand-written
+/// aggregation kernel exists for it.
+pub struct GraphSage {
+    layers: Vec<Linear>,
+    classifier: Linear,
+}
+
+impl GraphSage {
+    /// `num_layers` of hidden width `hidden`; each layer applies a linear
+    /// to `concat(h, mean_agg(h))`, SAGE-style.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        let mut layers = Vec::new();
+        for i in 0..num_layers {
+            let fan_in = if i == 0 { input_dim } else { hidden };
+            layers.push(Linear::new(2 * fan_in, hidden, seed + 10 * i as u64));
+        }
+        Self {
+            layers,
+            classifier: Linear::new(hidden, classes, seed + 999),
+        }
+    }
+}
+
+/// `|V| × f` tensor of `1/max(deg_in, 1)` per row, replicated across
+/// columns — turns the IR-lowered neighbour sum into the mean.
+fn mean_scaler(ctx: &GnnContext, f: usize) -> Tensor {
+    let csr = &ctx.graph.csr;
+    let n = ctx.num_vertices();
+    let mut data = vec![0.0f32; n * f];
+    for r in 0..n {
+        let inv = 1.0 / (csr.row_range(r).len().max(1) as f32);
+        data[r * f..(r + 1) * f].fill(inv);
+    }
+    Tensor::from_vec(n, f, data)
+}
+
+impl GnnModel for GraphSage {
+    fn name(&self) -> &'static str {
+        "GraphSAGE"
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        _training: bool,
+        _step: u64,
+    ) -> ForwardOutput {
+        let mut pv = Vec::new();
+        let mut h = tape.leaf(x.clone(), false);
+        for layer in &self.layers {
+            // Neighbour sum via the IR (`copy_u → aggregate_sum` fold),
+            // then the mean via a constant per-row scaler.
+            let agg = graphops::sage_aggregate(ctx, tape, h);
+            let f = tape.value(h).cols();
+            let scaler = tape.leaf(mean_scaler(ctx, f), false);
+            let mean = ops::mul(tape, agg, scaler);
+            charge_elementwise(ctx, tape.value(mean).len());
+            let cat = ops::concat_cols(tape, h, mean);
+            let z = layer.apply(tape, ctx, &mut pv, cat);
+            let r = ops::relu(tape, z);
+            charge_elementwise(ctx, tape.value(r).len());
+            h = r;
+        }
+        let logits = self.classifier.apply(tape, ctx, &mut pv, h);
+        ForwardOutput {
+            logits,
+            param_vars: pv,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.push_params(&mut out);
+        }
+        self.classifier.push_params(&mut out);
+        out
+    }
+}
+
+// ------------------------------------------------------- dot attention
+
+/// One dot-product attention layer: query/key/value projections.
+struct DotAttnLayer {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+}
+
+/// Transformer-style dot-product attention GNN — the second **IR-only
+/// model variant**: its `u_dot_v → edge_softmax → u_mul_e →
+/// aggregate_sum` chain has no fused pipeline, so the lowering pass
+/// emits the unfused fallback (an `EdgeDot` launch, the host softmax,
+/// and a `RowAccum` launch) via [`graphops::dot_attention`]. Zero new
+/// hand-written kernels.
+pub struct DotGat {
+    layers: Vec<DotAttnLayer>,
+}
+
+impl DotGat {
+    /// `num_layers` of hidden width `hidden`, classes on the last layer.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        let mut layers = Vec::new();
+        for i in 0..num_layers {
+            let last = i + 1 == num_layers;
+            let fan_in = if i == 0 { input_dim } else { hidden };
+            let fan_out = if last { classes } else { hidden };
+            let s = seed + 100 * i as u64;
+            layers.push(DotAttnLayer {
+                q: Linear::new(fan_in, fan_out, s),
+                k: Linear::new(fan_in, fan_out, s + 3),
+                v: Linear::new(fan_in, fan_out, s + 5),
+            });
+        }
+        Self { layers }
+    }
+}
+
+impl GnnModel for DotGat {
+    fn name(&self) -> &'static str {
+        "DotGAT"
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &Rc<GnnContext>,
+        x: &Tensor,
+        _training: bool,
+        _step: u64,
+    ) -> ForwardOutput {
+        let mut pv = Vec::new();
+        let mut h = tape.leaf(x.clone(), false);
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let q = layer.q.apply(tape, ctx, &mut pv, h);
+            let k = layer.k.apply(tape, ctx, &mut pv, h);
+            let v = layer.v.apply(tape, ctx, &mut pv, h);
+            // Scaled dot-product scores k[c]·q[r]/√d, softmaxed per row.
+            let dh = tape.value(q).cols();
+            let qs = ops::scale(tape, q, 1.0 / (dh as f32).sqrt());
+            let y = graphops::dot_attention(ctx, tape, qs, k, v);
+            h = if i + 1 == n_layers {
+                y
+            } else {
+                let r = ops::relu(tape, y);
+                charge_elementwise(ctx, tape.value(r).len());
+                r
+            };
+        }
+        ForwardOutput {
+            logits: h,
+            param_vars: pv,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.q.push_params(&mut out);
+            layer.k.push_params(&mut out);
+            layer.v.push_params(&mut out);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +646,50 @@ mod tests {
                 g.data().iter().any(|&v| v != 0.0),
                 "param {i} gradient is all zero"
             );
+        }
+    }
+
+    #[test]
+    fn graphsage_runs_forward_and_backward_as_ir_only() {
+        let c = ctx();
+        let mut model = GraphSage::new(8, 16, 3, 2, 5);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        assert_eq!(tape.value(out.logits).rows(), c.num_vertices());
+        assert_eq!(tape.value(out.logits).cols(), 3);
+        // 2 SAGE linears + classifier, 2 params each.
+        assert_eq!(model.params_mut().len(), 6);
+        let ls = ops::log_softmax(&mut tape, out.logits);
+        let targets: Vec<u32> = (0..c.num_vertices() as u32).map(|v| v % 3).collect();
+        let loss = ops::nll_loss(&mut tape, ls, &targets, None);
+        let grads = tape.backward(loss);
+        for (i, &pid) in out.param_vars.iter().enumerate() {
+            let g = grads[pid]
+                .as_ref()
+                .unwrap_or_else(|| panic!("param {i} has no grad"));
+            assert!(g.data().iter().any(|&v| v != 0.0), "param {i} all-zero");
+        }
+    }
+
+    #[test]
+    fn dot_attention_runs_forward_and_backward_as_ir_only() {
+        let c = ctx();
+        let mut model = DotGat::new(8, 16, 3, 2, 7);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &c, &features(&c, 8), true, 0);
+        assert_eq!(tape.value(out.logits).rows(), c.num_vertices());
+        assert_eq!(tape.value(out.logits).cols(), 3);
+        // 2 layers × 3 projections × (W, b).
+        assert_eq!(model.params_mut().len(), 12);
+        let ls = ops::log_softmax(&mut tape, out.logits);
+        let targets: Vec<u32> = (0..c.num_vertices() as u32).map(|v| v % 3).collect();
+        let loss = ops::nll_loss(&mut tape, ls, &targets, None);
+        let grads = tape.backward(loss);
+        for (i, &pid) in out.param_vars.iter().enumerate() {
+            let g = grads[pid]
+                .as_ref()
+                .unwrap_or_else(|| panic!("param {i} has no grad"));
+            assert!(g.data().iter().any(|&v| v != 0.0), "param {i} all-zero");
         }
     }
 

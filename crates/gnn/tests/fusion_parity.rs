@@ -1,0 +1,84 @@
+//! Fused-vs-unfused gradient parity for the IR-lowered GAT chain.
+//!
+//! `graphops::gat_attention_plan` lowers the same IR graph twice — once
+//! into the single fused `RowSoftmaxGat` launch, once into the unfused
+//! pipeline (`u_add_v` launch → host LeakyReLU → host softmax → SpMM
+//! launch) — and the two tapes must produce **bitwise identical**
+//! gradients: the fused backward rematerializes the unfused
+//! intermediates through the exact same shared host helpers. Checked on
+//! Table 1 graphs (G0, G5) at tiny scale.
+
+use std::rc::Rc;
+
+use gnnone_gnn::graphops;
+use gnnone_gnn::{GnnContext, SystemKind};
+use gnnone_sim::GpuSpec;
+use gnnone_sparse::datasets::{Dataset, Scale};
+use gnnone_tensor::{ops, Tape, Tensor};
+
+/// Deterministic, sign-varied inputs so gradients exercise both
+/// LeakyReLU branches.
+fn leaf_data(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i * 7 + salt * 13) % 23) as f32 - 11.0) * 0.07)
+        .collect()
+}
+
+/// Runs one GAT attention step with `loss = sum(y)` and returns
+/// `(∂el, ∂er, ∂z)`.
+fn grads(c: &Rc<GnnContext>, f: usize, fuse: bool) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = c.num_vertices();
+    let mut tape = Tape::new();
+    let z = tape.leaf(Tensor::from_vec(n, f, leaf_data(n * f, 1)), true);
+    let el = tape.leaf(Tensor::from_vec(n, 1, leaf_data(n, 2)), true);
+    let er = tape.leaf(Tensor::from_vec(n, 1, leaf_data(n, 3)), true);
+    let y = graphops::gat_attention_plan(c, &mut tape, el, er, z, 0.2, fuse);
+    let s = ops::sum(&mut tape, y);
+    let g = tape.backward(s);
+    (
+        g[el].as_ref().unwrap().data().to_vec(),
+        g[er].as_ref().unwrap().data().to_vec(),
+        g[z].as_ref().unwrap().data().to_vec(),
+    )
+}
+
+#[test]
+fn fused_gat_gradients_match_unfused_bitwise_on_table1_graphs() {
+    for id in ["G0", "G5"] {
+        let ds = Dataset::by_id(id, Scale::Tiny).expect("Table 1 id");
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            ds.coo.clone(),
+            GpuSpec::a100_40gb(),
+        ));
+        let f = 8;
+        let (del_u, der_u, dz_u) = grads(&c, f, false);
+        let (del_f, der_f, dz_f) = grads(&c, f, true);
+        assert_eq!(del_f, del_u, "{id}: ∂el must match bitwise");
+        assert_eq!(der_f, der_u, "{id}: ∂er must match bitwise");
+        assert_eq!(dz_f, dz_u, "{id}: ∂z must match bitwise");
+    }
+}
+
+#[test]
+fn fused_plan_issues_one_forward_launch() {
+    let ds = Dataset::by_id("G0", Scale::Tiny).expect("Table 1 id");
+    let launches = |fuse: bool| {
+        let c = Rc::new(GnnContext::new(
+            SystemKind::GnnOne,
+            ds.coo.clone(),
+            GpuSpec::a100_40gb(),
+        ));
+        let n = c.num_vertices();
+        let mut tape = Tape::new();
+        let z = tape.leaf(Tensor::zeros(n, 4), true);
+        let el = tape.leaf(Tensor::zeros(n, 1), true);
+        let er = tape.leaf(Tensor::zeros(n, 1), true);
+        let _ = graphops::gat_attention_plan(&c, &mut tape, el, er, z, 0.2, fuse);
+        let count = c.clock.borrow().launches;
+        count
+    };
+    assert_eq!(launches(true), 1);
+    // u_add_v launch + host-softmax dense charge + aggregation SpMM.
+    assert_eq!(launches(false), 3);
+}

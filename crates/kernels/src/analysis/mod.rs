@@ -126,8 +126,10 @@ fn checked(
 
 /// Verifies every registry kernel (all 21: 6 SDDMM + 6 SpMM + 3
 /// discussion SpMM + 3 SpMV classes + 1 format study + 1 edge-apply +
-/// 1 fused) against `graph` under one execution model. A kernel without
-/// a summary yields an `Unknown` coverage-gap verdict, so "all proved"
+/// 1 fused) against `graph` under one execution model. The edge-apply
+/// and fused entries are the IR-lowered instances ([`crate::ir`]), so
+/// this sweep also gates every IR-lowered launch. A kernel without a
+/// summary yields an `Unknown` coverage-gap verdict, so "all proved"
 /// doubles as the coverage gate.
 pub fn verify_graph(graph: &Arc<GraphData>, f: usize, model: ExecModel) -> Vec<KernelVerdict> {
     let mut out = Vec::new();

@@ -165,22 +165,16 @@ fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
-/// `out[k] += s * x[k]`, chunked by `VEC_WIDTH`. One add per output
-/// element per call, so the per-element association order is identical to
-/// the sequential reference regardless of chunking.
+/// `out[k] += s * x[k]` as one zip loop the compiler vectorizes freely.
+/// Unlike [`dot_chunked`], lane shape cannot change the result here —
+/// every output element receives exactly one fused add per call, so the
+/// per-element association order is fixed no matter how the loop is
+/// carved up. The iterator form drops the chunk bookkeeping and bounds
+/// checks that dominated the short `f` rows GAT heads use.
 #[inline]
 fn axpy(out: &mut [f32], s: f32, x: &[f32]) {
-    let chunks = out.len() / VEC_WIDTH * VEC_WIDTH;
-    for (co, cx) in out[..chunks]
-        .chunks_exact_mut(VEC_WIDTH)
-        .zip(x[..chunks].chunks_exact(VEC_WIDTH))
-    {
-        for k in 0..VEC_WIDTH {
-            co[k] += s * cx[k];
-        }
-    }
-    for k in chunks..out.len() {
-        out[k] += s * x[k];
+    for (o, xv) in out.iter_mut().zip(x) {
+        *o += s * xv;
     }
 }
 
@@ -424,49 +418,87 @@ pub fn fused_gat_rows(
     let cols = graph.csr.cols();
     let n = graph.num_vertices();
     let mut y = dy.to_vec();
-    let mut alpha = vec![0.0f32; graph.nnz()];
+    // α is only materialized when the caller asked for it (training);
+    // the inference shape keeps it in the per-row stage buffer.
+    let mut alpha = dalpha.map(|_| vec![0.0f32; graph.nnz()]);
     let blocks = row_blocks(offsets, n, cta_edges(GnnOneConfig::default().cache_size));
-    let mut parts: Vec<(&mut [f32], &mut [f32], usize, usize)> = Vec::with_capacity(blocks.len());
-    let (mut y_rest, mut a_rest): (&mut [f32], &mut [f32]) = (&mut y, &mut alpha);
+    // One task's slice of the outputs: (y rows, α span, row range).
+    type FusedPart<'a> = (&'a mut [f32], Option<&'a mut [f32]>, usize, usize);
+    let mut parts: Vec<FusedPart> = Vec::with_capacity(blocks.len());
+    let mut y_rest: &mut [f32] = &mut y;
+    let mut a_rest: Option<&mut [f32]> = alpha.as_deref_mut();
     for &(r0, r1) in &blocks {
         let (y_head, y_tail) = y_rest.split_at_mut((r1 - r0) * f);
         let span = (offsets[r1] - offsets[r0]) as usize;
-        let (a_head, a_tail) = a_rest.split_at_mut(span);
+        let a_head = match a_rest.take() {
+            Some(a) => {
+                let (head, tail) = a.split_at_mut(span);
+                a_rest = Some(tail);
+                Some(head)
+            }
+            None => None,
+        };
         parts.push((y_head, a_head, r0, r1));
         y_rest = y_tail;
-        a_rest = a_tail;
     }
     let leaky = |raw: f32| if raw > 0.0 { raw } else { raw * slope };
     let report = eng.timed(name, || {
-        parts.into_par_iter().for_each(|(y_out, a_out, r0, r1)| {
-            let base = offsets[r0] as usize;
-            for r in r0..r1 {
-                let range = offsets[r] as usize..offsets[r + 1] as usize;
-                if range.is_empty() {
-                    continue;
+        parts
+            .into_par_iter()
+            .for_each(|(y_out, mut a_out, r0, r1)| {
+                let base = offsets[r0] as usize;
+                // Per-task logit stage: each edge's logit is gathered and its
+                // exp taken exactly once instead of re-derived per pass. The
+                // float ops and their order match `fused_gat_reference`, so
+                // results stay bitwise identical.
+                let max_span = (r0..r1)
+                    .map(|r| (offsets[r + 1] - offsets[r]) as usize)
+                    .max()
+                    .unwrap_or(0);
+                let mut stage = vec![0.0f32; max_span];
+                for r in r0..r1 {
+                    let range = offsets[r] as usize..offsets[r + 1] as usize;
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let elr = el[r];
+                    let rcols = &cols[range.clone()];
+                    let buf = &mut stage[..rcols.len()];
+                    let mut max = f32::NEG_INFINITY;
+                    for (slot, &c) in buf.iter_mut().zip(rcols) {
+                        let v = leaky(elr + er[c as usize]);
+                        *slot = v;
+                        max = max.max(v);
+                    }
+                    let mut denom = 0.0f32;
+                    for v in buf.iter_mut() {
+                        *v = (*v - max).exp();
+                        denom += *v;
+                    }
+                    let row = &mut y_out[(r - r0) * f..(r - r0 + 1) * f];
+                    match a_out {
+                        Some(ref mut a_out) => {
+                            let arow = &mut a_out[range.start - base..range.end - base];
+                            for ((&v, &c), slot) in buf.iter().zip(rcols).zip(arow) {
+                                let a = v / denom;
+                                *slot = a;
+                                let c = c as usize;
+                                axpy(row, a, &z[c * f..(c + 1) * f]);
+                            }
+                        }
+                        None => {
+                            for (&v, &c) in buf.iter().zip(rcols) {
+                                let c = c as usize;
+                                axpy(row, v / denom, &z[c * f..(c + 1) * f]);
+                            }
+                        }
+                    }
                 }
-                let elr = el[r];
-                let mut max = f32::NEG_INFINITY;
-                for e in range.clone() {
-                    max = max.max(leaky(elr + er[cols[e] as usize]));
-                }
-                let mut denom = 0.0f32;
-                for e in range.clone() {
-                    denom += (leaky(elr + er[cols[e] as usize]) - max).exp();
-                }
-                let row = &mut y_out[(r - r0) * f..(r - r0 + 1) * f];
-                for e in range {
-                    let c = cols[e] as usize;
-                    let a = (leaky(elr + er[c]) - max).exp() / denom;
-                    a_out[e - base] = a;
-                    axpy(row, a, &z[c * f..(c + 1) * f]);
-                }
-            }
-        });
+            });
     });
     dy.copy_from_slice(&y);
-    if let Some(da) = dalpha {
-        da.copy_from_slice(&alpha);
+    if let (Some(da), Some(a)) = (dalpha, &alpha) {
+        da.copy_from_slice(a);
     }
     report
 }

@@ -40,8 +40,9 @@ use crate::graph::GraphData;
 use crate::traits::FusedAttentionKernel;
 
 /// Maximum logits cached per row in shared memory; longer rows recompute
-/// logits in the aggregation pass.
-const LOGIT_CACHE: usize = 512;
+/// logits in the aggregation pass. Shared with the IR-lowered fused
+/// kernel ([`crate::ir`]) so its derived summaries match this launch.
+pub(crate) const LOGIT_CACHE: usize = 512;
 
 /// The fused attention kernel.
 pub struct FusedGatAttention {

@@ -1,0 +1,477 @@
+//! Pattern-matching lowering: IR chains → pipeline launch plans.
+//!
+//! [`lower`] verifies a graph, then walks it in definition order and maps
+//! op chains onto [`Step`]s. Three aggregate folds always fire (they cost
+//! nothing relative to the baseline): `u_mul_e → aggregate_sum` becomes a
+//! single `RowAccum` SpMM launch, `copy_u → aggregate_sum` the same
+//! launch with unit edge values, and `u_dot_v` an `EdgeDot` SDDMM launch.
+//! The GAT fusion (`u_add_v → leaky_relu → edge_softmax → u_mul_e →
+//! aggregate_sum` → one `RowSoftmaxGat` launch) is gated by
+//! [`LowerOptions::fuse`] so callers can time fused vs unfused plans of
+//! the same graph. Ops no pipeline covers fall back to host steps.
+
+use super::{Dim, IrError, IrGraph, OpKind, ValueId};
+
+/// Options for [`lower`].
+#[derive(Debug, Clone, Copy)]
+pub struct LowerOptions {
+    /// Match the fused GAT pattern (default `true`). The aggregate folds
+    /// are unconditional — the unfused baseline already uses single
+    /// SpMM/SDDMM launches for them.
+    pub fuse: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        Self { fuse: true }
+    }
+}
+
+/// One lowered execution step. `Fused`/`Sddmm`/`Spmm`/`SpmmOnes`/`UAddV`
+/// are single pipeline launches; `Host*` steps are the unfused fallback
+/// for ops no pipeline covers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// The whole GAT chain as one `CsrRows × RowSoftmaxGat` launch.
+    FusedGat {
+        /// LeakyReLU negative slope baked into the chain.
+        slope: f32,
+        /// Projected features (vertex, `F`).
+        z: ValueId,
+        /// Destination-side logit term (the kernel's `el`).
+        el: ValueId,
+        /// Source-side logit term (the kernel's `er`).
+        er: ValueId,
+        /// Aggregated output (vertex, `F`).
+        y: ValueId,
+        /// The softmax value, when the graph also outputs `α`.
+        alpha: Option<ValueId>,
+    },
+    /// `u_dot_v` as one `CooNzes × EdgeDot` launch.
+    Sddmm {
+        /// Destination-side operand (indexed by COO rows).
+        x: ValueId,
+        /// Source-side operand (indexed by COO cols).
+        y: ValueId,
+        /// Edge-scalar output.
+        out: ValueId,
+    },
+    /// `u_mul_e → aggregate_sum` as one `CsrRows × RowAccum` launch.
+    Spmm {
+        /// Edge weights.
+        w: ValueId,
+        /// Vertex features.
+        x: ValueId,
+        /// Aggregated output.
+        out: ValueId,
+    },
+    /// `copy_u → aggregate_sum` as one `RowAccum` launch with unit
+    /// edge values.
+    SpmmOnes {
+        /// Vertex features.
+        x: ValueId,
+        /// Aggregated output.
+        out: ValueId,
+    },
+    /// `u_add_v` as one `CooNzes × ScalarGather` launch.
+    UAddV {
+        /// Destination-side term (the kernel's `el`).
+        el: ValueId,
+        /// Source-side term (the kernel's `er`).
+        er: ValueId,
+        /// Edge-scalar output.
+        out: ValueId,
+    },
+    /// Host fallback: elementwise LeakyReLU.
+    HostLeakyRelu {
+        /// Negative slope.
+        slope: f32,
+        /// Edge operand.
+        x: ValueId,
+        /// Edge output.
+        out: ValueId,
+    },
+    /// Host fallback: per-destination-row softmax.
+    HostEdgeSoftmax {
+        /// Edge-scalar logits.
+        x: ValueId,
+        /// Edge-scalar coefficients.
+        out: ValueId,
+    },
+    /// Host fallback: source gather.
+    HostCopyU {
+        /// Vertex operand.
+        x: ValueId,
+        /// Edge output.
+        out: ValueId,
+    },
+    /// Host fallback: destination gather.
+    HostCopyV {
+        /// Vertex operand.
+        x: ValueId,
+        /// Edge output.
+        out: ValueId,
+    },
+    /// Host fallback: per-lane message weighting.
+    HostUMulE {
+        /// Vertex features.
+        x: ValueId,
+        /// Edge-scalar weights.
+        e: ValueId,
+        /// Edge output.
+        out: ValueId,
+    },
+    /// Host fallback: aggregate at destinations.
+    HostAggregate {
+        /// `true` for max, `false` for sum.
+        max: bool,
+        /// Edge messages.
+        e: ValueId,
+        /// Vertex output.
+        out: ValueId,
+    },
+}
+
+impl Step {
+    /// The pipeline kernel the step launches, if it is a launch.
+    pub fn kernel(&self) -> Option<&'static str> {
+        match self {
+            Step::FusedGat { .. } => Some("CsrRows x RowSoftmaxGat"),
+            Step::Sddmm { .. } => Some("CooNzes x EdgeDot"),
+            Step::Spmm { .. } | Step::SpmmOnes { .. } => Some("CsrRows x RowAccum"),
+            Step::UAddV { .. } => Some("CooNzes x ScalarGather"),
+            _ => None,
+        }
+    }
+
+    /// One-line description for `gnnone-prof fuse` reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Step::FusedGat { slope, alpha, .. } => format!(
+                "fused-gat(slope={slope}{}) -> {}",
+                if alpha.is_some() { ", +alpha" } else { "" },
+                self.kernel().unwrap()
+            ),
+            Step::Sddmm { .. } => format!("u_dot_v -> {}", self.kernel().unwrap()),
+            Step::Spmm { .. } => {
+                format!("u_mul_e+aggregate_sum -> {}", self.kernel().unwrap())
+            }
+            Step::SpmmOnes { .. } => {
+                format!(
+                    "copy_u+aggregate_sum -> {} (unit vals)",
+                    self.kernel().unwrap()
+                )
+            }
+            Step::UAddV { .. } => format!("u_add_v -> {}", self.kernel().unwrap()),
+            Step::HostLeakyRelu { slope, .. } => format!("leaky_relu(slope={slope}) -> host"),
+            Step::HostEdgeSoftmax { .. } => "edge_softmax -> host".to_string(),
+            Step::HostCopyU { .. } => "copy_u -> host".to_string(),
+            Step::HostCopyV { .. } => "copy_v -> host".to_string(),
+            Step::HostUMulE { .. } => "u_mul_e -> host".to_string(),
+            Step::HostAggregate { max, .. } => {
+                format!("aggregate_{} -> host", if *max { "max" } else { "sum" })
+            }
+        }
+    }
+}
+
+/// A lowered plan: the steps to run, in order.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Lowered steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Plan {
+    /// Whether the plan contains the fused GAT launch.
+    pub fn fused(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, Step::FusedGat { .. }))
+    }
+
+    /// Number of pipeline launches (host steps excluded).
+    pub fn launches(&self) -> usize {
+        self.steps.iter().filter(|s| s.kernel().is_some()).count()
+    }
+
+    /// Multi-line match/lower report for `gnnone-prof fuse`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!("  step {i}: {}\n", s.describe()));
+        }
+        out.push_str(&format!(
+            "  {} step(s), {} launch(es){}\n",
+            self.steps.len(),
+            self.launches(),
+            if self.fused() { ", fused" } else { "" }
+        ));
+        out
+    }
+}
+
+/// Verifies `g` and lowers it into a [`Plan`].
+pub fn lower(g: &IrGraph, opts: LowerOptions) -> Result<Plan, IrError> {
+    g.verify()?;
+    let n = g.nodes().len();
+    // consumed[i]: node folded into a recorded pattern — emit nothing.
+    let mut consumed = vec![false; n];
+    // recorded[i]: the step to emit when reaching node i.
+    let mut recorded: Vec<Option<Step>> = vec![None; n];
+
+    // A node can be folded into a producer-consumer pattern only if the
+    // pattern's consumer is its sole reader and it is not an output.
+    let foldable = |id: ValueId| g.use_count(id) == 1 && !g.is_output(id);
+
+    // Pass 1 (gated): the fused GAT pattern, rooted at aggregate_sum.
+    if opts.fuse {
+        for i in 0..n {
+            let root = &g.nodes()[i];
+            if root.op != OpKind::AggregateSum {
+                continue;
+            }
+            let m_id = root.inputs[0];
+            let m = g.node(m_id);
+            if m.op != OpKind::UMulE || !foldable(m_id) {
+                continue;
+            }
+            let (z_id, a_id) = (m.inputs[0], m.inputs[1]);
+            let a = g.node(a_id);
+            if a.op != OpKind::EdgeSoftmax {
+                continue;
+            }
+            // α may feed other readers only by also being an output.
+            let alpha_out = g.is_output(a_id);
+            if g.use_count(a_id) != if alpha_out { 2 } else { 1 } {
+                continue;
+            }
+            let lg_id = a.inputs[0];
+            let lg = g.node(lg_id);
+            let OpKind::LeakyRelu { slope } = lg.op else {
+                continue;
+            };
+            if !foldable(lg_id) {
+                continue;
+            }
+            let raw_id = lg.inputs[0];
+            let raw = g.node(raw_id);
+            if raw.op != OpKind::UAddV || !foldable(raw_id) {
+                continue;
+            }
+            if g.node(z_id).dim != Dim::F {
+                continue;
+            }
+            // u_add_v(a, b): a is the source-side term (the kernel's er),
+            // b the destination-side term (el).
+            let (er, el) = (raw.inputs[0], raw.inputs[1]);
+            for &mid in &[m_id, a_id, lg_id, raw_id] {
+                consumed[mid.0] = true;
+            }
+            recorded[i] = Some(Step::FusedGat {
+                slope,
+                z: z_id,
+                el,
+                er,
+                y: ValueId(i),
+                alpha: if alpha_out { Some(a_id) } else { None },
+            });
+        }
+    }
+
+    // Pass 2 (unconditional): aggregate folds.
+    for i in 0..n {
+        if recorded[i].is_some() || consumed[i] {
+            continue;
+        }
+        let root = &g.nodes()[i];
+        if root.op != OpKind::AggregateSum {
+            continue;
+        }
+        let m_id = root.inputs[0];
+        if consumed[m_id.0] || !foldable(m_id) {
+            continue;
+        }
+        let m = g.node(m_id);
+        match m.op {
+            OpKind::UMulE => {
+                consumed[m_id.0] = true;
+                recorded[i] = Some(Step::Spmm {
+                    w: m.inputs[1],
+                    x: m.inputs[0],
+                    out: ValueId(i),
+                });
+            }
+            OpKind::CopyU => {
+                consumed[m_id.0] = true;
+                recorded[i] = Some(Step::SpmmOnes {
+                    x: m.inputs[0],
+                    out: ValueId(i),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: emit in definition order; unmatched ops get their default
+    // single-launch or host-fallback step.
+    let mut steps = Vec::new();
+    for i in 0..n {
+        if consumed[i] {
+            continue;
+        }
+        if let Some(s) = recorded[i].take() {
+            steps.push(s);
+            continue;
+        }
+        let node = &g.nodes()[i];
+        let out = ValueId(i);
+        let step = match node.op {
+            OpKind::Input => continue,
+            // u_dot_v(x, y): x is the source side (COO cols), y the
+            // destination side (COO rows) — the EdgeDot reduction dots
+            // X[row] with Y[col], so the operands swap.
+            OpKind::UDotV => Step::Sddmm {
+                x: node.inputs[1],
+                y: node.inputs[0],
+                out,
+            },
+            OpKind::UAddV => Step::UAddV {
+                el: node.inputs[1],
+                er: node.inputs[0],
+                out,
+            },
+            OpKind::LeakyRelu { slope } => Step::HostLeakyRelu {
+                slope,
+                x: node.inputs[0],
+                out,
+            },
+            OpKind::EdgeSoftmax => Step::HostEdgeSoftmax {
+                x: node.inputs[0],
+                out,
+            },
+            OpKind::CopyU => Step::HostCopyU {
+                x: node.inputs[0],
+                out,
+            },
+            OpKind::CopyV => Step::HostCopyV {
+                x: node.inputs[0],
+                out,
+            },
+            OpKind::UMulE => Step::HostUMulE {
+                x: node.inputs[0],
+                e: node.inputs[1],
+                out,
+            },
+            OpKind::AggregateSum => Step::HostAggregate {
+                max: false,
+                e: node.inputs[0],
+                out,
+            },
+            OpKind::AggregateMax => Step::HostAggregate {
+                max: true,
+                e: node.inputs[0],
+                out,
+            },
+        };
+        steps.push(step);
+    }
+    Ok(Plan { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::*;
+    use super::*;
+
+    #[test]
+    fn gat_chain_lowers_to_one_fused_launch() {
+        let g = gat_attention_graph(0.2);
+        let plan = lower(&g, LowerOptions::default()).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.fused());
+        assert_eq!(plan.launches(), 1);
+        let Step::FusedGat {
+            slope,
+            alpha,
+            el,
+            er,
+            ..
+        } = &plan.steps[0]
+        else {
+            panic!("expected fused step, got {:?}", plan.steps);
+        };
+        assert_eq!(*slope, 0.2);
+        assert!(alpha.is_some());
+        // att_src is the source-side term (er), att_dst the
+        // destination-side term (el).
+        assert_eq!(*er, g.find_input("att_src").unwrap());
+        assert_eq!(*el, g.find_input("att_dst").unwrap());
+    }
+
+    #[test]
+    fn gat_chain_without_fusion_falls_back_to_four_steps() {
+        let g = gat_attention_graph(0.2);
+        let plan = lower(&g, LowerOptions { fuse: false }).unwrap();
+        assert!(!plan.fused());
+        assert_eq!(plan.steps.len(), 4);
+        assert!(matches!(plan.steps[0], Step::UAddV { .. }));
+        assert!(matches!(plan.steps[1], Step::HostLeakyRelu { .. }));
+        assert!(matches!(plan.steps[2], Step::HostEdgeSoftmax { .. }));
+        assert!(matches!(plan.steps[3], Step::Spmm { .. }));
+        assert_eq!(plan.launches(), 2);
+    }
+
+    #[test]
+    fn aggregate_folds_always_fire() {
+        let plan = lower(&spmm_graph(), LowerOptions { fuse: false }).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(plan.steps[0], Step::Spmm { .. }));
+
+        let plan = lower(&copy_u_sum_graph(), LowerOptions::default()).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(plan.steps[0], Step::SpmmOnes { .. }));
+
+        let plan = lower(&sddmm_graph(), LowerOptions::default()).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(plan.steps[0], Step::Sddmm { .. }));
+    }
+
+    #[test]
+    fn dot_attention_uses_the_unfused_fallback() {
+        let plan = lower(&dot_attention_graph(), LowerOptions::default()).unwrap();
+        assert!(!plan.fused());
+        assert_eq!(plan.steps.len(), 3);
+        assert!(matches!(plan.steps[0], Step::Sddmm { .. }));
+        assert!(matches!(plan.steps[1], Step::HostEdgeSoftmax { .. }));
+        assert!(matches!(plan.steps[2], Step::Spmm { .. }));
+        assert_eq!(plan.launches(), 2);
+    }
+
+    #[test]
+    fn alpha_escaping_to_a_non_output_reader_blocks_fusion() {
+        // α feeding a second interior reader cannot be folded away.
+        let mut g = IrGraph::new("gat_alpha_reader");
+        let att_src = g.input("att_src", Space::Vertex, Dim::One);
+        let att_dst = g.input("att_dst", Space::Vertex, Dim::One);
+        let z = g.input("z", Space::Vertex, Dim::F);
+        let raw = g.u_add_v(att_src, att_dst);
+        let logits = g.leaky_relu(raw, 0.2);
+        let alpha = g.edge_softmax(logits);
+        let msg = g.u_mul_e(z, alpha);
+        let y = g.aggregate_sum(msg);
+        let alpha2 = g.leaky_relu(alpha, 0.5);
+        g.mark_output(y);
+        g.mark_output(alpha2);
+        let plan = lower(&g, LowerOptions::default()).unwrap();
+        assert!(!plan.fused());
+    }
+
+    #[test]
+    fn plan_report_names_the_pipelines() {
+        let plan = lower(&gat_attention_graph(0.2), LowerOptions::default()).unwrap();
+        let report = plan.describe();
+        assert!(report.contains("RowSoftmaxGat"), "{report}");
+        assert!(report.contains("fused"), "{report}");
+    }
+}

@@ -19,6 +19,10 @@
 //!   interfaces the benchmark harness drives.
 //! * [`geometry`] — thread-group geometry shared by all kernels.
 //! * [`graph`] — device-resident graph tensors ([`GraphData`]).
+//! * [`ir`] — the fusion IR: edge/vertex dataflow graphs verified for
+//!   scope/shape and lowered into single `TwoStagePipeline` launches
+//!   (the registry's fused and edge-apply entries are IR-lowered
+//!   instances); see `docs/FUSION_IR.md`.
 //! * [`registry`] — constructs every implementation by name.
 //! * [`sanitize`] — registry-wide sanitizer sweep (the simulator's
 //!   `compute-sanitizer` workflow over every shipped kernel).
@@ -64,6 +68,7 @@ pub mod baselines;
 pub mod geometry;
 pub mod gnnone;
 pub mod graph;
+pub mod ir;
 pub mod registry;
 pub mod sanitize;
 pub mod traits;

@@ -8,11 +8,9 @@ use crate::baselines::{
     FeatGraphSpmm, GeSpmm, GnnAdvisorSpmm, HuangSpmm, MergeSpmv, RowBinningSpmm, SputnikSddmm,
     SputnikSpmm, YangSpmm,
 };
-use crate::gnnone::{
-    FusedGatAttention, GnnOneConfig, GnnOneCsrSpmm, GnnOneSddmm, GnnOneSpmm, GnnOneSpmv,
-    GnnOneUAddV,
-};
+use crate::gnnone::{GnnOneConfig, GnnOneCsrSpmm, GnnOneSddmm, GnnOneSpmm, GnnOneSpmv};
 use crate::graph::GraphData;
+use crate::ir::{IrFusedGat, IrUAddV};
 use crate::traits::{EdgeApplyKernel, FusedAttentionKernel, SddmmKernel, SpmmKernel, SpmvKernel};
 
 /// All SDDMM systems of Fig. 3, GNNOne first.
@@ -75,13 +73,22 @@ pub fn spmm_format_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn SpmmKernel>> {
 }
 
 /// Edge-apply SDDMM variants (§4.3), e.g. GAT's `u_add_v` logits.
+///
+/// The entry is the IR-lowered [`IrUAddV`] (same name, format and launch
+/// as the hand-built `GnnOneUAddV`), so every sanitizer/chaos/verify/bench
+/// sweep over this registry exercises an IR-lowered launch.
 pub fn edge_apply_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn EdgeApplyKernel>> {
-    vec![Box::new(GnnOneUAddV::new(Arc::clone(graph)))]
+    vec![Box::new(IrUAddV::new(Arc::clone(graph)))]
 }
 
 /// Fused-attention kernels (§5.3.2's future-work direction).
+///
+/// The entry is the IR-lowered [`IrFusedGat`] — the `u_add_v → leaky_relu
+/// → edge_softmax → aggregate` chain pattern-matched into the single
+/// `RowSoftmaxGat` launch — byte-identical to the hand-built
+/// `FusedGatAttention` (pinned by `tests/fusion_ir.rs`).
 pub fn fused_kernels(graph: &Arc<GraphData>) -> Vec<Box<dyn FusedAttentionKernel>> {
-    vec![Box::new(FusedGatAttention::new(Arc::clone(graph), 0.2))]
+    vec![Box::new(IrFusedGat::new(Arc::clone(graph), 0.2))]
 }
 
 /// Fig. 8's SDDMM ablation ladder as `(column label, kernel)` pairs, full
@@ -117,6 +124,21 @@ pub fn spmm_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn SpmmKe
     spmm_kernels(graph)
         .into_iter()
         .chain(spmm_discussion_kernels(graph))
+        .chain(spmm_format_kernels(graph))
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Looks up one edge-apply variant by its registry name.
+pub fn edge_apply_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn EdgeApplyKernel>> {
+    edge_apply_kernels(graph)
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Looks up one fused-attention kernel by its registry name.
+pub fn fused_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn FusedAttentionKernel>> {
+    fused_kernels(graph)
+        .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(name))
 }
 
@@ -193,6 +215,11 @@ mod tests {
         let g = graph();
         assert!(sddmm_by_name(&g, "sputnik").is_some());
         assert!(spmm_by_name(&g, "Yang et al.").is_some());
+        assert!(spmm_by_name(&g, "gnnone-csr").is_some());
         assert!(spmm_by_name(&g, "nope").is_none());
+        assert!(edge_apply_by_name(&g, "gnnone-uaddv").is_some());
+        assert!(edge_apply_by_name(&g, "nope").is_none());
+        assert!(fused_by_name(&g, "fusedgat").is_some());
+        assert!(fused_by_name(&g, "nope").is_none());
     }
 }

@@ -89,6 +89,12 @@ impl Tape {
         &self.nodes[id].value
     }
 
+    /// Whether a node requires (or propagates) a gradient — `false` for
+    /// no-grad leaves like constant edge weights.
+    pub fn requires_grad(&self, id: VarId) -> bool {
+        self.nodes[id].requires_grad
+    }
+
     /// Shared handle to a node's value (for saving in ops).
     pub fn value_rc(&self, id: VarId) -> Rc<Tensor> {
         Rc::clone(&self.nodes[id].value)
