@@ -21,6 +21,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env()?;
+    runner::require_unsharded(&opts, "ext_fused_gat")?;
     let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach_backend(&backend);

@@ -14,6 +14,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), gnnone_sim::GnnOneError> {
     let opts = cli::from_env()?;
+    runner::require_unsharded(&opts, "ext_spmv_classes")?;
     let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach_backend(&backend);

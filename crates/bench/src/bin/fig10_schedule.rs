@@ -21,6 +21,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     if opts.dims == vec![6, 16, 32, 64] {
         opts.dims = vec![32];
     }
+    runner::require_unsharded(&opts, "fig10_schedule")?;
     let backend = runner::backend_from_options(&opts)?;
     let prof = profiling::Profiler::from_opts(&opts);
     prof.attach_backend(&backend);

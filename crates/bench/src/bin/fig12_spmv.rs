@@ -29,9 +29,16 @@ fn run() -> Result<(), GnnOneError> {
     let mut table = Table::new("Fig 12: SpMV", &["GnnOne", "Merge-SpMV"]);
     for spec in runner::selected_specs(&opts) {
         let ld = runner::load(&spec, opts.scale);
+        let sharded = match opts.shards {
+            Some(k) => Some(runner::sharded_executor(&opts, &ld, k)?),
+            None => None,
+        };
         let cells = registry::spmv_kernels(&ld.graph)
             .iter()
-            .map(|k| runner::run_spmv_guarded(&backend, k.as_ref(), &ld, &mut guard))
+            .map(|k| match &sharded {
+                Some(exec) => runner::run_spmv_sharded(&mut guard, exec, k.name(), &ld),
+                None => runner::run_spmv_guarded(&backend, k.as_ref(), &ld, &mut guard),
+            })
             .collect();
         table.push_row(spec.id, cells);
     }

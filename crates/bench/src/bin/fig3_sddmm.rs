@@ -40,6 +40,10 @@ fn run() -> Result<(), GnnOneError> {
         );
         for spec in &specs {
             let ld = runner::load(spec, opts.scale);
+            let sharded = match opts.shards {
+                Some(k) => Some(runner::sharded_executor(&opts, &ld, k)?),
+                None => None,
+            };
             let mut cells = Vec::new();
             for kernel in registry::sddmm_kernels(&ld.graph) {
                 // Sputnik's |V|²-shaped grid and cuSPARSE's workspace
@@ -50,6 +54,8 @@ fn run() -> Result<(), GnnOneError> {
                     && spec.paper_vertices > SDDMM_VERTEX_ERROR_THRESHOLD;
                 let cell = if fails_at_paper_scale {
                     Cell::Err("ERR".into())
+                } else if let Some(exec) = &sharded {
+                    runner::run_sddmm_sharded(&mut guard, exec, kernel.name(), &ld, dim)
                 } else {
                     runner::run_sddmm_guarded(&backend, kernel.as_ref(), &ld, dim, &mut guard)
                 };

@@ -40,9 +40,16 @@ fn run() -> Result<(), GnnOneError> {
         );
         for spec in &specs {
             let ld = runner::load(spec, opts.scale);
+            let sharded = match opts.shards {
+                Some(k) => Some(runner::sharded_executor(&opts, &ld, k)?),
+                None => None,
+            };
             let cells = registry::spmm_kernels(&ld.graph)
                 .iter()
-                .map(|k| runner::run_spmm_guarded(&backend, k.as_ref(), &ld, dim, &mut guard))
+                .map(|k| match &sharded {
+                    Some(exec) => runner::run_spmm_sharded(&mut guard, exec, k.name(), &ld, dim),
+                    None => runner::run_spmm_guarded(&backend, k.as_ref(), &ld, dim, &mut guard),
+                })
                 .collect();
             table.push_row(spec.id, cells);
         }

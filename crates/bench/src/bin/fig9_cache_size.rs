@@ -40,6 +40,7 @@ fn run() -> Result<(), gnnone_sim::GnnOneError> {
     // (the A and B of a `gnnone-prof diff`); one shared trace timeline.
     // The observability flags are sim-only (CLI validation rejects them
     // with `--backend native`), so the attach sites can assume a device.
+    runner::require_unsharded(&opts, "fig9_cache_size")?;
     let backend128 = runner::backend_from_options(&opts)?;
     let backend32 = runner::backend_from_options(&opts)?;
     let session = opts.trace.as_ref().map(|_| {

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         Some("verify") => verify_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
+        Some("shard") => shard_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("fuse") => fuse_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
@@ -59,7 +60,8 @@ fn main() -> ExitCode {
             usage();
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
                  trace <trace.json> | sanitize [flags] | verify [flags] | \
-                 fuzz [flags] | chaos [flags] | bench [flags] | fuse [flags]"
+                 fuzz [flags] | chaos [flags] | shard [flags] | bench [flags] | \
+                 fuse [flags]"
                 .to_string())
         }
     };
@@ -84,7 +86,10 @@ fn usage() {
          gnnone-prof fuzz [--seed N|0xHEX] [--sanitize] [--datasets G0,G3] \
          [--f 8] [--out report.json]\n  \
          gnnone-prof chaos [--seed N|0xHEX] [--datasets G0,G5] [--f 8] \
-         [--schedule-seeds 8] [--out report.json]\n  \
+         [--schedule-seeds 8] [--kernels GnnOne,FusedGAT] [--out report.json]\n  \
+         gnnone-prof shard [--seed N|0xHEX] [--datasets G0,G5] [--f 8] \
+         [--shards 2,4,8] [--seeds 8] [--threads N] \
+         [--kernels GnnOne,FusedGAT] [--out report.json]\n  \
          gnnone-prof bench [--scale tiny|small|medium] [--datasets G0,G5] \
          [--f 32] [--threads N] [--warmup 2] [--repeats 5] \
          [--kernels FusedGAT,GnnOne-UAddV] [--out BENCH_NATIVE.json]\n  \
@@ -205,6 +210,13 @@ fn chaos_cmd(args: &[String]) -> Result<(), String> {
                     "bad --schedule-seeds (expected a non-negative integer)".to_string()
                 })?;
             }
+            "--kernels" => {
+                opts.kernels = value("--kernels")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--out" => out = Some(value("--out")?),
             other => return Err(format!("unknown chaos flag `{other}`")),
         }
@@ -258,6 +270,155 @@ fn chaos_cmd(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("chaos sweep clean — every injected fault detected, masked, or declined");
+    Ok(())
+}
+
+/// `shard` — the shard-fault sweep: every selected registry kernel runs
+/// shard-by-shard under injected shard faults, and every recovered run
+/// must be bitwise identical to the fault-free unsharded launch.
+fn shard_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_bench::shard::{run_shard_sweep, ShardOpts, ShardVerdict};
+
+    let mut opts = ShardOpts::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_seed(&value("--seed")?)?,
+            "--datasets" => {
+                opts.dataset_ids = value("--datasets")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--f" => {
+                opts.f = value("--f")?
+                    .parse()
+                    .map_err(|_| "bad --f (expected a positive integer)".to_string())?;
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim().parse::<usize>().ok().filter(|&k| k >= 1).ok_or(
+                            "bad --shards (expected comma-separated integers >= 1)".to_string(),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "bad --seeds (expected a positive integer)".to_string())?;
+            }
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads (expected a positive integer)".to_string())?;
+                if t == 0 {
+                    return Err("--threads must be >= 1".to_string());
+                }
+                opts.threads = Some(t);
+            }
+            "--kernels" => {
+                opts.kernels = value("--kernels")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown shard flag `{other}`")),
+        }
+    }
+
+    println!(
+        "shard: base seed {:#x}, datasets [{}], f {}, K {:?}, {} seed(s)/cell",
+        opts.seed,
+        opts.dataset_ids.join(", "),
+        opts.f,
+        opts.shards,
+        opts.seeds
+    );
+    let report = run_shard_sweep(&opts).map_err(|e| e.to_string())?;
+    println!("partition balance:");
+    let rows: Vec<Vec<String>> = report
+        .partitions
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                p.stats.shards.to_string(),
+                p.stats.max_nnz.to_string(),
+                p.stats.min_nnz.to_string(),
+                format!("{:.1}", p.stats.avg_nnz),
+                format!("{:.3}", p.stats.imbalance),
+                p.stats.empty_shards.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "dataset",
+            "K",
+            "max_nnz",
+            "min_nnz",
+            "avg_nnz",
+            "imbalance",
+            "empty",
+        ],
+        &rows,
+    );
+    print!("{}", report.recovery_matrix());
+    let parity_ok = report.parity.iter().filter(|p| p.identical).count();
+    println!(
+        "fault-free parity: {}/{} (kernel, K) cells bitwise identical to the \
+         unsharded run",
+        parity_ok,
+        report.parity.len()
+    );
+    println!(
+        "{} run(s): {} recovered-identical, {} not-injected, {} declined, \
+         {} errors, {} SILENT",
+        report.cells.len(),
+        report.verdict_count(ShardVerdict::RecoveredIdentical),
+        report.verdict_count(ShardVerdict::CleanNotInjected),
+        report.verdict_count(ShardVerdict::DegradedDeclined),
+        report.verdict_count(ShardVerdict::UnexpectedError),
+        report.verdict_count(ShardVerdict::SilentCorruption),
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report: {path}");
+    }
+    if !report.clean() {
+        for v in report.violations() {
+            eprintln!("  VIOLATION {v}");
+            eprintln!("    reproduce: {}", v.reproduce());
+        }
+        for p in report.parity.iter().filter(|p| !p.identical) {
+            eprintln!(
+                "  PARITY {} ({}) on {} at K={}: {}",
+                p.kernel, p.family, p.dataset, p.shards, p.detail
+            );
+        }
+        return Err(format!(
+            "shard sweep failed — reproduce with --seed {:#x}",
+            report.seed
+        ));
+    }
+    println!(
+        "shard sweep clean — every injected shard fault recovered \
+         bitwise-identically from its checkpoint"
+    );
     Ok(())
 }
 

@@ -56,6 +56,9 @@ pub struct ChaosOpts {
     pub f: usize,
     /// Number of schedule-chaos seeds to assert bit-identity across.
     pub schedule_seeds: u32,
+    /// Case-insensitive registry kernel names to sweep (`--kernels`);
+    /// empty means every registry kernel.
+    pub kernels: Vec<String>,
 }
 
 impl Default for ChaosOpts {
@@ -65,8 +68,14 @@ impl Default for ChaosOpts {
             dataset_ids: vec!["G0".to_string()],
             f: 8,
             schedule_seeds: 8,
+            kernels: Vec::new(),
         }
     }
+}
+
+/// `true` when the `--kernels` filter (empty = everything) selects `name`.
+pub(crate) fn kernel_selected(filter: &[String], name: &str) -> bool {
+    filter.is_empty() || filter.iter().any(|want| want.eq_ignore_ascii_case(name))
 }
 
 /// One classified fault-injection run. Rerunning the same
@@ -405,6 +414,8 @@ fn sweep_dataset(ds: &Dataset, opts: &ChaosOpts, report: &mut ChaosReport) {
         });
     }
 
+    probes.retain(|p| kernel_selected(&opts.kernels, &p.name));
+
     let dataset = ds.spec.id.to_string();
 
     // --- fault lattice ---------------------------------------------------
@@ -566,6 +577,26 @@ mod tests {
         // The determinism contract: ≥ 8 seeds, all bit-identical.
         assert!(report.schedule.len() >= 12);
         assert!(report.schedule.iter().all(|s| s.seeds_checked >= 8));
+    }
+
+    #[test]
+    fn kernels_filter_restricts_the_sweep() {
+        let opts = ChaosOpts {
+            kernels: vec!["gnnone".to_string()],
+            schedule_seeds: 1,
+            ..Default::default()
+        };
+        let report = run_chaos(&opts).unwrap();
+        assert!(!report.cells.is_empty());
+        assert!(report.cells.len() < 21 * FaultKind::lattice().len());
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.kernel.eq_ignore_ascii_case("GnnOne")));
+        assert!(report
+            .schedule
+            .iter()
+            .all(|s| s.kernel.eq_ignore_ascii_case("GnnOne")));
     }
 
     #[test]

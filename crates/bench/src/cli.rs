@@ -59,6 +59,21 @@ pub struct Options {
     /// be byte-identical to a detached run — that is the determinism
     /// contract the flag exists to exercise. `None` leaves chaos detached.
     pub chaos: Option<u64>,
+    /// Sharded execution (`--shards K`): run each supporting figure's
+    /// kernels through the fault-tolerant [`ShardedExecutor`] over a K-way
+    /// row-aligned partition — K simulated devices on `--backend sim`,
+    /// K rayon pools on `--backend native`. `K = 1` must be byte-identical
+    /// to the unsharded run. Figures without a sharded path reject the
+    /// flag, as do the sim-attached observability flags (`--trace`,
+    /// `--metrics`, `--chaos`), which cannot follow launches onto the
+    /// multi-device topology.
+    ///
+    /// [`ShardedExecutor`]: gnnone_kernels::shard::ShardedExecutor
+    pub shards: Option<usize>,
+    /// Kernel-name filter (`--kernels GnnOne,Sputnik`), case-insensitive;
+    /// empty = every registry kernel. Honoured by the `gnnone-prof`
+    /// sweeps (`bench`, `chaos`, `verify`, `shard`).
+    pub kernels: Vec<String>,
 }
 
 impl Default for Options {
@@ -77,6 +92,8 @@ impl Default for Options {
             sanitize: None,
             verify: false,
             chaos: None,
+            shards: None,
+            kernels: Vec::new(),
         }
     }
 }
@@ -154,6 +171,23 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
                     config_error(format!("--chaos expects an integer seed, got `{v}`"))
                 })?);
             }
+            "--shards" => {
+                let v = take("--shards")?;
+                let shards: usize = v
+                    .parse()
+                    .map_err(|_| config_error(format!("--shards expects an integer, got `{v}`")))?;
+                if shards == 0 {
+                    return Err(config_error("--shards must be >= 1"));
+                }
+                opts.shards = Some(shards);
+            }
+            "--kernels" => {
+                opts.kernels = take("--kernels")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
             "--out" => opts.out = Some(take("--out")?),
             "--plain-out" => opts.plain_out = Some(take("--plain-out")?),
             "--trace" => opts.trace = Some(take("--trace")?),
@@ -169,7 +203,9 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, GnnOneError>
                      --metrics metrics.json (sim only)  \
                      --sanitize sanitize.json (dynamic on sim, static on native)  \
                      --verify (static pre-launch verification, both backends)  \
-                     --chaos SEED (sim only)"
+                     --chaos SEED (sim only)  \
+                     --shards K (sharded execution, fig3/fig4/fig12)  \
+                     --kernels A,B (name filter, gnnone-prof sweeps)"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +241,22 @@ fn validate(opts: &Options) -> Result<(), GnnOneError> {
         return Err(config_error(
             "--threads sizes the native worker pool; it requires --backend native",
         ));
+    }
+    if opts.shards.is_some() {
+        let sim_attached = [
+            ("--trace", opts.trace.is_some()),
+            ("--metrics", opts.metrics.is_some()),
+            ("--chaos", opts.chaos.is_some()),
+        ];
+        for (flag, given) in sim_attached {
+            if given {
+                return Err(config_error(format!(
+                    "{flag} attaches to a single simulator device and cannot \
+                     follow launches onto the --shards multi-device topology; \
+                     use `gnnone-prof shard` for sharded fault injection"
+                )));
+            }
+        }
     }
     Ok(())
 }
@@ -351,6 +403,32 @@ mod tests {
         assert_eq!(o.sanitize.as_deref(), Some("s.json"));
         let o = parse(argv("--backend native --verify")).unwrap();
         assert!(o.verify);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        assert!(parse(argv("")).unwrap().shards.is_none());
+        assert_eq!(parse(argv("--shards 4")).unwrap().shards, Some(4));
+        let o = parse(argv("--backend native --threads 2 --shards 2")).unwrap();
+        assert_eq!(o.shards, Some(2));
+        expect_config(parse(argv("--shards 0")), "--shards must be >= 1");
+        expect_config(parse(argv("--shards few")), "--shards expects an integer");
+        for flags in [
+            "--shards 2 --trace t.json",
+            "--shards 2 --metrics m.json",
+            "--shards 2 --chaos 7",
+        ] {
+            expect_config(parse(argv(flags)), "multi-device topology");
+        }
+    }
+
+    #[test]
+    fn kernels_filter_parses_names() {
+        assert!(parse(argv("")).unwrap().kernels.is_empty());
+        let o = parse(argv("--kernels GnnOne,Sputnik")).unwrap();
+        assert_eq!(o.kernels, vec!["GnnOne", "Sputnik"]);
+        let o = parse(argv("--kernels GnnOne,")).unwrap();
+        assert_eq!(o.kernels, vec!["GnnOne"]);
     }
 
     #[test]

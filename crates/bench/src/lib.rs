@@ -13,7 +13,11 @@
 //!   `docs/PROFILING.md`); results are inspected with the `gnnone-prof`
 //!   binary;
 //! * [`verify`] — `--verify` static pre-launch verification wiring (see
-//!   `docs/STATIC_ANALYSIS.md`).
+//!   `docs/STATIC_ANALYSIS.md`);
+//! * [`shard`] — the shard-fault sweep behind `gnnone-prof shard`:
+//!   every registry kernel × shard count × shard fault × seed, with
+//!   bitwise recovery acceptance against the fault-free unsharded run
+//!   (see `docs/ROBUSTNESS.md` §7).
 //!
 //! ## Device scaling
 //!
@@ -34,6 +38,7 @@ pub mod native;
 pub mod profiling;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod verify;
 
 use gnnone_sim::{GnnOneError, GpuSpec};

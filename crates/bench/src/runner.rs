@@ -14,6 +14,8 @@ use std::sync::Arc;
 
 use gnnone_kernels::backend::{Backend, BackendKind, NativeEngine};
 use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::registry;
+use gnnone_kernels::shard::{RetryPolicy, ShardTopology, ShardedExecutor};
 use gnnone_sim::engine::LaunchError;
 use gnnone_sim::jsonio::Json;
 use gnnone_sim::{DeviceBuffer, GnnOneError, Gpu};
@@ -53,6 +55,7 @@ pub fn backend_from_options(opts: &Options) -> Result<Backend, GnnOneError> {
 /// Honours `--verify` the same way [`backend_from_options`] does, so
 /// sim-only figures get the static preflight too.
 pub fn require_sim_backend(opts: &Options, figure: &str) -> Result<(), GnnOneError> {
+    require_unsharded(opts, figure)?;
     if opts.backend == BackendKind::Native {
         return Err(GnnOneError::Config {
             detail: format!(
@@ -201,6 +204,130 @@ pub fn run_spmv(
     }
 }
 
+/// Rejects `--shards` for figures without a sharded execution path.
+///
+/// Only the kernel-sweep figures (fig3, fig4, fig12) route launches
+/// through the [`gnnone_kernels::shard::ShardedExecutor`]; everywhere
+/// else the flag would silently change nothing, so it is a structured
+/// configuration error instead.
+pub fn require_unsharded(opts: &Options, figure: &str) -> Result<(), GnnOneError> {
+    if opts.shards.is_some() {
+        return Err(GnnOneError::Config {
+            detail: format!(
+                "{figure} has no sharded execution path; --shards is \
+                 supported by fig3, fig4 and fig12 (and `gnnone-prof shard`)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the shard topology the options ask for: `K` simulated devices
+/// on the figure-standard GPU spec for `--backend sim`, or `K` rayon
+/// pools splitting `--threads` (default one thread per shard) for
+/// `--backend native`.
+pub fn shard_topology(opts: &Options, shards: usize) -> Result<ShardTopology, GnnOneError> {
+    match opts.backend {
+        BackendKind::Sim => Ok(ShardTopology::sim(figure_gpu_spec(), shards)),
+        BackendKind::Native => {
+            let total = opts.threads.unwrap_or(shards);
+            ShardTopology::native(total, shards)
+        }
+    }
+}
+
+/// Builds a supervised sharded executor over one loaded dataset, with the
+/// retry policy mirrored from the figure sweep guard defaults so a
+/// quarantined shard record reads the same as an unsharded one.
+pub fn sharded_executor(
+    opts: &Options,
+    ld: &LoadedDataset,
+    shards: usize,
+) -> Result<ShardedExecutor, GnnOneError> {
+    let topo = shard_topology(opts, shards)?;
+    let mut exec = ShardedExecutor::new(Arc::clone(&ld.graph), shards, topo)?;
+    exec.set_policy(RetryPolicy {
+        max_attempts: SweepGuard::DEFAULT_MAX_ATTEMPTS,
+        backoff_base_ms: 0,
+    });
+    Ok(exec)
+}
+
+/// Runs one registry SDDMM system shard-by-shard (same feature seeds as
+/// [`run_sddmm`], so `--shards 1` is byte-identical to the unsharded
+/// sweep); failures quarantine with the shard id and retry schedule.
+pub fn run_sddmm_sharded(
+    guard: &mut SweepGuard,
+    exec: &ShardedExecutor,
+    name: &str,
+    ld: &LoadedDataset,
+    f: usize,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = vertex_features(n, f, 11);
+    let y = vertex_features(n, f, 13);
+    match exec.run_sddmm(
+        &|g| expect_kernel(registry::sddmm_by_name(g, name), name),
+        &x,
+        &y,
+        f,
+    ) {
+        Ok((_, report)) => Cell::Ms(report.time_ms),
+        Err(e) => guard.quarantine_sharded(name, ld.spec.id, e),
+    }
+}
+
+/// Runs one registry SpMM system shard-by-shard (seeds match
+/// [`run_spmm`]).
+pub fn run_spmm_sharded(
+    guard: &mut SweepGuard,
+    exec: &ShardedExecutor,
+    name: &str,
+    ld: &LoadedDataset,
+    f: usize,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = vertex_features(n, f, 17);
+    let w = edge_values(ld.graph.nnz(), 19);
+    match exec.run_spmm(
+        &|g| expect_kernel(registry::spmm_by_name(g, name), name),
+        &w,
+        &x,
+        f,
+    ) {
+        Ok((_, report)) => Cell::Ms(report.time_ms),
+        Err(e) => guard.quarantine_sharded(name, ld.spec.id, e),
+    }
+}
+
+/// Runs one registry SpMV system shard-by-shard (seeds match
+/// [`run_spmv`]).
+pub fn run_spmv_sharded(
+    guard: &mut SweepGuard,
+    exec: &ShardedExecutor,
+    name: &str,
+    ld: &LoadedDataset,
+) -> Cell {
+    let n = ld.graph.num_vertices();
+    let x = vertex_features(n, 1, 23);
+    let w = edge_values(ld.graph.nnz(), 29);
+    match exec.run_spmv(
+        &|g| expect_kernel(registry::spmv_by_name(g, name), name),
+        &w,
+        &x,
+    ) {
+        Ok((_, report)) => Cell::Ms(report.time_ms),
+        Err(e) => guard.quarantine_sharded(name, ld.spec.id, e),
+    }
+}
+
+fn expect_kernel<T>(found: Option<T>, name: &str) -> T {
+    match found {
+        Some(k) => k,
+        None => panic!("registry has no kernel named {name:?}"),
+    }
+}
+
 fn short_error(e: &gnnone_sim::engine::LaunchError) -> String {
     use gnnone_sim::engine::LaunchError::*;
     match e {
@@ -224,6 +351,12 @@ pub struct Quarantine {
     /// Total attempts made before quarantining (≥ 1); the cell was retried
     /// when this exceeds 1.
     pub attempts: u32,
+    /// Backoff waits (milliseconds) applied between attempts, in order —
+    /// the deterministic `base << (attempt-1)` schedule as actually run.
+    pub backoff_ms: Vec<u64>,
+    /// Shard that exhausted its retries, when the failed cell was a
+    /// sharded run; `None` for ordinary single-device cells.
+    pub shard: Option<u64>,
     /// Note from the CPU-reference fallback, when one was available —
     /// proof the figure's data could still be produced without the kernel.
     pub fallback: Option<String>,
@@ -243,6 +376,17 @@ impl Quarantine {
             ("attempts", Json::U64(self.attempts as u64)),
             ("retried", Json::Bool(self.retried())),
             (
+                "backoff_ms",
+                Json::Arr(self.backoff_ms.iter().map(|&b| Json::U64(b)).collect()),
+            ),
+            (
+                "shard",
+                match self.shard {
+                    Some(s) => Json::U64(s),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "fallback",
                 match &self.fallback {
                     Some(s) => Json::Str(s.clone()),
@@ -258,8 +402,12 @@ impl std::fmt::Display for Quarantine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} on {}: [{}] {}{}{}",
+            "{}{} on {}: [{}] {}{}{}",
             self.kernel,
+            match self.shard {
+                Some(s) => format!(" [shard {s}]"),
+                None => String::new(),
+            },
             self.dataset,
             self.error.kind(),
             self.error,
@@ -340,6 +488,7 @@ impl SweepGuard {
         F: FnOnce() -> String,
     {
         let mut attempts = 0u32;
+        let mut backoffs = Vec::new();
         loop {
             attempts += 1;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut attempt));
@@ -360,6 +509,7 @@ impl SweepGuard {
                 if backoff_ms > 0 {
                     std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
                 }
+                backoffs.push(backoff_ms);
                 continue;
             }
             let fallback = fallback.map(|f| f());
@@ -368,10 +518,40 @@ impl SweepGuard {
                 dataset: dataset.to_string(),
                 error,
                 attempts,
+                backoff_ms: backoffs,
+                shard: None,
                 fallback,
             });
             return Cell::Err(tag.to_string());
         }
+    }
+
+    /// Quarantines a failed sharded cell. The [`ShardAbort`] taxonomy
+    /// already carries the shard id and supervision attempt count, so the
+    /// record is built from the error instead of re-running anything; the
+    /// recorded backoff schedule is the guard's own deterministic
+    /// `base << (attempt - 1)` ladder for those attempts.
+    ///
+    /// [`ShardAbort`]: gnnone_sim::error::ShardAbort
+    pub fn quarantine_sharded(&mut self, kernel: &str, dataset: &str, error: GnnOneError) -> Cell {
+        let (attempts, shard, tag) = match &error {
+            GnnOneError::ShardAbort(a) => (a.attempts as u32, Some(a.shard), "ABORT"),
+            GnnOneError::Launch(_) => (1, None, "CRASH"),
+            _ => (1, None, "ERR"),
+        };
+        let backoff_ms = (1..attempts)
+            .map(|i| self.backoff_base_ms << (i - 1))
+            .collect();
+        self.quarantined.push(Quarantine {
+            kernel: kernel.to_string(),
+            dataset: dataset.to_string(),
+            error,
+            attempts,
+            backoff_ms,
+            shard,
+            fallback: None,
+        });
+        Cell::Err(tag.to_string())
     }
 
     /// Cells quarantined so far.

@@ -128,7 +128,8 @@ pub fn verify_datasets(
             for &model in models {
                 verdicts.extend(analysis::verify_graph(&ld.graph, f, model));
             }
-            let lattice = if with_lattice {
+            verdicts.retain(|v| crate::chaos::kernel_selected(&opts.kernels, &v.kernel));
+            let mut lattice: Vec<(String, KernelVerdict)> = if with_lattice {
                 analysis::verify_lattice(&ld.graph, f)
                     .into_iter()
                     .map(|(cfg, v)| (lattice_label(&cfg), v))
@@ -136,6 +137,7 @@ pub fn verify_datasets(
             } else {
                 Vec::new()
             };
+            lattice.retain(|(_, v)| crate::chaos::kernel_selected(&opts.kernels, &v.kernel));
             cells.push(DatasetVerdicts {
                 dataset: spec.id.to_string(),
                 f,
@@ -256,6 +258,24 @@ mod tests {
         assert_eq!(doc.get("all_proved"), Some(&Json::Bool(true)));
         assert!(doc.get("datasets").is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kernels_filter_restricts_the_verification_sweep() {
+        let mut opts = tiny_opts();
+        opts.kernels = vec!["gnnone".into()];
+        let cells = verify_datasets(&opts, &[ExecModel::Sim, ExecModel::Native], true).unwrap();
+        let c = &cells[0];
+        assert!(!c.verdicts.is_empty());
+        assert!(c.verdicts.len() < 42);
+        assert!(c
+            .verdicts
+            .iter()
+            .all(|v| v.kernel.eq_ignore_ascii_case("GnnOne")));
+        assert!(c
+            .lattice
+            .iter()
+            .all(|(_, v)| v.kernel.eq_ignore_ascii_case("GnnOne")));
     }
 
     #[test]

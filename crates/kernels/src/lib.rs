@@ -24,6 +24,12 @@
 //!   (the registry's fused and edge-apply entries are IR-lowered
 //!   instances); see `docs/FUSION_IR.md`.
 //! * [`registry`] — constructs every implementation by name.
+//! * [`shard`] — fault-tolerant sharded execution: nnz-balanced
+//!   row-aligned partitioning, the supervised [`shard::ShardedExecutor`]
+//!   driving any registry kernel shard-by-shard over a multi-GPU or
+//!   multi-pool topology with checksummed halo exchange, deterministic
+//!   retry, checkpointed recovery, and a statically verified
+//!   bitwise-exact merge; see `docs/ROBUSTNESS.md` §7.
 //! * [`sanitize`] — registry-wide sanitizer sweep (the simulator's
 //!   `compute-sanitizer` workflow over every shipped kernel).
 //! * [`analysis`] — the static kernel verifier: symbolic access
@@ -71,6 +77,7 @@ pub mod graph;
 pub mod ir;
 pub mod registry;
 pub mod sanitize;
+pub mod shard;
 pub mod traits;
 
 pub use backend::{Backend, BackendKind, ExecReport, NativeEngine, NativeReport};

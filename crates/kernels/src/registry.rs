@@ -128,6 +128,13 @@ pub fn spmm_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn SpmmKe
         .find(|k| k.name().eq_ignore_ascii_case(name))
 }
 
+/// Looks up one SpMV-class system by its figure label.
+pub fn spmv_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn SpmvKernel>> {
+    spmv_class_kernels(graph)
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
 /// Looks up one edge-apply variant by its registry name.
 pub fn edge_apply_by_name(graph: &Arc<GraphData>, name: &str) -> Option<Box<dyn EdgeApplyKernel>> {
     edge_apply_kernels(graph)

@@ -1,0 +1,204 @@
+//! Sharded multi-device execution: partition, halo exchange, supervised
+//! shard-by-shard launch, deterministic merge.
+//!
+//! The paper's Table 1 graphs top out at 1.9 B edges — beyond any single
+//! device — so this module runs every registry kernel family over a
+//! row-aligned K-way partition ([`gnnone_sparse::RowPartition`]):
+//!
+//! * [`partition_graph`] — nnz-balanced, row-aligned splits that reuse the
+//!   native backend's greedy block policy
+//!   ([`crate::backend::native::row_blocks`]), so sharding and CPU row
+//!   blocking share one load-balancing story.
+//! * [`shard_graphs`] — each shard materialized as a full-vertex-space
+//!   [`GraphData`] over its contiguous edge range; every registry kernel
+//!   runs on it unchanged.
+//! * [`ShardedExecutor`] — drives any SpMM / SDDMM / SpMV / edge-apply /
+//!   fused kernel shard-by-shard across a [`ShardTopology`] (a simulated
+//!   [`gnnone_sim::MultiGpu`] with modeled interconnect halo transfers, or
+//!   per-shard rayon pools on the native backend), merging shard outputs
+//!   into disjoint row/edge ranges. Because shards are row-aligned, each
+//!   row's full adjacency lives in exactly one shard, so the merged result
+//!   is **bitwise-identical** to the unsharded kernel whenever per-row
+//!   reduction order is (as on the native backend, or with integer-valued
+//!   features on either backend).
+//! * The supervision loop in [`ShardedExecutor`] adds production fault
+//!   tolerance: per-shard watchdog deadlines, bounded deterministic retry
+//!   with backoff, checksummed halo transfers, shard-output checkpoints so
+//!   a failed shard retries alone, and typed degraded-mode declines
+//!   ([`gnnone_sim::ShardAbort`]) when retries are exhausted — never a
+//!   silent zero-fill. Shard-scoped chaos
+//!   ([`gnnone_sim::chaos::ShardFaultKind`]) injects device loss, hangs,
+//!   dropped halos, and transient launch declines at seeded shards.
+//! * [`verify`] — the static merge verifier: proves each run's merge plan
+//!   writes pairwise-disjoint intervals covering the whole output, with
+//!   the analysis pass's [`crate::analysis::Verdict`] / witness machinery.
+//!
+//! See `docs/ROBUSTNESS.md` §7 for the fault model and recovery contract,
+//! and `docs/BACKENDS.md` for sharded dispatch on each backend.
+
+pub mod exec;
+pub mod verify;
+
+pub use exec::{RetryPolicy, ShardTopology, ShardedExecutor, ShardedReport};
+pub use verify::{check_merge, merge_write_intervals, verify_merge, MergeTarget};
+
+use std::sync::Arc;
+
+use gnnone_sim::ValidationError;
+use gnnone_sparse::formats::Coo;
+use gnnone_sparse::{RowPartition, ShardSpec};
+
+use crate::backend::native::row_blocks;
+use crate::graph::GraphData;
+
+/// Builds an nnz-balanced, row-aligned K-way partition of `graph`, reusing
+/// the native backend's greedy block policy: rows are accumulated into a
+/// shard until it holds ~`nnz / k` edges. When the greedy pass produces
+/// more than `k` blocks the tail blocks fold into the last shard; when the
+/// graph has fewer nonempty rows than `k`, trailing shards come back empty
+/// (legal, and visible in [`gnnone_sparse::PartitionStats`]).
+pub fn partition_graph(graph: &GraphData, k: usize) -> Result<RowPartition, ValidationError> {
+    if k == 0 {
+        return Err(ValidationError::new(
+            "RowPartition",
+            "shards",
+            None,
+            "shard count K must be at least 1",
+        ));
+    }
+    let offsets = graph.csr.offsets();
+    let num_rows = graph.num_vertices();
+    if k == 1 {
+        return Ok(RowPartition::single(offsets));
+    }
+    let target = (graph.nnz().div_ceil(k)).max(1);
+    let mut blocks = row_blocks(offsets, num_rows, target);
+    if blocks.len() > k {
+        // Fold the tail into shard k-1 so the partition is exactly K-way.
+        blocks[k - 1].1 = num_rows;
+        blocks.truncate(k);
+    }
+    while blocks.len() < k {
+        blocks.push((num_rows, num_rows));
+    }
+    RowPartition::try_from_row_splits(offsets, &blocks)
+}
+
+/// Materializes each shard as a [`GraphData`] in the **full** vertex space:
+/// shard `s` holds exactly the global edge range `[edge_start, edge_end)`
+/// with unchanged row/column ids, so its CSR has empty rows outside the
+/// owned range and every registry kernel runs on it without reindexing.
+/// The K = 1 partition returns the original graph untouched — sharded
+/// execution over it is byte-identical to the unsharded kernel.
+pub fn shard_graphs(
+    graph: &Arc<GraphData>,
+    partition: &RowPartition,
+) -> Result<Vec<Arc<GraphData>>, ValidationError> {
+    if partition.num_shards() == 1 {
+        return Ok(vec![Arc::clone(graph)]);
+    }
+    let rows = graph.coo.rows();
+    let cols = graph.coo.cols();
+    partition
+        .shards()
+        .iter()
+        .map(|s| {
+            let coo = Coo::try_from_sorted(
+                graph.coo.num_rows(),
+                graph.coo.num_cols(),
+                rows[s.edge_start..s.edge_end].to_vec(),
+                cols[s.edge_start..s.edge_end].to_vec(),
+            )?;
+            Ok(Arc::new(GraphData::new(coo)))
+        })
+        .collect()
+}
+
+/// The halo of one shard: the sorted, deduplicated vertices its edges read
+/// (column endpoints) that lie **outside** its owned row range. These are
+/// the features a remote shard owns and must ship over the interconnect
+/// before this shard can launch.
+pub fn halo_vertices(graph: &GraphData, spec: &ShardSpec) -> Vec<u32> {
+    let cols = graph.coo.cols();
+    let mut halo: Vec<u32> = cols[spec.edge_start..spec.edge_end]
+        .iter()
+        .copied()
+        .filter(|&c| (c as usize) < spec.row_start || (c as usize) >= spec.row_end)
+        .collect();
+    halo.sort_unstable();
+    halo.dedup();
+    halo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sparse::formats::EdgeList;
+
+    fn ring(n: usize) -> Arc<GraphData> {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+            n, edges,
+        ))))
+    }
+
+    #[test]
+    fn partition_is_balanced_and_exactly_k() {
+        let g = ring(64);
+        for k in [1, 2, 4, 8] {
+            let p = partition_graph(&g, k).unwrap();
+            assert_eq!(p.num_shards(), k);
+            assert_eq!(p.num_rows(), 64);
+            assert_eq!(p.nnz(), 64);
+            let stats = p.stats();
+            assert!(stats.imbalance <= 2.0, "k={k}: {stats:?}");
+        }
+        assert!(partition_graph(&g, 0).is_err());
+    }
+
+    #[test]
+    fn more_shards_than_rows_pads_with_empties() {
+        let g = ring(3);
+        let p = partition_graph(&g, 8).unwrap();
+        assert_eq!(p.num_shards(), 8);
+        assert!(p.stats().empty_shards >= 5);
+        // Shard graphs still build, and coverage is exact.
+        let graphs = shard_graphs(&g, &p).unwrap();
+        let total: usize = graphs.iter().map(|g| g.nnz()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn shard_graphs_keep_full_vertex_space() {
+        let g = ring(16);
+        let p = partition_graph(&g, 4).unwrap();
+        let graphs = shard_graphs(&g, &p).unwrap();
+        for (spec, sg) in p.shards().iter().zip(&graphs) {
+            assert_eq!(sg.num_vertices(), 16);
+            assert_eq!(sg.nnz(), spec.nnz());
+            // Edge slice is preserved verbatim.
+            assert_eq!(sg.coo.rows(), &g.coo.rows()[spec.edge_start..spec.edge_end]);
+        }
+        // K=1 reuses the original allocation.
+        let p1 = partition_graph(&g, 1).unwrap();
+        let g1 = shard_graphs(&g, &p1).unwrap();
+        assert!(Arc::ptr_eq(&g1[0], &g));
+    }
+
+    #[test]
+    fn halo_is_out_of_range_columns_only() {
+        let g = ring(8);
+        let p = partition_graph(&g, 4).unwrap();
+        for spec in p.shards() {
+            let halo = halo_vertices(&g, spec);
+            // A ring shard reads exactly one remote vertex: the row after
+            // its last owned row (wrapping).
+            assert_eq!(halo.len(), 1, "{spec:?}");
+            let v = halo[0] as usize;
+            assert!(v < spec.row_start || v >= spec.row_end);
+        }
+        // K=1: no halo at all.
+        let p1 = partition_graph(&g, 1).unwrap();
+        assert!(halo_vertices(&g, &p1.shards()[0]).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Static verification of the sharded merge: the access-summary extension
+//! that lets the verifier prove shard outputs never race or leave holes.
+//!
+//! A sharded run merges shard `s`'s output by copying one contiguous
+//! interval of the global output buffer — rows `[row_start·w, row_end·w)`
+//! for row-reduction kernels, edges `[edge_start, edge_end)` for
+//! edge-score kernels. The merge is sound iff those write intervals are
+//! **pairwise disjoint** (no shard overwrites another's result — the
+//! sharded analogue of the analysis pass's race-freedom obligation) and
+//! **covering** (their union is the whole output — no silently zero-filled
+//! gap, the sharded analogue of bounds/coverage). Both obligations are
+//! discharged symbolically from the partition alone, before any launch,
+//! and report through the same [`Verdict`] / [`Witness`] machinery as the
+//! per-kernel static verifier. [`super::ShardedExecutor`] runs this proof
+//! at construction and refuses partitions it cannot prove.
+
+use gnnone_sparse::RowPartition;
+
+use crate::analysis::{Verdict, Witness};
+
+/// Which global output buffer a merge plan writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeTarget {
+    /// Row-major row outputs (`SpMM` / `SpMV` y, fused GAT y): shard `s`
+    /// writes `[row_start·width, row_end·width)`.
+    Rows,
+    /// Edge outputs (`SDDMM` / edge-apply w, fused GAT α): shard `s`
+    /// writes `[edge_start, edge_end)`.
+    Edges,
+}
+
+impl MergeTarget {
+    /// Stable lowercase label used in witnesses and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MergeTarget::Rows => "rows",
+            MergeTarget::Edges => "edges",
+        }
+    }
+}
+
+/// The symbolic write set of a sharded merge: one half-open element
+/// interval per shard (empty shards contribute empty intervals), in shard
+/// order. `width` is the per-row element count (`f` for feature outputs,
+/// 1 for scalars); edge targets ignore it.
+pub fn merge_write_intervals(
+    partition: &RowPartition,
+    width: usize,
+    target: MergeTarget,
+) -> Vec<(u64, u64)> {
+    partition
+        .shards()
+        .iter()
+        .map(|s| match target {
+            MergeTarget::Rows => ((s.row_start * width) as u64, (s.row_end * width) as u64),
+            MergeTarget::Edges => (s.edge_start as u64, s.edge_end as u64),
+        })
+        .collect()
+}
+
+/// Checks one merge write set against the two obligations: pairwise
+/// disjointness and exact coverage of `[0, extent)`. Returns
+/// [`Verdict::Proved`], or [`Verdict::Refuted`] with a witness naming the
+/// first overlapping / uncovered element and the shards involved.
+pub fn check_merge(intervals: &[(u64, u64)], extent: u64, label: &str) -> Verdict {
+    // Intervals arrive in shard order; sort an index view by start so the
+    // scan below finds the *first* violating element deterministically.
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| intervals[i].0);
+    let mut cursor = 0u64;
+    let mut prev_shard = None::<usize>;
+    for &i in &order {
+        let (start, end) = intervals[i];
+        if end < start {
+            return Verdict::Refuted(Witness {
+                check: "merge-overlap",
+                launch: label.to_string(),
+                buffer: "out".to_string(),
+                index: end,
+                warp_a: i,
+                warp_b: i,
+                detail: format!("shard {i} write interval [{start}, {end}) is inverted"),
+            });
+        }
+        if start < cursor {
+            return Verdict::Refuted(Witness {
+                check: "merge-overlap",
+                launch: label.to_string(),
+                buffer: "out".to_string(),
+                index: start,
+                warp_a: prev_shard.unwrap_or(i),
+                warp_b: i,
+                detail: format!(
+                    "shards {} and {i} both write element {start}: merge is not race-free",
+                    prev_shard.unwrap_or(i)
+                ),
+            });
+        }
+        if start > cursor {
+            return Verdict::Refuted(Witness {
+                check: "merge-gap",
+                launch: label.to_string(),
+                buffer: "out".to_string(),
+                index: cursor,
+                warp_a: prev_shard.unwrap_or(i),
+                warp_b: i,
+                detail: format!(
+                    "elements [{cursor}, {start}) are written by no shard: \
+                     merge would silently zero-fill them"
+                ),
+            });
+        }
+        if end > start {
+            cursor = end;
+            prev_shard = Some(i);
+        }
+    }
+    if cursor != extent {
+        return Verdict::Refuted(Witness {
+            check: "merge-gap",
+            launch: label.to_string(),
+            buffer: "out".to_string(),
+            index: cursor,
+            warp_a: prev_shard.unwrap_or(0),
+            warp_b: prev_shard.unwrap_or(0),
+            detail: format!(
+                "elements [{cursor}, {extent}) are written by no shard: \
+                 merge would silently zero-fill them"
+            ),
+        });
+    }
+    Verdict::Proved
+}
+
+/// Proves one merge plan sound for `partition`: derives the write set with
+/// [`merge_write_intervals`] and discharges both obligations with
+/// [`check_merge`]. The output extent is implied by the partition
+/// (`num_rows · width` or `nnz`).
+pub fn verify_merge(partition: &RowPartition, width: usize, target: MergeTarget) -> Verdict {
+    let intervals = merge_write_intervals(partition, width, target);
+    let extent = match target {
+        MergeTarget::Rows => (partition.num_rows() * width) as u64,
+        MergeTarget::Edges => partition.nnz() as u64,
+    };
+    check_merge(
+        &intervals,
+        extent,
+        &format!("shard-merge/{}", target.as_str()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> RowPartition {
+        // 6 rows, degrees [2, 0, 3, 1, 0, 2].
+        let offsets = [0u32, 2, 2, 5, 6, 6, 8];
+        RowPartition::try_from_row_splits(&offsets, &[(0, 2), (2, 4), (4, 6)]).unwrap()
+    }
+
+    #[test]
+    fn valid_partition_proves_both_targets() {
+        let p = partition();
+        for width in [1, 8] {
+            assert!(verify_merge(&p, width, MergeTarget::Rows).is_proved());
+        }
+        assert!(verify_merge(&p, 1, MergeTarget::Edges).is_proved());
+        let rows = merge_write_intervals(&p, 4, MergeTarget::Rows);
+        assert_eq!(rows, vec![(0, 8), (8, 16), (16, 24)]);
+        let edges = merge_write_intervals(&p, 1, MergeTarget::Edges);
+        assert_eq!(edges, vec![(0, 2), (2, 6), (6, 8)]);
+    }
+
+    #[test]
+    fn overlap_is_refuted_with_both_shards_named() {
+        let v = check_merge(&[(0, 4), (2, 8)], 8, "t");
+        match v {
+            Verdict::Refuted(w) => {
+                assert_eq!(w.check, "merge-overlap");
+                assert_eq!(w.index, 2);
+                assert_eq!((w.warp_a, w.warp_b), (0, 1));
+            }
+            other => panic!("expected refuted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gap_and_truncation_are_refuted() {
+        let gap = check_merge(&[(0, 2), (4, 8)], 8, "t");
+        match gap {
+            Verdict::Refuted(w) => {
+                assert_eq!(w.check, "merge-gap");
+                assert_eq!(w.index, 2);
+            }
+            other => panic!("expected refuted, got {other:?}"),
+        }
+        let short = check_merge(&[(0, 2), (2, 6)], 8, "t");
+        assert!(short.is_refuted());
+        let inverted = check_merge(&[(4, 2)], 0, "t");
+        assert!(inverted.is_refuted());
+    }
+
+    #[test]
+    fn empty_shards_do_not_break_the_proof() {
+        let offsets = [0u32, 2, 2, 5, 6, 6, 8];
+        let p = RowPartition::try_from_row_splits(&offsets, &[(0, 1), (1, 1), (1, 6)]).unwrap();
+        assert!(verify_merge(&p, 2, MergeTarget::Rows).is_proved());
+        assert!(verify_merge(&p, 1, MergeTarget::Edges).is_proved());
+        // The degenerate single-element extent is covered too.
+        assert!(check_merge(&[(0, 0)], 0, "t").is_proved());
+    }
+}

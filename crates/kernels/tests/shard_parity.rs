@@ -1,0 +1,586 @@
+//! Sharded-execution contract tests: the supervised sharded executor is
+//! **invisible in the bits** — for every registry kernel family, on both
+//! backends, at every shard count, with and without injected shard faults
+//! — and every failure it cannot recover from surfaces as a typed decline.
+//!
+//! Bitwise methodology: with integer-valued f32 operands every partial
+//! sum is an exact integer below 2^24, so any reduction association is
+//! bit-identical — K-way sharding cannot hide behind float tolerance.
+//! The fused-attention kernels (softmax → not integer-exact) rely on the
+//! row-alignment invariant instead: a row's full adjacency lives in
+//! exactly one shard, so its per-row arithmetic replays in the original
+//! order and stays bitwise identical anyway.
+
+use std::sync::Arc;
+
+use gnnone_kernels::graph::GraphData;
+use gnnone_kernels::registry;
+use gnnone_kernels::shard::{partition_graph, RetryPolicy, ShardTopology, ShardedExecutor};
+use gnnone_sim::chaos::ShardFaultKind;
+use gnnone_sim::{DeviceBuffer, GnnOneError, Gpu, GpuSpec};
+use gnnone_sparse::formats::{Coo, EdgeList};
+use gnnone_sparse::gen::adversarial;
+use gnnone_sparse::RowPartition;
+
+/// The backend-parity graphs: a symmetric power-law R-MAT and a ragged
+/// directed one with an empty tail row.
+fn graphs() -> Vec<Arc<GraphData>> {
+    vec![
+        Arc::new(GraphData::new(Coo::from_edge_list(
+            &gnnone_sparse::gen::rmat(6, 220, gnnone_sparse::gen::GRAPH500_PROBS, 77).symmetrize(),
+        ))),
+        Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+            50,
+            (0..137u32).map(|e| (e % 49, (e * 7 + 1) % 49)).collect(),
+        )))),
+    ]
+}
+
+fn ring(n: usize) -> Arc<GraphData> {
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+    Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+        n, edges,
+    ))))
+}
+
+/// Integer-valued f32s in [-3, 3]: exact under any association order.
+fn int_features(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 31 + salt * 17) % 7) as f32 - 3.0)
+        .collect()
+}
+
+/// Non-integer f32s, for the K = 1 byte-identity check.
+fn float_features(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) * 0.1)
+        .collect()
+}
+
+struct Operands {
+    f: usize,
+    x: Vec<f32>,
+    y: Vec<f32>,
+    w: Vec<f32>,
+    xs: Vec<f32>,
+    el: Vec<f32>,
+    er: Vec<f32>,
+}
+
+fn operands(g: &GraphData, feats: fn(usize, usize) -> Vec<f32>) -> Operands {
+    let nv = g.num_vertices();
+    let f = 8usize;
+    Operands {
+        f,
+        x: feats(nv * f, 21),
+        y: feats(nv * f, 22),
+        w: feats(g.nnz(), 23),
+        xs: feats(nv, 9),
+        el: feats(nv, 24),
+        er: feats(nv, 25),
+    }
+}
+
+/// Every registry kernel's unsharded output, concatenated per family in
+/// registry order — the reference the sharded runs must reproduce exactly.
+fn unsharded_all(g: &Arc<GraphData>, ops: &Operands, topo: &ShardTopology) -> Vec<Vec<f32>> {
+    let nv = g.num_vertices();
+    let nnz = g.nnz();
+    let dx = DeviceBuffer::from_slice(&ops.x);
+    let dyv = DeviceBuffer::from_slice(&ops.y);
+    let dwv = DeviceBuffer::from_slice(&ops.w);
+    let dxs = DeviceBuffer::from_slice(&ops.xs);
+    let del = DeviceBuffer::from_slice(&ops.el);
+    let der = DeviceBuffer::from_slice(&ops.er);
+    let mut outs = Vec::new();
+    let run = |run_sim: &dyn Fn(&Gpu), run_nat: &dyn Fn(&gnnone_kernels::NativeEngine)| match topo {
+        ShardTopology::Sim(multi) => run_sim(multi.device(0)),
+        ShardTopology::Native(engines) => run_nat(&engines[0]),
+    };
+    for k in registry::spmm_kernels(g)
+        .into_iter()
+        .chain(registry::spmm_discussion_kernels(g))
+        .chain(registry::spmm_format_kernels(g))
+    {
+        let dy = DeviceBuffer::<f32>::zeros(nv * ops.f);
+        run(
+            &|gpu| {
+                k.run(gpu, &dwv, &dx, ops.f, &dy).unwrap();
+            },
+            &|ng| {
+                k.run_native(ng, &dwv, &dx, ops.f, &dy).unwrap();
+            },
+        );
+        outs.push(dy.to_vec());
+    }
+    for k in registry::sddmm_kernels(g) {
+        let dw = DeviceBuffer::<f32>::zeros(nnz);
+        run(
+            &|gpu| {
+                k.run(gpu, &dx, &dyv, ops.f, &dw).unwrap();
+            },
+            &|ng| {
+                k.run_native(ng, &dx, &dyv, ops.f, &dw).unwrap();
+            },
+        );
+        outs.push(dw.to_vec());
+    }
+    for k in registry::spmv_class_kernels(g) {
+        let dy = DeviceBuffer::<f32>::zeros(nv);
+        run(
+            &|gpu| {
+                k.run(gpu, &dwv, &dxs, &dy).unwrap();
+            },
+            &|ng| {
+                k.run_native(ng, &dwv, &dxs, &dy).unwrap();
+            },
+        );
+        outs.push(dy.to_vec());
+    }
+    for k in registry::edge_apply_kernels(g) {
+        let dw = DeviceBuffer::<f32>::zeros(nnz);
+        run(
+            &|gpu| {
+                k.run(gpu, &del, &der, &dw).unwrap();
+            },
+            &|ng| {
+                k.run_native(ng, &del, &der, &dw).unwrap();
+            },
+        );
+        outs.push(dw.to_vec());
+    }
+    for k in registry::fused_kernels(g) {
+        let dy = DeviceBuffer::<f32>::zeros(nv * ops.f);
+        let dalpha = DeviceBuffer::<f32>::zeros(nnz);
+        run(
+            &|gpu| {
+                k.run(gpu, &dx, &del, &der, ops.f, &dy, Some(&dalpha))
+                    .unwrap();
+            },
+            &|ng| {
+                k.run_native(ng, &dx, &del, &der, ops.f, &dy, Some(&dalpha))
+                    .unwrap();
+            },
+        );
+        outs.push(dy.to_vec());
+        outs.push(dalpha.to_vec());
+    }
+    outs
+}
+
+/// Every registry kernel run through the sharded executor, same order.
+fn sharded_all(exec: &ShardedExecutor, g: &Arc<GraphData>, ops: &Operands) -> Vec<Vec<f32>> {
+    let mut outs = Vec::new();
+    let spmm_names: Vec<&'static str> = registry::spmm_kernels(g)
+        .iter()
+        .map(|k| k.name())
+        .chain(
+            registry::spmm_discussion_kernels(g)
+                .iter()
+                .map(|k| k.name()),
+        )
+        .chain(registry::spmm_format_kernels(g).iter().map(|k| k.name()))
+        .collect();
+    for name in spmm_names {
+        let (out, _) = exec
+            .run_spmm(
+                &|sg| registry::spmm_by_name(sg, name).unwrap(),
+                &ops.w,
+                &ops.x,
+                ops.f,
+            )
+            .unwrap();
+        outs.push(out);
+    }
+    let sddmm_names: Vec<&'static str> = registry::sddmm_kernels(g)
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    for name in sddmm_names {
+        let (out, _) = exec
+            .run_sddmm(
+                &|sg| registry::sddmm_by_name(sg, name).unwrap(),
+                &ops.x,
+                &ops.y,
+                ops.f,
+            )
+            .unwrap();
+        outs.push(out);
+    }
+    let spmv_names: Vec<&'static str> = registry::spmv_class_kernels(g)
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    for name in spmv_names {
+        let (out, _) = exec
+            .run_spmv(
+                &|sg| registry::spmv_by_name(sg, name).unwrap(),
+                &ops.w,
+                &ops.xs,
+            )
+            .unwrap();
+        outs.push(out);
+    }
+    let edge_names: Vec<&'static str> = registry::edge_apply_kernels(g)
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    for name in edge_names {
+        let (out, _) = exec
+            .run_edge_apply(
+                &|sg| registry::edge_apply_by_name(sg, name).unwrap(),
+                &ops.el,
+                &ops.er,
+            )
+            .unwrap();
+        outs.push(out);
+    }
+    let fused_names: Vec<&'static str> = registry::fused_kernels(g)
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    for name in fused_names {
+        let (y, alpha, _) = exec
+            .run_fused(
+                &|sg| registry::fused_by_name(sg, name).unwrap(),
+                &ops.x,
+                &ops.el,
+                &ops.er,
+                ops.f,
+            )
+            .unwrap();
+        outs.push(y);
+        outs.push(alpha);
+    }
+    outs
+}
+
+fn topologies(k: usize) -> Vec<ShardTopology> {
+    vec![
+        ShardTopology::sim(GpuSpec::a100_40gb(), k.min(2)),
+        ShardTopology::native(4, k).unwrap(),
+    ]
+}
+
+/// The tentpole proof: K-way sharded execution of **every** registry
+/// kernel is bitwise identical to the unsharded launch on both backends.
+#[test]
+fn sharded_matches_unsharded_bitwise_for_every_registry_kernel() {
+    for g in graphs() {
+        let ops = operands(&g, int_features);
+        for k in [2usize, 4] {
+            for topo in topologies(k) {
+                let reference = unsharded_all(&g, &ops, &topo);
+                let exec = ShardedExecutor::new(Arc::clone(&g), k, topo).unwrap();
+                let sharded = sharded_all(&exec, &g, &ops);
+                assert_eq!(reference.len(), sharded.len());
+                for (i, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+                    assert_eq!(a, b, "kernel #{i}, K={k}: sharded output diverged");
+                }
+            }
+        }
+    }
+}
+
+/// K = 1 is the identity: same graph object (no shard copies), no halo
+/// traffic, byte-identical output even for non-integer float features.
+#[test]
+fn k1_is_byte_identical_even_with_float_features() {
+    for g in graphs() {
+        let ops = operands(&g, float_features);
+        for topo in topologies(1) {
+            let reference = unsharded_all(&g, &ops, &topo);
+            let exec = ShardedExecutor::new(Arc::clone(&g), 1, topo).unwrap();
+            let sharded = sharded_all(&exec, &g, &ops);
+            for (i, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+                let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "kernel #{i}: K=1 is not byte-identical");
+            }
+            let (_, report) = exec
+                .run_spmm(
+                    &|sg| registry::spmm_by_name(sg, "GnnOne").unwrap(),
+                    &ops.w,
+                    &ops.x,
+                    ops.f,
+                )
+                .unwrap();
+            assert_eq!(report.transfer_bytes, 0, "K=1 must move no halo bytes");
+        }
+    }
+}
+
+/// Every shard fault, across ≥ 8 seeds: the fault is detected, recovery
+/// re-executes **only the failed shard** (asserted via launch counts), and
+/// the recovered output is bitwise identical to the fault-free run.
+#[test]
+fn every_shard_fault_recovers_bitwise_identically_across_seeds() {
+    let g = ring(64);
+    let ops = operands(&g, int_features);
+    let k = 4usize;
+    let clean = {
+        let exec =
+            ShardedExecutor::new(Arc::clone(&g), k, ShardTopology::native(4, k).unwrap()).unwrap();
+        exec.run_spmm(
+            &|sg| registry::spmm_by_name(sg, "GnnOne").unwrap(),
+            &ops.w,
+            &ops.x,
+            ops.f,
+        )
+        .unwrap()
+        .0
+    };
+    for kind in ShardFaultKind::lattice() {
+        for seed in 0..8u64 {
+            let mut exec =
+                ShardedExecutor::new(Arc::clone(&g), k, ShardTopology::native(4, k).unwrap())
+                    .unwrap();
+            exec.arm_fault(kind, seed);
+            let (out, report) = exec
+                .run_spmm(
+                    &|sg| registry::spmm_by_name(sg, "GnnOne").unwrap(),
+                    &ops.w,
+                    &ops.x,
+                    ops.f,
+                )
+                .unwrap();
+            assert_eq!(out, clean, "{kind} seed {seed}: recovered output diverged");
+            assert_eq!(
+                report.retries, 1,
+                "{kind} seed {seed}: fault must fire once"
+            );
+            assert_eq!(report.recovered.len(), 1, "{kind} seed {seed}");
+            let total_attempts: u32 = report.attempts.iter().sum();
+            assert_eq!(total_attempts, k as u32 + 1, "{kind} seed {seed}");
+            assert_eq!(
+                report.attempts.iter().filter(|&&a| a == 2).count(),
+                1,
+                "{kind} seed {seed}: exactly one shard retried"
+            );
+            let total_launches: u32 = report.launches.iter().sum();
+            match kind {
+                // The launch happened, its result was lost: the retry is a
+                // second launch of that shard only.
+                ShardFaultKind::ShardKill | ShardFaultKind::ShardStall => {
+                    assert_eq!(total_launches, k as u32 + 1, "{kind} seed {seed}");
+                    assert_eq!(
+                        report.launches.iter().filter(|&&l| l == 2).count(),
+                        1,
+                        "{kind} seed {seed}: only the failed shard re-launches"
+                    );
+                }
+                // Detected before the kernel ran: no extra launch at all.
+                ShardFaultKind::HaloDrop | ShardFaultKind::TransientShardLaunch => {
+                    assert_eq!(total_launches, k as u32, "{kind} seed {seed}");
+                    assert!(report.launches.iter().all(|&l| l == 1));
+                }
+            }
+        }
+    }
+}
+
+/// Faults also recover on the simulated multi-GPU topology, where halo
+/// exchange rides the modeled interconnect.
+#[test]
+fn faults_recover_on_the_sim_topology_too() {
+    let g = ring(32);
+    let ops = operands(&g, int_features);
+    let k = 4usize;
+    let clean = {
+        let exec = ShardedExecutor::new(
+            Arc::clone(&g),
+            k,
+            ShardTopology::sim(GpuSpec::a100_40gb(), 2),
+        )
+        .unwrap();
+        let (out, report) = exec
+            .run_sddmm(
+                &|sg| registry::sddmm_by_name(sg, "GnnOne").unwrap(),
+                &ops.x,
+                &ops.y,
+                ops.f,
+            )
+            .unwrap();
+        assert!(
+            report.transfer_bytes > 0,
+            "K=4 ring sharding must ship halo bytes across devices"
+        );
+        assert!(report.transfer_ms > 0.0);
+        out
+    };
+    for kind in ShardFaultKind::lattice() {
+        let mut exec = ShardedExecutor::new(
+            Arc::clone(&g),
+            k,
+            ShardTopology::sim(GpuSpec::a100_40gb(), 2),
+        )
+        .unwrap();
+        exec.arm_fault(kind, 5);
+        let (out, report) = exec
+            .run_sddmm(
+                &|sg| registry::sddmm_by_name(sg, "GnnOne").unwrap(),
+                &ops.x,
+                &ops.y,
+                ops.f,
+            )
+            .unwrap();
+        assert_eq!(out, clean, "{kind}: sim recovery diverged");
+        assert_eq!(report.retries, 1, "{kind}");
+    }
+}
+
+/// Exhausted retries are a **typed decline** — a structured `ShardAbort`
+/// naming the shard, attempts, checkpointed prefix and injected fault —
+/// never a silently partial output.
+#[test]
+fn exhausted_retries_decline_with_a_structured_shard_abort() {
+    let g = ring(64);
+    let ops = operands(&g, int_features);
+    let k = 4usize;
+    let mut exec =
+        ShardedExecutor::new(Arc::clone(&g), k, ShardTopology::native(2, k).unwrap()).unwrap();
+    exec.set_policy(RetryPolicy {
+        max_attempts: 1,
+        backoff_base_ms: 0,
+    });
+    exec.arm_fault(ShardFaultKind::ShardKill, 3);
+    let err = exec
+        .run_spmm(
+            &|sg| registry::spmm_by_name(sg, "GnnOne").unwrap(),
+            &ops.w,
+            &ops.x,
+            ops.f,
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), "shard-abort");
+    match err {
+        GnnOneError::ShardAbort(sa) => {
+            assert_eq!(sa.shards, k as u64);
+            assert!(sa.shard < k as u64);
+            assert_eq!(sa.attempts, 1);
+            assert!(sa.completed < k as u64);
+            assert_eq!(sa.fault.as_deref(), Some("shard-kill"));
+            // The decline round-trips through the JSON error taxonomy.
+            let json = GnnOneError::ShardAbort(sa).to_json();
+            let back = GnnOneError::from_json(&json).unwrap();
+            assert_eq!(back.kind(), "shard-abort");
+        }
+        other => panic!("expected ShardAbort, got {other}"),
+    }
+}
+
+/// The deterministic backoff schedule (`base << attempt-1`, SweepGuard's)
+/// is recorded in the report.
+#[test]
+fn retry_backoff_follows_the_sweep_guard_schedule() {
+    let g = ring(16);
+    let ops = operands(&g, int_features);
+    let mut exec =
+        ShardedExecutor::new(Arc::clone(&g), 2, ShardTopology::native(2, 2).unwrap()).unwrap();
+    exec.set_policy(RetryPolicy {
+        max_attempts: 3,
+        backoff_base_ms: 1,
+    });
+    exec.arm_fault(ShardFaultKind::TransientShardLaunch, 0);
+    let (_, report) = exec
+        .run_spmv(
+            &|sg| registry::spmv_by_name(sg, "GnnOne").unwrap(),
+            &ops.w,
+            &ops.xs,
+        )
+        .unwrap();
+    assert_eq!(report.backoff_ms, vec![1], "one retry at base backoff");
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        backoff_base_ms: 2,
+    };
+    assert_eq!(
+        (1..=3).map(|a| policy.backoff_ms(a)).collect::<Vec<_>>(),
+        vec![2, 4, 8]
+    );
+}
+
+/// Partition edge cases: more shards than nonempty rows (empty shards),
+/// all edges in one shard, a single-vertex graph, and a graph whose last
+/// rows are empty — all shard cleanly and bitwise-match unsharded.
+#[test]
+fn degenerate_graphs_shard_cleanly() {
+    // Single vertex with a self-loop.
+    let single = Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+        1,
+        vec![(0, 0)],
+    ))));
+    // A 6-vertex star: every edge lands in row 0, so K = 3 leaves two
+    // shards with zero edges.
+    let star = Arc::new(GraphData::new(Coo::from_edge_list(&EdgeList::new(
+        6,
+        (1..6u32).map(|v| (0, v)).collect(),
+    ))));
+    for (g, k) in [
+        (Arc::clone(&single), 4usize),
+        (Arc::clone(&star), 3),
+        (ring(3), 8),
+    ] {
+        let ops = operands(&g, int_features);
+        let topo = ShardTopology::native(2, k).unwrap();
+        let reference = unsharded_all(&g, &ops, &topo);
+        let exec = ShardedExecutor::new(Arc::clone(&g), k, topo).unwrap();
+        let sharded = sharded_all(&exec, &g, &ops);
+        for (i, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+            assert_eq!(a, b, "kernel #{i}, K={k}: degenerate graph diverged");
+        }
+    }
+    // Empty shards never launch: a fault armed over them still recovers.
+    let mut exec =
+        ShardedExecutor::new(Arc::clone(&star), 3, ShardTopology::native(2, 3).unwrap()).unwrap();
+    exec.arm_fault(ShardFaultKind::ShardKill, 1);
+    let ops = operands(&star, int_features);
+    let (_, report) = exec
+        .run_spmm(
+            &|sg| registry::spmm_by_name(sg, "GnnOne").unwrap(),
+            &ops.w,
+            &ops.x,
+            ops.f,
+        )
+        .unwrap();
+    assert_eq!(report.launches, vec![1 + 1, 0, 0], "only shard 0 launches");
+}
+
+/// Malformed partition specs from the adversarial corpus are rejected as
+/// structured `ValidationError`s — overlaps, ownership gaps, truncation,
+/// inverted ranges — and valid controls pass.
+#[test]
+fn adversarial_partition_corpus_is_rejected_structurally() {
+    let corpus = adversarial::partition_corpus();
+    assert!(corpus.len() >= 9, "corpus must cover every failure mode");
+    let mut invalid = 0;
+    for case in &corpus {
+        let got = RowPartition::try_from_row_splits(&case.offsets, &case.splits);
+        assert_eq!(
+            got.is_ok(),
+            case.expect_valid,
+            "corpus case `{}`: got {got:?}",
+            case.name
+        );
+        if let Err(e) = got {
+            invalid += 1;
+            // Structured, not a panic: the error names the partition field.
+            assert_eq!(e.structure, "RowPartition", "case `{}`", case.name);
+        }
+    }
+    assert!(invalid >= 7, "most corpus cases are malformed by design");
+    // A partition built for a different graph is rejected at executor
+    // construction, as is a foreign offsets array.
+    let g = ring(16);
+    let other = ring(8);
+    let p8 = partition_graph(&other, 2).unwrap();
+    let err = match ShardedExecutor::with_partition(
+        Arc::clone(&g),
+        p8,
+        ShardTopology::native(2, 2).unwrap(),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("foreign partition must be rejected"),
+    };
+    assert_eq!(err.kind(), "validation");
+}

@@ -155,6 +155,102 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// One injectable *shard-level* fault, the scale-out analogue of
+/// [`FaultKind`]: instead of corrupting a single warp inside one launch, a
+/// shard fault takes out one whole shard of a sharded execution — the
+/// failure classes a multi-device topology exposes (device loss, device
+/// hang, dropped interconnect transfer, transient scheduler decline). Each
+/// armed fault fires **once per sweep** at a seeded shard chosen by
+/// [`ShardFaultKind::target`], so every run is reproducible from
+/// `(fault, seed)` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The target shard's launch dies mid-flight (device loss): its output
+    /// is discarded and the supervision loop observes a structured abort
+    /// with [`crate::AbortReason::ChaosKill`].
+    ShardKill,
+    /// The target shard stops making progress (device hang): its reported
+    /// time is inflated past the per-shard watchdog deadline, which trips
+    /// with [`crate::AbortReason::Watchdog`] and discards the output.
+    ShardStall,
+    /// The halo transfer feeding the target shard is dropped on the wire:
+    /// the received buffer is corrupted, the executor's transfer checksum
+    /// mismatches, and the gather is retried from the owners.
+    HaloDrop,
+    /// The target shard's launch is declined once at preflight with a
+    /// structured [`crate::engine::LaunchError`]; the next attempt
+    /// succeeds — exercising bounded retry in the supervision loop.
+    TransientShardLaunch,
+}
+
+impl ShardFaultKind {
+    /// The default shard-fault sweep lattice: every shard fault class.
+    pub fn lattice() -> Vec<ShardFaultKind> {
+        vec![
+            ShardFaultKind::ShardKill,
+            ShardFaultKind::ShardStall,
+            ShardFaultKind::HaloDrop,
+            ShardFaultKind::TransientShardLaunch,
+        ]
+    }
+
+    /// Stable lowercase slug used in JSON reports and seed derivation.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardFaultKind::ShardKill => "shard-kill",
+            ShardFaultKind::ShardStall => "shard-stall",
+            ShardFaultKind::HaloDrop => "halo-drop",
+            ShardFaultKind::TransientShardLaunch => "transient-shard-launch",
+        }
+    }
+
+    /// Parses the slug form written by [`ShardFaultKind::as_str`].
+    pub fn from_str_slug(s: &str) -> Option<Self> {
+        Some(match s {
+            "shard-kill" => ShardFaultKind::ShardKill,
+            "shard-stall" => ShardFaultKind::ShardStall,
+            "halo-drop" => ShardFaultKind::HaloDrop,
+            "transient-shard-launch" => ShardFaultKind::TransientShardLaunch,
+            _ => return None,
+        })
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![("kind", Json::Str(self.as_str().into()))])
+    }
+
+    /// Reads back a value written by [`ShardFaultKind::to_json`].
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Self::from_str_slug(v.get("kind")?.as_str()?)
+    }
+
+    /// The seeded firing point: which of `candidates` eligible shards this
+    /// fault takes out under `seed`. Deterministic in `(self, seed)`; each
+    /// fault kind mixes a distinct salt so the four faults spread over
+    /// different shards under one sweep seed. `None` when no shard is
+    /// eligible (e.g. [`ShardFaultKind::HaloDrop`] on a partition with no
+    /// halo traffic) — the sweep records those cells as not-injected.
+    pub fn target(&self, seed: u64, candidates: usize) -> Option<usize> {
+        if candidates == 0 {
+            return None;
+        }
+        let salt = self
+            .as_str()
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            });
+        Some((mix(seed ^ salt) % candidates as u64) as usize)
+    }
+}
+
+impl std::fmt::Display for ShardFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Resilience verdict of one injected run, assigned by the chaos sweep in
 /// `gnnone-bench`. Precedence (first match wins): sanitizer finding →
 /// structured abort → structured decline → output cross-check.
@@ -598,5 +694,38 @@ mod tests {
         assert!(j.contains("\"flips\":2"), "{j}");
         let s = ChaosConfig::schedule(9).to_json().to_string_compact();
         assert!(s.contains("\"schedule_seed\":9"), "{s}");
+    }
+
+    #[test]
+    fn shard_fault_lattice_roundtrips() {
+        let lattice = ShardFaultKind::lattice();
+        assert_eq!(lattice.len(), 4);
+        for fault in lattice {
+            let j = fault.to_json();
+            assert_eq!(ShardFaultKind::from_json(&j), Some(fault));
+            assert_eq!(ShardFaultKind::from_str_slug(fault.as_str()), Some(fault));
+            assert_eq!(fault.to_string(), fault.as_str());
+        }
+        assert_eq!(ShardFaultKind::from_str_slug("warp-kill"), None);
+    }
+
+    #[test]
+    fn shard_fault_target_is_seeded_and_bounded() {
+        for fault in ShardFaultKind::lattice() {
+            assert_eq!(fault.target(7, 0), None);
+            for seed in 0..32u64 {
+                let t = fault.target(seed, 4).unwrap();
+                assert!(t < 4);
+                // Deterministic under the same (fault, seed).
+                assert_eq!(fault.target(seed, 4), Some(t));
+            }
+        }
+        // Distinct salts: the four faults do not all pick the same shard
+        // for every seed.
+        let picks: Vec<usize> = ShardFaultKind::lattice()
+            .iter()
+            .map(|f| f.target(0xC0FFEE, 8).unwrap())
+            .collect();
+        assert!(picks.iter().any(|&p| p != picks[0]), "{picks:?}");
     }
 }

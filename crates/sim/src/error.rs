@@ -235,6 +235,82 @@ impl std::fmt::Display for KernelAbort {
 
 impl std::error::Error for KernelAbort {}
 
+/// A structured finding produced when a sharded execution gives up on one
+/// shard: the supervision loop detected a fault (kill, stall, dropped halo,
+/// transient launch failure), exhausted its bounded retry budget, and
+/// declined the partial result instead of zero-filling it. Carried inside
+/// [`GnnOneError::ShardAbort`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardAbort {
+    /// Kernel name the sharded executor was running.
+    pub kernel: String,
+    /// The shard whose supervision loop exhausted its retries.
+    pub shard: u64,
+    /// Total shard count K of the partition.
+    pub shards: u64,
+    /// Supervision attempts spent on the failed shard (including the first).
+    pub attempts: u64,
+    /// Shards already completed and checkpointed when the executor gave up.
+    pub completed: u64,
+    /// Slug of the injected shard fault when one was armed
+    /// (`"shard-kill"`, `"shard-stall"`, `"halo-drop"`,
+    /// `"transient-shard-launch"`), `None` for organic failures.
+    pub fault: Option<String>,
+    /// Human-readable description of the last per-attempt failure.
+    pub detail: String,
+}
+
+impl ShardAbort {
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("shard", Json::U64(self.shard)),
+            ("shards", Json::U64(self.shards)),
+            ("attempts", Json::U64(self.attempts)),
+            ("completed", Json::U64(self.completed)),
+            (
+                "fault",
+                match &self.fault {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Reads back a value written by [`ShardAbort::to_json`].
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            kernel: v.get("kernel")?.as_str()?.to_string(),
+            shard: v.get("shard")?.as_u64()?,
+            shards: v.get("shards")?.as_u64()?,
+            attempts: v.get("attempts")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()?,
+            fault: v.get("fault").and_then(Json::as_str).map(str::to_string),
+            detail: v.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for ShardAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sharded kernel `{}` gave up on shard {}/{} after {} attempts \
+             ({} shards checkpointed): {}",
+            self.kernel, self.shard, self.shards, self.attempts, self.completed, self.detail
+        )?;
+        if let Some(fault) = &self.fault {
+            write!(f, " [injected fault: {fault}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShardAbort {}
+
 /// The unwind payload the warp context throws when it must stop a kernel;
 /// [`crate::Gpu::try_launch`] catches it and converts it into a
 /// [`KernelAbort`]. Delivered via `std::panic::resume_unwind`, which skips
@@ -277,6 +353,9 @@ pub enum GnnOneError {
     Launch(LaunchError),
     /// The watchdog or a bounds check stopped a running kernel.
     Abort(KernelAbort),
+    /// A sharded execution exhausted its per-shard retry budget and
+    /// declined the partial result (typed degraded-mode verdict).
+    ShardAbort(ShardAbort),
     /// A panic caught at an isolation boundary, preserved as context.
     Panic {
         /// Which isolated unit panicked (e.g. `"spmm/GnnOne/G3"`).
@@ -293,7 +372,8 @@ pub enum GnnOneError {
 
 impl GnnOneError {
     /// Short error class used by reports: `"validation"`, `"io"`,
-    /// `"parse"`, `"launch"`, `"abort"`, `"panic"`, `"config"`.
+    /// `"parse"`, `"launch"`, `"abort"`, `"shard-abort"`, `"panic"`,
+    /// `"config"`.
     pub fn kind(&self) -> &'static str {
         match self {
             GnnOneError::Validation(_) => "validation",
@@ -301,6 +381,7 @@ impl GnnOneError {
             GnnOneError::Parse { .. } => "parse",
             GnnOneError::Launch(_) => "launch",
             GnnOneError::Abort(_) => "abort",
+            GnnOneError::ShardAbort(_) => "shard-abort",
             GnnOneError::Panic { .. } => "panic",
             GnnOneError::Config { .. } => "config",
         }
@@ -333,6 +414,7 @@ impl GnnOneError {
                 ("detail", Json::Str(e.to_string())),
             ]),
             GnnOneError::Abort(a) => Json::obj(vec![kind, ("abort", a.to_json())]),
+            GnnOneError::ShardAbort(a) => Json::obj(vec![kind, ("shard_abort", a.to_json())]),
             GnnOneError::Panic { context, detail } => Json::obj(vec![
                 kind,
                 ("context", Json::Str(context.clone())),
@@ -366,6 +448,7 @@ impl GnnOneError {
                 reason: v.get("detail")?.as_str()?.to_string(),
             }),
             "abort" => GnnOneError::Abort(KernelAbort::from_json(v.get("abort")?)?),
+            "shard-abort" => GnnOneError::ShardAbort(ShardAbort::from_json(v.get("shard_abort")?)?),
             "panic" => GnnOneError::Panic {
                 context: v.get("context")?.as_str()?.to_string(),
                 detail: v.get("detail")?.as_str()?.to_string(),
@@ -406,6 +489,7 @@ impl std::fmt::Display for GnnOneError {
             }
             GnnOneError::Launch(e) => write!(f, "{e}"),
             GnnOneError::Abort(a) => write!(f, "{a}"),
+            GnnOneError::ShardAbort(a) => write!(f, "{a}"),
             GnnOneError::Panic { context, detail } => {
                 write!(f, "panic isolated in {context}: {detail}")
             }
@@ -425,6 +509,12 @@ impl From<ValidationError> for GnnOneError {
 impl From<KernelAbort> for GnnOneError {
     fn from(a: KernelAbort) -> Self {
         GnnOneError::Abort(a)
+    }
+}
+
+impl From<ShardAbort> for GnnOneError {
+    fn from(a: ShardAbort) -> Self {
+        GnnOneError::ShardAbort(a)
     }
 }
 
@@ -509,6 +599,24 @@ mod tests {
             GnnOneError::Config {
                 detail: "unknown dataset".into(),
             },
+            GnnOneError::ShardAbort(ShardAbort {
+                kernel: "GnnOne".into(),
+                shard: 2,
+                shards: 4,
+                attempts: 3,
+                completed: 2,
+                fault: Some("shard-kill".into()),
+                detail: "chaos-injected fatal warp trap".into(),
+            }),
+            GnnOneError::ShardAbort(ShardAbort {
+                kernel: "CuSparse".into(),
+                shard: 0,
+                shards: 8,
+                attempts: 1,
+                completed: 0,
+                fault: None,
+                detail: "organic failure".into(),
+            }),
         ];
         for e in cases {
             let json = e.to_json().to_string_compact();
@@ -516,5 +624,23 @@ mod tests {
             assert_eq!(back, e, "roundtrip failed for {json}");
             assert!(json.contains(&format!("\"{}\"", e.kind())));
         }
+    }
+
+    #[test]
+    fn shard_abort_display_names_shard_and_fault() {
+        let a = ShardAbort {
+            kernel: "GnnOne".into(),
+            shard: 3,
+            shards: 8,
+            attempts: 3,
+            completed: 3,
+            fault: Some("halo-drop".into()),
+            detail: "halo checksum mismatch".into(),
+        };
+        let text = a.to_string();
+        assert!(text.contains("shard 3/8"), "{text}");
+        assert!(text.contains("3 shards checkpointed"), "{text}");
+        assert!(text.contains("halo-drop"), "{text}");
+        assert_eq!(GnnOneError::from(a).kind(), "shard-abort");
     }
 }

@@ -120,13 +120,14 @@ pub mod occupancy;
 pub mod sanitize;
 pub mod spec;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 pub mod warp;
 
 pub use buffer::{DeviceBuffer, Pod32};
-pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, Verdict};
+pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, ShardFaultKind, Verdict};
 pub use engine::{Gpu, KernelReport, LaunchSpec};
-pub use error::{AbortReason, GnnOneError, KernelAbort, ValidationError};
+pub use error::{AbortReason, GnnOneError, KernelAbort, ShardAbort, ValidationError};
 pub use kernel::{KernelResources, WarpKernel};
 pub use lanes::{LaneArr, WARP_SIZE};
 pub use metrics::{KernelMetrics, MetricsRegistry, MetricsSnapshot};
@@ -134,5 +135,6 @@ pub use occupancy::Occupancy;
 pub use sanitize::{CheckKind, Finding, LaunchAudit, SanitizeConfig, Sanitizer};
 pub use spec::{GpuSpec, TimingParams};
 pub use stats::{KernelStats, WarpStats};
+pub use topology::{InterconnectSpec, MultiGpu, TransferRecord};
 pub use trace::{TraceConfig, TraceEvent, TraceSession};
 pub use warp::WarpCtx;

@@ -1,0 +1,209 @@
+//! Multi-device topology: K simulated [`Gpu`]s joined by a modeled
+//! interconnect.
+//!
+//! The paper's Table 1 graphs top out at 1.9 B edges — far beyond one
+//! simulated device — so scaled-out runs split the graph into row-aligned
+//! shards and place each shard on its own device. Halo exchange (remote
+//! vertex features a shard reads but does not own) then travels the
+//! interconnect, and the topology charges it with a simple
+//! latency-plus-bandwidth cost model, mirroring how [`crate::spec::GpuSpec`]
+//! models a single device. Every transfer is recorded so sharded reports
+//! can account for communication separately from compute.
+//!
+//! The topology is deliberately passive: it owns the devices and prices the
+//! wires. Shard scheduling, retry, and fault supervision live above it in
+//! `gnnone_kernels::shard`.
+
+use std::sync::Mutex;
+
+use crate::engine::Gpu;
+use crate::jsonio::Json;
+use crate::spec::GpuSpec;
+
+/// Cost model for one inter-device link, in the style of NVLink-class
+/// point-to-point interconnects: a fixed per-message latency plus a
+/// bandwidth term. A transfer of `b` bytes costs
+/// `latency_us / 1000 + b / (bandwidth_gbs * 1e6)` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectSpec {
+    /// Link bandwidth in gigabytes per second.
+    pub link_bandwidth_gbs: f64,
+    /// Per-message latency in microseconds.
+    pub link_latency_us: f64,
+}
+
+impl InterconnectSpec {
+    /// An NVLink-3-class link: 100 GB/s per direction, 2 µs latency.
+    pub fn nvlink3() -> Self {
+        Self {
+            link_bandwidth_gbs: 100.0,
+            link_latency_us: 2.0,
+        }
+    }
+
+    /// Modeled time in milliseconds to move `bytes` across one link.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.link_latency_us * 1e-3 + bytes as f64 / (self.link_bandwidth_gbs * 1e6)
+    }
+
+    /// Serializes through the dependency-free [`crate::jsonio`] path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("link_bandwidth_gbs", Json::F64(self.link_bandwidth_gbs)),
+            ("link_latency_us", Json::F64(self.link_latency_us)),
+        ])
+    }
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        Self::nvlink3()
+    }
+}
+
+/// One recorded interconnect transfer (a halo-exchange message).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRecord {
+    /// Source device index.
+    pub src: usize,
+    /// Destination device index.
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Modeled wire time in milliseconds.
+    pub ms: f64,
+}
+
+/// K identical simulated devices plus the interconnect joining them.
+///
+/// Devices are constructed fresh from one [`GpuSpec`], so per-device
+/// timing is deterministic and identical across the topology. Transfers
+/// are logged behind a mutex so a future concurrent scheduler can share
+/// the topology across shard workers.
+#[derive(Debug)]
+pub struct MultiGpu {
+    devices: Vec<Gpu>,
+    interconnect: InterconnectSpec,
+    transfers: Mutex<Vec<TransferRecord>>,
+}
+
+impl MultiGpu {
+    /// Builds `devices` identical simulated GPUs from `spec` with the
+    /// default interconnect. Panics if `devices` is zero.
+    pub fn new(spec: GpuSpec, devices: usize) -> Self {
+        Self::with_interconnect(spec, devices, InterconnectSpec::default())
+    }
+
+    /// Builds the topology with an explicit interconnect model.
+    pub fn with_interconnect(spec: GpuSpec, devices: usize, ic: InterconnectSpec) -> Self {
+        assert!(devices > 0, "a topology needs at least one device");
+        Self {
+            devices: (0..devices).map(|_| Gpu::new(spec.clone())).collect(),
+            interconnect: ic,
+            transfers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of devices in the topology.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device at `index` (panics when out of range).
+    pub fn device(&self, index: usize) -> &Gpu {
+        &self.devices[index]
+    }
+
+    /// The interconnect cost model.
+    pub fn interconnect(&self) -> &InterconnectSpec {
+        &self.interconnect
+    }
+
+    /// Moves `bytes` from device `src` to device `dst`, records the
+    /// transfer, and returns its modeled wire time in milliseconds.
+    /// Device-local moves (`src == dst`) are free and unrecorded — halo
+    /// data a shard already owns never touches the wire.
+    pub fn transfer(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        assert!(src < self.devices.len() && dst < self.devices.len());
+        if src == dst {
+            return 0.0;
+        }
+        let ms = self.interconnect.transfer_ms(bytes);
+        self.transfers
+            .lock()
+            .expect("transfer log poisoned")
+            .push(TransferRecord {
+                src,
+                dst,
+                bytes,
+                ms,
+            });
+        ms
+    }
+
+    /// Snapshot of every recorded transfer, in issue order.
+    pub fn transfer_log(&self) -> Vec<TransferRecord> {
+        self.transfers
+            .lock()
+            .expect("transfer log poisoned")
+            .clone()
+    }
+
+    /// Total modeled interconnect time across all recorded transfers.
+    pub fn total_transfer_ms(&self) -> f64 {
+        self.transfer_log().iter().map(|t| t.ms).sum()
+    }
+
+    /// Total bytes moved across all recorded transfers.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.transfer_log().iter().map(|t| t.bytes).sum()
+    }
+
+    /// Clears the transfer log (between independent sharded runs).
+    pub fn reset_transfers(&self) {
+        self.transfers
+            .lock()
+            .expect("transfer log poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_latency_plus_bandwidth() {
+        let ic = InterconnectSpec {
+            link_bandwidth_gbs: 100.0,
+            link_latency_us: 2.0,
+        };
+        // 1 MB at 100 GB/s = 0.01 ms, plus 0.002 ms latency.
+        let ms = ic.transfer_ms(1_000_000);
+        assert!((ms - 0.012).abs() < 1e-12, "{ms}");
+    }
+
+    #[test]
+    fn topology_records_remote_transfers_only() {
+        let topo = MultiGpu::new(GpuSpec::tiny(), 4);
+        assert_eq!(topo.num_devices(), 4);
+        assert_eq!(topo.transfer(0, 0, 1 << 20), 0.0);
+        let ms = topo.transfer(1, 2, 1_000_000);
+        assert!(ms > 0.0);
+        let log = topo.transfer_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!((log[0].src, log[0].dst, log[0].bytes), (1, 2, 1_000_000));
+        assert_eq!(topo.total_transfer_bytes(), 1_000_000);
+        assert!((topo.total_transfer_ms() - ms).abs() < 1e-12);
+        topo.reset_transfers();
+        assert!(topo.transfer_log().is_empty());
+    }
+
+    #[test]
+    fn devices_share_one_spec() {
+        let topo = MultiGpu::new(GpuSpec::tiny(), 2);
+        assert_eq!(topo.device(0).spec(), topo.device(1).spec());
+        let j = topo.interconnect().to_json().to_string_compact();
+        assert!(j.contains("link_bandwidth_gbs"), "{j}");
+    }
+}

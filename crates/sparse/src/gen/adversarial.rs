@@ -517,6 +517,87 @@ pub fn mtx_corpus() -> Vec<MtxCase> {
     ]
 }
 
+/// One adversarial partition spec: proposed row splits over a fixed CSR
+/// offsets array. Malformed specs (overlaps, ownership gaps, truncated or
+/// excess coverage) must come back as typed
+/// [`gnnone_sim::ValidationError`]s from
+/// [`crate::partition::RowPartition::try_from_row_splits`] — never panics,
+/// and never a partition that could drop or double-merge shard output.
+#[derive(Debug, Clone)]
+pub struct PartitionCase {
+    /// Stable case name, printed in fuzz findings.
+    pub name: &'static str,
+    /// `true` when the split must validate; `false` when it must be
+    /// rejected.
+    pub expect_valid: bool,
+    /// CSR offsets of the graph being partitioned.
+    pub offsets: Vec<u32>,
+    /// Proposed `(row_start, row_end)` ranges, one per shard.
+    pub splits: Vec<(usize, usize)>,
+}
+
+/// Malformed (and control) partition specs for the sharding path. The
+/// offsets describe a 6-row graph with row degrees `[2, 0, 3, 1, 0, 2]`.
+pub fn partition_corpus() -> Vec<PartitionCase> {
+    let offsets = vec![0u32, 2, 2, 5, 6, 6, 8];
+    vec![
+        PartitionCase {
+            name: "partition-control-even",
+            expect_valid: true,
+            offsets: offsets.clone(),
+            splits: vec![(0, 2), (2, 4), (4, 6)],
+        },
+        PartitionCase {
+            name: "partition-control-empty-shards",
+            expect_valid: true,
+            offsets: offsets.clone(),
+            splits: vec![(0, 1), (1, 1), (1, 1), (1, 6)],
+        },
+        PartitionCase {
+            name: "partition-overlapping-rows",
+            expect_valid: false,
+            offsets: offsets.clone(),
+            splits: vec![(0, 3), (2, 6)],
+        },
+        PartitionCase {
+            name: "partition-ownership-gap",
+            expect_valid: false,
+            offsets: offsets.clone(),
+            splits: vec![(0, 2), (3, 6)],
+        },
+        PartitionCase {
+            name: "partition-truncated-coverage",
+            expect_valid: false,
+            offsets: offsets.clone(),
+            splits: vec![(0, 2), (2, 5)],
+        },
+        PartitionCase {
+            name: "partition-beyond-last-row",
+            expect_valid: false,
+            offsets: offsets.clone(),
+            splits: vec![(0, 2), (2, 7)],
+        },
+        PartitionCase {
+            name: "partition-inverted-range",
+            expect_valid: false,
+            offsets: offsets.clone(),
+            splits: vec![(0, 4), (4, 2), (2, 6)],
+        },
+        PartitionCase {
+            name: "partition-no-shards",
+            expect_valid: false,
+            offsets,
+            splits: vec![],
+        },
+        PartitionCase {
+            name: "partition-nonzero-first-start",
+            expect_valid: false,
+            offsets: vec![0, 1, 2],
+            splits: vec![(1, 2)],
+        },
+    ]
+}
+
 /// Well-formed random CSR parts: `n x n`, about `avg_degree` nonzeros per
 /// row, strictly increasing columns.
 fn random_csr(rng: &mut ChaCha8Rng, n: usize, avg_degree: usize) -> (Vec<u32>, Vec<VertexId>) {

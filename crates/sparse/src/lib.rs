@@ -26,6 +26,10 @@
 //!   in-range strictly-increasing column IDs, finite features) run at load
 //!   and after every format conversion; failures are typed
 //!   [`gnnone_sim::ValidationError`]s rather than panics.
+//! * [`partition`] — validated row-aligned K-way partitions
+//!   ([`RowPartition`]) for sharded multi-device execution; malformed
+//!   partition specs (overlaps, ownership gaps) are rejected with the same
+//!   structured taxonomy.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,9 +39,11 @@ pub mod datasets;
 pub mod formats;
 pub mod gen;
 pub mod io;
+pub mod partition;
 pub mod reference;
 pub mod stats;
 pub mod validate;
 
 pub use datasets::{Dataset, DatasetSpec, Scale};
 pub use formats::{Coo, Csr, CsrRows, EdgeList, VertexId};
+pub use partition::{PartitionStats, RowPartition, ShardSpec};

@@ -1,0 +1,355 @@
+//! Row-aligned graph partitions for sharded execution.
+//!
+//! A [`RowPartition`] splits a CSR-ordered graph into K contiguous,
+//! row-aligned shards: shard `s` owns the half-open row range
+//! `[row_start, row_end)` and, because the edge arrays are stored in CSR
+//! order, exactly the contiguous edge range `[edge_start, edge_end)`.
+//! Row alignment is the invariant everything downstream leans on:
+//!
+//! * every row's full adjacency lives in exactly one shard, so
+//!   row-reduction kernels (SpMM, SpMV, fused GAT softmax) are exact per
+//!   shard with no cross-shard combining;
+//! * shard outputs merge by disjoint row/edge ranges — a pure copy that
+//!   the static verifier can prove disjoint and covering;
+//! * edge-indexed operands and outputs (SDDMM scores, edge weights) slice
+//!   by `[edge_start, edge_end)` with no reindexing.
+//!
+//! Construction funnels through [`RowPartition::try_from_row_splits`], which
+//! rejects malformed specs (overlapping ranges, ownership gaps, truncated
+//! coverage) as structured [`ValidationError`]s — the same taxonomy the
+//! format validators use, so a hostile partition spec can never reach a
+//! kernel launch.
+
+use gnnone_sim::jsonio::Json;
+use gnnone_sim::ValidationError;
+
+/// One shard of a [`RowPartition`]: an owned row range and the edge range
+/// it implies under CSR order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index in `[0, num_shards)`.
+    pub shard: usize,
+    /// First owned row (inclusive).
+    pub row_start: usize,
+    /// One past the last owned row.
+    pub row_end: usize,
+    /// First owned edge (inclusive), in CSR order.
+    pub edge_start: usize,
+    /// One past the last owned edge.
+    pub edge_end: usize,
+}
+
+impl ShardSpec {
+    /// Number of rows this shard owns.
+    pub fn num_rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Number of edges this shard owns.
+    pub fn nnz(&self) -> usize {
+        self.edge_end - self.edge_start
+    }
+
+    /// Serializes through the dependency-free jsonio path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shard", Json::U64(self.shard as u64)),
+            ("row_start", Json::U64(self.row_start as u64)),
+            ("row_end", Json::U64(self.row_end as u64)),
+            ("edge_start", Json::U64(self.edge_start as u64)),
+            ("edge_end", Json::U64(self.edge_end as u64)),
+        ])
+    }
+}
+
+/// Load-balance summary of a partition, reported by `gnnone-prof shard`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionStats {
+    /// Shard count K.
+    pub shards: usize,
+    /// Largest per-shard edge count.
+    pub max_nnz: usize,
+    /// Smallest per-shard edge count.
+    pub min_nnz: usize,
+    /// Mean per-shard edge count.
+    pub avg_nnz: f64,
+    /// `max_nnz / avg_nnz`; 1.0 is perfect balance. 0 for empty graphs.
+    pub imbalance: f64,
+    /// Shards owning zero edges (K exceeded the nonempty row count).
+    pub empty_shards: usize,
+}
+
+impl PartitionStats {
+    /// Serializes through the dependency-free jsonio path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shards", Json::U64(self.shards as u64)),
+            ("max_nnz", Json::U64(self.max_nnz as u64)),
+            ("min_nnz", Json::U64(self.min_nnz as u64)),
+            ("avg_nnz", Json::F64(self.avg_nnz)),
+            ("imbalance", Json::F64(self.imbalance)),
+            ("empty_shards", Json::U64(self.empty_shards as u64)),
+        ])
+    }
+}
+
+/// A validated row-aligned K-way partition of a CSR-ordered graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    num_rows: usize,
+    nnz: usize,
+    shards: Vec<ShardSpec>,
+}
+
+impl RowPartition {
+    /// Builds a partition from proposed row splits, validating against the
+    /// graph's CSR `offsets` (length `num_rows + 1`). Each `(start, end)`
+    /// pair is one shard's owned row range; the ranges must be in order,
+    /// contiguous (no ownership gaps, no overlaps), and cover exactly
+    /// `[0, num_rows)`. Edge ranges are derived from `offsets`, so they
+    /// cannot be forged independently of the rows.
+    pub fn try_from_row_splits(
+        offsets: &[u32],
+        splits: &[(usize, usize)],
+    ) -> Result<Self, ValidationError> {
+        if offsets.is_empty() {
+            return Err(ValidationError::new(
+                "RowPartition",
+                "offsets",
+                None,
+                "CSR offsets must have at least one entry",
+            ));
+        }
+        let num_rows = offsets.len() - 1;
+        let nnz = offsets[num_rows] as usize;
+        if splits.is_empty() {
+            return Err(ValidationError::new(
+                "RowPartition",
+                "row_ranges",
+                None,
+                "empty partition: need at least one shard",
+            ));
+        }
+        let mut shards = Vec::with_capacity(splits.len());
+        let mut cursor = 0usize;
+        for (i, &(start, end)) in splits.iter().enumerate() {
+            if start != cursor {
+                let detail = if start < cursor {
+                    format!(
+                        "shard {i} row range [{start}, {end}) overlaps shard {}: \
+                         rows below {cursor} are already owned",
+                        i.saturating_sub(1)
+                    )
+                } else {
+                    format!(
+                        "ownership gap before shard {i}: rows [{cursor}, {start}) \
+                         are owned by no shard"
+                    )
+                };
+                return Err(ValidationError::new(
+                    "RowPartition",
+                    "row_ranges",
+                    Some(i as u64),
+                    detail,
+                ));
+            }
+            if end < start {
+                return Err(ValidationError::new(
+                    "RowPartition",
+                    "row_ranges",
+                    Some(i as u64),
+                    format!("shard {i} row range [{start}, {end}) is inverted"),
+                ));
+            }
+            if end > num_rows {
+                return Err(ValidationError::new(
+                    "RowPartition",
+                    "row_ranges",
+                    Some(i as u64),
+                    format!("shard {i} row range [{start}, {end}) exceeds {num_rows} rows"),
+                ));
+            }
+            shards.push(ShardSpec {
+                shard: i,
+                row_start: start,
+                row_end: end,
+                edge_start: offsets[start] as usize,
+                edge_end: offsets[end] as usize,
+            });
+            cursor = end;
+        }
+        if cursor != num_rows {
+            return Err(ValidationError::new(
+                "RowPartition",
+                "row_ranges",
+                Some(splits.len() as u64 - 1),
+                format!(
+                    "partition covers rows [0, {cursor}) but the graph has {num_rows} rows: \
+                     rows [{cursor}, {num_rows}) are owned by no shard"
+                ),
+            ));
+        }
+        Ok(Self {
+            num_rows,
+            nnz,
+            shards,
+        })
+    }
+
+    /// The trivial single-shard partition (K = 1): one shard owning every
+    /// row and edge. Sharded execution over it is byte-identical to the
+    /// unsharded kernel.
+    pub fn single(offsets: &[u32]) -> Self {
+        let num_rows = offsets.len().saturating_sub(1);
+        Self::try_from_row_splits(offsets, &[(0, num_rows)])
+            .expect("the full-range split is always valid")
+    }
+
+    /// Total rows across all shards.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Total edges across all shards.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Shard count K.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The validated shard specs, in shard order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The shard owning row `row` (panics when `row >= num_rows`). Used by
+    /// halo exchange to route remote-vertex requests to their owner.
+    pub fn owner_of_row(&self, row: usize) -> usize {
+        assert!(row < self.num_rows, "row {row} out of range");
+        // Shards are contiguous and sorted, so binary-search the starts.
+        let mut lo = 0usize;
+        let mut hi = self.shards.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.shards[mid].row_start <= row {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// Load-balance summary.
+    pub fn stats(&self) -> PartitionStats {
+        let nnzs: Vec<usize> = self.shards.iter().map(ShardSpec::nnz).collect();
+        let max_nnz = nnzs.iter().copied().max().unwrap_or(0);
+        let min_nnz = nnzs.iter().copied().min().unwrap_or(0);
+        let avg_nnz = self.nnz as f64 / self.shards.len() as f64;
+        PartitionStats {
+            shards: self.shards.len(),
+            max_nnz,
+            min_nnz,
+            avg_nnz,
+            imbalance: if avg_nnz > 0.0 {
+                max_nnz as f64 / avg_nnz
+            } else {
+                0.0
+            },
+            empty_shards: nnzs.iter().filter(|&&n| n == 0).count(),
+        }
+    }
+
+    /// Serializes through the dependency-free jsonio path.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("num_rows", Json::U64(self.num_rows as u64)),
+            ("nnz", Json::U64(self.nnz as u64)),
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardSpec::to_json).collect()),
+            ),
+            ("stats", self.stats().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // CSR offsets for a 6-row graph with row degrees [2, 0, 3, 1, 0, 2].
+    fn offsets() -> Vec<u32> {
+        vec![0, 2, 2, 5, 6, 6, 8]
+    }
+
+    #[test]
+    fn valid_split_derives_edge_ranges() {
+        let p = RowPartition::try_from_row_splits(&offsets(), &[(0, 2), (2, 4), (4, 6)]).unwrap();
+        assert_eq!(p.num_shards(), 3);
+        assert_eq!(p.num_rows(), 6);
+        assert_eq!(p.nnz(), 8);
+        let s = p.shards();
+        assert_eq!((s[0].edge_start, s[0].edge_end), (0, 2));
+        assert_eq!((s[1].edge_start, s[1].edge_end), (2, 6));
+        assert_eq!((s[2].edge_start, s[2].edge_end), (6, 8));
+        assert_eq!(p.owner_of_row(0), 0);
+        assert_eq!(p.owner_of_row(3), 1);
+        assert_eq!(p.owner_of_row(5), 2);
+    }
+
+    #[test]
+    fn overlap_and_gap_are_structured_rejections() {
+        let overlap = RowPartition::try_from_row_splits(&offsets(), &[(0, 3), (2, 6)]).unwrap_err();
+        assert_eq!(overlap.structure, "RowPartition");
+        assert!(overlap.detail.contains("overlaps"), "{overlap}");
+        let gap = RowPartition::try_from_row_splits(&offsets(), &[(0, 2), (3, 6)]).unwrap_err();
+        assert!(gap.detail.contains("ownership gap"), "{gap}");
+        let short = RowPartition::try_from_row_splits(&offsets(), &[(0, 2), (2, 5)]).unwrap_err();
+        assert!(short.detail.contains("owned by no shard"), "{short}");
+        let over = RowPartition::try_from_row_splits(&offsets(), &[(0, 7)]).unwrap_err();
+        assert!(over.detail.contains("exceeds 6 rows"), "{over}");
+        let inverted =
+            RowPartition::try_from_row_splits(&offsets(), &[(0, 2), (2, 1)]).unwrap_err();
+        // An inverted range reads as an overlap or inversion, never a panic.
+        assert_eq!(inverted.structure, "RowPartition");
+        let empty = RowPartition::try_from_row_splits(&offsets(), &[]).unwrap_err();
+        assert!(empty.detail.contains("at least one shard"), "{empty}");
+    }
+
+    #[test]
+    fn empty_shards_are_legal_and_counted() {
+        // K=4 over a graph whose middle rows are empty: shard (1,1) owns
+        // nothing — legal, and visible in the stats.
+        let p = RowPartition::try_from_row_splits(&offsets(), &[(0, 1), (1, 1), (1, 2), (2, 6)])
+            .unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.empty_shards, 2); // rows [1,1) and row 1 (degree 0)
+        assert_eq!(stats.max_nnz, 6);
+        assert!(stats.imbalance > 1.0);
+    }
+
+    #[test]
+    fn single_covers_everything() {
+        let p = RowPartition::single(&offsets());
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.shards()[0].num_rows(), 6);
+        assert_eq!(p.shards()[0].nnz(), 8);
+        let single_vertex = RowPartition::single(&[0, 0]);
+        assert_eq!(single_vertex.num_rows(), 1);
+        assert_eq!(single_vertex.nnz(), 0);
+        assert_eq!(single_vertex.stats().imbalance, 0.0);
+    }
+
+    #[test]
+    fn json_carries_shards_and_stats() {
+        let p = RowPartition::try_from_row_splits(&offsets(), &[(0, 3), (3, 6)]).unwrap();
+        let j = p.to_json().to_string_compact();
+        assert!(j.contains("\"edge_start\""), "{j}");
+        assert!(j.contains("\"imbalance\""), "{j}");
+    }
+}

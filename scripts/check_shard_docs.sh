@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Drift check: the sharded-execution surface documented in
+# docs/ROBUSTNESS.md §7 and docs/BACKENDS.md must match what the code
+# ships — flags, subcommands, fault slugs, error-message contracts and
+# cross-referenced artifacts. Pure grep — no build needed — so the docs
+# job stays fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/ROBUSTNESS.md
+BDOC=docs/BACKENDS.md
+CLI=crates/bench/src/cli.rs
+PROF=crates/bench/src/bin/gnnone_prof.rs
+RUNNER=crates/bench/src/runner.rs
+fail=0
+
+err() {
+  echo "check_shard_docs: $*" >&2
+  fail=1
+}
+
+[ -f "$DOC" ] || { err "$DOC is missing"; exit 1; }
+
+# 1. The robustness doc must carry the §7 layer and its API surface.
+for needed in "## 7." "partition_graph" "ShardedExecutor" "ShardTopology" \
+  "RetryPolicy" "ShardAbort" "ShardFaultKind" "gnnone-prof shard" \
+  "--shards" "checkpoint" "halo" "recovered-identical" \
+  "degraded-declined" "silent-corruption"; do
+  if ! grep -qF -- "$needed" "$DOC"; then
+    err "$DOC never mentions $needed"
+  fi
+done
+
+# 2. The backends doc must describe sharded dispatch on both backends.
+for needed in "Sharded dispatch" "--shards" "ShardedExecutor" \
+  "require_unsharded" "MultiGpu"; do
+  if ! grep -qF -- "$needed" "$BDOC"; then
+    err "$BDOC never mentions $needed"
+  fi
+done
+
+# 3. The flags and subcommand the docs promise must exist in the code.
+grep -qF -- '"--shards"' "$CLI" || err "$CLI no longer parses --shards"
+grep -qF -- '"shard"' "$PROF" || err "$PROF no longer dispatches the shard subcommand"
+grep -qF -- '"--seeds"' "$PROF" || err "$PROF no longer parses --seeds"
+
+# 4. The fault slugs in the doc's table must match the chaos engine.
+for slug in shard-kill shard-stall halo-drop transient-shard-launch; do
+  grep -qF -- "$slug" "$DOC" || err "$DOC never names fault slug $slug"
+  grep -qF -- "\"$slug\"" crates/sim/src/chaos.rs \
+    || err "fault slug $slug moved out of crates/sim/src/chaos.rs; update $DOC"
+done
+
+# 5. The error-message contracts the docs rely on must match the code.
+grep -qF 'has no sharded execution path' "$RUNNER" \
+  || err "require_unsharded message moved; update $BDOC"
+grep -qF -- '--shards multi-device topology' "$CLI" \
+  || err "sim-only flag vs --shards rejection message moved; update $BDOC"
+
+# 6. Artifacts the docs cross-reference must exist.
+for ref in crates/sparse/src/partition.rs crates/kernels/src/shard/exec.rs \
+  crates/bench/src/shard.rs crates/kernels/tests/shard_parity.rs \
+  crates/gnn/tests/shard_aggregate.rs; do
+  [ -e "$ref" ] || err "referenced artifact $ref does not exist"
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_shard_docs: OK"
