@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         Some("shard") => shard_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("fuse") => fuse_cmd(&args[1..]),
+        Some("serve-bench") => serve_bench_cmd(&args[1..]),
         Some("--help") | Some("-h") => {
             usage();
             Ok(())
@@ -61,7 +62,7 @@ fn main() -> ExitCode {
             Err("expected: show <metrics.json> | diff <a.json> <b.json> | \
                  trace <trace.json> | sanitize [flags] | verify [flags] | \
                  fuzz [flags] | chaos [flags] | shard [flags] | bench [flags] | \
-                 fuse [flags]"
+                 fuse [flags] | serve-bench [flags]"
                 .to_string())
         }
     };
@@ -95,7 +96,11 @@ fn usage() {
          [--kernels FusedGAT,GnnOne-UAddV] [--out BENCH_NATIVE.json]\n  \
          gnnone-prof fuse [--scale tiny|small|medium] [--datasets G0,G5] \
          [--f 8] [--threads N] [--warmup 2] [--repeats 5] \
-         [--out fusion.json] [--append BENCH_NATIVE.json]"
+         [--kernels FusedGAT,GnnOne] \
+         [--out fusion.json] [--append BENCH_NATIVE.json]\n  \
+         gnnone-prof serve-bench [--dataset G2] [--scale tiny|small|medium] \
+         [--model gcn|gat] [--backend sim|native] [--seed N|0xHEX] \
+         [--requests N] [--out BENCH_SERVE.json]"
     );
 }
 
@@ -589,6 +594,13 @@ fn fuse_cmd(args: &[String]) -> Result<(), String> {
                 }
                 opts.repeats = r;
             }
+            "--kernels" => {
+                opts.kernels = value("--kernels")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--out" => out = Some(value("--out")?),
             "--append" => append = Some(value("--append")?),
             other => return Err(format!("unknown fuse flag `{other}`")),
@@ -652,6 +664,47 @@ fn fuse_cmd(args: &[String]) -> Result<(), String> {
         println!("appended fusion section to {path}");
     }
     Ok(())
+}
+
+fn serve_bench_cmd(args: &[String]) -> Result<(), String> {
+    use gnnone_bench::serve_bench::{serve_bench_to, ServeBenchOpts};
+    use gnnone_sparse::datasets::Scale;
+
+    let mut opts = ServeBenchOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--dataset" => opts.dataset = value("--dataset")?,
+            "--scale" => {
+                opts.scale = match value("--scale")?.to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => return Err(format!("unknown scale `{other}` (tiny|small|medium)")),
+                }
+            }
+            "--model" => opts.model = value("--model")?.parse()?,
+            "--backend" => opts.backend = value("--backend")?.parse()?,
+            "--seed" => opts.seed = parse_seed(&value("--seed")?)?,
+            "--requests" => {
+                let n: u64 = value("--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests (expected a positive integer)".to_string())?;
+                if n == 0 {
+                    return Err("--requests must be >= 1".to_string());
+                }
+                opts.requests = n;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            other => return Err(format!("unknown serve-bench flag `{other}`")),
+        }
+    }
+    serve_bench_to(&opts)
 }
 
 fn sanitize_cmd(args: &[String]) -> Result<(), String> {

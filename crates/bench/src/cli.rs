@@ -72,7 +72,7 @@ pub struct Options {
     pub shards: Option<usize>,
     /// Kernel-name filter (`--kernels GnnOne,Sputnik`), case-insensitive;
     /// empty = every registry kernel. Honoured by the `gnnone-prof`
-    /// sweeps (`bench`, `chaos`, `verify`, `shard`).
+    /// sweeps (`bench`, `chaos`, `verify`, `shard`, `fuse`).
     pub kernels: Vec<String>,
 }
 

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use gnnone_kernels::backend::{Backend, NativeEngine};
-use gnnone_kernels::ir::{self, lower::LowerOptions, lower::Plan};
+use gnnone_kernels::ir::{self, lower::LowerOptions, lower::Plan, lower::Step};
 use gnnone_sim::jsonio::Json;
 use gnnone_sparse::datasets::Scale;
 
@@ -51,6 +51,11 @@ pub struct FuseOpts {
     pub warmup: usize,
     /// Timed runs per plan.
     pub repeats: usize,
+    /// Kernel-name filter (`--kernels FusedGAT,GnnOne`), case-insensitive;
+    /// empty = time both chains. A chain is timed only when its lowered
+    /// plan launches at least one selected kernel, so e.g.
+    /// `--kernels FusedGAT` isolates the fused launch.
+    pub kernels: Vec<String>,
 }
 
 impl Default for FuseOpts {
@@ -62,8 +67,35 @@ impl Default for FuseOpts {
             threads: None,
             warmup: 2,
             repeats: 5,
+            kernels: Vec::new(),
         }
     }
+}
+
+/// Registry names of the kernels a lowered plan launches (host fallback
+/// steps have none) — the vocabulary `--kernels` filters against.
+pub fn plan_kernel_names(plan: &Plan) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = plan
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::FusedGat { .. } => Some("FusedGAT"),
+            Step::Spmm { .. } | Step::SpmmOnes { .. } | Step::Sddmm { .. } => Some("GnnOne"),
+            Step::UAddV { .. } => Some("GnnOne-UAddV"),
+            _ => None,
+        })
+        .collect();
+    names.dedup();
+    names
+}
+
+/// Whether a plan launches any kernel selected by `filter` (empty
+/// filter selects everything).
+fn plan_selected(plan: &Plan, filter: &[String]) -> bool {
+    filter.is_empty()
+        || plan_kernel_names(plan)
+            .iter()
+            .any(|n| filter.iter().any(|k| k.eq_ignore_ascii_case(n)))
 }
 
 /// One (graph, plan) row of the match report.
@@ -266,6 +298,27 @@ pub fn run_fuse(opts: &FuseOpts) -> Result<FuseReport, String> {
         return Err("GAT chain did not lower to a single fused launch".to_string());
     }
 
+    // Resolve the --kernels filter against the kernels the two lowered
+    // chains actually launch, so a typo fails fast instead of silently
+    // timing nothing.
+    let known = {
+        let mut v = plan_kernel_names(&fused_plan);
+        v.extend(plan_kernel_names(&unfused_plan));
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for name in &opts.kernels {
+        if !known.iter().any(|k| k.eq_ignore_ascii_case(name)) {
+            return Err(format!(
+                "unknown kernel name in --kernels: {name} (this sweep launches: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    let time_fused = plan_selected(&fused_plan, &opts.kernels);
+    let time_unfused = plan_selected(&unfused_plan, &opts.kernels);
+
     let mut cells = Vec::new();
     for spec in &specs {
         let ld = runner::load(spec, opts.scale);
@@ -290,22 +343,34 @@ pub fn run_fuse(opts: &FuseOpts) -> Result<FuseReport, String> {
         // Repeats are interleaved so load and cache drift hit both plans
         // equally instead of biasing whichever ran last.
         for _ in 0..opts.warmup {
-            run(&fused_plan)?;
-            run(&unfused_plan)?;
+            if time_fused {
+                run(&fused_plan)?;
+            }
+            if time_unfused {
+                run(&unfused_plan)?;
+            }
         }
         let mut fused_wall = Vec::with_capacity(opts.repeats);
         let mut fused_launch = Vec::with_capacity(opts.repeats);
         let mut unfused_wall = Vec::with_capacity(opts.repeats);
         let mut unfused_launch = Vec::with_capacity(opts.repeats);
         for _ in 0..opts.repeats.max(1) {
-            let (w, l) = run(&fused_plan)?;
-            fused_wall.push(w);
-            fused_launch.push(l);
-            let (w, l) = run(&unfused_plan)?;
-            unfused_wall.push(w);
-            unfused_launch.push(l);
+            if time_fused {
+                let (w, l) = run(&fused_plan)?;
+                fused_wall.push(w);
+                fused_launch.push(l);
+            }
+            if time_unfused {
+                let (w, l) = run(&unfused_plan)?;
+                unfused_wall.push(w);
+                unfused_launch.push(l);
+            }
         }
+        // A chain deselected by --kernels reports zeroed columns.
         let stats = |mut times: Vec<f64>| {
+            if times.is_empty() {
+                return (0.0, 0.0);
+            }
             times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
             (times[0], median(&times))
         };
@@ -358,7 +423,26 @@ mod tests {
             threads: Some(2),
             warmup: 1,
             repeats: 3,
+            kernels: Vec::new(),
         }
+    }
+
+    #[test]
+    fn kernels_filter_isolates_one_chain_and_rejects_typos() {
+        let report = run_fuse(&FuseOpts {
+            kernels: vec!["fusedgat".into()],
+            ..tiny_opts()
+        })
+        .unwrap();
+        let c = &report.cells[0];
+        assert!(c.fused_median_ms > 0.0, "fused chain must be timed");
+        assert_eq!(c.unfused_median_ms, 0.0, "unfused chain is deselected");
+        let err = run_fuse(&FuseOpts {
+            kernels: vec!["NoSuchKernel".into()],
+            ..tiny_opts()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown kernel name"), "{err}");
     }
 
     #[test]

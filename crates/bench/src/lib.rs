@@ -38,6 +38,7 @@ pub mod native;
 pub mod profiling;
 pub mod report;
 pub mod runner;
+pub mod serve_bench;
 pub mod shard;
 pub mod verify;
 

@@ -248,7 +248,7 @@ pub fn sharded_executor(
     let mut exec = ShardedExecutor::new(Arc::clone(&ld.graph), shards, topo)?;
     exec.set_policy(RetryPolicy {
         max_attempts: SweepGuard::DEFAULT_MAX_ATTEMPTS,
-        backoff_base_ms: 0,
+        ..RetryPolicy::default()
     });
     Ok(exec)
 }

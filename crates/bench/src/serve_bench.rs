@@ -1,0 +1,413 @@
+//! The serving load benchmark behind `gnnone-prof serve-bench`.
+//!
+//! A seeded open-loop generator drives one [`Server`] through four
+//! phases on its virtual clock — the canonical overload story a
+//! robustness harness must be able to replay on demand:
+//!
+//! 1. **ramp** — arrivals well inside capacity; baseline latency.
+//! 2. **overload** — arrivals far past sustainable QPS; admission
+//!    rejections and deadline sheds must be typed, queues must stay
+//!    bounded.
+//! 3. **chaos** — nominal load with launch faults injected (simulator
+//!    fault engines on `sim`, synthetic aborts on `native`): retries,
+//!    watchdog trips, breaker trips, degraded answers.
+//! 4. **recovery** — chaos off; the breaker must close again and
+//!    latency return to baseline.
+//!
+//! Every phase drains before the next starts, so each request's
+//! outcome is attributed to the phase that submitted it and the
+//! no-silent-drops ledger (`submitted == resolved`, per phase) is
+//! checked locally. The emitted `BENCH_SERVE.json` carries per-phase
+//! p50/p99 latency, sustained QPS, and the full outcome/robustness
+//! counters; `docs/SERVING.md` documents every field.
+//!
+//! The generator polls the server once per `TICK_MS` of virtual
+//! time, mirroring the threaded worker's tick in `gnnone_serve`'s
+//! service layer: arrivals inside one tick land before the batcher
+//! can drain, which is exactly how a real burst overflows a bounded
+//! admission queue. Polling after every arrival instead would let the
+//! virtual server flush each batch the instant it formed — an
+//! infinitely fast worker that no open-loop rate could ever overload.
+
+use std::path::Path;
+
+use gnnone_kernels::backend::BackendKind;
+use gnnone_serve::server::percentile;
+use gnnone_serve::{ModelKind, Outcome, Scale, ServeConfig, Server, ServerStats, Submit};
+use gnnone_sim::jsonio::Json;
+use gnnone_sim::splitmix64;
+
+/// Options behind the `serve-bench` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeBenchOpts {
+    /// Table 1 dataset ID.
+    pub dataset: String,
+    /// Analogue scale.
+    pub scale: Scale,
+    /// Model family to serve.
+    pub model: ModelKind,
+    /// Execution backend.
+    pub backend: BackendKind,
+    /// Master seed (arrivals, chaos, jitter, weights).
+    pub seed: u64,
+    /// Requests submitted per phase.
+    pub requests: u64,
+    /// Output path for the JSON report (`None` = stdout only).
+    pub out: Option<String>,
+}
+
+impl Default for ServeBenchOpts {
+    fn default() -> Self {
+        Self {
+            dataset: "G2".to_string(),
+            scale: Scale::Tiny,
+            model: ModelKind::Gcn,
+            backend: BackendKind::Sim,
+            seed: 0xC0FF_EE00,
+            requests: 120,
+            out: None,
+        }
+    }
+}
+
+/// One phase of the canonical load story.
+struct PhaseSpec {
+    name: &'static str,
+    /// Open-loop arrival rate target.
+    qps: f64,
+    /// Chaos injection rate while the phase runs.
+    chaos_permille: u64,
+    /// Per-request relative deadline.
+    deadline_ms: u64,
+}
+
+/// Virtual-time poll granularity — matches the threaded worker's tick.
+const TICK_MS: f64 = 1.0;
+
+const PHASES: [PhaseSpec; 4] = [
+    PhaseSpec {
+        name: "ramp",
+        qps: 150.0,
+        chaos_permille: 0,
+        deadline_ms: 400,
+    },
+    PhaseSpec {
+        name: "overload",
+        qps: 50_000.0,
+        chaos_permille: 0,
+        deadline_ms: 25,
+    },
+    // A full storm: every armed attempt fails (warp kill and transient
+    // launch abort outright; a stalled warp blows the simulator's own
+    // instruction watchdog), so consecutive batch failures — and the
+    // breaker trip — are structural, not seed luck.
+    PhaseSpec {
+        name: "chaos",
+        qps: 150.0,
+        chaos_permille: 1000,
+        deadline_ms: 400,
+    },
+    PhaseSpec {
+        name: "recovery",
+        qps: 150.0,
+        chaos_permille: 0,
+        deadline_ms: 400,
+    },
+];
+
+/// Per-phase measurement, diffed from the server's monotonic counters.
+struct PhaseResult {
+    name: &'static str,
+    qps_target: f64,
+    chaos_permille: u64,
+    submitted: u64,
+    resolved: u64,
+    stats: ServerStats,
+    p50_ms: f64,
+    p99_ms: f64,
+    qps_sustained: f64,
+    elapsed_ms: f64,
+    breaker_open_seen: bool,
+}
+
+fn diff(after: &ServerStats, before: &ServerStats) -> ServerStats {
+    ServerStats {
+        submitted: after.submitted - before.submitted,
+        succeeded: after.succeeded - before.succeeded,
+        degraded: after.degraded - before.degraded,
+        rejected: after.rejected - before.rejected,
+        deadline_exceeded: after.deadline_exceeded - before.deadline_exceeded,
+        retries: after.retries - before.retries,
+        launches: after.launches - before.launches,
+        launch_failures: after.launch_failures - before.launch_failures,
+        watchdog_trips: after.watchdog_trips - before.watchdog_trips,
+        chaos_injected: after.chaos_injected - before.chaos_injected,
+        breaker_trips: after.breaker_trips - before.breaker_trips,
+    }
+}
+
+fn run_phase(server: &mut Server, spec: &PhaseSpec, requests: u64, seed: u64) -> PhaseResult {
+    server.set_chaos_rate(spec.chaos_permille);
+    let before = server.stats();
+    let start_ms = server.now_ms();
+    let n = server.state().num_vertices() as u64;
+    let mean_gap_ms = 1000.0 / spec.qps;
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut breaker_open_seen = false;
+    let mut since_poll = 0.0;
+    for i in 0..requests {
+        let h = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // Jittered open-loop arrivals in [0.5, 1.5) × mean gap — the
+        // generator never waits for responses (open loop), so overload
+        // genuinely overloads.
+        let gap = mean_gap_ms * (0.5 + (h >> 32) as f64 / u32::MAX as f64);
+        server.advance(gap);
+        since_poll += gap;
+        match server.submit((h % n) as u32, Some(spec.deadline_ms)) {
+            Submit::Queued(_) => {}
+            Submit::Rejected(o) => outcomes.push(*o),
+        }
+        // The worker only gets to drain once per tick; arrivals packed
+        // tighter than the tick contend for the bounded queue.
+        if since_poll >= TICK_MS {
+            since_poll = 0.0;
+            outcomes.extend(server.poll());
+            breaker_open_seen |= server.health().degraded;
+        }
+    }
+    outcomes.extend(server.drain());
+    breaker_open_seen |= server.health().degraded;
+    let after = server.stats();
+    let elapsed_ms = server.now_ms() - start_ms;
+    let stats = diff(&after, &before);
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.logits.is_some())
+        .map(|o| o.latency_ms)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let served = latencies.len() as u64;
+    PhaseResult {
+        name: spec.name,
+        qps_target: spec.qps,
+        chaos_permille: spec.chaos_permille,
+        submitted: stats.submitted,
+        resolved: outcomes.len() as u64,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        qps_sustained: if elapsed_ms > 0.0 {
+            served as f64 / (elapsed_ms / 1000.0)
+        } else {
+            0.0
+        },
+        elapsed_ms,
+        stats,
+        breaker_open_seen,
+    }
+}
+
+fn phase_json(p: &PhaseResult) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(p.name.to_string())),
+        ("qps_target", Json::F64(p.qps_target)),
+        ("chaos_permille", Json::U64(p.chaos_permille)),
+        ("submitted", Json::U64(p.submitted)),
+        ("resolved", Json::U64(p.resolved)),
+        ("succeeded", Json::U64(p.stats.succeeded)),
+        ("degraded", Json::U64(p.stats.degraded)),
+        ("rejected", Json::U64(p.stats.rejected)),
+        ("deadline_exceeded", Json::U64(p.stats.deadline_exceeded)),
+        ("retries", Json::U64(p.stats.retries)),
+        ("launches", Json::U64(p.stats.launches)),
+        ("launch_failures", Json::U64(p.stats.launch_failures)),
+        ("watchdog_trips", Json::U64(p.stats.watchdog_trips)),
+        ("chaos_injected", Json::U64(p.stats.chaos_injected)),
+        ("breaker_trips", Json::U64(p.stats.breaker_trips)),
+        ("breaker_open_seen", Json::Bool(p.breaker_open_seen)),
+        ("p50_ms", Json::F64(p.p50_ms)),
+        ("p99_ms", Json::F64(p.p99_ms)),
+        ("qps_sustained", Json::F64(p.qps_sustained)),
+        ("elapsed_ms", Json::F64(p.elapsed_ms)),
+    ])
+}
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    }
+}
+
+/// Runs the four-phase load story and returns the report JSON.
+pub fn run_serve_bench(opts: &ServeBenchOpts) -> Result<Json, String> {
+    let config = ServeConfig {
+        dataset: opts.dataset.clone(),
+        scale: opts.scale,
+        model: opts.model,
+        backend: opts.backend,
+        seed: opts.seed,
+        // Sized so one overload tick's arrivals (~50 at 50k QPS) exceed
+        // queue + drain capacity: backpressure must actually fire for
+        // the report to say anything about how it is typed.
+        queue_capacity: 32,
+        retry: gnnone_serve::RetryPolicy {
+            seed: opts.seed,
+            ..ServeConfig::default().retry
+        },
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config.clone()).map_err(|e| e.to_string())?;
+    let mut phases = Vec::new();
+    for (idx, spec) in PHASES.iter().enumerate() {
+        let phase_seed = opts.seed ^ ((idx as u64 + 1) << 48);
+        phases.push(run_phase(&mut server, spec, opts.requests, phase_seed));
+    }
+    let totals = server.stats();
+    let zero_silent_drops = phases.iter().all(|p| p.submitted == p.resolved)
+        && totals.submitted
+            == totals.succeeded + totals.degraded + totals.rejected + totals.deadline_exceeded;
+    let final_health = server.health();
+    let report = Json::obj(vec![
+        ("schema", Json::Str("gnnone-serve-bench/v1".to_string())),
+        ("dataset", Json::Str(opts.dataset.clone())),
+        ("scale", Json::Str(scale_str(opts.scale).to_string())),
+        ("model", Json::Str(opts.model.as_str().to_string())),
+        ("backend", Json::Str(opts.backend.as_str().to_string())),
+        ("seed", Json::U64(opts.seed)),
+        ("requests_per_phase", Json::U64(opts.requests)),
+        (
+            "config",
+            Json::obj(vec![
+                ("queue_capacity", Json::U64(config.queue_capacity as u64)),
+                ("batch_max", Json::U64(config.batch_max as u64)),
+                ("deadline_margin_ms", Json::U64(config.deadline_margin_ms)),
+                ("watchdog_budget_ms", Json::F64(config.watchdog_budget_ms)),
+                (
+                    "retry_max_attempts",
+                    Json::U64(config.retry.max_attempts as u64),
+                ),
+                (
+                    "retry_backoff_base_ms",
+                    Json::U64(config.retry.backoff_base_ms),
+                ),
+                ("retry_jitter_ms", Json::U64(config.retry.jitter_ms)),
+                (
+                    "breaker_threshold",
+                    Json::U64(config.breaker_threshold as u64),
+                ),
+                ("breaker_cooldown_ms", Json::U64(config.breaker_cooldown_ms)),
+                ("centroids", Json::U64(config.centroids as u64)),
+            ]),
+        ),
+        ("phases", Json::Arr(phases.iter().map(phase_json).collect())),
+        (
+            "totals",
+            Json::obj(vec![
+                ("submitted", Json::U64(totals.submitted)),
+                ("succeeded", Json::U64(totals.succeeded)),
+                ("degraded", Json::U64(totals.degraded)),
+                ("rejected", Json::U64(totals.rejected)),
+                ("deadline_exceeded", Json::U64(totals.deadline_exceeded)),
+                ("retries", Json::U64(totals.retries)),
+                ("launches", Json::U64(totals.launches)),
+                ("launch_failures", Json::U64(totals.launch_failures)),
+                ("watchdog_trips", Json::U64(totals.watchdog_trips)),
+                ("chaos_injected", Json::U64(totals.chaos_injected)),
+                ("breaker_trips", Json::U64(totals.breaker_trips)),
+            ]),
+        ),
+        ("zero_silent_drops", Json::Bool(zero_silent_drops)),
+        (
+            "breaker",
+            Json::obj(vec![
+                ("tripped", Json::Bool(totals.breaker_trips > 0)),
+                ("recovered", Json::Bool(!final_health.degraded)),
+            ]),
+        ),
+    ]);
+    Ok(report)
+}
+
+/// Runs the bench and writes/prints the report (the subcommand body).
+pub fn serve_bench_to(opts: &ServeBenchOpts) -> Result<(), String> {
+    let report = run_serve_bench(opts)?;
+    let text = report.to_string_pretty();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(Path::new(path), format!("{text}\n"))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("serve-bench report written to {path}");
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_phase_story_holds_its_invariants() {
+        let opts = ServeBenchOpts {
+            requests: 60,
+            ..ServeBenchOpts::default()
+        };
+        let report = run_serve_bench(&opts).unwrap();
+        assert_eq!(
+            report.get("zero_silent_drops").and_then(Json::as_bool),
+            Some(true),
+            "ledger must balance"
+        );
+        let phases = match report.get("phases") {
+            Some(Json::Arr(p)) => p,
+            other => panic!("phases must be an array, got {other:?}"),
+        };
+        assert_eq!(phases.len(), 4);
+        let by_name = |name: &str| {
+            phases
+                .iter()
+                .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("missing phase {name}"))
+        };
+        let overload = by_name("overload");
+        let typed_refusals = overload.get("rejected").and_then(Json::as_u64).unwrap()
+            + overload
+                .get("deadline_exceeded")
+                .and_then(Json::as_u64)
+                .unwrap();
+        assert!(
+            typed_refusals > 0,
+            "overload must surface typed backpressure"
+        );
+        let chaos = by_name("chaos");
+        assert!(chaos.get("chaos_injected").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            chaos.get("breaker_trips").and_then(Json::as_u64).unwrap() > 0,
+            "a full chaos storm must trip the breaker"
+        );
+        assert!(
+            chaos.get("degraded").and_then(Json::as_u64).unwrap() > 0,
+            "an open breaker serves degraded answers"
+        );
+        let breaker = report.get("breaker").unwrap();
+        assert_eq!(breaker.get("tripped").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            breaker.get("recovered").and_then(Json::as_bool),
+            Some(true),
+            "recovery phase must end healthy"
+        );
+    }
+
+    #[test]
+    fn report_is_seed_deterministic() {
+        let opts = ServeBenchOpts {
+            requests: 40,
+            ..ServeBenchOpts::default()
+        };
+        let a = run_serve_bench(&opts).unwrap().to_string_compact();
+        let b = run_serve_bench(&opts).unwrap().to_string_compact();
+        assert_eq!(a, b);
+    }
+}

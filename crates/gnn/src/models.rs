@@ -381,6 +381,82 @@ impl GnnModel for Gat {
     }
 }
 
+// ----------------------------------------------------- serving exports
+
+/// Frozen [`Gcn`] weights exported for inference serving. The training
+/// structs keep their parameters private (the tape owns gradient routing);
+/// serving needs only the forward values, so the export clones them out
+/// as plain tensors.
+pub struct GcnServingWeights {
+    /// Layer-1 projection (`input × hidden`).
+    pub w1: Tensor,
+    /// Layer-1 bias (`1 × hidden`).
+    pub b1: Tensor,
+    /// Layer-2 projection (`hidden × classes`).
+    pub w2: Tensor,
+    /// Layer-2 bias (`1 × classes`).
+    pub b2: Tensor,
+}
+
+impl Gcn {
+    /// Exports the frozen forward weights for serving.
+    pub fn serving_weights(&self) -> GcnServingWeights {
+        GcnServingWeights {
+            w1: self.l1.w.value.clone(),
+            b1: self.l1.b.value.clone(),
+            w2: self.l2.w.value.clone(),
+            b2: self.l2.b.value.clone(),
+        }
+    }
+}
+
+/// Frozen weights of one [`Gat`] attention head for serving.
+pub struct GatHeadWeights {
+    /// Projection (`fan_in × fan_out`).
+    pub w: Tensor,
+    /// Projection bias (`1 × fan_out`).
+    pub b: Tensor,
+    /// Destination-side attention vector (`fan_out × 1`).
+    pub attn_l: Tensor,
+    /// Source-side attention vector (`fan_out × 1`).
+    pub attn_r: Tensor,
+}
+
+/// Frozen weights of one [`Gat`] layer for serving.
+pub struct GatLayerWeights {
+    /// Per-head weights, in head order.
+    pub heads: Vec<GatHeadWeights>,
+    /// Concatenate head outputs (hidden layers) vs average them (output).
+    pub concat: bool,
+}
+
+impl Gat {
+    /// The LeakyReLU negative slope used by every attention layer.
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+
+    /// Exports the frozen per-layer forward weights for serving.
+    pub fn serving_weights(&self) -> Vec<GatLayerWeights> {
+        self.layers
+            .iter()
+            .map(|layer| GatLayerWeights {
+                heads: layer
+                    .heads
+                    .iter()
+                    .map(|h| GatHeadWeights {
+                        w: h.proj.w.value.clone(),
+                        b: h.proj.b.value.clone(),
+                        attn_l: h.attn_l.value.clone(),
+                        attn_r: h.attn_r.value.clone(),
+                    })
+                    .collect(),
+                concat: layer.concat,
+            })
+            .collect()
+    }
+}
+
 // ------------------------------------------------------------- GraphSAGE
 
 /// GraphSAGE (Hamilton et al.) with the mean aggregator — an **IR-only

@@ -24,6 +24,7 @@ pub mod csr_spmm;
 pub mod fused;
 pub mod pipeline;
 pub mod reduce;
+pub mod row_spmm;
 pub mod sddmm;
 pub mod spmm;
 pub mod spmv;
@@ -33,6 +34,7 @@ pub use config::{GnnOneConfig, Schedule};
 pub use csr_spmm::GnnOneCsrSpmm;
 pub use fused::FusedGatAttention;
 pub use pipeline::TwoStagePipeline;
+pub use row_spmm::GnnOneRowSpmm;
 pub use sddmm::GnnOneSddmm;
 pub use spmm::GnnOneSpmm;
 pub use spmv::GnnOneSpmv;

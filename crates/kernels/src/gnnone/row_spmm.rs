@@ -1,0 +1,216 @@
+//! Row-sequential CSR SpMM for the serving path.
+//!
+//! The throughput kernels ([`GnnOneSpmm`](crate::gnnone::GnnOneSpmm),
+//! [`GnnOneCsrSpmm`](crate::gnnone::GnnOneCsrSpmm)) split work by NZE
+//! span, so a row that straddles a span boundary is accumulated as
+//! several partials combined with `atomicAdd` — fast, but the combine
+//! order (and therefore the float rounding) depends on where the row
+//! lands in the global NZE layout. Serving needs the opposite trade:
+//! **`y[r]` must be a pure function of row `r`'s adjacency alone**, so a
+//! micro-batched launch is bitwise-identical to per-request execution.
+//!
+//! This kernel is the [`CsrRows`] (one warp per row) instantiation of the
+//! shared two-stage pipeline — the same vertex-centric shape the fused
+//! GAT softmax forces — with a feature-parallel running accumulation
+//! walked strictly in CSR order. No atomics, no cross-warp combines:
+//! every output row is written exactly once by its owning warp. The
+//! native arm inherits the provided row-split path, which already
+//! guarantees the same property across thread counts.
+
+use std::sync::Arc;
+
+use gnnone_sim::{
+    engine::LaunchError, DeviceBuffer, Gpu, KernelReport, LaneArr, WarpCtx, WARP_SIZE,
+};
+
+use crate::geometry::GroupGeometry;
+use crate::gnnone::config::GnnOneConfig;
+use crate::gnnone::pipeline::{CsrRows, Stage2Ctx, TwoStagePipeline};
+use crate::gnnone::reduce::Reduction;
+use crate::graph::GraphData;
+use crate::traits::SpmmKernel;
+
+/// Row-sequential SpMM over CSR: one warp per row, CSR-order accumulation.
+pub struct GnnOneRowSpmm {
+    graph: Arc<GraphData>,
+}
+
+impl GnnOneRowSpmm {
+    /// Creates the kernel for `graph`.
+    pub fn new(graph: Arc<GraphData>) -> Self {
+        Self { graph }
+    }
+}
+
+/// The Stage-2 reduction: `y[r] = Σ_{e ∈ row r} w[e] · x[col(e)]`,
+/// accumulated edge-by-edge in CSR order per feature lane.
+struct RowSeqAccum<'a> {
+    cols: &'a DeviceBuffer<u32>,
+    vals: &'a DeviceBuffer<f32>,
+    x: &'a DeviceBuffer<f32>,
+    y: &'a DeviceBuffer<f32>,
+}
+
+impl<'s> Reduction<CsrRows<'s>> for RowSeqAccum<'_> {
+    // CsrRows does no Stage-1 staging; values are loaded directly below.
+    const NEEDS_EDGE_VALUES: bool = false;
+
+    fn regs_per_thread(&self, _cfg: &GnnOneConfig) -> usize {
+        32
+    }
+
+    fn stage2(&self, pipe: &Stage2Ctx<'_, CsrRows<'s>>, ctx: &mut WarpCtx) {
+        let f = pipe.f;
+        let row = pipe.warp_id;
+        let (start, end) = (pipe.span.base, pipe.span.base + pipe.span.count);
+        // Feature lanes stride the row; columns and edge values arrive a
+        // 32-chunk at a time (coalesced), then each NZE's gather feeds the
+        // per-lane accumulator strictly in CSR order — the rounding of
+        // y[row] depends only on the row's own edge list.
+        for fbase in (0..f).step_by(WARP_SIZE) {
+            let lanes = (f - fbase).min(WARP_SIZE);
+            let mut acc = LaneArr::<f32>::default();
+            for chunk_start in (start..end).step_by(WARP_SIZE) {
+                let chunk = (end - chunk_start).min(WARP_SIZE);
+                let cols_c = ctx.load_u32(self.cols, |l| (l < chunk).then(|| chunk_start + l));
+                ctx.use_loads();
+                let vals_c = ctx.load_f32(self.vals, |l| (l < chunk).then(|| chunk_start + l));
+                ctx.use_loads();
+                for i in 0..chunk {
+                    let xc = ctx.load_f32(self.x, |l| {
+                        (l < lanes).then(|| cols_c.get(i) as usize * f + fbase + l)
+                    });
+                    ctx.compute(1);
+                    for l in 0..lanes {
+                        acc.set(l, acc.get(l) + vals_c.get(i) * xc.get(l));
+                    }
+                }
+            }
+            ctx.store_f32(self.y, |l| {
+                (l < lanes).then(|| (row * f + fbase + l, acc.get(l)))
+            });
+        }
+    }
+}
+
+impl SpmmKernel for GnnOneRowSpmm {
+    fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
+    fn name(&self) -> &'static str {
+        "GnnOne-RowSeq"
+    }
+
+    fn format(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        edge_vals: &DeviceBuffer<f32>,
+        x: &DeviceBuffer<f32>,
+        f: usize,
+        y: &DeviceBuffer<f32>,
+    ) -> Result<KernelReport, LaunchError> {
+        let pipeline = TwoStagePipeline::new(
+            CsrRows::new(&self.graph.d_csr_offsets, self.graph.num_vertices()),
+            RowSeqAccum {
+                cols: &self.graph.d_csr_cols,
+                vals: edge_vals,
+                x,
+                y,
+            },
+            f,
+            GroupGeometry::feature_parallel(f),
+            GnnOneConfig::default(),
+            "GnnOne-RowSeq-SpMM",
+        );
+        gpu.try_launch(&pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnone_sim::GpuSpec;
+    use gnnone_sparse::formats::Coo;
+    use gnnone_sparse::{gen, reference};
+
+    fn features(n: usize, f: usize) -> Vec<f32> {
+        (0..n * f)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.3)
+            .collect()
+    }
+
+    #[test]
+    fn row_seq_spmm_matches_reference() {
+        let el = gen::rmat(7, 600, gen::GRAPH500_PROBS, 5).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let f = 20;
+        let x = features(g.coo.num_cols(), f);
+        let w: Vec<f32> = (0..g.nnz())
+            .map(|e| ((e % 7) as f32 - 3.0) * 0.25)
+            .collect();
+        let dy = DeviceBuffer::<f32>::zeros(g.num_vertices() * f);
+        GnnOneRowSpmm::new(Arc::clone(&g))
+            .run(
+                &Gpu::new(GpuSpec::a100_40gb()),
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let expected = reference::spmm_csr(&g.csr, &w, &x, f);
+        reference::assert_close(&dy.to_vec(), &expected, 1e-4);
+    }
+
+    /// The serving contract: a row extracted into a rectangular 1-row
+    /// graph produces the bitwise-identical output row.
+    #[test]
+    fn row_output_is_independent_of_batch_context() {
+        let el = gen::rmat(6, 400, gen::GRAPH500_PROBS, 8).symmetrize();
+        let g = Arc::new(GraphData::new(Coo::from_edge_list(&el)));
+        let n = g.coo.num_cols();
+        let f = 12;
+        let x = features(n, f);
+        let w: Vec<f32> = (0..g.nnz()).map(|e| (e as f32).sin()).collect();
+        let gpu = Gpu::new(GpuSpec::a100_40gb());
+        let dy = DeviceBuffer::<f32>::zeros(g.num_vertices() * f);
+        GnnOneRowSpmm::new(Arc::clone(&g))
+            .run(
+                &gpu,
+                &DeviceBuffer::from_slice(&w),
+                &DeviceBuffer::from_slice(&x),
+                f,
+                &dy,
+            )
+            .unwrap();
+        let full = dy.to_vec();
+        for row in [0usize, 3, 17, n - 1] {
+            let range = g.csr.row_range(row);
+            let cols: Vec<u32> = g.csr.cols()[range.clone()].to_vec();
+            let vals: Vec<f32> = w[range.clone()].to_vec();
+            let single = Arc::new(GraphData::new(
+                Coo::try_from_sorted(1, n, vec![0; cols.len()], cols).unwrap(),
+            ));
+            let dy1 = DeviceBuffer::<f32>::zeros(f);
+            GnnOneRowSpmm::new(single)
+                .run(
+                    &gpu,
+                    &DeviceBuffer::from_slice(&vals),
+                    &DeviceBuffer::from_slice(&x),
+                    f,
+                    &dy1,
+                )
+                .unwrap();
+            assert_eq!(
+                dy1.to_vec(),
+                full[row * f..(row + 1) * f].to_vec(),
+                "row {row} not bitwise-stable across batch contexts"
+            );
+        }
+    }
+}

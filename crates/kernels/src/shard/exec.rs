@@ -30,7 +30,8 @@
 //!
 //! On failure the loop backs off deterministically
 //! (`backoff_base_ms << (attempt-1)`, the same schedule as
-//! `SweepGuard::with_policy`) and retries **only the failed shard**, up to
+//! `SweepGuard::with_policy`, plus an optional seeded splitmix64 jitter
+//! that is itself reproducible) and retries **only the failed shard**, up to
 //! [`RetryPolicy::max_attempts`]. Exhausted retries surface as
 //! [`GnnOneError::ShardAbort`] carrying the shard, attempt count,
 //! checkpointed-shard count, and armed fault — a typed partial-result
@@ -114,13 +115,22 @@ impl ShardTopology {
 /// Bounded deterministic retry: up to `max_attempts` tries per shard with
 /// backoff `backoff_base_ms << (attempt - 1)` between them — the same
 /// schedule `SweepGuard::with_policy` applies to whole sweep cells,
-/// generalized to individual shards.
+/// generalized to individual shards. An optional seeded jitter term
+/// (splitmix64, the same expander the chaos engine uses for targeting)
+/// decorrelates concurrent retries while keeping the full schedule
+/// reproducible: identical `(seed, attempt)` pairs always yield the same
+/// wait, so quarantine records and tests can assert exact ladders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Attempts per shard, including the first (minimum 1).
     pub max_attempts: u32,
     /// Base backoff in milliseconds; 0 disables sleeping (tests, sweeps).
     pub backoff_base_ms: u64,
+    /// Upper bound on the additive jitter in milliseconds; 0 disables
+    /// jitter and reproduces the plain exponential ladder.
+    pub jitter_ms: u64,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -128,17 +138,32 @@ impl Default for RetryPolicy {
         Self {
             max_attempts: 3,
             backoff_base_ms: 0,
+            jitter_ms: 0,
+            seed: 0,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Backoff applied after failed attempt `attempt` (1-based).
+    /// Backoff applied after failed attempt `attempt` (1-based): the
+    /// exponential ladder `backoff_base_ms << (attempt - 1)` plus a
+    /// deterministic jitter in `0..=jitter_ms` drawn from
+    /// `splitmix64(seed ^ attempt)`.
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        if self.backoff_base_ms == 0 {
+        let base = if self.backoff_base_ms == 0 {
             0
         } else {
             self.backoff_base_ms << (attempt - 1).min(16)
+        };
+        base + self.jitter(attempt)
+    }
+
+    /// The jitter component alone for failed attempt `attempt` (1-based).
+    fn jitter(&self, attempt: u32) -> u64 {
+        if self.jitter_ms == 0 {
+            0
+        } else {
+            gnnone_sim::splitmix64(self.seed ^ u64::from(attempt)) % (self.jitter_ms + 1)
         }
     }
 }

@@ -441,7 +441,7 @@ fn exhausted_retries_decline_with_a_structured_shard_abort() {
         ShardedExecutor::new(Arc::clone(&g), k, ShardTopology::native(2, k).unwrap()).unwrap();
     exec.set_policy(RetryPolicy {
         max_attempts: 1,
-        backoff_base_ms: 0,
+        ..RetryPolicy::default()
     });
     exec.arm_fault(ShardFaultKind::ShardKill, 3);
     let err = exec
@@ -480,6 +480,7 @@ fn retry_backoff_follows_the_sweep_guard_schedule() {
     exec.set_policy(RetryPolicy {
         max_attempts: 3,
         backoff_base_ms: 1,
+        ..RetryPolicy::default()
     });
     exec.arm_fault(ShardFaultKind::TransientShardLaunch, 0);
     let (_, report) = exec
@@ -493,10 +494,50 @@ fn retry_backoff_follows_the_sweep_guard_schedule() {
     let policy = RetryPolicy {
         max_attempts: 4,
         backoff_base_ms: 2,
+        ..RetryPolicy::default()
     };
     assert_eq!(
         (1..=3).map(|a| policy.backoff_ms(a)).collect::<Vec<_>>(),
         vec![2, 4, 8]
+    );
+}
+
+/// Seeded jitter is reproducible: identical `(seed, attempt)` pairs give
+/// identical waits, the jittered schedule stays within `jitter_ms` of the
+/// plain exponential ladder, and distinct seeds decorrelate.
+#[test]
+fn retry_jitter_is_seeded_and_deterministic() {
+    let plain = RetryPolicy {
+        max_attempts: 4,
+        backoff_base_ms: 4,
+        ..RetryPolicy::default()
+    };
+    let jittered = RetryPolicy {
+        jitter_ms: 3,
+        seed: 0xfeed_beef,
+        ..plain
+    };
+    let ladder: Vec<u64> = (1..=3).map(|a| jittered.backoff_ms(a)).collect();
+    let again: Vec<u64> = (1..=3).map(|a| jittered.backoff_ms(a)).collect();
+    assert_eq!(ladder, again, "same seed must reproduce the schedule");
+    for (a, &ms) in (1u32..=3).zip(&ladder) {
+        let base = plain.backoff_ms(a);
+        assert!(
+            (base..=base + 3).contains(&ms),
+            "attempt {a}: {ms} outside [{base}, {}]",
+            base + 3
+        );
+    }
+    let reseeded = RetryPolicy {
+        seed: 0xdead_cafe,
+        ..jittered
+    };
+    let other: Vec<u64> = (1..=3).map(|a| reseeded.backoff_ms(a)).collect();
+    assert_ne!(ladder, other, "distinct seeds should decorrelate");
+    // jitter_ms == 0 is exactly the historical ladder.
+    assert_eq!(
+        (1..=3).map(|a| plain.backoff_ms(a)).collect::<Vec<_>>(),
+        vec![4, 8, 16]
     );
 }
 

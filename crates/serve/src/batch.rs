@@ -1,0 +1,168 @@
+//! Bounded admission and the deadline-aware micro-batcher.
+//!
+//! Admission is the service's only unbounded-load defense that costs
+//! nothing: a full queue rejects *at submit time* with a typed
+//! [`GnnOneError::Rejected`] carrying the observed depth and a
+//! `retry_after_ms` hint derived from the flush estimate — the client
+//! learns immediately, instead of a request aging out silently inside
+//! the server.
+//!
+//! The batcher then coalesces admitted requests into micro-batches. A
+//! batch closes on whichever comes first:
+//!
+//! * **size** — `batch_max` requests are waiting (throughput bound), or
+//! * **deadline margin** — the *oldest* queued request's slack has run
+//!   down to `margin + est_launch_ms`: waiting any longer would turn a
+//!   servable request into a deadline miss just to fill the batch.
+//!
+//! FIFO order is preserved end to end, so the oldest request is always
+//! `front()` and the margin check is O(1).
+
+use std::collections::VecDeque;
+
+use gnnone_sim::GnnOneError;
+
+/// One admitted inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Server-assigned id; the handle every typed outcome echoes back.
+    pub id: u64,
+    /// Vertex whose logits are requested.
+    pub node: u32,
+    /// Virtual submission timestamp (ms).
+    pub submit_ms: f64,
+    /// Absolute virtual deadline (ms).
+    pub deadline_ms: f64,
+}
+
+/// Bounded FIFO admission queue + micro-batch cutter.
+#[derive(Debug)]
+pub struct Batcher {
+    queue: VecDeque<Request>,
+    capacity: usize,
+    batch_max: usize,
+    margin_ms: u64,
+}
+
+impl Batcher {
+    /// A batcher holding at most `capacity` queued requests, cutting
+    /// batches of up to `batch_max`, flushing early when the oldest
+    /// request's slack reaches `margin_ms` past the launch estimate.
+    pub fn new(capacity: usize, batch_max: usize, margin_ms: u64) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            batch_max: batch_max.max(1),
+            margin_ms,
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum batch size.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Admits `req` or rejects it with a typed backpressure error.
+    /// `retry_after_ms` is the caller's estimate of when capacity frees
+    /// up (depth ÷ batch size × launch estimate).
+    pub fn try_admit(&mut self, req: Request, retry_after_ms: u64) -> Result<(), GnnOneError> {
+        if self.queue.len() >= self.capacity {
+            return Err(GnnOneError::Rejected {
+                queue_depth: self.queue.len() as u64,
+                retry_after_ms: retry_after_ms.max(1),
+            });
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Whether a batch should flush now: full-size, or the oldest
+    /// request's remaining slack is down to the flush margin plus the
+    /// current launch-cost estimate.
+    pub fn ready(&self, now_ms: f64, est_launch_ms: f64) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        if self.queue.len() >= self.batch_max {
+            return true;
+        }
+        let oldest = &self.queue[0];
+        oldest.deadline_ms - now_ms <= self.margin_ms as f64 + est_launch_ms
+    }
+
+    /// Cuts the next batch (up to `batch_max`, FIFO order).
+    pub fn take_batch(&mut self) -> Vec<Request> {
+        let n = self.queue.len().min(self.batch_max);
+        self.queue.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, deadline_ms: f64) -> Request {
+        Request {
+            id,
+            node: id as u32,
+            submit_ms: 0.0,
+            deadline_ms,
+        }
+    }
+
+    #[test]
+    fn overflow_is_a_typed_rejection() {
+        let mut b = Batcher::new(2, 8, 1);
+        b.try_admit(req(0, 100.0), 5).unwrap();
+        b.try_admit(req(1, 100.0), 5).unwrap();
+        let err = b.try_admit(req(2, 100.0), 7).unwrap_err();
+        assert_eq!(err.kind(), "rejected");
+        match err {
+            GnnOneError::Rejected {
+                queue_depth,
+                retry_after_ms,
+            } => {
+                assert_eq!(queue_depth, 2);
+                assert_eq!(retry_after_ms, 7);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The queue is untouched by the rejection.
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn batch_closes_on_size_or_deadline_margin() {
+        let mut b = Batcher::new(16, 3, 2);
+        b.try_admit(req(0, 100.0), 1).unwrap();
+        // One young request, plenty of slack: keep coalescing.
+        assert!(!b.ready(0.0, 5.0));
+        // Oldest slack (100ms) down to margin(2) + est(5): flush.
+        assert!(b.ready(93.5, 5.0));
+        // Or the batch fills.
+        b.try_admit(req(1, 100.0), 1).unwrap();
+        b.try_admit(req(2, 100.0), 1).unwrap();
+        assert!(b.ready(0.0, 5.0));
+        let batch = b.take_batch();
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! `gnnone-serve` — run the batched inference service from the CLI.
+//!
+//! Two modes:
+//!
+//! * default — the deterministic virtual-clock core driven by a seeded
+//!   open-loop arrival process (reproducible end to end);
+//! * `--threaded` — the `std::thread` + channel front, with requests
+//!   fired from this thread and wall time mapped onto the virtual
+//!   clock.
+//!
+//! Either way a JSON summary (counters, health, p50/p99 latency) goes
+//! to stdout.
+
+use std::process::ExitCode;
+
+use gnnone_serve::server::percentile;
+use gnnone_serve::{BackendKind, ModelKind, Outcome, Scale, ServeConfig, Server, Service, Submit};
+use gnnone_sim::jsonio::Json;
+use gnnone_sim::splitmix64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gnnone-serve [--dataset G2] [--scale tiny|small|medium] [--model gcn|gat]\n\
+         \x20                   [--backend sim|native] [--requests N] [--qps N] [--seed N|0xHEX]\n\
+         \x20                   [--queue N] [--batch N] [--deadline MS] [--chaos PERMILLE]\n\
+         \x20                   [--threaded] [--pretty]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig::default();
+    let mut requests: u64 = 64;
+    let mut qps: f64 = 500.0;
+    let mut threaded = false;
+    let mut pretty = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--dataset" => config.dataset = value(&mut i),
+            "--scale" => {
+                config.scale = match value(&mut i).to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    _ => usage(),
+                }
+            }
+            "--model" => {
+                config.model = value(&mut i).parse::<ModelKind>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--backend" => {
+                config.backend = value(&mut i).parse::<BackendKind>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--requests" => requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--qps" => qps = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => config.seed = parse_seed(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--queue" => config.queue_capacity = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => config.batch_max = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--deadline" => {
+                config.default_deadline_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos" => {
+                config.chaos_rate_permille = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--threaded" => threaded = true,
+            "--pretty" => pretty = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    config.retry.seed = config.seed;
+    let result = if threaded {
+        run_threaded(config, requests, qps)
+    } else {
+        run_virtual(config, requests, qps)
+    };
+    match result {
+        Ok(summary) => {
+            if pretty {
+                println!("{}", summary.to_string_pretty());
+            } else {
+                println!("{}", summary.to_string_compact());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gnnone-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn summarize(outcomes: &[Outcome], stats: gnnone_serve::ServerStats, mode: &str) -> Json {
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.logits.is_some())
+        .map(|o| o.latency_ms)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Json::obj(vec![
+        ("mode", Json::Str(mode.to_string())),
+        ("submitted", Json::U64(stats.submitted)),
+        ("succeeded", Json::U64(stats.succeeded)),
+        ("degraded", Json::U64(stats.degraded)),
+        ("rejected", Json::U64(stats.rejected)),
+        ("deadline_exceeded", Json::U64(stats.deadline_exceeded)),
+        ("retries", Json::U64(stats.retries)),
+        ("chaos_injected", Json::U64(stats.chaos_injected)),
+        ("breaker_trips", Json::U64(stats.breaker_trips)),
+        ("p50_ms", Json::F64(percentile(&latencies, 50.0))),
+        ("p99_ms", Json::F64(percentile(&latencies, 99.0))),
+    ])
+}
+
+fn run_virtual(config: ServeConfig, requests: u64, qps: f64) -> Result<Json, String> {
+    let seed = config.seed;
+    let mut server = Server::new(config).map_err(|e| e.to_string())?;
+    let n = server.state().num_vertices() as u64;
+    let mean_gap_ms = 1000.0 / qps.max(1e-3);
+    let mut outcomes = Vec::new();
+    for i in 0..requests {
+        let h = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9));
+        // Jittered open-loop arrivals in [0.5, 1.5) × mean gap.
+        let gap = mean_gap_ms * (0.5 + (h >> 32) as f64 / u32::MAX as f64);
+        server.advance(gap);
+        match server.submit((h % n) as u32, None) {
+            Submit::Queued(_) => {}
+            Submit::Rejected(o) => outcomes.push(*o),
+        }
+        outcomes.extend(server.poll());
+    }
+    outcomes.extend(server.drain());
+    Ok(summarize(&outcomes, server.stats(), "virtual"))
+}
+
+fn run_threaded(config: ServeConfig, requests: u64, qps: f64) -> Result<Json, String> {
+    let seed = config.seed;
+    let service = Service::start(config).map_err(|e| e.to_string())?;
+    service.health().ok_or("service did not come up")?;
+    let gap = std::time::Duration::from_secs_f64(1.0 / qps.max(1.0));
+    let receivers: Vec<_> = (0..requests)
+        .map(|i| {
+            let h = splitmix64(seed ^ i);
+            std::thread::sleep(gap);
+            // Every Table 1 analogue has ≥ 64 vertices at any scale.
+            service.submit((h % 64) as u32, None)
+        })
+        .collect();
+    let stats = service.shutdown();
+    let outcomes: Vec<Outcome> = receivers
+        .into_iter()
+        .filter_map(|rx| rx.recv().ok())
+        .collect();
+    if outcomes.len() as u64 != requests {
+        return Err(format!(
+            "silent drop: {} submitted, {} resolved",
+            requests,
+            outcomes.len()
+        ));
+    }
+    Ok(summarize(&outcomes, stats, "threaded"))
+}

@@ -1,0 +1,144 @@
+//! Circuit breaker over the kernel launch path.
+//!
+//! When launches fail repeatedly — injected chaos, watchdog trips, a
+//! sick backend — retrying every batch just burns the deadline budget
+//! of everything behind it in the queue. The breaker converts that
+//! failure mode into an explicit degraded state:
+//!
+//! * **Closed** — healthy; every batch launches.
+//! * **Open** — `threshold` consecutive batch failures observed; all
+//!   traffic is answered from the cached centroid index (typed,
+//!   `degraded: true`) for `cooldown_ms`.
+//! * **Half-open** — cooldown elapsed; exactly one probe batch is
+//!   allowed through. Success closes the breaker, failure re-opens it
+//!   (and counts another trip).
+//!
+//! All transitions are driven by the server's virtual clock, so breaker
+//! behavior is as deterministic as the rest of the core.
+
+/// Breaker state, surfaced through health probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: batches launch normally.
+    Closed,
+    /// Tripped: serving degraded answers until cooldown elapses.
+    Open,
+    /// Cooldown elapsed: next batch is a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Canonical lower-case name (health probes, JSON reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Consecutive-failure circuit breaker on the virtual clock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    threshold: u32,
+    cooldown_ms: u64,
+    opened_at_ms: f64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// probing again after `cooldown_ms`.
+    pub fn new(threshold: u32, cooldown_ms: u64) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            cooldown_ms,
+            opened_at_ms: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the cooldown has
+    /// elapsed at `now_ms`.
+    pub fn state(&mut self, now_ms: f64) -> BreakerState {
+        if self.state == BreakerState::Open && now_ms - self.opened_at_ms >= self.cooldown_ms as f64
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether the next batch may launch at `now_ms`. `false` means the
+    /// caller must serve degraded.
+    pub fn allow(&mut self, now_ms: f64) -> bool {
+        self.state(now_ms) != BreakerState::Open
+    }
+
+    /// Records a successful batch launch.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed batch launch (retries exhausted) at `now_ms`.
+    pub fn record_failure(&mut self, now_ms: f64) {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.opened_at_ms = now_ms;
+            self.consecutive_failures = 0;
+            self.trips += 1;
+        }
+    }
+
+    /// Total times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_recovers_via_probe() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert!(b.allow(0.0));
+        b.record_failure(1.0);
+        b.record_failure(2.0);
+        assert!(b.allow(3.0), "below threshold stays closed");
+        b.record_failure(3.0);
+        assert_eq!(b.state(4.0), BreakerState::Open);
+        assert!(!b.allow(50.0), "open within cooldown serves degraded");
+        assert_eq!(b.trips(), 1);
+        // Cooldown elapses → half-open probe allowed.
+        assert!(b.allow(103.5));
+        assert_eq!(b.state(103.5), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(104.0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(2, 10);
+        b.record_failure(0.0);
+        b.record_failure(0.0);
+        assert!(b.allow(11.0), "probe after cooldown");
+        b.record_failure(11.0);
+        assert_eq!(b.state(11.0), BreakerState::Open);
+        assert_eq!(b.trips(), 2, "a failed probe counts a second trip");
+        assert!(!b.allow(12.0));
+    }
+}

@@ -1,0 +1,136 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `gnnone-serve` — a fault-tolerant batched inference service over the
+//! GNNOne kernel stack.
+//!
+//! Serving inverts the batch-training shape the rest of the repo
+//! optimizes: requests arrive one node at a time, carry deadlines, and
+//! the system must stay predictable when overloaded or when launches
+//! fail. The service is built from five layers:
+//!
+//! * [`model`] — a frozen [`model::ServingState`]: a Table 1 graph plus
+//!   exported GCN/GAT weights with everything up to the final graph
+//!   aggregation precomputed on the CPU, so each micro-batch costs exactly
+//!   one (GCN) or `heads` (GAT) kernel launches over a rectangular
+//!   *batch graph* (`B` requested rows × `|V|` source columns).
+//! * [`batch`] — bounded admission ([`GnnOneError::Rejected`] with a
+//!   `retry_after_ms` hint, never an unbounded queue) and the
+//!   deadline-aware micro-batcher (a batch closes on size *or* when the
+//!   oldest request's slack runs down to the flush margin).
+//! * [`exec`] — the dispatcher: per-launch serving watchdog, bounded
+//!   retry with seeded-jitter backoff ([`RetryPolicy`]), and seeded
+//!   chaos injection (simulator faults on `sim`, synthetic kernel aborts
+//!   on `native`) so overload behavior is testable on demand.
+//! * [`breaker`] — a circuit breaker that trips after consecutive batch
+//!   failures and serves a degraded cached-centroid answer (flagged
+//!   `degraded: true`) instead of queueing doomed launches.
+//! * [`server`] / [`service`] — the deterministic virtual-clock core
+//!   (every admitted request resolves to exactly one typed
+//!   [`server::Outcome`]) and the threaded front that maps wall time
+//!   onto it.
+//!
+//! The determinism contract — batched outputs bitwise-identical to
+//! per-request execution — is why the GCN path launches
+//! [`gnnone_kernels::gnnone::GnnOneRowSpmm`] (row-sequential, no
+//! atomics) rather than the NZE-span-partitioned throughput kernels;
+//! `docs/SERVING.md` covers the full design.
+
+pub mod batch;
+pub mod breaker;
+pub mod exec;
+pub mod model;
+pub mod server;
+pub mod service;
+
+pub use batch::{Batcher, Request};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use exec::{DispatchOutcome, Dispatcher};
+pub use model::{ModelKind, ServingState};
+pub use server::{Health, Outcome, OutcomeKind, Server, ServerStats, Submit};
+pub use service::Service;
+
+pub use gnnone_kernels::backend::BackendKind;
+pub use gnnone_kernels::shard::RetryPolicy;
+pub use gnnone_sim::GnnOneError;
+pub use gnnone_sparse::datasets::Scale;
+
+/// Full configuration of one serving instance. Everything that affects
+/// behavior — admission, batching, deadlines, retries, chaos — lives
+/// here, so a `(ServeConfig, request schedule)` pair pins the virtual
+/// core's outcomes exactly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Table 1 dataset ID (`"G0"`…`"G18"`).
+    pub dataset: String,
+    /// Analogue scale for the graph generator.
+    pub scale: Scale,
+    /// Which model family serves (`gcn` or `gat`).
+    pub model: ModelKind,
+    /// Execution backend for the batch launches.
+    pub backend: BackendKind,
+    /// Admission queue capacity; submissions beyond it are rejected with
+    /// a typed [`GnnOneError::Rejected`].
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch launch.
+    pub batch_max: usize,
+    /// Flush margin: a batch closes early once the oldest queued
+    /// request's deadline slack falls to `margin + est_launch`.
+    pub deadline_margin_ms: u64,
+    /// Deadline assigned to requests that don't carry their own,
+    /// relative to submission time.
+    pub default_deadline_ms: u64,
+    /// Serving watchdog: a launch whose virtual cost exceeds this is
+    /// treated as an abort and retried.
+    pub watchdog_budget_ms: f64,
+    /// Bounded retry with seeded deterministic jitter.
+    pub retry: RetryPolicy,
+    /// Consecutive batch failures that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before a half-open probe.
+    pub breaker_cooldown_ms: u64,
+    /// Centroid count for the degraded-mode fallback index.
+    pub centroids: usize,
+    /// Master seed: features, weights, chaos schedule, retry jitter.
+    pub seed: u64,
+    /// Chaos injection rate per launch attempt, in permille (0 = off,
+    /// 1000 = every attempt).
+    pub chaos_rate_permille: u64,
+    /// Virtual cost model for native launches (base ms per launch);
+    /// keeps deadline/shed decisions deterministic where wall clocks
+    /// are not.
+    pub native_cost_base_ms: f64,
+    /// Virtual cost model for native launches (ms per batched row).
+    pub native_cost_per_row_ms: f64,
+    /// Virtual cost charged for a failed launch attempt.
+    pub failed_attempt_ms: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            dataset: "G2".to_string(),
+            scale: Scale::Tiny,
+            model: ModelKind::Gcn,
+            backend: BackendKind::Sim,
+            queue_capacity: 64,
+            batch_max: 8,
+            deadline_margin_ms: 2,
+            default_deadline_ms: 400,
+            watchdog_budget_ms: 200.0,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 1,
+                jitter_ms: 2,
+                seed: 0xC0FF_EE00,
+            },
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 50,
+            centroids: 4,
+            seed: 0xC0FF_EE00,
+            chaos_rate_permille: 0,
+            native_cost_base_ms: 2.0,
+            native_cost_per_row_ms: 0.25,
+            failed_attempt_ms: 1.0,
+        }
+    }
+}

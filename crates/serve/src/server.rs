@@ -1,0 +1,503 @@
+//! The deterministic serving core on a virtual clock.
+//!
+//! [`Server`] composes the admission queue, micro-batcher, dispatcher,
+//! and circuit breaker into one state machine with a single invariant:
+//! **every submitted request resolves to exactly one typed
+//! [`Outcome`]** — success, degraded, rejected, or deadline-exceeded —
+//! and nothing is ever dropped silently. Rejections happen at
+//! [`Server::submit`]; everything admitted surfaces from
+//! [`Server::poll`] or [`Server::drain`].
+//!
+//! Time is virtual: the driver advances the clock explicitly
+//! ([`Server::advance`]) and launches advance it by their deterministic
+//! cost (simulated milliseconds on sim, the configured cost model on
+//! native, plus retry backoffs). Given the same [`crate::ServeConfig`]
+//! and the same submit/advance schedule, every decision — batch cuts,
+//! deadline sheds, chaos faults, breaker trips — replays identically.
+//! The threaded front in [`crate::service`] maps wall time onto this
+//! core; the core itself never reads a wall clock.
+
+use gnnone_kernels::backend::BackendKind;
+use gnnone_sim::GnnOneError;
+
+use crate::batch::{Batcher, Request};
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::exec::Dispatcher;
+use crate::model::{make_backend, ServingState};
+use crate::ServeConfig;
+
+/// How a request resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Served by a kernel launch.
+    Success,
+    /// Served from the cached centroid index (breaker open or retries
+    /// exhausted); `degraded` is set.
+    Degraded,
+    /// Refused at admission (queue full); carries
+    /// [`GnnOneError::Rejected`].
+    Rejected,
+    /// Shed before launch because the deadline could not be met;
+    /// carries [`GnnOneError::DeadlineExceeded`].
+    DeadlineExceeded,
+}
+
+impl OutcomeKind {
+    /// Canonical kebab-case name (reports, JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OutcomeKind::Success => "success",
+            OutcomeKind::Degraded => "degraded",
+            OutcomeKind::Rejected => "rejected",
+            OutcomeKind::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+/// The single typed resolution of one request.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The id [`Server::submit`] assigned.
+    pub id: u64,
+    /// The requested vertex.
+    pub node: u32,
+    /// How the request resolved.
+    pub kind: OutcomeKind,
+    /// Class logits — exact on success, centroid cache when degraded,
+    /// absent on rejection/shed.
+    pub logits: Option<Vec<f32>>,
+    /// True iff `logits` came from the degraded cache.
+    pub degraded: bool,
+    /// The typed error for rejected / deadline-exceeded outcomes.
+    pub error: Option<GnnOneError>,
+    /// Virtual submit-to-resolution latency.
+    pub latency_ms: f64,
+    /// Launch re-attempts spent on this request's batch.
+    pub retries: u32,
+}
+
+/// What [`Server::submit`] returns: queued, or immediately rejected
+/// with the typed outcome.
+#[derive(Debug)]
+pub enum Submit {
+    /// Admitted; the id's outcome will surface from `poll`/`drain`.
+    Queued(u64),
+    /// Refused at admission — this *is* the request's one outcome.
+    Rejected(Box<Outcome>),
+}
+
+/// Monotonic counters over everything the server resolved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Resolved by a kernel launch.
+    pub succeeded: u64,
+    /// Resolved from the degraded cache.
+    pub degraded: u64,
+    /// Refused at admission.
+    pub rejected: u64,
+    /// Shed on deadline before launch.
+    pub deadline_exceeded: u64,
+    /// Launch re-attempts across all batches.
+    pub retries: u64,
+    /// Micro-batch launches attempted (clean or chaos-armed).
+    pub launches: u64,
+    /// Batches whose retries were exhausted.
+    pub launch_failures: u64,
+    /// Attempts converted to aborts by the serving watchdog.
+    pub watchdog_trips: u64,
+    /// Attempts on which chaos was armed.
+    pub chaos_injected: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+}
+
+/// Liveness/readiness snapshot for probes.
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// Whether new submissions can currently be admitted.
+    pub ready: bool,
+    /// True while answers come from the degraded cache (breaker not
+    /// closed).
+    pub degraded: bool,
+    /// Breaker state at the current clock.
+    pub breaker: BreakerState,
+    /// Requests queued.
+    pub queue_depth: usize,
+    /// Admission capacity.
+    pub queue_capacity: usize,
+    /// Current virtual time.
+    pub clock_ms: f64,
+    /// Current launch-cost estimate (drives batch cuts and sheds).
+    pub est_launch_ms: f64,
+}
+
+/// The deterministic virtual-clock serving core.
+pub struct Server {
+    state: ServingState,
+    dispatcher: Dispatcher,
+    batcher: Batcher,
+    breaker: CircuitBreaker,
+    clock_ms: f64,
+    est_launch_ms: f64,
+    next_id: u64,
+    default_deadline_ms: u64,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// Builds the full serving stack for `config` (graph generation,
+    /// weight export, CPU precompute, centroid fit, backend).
+    pub fn new(config: ServeConfig) -> Result<Server, GnnOneError> {
+        let state = ServingState::build(&config)?;
+        let backend = make_backend(config.backend);
+        let est0 = match config.backend {
+            BackendKind::Sim => 1.0,
+            BackendKind::Native => {
+                config.native_cost_base_ms + config.native_cost_per_row_ms * config.batch_max as f64
+            }
+        };
+        Ok(Server {
+            dispatcher: Dispatcher::new(backend, &config),
+            batcher: Batcher::new(
+                config.queue_capacity,
+                config.batch_max,
+                config.deadline_margin_ms,
+            ),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown_ms),
+            clock_ms: 0.0,
+            est_launch_ms: est0,
+            next_id: 0,
+            default_deadline_ms: config.default_deadline_ms,
+            stats: ServerStats::default(),
+            state,
+        })
+    }
+
+    /// The frozen serving state (topology, caches, reference logits).
+    pub fn state(&self) -> &ServingState {
+        &self.state
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Advances the virtual clock (the arrival process between
+    /// submissions; wall-time mapping in threaded mode).
+    pub fn advance(&mut self, ms: f64) {
+        if ms > 0.0 {
+            self.clock_ms += ms;
+        }
+    }
+
+    /// Submits one request. `deadline_rel_ms` is relative to now
+    /// (`None` = the configured default). Either admits (outcome later,
+    /// via `poll`/`drain`) or rejects right here — never both, never
+    /// neither.
+    pub fn submit(&mut self, node: u32, deadline_rel_ms: Option<u64>) -> Submit {
+        self.stats.submitted += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let rel = deadline_rel_ms.unwrap_or(self.default_deadline_ms);
+        let req = Request {
+            id,
+            node,
+            submit_ms: self.clock_ms,
+            deadline_ms: self.clock_ms + rel as f64,
+        };
+        let flushes = self
+            .batcher
+            .depth()
+            .div_ceil(self.batcher.batch_max())
+            .max(1);
+        let retry_after = (flushes as f64 * self.est_launch_ms).ceil().max(1.0) as u64;
+        match self.batcher.try_admit(req, retry_after) {
+            Ok(()) => Submit::Queued(id),
+            Err(error) => {
+                self.stats.rejected += 1;
+                Submit::Rejected(Box::new(Outcome {
+                    id,
+                    node,
+                    kind: OutcomeKind::Rejected,
+                    logits: None,
+                    degraded: false,
+                    error: Some(error),
+                    latency_ms: 0.0,
+                    retries: 0,
+                }))
+            }
+        }
+    }
+
+    /// Flushes every batch that is ready at the current clock and
+    /// returns the resolved outcomes.
+    pub fn poll(&mut self) -> Vec<Outcome> {
+        let mut out = Vec::new();
+        while self.batcher.ready(self.clock_ms, self.est_launch_ms) {
+            self.flush_one(&mut out);
+        }
+        out
+    }
+
+    /// Flushes until the queue is empty (shutdown path): every admitted
+    /// request resolves, ready or not.
+    pub fn drain(&mut self) -> Vec<Outcome> {
+        let mut out = Vec::new();
+        while !self.batcher.is_empty() {
+            self.flush_one(&mut out);
+        }
+        out
+    }
+
+    /// Readiness/liveness snapshot at the current clock.
+    pub fn health(&mut self) -> Health {
+        let breaker = self.breaker.state(self.clock_ms);
+        Health {
+            ready: self.batcher.depth() < self.batcher.capacity(),
+            degraded: breaker != BreakerState::Closed,
+            breaker,
+            queue_depth: self.batcher.depth(),
+            queue_capacity: self.batcher.capacity(),
+            clock_ms: self.clock_ms,
+            est_launch_ms: self.est_launch_ms,
+        }
+    }
+
+    /// Re-arms the chaos injection rate (permille per attempt) — how
+    /// the load generator switches between ramp/overload/chaos/recovery
+    /// phases without rebuilding the stack.
+    pub fn set_chaos_rate(&mut self, permille: u64) {
+        self.dispatcher.chaos_rate_permille = permille;
+    }
+
+    /// Counters so far (breaker trips included).
+    pub fn stats(&self) -> ServerStats {
+        let mut s = self.stats.clone();
+        s.breaker_trips = self.breaker.trips();
+        s
+    }
+
+    fn flush_one(&mut self, out: &mut Vec<Outcome>) {
+        let batch = self.batcher.take_batch();
+        if batch.is_empty() {
+            return;
+        }
+        // Pre-launch shed: a request whose deadline cannot survive the
+        // estimated launch resolves *now* with a typed margin, instead
+        // of wasting a launch slot to miss anyway.
+        let needed = self.est_launch_ms;
+        let mut live = Vec::with_capacity(batch.len());
+        for req in batch {
+            if self.clock_ms + needed > req.deadline_ms {
+                self.stats.deadline_exceeded += 1;
+                out.push(Outcome {
+                    id: req.id,
+                    node: req.node,
+                    kind: OutcomeKind::DeadlineExceeded,
+                    logits: None,
+                    degraded: false,
+                    error: Some(GnnOneError::DeadlineExceeded {
+                        deadline_ms: req.deadline_ms.round() as u64,
+                        now_ms: self.clock_ms.round() as u64,
+                        needed_ms: needed.ceil().max(1.0) as u64,
+                    }),
+                    latency_ms: self.clock_ms - req.submit_ms,
+                    retries: 0,
+                });
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        if !self.breaker.allow(self.clock_ms) {
+            for req in live {
+                out.push(self.degraded_outcome(req, 0));
+            }
+            return;
+        }
+        let nodes: Vec<u32> = live.iter().map(|r| r.node).collect();
+        let d = self.dispatcher.run_batch(&self.state, &nodes);
+        self.clock_ms += d.advance_ms;
+        self.stats.launches += 1;
+        self.stats.retries += u64::from(d.retries);
+        self.stats.chaos_injected += u64::from(d.chaos_injected);
+        self.stats.watchdog_trips += u64::from(d.watchdog_trips);
+        if let Some(cost) = d.success_cost_ms {
+            // EWMA keeps the estimate smooth but responsive to chaos
+            // slowdowns; floor avoids a zero estimate disabling sheds.
+            self.est_launch_ms = (0.7 * self.est_launch_ms + 0.3 * cost).max(0.01);
+        }
+        match d.result {
+            Ok(logits) => {
+                self.breaker.record_success();
+                let cls = self.state.classes;
+                for (i, req) in live.into_iter().enumerate() {
+                    self.stats.succeeded += 1;
+                    out.push(Outcome {
+                        id: req.id,
+                        node: req.node,
+                        kind: OutcomeKind::Success,
+                        logits: Some(logits[i * cls..(i + 1) * cls].to_vec()),
+                        degraded: false,
+                        error: None,
+                        latency_ms: self.clock_ms - req.submit_ms,
+                        retries: d.retries,
+                    });
+                }
+            }
+            Err(_exhausted) => {
+                self.breaker.record_failure(self.clock_ms);
+                self.stats.launch_failures += 1;
+                for req in live {
+                    out.push(self.degraded_outcome(req, d.retries));
+                }
+            }
+        }
+    }
+
+    fn degraded_outcome(&mut self, req: Request, retries: u32) -> Outcome {
+        self.stats.degraded += 1;
+        Outcome {
+            id: req.id,
+            node: req.node,
+            kind: OutcomeKind::Degraded,
+            logits: Some(self.state.degraded_logits(req.node)),
+            degraded: true,
+            error: None,
+            latency_ms: self.clock_ms - req.submit_ms,
+            retries,
+        }
+    }
+}
+
+/// Percentile over an **ascending-sorted** latency slice
+/// (nearest-rank); 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelKind, Scale};
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            dataset: "G2".into(),
+            scale: Scale::Tiny,
+            model: ModelKind::Gcn,
+            queue_capacity: 8,
+            batch_max: 4,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_submission_resolves_exactly_once() {
+        let mut server = Server::new(config()).unwrap();
+        let n = server.state().num_vertices() as u32;
+        let mut expected = Vec::new();
+        let mut outcomes = Vec::new();
+        for i in 0..20u32 {
+            match server.submit(i % n, Some(100)) {
+                Submit::Queued(id) => expected.push(id),
+                Submit::Rejected(o) => {
+                    expected.push(o.id);
+                    outcomes.push(*o);
+                }
+            }
+            server.advance(0.5);
+            outcomes.extend(server.poll());
+        }
+        outcomes.extend(server.drain());
+        let mut got: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "exactly one typed outcome per submission");
+        let s = server.stats();
+        assert_eq!(
+            s.submitted,
+            s.succeeded + s.degraded + s.rejected + s.deadline_exceeded
+        );
+    }
+
+    #[test]
+    fn overflow_rejects_with_typed_backpressure() {
+        let mut server = Server::new(config()).unwrap();
+        let mut rejected = 0;
+        for i in 0..12u32 {
+            if let Submit::Rejected(o) = server.submit(i, Some(1_000)) {
+                rejected += 1;
+                assert_eq!(o.kind, OutcomeKind::Rejected);
+                let err = o.error.expect("rejection carries the typed error");
+                assert_eq!(err.kind(), "rejected");
+            }
+        }
+        // capacity 8: submissions 9..12 bounce (poll never ran).
+        assert_eq!(rejected, 4);
+        assert!(!server.health().ready);
+    }
+
+    #[test]
+    fn hopeless_deadlines_shed_with_typed_margin() {
+        let mut server = Server::new(config()).unwrap();
+        // Deadline of 0ms relative: cannot survive any launch estimate.
+        let Submit::Queued(id) = server.submit(1, Some(0)) else {
+            panic!("first submission must be admitted");
+        };
+        let out = server.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, id);
+        assert_eq!(out[0].kind, OutcomeKind::DeadlineExceeded);
+        assert_eq!(out[0].error.as_ref().unwrap().kind(), "deadline-exceeded");
+        assert!(out[0].logits.is_none());
+    }
+
+    #[test]
+    fn chaos_storm_trips_breaker_then_recovery_closes_it() {
+        let mut cfg = config();
+        cfg.backend = crate::BackendKind::Native; // synthetic chaos always fails
+        cfg.chaos_rate_permille = 1000;
+        cfg.breaker_threshold = 2;
+        cfg.breaker_cooldown_ms = 10;
+        let mut server = Server::new(cfg).unwrap();
+        let mut outcomes = Vec::new();
+        for i in 0..16u32 {
+            if let Submit::Rejected(o) = server.submit(i % 4, Some(10_000)) {
+                outcomes.push(*o);
+            }
+            outcomes.extend(server.drain());
+        }
+        assert!(server.stats().breaker_trips >= 1, "storm must trip breaker");
+        assert!(
+            outcomes.iter().any(|o| o.degraded && o.logits.is_some()),
+            "open breaker serves cached degraded answers"
+        );
+        // Recovery: chaos off, wait out the cooldown, probe succeeds.
+        server.set_chaos_rate(0);
+        server.advance(50.0);
+        if let Submit::Queued(_) = server.submit(1, Some(10_000)) {
+            let out = server.drain();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].kind, OutcomeKind::Success, "probe closes breaker");
+        }
+        assert_eq!(server.health().breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The threaded service front: async submission over std channels.
+//!
+//! One worker thread owns the [`Server`] and maps wall time onto its
+//! virtual clock (elapsed milliseconds between loop iterations become
+//! [`Server::advance`] calls). Clients get a per-request reply channel;
+//! the worker routes each typed [`Outcome`] to exactly one waiting
+//! client — including at shutdown, where the queue is drained so every
+//! in-flight request still receives its outcome before the thread
+//! exits. No async runtime is involved: `std::thread` + `mpsc` is all
+//! the repo's no-new-dependencies rule allows, and all the service
+//! needs.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gnnone_sim::GnnOneError;
+
+use crate::server::{Health, Outcome, Server, ServerStats, Submit};
+use crate::ServeConfig;
+
+enum Msg {
+    Request {
+        node: u32,
+        deadline_rel_ms: Option<u64>,
+        reply: Sender<Outcome>,
+    },
+    Health {
+        reply: Sender<Health>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running threaded serving instance.
+pub struct Service {
+    tx: Sender<Msg>,
+    worker: Option<JoinHandle<ServerStats>>,
+}
+
+impl Service {
+    /// Builds the serving stack (on the caller's thread, so build
+    /// errors surface synchronously) and starts the worker.
+    pub fn start(config: ServeConfig) -> Result<Service, GnnOneError> {
+        let server = Server::new(config)?;
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let worker = std::thread::spawn(move || run_worker(server, rx));
+        Ok(Service {
+            tx,
+            worker: Some(worker),
+        })
+    }
+
+    /// Submits a request; the returned channel yields the request's one
+    /// typed [`Outcome`] (immediately on rejection, after its batch
+    /// otherwise).
+    pub fn submit(&self, node: u32, deadline_rel_ms: Option<u64>) -> Receiver<Outcome> {
+        let (reply, rx) = mpsc::channel();
+        // A send can only fail after shutdown; the receiver then yields
+        // a disconnect, which callers already must handle.
+        let _ = self.tx.send(Msg::Request {
+            node,
+            deadline_rel_ms,
+            reply,
+        });
+        rx
+    }
+
+    /// Blocking health probe.
+    pub fn health(&self) -> Option<Health> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Msg::Health { reply }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Stops the worker: drains the queue (every in-flight request
+    /// gets its outcome), then returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.worker
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("serve worker must not panic")
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_worker(mut server: Server, rx: Receiver<Msg>) -> ServerStats {
+    let mut pending: HashMap<u64, Sender<Outcome>> = HashMap::new();
+    let mut last = Instant::now();
+    let tick = Duration::from_millis(1);
+    let advance = |server: &mut Server, last: &mut Instant| {
+        let now = Instant::now();
+        server.advance(now.duration_since(*last).as_secs_f64() * 1e3);
+        *last = now;
+    };
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(Msg::Request {
+                node,
+                deadline_rel_ms,
+                reply,
+            }) => {
+                advance(&mut server, &mut last);
+                match server.submit(node, deadline_rel_ms) {
+                    Submit::Queued(id) => {
+                        pending.insert(id, reply);
+                    }
+                    Submit::Rejected(outcome) => {
+                        let _ = reply.send(*outcome);
+                    }
+                }
+                route(&mut pending, server.poll());
+            }
+            Ok(Msg::Health { reply }) => {
+                let _ = reply.send(server.health());
+            }
+            Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                advance(&mut server, &mut last);
+                route(&mut pending, server.drain());
+                debug_assert!(pending.is_empty(), "drain resolves every admitted request");
+                return server.stats();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                advance(&mut server, &mut last);
+                route(&mut pending, server.poll());
+            }
+        }
+    }
+}
+
+fn route(pending: &mut HashMap<u64, Sender<Outcome>>, outcomes: Vec<Outcome>) {
+    for outcome in outcomes {
+        if let Some(reply) = pending.remove(&outcome.id) {
+            // The client may have hung up; the outcome was still typed
+            // and accounted, so a dead receiver is not a silent drop.
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::OutcomeKind;
+    use crate::{ModelKind, Scale};
+
+    #[test]
+    fn threaded_round_trip_resolves_every_request() {
+        let config = ServeConfig {
+            dataset: "G2".into(),
+            scale: Scale::Tiny,
+            model: ModelKind::Gcn,
+            queue_capacity: 32,
+            batch_max: 4,
+            ..ServeConfig::default()
+        };
+        let service = Service::start(config).unwrap();
+        let receivers: Vec<_> = (0..10u32).map(|i| service.submit(i, Some(5_000))).collect();
+        let health = service.health().expect("probe answers while running");
+        assert!(health.queue_capacity == 32);
+        let stats = service.shutdown();
+        let mut kinds = Vec::new();
+        for rx in receivers {
+            let outcome = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every request resolves by shutdown");
+            assert!(
+                outcome.kind != OutcomeKind::Success || outcome.logits.is_some(),
+                "success carries logits"
+            );
+            kinds.push(outcome.kind);
+        }
+        assert_eq!(kinds.len(), 10);
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(
+            stats.succeeded + stats.degraded + stats.rejected + stats.deadline_exceeded,
+            10
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests of the serving core's three load-bearing contracts:
+//!
+//! 1. **No silent drops** — every submitted request, under any
+//!    admission/arrival/chaos schedule, resolves to exactly one typed
+//!    outcome.
+//! 2. **Batch transparency** — a micro-batched launch returns, for
+//!    every row, the bitwise-identical logits the same node gets in a
+//!    batch of one, on both backends and both model families. This is
+//!    the property that justifies coalescing at all: batching is an
+//!    efficiency decision, never an accuracy decision.
+//! 3. **Replayable sheds** — deadline-shed decisions are a pure
+//!    function of the seed and the schedule: two runs of the same
+//!    overloaded scenario shed the same requests with the same typed
+//!    margins.
+
+use std::sync::OnceLock;
+
+use gnnone_serve::model::make_backend;
+use gnnone_serve::{
+    BackendKind, ModelKind, Outcome, Scale, ServeConfig, Server, ServingState, Submit,
+};
+use proptest::prelude::*;
+
+fn tiny_config(model: ModelKind) -> ServeConfig {
+    ServeConfig {
+        dataset: "G2".into(),
+        scale: Scale::Tiny,
+        model,
+        ..ServeConfig::default()
+    }
+}
+
+fn gcn_state() -> &'static ServingState {
+    static STATE: OnceLock<ServingState> = OnceLock::new();
+    STATE.get_or_init(|| ServingState::build(&tiny_config(ModelKind::Gcn)).unwrap())
+}
+
+fn gat_state() -> &'static ServingState {
+    static STATE: OnceLock<ServingState> = OnceLock::new();
+    STATE.get_or_init(|| ServingState::build(&tiny_config(ModelKind::Gat)).unwrap())
+}
+
+/// Drives a server through a schedule of (node, deadline, advance)
+/// steps and returns (submitted ids, outcomes).
+fn drive(server: &mut Server, steps: &[(u32, u64, u32)]) -> (Vec<u64>, Vec<Outcome>) {
+    let n = server.state().num_vertices() as u32;
+    let mut ids = Vec::new();
+    let mut outcomes = Vec::new();
+    for &(node, deadline, gap_tenths) in steps {
+        server.advance(gap_tenths as f64 / 10.0);
+        match server.submit(node % n, Some(deadline)) {
+            Submit::Queued(id) => ids.push(id),
+            Submit::Rejected(o) => {
+                ids.push(o.id);
+                outcomes.push(*o);
+            }
+        }
+        outcomes.extend(server.poll());
+    }
+    outcomes.extend(server.drain());
+    (ids, outcomes)
+}
+
+/// Compressed fingerprint of an outcome, bit-exact on logits.
+fn fingerprint(o: &Outcome) -> (u64, &'static str, Option<Vec<u32>>, u64, u32) {
+    (
+        o.id,
+        o.kind.as_str(),
+        o.logits
+            .as_ref()
+            .map(|l| l.iter().map(|v| v.to_bits()).collect()),
+        o.latency_ms.to_bits(),
+        o.retries,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 1: exactly one typed outcome per submission — small
+    /// queue, tight deadlines, full chaos; nothing falls through.
+    #[test]
+    fn no_admitted_request_is_dropped(
+        steps in prop::collection::vec((0u32..4096, 0u64..40, 0u32..30), 1..40),
+        chaos in 0u64..=1000,
+    ) {
+        let mut config = tiny_config(ModelKind::Gcn);
+        config.backend = BackendKind::Native;
+        config.queue_capacity = 4;
+        config.batch_max = 3;
+        config.chaos_rate_permille = chaos;
+        config.breaker_threshold = 2;
+        config.breaker_cooldown_ms = 5;
+        let mut server = Server::new(config).unwrap();
+        let (mut ids, outcomes) = drive(&mut server, &steps);
+        let mut got: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+        got.sort_unstable();
+        ids.sort_unstable();
+        prop_assert_eq!(&got, &ids, "every id resolves exactly once");
+        for o in &outcomes {
+            // Typed: terminal outcomes carry logits XOR a typed error.
+            prop_assert!(o.logits.is_some() ^ o.error.is_some());
+        }
+        let s = server.stats();
+        prop_assert_eq!(
+            s.submitted,
+            s.succeeded + s.degraded + s.rejected + s.deadline_exceeded
+        );
+    }
+
+    /// Property 2 (GCN): batched logits are bitwise-identical to
+    /// batch-of-one execution on both backends.
+    #[test]
+    fn gcn_batched_equals_unbatched_bitwise(
+        nodes in prop::collection::vec(0u32..4096, 1..10),
+    ) {
+        let state = gcn_state();
+        let n = state.num_vertices() as u32;
+        let nodes: Vec<u32> = nodes.into_iter().map(|v| v % n).collect();
+        for kind in [BackendKind::Sim, BackendKind::Native] {
+            let backend = make_backend(kind);
+            let (batched, _) = state.launch(&backend, &nodes).unwrap();
+            for (i, &node) in nodes.iter().enumerate() {
+                let (single, _) = state.launch(&backend, &[node]).unwrap();
+                prop_assert_eq!(
+                    &batched[i * state.classes..(i + 1) * state.classes],
+                    &single[..],
+                    "gcn node {} differs on {} backend", node, kind.as_str()
+                );
+            }
+        }
+    }
+
+    /// Property 2 (GAT): same bitwise batch-transparency through the
+    /// fused IR-lowered attention launch.
+    #[test]
+    fn gat_batched_equals_unbatched_bitwise(
+        nodes in prop::collection::vec(0u32..4096, 1..8),
+    ) {
+        let state = gat_state();
+        let n = state.num_vertices() as u32;
+        let nodes: Vec<u32> = nodes.into_iter().map(|v| v % n).collect();
+        for kind in [BackendKind::Sim, BackendKind::Native] {
+            let backend = make_backend(kind);
+            let (batched, _) = state.launch(&backend, &nodes).unwrap();
+            for (i, &node) in nodes.iter().enumerate() {
+                let (single, _) = state.launch(&backend, &[node]).unwrap();
+                prop_assert_eq!(
+                    &batched[i * state.classes..(i + 1) * state.classes],
+                    &single[..],
+                    "gat node {} differs on {} backend", node, kind.as_str()
+                );
+            }
+        }
+    }
+
+    /// Property 3: the full outcome stream — shed decisions, typed
+    /// margins, latencies, logits — replays bit-exactly under a fixed
+    /// seed and schedule.
+    #[test]
+    fn deadline_sheds_are_deterministic_under_fixed_seed(
+        steps in prop::collection::vec((0u32..4096, 0u64..25, 0u32..20), 1..30),
+        seed in 0u64..u64::MAX,
+        chaos in 0u64..=1000,
+    ) {
+        let run = || {
+            let mut config = tiny_config(ModelKind::Gcn);
+            config.seed = seed;
+            config.retry.seed = seed;
+            config.chaos_rate_permille = chaos;
+            config.queue_capacity = 6;
+            config.batch_max = 3;
+            config.deadline_margin_ms = 1;
+            let mut server = Server::new(config).unwrap();
+            let (_, outcomes) = drive(&mut server, &steps);
+            (
+                outcomes.iter().map(fingerprint).collect::<Vec<_>>(),
+                server.stats(),
+            )
+        };
+        let (a, stats_a) = run();
+        let (b, stats_b) = run();
+        prop_assert_eq!(a, b, "outcome stream must replay bit-exactly");
+        prop_assert_eq!(stats_a, stats_b);
+    }
+}

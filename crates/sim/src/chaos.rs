@@ -377,13 +377,16 @@ impl ChaosConfig {
 
 /// splitmix64 — the seed expander used for all chaos targeting. Chosen for
 /// its guarantee that distinct inputs produce well-distributed outputs
-/// even for sequential seeds.
-pub(crate) fn mix(mut z: u64) -> u64 {
+/// even for sequential seeds. Public so other deterministic machinery
+/// (retry jitter, serving-layer schedules) draws from the same expander.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
+
+pub(crate) use splitmix64 as mix;
 
 /// Seeded Fisher–Yates permutation of `0..n`.
 pub(crate) fn permutation(n: usize, seed: u64) -> Vec<usize> {

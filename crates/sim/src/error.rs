@@ -368,12 +368,35 @@ pub enum GnnOneError {
         /// What was wrong.
         detail: String,
     },
+    /// A serving request declined at admission: the bounded queue was
+    /// full, so the request was rejected with explicit backpressure
+    /// instead of buffered without bound (typed overload, never a silent
+    /// drop).
+    Rejected {
+        /// Queue depth observed at the admission decision.
+        queue_depth: u64,
+        /// Client retry hint in milliseconds (when the queue is expected
+        /// to have drained one batch).
+        retry_after_ms: u64,
+    },
+    /// A serving request shed before launch because its deadline could
+    /// not be met: the remaining margin was smaller than the predicted
+    /// execution time, so launching would only have burned capacity on a
+    /// response the client had already given up on.
+    DeadlineExceeded {
+        /// Absolute deadline the request carried, in service milliseconds.
+        deadline_ms: u64,
+        /// Service clock at the shed decision, in milliseconds.
+        now_ms: u64,
+        /// Predicted milliseconds the launch would have needed.
+        needed_ms: u64,
+    },
 }
 
 impl GnnOneError {
     /// Short error class used by reports: `"validation"`, `"io"`,
     /// `"parse"`, `"launch"`, `"abort"`, `"shard-abort"`, `"panic"`,
-    /// `"config"`.
+    /// `"config"`, `"rejected"`, `"deadline-exceeded"`.
     pub fn kind(&self) -> &'static str {
         match self {
             GnnOneError::Validation(_) => "validation",
@@ -384,6 +407,8 @@ impl GnnOneError {
             GnnOneError::ShardAbort(_) => "shard-abort",
             GnnOneError::Panic { .. } => "panic",
             GnnOneError::Config { .. } => "config",
+            GnnOneError::Rejected { .. } => "rejected",
+            GnnOneError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 
@@ -423,6 +448,24 @@ impl GnnOneError {
             GnnOneError::Config { detail } => {
                 Json::obj(vec![kind, ("detail", Json::Str(detail.clone()))])
             }
+            GnnOneError::Rejected {
+                queue_depth,
+                retry_after_ms,
+            } => Json::obj(vec![
+                kind,
+                ("queue_depth", Json::U64(*queue_depth)),
+                ("retry_after_ms", Json::U64(*retry_after_ms)),
+            ]),
+            GnnOneError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+                needed_ms,
+            } => Json::obj(vec![
+                kind,
+                ("deadline_ms", Json::U64(*deadline_ms)),
+                ("now_ms", Json::U64(*now_ms)),
+                ("needed_ms", Json::U64(*needed_ms)),
+            ]),
         }
     }
 
@@ -455,6 +498,15 @@ impl GnnOneError {
             },
             "config" => GnnOneError::Config {
                 detail: v.get("detail")?.as_str()?.to_string(),
+            },
+            "rejected" => GnnOneError::Rejected {
+                queue_depth: v.get("queue_depth")?.as_u64()?,
+                retry_after_ms: v.get("retry_after_ms")?.as_u64()?,
+            },
+            "deadline-exceeded" => GnnOneError::DeadlineExceeded {
+                deadline_ms: v.get("deadline_ms")?.as_u64()?,
+                now_ms: v.get("now_ms")?.as_u64()?,
+                needed_ms: v.get("needed_ms")?.as_u64()?,
             },
             _ => return None,
         })
@@ -494,6 +546,23 @@ impl std::fmt::Display for GnnOneError {
                 write!(f, "panic isolated in {context}: {detail}")
             }
             GnnOneError::Config { detail } => write!(f, "config error: {detail}"),
+            GnnOneError::Rejected {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "rejected: admission queue full at depth {queue_depth}; \
+                 retry after {retry_after_ms} ms"
+            ),
+            GnnOneError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+                needed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: needed {needed_ms} ms at t={now_ms} ms \
+                 against a deadline of {deadline_ms} ms"
+            ),
         }
     }
 }
@@ -624,6 +693,53 @@ mod tests {
             assert_eq!(back, e, "roundtrip failed for {json}");
             assert!(json.contains(&format!("\"{}\"", e.kind())));
         }
+    }
+
+    #[test]
+    fn service_variants_roundtrip_with_kind() {
+        let cases = vec![
+            GnnOneError::Rejected {
+                queue_depth: 256,
+                retry_after_ms: 12,
+            },
+            GnnOneError::DeadlineExceeded {
+                deadline_ms: 100,
+                now_ms: 95,
+                needed_ms: 9,
+            },
+        ];
+        for e in cases {
+            let json = e.to_json().to_string_compact();
+            let back = GnnOneError::from_json(&crate::jsonio::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, e, "roundtrip failed for {json}");
+            assert!(json.contains(&format!("\"{}\"", e.kind())), "{json}");
+        }
+    }
+
+    #[test]
+    fn rejected_kind_and_display_carry_backpressure_hint() {
+        let e = GnnOneError::Rejected {
+            queue_depth: 64,
+            retry_after_ms: 7,
+        };
+        assert_eq!(e.kind(), "rejected");
+        let text = e.to_string();
+        assert!(text.contains("depth 64"), "{text}");
+        assert!(text.contains("7 ms"), "{text}");
+    }
+
+    #[test]
+    fn deadline_exceeded_kind_and_display_name_the_margin() {
+        let e = GnnOneError::DeadlineExceeded {
+            deadline_ms: 250,
+            now_ms: 248,
+            needed_ms: 30,
+        };
+        assert_eq!(e.kind(), "deadline-exceeded");
+        let text = e.to_string();
+        assert!(text.contains("needed 30 ms"), "{text}");
+        assert!(text.contains("t=248"), "{text}");
+        assert!(text.contains("250"), "{text}");
     }
 
     #[test]

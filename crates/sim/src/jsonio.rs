@@ -77,6 +77,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The value as `&str` if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -508,12 +516,14 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = parse(r#"{"a": [1, -2, 2.5], "s": "x"}"#).unwrap();
+        let v = parse(r#"{"a": [1, -2, 2.5], "s": "x", "b": true}"#).unwrap();
         let arr = v.get("a").unwrap().as_arr().unwrap();
         assert_eq!(arr[0].as_u64(), Some(1));
         assert_eq!(arr[1].as_f64(), Some(-2.0));
         assert_eq!(arr[2].as_f64(), Some(2.5));
         assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("s").unwrap().as_bool(), None);
         assert_eq!(v.get("missing"), None);
         assert!(v.as_obj().is_some());
     }

@@ -125,7 +125,7 @@ pub mod trace;
 pub mod warp;
 
 pub use buffer::{DeviceBuffer, Pod32};
-pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, ShardFaultKind, Verdict};
+pub use chaos::{splitmix64, ChaosConfig, ChaosEngine, FaultKind, ShardFaultKind, Verdict};
 pub use engine::{Gpu, KernelReport, LaunchSpec};
 pub use error::{AbortReason, GnnOneError, KernelAbort, ShardAbort, ValidationError};
 pub use kernel::{KernelResources, WarpKernel};

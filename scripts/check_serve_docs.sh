@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Drift check: docs/SERVING.md must match the serving stack the code
+# actually ships — the outcome/breaker vocabulary must be the one the
+# enums spell, the typed-error surface must exist, the CLI flags its
+# code blocks mention must be parsed, the BENCH_SERVE.json fields it
+# documents must be emitted, and the files it cross-references must
+# exist. Pure grep — no build needed — mirroring check_fusion_docs.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/SERVING.md
+SERVER=crates/serve/src/server.rs
+BREAKER=crates/serve/src/breaker.rs
+BENCH=crates/bench/src/serve_bench.rs
+BIN=crates/serve/src/bin/gnnone_serve.rs
+PROF=crates/bench/src/bin/gnnone_prof.rs
+ERRORS=crates/sim/src/error.rs
+fail=0
+
+err() {
+  echo "check_serve_docs: $*" >&2
+  fail=1
+}
+
+[ -f "$DOC" ] || { err "$DOC is missing"; exit 1; }
+
+# 1. The outcome vocabulary the doc promises must be the one
+#    OutcomeKind::as_str spells, and likewise the breaker states.
+for kind in success degraded rejected deadline-exceeded; do
+  grep -qF -- "\`$kind\`" "$DOC" || err "$DOC never lists outcome kind $kind"
+  grep -qF -- "\"$kind\"" "$SERVER" || err "$SERVER no longer spells outcome $kind"
+done
+for state in closed open half-open; do
+  grep -qF -- "\`$state\`" "$DOC" || err "$DOC never lists breaker state $state"
+  grep -qF -- "\"$state\"" "$BREAKER" || err "$BREAKER no longer spells state $state"
+done
+
+# 2. The typed-error surface the doc quotes must exist in the taxonomy.
+for variant in Rejected DeadlineExceeded; do
+  grep -qF -- "GnnOneError::$variant" "$DOC" \
+    || err "$DOC never quotes GnnOneError::$variant"
+  grep -qE -- "$variant \{" "$ERRORS" \
+    || err "$ERRORS no longer defines $variant"
+done
+for field in queue_depth retry_after_ms deadline_ms now_ms needed_ms; do
+  grep -qF -- "$field" "$DOC" || err "$DOC never mentions error field $field"
+  grep -qF -- "$field" "$ERRORS" || err "$ERRORS no longer carries $field"
+done
+
+# 3. Every --flag named inside the doc's fenced code blocks must be
+#    parsed by the serve binary or the gnnone-prof parser.
+doc_flags=$(awk '/^```/{in_block=!in_block; next} in_block' "$DOC" \
+  | grep -oE '\-\-[a-z][a-z-]*' | sort -u)
+for flag in $doc_flags; do
+  case "$flag" in
+    --release|--bin|--example|--workspace) continue ;;
+  esac
+  if ! grep -qF -- "\"$flag\"" "$BIN" && ! grep -qF -- "\"$flag\"" "$PROF"; then
+    err "$DOC references $flag but neither $BIN nor $PROF parses it"
+  fi
+done
+
+# 4. Every BENCH_SERVE.json field the doc documents must be emitted by
+#    the bench, and the committed artifact must carry the schema tag.
+for field in schema requests_per_phase qps_target chaos_permille \
+  submitted resolved succeeded degraded rejected deadline_exceeded \
+  retries launches launch_failures watchdog_trips chaos_injected \
+  breaker_trips breaker_open_seen p50_ms p99_ms qps_sustained \
+  elapsed_ms totals zero_silent_drops tripped recovered; do
+  grep -qF -- "$field" "$DOC" || err "$DOC never documents field $field"
+  grep -qF -- "\"$field\"" "$BENCH" || err "$BENCH no longer emits $field"
+done
+grep -qF -- "gnnone-serve-bench/v1" "$DOC" || err "$DOC never names the schema"
+[ -f BENCH_SERVE.json ] || err "committed BENCH_SERVE.json is missing"
+grep -qF -- "gnnone-serve-bench/v1" BENCH_SERVE.json \
+  || err "BENCH_SERVE.json lost its schema tag"
+
+# 5. The surface the doc documents must still exist in the code.
+for needed in "GnnOneRowSpmm" "IrFusedGat" "try_admit" "run_batch" \
+  "watchdog_budget_ms" "RetryPolicy" "breaker_threshold" \
+  "breaker_cooldown_ms" "degraded: true" "serve-bench" "batch_parity"; do
+  grep -qF -- "$needed" "$DOC" || err "$DOC never mentions $needed"
+done
+grep -qrF -- "fn try_admit" crates/serve/src/batch.rs \
+  || err "batcher admission surface renamed; update $DOC"
+grep -qrF -- "fn run_batch" crates/serve/src/exec.rs \
+  || err "dispatcher surface renamed; update $DOC"
+
+# 6. Docs that cross-reference the serving stack must point at real
+#    files.
+for ref in docs/SERVING.md crates/serve/src/lib.rs \
+  crates/serve/src/model.rs crates/serve/src/batch.rs \
+  crates/serve/src/exec.rs crates/serve/src/breaker.rs \
+  crates/serve/src/server.rs crates/serve/src/service.rs \
+  crates/serve/src/bin/gnnone_serve.rs \
+  crates/serve/tests/batch_parity.rs crates/bench/src/serve_bench.rs; do
+  [ -e "$ref" ] || err "referenced artifact $ref does not exist"
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_serve_docs: OK"
